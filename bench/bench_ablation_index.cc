@@ -1,0 +1,90 @@
+// Experiment A1 — index ablation on the interval mapping: the same query
+// suite with and without the (docid, name, pre) name index. Shows how much
+// of the interval mapping's win is the encoding vs the secondary index.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "shred/interval_mapping.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct Store {
+  shred::IntervalMapping mapping;
+  rdb::Database db;
+  shred::DocId id = 0;
+  explicit Store(bool with_name_index) : mapping(with_name_index) {}
+};
+
+Store* GetStore(bool with_name_index) {
+  static Store* with = nullptr;
+  static Store* without = nullptr;
+  Store*& slot = with_name_index ? with : without;
+  if (slot == nullptr) {
+    slot = new Store(with_name_index);
+    workload::XMarkConfig cfg;
+    cfg.scale = kScale;
+    auto doc = workload::GenerateXMark(cfg);
+    if (!slot->mapping.Initialize(&slot->db).ok()) return nullptr;
+    auto id = slot->mapping.Store(*doc, &slot->db);
+    if (!id.ok()) return nullptr;
+    slot->id = id.value();
+  }
+  return slot;
+}
+
+void BM_Ablation(benchmark::State& state, bool with_name_index,
+                 const std::string& xpath) {
+  Store* store = GetStore(with_name_index);
+  if (store == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto nodes =
+        shred::EvalPath(path.value(), &store->mapping, &store->db, store->id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(nodes.value());
+  }
+}
+
+void RegisterAll() {
+  const std::vector<std::pair<std::string, std::string>> queries = {
+      {"all_items", "//item"},
+      {"named_leaf", "//creditcard"},
+      {"long_path", "/site/open_auctions/open_auction/bidder/increase"},
+  };
+  for (const auto& [label, xpath] : queries) {
+    for (bool with_index : {true, false}) {
+      std::string name = "A1/" + label + "/" +
+                         (with_index ? "name_index" : "no_name_index");
+      std::string q = xpath;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [with_index, q](benchmark::State& s) { BM_Ablation(s, with_index, q); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment A2 — inlining ablation: the DTD-driven mapping with inlining
+// enabled vs the pure element-per-table variant, over the bibliography
+// workload. Reports query latency and the table-count / join-count deltas.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "workload/biblio.h"
+#include "workload/queries.h"
+#include "xml/dtd.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+struct Store {
+  std::unique_ptr<shred::InlineMapping> mapping;
+  rdb::Database db;
+  shred::DocId id = 0;
+};
+
+Store* GetStore(bool inlining) {
+  static Store* with = nullptr;
+  static Store* without = nullptr;
+  Store*& slot = inlining ? with : without;
+  if (slot == nullptr) {
+    slot = new Store();
+    auto dtd = xml::ParseDtd(workload::BiblioDtd());
+    if (!dtd.ok()) return nullptr;
+    auto m = shred::InlineMapping::Create(*dtd.value(), "bib",
+                                          /*force_no_inlining=*/!inlining);
+    if (!m.ok()) return nullptr;
+    slot->mapping = std::move(m).value();
+    workload::BiblioConfig cfg;
+    cfg.books = 400;
+    cfg.articles = 600;
+    auto doc = workload::GenerateBiblio(cfg);
+    if (!slot->mapping->Initialize(&slot->db).ok()) return nullptr;
+    auto id = slot->mapping->Store(*doc, &slot->db);
+    if (!id.ok()) return nullptr;
+    slot->id = id.value();
+  }
+  return slot;
+}
+
+void BM_InlineAblation(benchmark::State& state, bool inlining,
+                       const std::string& xpath) {
+  Store* store = GetStore(inlining);
+  if (store == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto nodes = shred::EvalPath(path.value(), store->mapping.get(), &store->db,
+                                 store->id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(nodes.value());
+  }
+  state.counters["tables"] =
+      static_cast<double>(store->mapping->TableElementNames().size());
+}
+
+void RegisterAll() {
+  for (const auto& q : workload::BiblioQueries()) {
+    for (bool inlining : {true, false}) {
+      std::string name =
+          "A2/" + q.id + "/" + (inlining ? "inlined" : "element_per_table");
+      std::string xpath = q.xpath;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [inlining, xpath](benchmark::State& s) {
+                                     BM_InlineAblation(s, inlining, xpath);
+                                   })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Experiment F2 — the descendant-axis cost gap: '//' evaluated as iterative
+// transitive closure (edge, binary) vs a single range scan (interval, dewey).
+// Three '//' shapes at increasing depth of the implied closure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+const std::vector<std::pair<std::string, std::string>>& DescendantQueries() {
+  static const std::vector<std::pair<std::string, std::string>> kQueries = {
+      {"head", "//item"},                      // '//' at the head
+      {"mid", "/site/regions//item/name"},     // '//' mid-path
+      {"deep", "//open_auction//personref"},   // double descendant
+  };
+  return kQueries;
+}
+
+void BM_Descendant(benchmark::State& state, const std::string& mapping_name,
+                   const std::string& xpath) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  size_t results = 0;
+  for (auto _ : state) {
+    auto nodes = shred::EvalPath(path.value(), sa->mapping.get(), sa->db.get(),
+                                 sa->doc_id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    results = nodes.value().size();
+    benchmark::DoNotOptimize(nodes.value());
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void RegisterAll() {
+  for (const auto& [label, xpath] : DescendantQueries()) {
+    for (const std::string& name : AllMappingNames()) {
+      std::string q = xpath;
+      benchmark::RegisterBenchmark(
+          ("F2/" + label + "/" + name).c_str(),
+          [name, q](benchmark::State& s) { BM_Descendant(s, name, q); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment T3 — the query latency matrix: Q1–Q12 x all six mappings at a
+// fixed scale. This regenerates the central comparison table of the storage-
+// scheme literature: who wins on which query class.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+void BM_Query(benchmark::State& state, const std::string& mapping_name,
+              const workload::BenchQuery& query) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(query.xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  size_t results = 0;
+  for (auto _ : state) {
+    auto nodes =
+        shred::EvalPath(path.value(), sa->mapping.get(), sa->db.get(),
+                        sa->doc_id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    results = nodes.value().size();
+    benchmark::DoNotOptimize(nodes.value());
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+
+void RegisterAll() {
+  for (const auto& query : workload::AuctionQueries()) {
+    for (const std::string& name : AllMappingNames()) {
+      benchmark::RegisterBenchmark(
+          ("T3/" + query.id + "/" + name).c_str(),
+          [name, query](benchmark::State& s) { BM_Query(s, name, query); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment T4 — reconstruction (publishing) time per mapping: full
+// document and per-auction subtrees. The blob baseline should win here and
+// the binary mapping should pay for visiting every partition.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/serializer.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+void BM_ReconstructDocument(benchmark::State& state,
+                            const std::string& mapping_name) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto doc = sa->mapping->Reconstruct(sa->db.get(), sa->doc_id);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    bytes = xml::Serialize(*doc.value()).size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_ReconstructSubtrees(benchmark::State& state,
+                            const std::string& mapping_name) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath("/site/open_auctions/open_auction");
+  auto nodes = shred::EvalPath(path.value(), sa->mapping.get(), sa->db.get(),
+                               sa->doc_id);
+  if (!nodes.ok()) {
+    state.SkipWithError(nodes.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    for (const auto& id : nodes.value()) {
+      auto subtree =
+          sa->mapping->ReconstructSubtree(sa->db.get(), sa->doc_id, id);
+      if (!subtree.ok()) {
+        state.SkipWithError(subtree.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(subtree.value());
+    }
+  }
+  state.counters["subtrees"] = static_cast<double>(nodes.value().size());
+}
+
+void RegisterAll() {
+  for (const std::string& name : AllMappingNames()) {
+    benchmark::RegisterBenchmark(
+        ("T4/reconstruct_document/" + name).c_str(),
+        [name](benchmark::State& s) { BM_ReconstructDocument(s, name); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("T4/reconstruct_subtrees/" + name).c_str(),
+        [name](benchmark::State& s) { BM_ReconstructSubtrees(s, name); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

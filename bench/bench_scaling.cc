@@ -1,0 +1,69 @@
+// Experiment F1 — query latency vs document scale for three representative
+// queries (Q2 point lookup, Q6 wildcard path, Q10 range predicate), per
+// mapping. These are the scaling curves (figures) of the comparison.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+const std::vector<std::pair<std::string, std::string>>& ScalingQueries() {
+  static const std::vector<std::pair<std::string, std::string>> kQueries = {
+      {"Q2", "/site/people/person[@id = 'person0']/name"},
+      {"Q6", "/site/regions/*/item/location"},
+      {"Q10", "//open_auction[initial > 200]/current"},
+  };
+  return kQueries;
+}
+
+void BM_Scaling(benchmark::State& state, const std::string& mapping_name,
+                const std::string& xpath, double scale) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, scale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto nodes = shred::EvalPath(path.value(), sa->mapping.get(), sa->db.get(),
+                                 sa->doc_id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(nodes.value());
+  }
+}
+
+void RegisterAll() {
+  for (const auto& [qid, xpath] : ScalingQueries()) {
+    for (const std::string& name : AllMappingNames()) {
+      for (double scale : {0.05, 0.1, 0.2, 0.4}) {
+        std::string label = "F1/" + qid + "/" + name + "/scale_" +
+                            std::to_string(scale).substr(0, 4);
+        std::string q = xpath;
+        benchmark::RegisterBenchmark(
+            label.c_str(),
+            [name, q, scale](benchmark::State& s) { BM_Scaling(s, name, q, scale); })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

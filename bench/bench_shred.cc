@@ -1,0 +1,107 @@
+// Experiment T2 — shredding (bulk load) time per mapping, scaling in the
+// document size. google-benchmark; the counter "elems_per_s" is the
+// throughput figure the comparison tables report.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "shred/streaming.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+void BM_Shred(benchmark::State& state, const std::string& mapping_name,
+              double scale) {
+  workload::XMarkConfig cfg;
+  cfg.scale = scale;
+  auto doc = workload::GenerateXMark(cfg);
+  xml::DocStats stats = xml::ComputeStats(*doc->root());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mapping = MakeMapping(mapping_name);
+    auto db = std::make_unique<rdb::Database>();
+    if (mapping == nullptr || !mapping->Initialize(db.get()).ok()) {
+      state.SkipWithError("setup failed");
+      break;
+    }
+    state.ResumeTiming();
+    auto id = mapping->Store(*doc, db.get());
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(id.value());
+  }
+  state.counters["elements"] = static_cast<double>(stats.element_count);
+  state.counters["elems_per_s"] = benchmark::Counter(
+      static_cast<double>(stats.element_count) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+/// DOM-free bulk load through the SAX token stream (edge / dewey only —
+/// the interval encoding needs post-order sizes and cannot stream).
+void BM_StreamShred(benchmark::State& state, const std::string& mapping_name,
+                    double scale) {
+  workload::XMarkConfig cfg;
+  cfg.scale = scale;
+  auto doc = workload::GenerateXMark(cfg);
+  std::string text = xml::Serialize(*doc);
+  xml::DocStats stats = xml::ComputeStats(*doc->root());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mapping = MakeMapping(mapping_name);
+    auto db = std::make_unique<rdb::Database>();
+    if (mapping == nullptr || !mapping->Initialize(db.get()).ok()) {
+      state.SkipWithError("setup failed");
+      break;
+    }
+    state.ResumeTiming();
+    auto id = mapping_name == "edge"
+                  ? shred::StreamStoreEdge(text, db.get())
+                  : shred::StreamStoreDewey(text, db.get());
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(id.value());
+  }
+  state.counters["elems_per_s"] = benchmark::Counter(
+      static_cast<double>(stats.element_count) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void RegisterAll() {
+  for (const std::string& name : AllMappingNames()) {
+    for (double scale : {0.05, 0.1, 0.25}) {
+      benchmark::RegisterBenchmark(
+          ("T2/shred/" + name + "/scale_" + std::to_string(scale).substr(0, 4))
+              .c_str(),
+          [name, scale](benchmark::State& s) { BM_Shred(s, name, scale); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (const std::string& name : {std::string("edge"), std::string("dewey")}) {
+    for (double scale : {0.05, 0.25}) {
+      benchmark::RegisterBenchmark(
+          ("T2/stream_shred/" + name + "/scale_" +
+           std::to_string(scale).substr(0, 4))
+              .c_str(),
+          [name, scale](benchmark::State& s) { BM_StreamShred(s, name, scale); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

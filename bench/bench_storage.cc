@@ -1,0 +1,60 @@
+// Experiment T1 — storage size per mapping vs document size.
+//
+// Prints, for each scale factor and mapping: row count across the mapping's
+// tables, approximate bytes, and the blow-up factor relative to the raw
+// serialized document.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+size_t TotalRows(const rdb::Database& db) {
+  size_t rows = 0;
+  for (const std::string& t : db.TableNames()) {
+    rows += db.FindTable(t)->num_rows();
+  }
+  return rows;
+}
+
+void Run() {
+  std::printf("T1: storage size per mapping (auction documents)\n");
+  std::printf("%-8s %-10s %12s %14s %10s %8s\n", "scale", "mapping", "rows",
+              "bytes", "human", "blowup");
+  for (double scale : {0.05, 0.1, 0.25, 0.5}) {
+    workload::XMarkConfig cfg;
+    cfg.scale = scale;
+    auto doc = workload::GenerateXMark(cfg);
+    size_t raw_bytes = xml::Serialize(*doc).size();
+    xml::DocStats stats = xml::ComputeStats(*doc->root());
+    std::printf("-- scale %.2f: raw %s, %llu elements, %llu attributes\n",
+                scale, HumanBytes(raw_bytes).c_str(),
+                static_cast<unsigned long long>(stats.element_count),
+                static_cast<unsigned long long>(stats.attribute_count));
+    for (const std::string& name : AllMappingNames()) {
+      StoredAuction* sa = GetStoredAuction(name, scale);
+      if (sa == nullptr) {
+        std::printf("%-8.2f %-10s  (setup failed)\n", scale, name.c_str());
+        continue;
+      }
+      auto bytes = sa->mapping->FootprintBytes(*sa->db);
+      size_t b = bytes.ok() ? bytes.value() : 0;
+      std::printf("%-8.2f %-10s %12zu %14zu %10s %7.1fx\n", scale, name.c_str(),
+                  TotalRows(*sa->db), b, HumanBytes(b).c_str(),
+                  static_cast<double>(b) / static_cast<double>(raw_bytes));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main() {
+  xmlrdb::bench::Run();
+  return 0;
+}

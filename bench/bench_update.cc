@@ -1,0 +1,137 @@
+// Experiment T5 — subtree update cost per mapping.
+//
+// Appends (and then deletes) an item subtree in the middle of the document.
+// The interval mapping must renumber every following node and resize every
+// ancestor; Dewey touches only the new rows — that order-of-magnitude gap is
+// the figure this experiment reproduces.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+std::unique_ptr<xml::Node> ItemFragment(int i) {
+  auto frag = xml::ParseFragment(
+      "<item id=\"bench_item" + std::to_string(i) +
+      "\"><location>Testland</location><quantity>1</quantity>"
+      "<name>bench item</name><description>inserted by bench_update"
+      "</description></item>");
+  return frag.ok() ? std::move(frag).value() : nullptr;
+}
+
+void BM_InsertSubtree(benchmark::State& state, const std::string& mapping_name) {
+  // A private store per benchmark: updates mutate it, so no cache sharing.
+  auto mapping = MakeMapping(mapping_name);
+  auto db = std::make_unique<rdb::Database>();
+  workload::XMarkConfig cfg;
+  cfg.scale = kScale;
+  auto doc = workload::GenerateXMark(cfg);
+  if (mapping == nullptr || !mapping->Initialize(db.get()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto id = mapping->Store(*doc, db.get());
+  if (!id.ok()) {
+    state.SkipWithError(id.status().ToString().c_str());
+    return;
+  }
+  // Insertion point: the africa region (early in document order, so the
+  // interval mapping has to shift nearly everything).
+  auto path = xpath::ParseXPath("/site/regions/africa");
+  auto nodes = shred::EvalPath(path.value(), mapping.get(), db.get(), id.value());
+  if (!nodes.ok() || nodes.value().empty()) {
+    state.SkipWithError("insertion point not found");
+    return;
+  }
+  rdb::Value africa = nodes.value()[0];
+  int i = 0;
+  for (auto _ : state) {
+    auto frag = ItemFragment(i++);
+    Status st = mapping->InsertSubtree(db.get(), id.value(), africa, *frag);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+}
+
+void BM_DeleteSubtree(benchmark::State& state, const std::string& mapping_name) {
+  auto mapping = MakeMapping(mapping_name);
+  auto db = std::make_unique<rdb::Database>();
+  workload::XMarkConfig cfg;
+  cfg.scale = kScale;
+  auto doc = workload::GenerateXMark(cfg);
+  if (mapping == nullptr || !mapping->Initialize(db.get()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto id = mapping->Store(*doc, db.get());
+  if (!id.ok()) {
+    state.SkipWithError(id.status().ToString().c_str());
+    return;
+  }
+  auto path = xpath::ParseXPath("/site/regions/africa");
+  auto africa =
+      shred::EvalPath(path.value(), mapping.get(), db.get(), id.value());
+  if (!africa.ok() || africa.value().empty()) {
+    state.SkipWithError("no africa region");
+    return;
+  }
+  // Pre-insert items; each iteration deletes the most recently found one.
+  auto item_path = xpath::ParseXPath("/site/regions/africa/item");
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto frag = ItemFragment(i++);
+    if (!mapping
+             ->InsertSubtree(db.get(), id.value(), africa.value()[0], *frag)
+             .ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    auto items =
+        shred::EvalPath(item_path.value(), mapping.get(), db.get(), id.value());
+    if (!items.ok() || items.value().empty()) {
+      state.SkipWithError("no items");
+      return;
+    }
+    rdb::Value victim = items.value().back();
+    state.ResumeTiming();
+    Status st = mapping->DeleteSubtree(db.get(), id.value(), victim);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& name : AllMappingNames()) {
+    benchmark::RegisterBenchmark(
+        ("T5/insert_subtree/" + name).c_str(),
+        [name](benchmark::State& s) { BM_InsertSubtree(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(20);
+    benchmark::RegisterBenchmark(
+        ("T5/delete_subtree/" + name).c_str(),
+        [name](benchmark::State& s) { BM_DeleteSubtree(s, name); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(20);
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

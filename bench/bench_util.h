@@ -1,0 +1,72 @@
+// Shared setup for the experiment harness (see DESIGN.md experiment index).
+
+#ifndef XMLRDB_BENCH_BENCH_UTIL_H_
+#define XMLRDB_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+
+namespace xmlrdb::bench {
+
+/// All six mappings, "inline" built from the auction DTD.
+inline std::vector<std::string> AllMappingNames() {
+  return {"edge", "binary", "interval", "dewey", "inline", "blob"};
+}
+
+inline std::unique_ptr<shred::Mapping> MakeMapping(const std::string& name) {
+  if (name == "inline") {
+    auto dtd = xml::ParseDtd(workload::XMarkDtd());
+    if (!dtd.ok()) return nullptr;
+    auto m = shred::InlineMapping::Create(*dtd.value(), "site");
+    return m.ok() ? std::move(m).value() : nullptr;
+  }
+  auto m = shred::CreateMapping(name);
+  return m.ok() ? std::move(m).value() : nullptr;
+}
+
+/// One stored auction document at a given scale, kept alive for reuse across
+/// benchmark iterations of the same configuration.
+struct StoredAuction {
+  std::unique_ptr<shred::Mapping> mapping;
+  std::unique_ptr<rdb::Database> db;
+  std::unique_ptr<xml::Document> doc;
+  shred::DocId doc_id = 0;
+};
+
+/// Builds (and memoizes per (mapping, scale)) a stored auction document.
+inline StoredAuction* GetStoredAuction(const std::string& mapping_name,
+                                       double scale) {
+  static std::map<std::pair<std::string, int>, std::unique_ptr<StoredAuction>>
+      cache;
+  auto key = std::make_pair(mapping_name, static_cast<int>(scale * 1000));
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  auto stored = std::make_unique<StoredAuction>();
+  stored->mapping = MakeMapping(mapping_name);
+  if (stored->mapping == nullptr) return nullptr;
+  stored->db = std::make_unique<rdb::Database>();
+  workload::XMarkConfig cfg;
+  cfg.scale = scale;
+  stored->doc = workload::GenerateXMark(cfg);
+  if (!stored->mapping->Initialize(stored->db.get()).ok()) return nullptr;
+  auto id = stored->mapping->Store(*stored->doc, stored->db.get());
+  if (!id.ok()) return nullptr;
+  stored->doc_id = id.value();
+  auto [pos, inserted] = cache.emplace(key, std::move(stored));
+  (void)inserted;
+  return pos->second.get();
+}
+
+}  // namespace xmlrdb::bench
+
+#endif  // XMLRDB_BENCH_BENCH_UTIL_H_

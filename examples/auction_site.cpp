@@ -1,0 +1,109 @@
+// Auction-site scenario: the XMark-flavoured workload stored under every
+// mapping side by side; runs the Q1–Q12 suite against each and prints a
+// result-count matrix plus per-mapping storage. The runnable miniature of
+// the T1/T3 experiments.
+//
+//   $ ./build/examples/auction_site [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "publish/publisher.h"
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xml/stats.h"
+#include "xpath/xpath_ast.h"
+
+int main(int argc, char** argv) {
+  using namespace xmlrdb;
+
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  workload::XMarkConfig cfg;
+  cfg.scale = scale;
+  auto doc = workload::GenerateXMark(cfg);
+  xml::DocStats stats = xml::ComputeStats(*doc->root());
+  std::printf("auction document @ scale %.2f: %s\n\n", scale,
+              stats.ToString().c_str());
+
+  struct Store {
+    std::string name;
+    std::unique_ptr<shred::Mapping> mapping;
+    std::unique_ptr<rdb::Database> db;
+    shred::DocId id = 0;
+  };
+  std::vector<Store> stores;
+  for (const std::string& name :
+       {std::string("edge"), std::string("binary"), std::string("interval"),
+        std::string("dewey"), std::string("inline"), std::string("blob")}) {
+    Store s;
+    s.name = name;
+    if (name == "inline") {
+      auto dtd = xml::ParseDtd(workload::XMarkDtd());
+      auto m = shred::InlineMapping::Create(*dtd.value(), "site");
+      if (!m.ok()) {
+        std::printf("inline setup failed: %s\n", m.status().ToString().c_str());
+        continue;
+      }
+      s.mapping = std::move(m).value();
+    } else {
+      s.mapping = std::move(shred::CreateMapping(name)).value();
+    }
+    s.db = std::make_unique<rdb::Database>();
+    if (!s.mapping->Initialize(s.db.get()).ok()) continue;
+    Stopwatch sw;
+    auto id = s.mapping->Store(*doc, s.db.get());
+    if (!id.ok()) {
+      std::printf("%s store failed: %s\n", name.c_str(),
+                  id.status().ToString().c_str());
+      continue;
+    }
+    s.id = id.value();
+    auto bytes = s.mapping->FootprintBytes(*s.db);
+    std::printf("%-9s shredded in %6.1f ms -> %s across %zu tables\n",
+                name.c_str(), sw.ElapsedMillis(),
+                HumanBytes(bytes.value_or(0)).c_str(),
+                s.db->TableNames().size());
+    stores.push_back(std::move(s));
+  }
+
+  std::printf("\nquery matrix (result counts must agree; per-query time in "
+              "ms):\n");
+  std::printf("%-5s %-45s", "id", "xpath");
+  for (const auto& s : stores) std::printf(" %14s", s.name.c_str());
+  std::printf("\n");
+  for (const auto& q : workload::AuctionQueries()) {
+    auto path = xpath::ParseXPath(q.xpath);
+    if (!path.ok()) continue;
+    std::printf("%-5s %-45s", q.id.c_str(), q.xpath.c_str());
+    for (auto& s : stores) {
+      Stopwatch sw;
+      auto nodes = shred::EvalPath(path.value(), s.mapping.get(), s.db.get(),
+                                   s.id);
+      if (!nodes.ok()) {
+        std::printf(" %14s", "ERR");
+        continue;
+      }
+      std::printf(" %5zu @%6.2fms", nodes.value().size(), sw.ElapsedMillis());
+    }
+    std::printf("\n");
+  }
+
+  // Publish one auction from the interval store.
+  for (auto& s : stores) {
+    if (s.name != "interval") continue;
+    auto out = publish::PublishQueryResults(
+        "/site/open_auctions/open_auction[1]", s.mapping.get(), s.db.get(),
+        s.id);
+    if (out.ok()) {
+      std::printf("\nfirst open auction, published from the %s store:\n%s\n",
+                  s.name.c_str(), out.value().c_str());
+    }
+  }
+  return 0;
+}

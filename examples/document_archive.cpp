@@ -1,0 +1,84 @@
+// Document-archive scenario: many documents live in ONE relational store;
+// documents are appended, queried individually, updated in place, and
+// retired — the "XML database" use case (store + archive), on the Dewey
+// mapping whose cheap appends suit an ingest-heavy archive.
+//
+//   $ ./build/examples/document_archive
+
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "publish/publisher.h"
+#include "shred/dewey_mapping.h"
+#include "shred/evaluator.h"
+#include "workload/random_tree.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+int main() {
+  using namespace xmlrdb;
+
+  rdb::Database db;
+  shred::DeweyMapping archive;
+  if (!archive.Initialize(&db).ok()) return 1;
+
+  // Ingest a batch of "message" documents.
+  std::vector<shred::DocId> ids;
+  for (int day = 1; day <= 5; ++day) {
+    for (int n = 0; n < 4; ++n) {
+      std::string xml =
+          "<message day=\"" + std::to_string(day) + "\"><from>sensor" +
+          std::to_string(n) + "</from><reading unit=\"C\">" +
+          std::to_string(15 + day + n) + "</reading><status>" +
+          (n % 2 == 0 ? "ok" : "degraded") + "</status></message>";
+      auto doc = xml::Parse(xml);
+      auto id = archive.Store(*doc.value(), &db);
+      if (!id.ok()) {
+        std::printf("store failed: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(id.value());
+    }
+  }
+  std::printf("archived %zu documents into one dw_nodes table (%zu rows)\n\n",
+              ids.size(), db.FindTable("dw_nodes")->num_rows());
+
+  // Cross-archive scan: which messages report degraded status with a high
+  // reading? Evaluated per document — the archive keeps documents isolated
+  // by docid.
+  auto path = xpath::ParseXPath("/message[status = 'degraded'][reading > 20]");
+  std::printf("degraded messages with reading > 20:\n");
+  for (shred::DocId id : ids) {
+    auto nodes = shred::EvalPath(path.value(), &archive, &db, id);
+    if (!nodes.ok() || nodes.value().empty()) continue;
+    auto text = publish::PublishDocument(&archive, &db, id);
+    std::printf("  doc %lld: %s\n", static_cast<long long>(id),
+                text.value().c_str());
+  }
+
+  // In-place update: annotate one message.
+  auto frag = xml::ParseFragment("<note>inspected by operator</note>");
+  auto root = archive.RootElement(&db, ids[0]);
+  if (archive.InsertSubtree(&db, ids[0], root.value(), *frag.value()).ok()) {
+    auto text = publish::PublishDocument(&archive, &db, ids[0]);
+    std::printf("\nannotated doc %lld:\n  %s\n",
+                static_cast<long long>(ids[0]), text.value().c_str());
+  }
+
+  // Retention: drop the oldest day's documents.
+  size_t before = db.FindTable("dw_nodes")->num_rows();
+  int removed = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    if (archive.Remove(ids[i], &db).ok()) ++removed;
+  }
+  std::printf("\nretention pass removed %d documents (%zu -> %zu rows)\n",
+              removed, before, db.FindTable("dw_nodes")->num_rows());
+
+  // The store stays directly queryable as SQL, too.
+  auto r = db.Execute(
+      "SELECT docid, COUNT(*) AS nodes FROM dw_nodes GROUP BY docid "
+      "ORDER BY docid LIMIT 5");
+  std::printf("\nper-document node counts via plain SQL:\n%s\n",
+              r.value().ToString().c_str());
+  return 0;
+}

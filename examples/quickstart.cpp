@@ -1,0 +1,69 @@
+// Quickstart: store an XML document in a relational database, query it with
+// XPath, look at the SQL it becomes, and get the XML back.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "publish/publisher.h"
+#include "shred/edge_mapping.h"
+#include "shred/evaluator.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+int main() {
+  using namespace xmlrdb;
+
+  const char* kXml = R"(
+<catalog>
+  <cd genre="rock"><artist>Bob Dylan</artist><title>Empire Burlesque</title><price>10.90</price></cd>
+  <cd genre="rock"><artist>Bonnie Tyler</artist><title>Hide your heart</title><price>9.90</price></cd>
+  <cd genre="country"><artist>Dolly Parton</artist><title>Greatest Hits</title><price>9.90</price></cd>
+</catalog>)";
+
+  // 1. Parse.
+  auto doc = xml::Parse(kXml);
+  if (!doc.ok()) {
+    std::printf("parse error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Shred into a relational database using the edge mapping.
+  rdb::Database db;
+  shred::EdgeMapping mapping;
+  if (auto st = mapping.Initialize(&db); !st.ok()) {
+    std::printf("init error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto doc_id = mapping.Store(*doc.value(), &db);
+  if (!doc_id.ok()) {
+    std::printf("store error: %s\n", doc_id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stored document %lld; the edge table now holds:\n\n",
+              static_cast<long long>(doc_id.value()));
+  auto rows = db.Execute("SELECT source, ordinal, kind, name, target, value "
+                         "FROM edge LIMIT 8");
+  std::printf("%s\n\n", rows.value().ToString().c_str());
+
+  // 3. Query with XPath.
+  auto path = xpath::ParseXPath("/catalog/cd[@genre = 'rock']/title");
+  auto titles =
+      shred::EvalPathStrings(path.value(), &mapping, &db, doc_id.value());
+  std::printf("rock titles:\n");
+  for (const auto& t : titles.value()) std::printf("  - %s\n", t.c_str());
+
+  // 4. See the SQL a (predicate-free) path becomes.
+  auto plain = xpath::ParseXPath("/catalog/cd/title");
+  auto sql = mapping.TranslatePathToSql(doc_id.value(), plain.value());
+  std::printf("\n/catalog/cd/title as SQL:\n  %s\n", sql.value().c_str());
+  auto plan = db.PlanSql(sql.value());
+  std::printf("\nand its plan:\n%s", plan.value()->Explain().c_str());
+
+  // 5. Publish the document back out of the tables.
+  xml::SerializeOptions pretty;
+  pretty.pretty = true;
+  auto text = publish::PublishDocument(&mapping, &db, doc_id.value(), pretty);
+  std::printf("\nreconstructed document:\n%s\n", text.value().c_str());
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Interactive shell over the whole stack: load XML files (or generated
+// workloads) under any mapping, run XPath and raw SQL, inspect plans and
+// translated statements, publish results.
+//
+//   $ ./build/examples/xmlrdb_shell
+//   xmlrdb> .help
+//
+// Commands:
+//   .load <mapping> <file.xml>     shred a file (edge|binary|interval|dewey|blob;
+//                                  inline additionally needs a DOCTYPE in the file)
+//   .gen <mapping> <auction|biblio> [scale]   shred a generated workload
+//   .xpath <path>                  evaluate against the last-loaded document
+//   .sql <statement>               run SQL against the store
+//   .explain <select>              show the plan for a SELECT
+//   .translate <path>              show a path's single-statement SQL
+//   .publish [path]                reconstruct the document (or matches)
+//   .tables                        list tables and row counts
+//   .quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "publish/publisher.h"
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/biblio.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace {
+
+using namespace xmlrdb;
+
+struct ShellState {
+  std::unique_ptr<rdb::Database> db;
+  std::unique_ptr<shred::Mapping> mapping;
+  shred::DocId doc_id = 0;
+  bool loaded = false;
+};
+
+Status LoadDocument(ShellState* state, const std::string& mapping_name,
+                    const xml::Document& doc) {
+  state->db = std::make_unique<rdb::Database>();
+  if (mapping_name == "inline") {
+    if (doc.dtd_text().empty()) {
+      return Status::InvalidArgument(
+          "inline mapping needs a DOCTYPE with an internal DTD subset");
+    }
+    ASSIGN_OR_RETURN(std::unique_ptr<xml::Dtd> dtd,
+                     xml::ParseDtd(doc.dtd_text()));
+    ASSIGN_OR_RETURN(state->mapping, shred::InlineMapping::Create(
+                                         *dtd, doc.doctype_name().empty()
+                                                   ? doc.root()->name()
+                                                   : doc.doctype_name()));
+  } else {
+    ASSIGN_OR_RETURN(state->mapping, shred::CreateMapping(mapping_name));
+  }
+  RETURN_IF_ERROR(state->mapping->Initialize(state->db.get()));
+  ASSIGN_OR_RETURN(state->doc_id, state->mapping->Store(doc, state->db.get()));
+  state->loaded = true;
+  return Status::OK();
+}
+
+void Help() {
+  std::printf(
+      "  .load <mapping> <file.xml>             shred a file\n"
+      "  .gen <mapping> <auction|biblio> [s]    shred a generated workload\n"
+      "  .xpath <path>                          evaluate XPath\n"
+      "  .sql <statement>                       run SQL\n"
+      "  .explain <select>                      show a SELECT's plan\n"
+      "  .translate <path>                      path -> single SQL statement\n"
+      "  .publish [path]                        reconstruct document/matches\n"
+      "  .tables                                list tables\n"
+      "  .quit\n"
+      "mappings: edge binary interval dewey inline blob\n");
+}
+
+int RunShell(std::istream& in, bool interactive) {
+  ShellState state;
+  std::string line;
+  if (interactive) std::printf("xmlrdb shell — .help for commands\n");
+  while (true) {
+    if (interactive) {
+      std::printf("xmlrdb> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(in, line)) break;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    std::istringstream ss{std::string(trimmed)};
+    std::string cmd;
+    ss >> cmd;
+    std::string rest;
+    std::getline(ss, rest);
+    rest = std::string(StripWhitespace(rest));
+
+    if (cmd == ".quit" || cmd == ".exit") break;
+    if (cmd == ".help") {
+      Help();
+      continue;
+    }
+    if (cmd == ".load" || cmd == ".gen") {
+      std::istringstream args(rest);
+      std::string mapping_name, source;
+      args >> mapping_name >> source;
+      std::unique_ptr<xml::Document> doc;
+      if (cmd == ".load") {
+        std::ifstream f(source);
+        if (!f) {
+          std::printf("cannot open %s\n", source.c_str());
+          continue;
+        }
+        std::stringstream buf;
+        buf << f.rdbuf();
+        auto parsed = xml::Parse(buf.str());
+        if (!parsed.ok()) {
+          std::printf("%s\n", parsed.status().ToString().c_str());
+          continue;
+        }
+        doc = std::move(parsed).value();
+      } else if (source == "auction") {
+        workload::XMarkConfig cfg;
+        double scale = 0.1;
+        args >> scale;
+        cfg.scale = scale;
+        doc = workload::GenerateXMark(cfg);
+      } else if (source == "biblio") {
+        workload::BiblioConfig cfg;
+        doc = workload::GenerateBiblio(cfg);
+      } else {
+        std::printf("unknown workload '%s'\n", source.c_str());
+        continue;
+      }
+      Status st = LoadDocument(&state, mapping_name, *doc);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+      } else {
+        std::printf("loaded as doc %lld under the %s mapping\n",
+                    static_cast<long long>(state.doc_id),
+                    state.mapping->name().c_str());
+      }
+      continue;
+    }
+    if (!state.loaded && cmd != ".sql") {
+      std::printf("load a document first (.load / .gen)\n");
+      continue;
+    }
+    if (cmd == ".xpath") {
+      auto path = xpath::ParseXPath(rest);
+      if (!path.ok()) {
+        std::printf("%s\n", path.status().ToString().c_str());
+        continue;
+      }
+      auto values = shred::EvalPathStrings(path.value(), state.mapping.get(),
+                                           state.db.get(), state.doc_id);
+      if (!values.ok()) {
+        std::printf("%s\n", values.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& v : values.value()) std::printf("  %s\n", v.c_str());
+      std::printf("(%zu results)\n", values.value().size());
+      continue;
+    }
+    if (cmd == ".sql" || cmd == ".explain") {
+      if (state.db == nullptr) state.db = std::make_unique<rdb::Database>();
+      std::string sql = cmd == ".explain" ? "EXPLAIN " + rest : rest;
+      auto r = state.db->Execute(sql);
+      std::printf("%s\n", r.ok() ? r.value().ToString().c_str()
+                                 : r.status().ToString().c_str());
+      continue;
+    }
+    if (cmd == ".translate") {
+      auto path = xpath::ParseXPath(rest);
+      if (!path.ok()) {
+        std::printf("%s\n", path.status().ToString().c_str());
+        continue;
+      }
+      auto sql = state.mapping->TranslatePathToSql(state.doc_id, path.value());
+      std::printf("%s\n", sql.ok() ? sql.value().c_str()
+                                   : sql.status().ToString().c_str());
+      continue;
+    }
+    if (cmd == ".publish") {
+      xml::SerializeOptions pretty;
+      pretty.pretty = true;
+      auto out = rest.empty()
+                     ? publish::PublishDocument(state.mapping.get(),
+                                                state.db.get(), state.doc_id,
+                                                pretty)
+                     : publish::PublishQueryResults(rest, state.mapping.get(),
+                                                    state.db.get(),
+                                                    state.doc_id, pretty);
+      std::printf("%s\n", out.ok() ? out.value().c_str()
+                                   : out.status().ToString().c_str());
+      continue;
+    }
+    if (cmd == ".tables") {
+      for (const std::string& t : state.db->TableNames()) {
+        std::printf("  %-24s %8zu rows\n", t.c_str(),
+                    state.db->FindTable(t)->num_rows());
+      }
+      continue;
+    }
+    std::printf("unknown command '%s' — .help\n", cmd.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--script") {
+    // Non-interactive: read commands from stdin (used by the smoke test).
+    return RunShell(std::cin, /*interactive=*/false);
+  }
+  return RunShell(std::cin, /*interactive=*/true);
+}

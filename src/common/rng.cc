@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace xmlrdb {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 to expand the seed into two non-zero state words.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 2; ++i) {
+    z += 0x9E3779B97F4A7C15ull;
+    uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    s_[i] = x ^ (x >> 31);
+    if (s_[i] == 0) s_[i] = 0xDEADBEEFCAFEBABEull;
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s_[0];
+  const uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  // Inverse CDF over harmonic partial sums; O(n) setup is acceptable because
+  // generators cache Rng instances with small alphabets.
+  double h = 0.0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = NextDouble() * h;
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (acc >= u) return i - 1;
+  }
+  return n - 1;
+}
+
+std::string Rng::Word(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out += static_cast<char>('a' + Uniform(0, 25));
+  }
+  return out;
+}
+
+}  // namespace xmlrdb

@@ -1,0 +1,51 @@
+// Deterministic PRNG used by workload generators and property tests.
+//
+// A thin xorshift128+ wrapper: deterministic across platforms (unlike
+// std::default_random_engine) so generated workloads are reproducible.
+
+#ifndef XMLRDB_COMMON_RNG_H_
+#define XMLRDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmlrdb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses the standard inverse-CDF-over-precomputed-harmonics approach for
+  /// small n, falling back to rejection sampling for large n.
+  size_t Zipf(size_t n, double s);
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+  /// Picks a uniformly random element; requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_RNG_H_

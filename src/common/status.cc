@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace xmlrdb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kConstraintError: return "ConstraintError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace xmlrdb

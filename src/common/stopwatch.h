@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the benchmark harness and EXPERIMENTS reporting.
+
+#ifndef XMLRDB_COMMON_STOPWATCH_H_
+#define XMLRDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace xmlrdb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_STOPWATCH_H_

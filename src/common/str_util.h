@@ -1,0 +1,50 @@
+// Small string helpers shared across the library.
+
+#ifndef XMLRDB_COMMON_STR_UTIL_H_
+#define XMLRDB_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb {
+
+/// Splits `s` on `sep`; empty pieces are kept ("a..b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` consists only of ASCII whitespace (or is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a decimal integer; rejects trailing garbage and overflow.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Escapes the five XML predefined entities in text content.
+std::string XmlEscape(std::string_view s);
+
+/// Escapes a string for embedding in a single-quoted SQL literal.
+std::string SqlQuote(std::string_view s);
+
+/// Formats bytes with binary unit suffix, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_STR_UTIL_H_

@@ -1,0 +1,42 @@
+#include "publish/publisher.h"
+
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::publish {
+
+Result<std::string> PublishDocument(shred::Mapping* mapping, rdb::Database* db,
+                                    shred::DocId doc,
+                                    const xml::SerializeOptions& options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> tree,
+                   mapping->Reconstruct(db, doc));
+  return xml::Serialize(*tree, options);
+}
+
+Result<std::string> PublishSubtree(shred::Mapping* mapping, rdb::Database* db,
+                                   shred::DocId doc, const rdb::Value& node,
+                                   const xml::SerializeOptions& options) {
+  ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> tree,
+                   mapping->ReconstructSubtree(db, doc, node));
+  return xml::Serialize(*tree, options);
+}
+
+Result<std::string> PublishQueryResults(const std::string& xpath,
+                                        shred::Mapping* mapping,
+                                        rdb::Database* db, shred::DocId doc,
+                                        const xml::SerializeOptions& options) {
+  ASSIGN_OR_RETURN(xpath::PathExpr path, xpath::ParseXPath(xpath));
+  ASSIGN_OR_RETURN(shred::NodeSet nodes,
+                   shred::EvalPath(path, mapping, db, doc));
+  std::string out = "<results>";
+  if (options.pretty) out += "\n";
+  for (const rdb::Value& node : nodes) {
+    ASSIGN_OR_RETURN(std::string piece,
+                     PublishSubtree(mapping, db, doc, node, options));
+    out += piece;
+    if (options.pretty) out += "\n";
+  }
+  out += "</results>";
+  return out;
+}
+
+}  // namespace xmlrdb::publish

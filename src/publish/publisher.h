@@ -1,0 +1,33 @@
+// XML publishing: materialize stored documents / query results back as text.
+
+#ifndef XMLRDB_PUBLISH_PUBLISHER_H_
+#define XMLRDB_PUBLISH_PUBLISHER_H_
+
+#include <string>
+
+#include "shred/evaluator.h"
+#include "shred/mapping.h"
+#include "xml/serializer.h"
+
+namespace xmlrdb::publish {
+
+/// Serializes the whole stored document.
+Result<std::string> PublishDocument(shred::Mapping* mapping, rdb::Database* db,
+                                    shred::DocId doc,
+                                    const xml::SerializeOptions& options = {});
+
+/// Serializes one stored subtree.
+Result<std::string> PublishSubtree(shred::Mapping* mapping, rdb::Database* db,
+                                   shred::DocId doc, const rdb::Value& node,
+                                   const xml::SerializeOptions& options = {});
+
+/// Evaluates a path and serializes every result subtree, wrapped in
+/// <results>...</results>.
+Result<std::string> PublishQueryResults(const std::string& xpath,
+                                        shred::Mapping* mapping,
+                                        rdb::Database* db, shred::DocId doc,
+                                        const xml::SerializeOptions& options = {});
+
+}  // namespace xmlrdb::publish
+
+#endif  // XMLRDB_PUBLISH_PUBLISHER_H_

@@ -1,0 +1,212 @@
+#include "rdb/database.h"
+
+#include <sstream>
+
+#include "rdb/sql_parser.h"
+
+namespace xmlrdb::rdb {
+
+std::string QueryResult::ToString() const {
+  if (!plan_text.empty()) return plan_text;
+  std::ostringstream os;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << schema.column(i).QualifiedName();
+  }
+  os << "\n";
+  for (const Row& r : rows) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << r[i].ToString();
+    }
+    os << "\n";
+  }
+  os << "(" << rows.size() << " rows)";
+  return os.str();
+}
+
+Database::Database()
+    : planner_([this](const std::string& name) -> const Table* {
+        return FindTable(name);
+      }) {}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* out = table.get();
+  tables_[name] = std::move(table);
+  return out;
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Database::FootprintBytes() const {
+  size_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->FootprintBytes();
+  return total;
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (auto* s = std::get_if<SelectStmt>(&stmt)) return RunSelect(*s);
+  if (auto* s = std::get_if<CreateTableStmt>(&stmt)) return RunCreateTable(*s);
+  if (auto* s = std::get_if<CreateIndexStmt>(&stmt)) return RunCreateIndex(*s);
+  if (auto* s = std::get_if<DropTableStmt>(&stmt)) return RunDropTable(*s);
+  if (auto* s = std::get_if<InsertStmt>(&stmt)) return RunInsert(*s);
+  if (auto* s = std::get_if<DeleteStmt>(&stmt)) return RunDelete(*s);
+  if (auto* s = std::get_if<UpdateStmt>(&stmt)) return RunUpdate(*s);
+  if (auto* s = std::get_if<ExplainStmt>(&stmt)) {
+    ASSIGN_OR_RETURN(PlanPtr plan, Plan(*s->select));
+    QueryResult out;
+    out.plan_text = plan->Explain();
+    return out;
+  }
+  return Status::Internal("unhandled statement type");
+}
+
+Result<PlanPtr> Database::Plan(const SelectStmt& stmt) const {
+  return planner_.PlanSelect(stmt);
+}
+
+Result<PlanPtr> Database::PlanSql(std::string_view select_sql) const {
+  ASSIGN_OR_RETURN(Statement stmt, ParseSql(select_sql));
+  auto* s = std::get_if<SelectStmt>(&stmt);
+  if (s == nullptr) return Status::InvalidArgument("expected a SELECT");
+  return Plan(*s);
+}
+
+Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
+  ASSIGN_OR_RETURN(PlanPtr plan, Plan(stmt));
+  QueryResult out;
+  out.schema = plan->output_schema();
+  ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
+  return out;
+}
+
+Result<QueryResult> Database::RunCreateTable(const CreateTableStmt& stmt) {
+  ASSIGN_OR_RETURN([[maybe_unused]] Table* t,
+                   CreateTable(stmt.name, Schema(stmt.columns)));
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
+  Table* t = FindTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  RETURN_IF_ERROR(t->CreateIndex(stmt.index, stmt.columns));
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::RunDropTable(const DropTableStmt& stmt) {
+  Status st = DropTable(stmt.name);
+  if (!st.ok() && stmt.if_exists && st.code() == StatusCode::kNotFound) {
+    return QueryResult{};
+  }
+  RETURN_IF_ERROR(st);
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
+  Table* t = FindTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  QueryResult out;
+  Row empty;
+  for (const auto& exprs : stmt.rows) {
+    Row row;
+    row.reserve(exprs.size());
+    for (const auto& e : exprs) {
+      // VALUES expressions are constant: evaluate against an empty row.
+      // (Column references would fail Bind and are rejected here.)
+      ExprPtr c = e->Clone();
+      Schema no_schema;
+      RETURN_IF_ERROR(c->Bind(no_schema));
+      ASSIGN_OR_RETURN(Value v, c->Eval(empty));
+      row.push_back(std::move(v));
+    }
+    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, t->Insert(std::move(row)));
+    ++out.affected;
+  }
+  return out;
+}
+
+Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
+  Table* t = FindTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  ExprPtr pred;
+  if (stmt.where != nullptr) {
+    pred = stmt.where->Clone();
+    RETURN_IF_ERROR(pred->Bind(t->schema().WithQualifier(t->name())));
+  }
+  std::vector<RowId> to_delete;
+  for (RowId rid = 0; rid < t->num_slots(); ++rid) {
+    if (!t->IsLive(rid)) continue;
+    if (pred != nullptr) {
+      ASSIGN_OR_RETURN(bool pass, pred->EvalBool(t->row(rid)));
+      if (!pass) continue;
+    }
+    to_delete.push_back(rid);
+  }
+  for (RowId rid : to_delete) RETURN_IF_ERROR(t->Delete(rid));
+  QueryResult out;
+  out.affected = static_cast<int64_t>(to_delete.size());
+  return out;
+}
+
+Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt) {
+  Table* t = FindTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  Schema bound_schema = t->schema().WithQualifier(t->name());
+  ExprPtr pred;
+  if (stmt.where != nullptr) {
+    pred = stmt.where->Clone();
+    RETURN_IF_ERROR(pred->Bind(bound_schema));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    ASSIGN_OR_RETURN(size_t idx, t->schema().IndexOf(col));
+    ExprPtr e = expr->Clone();
+    RETURN_IF_ERROR(e->Bind(bound_schema));
+    sets.emplace_back(idx, std::move(e));
+  }
+  QueryResult out;
+  for (RowId rid = 0; rid < t->num_slots(); ++rid) {
+    if (!t->IsLive(rid)) continue;
+    if (pred != nullptr) {
+      ASSIGN_OR_RETURN(bool pass, pred->EvalBool(t->row(rid)));
+      if (!pass) continue;
+    }
+    Row updated = t->row(rid);
+    for (const auto& [idx, e] : sets) {
+      ASSIGN_OR_RETURN(Value v, e->Eval(t->row(rid)));
+      updated[idx] = std::move(v);
+    }
+    RETURN_IF_ERROR(t->Update(rid, std::move(updated)));
+    ++out.affected;
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,73 @@
+// Database: the catalog plus the SQL entry point.
+//
+// A Database owns named tables. Statements run through Execute(); SELECTs
+// can also be planned without execution (Plan / Explain) — the plan-shape
+// experiment (T6) uses that.
+
+#ifndef XMLRDB_RDB_DATABASE_H_
+#define XMLRDB_RDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/plan.h"
+#include "rdb/planner.h"
+#include "rdb/sql_ast.h"
+#include "rdb/table.h"
+
+namespace xmlrdb::rdb {
+
+/// Result of Execute(): rows for queries, affected count for DML/DDL.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+  /// EXPLAIN output (empty otherwise).
+  std::string plan_text;
+
+  /// Pretty table rendering, for examples and debugging.
+  std::string ToString() const;
+};
+
+class Database {
+ public:
+  Database();
+
+  // -- catalog --
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Sum of table footprints (storage benchmark).
+  size_t FootprintBytes() const;
+
+  // -- SQL --
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Plans a SELECT without running it.
+  Result<PlanPtr> Plan(const SelectStmt& stmt) const;
+  Result<PlanPtr> PlanSql(std::string_view select_sql) const;
+
+ private:
+  Result<QueryResult> RunSelect(const SelectStmt& stmt);
+  Result<QueryResult> RunCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> RunCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> RunDropTable(const DropTableStmt& stmt);
+  Result<QueryResult> RunInsert(const InsertStmt& stmt);
+  Result<QueryResult> RunDelete(const DeleteStmt& stmt);
+  Result<QueryResult> RunUpdate(const UpdateStmt& stmt);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  Planner planner_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_DATABASE_H_

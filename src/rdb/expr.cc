@@ -1,0 +1,260 @@
+#include "rdb/expr.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::rdb {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+Result<bool> Expr::EvalBool(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, Eval(row));
+  if (v.is_null()) return false;
+  if (v.type() == DataType::kBool) return v.AsBool();
+  if (v.type() == DataType::kInt) return v.AsInt() != 0;
+  return Status::TypeError("predicate evaluated to non-boolean " + v.ToString());
+}
+
+Status ColumnExpr::Bind(const Schema& schema) {
+  ASSIGN_OR_RETURN(index_, schema.IndexOf(name_));
+  bound_ = true;
+  return Status::OK();
+}
+
+Result<Value> ColumnExpr::Eval(const Row& row) const {
+  if (!bound_) return Status::Internal("unbound column '" + name_ + "'");
+  if (index_ >= row.size()) {
+    return Status::Internal("column index out of range for '" + name_ + "'");
+  }
+  return row[index_];
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.type() == DataType::kString) return SqlQuote(value_.AsString());
+  return value_.ToString();
+}
+
+Status BinaryExpr::Bind(const Schema& schema) {
+  RETURN_IF_ERROR(left_->Bind(schema));
+  return right_->Bind(schema);
+}
+
+namespace {
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Value> EvalArithmetic(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  bool l_num = l.type() == DataType::kInt || l.type() == DataType::kDouble;
+  bool r_num = r.type() == DataType::kInt || r.type() == DataType::kDouble;
+  if (op == BinOp::kAdd && l.type() == DataType::kString &&
+      r.type() == DataType::kString) {
+    return Value(l.AsString() + r.AsString());  // string concatenation
+  }
+  if (!l_num || !r_num) {
+    return Status::TypeError(std::string("arithmetic on ") +
+                             DataTypeName(l.type()) + " and " +
+                             DataTypeName(r.type()));
+  }
+  bool both_int = l.type() == DataType::kInt && r.type() == DataType::kInt;
+  if (both_int) {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (op) {
+      case BinOp::kAdd: return Value(a + b);
+      case BinOp::kSub: return Value(a - b);
+      case BinOp::kMul: return Value(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);
+      case BinOp::kMod:
+        if (b == 0) return Status::InvalidArgument("modulo by zero");
+        return Value(a % b);
+      default: break;
+    }
+  }
+  double a = l.AsDouble(), b = r.AsDouble();
+  switch (op) {
+    case BinOp::kAdd: return Value(a + b);
+    case BinOp::kSub: return Value(a - b);
+    case BinOp::kMul: return Value(a * b);
+    case BinOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+    case BinOp::kMod:
+      return Value(std::fmod(a, b));
+    default:
+      break;
+  }
+  return Status::Internal("unhandled arithmetic op");
+}
+
+}  // namespace
+
+Result<Value> BinaryExpr::Eval(const Row& row) const {
+  if (op_ == BinOp::kAnd || op_ == BinOp::kOr) {
+    // Short-circuit.
+    ASSIGN_OR_RETURN(bool l, left_->EvalBool(row));
+    if (op_ == BinOp::kAnd && !l) return Value(false);
+    if (op_ == BinOp::kOr && l) return Value(true);
+    ASSIGN_OR_RETURN(bool r, right_->EvalBool(row));
+    return Value(r);
+  }
+  ASSIGN_OR_RETURN(Value l, left_->Eval(row));
+  ASSIGN_OR_RETURN(Value r, right_->Eval(row));
+  if (IsComparison(op_)) {
+    if (l.is_null() || r.is_null()) return Value(false);
+    // Numeric-vs-string comparisons attempt a numeric parse of the string so
+    // predicates like value > 100 work against string-typed value columns
+    // (common in edge/binary shredded tables).
+    if ((l.type() == DataType::kString) !=
+        (r.type() == DataType::kString)) {
+      const Value& sv = l.type() == DataType::kString ? l : r;
+      auto parsed = ParseDouble(sv.AsString());
+      if (!parsed.ok()) return Value(false);
+      Value num(parsed.value());
+      if (l.type() == DataType::kString) l = num; else r = num;
+    }
+    int c = l.Compare(r);
+    switch (op_) {
+      case BinOp::kEq: return Value(c == 0);
+      case BinOp::kNe: return Value(c != 0);
+      case BinOp::kLt: return Value(c < 0);
+      case BinOp::kLe: return Value(c <= 0);
+      case BinOp::kGt: return Value(c > 0);
+      case BinOp::kGe: return Value(c >= 0);
+      default: break;
+    }
+  }
+  return EvalArithmetic(op_, l, r);
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left_->ToString() + " " + BinOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+Result<Value> NotExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(bool v, child_->EvalBool(row));
+  return Value(!v);
+}
+
+Result<Value> IsNullExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  return Value(negated_ ? !v.is_null() : v.is_null());
+}
+
+bool LikeExpr::Match(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard matcher with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> LikeExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  if (v.is_null()) return Value(false);
+  if (v.type() != DataType::kString) {
+    return Status::TypeError("LIKE applied to " +
+                             std::string(DataTypeName(v.type())));
+  }
+  return Value(Match(v.AsString(), pattern_));
+}
+
+std::string LikeExpr::ToString() const {
+  return child_->ToString() + " LIKE " + SqlQuote(pattern_);
+}
+
+Result<Value> InListExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  if (v.is_null()) return Value(false);
+  for (const Value& cand : values_) {
+    if (v.Compare(cand) == 0) return Value(true);
+  }
+  return Value(false);
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = child_->ToString() + " IN (";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].type() == DataType::kString ? SqlQuote(values_[i].AsString())
+                                                  : values_[i].ToString();
+  }
+  return out + ")";
+}
+
+ExprPtr Col(std::string name) { return std::make_unique<ColumnExpr>(std::move(name)); }
+ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr Lit(int64_t v) { return std::make_unique<LiteralExpr>(Value(v)); }
+ExprPtr Lit(const std::string& v) { return std::make_unique<LiteralExpr>(Value(v)); }
+ExprPtr Bin(BinOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Bin(BinOp::kEq, std::move(l), std::move(r)); }
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return Bin(BinOp::kAnd, std::move(l), std::move(r));
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    out = out == nullptr ? std::move(c) : And(std::move(out), std::move(c));
+  }
+  return out;
+}
+
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kBinary) {
+    auto* bin = static_cast<BinaryExpr*>(expr.get());
+    if (bin->op() == BinOp::kAnd) {
+      SplitConjuncts(bin->TakeLeft(), out);
+      SplitConjuncts(bin->TakeRight(), out);
+      return;
+    }
+  }
+  out->push_back(std::move(expr));
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,288 @@
+// Scalar expressions evaluated against rows.
+//
+// Expressions are built by the SQL parser (or programmatically by the XPath
+// translators), bound once against an input schema (resolving column names to
+// positions), and then evaluated per row. Comparison with NULL yields false
+// (two-valued logic), matching what the shredding translators need.
+
+#ifndef XMLRDB_RDB_EXPR_H_
+#define XMLRDB_RDB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/schema.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::rdb {
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,            // comparisons
+  kAdd, kSub, kMul, kDiv, kMod,            // arithmetic
+  kAnd, kOr,                               // logic
+};
+
+const char* BinOpName(BinOp op);
+
+class Expr {
+ public:
+  enum class Kind { kColumn, kLiteral, kBinary, kNot, kIsNull, kLike, kInList, kAgg };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Resolves column references against `schema`. Must be called (again)
+  /// whenever the input schema changes.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Appends the names of all referenced columns.
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  /// Convenience: evaluate and coerce to a predicate outcome.
+  Result<bool> EvalBool(const Row& row) const;
+
+ protected:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::string name)
+      : Expr(Kind::kColumn), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t index() const { return index_; }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+
+ private:
+  std::string name_;
+  size_t index_ = 0;
+  bool bound_ = false;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(Kind::kLiteral), value_(std::move(v)) {}
+
+  const Value& value() const { return value_; }
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Result<Value> Eval(const Row&) const override { return value_; }
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value_); }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<std::string>*) const override {}
+
+ private:
+  Value value_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kBinary), op_(op), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinOp op() const { return op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+  ExprPtr TakeLeft() { return std::move(left_); }
+  ExprPtr TakeRight() { return std::move(right_); }
+  void SetLeft(ExprPtr e) { left_ = std::move(e); }
+  void SetRight(ExprPtr e) { right_ = std::move(e); }
+
+  Status Bind(const Schema& schema) override;
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
+  }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<std::string>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+ private:
+  BinOp op_;
+  ExprPtr left_, right_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : Expr(Kind::kNot), child_(std::move(child)) {}
+
+  ExprPtr TakeChild() { return std::move(child_); }
+  void SetChild(ExprPtr c) { child_ = std::move(c); }
+  const Expr* child() const { return child_.get(); }
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(child_->Clone());
+  }
+  std::string ToString() const override {
+    return "NOT (" + child_->ToString() + ")";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    child_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr child, bool negated)
+      : Expr(Kind::kIsNull), child_(std::move(child)), negated_(negated) {}
+
+  ExprPtr TakeChild() { return std::move(child_); }
+  void SetChild(ExprPtr c) { child_ = std::move(c); }
+  const Expr* child() const { return child_.get(); }
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(child_->Clone(), negated_);
+  }
+  std::string ToString() const override {
+    return child_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    child_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr child_;
+  bool negated_;
+};
+
+/// SQL LIKE with '%' (any run) and '_' (any one char).
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr child, std::string pattern)
+      : Expr(Kind::kLike), child_(std::move(child)), pattern_(std::move(pattern)) {}
+
+  ExprPtr TakeChild() { return std::move(child_); }
+  void SetChild(ExprPtr c) { child_ = std::move(c); }
+  const Expr* child() const { return child_.get(); }
+  const std::string& pattern() const { return pattern_; }
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<LikeExpr>(child_->Clone(), pattern_);
+  }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<std::string>* out) const override {
+    child_->CollectColumns(out);
+  }
+
+  /// The LIKE matcher itself (exposed for tests).
+  static bool Match(const std::string& text, const std::string& pattern);
+
+ private:
+  ExprPtr child_;
+  std::string pattern_;
+};
+
+/// expr IN (v1, v2, ...) over literal values.
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr child, std::vector<Value> values)
+      : Expr(Kind::kInList), child_(std::move(child)), values_(std::move(values)) {}
+
+  ExprPtr TakeChild() { return std::move(child_); }
+  void SetChild(ExprPtr c) { child_ = std::move(c); }
+  const Expr* child() const { return child_.get(); }
+  const std::vector<Value>& values() const { return values_; }
+
+  Status Bind(const Schema& schema) override { return child_->Bind(schema); }
+  Result<Value> Eval(const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<InListExpr>(child_->Clone(), values_);
+  }
+  std::string ToString() const override;
+  void CollectColumns(std::vector<std::string>* out) const override {
+    child_->CollectColumns(out);
+  }
+
+ private:
+  ExprPtr child_;
+  std::vector<Value> values_;
+};
+
+/// An aggregate function call inside a SQL expression (COUNT/SUM/AVG/MIN/MAX).
+/// AggExpr never executes: the planner extracts occurrences into an
+/// AggregateNode and replaces them with column references. Evaluating one
+/// directly is an internal error.
+class AggCallExpr : public Expr {
+ public:
+  /// `func_name` is the upper-cased function name; `arg` is null for COUNT(*).
+  AggCallExpr(std::string func_name, ExprPtr arg)
+      : Expr(Kind::kAgg), func_name_(std::move(func_name)), arg_(std::move(arg)) {}
+
+  const std::string& func_name() const { return func_name_; }
+  const Expr* arg() const { return arg_.get(); }
+  ExprPtr TakeArg() { return std::move(arg_); }
+
+  Status Bind(const Schema&) override {
+    return Status::Internal("aggregate '" + func_name_ + "' not extracted");
+  }
+  Result<Value> Eval(const Row&) const override {
+    return Status::Internal("aggregate '" + func_name_ + "' evaluated directly");
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<AggCallExpr>(func_name_,
+                                         arg_ ? arg_->Clone() : nullptr);
+  }
+  std::string ToString() const override {
+    return func_name_ + "(" + (arg_ ? arg_->ToString() : "*") + ")";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    if (arg_) arg_->CollectColumns(out);
+  }
+
+ private:
+  std::string func_name_;
+  ExprPtr arg_;
+};
+
+// ---- Builder helpers (used heavily by the XPath translators) ----
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(const std::string& v);
+ExprPtr Bin(BinOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+/// And() of all conjuncts; null when the list is empty.
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts);
+
+/// Splits nested ANDs into a conjunct list (consumes the expression).
+void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_EXPR_H_

@@ -1,0 +1,229 @@
+#include "rdb/persist.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::ParseError("dangling escape");
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: return Status::ParseError("unknown escape");
+    }
+  }
+  return out;
+}
+
+std::string SerializeValue(const Value& v) {
+  if (v.is_null()) return "\\N";
+  switch (v.type()) {
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return EscapeField(v.AsString());
+    default:
+      return v.ToString();
+  }
+}
+
+Result<Value> DeserializeValue(const std::string& field, DataType type) {
+  if (field == "\\N") return Value::Null();
+  switch (type) {
+    case DataType::kInt: {
+      ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value(v);
+    }
+    case DataType::kBool:
+      return Value(field == "true");
+    case DataType::kString: {
+      ASSIGN_OR_RETURN(std::string s, UnescapeField(field));
+      return Value(std::move(s));
+    }
+    default:
+      return Status::ParseError("cannot load NULL-typed column");
+  }
+}
+
+/// Splits a record on unescaped tabs.
+std::vector<std::string> SplitRecord(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      cur += line[i];
+      cur += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '\t') {
+      out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur += line[i];
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create " + dir + ": " + ec.message());
+
+  std::ofstream catalog(dir + "/catalog.xdb", std::ios::trunc);
+  if (!catalog) return Status::Internal("cannot write catalog in " + dir);
+  catalog << "xmlrdb-catalog 1\n";
+
+  for (const std::string& tname : db.TableNames()) {
+    const Table* t = db.FindTable(tname);
+    catalog << "table\t" << EscapeField(tname) << "\n";
+    for (const auto& col : t->schema().columns()) {
+      catalog << "column\t" << EscapeField(col.name) << "\t"
+              << DataTypeName(col.type) << "\t" << (col.nullable ? "1" : "0")
+              << "\n";
+    }
+    for (const auto& idx : t->indexes()) {
+      catalog << "index\t" << EscapeField(idx->name());
+      for (size_t c : idx->key_columns()) {
+        catalog << "\t" << EscapeField(t->schema().column(c).name);
+      }
+      catalog << "\n";
+    }
+    // Rows (tombstones compacted away).
+    std::ofstream rows(dir + "/" + tname + ".tbl", std::ios::trunc);
+    if (!rows) return Status::Internal("cannot write rows for " + tname);
+    for (RowId rid = 0; rid < t->num_slots(); ++rid) {
+      if (!t->IsLive(rid)) continue;
+      const Row& row = t->row(rid);
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) rows << '\t';
+        rows << SerializeValue(row[i]);
+      }
+      rows << '\n';
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+  std::ifstream catalog(dir + "/catalog.xdb");
+  if (!catalog) return Status::NotFound("no catalog in " + dir);
+  std::string header;
+  std::getline(catalog, header);
+  if (header != "xmlrdb-catalog 1") {
+    return Status::ParseError("unrecognised catalog header '" + header + "'");
+  }
+
+  auto db = std::make_unique<Database>();
+  std::string pending_table;
+  Schema pending_schema;
+  std::vector<std::pair<std::string, std::vector<std::string>>> pending_indexes;
+
+  auto flush_table = [&]() -> Status {
+    if (pending_table.empty()) return Status::OK();
+    ASSIGN_OR_RETURN(Table * t, db->CreateTable(pending_table, pending_schema));
+    // Rows first (index backfill is cheaper than incremental maintenance).
+    std::ifstream rows(dir + "/" + pending_table + ".tbl");
+    if (!rows) {
+      return Status::NotFound("missing row file for table " + pending_table);
+    }
+    std::string line;
+    while (std::getline(rows, line)) {
+      if (line.empty() && pending_schema.size() != 1) continue;
+      std::vector<std::string> fields = SplitRecord(line);
+      if (fields.size() != pending_schema.size()) {
+        return Status::ParseError("bad record arity in " + pending_table);
+      }
+      Row row;
+      row.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        ASSIGN_OR_RETURN(Value v, DeserializeValue(fields[i],
+                                                   pending_schema.column(i).type));
+        row.push_back(std::move(v));
+      }
+      ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, t->Insert(std::move(row)));
+    }
+    for (const auto& [iname, cols] : pending_indexes) {
+      RETURN_IF_ERROR(t->CreateIndex(iname, cols));
+    }
+    pending_table.clear();
+    pending_schema = Schema();
+    pending_indexes.clear();
+    return Status::OK();
+  };
+
+  std::string line;
+  while (std::getline(catalog, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitRecord(line);
+    if (fields[0] == "table") {
+      RETURN_IF_ERROR(flush_table());
+      if (fields.size() != 2) return Status::ParseError("bad table line");
+      ASSIGN_OR_RETURN(pending_table, UnescapeField(fields[1]));
+    } else if (fields[0] == "column") {
+      if (fields.size() != 4) return Status::ParseError("bad column line");
+      Column col;
+      ASSIGN_OR_RETURN(col.name, UnescapeField(fields[1]));
+      ASSIGN_OR_RETURN(col.type, ParseDataType(fields[2]));
+      col.nullable = fields[3] == "1";
+      pending_schema.AddColumn(std::move(col));
+    } else if (fields[0] == "index") {
+      if (fields.size() < 3) return Status::ParseError("bad index line");
+      ASSIGN_OR_RETURN(std::string iname, UnescapeField(fields[1]));
+      std::vector<std::string> cols;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        ASSIGN_OR_RETURN(std::string c, UnescapeField(fields[i]));
+        cols.push_back(std::move(c));
+      }
+      pending_indexes.emplace_back(std::move(iname), std::move(cols));
+    } else {
+      return Status::ParseError("unknown catalog record '" + fields[0] + "'");
+    }
+  }
+  RETURN_IF_ERROR(flush_table());
+  return db;
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,31 @@
+// Database persistence: save every table (schema, rows, index definitions)
+// to a directory and load it back.
+//
+// Format: `<dir>/catalog.xdb` is a line-oriented catalog; each table's rows
+// live in `<dir>/<table>.tbl` as tab-separated records with backslash
+// escaping (\t \n \\ and \N for NULL). Values parse back type-directed by
+// the column types, so a loaded database answers queries identically
+// (verified by tests/persist_test.cc). Tombstoned rows are compacted away on
+// save; row ids are therefore NOT stable across a save/load cycle — node ids
+// of the shredding mappings are, because they live in columns.
+
+#ifndef XMLRDB_RDB_PERSIST_H_
+#define XMLRDB_RDB_PERSIST_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::rdb {
+
+/// Writes the whole database under `dir` (created if missing).
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Reads a database previously written by SaveDatabase.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_PERSIST_H_

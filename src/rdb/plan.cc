@@ -1,0 +1,746 @@
+#include "rdb/plan.h"
+
+#include <algorithm>
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+/// Best-effort static type of an expression over `schema`.
+DataType InferType(const Expr& e, const Schema& schema) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumn: {
+      const auto& col = static_cast<const ColumnExpr&>(e);
+      auto idx = schema.TryIndexOf(col.name());
+      return idx.has_value() ? schema.column(*idx).type : DataType::kString;
+    }
+    case Expr::Kind::kLiteral:
+      return static_cast<const LiteralExpr&>(e).value().type();
+    case Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(e);
+      switch (bin.op()) {
+        case BinOp::kAnd: case BinOp::kOr:
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+        case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+          return DataType::kBool;
+        default: {
+          DataType l = InferType(*bin.left(), schema);
+          DataType r = InferType(*bin.right(), schema);
+          if (l == DataType::kString || r == DataType::kString) {
+            return DataType::kString;
+          }
+          if (l == DataType::kDouble || r == DataType::kDouble) {
+            return DataType::kDouble;
+          }
+          return DataType::kInt;
+        }
+      }
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kLike:
+    case Expr::Kind::kInList:
+      return DataType::kBool;
+    case Expr::Kind::kAgg:
+      return DataType::kDouble;  // resolved by AggregateNode before execution
+  }
+  return DataType::kString;
+}
+
+void ExplainRec(const PlanNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(n.Describe());
+  out->append("\n");
+  for (const PlanNode* c : n.Children()) ExplainRec(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PlanNode::Explain() const {
+  std::string out;
+  ExplainRec(*this, 0, &out);
+  return out;
+}
+
+int PlanNode::CountOperators(const std::string& prefix) const {
+  int n = Describe().rfind(prefix, 0) == 0 ? 1 : 0;
+  for (const PlanNode* c : Children()) n += c->CountOperators(prefix);
+  return n;
+}
+
+Result<std::vector<Row>> ExecutePlan(PlanNode* plan) {
+  RETURN_IF_ERROR(plan->Open());
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    auto more = plan->Next(&row);
+    if (!more.ok()) {
+      plan->Close();
+      return more.status();
+    }
+    if (!more.value()) break;
+    out.push_back(row);
+  }
+  plan->Close();
+  return out;
+}
+
+// ---- SeqScan ----
+
+SeqScanNode::SeqScanNode(const Table* table, std::string alias)
+    : table_(table), alias_(std::move(alias)) {
+  schema_ = table_->schema().WithQualifier(
+      alias_.empty() ? table_->name() : alias_);
+}
+
+Status SeqScanNode::Open() {
+  next_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanNode::Next(Row* out) {
+  while (next_ < table_->num_slots()) {
+    RowId rid = next_++;
+    if (table_->IsLive(rid)) {
+      *out = table_->row(rid);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SeqScanNode::Describe() const {
+  return "SeqScan(" + table_->name() +
+         (alias_.empty() || alias_ == table_->name() ? "" : " AS " + alias_) + ")";
+}
+
+// ---- IndexScan ----
+
+IndexScanNode::IndexScanNode(const Table* table, const Index* index,
+                             std::string alias, Row lower, bool lower_inclusive,
+                             Row upper, bool upper_inclusive)
+    : table_(table), index_(index), alias_(std::move(alias)),
+      lower_(std::move(lower)), upper_(std::move(upper)),
+      lower_inclusive_(lower_inclusive), upper_inclusive_(upper_inclusive) {
+  schema_ = table_->schema().WithQualifier(
+      alias_.empty() ? table_->name() : alias_);
+}
+
+Status IndexScanNode::Open() {
+  rids_ = index_->LookupRange(lower_, lower_inclusive_, upper_, upper_inclusive_);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexScanNode::Next(Row* out) {
+  while (pos_ < rids_.size()) {
+    RowId rid = rids_[pos_++];
+    if (table_->IsLive(rid)) {
+      *out = table_->row(rid);
+      return true;
+    }
+  }
+  return false;
+}
+
+void IndexScanNode::Close() { rids_.clear(); }
+
+std::string IndexScanNode::Describe() const {
+  std::string out = "IndexScan(" + table_->name() + "." + index_->name();
+  if (!lower_.empty()) {
+    out += lower_inclusive_ ? " >= " : " > ";
+    out += RowToString(lower_);
+  }
+  if (!upper_.empty()) {
+    out += upper_inclusive_ ? " <= " : " < ";
+    out += RowToString(upper_);
+  }
+  return out + ")";
+}
+
+// ---- Filter ----
+
+FilterNode::FilterNode(PlanPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterNode::Open() {
+  RETURN_IF_ERROR(predicate_->Bind(child_->output_schema()));
+  return child_->Open();
+}
+
+Result<bool> FilterNode::Next(Row* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    ASSIGN_OR_RETURN(bool pass, predicate_->EvalBool(*out));
+    if (pass) return true;
+  }
+}
+
+std::string FilterNode::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+// ---- Project ----
+
+ProjectNode::ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+                         std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  const Schema& in = child_->output_schema();
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    Column c;
+    c.name = i < names.size() && !names[i].empty() ? names[i]
+                                                   : exprs_[i]->ToString();
+    // Plain column projections keep their qualifier (split back into the
+    // schema's qualifier/name fields) so "alias.col" still binds downstream.
+    if (exprs_[i]->kind() == Expr::Kind::kColumn &&
+        (i >= names.size() || names[i].empty())) {
+      const auto& col = static_cast<const ColumnExpr&>(*exprs_[i]);
+      size_t dot = col.name().find('.');
+      if (dot != std::string::npos) {
+        c.qualifier = col.name().substr(0, dot);
+        c.name = col.name().substr(dot + 1);
+      } else {
+        c.name = col.name();
+      }
+    }
+    c.type = InferType(*exprs_[i], in);
+    schema_.AddColumn(std::move(c));
+  }
+}
+
+Status ProjectNode::Open() {
+  for (auto& e : exprs_) RETURN_IF_ERROR(e->Bind(child_->output_schema()));
+  return child_->Open();
+}
+
+Result<bool> ProjectNode::Next(Row* out) {
+  Row in;
+  ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (auto& e : exprs_) {
+    ASSIGN_OR_RETURN(Value v, e->Eval(in));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string ProjectNode::Describe() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + ")";
+}
+
+// ---- NestedLoopJoin ----
+
+NestedLoopJoinNode::NestedLoopJoinNode(PlanPtr left, PlanPtr right,
+                                       ExprPtr predicate)
+    : left_(std::move(left)), right_(std::move(right)),
+      predicate_(std::move(predicate)) {
+  schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+}
+
+Status NestedLoopJoinNode::Open() {
+  if (predicate_ != nullptr) RETURN_IF_ERROR(predicate_->Bind(schema_));
+  RETURN_IF_ERROR(left_->Open());
+  RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  Row r;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, right_->Next(&r));
+    if (!more) break;
+    right_rows_.push_back(r);
+  }
+  right_->Close();
+  left_valid_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinNode::Next(Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& r = right_rows_[right_pos_++];
+      out->clear();
+      out->reserve(left_row_.size() + r.size());
+      out->insert(out->end(), left_row_.begin(), left_row_.end());
+      out->insert(out->end(), r.begin(), r.end());
+      if (predicate_ == nullptr) return true;
+      ASSIGN_OR_RETURN(bool pass, predicate_->EvalBool(*out));
+      if (pass) return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+void NestedLoopJoinNode::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+std::string NestedLoopJoinNode::Describe() const {
+  return "NestedLoopJoin(" +
+         (predicate_ ? predicate_->ToString() : std::string("true")) + ")";
+}
+
+// ---- HashJoin ----
+
+HashJoinNode::HashJoinNode(PlanPtr left, PlanPtr right,
+                           std::vector<ExprPtr> left_keys,
+                           std::vector<ExprPtr> right_keys, ExprPtr residual)
+    : left_(std::move(left)), right_(std::move(right)),
+      left_keys_(std::move(left_keys)), right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {
+  schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+}
+
+Status HashJoinNode::Open() {
+  for (auto& k : left_keys_) RETURN_IF_ERROR(k->Bind(left_->output_schema()));
+  for (auto& k : right_keys_) RETURN_IF_ERROR(k->Bind(right_->output_schema()));
+  if (residual_ != nullptr) RETURN_IF_ERROR(residual_->Bind(schema_));
+  RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  Row r;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, right_->Next(&r));
+    if (!more) break;
+    Row key;
+    key.reserve(right_keys_.size());
+    for (auto& k : right_keys_) {
+      ASSIGN_OR_RETURN(Value v, k->Eval(r));
+      key.push_back(std::move(v));
+    }
+    build_.emplace(HashRow(key), r);
+  }
+  right_->Close();
+  RETURN_IF_ERROR(left_->Open());
+  matches_.clear();
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinNode::Next(Row* out) {
+  while (true) {
+    while (match_pos_ < matches_.size()) {
+      const Row& r = *matches_[match_pos_++];
+      out->clear();
+      out->reserve(probe_row_.size() + r.size());
+      out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+      out->insert(out->end(), r.begin(), r.end());
+      if (residual_ == nullptr) return true;
+      ASSIGN_OR_RETURN(bool pass, residual_->EvalBool(*out));
+      if (pass) return true;
+    }
+    ASSIGN_OR_RETURN(bool more, left_->Next(&probe_row_));
+    if (!more) return false;
+    Row key;
+    key.reserve(left_keys_.size());
+    bool has_null = false;
+    for (auto& k : left_keys_) {
+      ASSIGN_OR_RETURN(Value v, k->Eval(probe_row_));
+      has_null = has_null || v.is_null();
+      key.push_back(std::move(v));
+    }
+    matches_.clear();
+    match_pos_ = 0;
+    if (has_null) continue;  // NULL keys never join
+    auto [lo, hi] = build_.equal_range(HashRow(key));
+    for (auto it = lo; it != hi; ++it) {
+      // Verify actual key equality (hash collisions).
+      bool equal = true;
+      for (size_t i = 0; i < right_keys_.size() && equal; ++i) {
+        auto rv = right_keys_[i]->Eval(it->second);
+        if (!rv.ok() || rv.value().is_null() ||
+            rv.value().Compare(key[i]) != 0) {
+          equal = false;
+        }
+      }
+      if (equal) matches_.push_back(&it->second);
+    }
+  }
+}
+
+void HashJoinNode::Close() {
+  left_->Close();
+  build_.clear();
+  matches_.clear();
+}
+
+std::string HashJoinNode::Describe() const {
+  std::string out = "HashJoin(";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+  }
+  if (residual_ != nullptr) out += " AND " + residual_->ToString();
+  return out + ")";
+}
+
+// ---- Sort ----
+
+SortNode::SortNode(PlanPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortNode::Open() {
+  for (auto& k : keys_) RETURN_IF_ERROR(k.expr->Bind(child_->output_schema()));
+  RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  Row r;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(&r));
+    if (!more) break;
+    rows_.push_back(r);
+  }
+  child_->Close();
+  // Precompute sort keys per row to avoid re-evaluating in the comparator
+  // (and to keep the comparator exception/Status free).
+  std::vector<std::pair<Row, size_t>> keyed;
+  keyed.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Row key;
+    key.reserve(keys_.size());
+    for (auto& k : keys_) {
+      ASSIGN_OR_RETURN(Value v, k.expr->Eval(rows_[i]));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = a.first[i].Compare(b.first[i]);
+                       if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (const auto& [key, idx] : keyed) sorted.push_back(std::move(rows_[idx]));
+  rows_ = std::move(sorted);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortNode::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+void SortNode::Close() { rows_.clear(); }
+
+std::string SortNode::Describe() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    out += keys_[i].ascending ? " ASC" : " DESC";
+  }
+  return out + ")";
+}
+
+// ---- Aggregate ----
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+AggregateNode::AggregateNode(PlanPtr child, std::vector<ExprPtr> group_by,
+                             std::vector<std::string> group_names,
+                             std::vector<AggSpec> aggs)
+    : child_(std::move(child)), group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  const Schema& in = child_->output_schema();
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    Column c;
+    c.name = i < group_names.size() && !group_names[i].empty()
+                 ? group_names[i]
+                 : group_by_[i]->ToString();
+    c.type = InferType(*group_by_[i], in);
+    schema_.AddColumn(std::move(c));
+  }
+  for (const auto& a : aggs_) {
+    Column c;
+    c.name = !a.output_name.empty()
+                 ? a.output_name
+                 : std::string(AggFuncName(a.func)) +
+                       (a.arg ? "(" + a.arg->ToString() + ")" : "");
+    switch (a.func) {
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        c.type = DataType::kInt;
+        break;
+      case AggFunc::kAvg:
+        c.type = DataType::kDouble;
+        break;
+      default:
+        c.type = a.arg ? InferType(*a.arg, in) : DataType::kDouble;
+    }
+    schema_.AddColumn(std::move(c));
+  }
+}
+
+namespace {
+struct AggState {
+  Row group;
+  std::vector<int64_t> counts;
+  std::vector<double> sums;
+  std::vector<Value> mins;
+  std::vector<Value> maxs;
+  std::vector<bool> all_int;
+};
+}  // namespace
+
+Status AggregateNode::Open() {
+  for (auto& g : group_by_) RETURN_IF_ERROR(g->Bind(child_->output_schema()));
+  for (auto& a : aggs_) {
+    if (a.arg) RETURN_IF_ERROR(a.arg->Bind(child_->output_schema()));
+  }
+  RETURN_IF_ERROR(child_->Open());
+
+  std::unordered_map<size_t, std::vector<AggState>> groups;
+  Row r;
+  bool any_input = false;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(&r));
+    if (!more) break;
+    any_input = true;
+    Row gkey;
+    gkey.reserve(group_by_.size());
+    for (auto& g : group_by_) {
+      ASSIGN_OR_RETURN(Value v, g->Eval(r));
+      gkey.push_back(std::move(v));
+    }
+    size_t h = HashRow(gkey);
+    AggState* state = nullptr;
+    for (auto& cand : groups[h]) {
+      if (CompareRows(cand.group, gkey) == 0) {
+        state = &cand;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      AggState fresh;
+      fresh.group = gkey;
+      fresh.counts.assign(aggs_.size(), 0);
+      fresh.sums.assign(aggs_.size(), 0.0);
+      fresh.mins.assign(aggs_.size(), Value::Null());
+      fresh.maxs.assign(aggs_.size(), Value::Null());
+      fresh.all_int.assign(aggs_.size(), true);
+      groups[h].push_back(std::move(fresh));
+      state = &groups[h].back();
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggSpec& a = aggs_[i];
+      if (a.func == AggFunc::kCountStar) {
+        state->counts[i] += 1;
+        continue;
+      }
+      ASSIGN_OR_RETURN(Value v, a.arg->Eval(r));
+      if (v.is_null()) continue;
+      state->counts[i] += 1;
+      switch (a.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          ASSIGN_OR_RETURN(Value num, v.CastTo(DataType::kDouble));
+          state->sums[i] += num.AsDouble();
+          if (v.type() != DataType::kInt) state->all_int[i] = false;
+          break;
+        }
+        case AggFunc::kMin:
+          if (state->mins[i].is_null() || v.Compare(state->mins[i]) < 0) {
+            state->mins[i] = v;
+          }
+          break;
+        case AggFunc::kMax:
+          if (state->maxs[i].is_null() || v.Compare(state->maxs[i]) > 0) {
+            state->maxs[i] = v;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  child_->Close();
+
+  // Emit groups; to keep deterministic output, order by group key.
+  results_.clear();
+  std::vector<const AggState*> states;
+  for (auto& [h, bucket] : groups) {
+    for (auto& s : bucket) states.push_back(&s);
+  }
+  std::sort(states.begin(), states.end(), [](const AggState* a, const AggState* b) {
+    return CompareRows(a->group, b->group) < 0;
+  });
+  auto emit = [&](const AggState& s) {
+    Row out = s.group;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      switch (aggs_[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          out.push_back(Value(s.counts[i]));
+          break;
+        case AggFunc::kSum:
+          if (s.counts[i] == 0) out.push_back(Value::Null());
+          else if (s.all_int[i]) out.push_back(Value(static_cast<int64_t>(s.sums[i])));
+          else out.push_back(Value(s.sums[i]));
+          break;
+        case AggFunc::kAvg:
+          out.push_back(s.counts[i] == 0
+                            ? Value::Null()
+                            : Value(s.sums[i] / static_cast<double>(s.counts[i])));
+          break;
+        case AggFunc::kMin:
+          out.push_back(s.mins[i]);
+          break;
+        case AggFunc::kMax:
+          out.push_back(s.maxs[i]);
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  };
+  for (const AggState* s : states) emit(*s);
+  // Global aggregate over empty input still yields one row.
+  if (group_by_.empty() && !any_input) {
+    AggState s;
+    s.group = {};
+    s.counts.assign(aggs_.size(), 0);
+    s.sums.assign(aggs_.size(), 0.0);
+    s.mins.assign(aggs_.size(), Value::Null());
+    s.maxs.assign(aggs_.size(), Value::Null());
+    s.all_int.assign(aggs_.size(), true);
+    emit(s);
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> AggregateNode::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+void AggregateNode::Close() { results_.clear(); }
+
+std::string AggregateNode::Describe() const {
+  std::string out = "Aggregate(";
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_by_[i]->ToString();
+  }
+  if (!group_by_.empty() && !aggs_.empty()) out += "; ";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggFuncName(aggs_[i].func);
+    if (aggs_[i].arg) out += "(" + aggs_[i].arg->ToString() + ")";
+  }
+  return out + ")";
+}
+
+// ---- Distinct ----
+
+DistinctNode::DistinctNode(PlanPtr child) : child_(std::move(child)) {}
+
+Status DistinctNode::Open() {
+  seen_rows_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctNode::Next(Row* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    size_t h = HashRow(*out);
+    auto [lo, hi] = seen_rows_.equal_range(h);
+    bool dup = false;
+    for (auto it = lo; it != hi; ++it) {
+      if (CompareRows(it->second, *out) == 0) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      seen_rows_.emplace(h, *out);
+      return true;
+    }
+  }
+}
+
+void DistinctNode::Close() {
+  child_->Close();
+  seen_rows_.clear();
+}
+
+// ---- Limit ----
+
+LimitNode::LimitNode(PlanPtr child, int64_t limit, int64_t offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+Status LimitNode::Open() {
+  emitted_ = 0;
+  skipped_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitNode::Next(Row* out) {
+  while (skipped_ < offset_) {
+    ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    ++skipped_;
+  }
+  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++emitted_;
+  return true;
+}
+
+std::string LimitNode::Describe() const {
+  std::string out = "Limit(" + std::to_string(limit_);
+  if (offset_ > 0) out += " OFFSET " + std::to_string(offset_);
+  return out + ")";
+}
+
+// ---- Values ----
+
+ValuesNode::ValuesNode(Schema schema, std::vector<Row> rows)
+    : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+Status ValuesNode::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> ValuesNode::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+std::string ValuesNode::Describe() const {
+  return "Values(" + std::to_string(rows_.size()) + " rows)";
+}
+
+}  // namespace xmlrdb::rdb

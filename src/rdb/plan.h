@@ -1,0 +1,289 @@
+// Physical query plans: the iterator (Volcano) execution model.
+//
+// Every operator exposes Open / Next / Close plus its output schema. Plans
+// are single-use: Open once, drain with Next, Close. The planner (planner.h)
+// builds these from SQL; the XPath translators may also build them directly.
+
+#ifndef XMLRDB_RDB_PLAN_H_
+#define XMLRDB_RDB_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/expr.h"
+#include "rdb/schema.h"
+#include "rdb/table.h"
+
+namespace xmlrdb::rdb {
+
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual Status Open() = 0;
+  /// Produces the next row into *out; returns false when exhausted.
+  virtual Result<bool> Next(Row* out) = 0;
+  virtual void Close() = 0;
+
+  /// One-line operator description (EXPLAIN uses this).
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const PlanNode*> Children() const { return {}; }
+
+  /// Multi-line indented plan tree.
+  std::string Explain() const;
+
+  /// Count of operators of a given description prefix in this subtree —
+  /// used by the join-count experiment (T6).
+  int CountOperators(const std::string& prefix) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Drains a plan into a row vector (Open/Next/Close).
+Result<std::vector<Row>> ExecutePlan(PlanNode* plan);
+
+// ---------------------------------------------------------------------------
+
+/// Full scan of a base table (skips tombstones).
+class SeqScanNode : public PlanNode {
+ public:
+  SeqScanNode(const Table* table, std::string alias);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override {}
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+  Schema schema_;
+  RowId next_ = 0;
+};
+
+/// Range scan through a secondary index. Bounds are prefix rows over the
+/// index key columns; empty = unbounded on that side.
+class IndexScanNode : public PlanNode {
+ public:
+  IndexScanNode(const Table* table, const Index* index, std::string alias,
+                Row lower, bool lower_inclusive, Row upper, bool upper_inclusive);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+
+ private:
+  const Table* table_;
+  const Index* index_;
+  std::string alias_;
+  Schema schema_;
+  Row lower_, upper_;
+  bool lower_inclusive_, upper_inclusive_;
+  std::vector<RowId> rids_;
+  size_t pos_ = 0;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, ExprPtr predicate);
+
+  const Schema& output_schema() const override { return child_->output_schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectNode : public PlanNode {
+ public:
+  /// `names` supplies output column names (possibly from AS aliases).
+  ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
+              std::vector<std::string> names);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// Nested-loop join with an arbitrary predicate (may be null = cross join).
+/// The right side is materialised at Open.
+class NestedLoopJoinNode : public PlanNode {
+ public:
+  NestedLoopJoinNode(PlanPtr left, PlanPtr right, ExprPtr predicate);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_, right_;
+  ExprPtr predicate_;
+  Schema schema_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Equi hash join: build on the right input, probe with the left.
+/// `residual` (optional) is applied to the concatenated row.
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanPtr left, PlanPtr right, std::vector<ExprPtr> left_keys,
+               std::vector<ExprPtr> right_keys, ExprPtr residual);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PlanPtr left_, right_;
+  std::vector<ExprPtr> left_keys_, right_keys_;
+  ExprPtr residual_;
+  Schema schema_;
+  std::unordered_multimap<size_t, Row> build_;
+  Row probe_row_;
+  std::vector<const Row*> matches_;
+  size_t match_pos_ = 0;
+};
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::vector<SortKey> keys);
+
+  const Schema& output_schema() const override { return child_->output_schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+enum class AggFunc { kCount, kCountStar, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+struct AggSpec {
+  AggFunc func;
+  ExprPtr arg;  ///< null for COUNT(*)
+  std::string output_name;
+};
+
+/// Hash aggregation. Output schema = group-by columns then aggregates.
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::vector<ExprPtr> group_by,
+                std::vector<std::string> group_names, std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+class DistinctNode : public PlanNode {
+ public:
+  explicit DistinctNode(PlanPtr child);
+
+  const Schema& output_schema() const override { return child_->output_schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  std::string Describe() const override { return "Distinct"; }
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  std::unordered_multimap<size_t, Row> seen_rows_;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, int64_t limit, int64_t offset);
+
+  const Schema& output_schema() const override { return child_->output_schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  std::string Describe() const override;
+  std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ private:
+  PlanPtr child_;
+  int64_t limit_, offset_;
+  int64_t emitted_ = 0, skipped_ = 0;
+};
+
+/// Constant row source (INSERT ... VALUES, tests).
+class ValuesNode : public PlanNode {
+ public:
+  ValuesNode(Schema schema, std::vector<Row> rows);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override {}
+  std::string Describe() const override;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_PLAN_H_

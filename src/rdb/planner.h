@@ -1,0 +1,39 @@
+// Query planner: SelectStmt AST -> physical plan.
+//
+// Optimizations performed:
+//   * predicate pushdown — single-table conjuncts move below the joins
+//   * index selection — equality-prefix (+ one range column) predicates use a
+//     matching B+-tree index instead of a sequential scan
+//   * join ordering — greedy smallest-estimate-first over the join graph
+//   * hash joins for equi-join predicates, nested-loop otherwise
+//   * aggregate extraction — AggCallExprs become an AggregateNode
+
+#ifndef XMLRDB_RDB_PLANNER_H_
+#define XMLRDB_RDB_PLANNER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "rdb/plan.h"
+#include "rdb/sql_ast.h"
+
+namespace xmlrdb::rdb {
+
+/// Catalog lookup callback: table name -> Table* (null if missing).
+using TableResolver = std::function<const Table*(const std::string&)>;
+
+class Planner {
+ public:
+  explicit Planner(TableResolver resolver) : resolver_(std::move(resolver)) {}
+
+  /// Builds an executable plan for a SELECT statement.
+  Result<PlanPtr> PlanSelect(const SelectStmt& stmt) const;
+
+ private:
+  TableResolver resolver_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_PLANNER_H_

@@ -1,0 +1,80 @@
+#include "rdb/schema.h"
+
+#include "common/str_util.h"
+
+namespace xmlrdb::rdb {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  std::optional<size_t> found = TryIndexOf(name);
+  if (!found.has_value()) {
+    return Status::NotFound("column '" + name + "' not in schema " + ToString());
+  }
+  return *found;
+}
+
+std::optional<size_t> Schema::TryIndexOf(const std::string& name) const {
+  size_t dot = name.find('.');
+  std::optional<size_t> found;
+  if (dot != std::string::npos) {
+    std::string qual = name.substr(0, dot);
+    std::string col = name.substr(dot + 1);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].qualifier == qual && columns_[i].name == col) return i;
+    }
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  Schema out = *this;
+  for (auto& c : out.columns_) c.qualifier = alias;
+  return out;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const auto& c : right.columns()) out.AddColumn(c);
+  return out;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        ToString());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    const Column& c = columns_[i];
+    if (v.is_null()) {
+      if (!c.nullable) {
+        return Status::ConstraintError("NULL in non-nullable column " + c.name);
+      }
+      continue;
+    }
+    if (v.type() == c.type) continue;
+    if (c.type == DataType::kDouble && v.type() == DataType::kInt) continue;
+    return Status::TypeError("column " + c.name + " expects " +
+                             DataTypeName(c.type) + ", got " +
+                             DataTypeName(v.type()));
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(c.QualifiedName() + " " + DataTypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace xmlrdb::rdb

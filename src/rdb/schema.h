@@ -1,0 +1,63 @@
+// Relational schemas: ordered, (optionally qualified) named, typed columns.
+
+#ifndef XMLRDB_RDB_SCHEMA_H_
+#define XMLRDB_RDB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::rdb {
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+  bool nullable = true;
+  /// Table alias qualifier for intermediate schemas ("e1" in "e1.target").
+  std::string qualifier;
+
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Resolves "name" or "qualifier.name" to a column index.
+  /// Unqualified lookups must be unambiguous across qualifiers.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Like IndexOf but returns nullopt instead of an error.
+  std::optional<size_t> TryIndexOf(const std::string& name) const;
+
+  /// New schema with every column's qualifier replaced by `alias`.
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// Concatenation (for join outputs).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Validates that `row` arity and value types match (NULL always allowed
+  /// when the column is nullable; INT accepted where DOUBLE expected).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_SCHEMA_H_

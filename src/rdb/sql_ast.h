@@ -1,0 +1,103 @@
+// Abstract syntax for the supported SQL subset.
+//
+// Supported statements:
+//   CREATE TABLE t (col TYPE [NOT NULL], ...)
+//   CREATE INDEX i ON t (c1, c2, ...)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (...), (...) ...
+//   DELETE FROM t [WHERE expr]
+//   UPDATE t SET c = expr [, ...] [WHERE expr]
+//   SELECT [DISTINCT] items FROM t [a] [, t2 [b]] [JOIN t3 [c] ON expr]
+//     [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//     [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+//   EXPLAIN SELECT ...
+
+#ifndef XMLRDB_RDB_SQL_AST_H_
+#define XMLRDB_RDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rdb/expr.h"
+#include "rdb/schema.h"
+
+namespace xmlrdb::rdb {
+
+struct SelectItem {
+  ExprPtr expr;        ///< null when star is set
+  std::string alias;   ///< AS name, may be empty
+  bool star = false;   ///< SELECT *
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to the table name
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< JOIN ... ON conditions are folded in here
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+  int64_t offset = 0;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<Column> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct DropTableStmt {
+  std::string name;
+  bool if_exists = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Each row is a list of literal-valued expressions.
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  ///< null = delete all
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct ExplainStmt {
+  std::unique_ptr<SelectStmt> select;
+};
+
+using Statement = std::variant<SelectStmt, CreateTableStmt, CreateIndexStmt,
+                               DropTableStmt, InsertStmt, DeleteStmt, UpdateStmt,
+                               ExplainStmt>;
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_SQL_AST_H_

@@ -1,0 +1,121 @@
+#include "rdb/sql_lexer.h"
+
+#include <cctype>
+
+namespace xmlrdb::rdb {
+
+namespace {
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+Result<std::vector<Token>> LexSql(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokKind kind, std::string text, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.upper = Upper(text);
+    t.text = std::move(text);
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+        ++i;
+      }
+      push(TokKind::kIdent, std::string(sql.substr(start, i - start)), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_double = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) || sql[i] == '.' ||
+              sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > start &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_double = true;
+        ++i;
+      }
+      push(is_double ? TokKind::kDouble : TokKind::kInt,
+           std::string(sql.substr(start, i - start)), start);
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      while (true) {
+        if (i >= sql.size()) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        body += sql[i++];
+      }
+      push(TokKind::kString, std::move(body), start);
+      continue;
+    }
+    if (c == '"') {
+      // Double-quoted identifier.
+      ++i;
+      std::string body;
+      while (i < sql.size() && sql[i] != '"') body += sql[i++];
+      if (i >= sql.size()) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      ++i;
+      push(TokKind::kIdent, std::move(body), start);
+      continue;
+    }
+    // Multi-char symbols first.
+    static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (sql.substr(i, 2) == sym) {
+        push(TokKind::kSymbol, sym, start);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOneChar = "=<>+-*/%(),.;";
+    if (kOneChar.find(c) != std::string::npos) {
+      push(TokKind::kSymbol, std::string(1, c), start);
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  push(TokKind::kEnd, "", sql.size());
+  return out;
+}
+
+}  // namespace xmlrdb::rdb

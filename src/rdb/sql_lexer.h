@@ -1,0 +1,35 @@
+// Tokenizer for the SQL subset.
+
+#ifndef XMLRDB_RDB_SQL_LEXER_H_
+#define XMLRDB_RDB_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb::rdb {
+
+enum class TokKind {
+  kIdent,     ///< bare identifier (keywords are classified by the parser)
+  kString,    ///< 'quoted', quotes stripped, '' unescaped
+  kInt,
+  kDouble,
+  kSymbol,    ///< operator / punctuation, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;      ///< identifier (original case), string body, number, symbol
+  std::string upper;     ///< upper-cased text for keyword matching
+  size_t offset = 0;     ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`; the final token is always kEnd.
+Result<std::vector<Token>> LexSql(std::string_view sql);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_SQL_LEXER_H_

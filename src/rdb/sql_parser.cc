@@ -1,0 +1,492 @@
+#include "rdb/sql_parser.h"
+
+#include "common/str_util.h"
+#include "rdb/sql_lexer.h"
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (IsKeyword("SELECT")) {
+      ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(s));
+    }
+    if (IsKeyword("EXPLAIN")) {
+      Next();
+      ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+      RETURN_IF_ERROR(ExpectEnd());
+      ExplainStmt e;
+      e.select = std::make_unique<SelectStmt>(std::move(s));
+      return Statement(std::move(e));
+    }
+    if (IsKeyword("CREATE")) return ParseCreate();
+    if (IsKeyword("DROP")) return ParseDrop();
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("DELETE")) return ParseDelete();
+    if (IsKeyword("UPDATE")) return ParseUpdate();
+    return Err("expected a statement keyword");
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Next() { if (pos_ + 1 < toks_.size()) ++pos_; }
+
+  bool IsKeyword(std::string_view kw) const {
+    return Cur().kind == TokKind::kIdent && Cur().upper == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return Cur().kind == TokKind::kSymbol && Cur().text == sym;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!IsKeyword(kw)) return false;
+    Next();
+    return true;
+  }
+  bool ConsumeSymbol(std::string_view sym) {
+    if (!IsSymbol(sym)) return false;
+    Next();
+    return true;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) return Err("expected " + std::string(kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!ConsumeSymbol(sym)) return Err("expected '" + std::string(sym) + "'");
+    return Status::OK();
+  }
+  Status ExpectEnd() {
+    ConsumeSymbol(";");
+    if (Cur().kind != TokKind::kEnd) return Err("unexpected trailing input");
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("SQL: " + msg + " near '" + Cur().text +
+                              "' (offset " + std::to_string(Cur().offset) + ")");
+  }
+
+  Result<std::string> ParseIdent() {
+    if (Cur().kind != TokKind::kIdent) return Err("expected identifier");
+    std::string out = Cur().text;
+    Next();
+    return out;
+  }
+
+  /// ident or ident.ident.
+  Result<std::string> ParseQualifiedName() {
+    ASSIGN_OR_RETURN(std::string first, ParseIdent());
+    if (ConsumeSymbol(".")) {
+      ASSIGN_OR_RETURN(std::string second, ParseIdent());
+      return first + "." + second;
+    }
+    return first;
+  }
+
+  static bool IsReserved(const std::string& upper) {
+    static const char* kReserved[] = {
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "AND",
+        "OR", "NOT", "AS", "ON", "JOIN", "INNER", "BY", "ASC", "DESC", "SELECT",
+        "DISTINCT", "SET", "VALUES", "LIKE", "IN", "IS", "NULL", "UNION"};
+    for (const char* kw : kReserved) {
+      if (upper == kw) return true;
+    }
+    return false;
+  }
+
+  // ---- expressions ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Bin(BinOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Bin(BinOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return ExprPtr(std::make_unique<NotExpr>(std::move(child)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (IsSymbol("=") || IsSymbol("<>") || IsSymbol("!=") || IsSymbol("<") ||
+        IsSymbol("<=") || IsSymbol(">") || IsSymbol(">=")) {
+      std::string sym = Cur().text;
+      Next();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      BinOp op = BinOp::kEq;
+      if (sym == "=") op = BinOp::kEq;
+      else if (sym == "<>" || sym == "!=") op = BinOp::kNe;
+      else if (sym == "<") op = BinOp::kLt;
+      else if (sym == "<=") op = BinOp::kLe;
+      else if (sym == ">") op = BinOp::kGt;
+      else if (sym == ">=") op = BinOp::kGe;
+      return Bin(op, std::move(left), std::move(right));
+    }
+    if (ConsumeKeyword("LIKE")) {
+      if (Cur().kind != TokKind::kString) return Err("expected pattern after LIKE");
+      std::string pattern = Cur().text;
+      Next();
+      return ExprPtr(std::make_unique<LikeExpr>(std::move(left), std::move(pattern)));
+    }
+    if (ConsumeKeyword("IN")) {
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> values;
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        if (item->kind() != Expr::Kind::kLiteral) {
+          return Err("IN list elements must be literals");
+        }
+        values.push_back(static_cast<LiteralExpr*>(item.get())->value());
+        if (ConsumeSymbol(",")) continue;
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      return ExprPtr(std::make_unique<InListExpr>(std::move(left), std::move(values)));
+    }
+    if (ConsumeKeyword("IS")) {
+      bool negated = ConsumeKeyword("NOT");
+      RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseTerm());
+    while (IsSymbol("+") || IsSymbol("-")) {
+      BinOp op = IsSymbol("+") ? BinOp::kAdd : BinOp::kSub;
+      Next();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    ASSIGN_OR_RETURN(ExprPtr left, ParseFactor());
+    while (IsSymbol("*") || IsSymbol("/") || IsSymbol("%")) {
+      BinOp op = IsSymbol("*") ? BinOp::kMul
+                               : (IsSymbol("/") ? BinOp::kDiv : BinOp::kMod);
+      Next();
+      ASSIGN_OR_RETURN(ExprPtr right, ParseFactor());
+      left = Bin(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (ConsumeSymbol("-")) {
+      ASSIGN_OR_RETURN(ExprPtr child, ParseFactor());
+      return Bin(BinOp::kSub, Lit(static_cast<int64_t>(0)), std::move(child));
+    }
+    if (ConsumeSymbol("(")) {
+      ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kInt: {
+        ASSIGN_OR_RETURN(int64_t v, ParseInt64(t.text));
+        Next();
+        return Lit(v);
+      }
+      case TokKind::kDouble: {
+        ASSIGN_OR_RETURN(double v, ParseDouble(t.text));
+        Next();
+        return Lit(Value(v));
+      }
+      case TokKind::kString: {
+        std::string s = t.text;
+        Next();
+        return Lit(s);
+      }
+      case TokKind::kIdent: {
+        if (t.upper == "NULL") {
+          Next();
+          return Lit(Value::Null());
+        }
+        if (t.upper == "TRUE") {
+          Next();
+          return Lit(Value(true));
+        }
+        if (t.upper == "FALSE") {
+          Next();
+          return Lit(Value(false));
+        }
+        // Aggregate function call?
+        if (toks_[pos_ + 1].kind == TokKind::kSymbol &&
+            toks_[pos_ + 1].text == "(") {
+          std::string fname = t.upper;
+          if (fname == "COUNT" || fname == "SUM" || fname == "AVG" ||
+              fname == "MIN" || fname == "MAX") {
+            Next();  // name
+            Next();  // '('
+            if (ConsumeSymbol("*")) {
+              RETURN_IF_ERROR(ExpectSymbol(")"));
+              return ExprPtr(std::make_unique<AggCallExpr>(fname, nullptr));
+            }
+            ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            RETURN_IF_ERROR(ExpectSymbol(")"));
+            return ExprPtr(std::make_unique<AggCallExpr>(fname, std::move(arg)));
+          }
+          return Err("unknown function '" + t.text + "'");
+        }
+        ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+        return Col(std::move(name));
+      }
+      default:
+        return Err("expected expression");
+    }
+  }
+
+  // ---- SELECT ----
+
+  Result<SelectStmt> ParseSelect() {
+    RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    stmt.distinct = ConsumeKeyword("DISTINCT");
+    while (true) {
+      SelectItem item;
+      if (ConsumeSymbol("*")) {
+        item.star = true;
+      } else {
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          ASSIGN_OR_RETURN(item.alias, ParseIdent());
+        } else if (Cur().kind == TokKind::kIdent && !IsReserved(Cur().upper)) {
+          ASSIGN_OR_RETURN(item.alias, ParseIdent());
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    std::vector<ExprPtr> join_conditions;
+    auto parse_table_ref = [&]() -> Result<TableRef> {
+      TableRef ref;
+      ASSIGN_OR_RETURN(ref.table, ParseIdent());
+      if (ConsumeKeyword("AS")) {
+        ASSIGN_OR_RETURN(ref.alias, ParseIdent());
+      } else if (Cur().kind == TokKind::kIdent && !IsReserved(Cur().upper)) {
+        ASSIGN_OR_RETURN(ref.alias, ParseIdent());
+      }
+      return ref;
+    };
+    ASSIGN_OR_RETURN(TableRef first, parse_table_ref());
+    stmt.from.push_back(std::move(first));
+    while (true) {
+      if (ConsumeSymbol(",")) {
+        ASSIGN_OR_RETURN(TableRef ref, parse_table_ref());
+        stmt.from.push_back(std::move(ref));
+        continue;
+      }
+      bool inner = ConsumeKeyword("INNER");
+      if (ConsumeKeyword("JOIN")) {
+        ASSIGN_OR_RETURN(TableRef ref, parse_table_ref());
+        stmt.from.push_back(std::move(ref));
+        RETURN_IF_ERROR(ExpectKeyword("ON"));
+        ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        join_conditions.push_back(std::move(cond));
+        continue;
+      }
+      if (inner) return Err("expected JOIN after INNER");
+      break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    for (auto& cond : join_conditions) {
+      stmt.where = stmt.where == nullptr
+                       ? std::move(cond)
+                       : And(std::move(stmt.where), std::move(cond));
+    }
+    if (ConsumeKeyword("GROUP")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        stmt.group_by.push_back(std::move(g));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) item.ascending = false;
+        else ConsumeKeyword("ASC");
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Cur().kind != TokKind::kInt) return Err("expected integer after LIMIT");
+      ASSIGN_OR_RETURN(stmt.limit, ParseInt64(Cur().text));
+      Next();
+      if (ConsumeKeyword("OFFSET")) {
+        if (Cur().kind != TokKind::kInt) return Err("expected integer after OFFSET");
+        ASSIGN_OR_RETURN(stmt.offset, ParseInt64(Cur().text));
+        Next();
+      }
+    }
+    return stmt;
+  }
+
+  // ---- DDL / DML ----
+
+  Result<Statement> ParseCreate() {
+    Next();  // CREATE
+    if (ConsumeKeyword("TABLE")) {
+      CreateTableStmt stmt;
+      ASSIGN_OR_RETURN(stmt.name, ParseIdent());
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        Column col;
+        ASSIGN_OR_RETURN(col.name, ParseIdent());
+        ASSIGN_OR_RETURN(std::string type_name, ParseIdent());
+        ASSIGN_OR_RETURN(col.type, ParseDataType(type_name));
+        // Optional length, e.g. VARCHAR(100) — parsed and ignored.
+        if (ConsumeSymbol("(")) {
+          if (Cur().kind != TokKind::kInt) return Err("expected length");
+          Next();
+          RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        if (ConsumeKeyword("NOT")) {
+          RETURN_IF_ERROR(ExpectKeyword("NULL"));
+          col.nullable = false;
+        }
+        stmt.columns.push_back(std::move(col));
+        if (ConsumeSymbol(",")) continue;
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("INDEX")) {
+      CreateIndexStmt stmt;
+      ASSIGN_OR_RETURN(stmt.index, ParseIdent());
+      RETURN_IF_ERROR(ExpectKeyword("ON"));
+      ASSIGN_OR_RETURN(stmt.table, ParseIdent());
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        ASSIGN_OR_RETURN(std::string col, ParseIdent());
+        stmt.columns.push_back(std::move(col));
+        if (ConsumeSymbol(",")) continue;
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(stmt));
+    }
+    return Err("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<Statement> ParseDrop() {
+    Next();  // DROP
+    RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DropTableStmt stmt;
+    if (ConsumeKeyword("IF")) {
+      RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt.if_exists = true;
+    }
+    ASSIGN_OR_RETURN(stmt.name, ParseIdent());
+    RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    Next();  // INSERT
+    RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    ASSIGN_OR_RETURN(stmt.table, ParseIdent());
+    RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        row.push_back(std::move(v));
+        if (ConsumeSymbol(",")) continue;
+        RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      stmt.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    Next();  // DELETE
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    ASSIGN_OR_RETURN(stmt.table, ParseIdent());
+    if (ConsumeKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    Next();  // UPDATE
+    UpdateStmt stmt;
+    ASSIGN_OR_RETURN(stmt.table, ParseIdent());
+    RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      ASSIGN_OR_RETURN(std::string col, ParseIdent());
+      RETURN_IF_ERROR(ExpectSymbol("="));
+      ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(val));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(std::string_view sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  SqlParser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,18 @@
+// Recursive-descent parser: token stream -> Statement AST.
+
+#ifndef XMLRDB_RDB_SQL_PARSER_H_
+#define XMLRDB_RDB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdb/sql_ast.h"
+
+namespace xmlrdb::rdb {
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+Result<Statement> ParseSql(std::string_view sql);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_SQL_PARSER_H_

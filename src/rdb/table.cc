@@ -1,0 +1,133 @@
+#include "rdb/table.h"
+
+#include <algorithm>
+
+namespace xmlrdb::rdb {
+
+Index::Index(std::string name, const Table* table, std::vector<size_t> key_columns)
+    : name_(std::move(name)), table_(table), key_columns_(std::move(key_columns)) {}
+
+Row Index::MakeKey(const Row& row, RowId rid) const {
+  Row key;
+  key.reserve(key_columns_.size() + 1);
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  key.push_back(Value(static_cast<int64_t>(rid)));
+  return key;
+}
+
+void Index::Add(const Row& row, RowId rid) { tree_.Insert(MakeKey(row, rid)); }
+
+void Index::Remove(const Row& row, RowId rid) { tree_.Erase(MakeKey(row, rid)); }
+
+std::vector<RowId> Index::LookupEqual(const Row& key) const {
+  return LookupRange(key, true, key, true);
+}
+
+std::vector<RowId> Index::LookupRange(const Row& lower, bool lower_inclusive,
+                                      const Row& upper,
+                                      bool upper_inclusive) const {
+  std::vector<RowId> out;
+  BTree::Iterator it =
+      lower.empty() ? tree_.Begin() : tree_.SeekAtLeast(lower, lower_inclusive);
+  while (it.Valid()) {
+    const Row& k = it.key();
+    if (!upper.empty()) {
+      int c = PrefixCompareRows(k, upper);
+      if (c > 0 || (!upper_inclusive && c == 0)) break;
+    }
+    out.push_back(static_cast<RowId>(k.back().AsInt()));
+    it.Next();
+  }
+  return out;
+}
+
+bool Index::MatchesPrefix(const std::vector<size_t>& cols) const {
+  if (cols.size() > key_columns_.size()) return false;
+  return std::equal(cols.begin(), cols.end(), key_columns_.begin());
+}
+
+Result<RowId> Table::Insert(Row row) {
+  RETURN_IF_ERROR(schema_.ValidateRow(row));
+  RowId rid = rows_.size();
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_rows_;
+  for (auto& idx : indexes_) idx->Add(rows_.back(), rid);
+  return rid;
+}
+
+Status Table::InsertMany(std::vector<Row> rows) {
+  for (auto& r : rows) {
+    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, Insert(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(RowId rid) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) + " is not live");
+  }
+  for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
+  deleted_[rid] = true;
+  --live_rows_;
+  return Status::OK();
+}
+
+Status Table::Update(RowId rid, Row row) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) + " is not live");
+  }
+  RETURN_IF_ERROR(schema_.ValidateRow(row));
+  for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
+  rows_[rid] = std::move(row);
+  for (auto& idx : indexes_) idx->Add(rows_[rid], rid);
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& name,
+                          const std::vector<std::string>& column_names) {
+  if (FindIndex(name) != nullptr) {
+    return Status::AlreadyExists("index '" + name + "'");
+  }
+  std::vector<size_t> cols;
+  cols.reserve(column_names.size());
+  for (const auto& cn : column_names) {
+    ASSIGN_OR_RETURN(size_t i, schema_.IndexOf(cn));
+    cols.push_back(i);
+  }
+  auto idx = std::make_unique<Index>(name, this, std::move(cols));
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (!deleted_[rid]) idx->Add(rows_[rid], rid);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const Index* Table::FindIndex(const std::string& name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->name() == name) return idx.get();
+  }
+  return nullptr;
+}
+
+const Index* Table::FindIndexByColumns(const std::vector<size_t>& cols) const {
+  for (const auto& idx : indexes_) {
+    if (idx->MatchesPrefix(cols)) return idx.get();
+  }
+  return nullptr;
+}
+
+size_t Table::FootprintBytes() const {
+  size_t bytes = 0;
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (deleted_[rid]) continue;
+    for (const Value& v : rows_[rid]) bytes += v.FootprintBytes();
+  }
+  for (const auto& idx : indexes_) {
+    // Each index entry stores key columns + rid.
+    bytes += idx->num_entries() * (idx->key_columns().size() + 1) * sizeof(Value);
+  }
+  return bytes;
+}
+
+}  // namespace xmlrdb::rdb

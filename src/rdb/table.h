@@ -1,0 +1,115 @@
+// Row-store tables with secondary B+-tree indexes.
+//
+// Rows live in an append-only vector; deletes set a tombstone so row ids stay
+// stable for index entries. Indexes map (key columns..., row id) into a
+// B+-tree; duplicate keys are therefore naturally supported.
+
+#ifndef XMLRDB_RDB_TABLE_H_
+#define XMLRDB_RDB_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/btree.h"
+#include "rdb/schema.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::rdb {
+
+using RowId = uint64_t;
+
+class Table;
+
+/// A secondary index over one or more columns of a table.
+class Index {
+ public:
+  Index(std::string name, const Table* table, std::vector<size_t> key_columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  size_t num_entries() const { return tree_.size(); }
+  const BTree& tree() const { return tree_; }
+
+  /// Row ids whose key columns equal `key` (key.size() may be a prefix of
+  /// the index key), in key order.
+  std::vector<RowId> LookupEqual(const Row& key) const;
+
+  /// Row ids whose key is within [lower, upper] under prefix comparison;
+  /// either bound may be empty (unbounded). Bound inclusivity is per-side.
+  std::vector<RowId> LookupRange(const Row& lower, bool lower_inclusive,
+                                 const Row& upper, bool upper_inclusive) const;
+
+  /// True if the first `n` index key columns equal `cols[0..n)`.
+  bool MatchesPrefix(const std::vector<size_t>& cols) const;
+
+ private:
+  friend class Table;
+  void Add(const Row& row, RowId rid);
+  void Remove(const Row& row, RowId rid);
+  Row MakeKey(const Row& row, RowId rid) const;
+
+  std::string name_;
+  const Table* table_;
+  std::vector<size_t> key_columns_;
+  BTree tree_;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Live (non-deleted) row count.
+  size_t num_rows() const { return live_rows_; }
+  /// Physical slot count including tombstones.
+  size_t num_slots() const { return rows_.size(); }
+
+  /// Validates against the schema, appends, and maintains indexes.
+  Result<RowId> Insert(Row row);
+
+  /// Batch insert without per-row Status overhead; stops at first error.
+  Status InsertMany(std::vector<Row> rows);
+
+  /// Tombstones a row and removes its index entries.
+  Status Delete(RowId rid);
+
+  /// Replaces a row in place (revalidates, re-indexes).
+  Status Update(RowId rid, Row row);
+
+  bool IsLive(RowId rid) const {
+    return rid < rows_.size() && !deleted_[rid];
+  }
+  const Row& row(RowId rid) const { return rows_[rid]; }
+
+  /// Creates a secondary index named `name` over `column_names` and
+  /// backfills it from existing rows.
+  Status CreateIndex(const std::string& name,
+                     const std::vector<std::string>& column_names);
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const { return indexes_; }
+  const Index* FindIndex(const std::string& name) const;
+
+  /// First index whose key starts with exactly these columns, if any.
+  const Index* FindIndexByColumns(const std::vector<size_t>& cols) const;
+
+  /// Approximate heap footprint of data + indexes (storage benchmark).
+  size_t FootprintBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  size_t live_rows_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_TABLE_H_

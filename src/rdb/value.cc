@@ -1,0 +1,188 @@
+#include "rdb/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::rdb {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return "INTEGER";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "VARCHAR";
+    case DataType::kBool: return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> ParseDataType(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "integer" || n == "int" || n == "bigint") return DataType::kInt;
+  if (n == "double" || n == "float" || n == "real") return DataType::kDouble;
+  if (n == "varchar" || n == "text" || n == "string" || n == "char") {
+    return DataType::kString;
+  }
+  if (n == "boolean" || n == "bool") return DataType::kBool;
+  return Status::ParseError("unknown type name '" + name + "'");
+}
+
+DataType Value::type() const {
+  switch (rep_.index()) {
+    case 0: return DataType::kNull;
+    case 1: return DataType::kInt;
+    case 2: return DataType::kDouble;
+    case 3: return DataType::kString;
+    case 4: return DataType::kBool;
+  }
+  return DataType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  return std::get<double>(rep_);
+}
+
+int Value::Compare(const Value& other) const {
+  bool an = is_null(), bn = other.is_null();
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? -1 : 1;
+  }
+  DataType ta = type(), tb = other.type();
+  bool a_num = ta == DataType::kInt || ta == DataType::kDouble;
+  bool b_num = tb == DataType::kInt || tb == DataType::kDouble;
+  if (a_num && b_num) {
+    if (ta == DataType::kInt && tb == DataType::kInt) {
+      int64_t x = AsInt(), y = other.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = AsDouble(), y = other.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (ta != tb) return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+  switch (ta) {
+    case DataType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull: return 0x9e3779b9;
+    case DataType::kInt: return std::hash<int64_t>{}(AsInt());
+    case DataType::kDouble: {
+      // Hash ints and int-valued doubles identically so mixed-type equi-joins
+      // work through the hash join.
+      double d = AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString: return std::hash<std::string>{}(AsString());
+    case DataType::kBool: return std::hash<bool>{}(AsBool());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt: return std::to_string(AsInt());
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case DataType::kString: return AsString();
+    case DataType::kBool: return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type() == target) return *this;
+  switch (target) {
+    case DataType::kInt:
+      switch (type()) {
+        case DataType::kDouble: return Value(static_cast<int64_t>(AsDouble()));
+        case DataType::kString: {
+          ASSIGN_OR_RETURN(int64_t v, ParseInt64(AsString()));
+          return Value(v);
+        }
+        case DataType::kBool: return Value(static_cast<int64_t>(AsBool()));
+        default: break;
+      }
+      break;
+    case DataType::kDouble:
+      switch (type()) {
+        case DataType::kInt: return Value(static_cast<double>(AsInt()));
+        case DataType::kString: {
+          ASSIGN_OR_RETURN(double v, ParseDouble(AsString()));
+          return Value(v);
+        }
+        default: break;
+      }
+      break;
+    case DataType::kString:
+      return Value(ToString());
+    case DataType::kBool:
+      if (type() == DataType::kInt) return Value(AsInt() != 0);
+      break;
+    default:
+      break;
+  }
+  return Status::TypeError(std::string("cannot cast ") + DataTypeName(type()) +
+                           " to " + DataTypeName(target));
+}
+
+size_t Value::FootprintBytes() const {
+  size_t base = sizeof(Value);
+  if (type() == DataType::kString) base += AsString().capacity();
+  return base;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 14695981039346656037ull;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int CompareRows(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xmlrdb::rdb

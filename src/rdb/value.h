@@ -1,0 +1,84 @@
+// Typed relational values.
+//
+// The engine supports four concrete types (INTEGER, DOUBLE, VARCHAR, BOOLEAN)
+// plus SQL NULL. Values are ordered within a type; cross-type comparison of
+// INTEGER and DOUBLE coerces to DOUBLE; any other cross-type comparison is a
+// TypeError. NULL ordering follows "NULLs first" for sort/index purposes but
+// comparisons against NULL in predicates yield no match (SQL-style, except we
+// use two-valued logic: NULL cmp x is simply false).
+
+#ifndef XMLRDB_RDB_VALUE_H_
+#define XMLRDB_RDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb::rdb {
+
+enum class DataType { kNull, kInt, kDouble, kString, kBool };
+
+const char* DataTypeName(DataType t);
+
+/// Parses a SQL type name ("INTEGER", "INT", "DOUBLE", "VARCHAR", "TEXT",
+/// "BOOLEAN"...) to a DataType.
+Result<DataType> ParseDataType(const std::string& name);
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(bool v) : rep_(v) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  DataType type() const;
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const;  ///< also widens an int
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+
+  /// Total order used by sort/index: NULL < everything; numerics by value
+  /// (int/double comparable); strings lexicographic; bool false<true.
+  /// Distinct non-numeric type pairs order by type id (stable, arbitrary).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  /// Coerces to `target` (numeric widening/narrowing, string parse).
+  Result<Value> CastTo(DataType target) const;
+
+  /// Approximate heap footprint in bytes (for the storage-size benchmark).
+  size_t FootprintBytes() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> rep_;
+};
+
+using Row = std::vector<Value>;
+
+/// Hash of a composite key (row prefix).
+size_t HashRow(const Row& row);
+
+/// Lexicographic comparison of two rows of equal arity.
+int CompareRows(const Row& a, const Row& b);
+
+std::string RowToString(const Row& row);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_VALUE_H_

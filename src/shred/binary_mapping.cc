@@ -1,0 +1,584 @@
+#include "shred/binary_mapping.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "shred/shred_util.h"
+
+namespace xmlrdb::shred {
+
+using rdb::DataType;
+using rdb::QueryResult;
+using rdb::Value;
+
+namespace {
+constexpr const char* kCtx = "_bin_ctx";
+constexpr const char* kFrontier = "_bin_frontier";
+
+std::string D(DocId doc) { return std::to_string(doc); }
+}  // namespace
+
+Status BinaryMapping::Initialize(rdb::Database* db) {
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE bin_labels ("
+                              "name VARCHAR NOT NULL, "
+                              "kind VARCHAR NOT NULL, "
+                              "tbl VARCHAR NOT NULL)")
+                      .status());
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE bin_docs ("
+                              "docid INTEGER NOT NULL, "
+                              "root INTEGER NOT NULL, "
+                              "root_name VARCHAR NOT NULL, "
+                              "max_id INTEGER NOT NULL)")
+                      .status());
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE bt_text ("
+                              "docid INTEGER NOT NULL, "
+                              "source INTEGER NOT NULL, "
+                              "ordinal INTEGER NOT NULL, "
+                              "target INTEGER NOT NULL, "
+                              "value VARCHAR NOT NULL)")
+                      .status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX bt_text_src ON bt_text (docid, source)")
+          .status());
+  return Status::OK();
+}
+
+Result<std::vector<BinaryMapping::Label>> BinaryMapping::Labels(
+    rdb::Database* db) const {
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT name, kind, tbl FROM bin_labels"));
+  std::vector<Label> out;
+  out.reserve(r.rows.size());
+  for (auto& row : r.rows) {
+    out.push_back({row[0].AsString(), row[1].AsString(), row[2].AsString()});
+  }
+  return out;
+}
+
+Result<std::string> BinaryMapping::FindTableFor(rdb::Database* db,
+                                                const std::string& label,
+                                                const std::string& kind) const {
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT tbl FROM bin_labels WHERE name = " +
+                               SqlLiteral(Value(label)) + " AND kind = '" +
+                               kind + "'"));
+  return r.rows.empty() ? std::string() : r.rows[0][0].AsString();
+}
+
+Result<std::string> BinaryMapping::TableFor(rdb::Database* db,
+                                            const std::string& label,
+                                            const std::string& kind) {
+  ASSIGN_OR_RETURN(std::string existing, FindTableFor(db, label, kind));
+  if (!existing.empty()) return existing;
+  std::string base = (kind == "elem" ? "be_" : "ba_") + SanitizeName(label);
+  std::string tbl = base;
+  int suffix = 2;
+  while (db->FindTable(tbl) != nullptr) {
+    tbl = base + "_" + std::to_string(suffix++);
+  }
+  std::string cols = "docid INTEGER NOT NULL, source INTEGER NOT NULL, "
+                     "ordinal INTEGER NOT NULL, target INTEGER NOT NULL";
+  if (kind == "attr") cols += ", value VARCHAR NOT NULL";
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE " + tbl + " (" + cols + ")").status());
+  RETURN_IF_ERROR(db->Execute("CREATE INDEX " + tbl + "_src ON " + tbl +
+                              " (docid, source)")
+                      .status());
+  RETURN_IF_ERROR(db->Execute("CREATE INDEX " + tbl + "_tgt ON " + tbl +
+                              " (docid, target)")
+                      .status());
+  RETURN_IF_ERROR(db->Execute("INSERT INTO bin_labels VALUES (" +
+                              SqlLiteral(Value(label)) + ", '" + kind + "', " +
+                              SqlLiteral(Value(tbl)) + ")")
+                      .status());
+  return tbl;
+}
+
+Status BinaryMapping::ShredInto(const xml::Node& n, DocId doc, int64_t parent,
+                                int64_t* counter, rdb::Database* db) {
+  int64_t ordinal = 1;
+  for (const auto& a : n.attributes()) {
+    int64_t id = (*counter)++;
+    ASSIGN_OR_RETURN(std::string tbl, TableFor(db, a->name(), "attr"));
+    rdb::Table* t = db->FindTable(tbl);
+    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                     t->Insert({Value(doc), Value(parent), Value(ordinal++),
+                                Value(id), Value(a->value())}));
+  }
+  for (const auto& c : n.children()) {
+    switch (c->kind()) {
+      case xml::NodeKind::kElement: {
+        int64_t id = (*counter)++;
+        ASSIGN_OR_RETURN(std::string tbl, TableFor(db, c->name(), "elem"));
+        rdb::Table* t = db->FindTable(tbl);
+        ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                         t->Insert({Value(doc), Value(parent), Value(ordinal++),
+                                    Value(id)}));
+        RETURN_IF_ERROR(ShredInto(*c, doc, id, counter, db));
+        break;
+      }
+      case xml::NodeKind::kText: {
+        int64_t id = (*counter)++;
+        rdb::Table* t = db->FindTable("bt_text");
+        ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                         t->Insert({Value(doc), Value(parent), Value(ordinal++),
+                                    Value(id), Value(c->value())}));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<DocId> BinaryMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  const xml::Node* root = doc.root();
+  if (root == nullptr) return Status::InvalidArgument("document has no root");
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "bin_docs", "docid"));
+  int64_t counter = 1;
+  int64_t root_id = counter++;
+  ASSIGN_OR_RETURN(std::string tbl, TableFor(db, root->name(), "elem"));
+  rdb::Table* t = db->FindTable(tbl);
+  ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                   t->Insert({Value(docid), Value(static_cast<int64_t>(0)),
+                              Value(static_cast<int64_t>(1)), Value(root_id)}));
+  RETURN_IF_ERROR(ShredInto(*root, docid, root_id, &counter, db));
+  RETURN_IF_ERROR(db->Execute("INSERT INTO bin_docs VALUES (" + D(docid) + ", " +
+                              std::to_string(root_id) + ", " +
+                              SqlLiteral(Value(root->name())) + ", " +
+                              std::to_string(counter - 1) + ")")
+                      .status());
+  return docid;
+}
+
+Status BinaryMapping::Remove(DocId doc, rdb::Database* db) {
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  for (const auto& l : labels) {
+    RETURN_IF_ERROR(
+        db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " + D(doc))
+            .status());
+  }
+  RETURN_IF_ERROR(
+      db->Execute("DELETE FROM bt_text WHERE docid = " + D(doc)).status());
+  return db->Execute("DELETE FROM bin_docs WHERE docid = " + D(doc)).status();
+}
+
+Result<Value> BinaryMapping::RootElement(rdb::Database* db, DocId doc) const {
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT root FROM bin_docs WHERE docid = " +
+                               D(doc)));
+  if (r.rows.empty()) return Status::NotFound("document " + D(doc));
+  return r.rows[0][0];
+}
+
+Result<NodeSet> BinaryMapping::AllElements(rdb::Database* db, DocId doc,
+                                           const std::string& name_test) const {
+  NodeSet out;
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  for (const auto& l : labels) {
+    if (l.kind != "elem") continue;
+    if (name_test != "*" && l.name != name_test) continue;
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT target FROM " + l.tbl +
+                                 " WHERE docid = " + D(doc)));
+    for (auto& row : r.rows) out.push_back(row[0]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Value& a, const Value& b) { return a.AsInt() < b.AsInt(); });
+  return out;
+}
+
+Result<std::vector<StepResult>> BinaryMapping::Step(
+    rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+    const std::string& name_test) const {
+  std::vector<StepResult> out;
+  if (context.empty()) return out;
+
+  // The partitions to consult for one child/attribute hop.
+  auto partition_tables = [&](const std::string& kind,
+                              const std::string& test)
+      -> Result<std::vector<std::string>> {
+    std::vector<std::string> tbls;
+    if (test != "*") {
+      ASSIGN_OR_RETURN(std::string tbl, FindTableFor(db, test, kind));
+      if (!tbl.empty()) tbls.push_back(tbl);
+      return tbls;
+    }
+    ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+    for (const auto& l : labels) {
+      if (l.kind == kind) tbls.push_back(l.tbl);
+    }
+    return tbls;
+  };
+
+  if (axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute) {
+    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, context));
+    const std::string kind =
+        axis == xpath::Axis::kAttribute ? "attr" : "elem";
+    ASSIGN_OR_RETURN(std::vector<std::string> tbls,
+                     partition_tables(kind, name_test));
+    std::vector<std::pair<std::pair<int64_t, int64_t>, StepResult>> collected;
+    for (const std::string& tbl : tbls) {
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT c.id, t.ordinal, t.target FROM " +
+                                   std::string(kCtx) +
+                                   " c JOIN " + tbl + " t ON t.source = c.id "
+                                   "WHERE t.docid = " + D(doc)));
+      for (auto& row : r.rows) {
+        collected.push_back({{row[0].AsInt(), row[1].AsInt()},
+                             {row[0], row[2]}});
+      }
+    }
+    std::sort(collected.begin(), collected.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.reserve(collected.size());
+    for (auto& [key, sr] : collected) out.push_back(std::move(sr));
+    return out;
+  }
+
+  // Descendant: frontier expansion over every element partition per round.
+  ASSIGN_OR_RETURN(std::vector<std::string> all_elem,
+                   partition_tables("elem", "*"));
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  std::unordered_map<std::string, std::string> tbl_to_name;
+  for (const auto& l : labels) {
+    if (l.kind == "elem") tbl_to_name[l.tbl] = l.name;
+  }
+  std::vector<std::pair<Value, Value>> frontier;
+  for (const Value& c : context) frontier.emplace_back(c, c);
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    frontier.clear();
+    for (const std::string& tbl : all_elem) {
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT f.origin, t.target FROM " +
+                                   std::string(kFrontier) + " f JOIN " + tbl +
+                                   " t ON t.source = f.id WHERE t.docid = " +
+                                   D(doc)));
+      for (auto& row : r.rows) {
+        if (name_test == "*" || tbl_to_name[tbl] == name_test) {
+          out.push_back({row[0], row[1]});
+        }
+        frontier.emplace_back(row[0], row[1]);
+      }
+    }
+  }
+  std::unordered_map<int64_t, size_t> ctx_pos;
+  for (size_t i = 0; i < context.size(); ++i) ctx_pos[context[i].AsInt()] = i;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const StepResult& a, const StepResult& b) {
+                     size_t pa = ctx_pos[a.context.AsInt()];
+                     size_t pb = ctx_pos[b.context.AsInt()];
+                     if (pa != pb) return pa < pb;
+                     return a.node.AsInt() < b.node.AsInt();
+                   });
+  return out;
+}
+
+Result<std::vector<std::string>> BinaryMapping::StringValues(
+    rdb::Database* db, DocId doc, const NodeSet& nodes) const {
+  std::vector<std::string> out(nodes.size());
+  if (nodes.empty()) return out;
+  std::unordered_map<int64_t, size_t> pos;
+  for (size_t i = 0; i < nodes.size(); ++i) pos[nodes[i].AsInt()] = i;
+
+  // Attribute inputs: look the id up in every attribute partition.
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, nodes));
+  std::vector<bool> resolved(nodes.size(), false);
+  for (const auto& l : labels) {
+    if (l.kind != "attr") continue;
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT c.id, t.value FROM " + std::string(kCtx) +
+                                 " c JOIN " + l.tbl +
+                                 " t ON t.target = c.id WHERE t.docid = " +
+                                 D(doc)));
+    for (auto& row : r.rows) {
+      size_t p = pos[row[0].AsInt()];
+      out[p] = row[1].AsString();
+      resolved[p] = true;
+    }
+  }
+  // Element inputs: expand subtrees collecting text.
+  std::vector<std::pair<Value, Value>> frontier;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!resolved[i]) frontier.emplace_back(nodes[i], nodes[i]);
+  }
+  std::vector<std::pair<int64_t, std::pair<int64_t, std::string>>> texts;
+  std::vector<std::string> elem_tbls;
+  for (const auto& l : labels) {
+    if (l.kind == "elem") elem_tbls.push_back(l.tbl);
+  }
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    frontier.clear();
+    ASSIGN_OR_RETURN(QueryResult tr,
+                     db->Execute("SELECT f.origin, t.target, t.value FROM " +
+                                 std::string(kFrontier) +
+                                 " f JOIN bt_text t ON t.source = f.id "
+                                 "WHERE t.docid = " + D(doc)));
+    for (auto& row : tr.rows) {
+      texts.push_back({row[0].AsInt(), {row[1].AsInt(), row[2].AsString()}});
+    }
+    for (const std::string& tbl : elem_tbls) {
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT f.origin, t.target FROM " +
+                                   std::string(kFrontier) + " f JOIN " + tbl +
+                                   " t ON t.source = f.id WHERE t.docid = " +
+                                   D(doc)));
+      for (auto& row : r.rows) frontier.emplace_back(row[0], row[1]);
+    }
+  }
+  std::sort(texts.begin(), texts.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.first < b.second.first;
+  });
+  for (auto& [origin, t] : texts) out[pos[origin]] += t.second;
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
+    rdb::Database* db, DocId doc, const rdb::Value& node) const {
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  // Identify the node: search element partitions for target = node.
+  std::string node_name;
+  for (const auto& l : labels) {
+    if (l.kind != "elem") continue;
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT target FROM " + l.tbl +
+                                 " WHERE docid = " + D(doc) +
+                                 " AND target = " + SqlLiteral(node)));
+    if (!r.rows.empty()) {
+      node_name = l.name;
+      break;
+    }
+  }
+  if (node_name.empty()) {
+    // Could be an attribute node.
+    for (const auto& l : labels) {
+      if (l.kind != "attr") continue;
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT value FROM " + l.tbl +
+                                   " WHERE docid = " + D(doc) +
+                                   " AND target = " + SqlLiteral(node)));
+      if (!r.rows.empty()) {
+        return std::make_unique<xml::Node>(xml::NodeKind::kAttribute, l.name,
+                                           r.rows[0][0].AsString());
+      }
+    }
+    return Status::NotFound("node " + node.ToString());
+  }
+
+  // Gather the subtree: per-level joins against every partition.
+  struct ChildRow {
+    int64_t ordinal;
+    std::string kind;   // elem | attr | text
+    std::string name;
+    int64_t target;
+    std::string value;
+  };
+  std::map<int64_t, std::vector<ChildRow>> children;
+  std::vector<std::pair<Value, Value>> frontier{{node, node}};
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    frontier.clear();
+    for (const auto& l : labels) {
+      std::string cols = l.kind == "attr"
+                             ? "f.id, t.ordinal, t.target, t.value"
+                             : "f.id, t.ordinal, t.target";
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT " + cols + " FROM " +
+                                   std::string(kFrontier) + " f JOIN " + l.tbl +
+                                   " t ON t.source = f.id WHERE t.docid = " +
+                                   D(doc)));
+      for (auto& row : r.rows) {
+        ChildRow cr;
+        cr.ordinal = row[1].AsInt();
+        cr.kind = l.kind;
+        cr.name = l.name;
+        cr.target = row[2].AsInt();
+        if (l.kind == "attr") cr.value = row[3].AsString();
+        if (l.kind == "elem") {
+          frontier.emplace_back(Value(cr.target), Value(cr.target));
+        }
+        children[row[0].AsInt()].push_back(std::move(cr));
+      }
+    }
+    ASSIGN_OR_RETURN(QueryResult tr,
+                     db->Execute("SELECT f.id, t.ordinal, t.target, t.value "
+                                 "FROM " + std::string(kFrontier) +
+                                 " f JOIN bt_text t ON t.source = f.id "
+                                 "WHERE t.docid = " + D(doc)));
+    for (auto& row : tr.rows) {
+      ChildRow cr;
+      cr.ordinal = row[1].AsInt();
+      cr.kind = "text";
+      cr.target = row[2].AsInt();
+      cr.value = row[3].AsString();
+      children[row[0].AsInt()].push_back(std::move(cr));
+    }
+  }
+
+  auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement, node_name);
+  struct Assembler {
+    std::map<int64_t, std::vector<ChildRow>>* children;
+    void Build(xml::Node* el, int64_t id) {
+      auto it = children->find(id);
+      if (it == children->end()) return;
+      std::sort(it->second.begin(), it->second.end(),
+                [](const ChildRow& a, const ChildRow& b) {
+                  return a.ordinal < b.ordinal;
+                });
+      for (const ChildRow& cr : it->second) {
+        if (cr.kind == "attr") {
+          el->SetAttr(cr.name, cr.value);
+        } else if (cr.kind == "text") {
+          el->AddText(cr.value);
+        } else {
+          xml::Node* child = el->AddElement(cr.name);
+          Build(child, cr.target);
+        }
+      }
+    }
+  };
+  Assembler a{&children};
+  a.Build(root.get(), node.AsInt());
+  return root;
+}
+
+Result<NodeSet> BinaryMapping::SubtreeElementIds(rdb::Database* db, DocId doc,
+                                                 const rdb::Value& node) const {
+  NodeSet ids{node};
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  std::vector<std::pair<Value, Value>> frontier{{node, node}};
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    frontier.clear();
+    for (const auto& l : labels) {
+      if (l.kind != "elem") continue;
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT t.target FROM " +
+                                   std::string(kFrontier) + " f JOIN " + l.tbl +
+                                   " t ON t.source = f.id WHERE t.docid = " +
+                                   D(doc)));
+      for (auto& row : r.rows) {
+        ids.push_back(row[0]);
+        frontier.emplace_back(row[0], row[0]);
+      }
+    }
+  }
+  return ids;
+}
+
+Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
+                                    const rdb::Value& parent,
+                                    const xml::Node& subtree) {
+  if (!subtree.IsElement()) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  ASSIGN_OR_RETURN(QueryResult maxq,
+                   db->Execute("SELECT max_id FROM bin_docs WHERE docid = " +
+                               D(doc)));
+  if (maxq.rows.empty()) return Status::NotFound("document " + D(doc));
+  int64_t counter = maxq.rows[0][0].AsInt() + 1;
+
+  // Next ordinal across all child partitions of `parent`.
+  int64_t ordinal = 1;
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  std::vector<std::string> child_tables{"bt_text"};
+  for (const auto& l : labels) child_tables.push_back(l.tbl);
+  for (const std::string& tbl : child_tables) {
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT MAX(ordinal) FROM " + tbl +
+                                 " WHERE docid = " + D(doc) +
+                                 " AND source = " + SqlLiteral(parent)));
+    if (!r.rows.empty() && !r.rows[0][0].is_null()) {
+      ordinal = std::max(ordinal, r.rows[0][0].AsInt() + 1);
+    }
+  }
+
+  int64_t root_id = counter++;
+  ASSIGN_OR_RETURN(std::string tbl, TableFor(db, subtree.name(), "elem"));
+  rdb::Table* t = db->FindTable(tbl);
+  ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                   t->Insert({Value(doc), parent, Value(ordinal), Value(root_id)}));
+  RETURN_IF_ERROR(ShredInto(subtree, doc, root_id, &counter, db));
+  return db
+      ->Execute("UPDATE bin_docs SET max_id = " + std::to_string(counter - 1) +
+                " WHERE docid = " + D(doc))
+      .status();
+}
+
+Status BinaryMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                                    const rdb::Value& node) {
+  ASSIGN_OR_RETURN(NodeSet elems, SubtreeElementIds(db, doc, node));
+  ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
+  // Attribute/text rows hang off subtree elements (source in elems);
+  // element rows are the subtree elements themselves (target in elems).
+  for (const Value& id : elems) {
+    std::string ids = SqlLiteral(id);
+    for (const auto& l : labels) {
+      if (l.kind == "elem") {
+        RETURN_IF_ERROR(db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " +
+                                    D(doc) + " AND target = " + ids)
+                            .status());
+      } else {
+        RETURN_IF_ERROR(db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " +
+                                    D(doc) + " AND source = " + ids)
+                            .status());
+      }
+    }
+    RETURN_IF_ERROR(db->Execute("DELETE FROM bt_text WHERE docid = " + D(doc) +
+                                " AND source = " + ids)
+                        .status());
+  }
+  return Status::OK();
+}
+
+Result<std::string> BinaryMapping::TranslatePathToSql(
+    DocId doc, const xpath::PathExpr& path) const {
+  if (path.HasDescendant()) {
+    return Status::Unsupported(
+        "binary mapping: '//' needs transitive closure (not a single statement)");
+  }
+  if (!path.PredicateFree()) {
+    return Status::Unsupported("binary mapping: SQL translation of predicates");
+  }
+  std::string from, where, select;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const auto& step = path.steps[i];
+    if (step.IsWildcard()) {
+      return Status::Unsupported(
+          "binary mapping: wildcard step needs a union over partitions");
+    }
+    std::string kind = step.axis == xpath::Axis::kAttribute ? "attr" : "elem";
+    // Partition names are deterministic absent sanitization collisions; the
+    // emitted SQL fails with NotFound at execution time if the label was
+    // never stored.
+    std::string tbl =
+        (kind == "elem" ? "be_" : "ba_") + SanitizeName(step.name);
+    std::string alias = "t" + std::to_string(i);
+    if (i > 0) from += ", ";
+    from += tbl + " " + alias;
+    if (!where.empty()) where += " AND ";
+    where += alias + ".docid = " + D(doc);
+    if (i == 0) {
+      where += " AND " + alias + ".source = 0";
+    } else {
+      where += " AND " + alias + ".source = t" + std::to_string(i - 1) + ".target";
+    }
+    select = "SELECT " + alias + ".target FROM ";
+  }
+  return select + from + " WHERE " + where + " ORDER BY t" +
+         std::to_string(path.steps.size() - 1) + ".target";
+}
+
+std::vector<std::string> BinaryMapping::TableNames(const rdb::Database& db) const {
+  std::vector<std::string> out{"bin_labels", "bin_docs", "bt_text"};
+  for (const std::string& t : db.TableNames()) {
+    if (t.rfind("be_", 0) == 0 || t.rfind("ba_", 0) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::shred

@@ -1,0 +1,81 @@
+// Binary mapping (Florescu & Kossmann 1999): the edge table horizontally
+// partitioned by label.
+//
+//   be_<name>(docid, source, ordinal, target)          one per element label
+//   ba_<name>(docid, source, ordinal, target, value)   one per attribute label
+//   bt_text  (docid, source, ordinal, target, value)   all text nodes
+//   bin_labels(name, kind, tbl)                        partition catalog
+//   bin_docs  (docid, root, root_name, max_id)         per-document bookkeeping
+//
+// Name-selective path steps touch exactly one small table (the partition-
+// pruning win over Edge); wildcard steps and reconstruction must visit every
+// partition (the corresponding loss). Node ids are assigned pre-order, as in
+// the edge mapping.
+
+#ifndef XMLRDB_SHRED_BINARY_MAPPING_H_
+#define XMLRDB_SHRED_BINARY_MAPPING_H_
+
+#include <map>
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+class BinaryMapping : public Mapping {
+ public:
+  std::string name() const override { return "binary"; }
+
+  Status Initialize(rdb::Database* db) override;
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Status Remove(DocId doc, rdb::Database* db) override;
+
+  Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
+  Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                              const std::string& name_test) const override;
+  Result<std::vector<StepResult>> Step(rdb::Database* db, DocId doc,
+                                       const NodeSet& context, xpath::Axis axis,
+                                       const std::string& name_test) const override;
+  Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const override;
+
+  Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const override;
+
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree) override;
+  Status DeleteSubtree(rdb::Database* db, DocId doc,
+                       const rdb::Value& node) override;
+
+  /// Child-only predicate-free paths join one partition table per step.
+  Result<std::string> TranslatePathToSql(DocId doc,
+                                         const xpath::PathExpr& path) const override;
+
+ protected:
+  std::vector<std::string> TableNames(const rdb::Database& db) const override;
+
+ private:
+  struct Label {
+    std::string name;
+    std::string kind;  // "elem" | "attr"
+    std::string tbl;
+  };
+
+  /// Loads (and caches) the partition catalog.
+  Result<std::vector<Label>> Labels(rdb::Database* db) const;
+  /// Table name for a label, creating table + catalog row on first use.
+  Result<std::string> TableFor(rdb::Database* db, const std::string& label,
+                               const std::string& kind);
+  /// Existing table for a label; empty string if the label was never stored.
+  Result<std::string> FindTableFor(rdb::Database* db, const std::string& label,
+                                   const std::string& kind) const;
+
+  Result<NodeSet> SubtreeElementIds(rdb::Database* db, DocId doc,
+                                    const rdb::Value& node) const;
+
+  Status ShredInto(const xml::Node& n, DocId doc, int64_t parent,
+                   int64_t* counter, rdb::Database* db);
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_BINARY_MAPPING_H_

@@ -1,0 +1,228 @@
+#include "shred/blob_mapping.h"
+
+#include "shred/shred_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlrdb::shred {
+
+using rdb::QueryResult;
+using rdb::Value;
+
+namespace {
+std::string D(DocId doc) { return std::to_string(doc); }
+}  // namespace
+
+Status BlobMapping::Initialize(rdb::Database* db) {
+  cache_.clear();  // a fresh database invalidates any cached DOMs
+  return db
+      ->Execute("CREATE TABLE blob_docs (docid INTEGER NOT NULL, "
+                "content VARCHAR NOT NULL)")
+      .status();
+}
+
+Result<DocId> BlobMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "blob_docs", "docid"));
+  std::string text = xml::Serialize(doc);
+  rdb::Table* t = db->FindTable("blob_docs");
+  if (t == nullptr) return Status::Internal("blob_docs table missing");
+  ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
+                   t->Insert({Value(docid), Value(std::move(text))}));
+  return docid;
+}
+
+Status BlobMapping::Remove(DocId doc, rdb::Database* db) {
+  cache_.erase(doc);
+  return db->Execute("DELETE FROM blob_docs WHERE docid = " + D(doc)).status();
+}
+
+Result<BlobMapping::CachedDoc*> BlobMapping::Load(rdb::Database* db,
+                                                  DocId doc) const {
+  auto it = cache_.find(doc);
+  if (it != cache_.end()) return &it->second;
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT content FROM blob_docs WHERE docid = " +
+                               D(doc)));
+  if (r.rows.empty()) return Status::NotFound("document " + D(doc));
+  ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> parsed,
+                   xml::Parse(r.rows[0][0].AsString()));
+  CachedDoc cached;
+  cached.doc = std::move(parsed);
+  int64_t next = 0;
+  // Pre-order numbering of all nodes (element, then its attributes, then
+  // children) — matches the id assignment of the shredded mappings.
+  struct Walker {
+    CachedDoc* c;
+    int64_t* next;
+    void Walk(xml::Node* n) {
+      Add(n);
+      for (const auto& a : n->attributes()) Add(a.get());
+      for (const auto& ch : n->children()) {
+        if (ch->IsElement()) {
+          Walk(ch.get());
+        } else {
+          Add(ch.get());
+        }
+      }
+    }
+    void Add(xml::Node* n) {
+      c->ids[n] = *next;
+      c->nodes.push_back(n);
+      ++(*next);
+    }
+  };
+  Walker w{&cached, &next};
+  if (cached.doc->root() != nullptr) w.Walk(cached.doc->root());
+  auto [pos, inserted] = cache_.emplace(doc, std::move(cached));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<Value> BlobMapping::RootElement(rdb::Database* db, DocId doc) const {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  if (c->doc->root() == nullptr) return Status::NotFound("no root element");
+  return Value(c->ids.at(c->doc->root()));
+}
+
+Result<NodeSet> BlobMapping::AllElements(rdb::Database* db, DocId doc,
+                                         const std::string& name_test) const {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  NodeSet out;
+  for (size_t i = 0; i < c->nodes.size(); ++i) {
+    const xml::Node* n = c->nodes[i];
+    if (n->IsElement() && (name_test == "*" || n->name() == name_test)) {
+      out.push_back(Value(static_cast<int64_t>(i)));
+    }
+  }
+  return out;
+}
+
+namespace {
+void CollectDescendants(const xml::Node& n, const std::string& test,
+                        std::vector<const xml::Node*>* out) {
+  for (const auto& c : n.children()) {
+    if (c->IsElement()) {
+      if (test == "*" || c->name() == test) out->push_back(c.get());
+      CollectDescendants(*c, test, out);
+    }
+  }
+}
+}  // namespace
+
+Result<std::vector<StepResult>> BlobMapping::Step(
+    rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+    const std::string& name_test) const {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  std::vector<StepResult> out;
+  for (const Value& ctx : context) {
+    size_t idx = static_cast<size_t>(ctx.AsInt());
+    if (idx >= c->nodes.size()) {
+      return Status::NotFound("blob node " + ctx.ToString());
+    }
+    const xml::Node* n = c->nodes[idx];
+    std::vector<const xml::Node*> hits;
+    switch (axis) {
+      case xpath::Axis::kChild:
+        for (const auto& ch : n->children()) {
+          if (ch->IsElement() &&
+              (name_test == "*" || ch->name() == name_test)) {
+            hits.push_back(ch.get());
+          }
+        }
+        break;
+      case xpath::Axis::kDescendant:
+        CollectDescendants(*n, name_test, &hits);
+        break;
+      case xpath::Axis::kAttribute:
+        for (const auto& a : n->attributes()) {
+          if (name_test == "*" || a->name() == name_test) {
+            hits.push_back(a.get());
+          }
+        }
+        break;
+    }
+    for (const xml::Node* h : hits) {
+      out.push_back({ctx, Value(c->ids.at(h))});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> BlobMapping::StringValues(
+    rdb::Database* db, DocId doc, const NodeSet& nodes) const {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const Value& v : nodes) {
+    size_t idx = static_cast<size_t>(v.AsInt());
+    if (idx >= c->nodes.size()) {
+      return Status::NotFound("blob node " + v.ToString());
+    }
+    out.push_back(c->nodes[idx]->StringValue());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> BlobMapping::ReconstructSubtree(
+    rdb::Database* db, DocId doc, const rdb::Value& node) const {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  size_t idx = static_cast<size_t>(node.AsInt());
+  if (idx >= c->nodes.size()) {
+    return Status::NotFound("blob node " + node.ToString());
+  }
+  return c->nodes[idx]->Clone();
+}
+
+Status BlobMapping::Flush(rdb::Database* db, DocId doc) {
+  auto it = cache_.find(doc);
+  if (it == cache_.end()) return Status::Internal("flush without cached doc");
+  std::string text = xml::Serialize(*it->second.doc);
+  RETURN_IF_ERROR(db->Execute("UPDATE blob_docs SET content = " +
+                              SqlLiteral(Value(text)) + " WHERE docid = " +
+                              D(doc))
+                      .status());
+  // Drop the cache entry: ids were invalidated by the mutation.
+  cache_.erase(it);
+  return Status::OK();
+}
+
+Status BlobMapping::InsertSubtree(rdb::Database* db, DocId doc,
+                                  const rdb::Value& parent,
+                                  const xml::Node& subtree) {
+  if (!subtree.IsElement()) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  size_t idx = static_cast<size_t>(parent.AsInt());
+  if (idx >= c->nodes.size()) {
+    return Status::NotFound("blob node " + parent.ToString());
+  }
+  c->nodes[idx]->AddChild(subtree.Clone());
+  return Flush(db, doc);
+}
+
+Status BlobMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                                  const rdb::Value& node) {
+  ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
+  size_t idx = static_cast<size_t>(node.AsInt());
+  if (idx >= c->nodes.size()) {
+    return Status::NotFound("blob node " + node.ToString());
+  }
+  xml::Node* target = c->nodes[idx];
+  xml::Node* parent = target->parent();
+  if (parent == nullptr) {
+    return Status::InvalidArgument("cannot delete the root element");
+  }
+  for (size_t i = 0; i < parent->children().size(); ++i) {
+    if (parent->children()[i].get() == target) {
+      parent->RemoveChild(i);
+      return Flush(db, doc);
+    }
+  }
+  return Status::Internal("node not found under its parent");
+}
+
+}  // namespace xmlrdb::shred

@@ -1,0 +1,71 @@
+// Blob mapping: the "use the RDBMS as a smart file system" baseline.
+//
+//   blob_docs(docid, content)
+//
+// The whole document is one VARCHAR. Queries parse the text (once — a
+// per-document DOM cache mirrors what any real system would do) and navigate
+// in memory via the DOM evaluator primitives. Node ids are pre-order ranks
+// over the full node sequence (elements, attributes, text).
+//
+// Expected behaviour in the benchmarks: fastest store, fastest full-document
+// retrieval, no indexability — every first-touch query pays a full parse.
+
+#ifndef XMLRDB_SHRED_BLOB_MAPPING_H_
+#define XMLRDB_SHRED_BLOB_MAPPING_H_
+
+#include <map>
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+class BlobMapping : public Mapping {
+ public:
+  std::string name() const override { return "blob"; }
+
+  Status Initialize(rdb::Database* db) override;
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Status Remove(DocId doc, rdb::Database* db) override;
+
+  Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
+  Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                              const std::string& name_test) const override;
+  Result<std::vector<StepResult>> Step(rdb::Database* db, DocId doc,
+                                       const NodeSet& context, xpath::Axis axis,
+                                       const std::string& name_test) const override;
+  Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const override;
+
+  Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const override;
+
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree) override;
+  Status DeleteSubtree(rdb::Database* db, DocId doc,
+                       const rdb::Value& node) override;
+
+  /// Drops the DOM cache (so benchmarks can measure cold-parse cost).
+  void ClearCache() { cache_.clear(); }
+
+ protected:
+  std::vector<std::string> TableNames(const rdb::Database& db) const override {
+    (void)db;
+    return {"blob_docs"};
+  }
+
+ private:
+  struct CachedDoc {
+    std::unique_ptr<xml::Document> doc;
+    std::vector<xml::Node*> nodes;               // id -> node (pre-order)
+    std::map<const xml::Node*, int64_t> ids;     // node -> id
+  };
+
+  Result<CachedDoc*> Load(rdb::Database* db, DocId doc) const;
+  Status Flush(rdb::Database* db, DocId doc);
+
+  mutable std::map<DocId, CachedDoc> cache_;
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_BLOB_MAPPING_H_

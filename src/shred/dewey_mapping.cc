@@ -1,0 +1,357 @@
+#include "shred/dewey_mapping.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "shred/shred_util.h"
+
+namespace xmlrdb::shred {
+
+using rdb::DataType;
+using rdb::QueryResult;
+using rdb::Value;
+
+namespace {
+constexpr const char* kCtx = "_dw_ctx";
+
+std::string D(DocId doc) { return std::to_string(doc); }
+}  // namespace
+
+std::string DeweyComponent(int64_t ordinal) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06lld", static_cast<long long>(ordinal));
+  return buf;
+}
+
+std::string DeweyChild(const std::string& parent, int64_t ordinal) {
+  if (parent.empty()) return DeweyComponent(ordinal);
+  return parent + "." + DeweyComponent(ordinal);
+}
+
+Status DeweyMapping::Initialize(rdb::Database* db) {
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE dw_nodes ("
+                              "docid INTEGER NOT NULL, "
+                              "dewey VARCHAR NOT NULL, "
+                              "level INTEGER NOT NULL, "
+                              "kind VARCHAR NOT NULL, "
+                              "name VARCHAR, "
+                              "value VARCHAR)")
+                      .status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX dw_key ON dw_nodes (docid, dewey)").status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX dw_name ON dw_nodes (docid, name, dewey)")
+          .status());
+  return Status::OK();
+}
+
+namespace {
+
+void ShredDewey(const xml::Node& n, DocId doc, const std::string& my_dewey,
+                int64_t level, std::vector<rdb::Row>* rows) {
+  rows->push_back({Value(doc), Value(my_dewey), Value(level), Value("elem"),
+                   Value(n.name()), Value::Null()});
+  int64_t slot = 1;
+  for (const auto& a : n.attributes()) {
+    rows->push_back({Value(doc), Value(DeweyChild(my_dewey, slot++)),
+                     Value(level + 1), Value("attr"), Value(a->name()),
+                     Value(a->value())});
+  }
+  for (const auto& c : n.children()) {
+    switch (c->kind()) {
+      case xml::NodeKind::kElement:
+        ShredDewey(*c, doc, DeweyChild(my_dewey, slot++), level + 1, rows);
+        break;
+      case xml::NodeKind::kText:
+        rows->push_back({Value(doc), Value(DeweyChild(my_dewey, slot++)),
+                         Value(level + 1), Value("text"), Value::Null(),
+                         Value(c->value())});
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<DocId> DeweyMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  const xml::Node* root = doc.root();
+  if (root == nullptr) return Status::InvalidArgument("document has no root");
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "dw_nodes", "docid"));
+  std::vector<rdb::Row> rows;
+  ShredDewey(*root, docid, DeweyComponent(1), 1, &rows);
+  rdb::Table* t = db->FindTable("dw_nodes");
+  if (t == nullptr) return Status::Internal("dw_nodes table missing");
+  RETURN_IF_ERROR(t->InsertMany(std::move(rows)));
+  return docid;
+}
+
+Status DeweyMapping::Remove(DocId doc, rdb::Database* db) {
+  return db->Execute("DELETE FROM dw_nodes WHERE docid = " + D(doc)).status();
+}
+
+Result<Value> DeweyMapping::RootElement(rdb::Database* db, DocId doc) const {
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT dewey FROM dw_nodes WHERE docid = " +
+                               D(doc) + " AND dewey = '" + DeweyComponent(1) +
+                               "'"));
+  if (r.rows.empty()) return Status::NotFound("document " + D(doc));
+  return r.rows[0][0];
+}
+
+Result<NodeSet> DeweyMapping::AllElements(rdb::Database* db, DocId doc,
+                                          const std::string& name_test) const {
+  std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = " + D(doc) +
+                    " AND kind = 'elem'";
+  if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+  sql += " ORDER BY dewey";
+  ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+  NodeSet out;
+  out.reserve(r.rows.size());
+  for (auto& row : r.rows) out.push_back(row[0]);
+  return out;
+}
+
+Result<std::vector<StepResult>> DeweyMapping::Step(
+    rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+    const std::string& name_test) const {
+  std::vector<StepResult> out;
+  if (context.empty()) return out;
+  // Fetch context levels: point lookups for small sets, one join otherwise.
+  std::unordered_map<std::string, int64_t> levels;
+  if (context.size() <= 8) {
+    for (const Value& ctx : context) {
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT level FROM dw_nodes WHERE docid = " +
+                                   D(doc) + " AND dewey = " + SqlLiteral(ctx)));
+      if (!r.rows.empty()) levels[ctx.AsString()] = r.rows[0][0].AsInt();
+    }
+  } else {
+    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kString, context));
+    ASSIGN_OR_RETURN(QueryResult li,
+                     db->Execute("SELECT c.id, n.level FROM " +
+                                 std::string(kCtx) +
+                                 " c JOIN dw_nodes n ON n.dewey = c.id "
+                                 "WHERE n.docid = " + D(doc)));
+    for (auto& row : li.rows) levels[row[0].AsString()] = row[1].AsInt();
+  }
+
+  // Large context sets: one ordered scan of candidate rows merged against
+  // the sorted context key ranges (the string-keyed analogue of the interval
+  // mapping's structural join). Context ranges [d+".", d+"/") are nested or
+  // disjoint.
+  constexpr size_t kMergeThreshold = 4;
+  if (context.size() > kMergeThreshold) {
+    std::string sql = "SELECT dewey, level FROM dw_nodes WHERE docid = " +
+                      D(doc) + " AND kind = '" +
+                      (axis == xpath::Axis::kAttribute ? "attr" : "elem") + "'";
+    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    sql += " ORDER BY dewey";
+    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+
+    struct CtxInfo {
+      std::string lower;  // d + "."
+      std::string upper;  // d + "/"
+      int64_t level;
+    };
+    std::vector<CtxInfo> info;
+    info.reserve(context.size());
+    bool nested = false;
+    for (size_t i = 0; i < context.size(); ++i) {
+      const std::string& d = context[i].AsString();
+      auto lit = levels.find(d);
+      if (lit == levels.end()) return Status::NotFound("dewey node " + d);
+      info.push_back({d + ".", d + "/", lit->second});
+      if (i > 0 && info[i].lower < info[i - 1].upper) nested = true;
+    }
+    std::vector<std::pair<size_t, StepResult>> hits;
+    if (!nested) {
+      size_t ci = 0;
+      for (auto& row : r.rows) {
+        const std::string& d = row[0].AsString();
+        int64_t level = row[1].AsInt();
+        while (ci < info.size() && info[ci].upper <= d) ++ci;
+        if (ci >= info.size()) break;
+        if (d <= info[ci].lower) continue;  // before this context's subtree
+        if (axis != xpath::Axis::kDescendant && level != info[ci].level + 1) {
+          continue;
+        }
+        hits.emplace_back(ci, StepResult{context[ci], row[0]});
+      }
+    } else {
+      std::vector<size_t> stack;
+      size_t next_ctx = 0;
+      for (auto& row : r.rows) {
+        const std::string& d = row[0].AsString();
+        int64_t level = row[1].AsInt();
+        while (next_ctx < info.size() && info[next_ctx].lower < d) {
+          stack.push_back(next_ctx++);
+        }
+        while (!stack.empty() && info[stack.back()].upper <= d) stack.pop_back();
+        for (size_t sc : stack) {
+          if (d <= info[sc].lower || d >= info[sc].upper) continue;
+          if (axis != xpath::Axis::kDescendant && level != info[sc].level + 1) {
+            continue;
+          }
+          hits.emplace_back(sc, StepResult{context[sc], row[0]});
+        }
+      }
+    }
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.reserve(hits.size());
+    for (auto& [ci, sr] : hits) out.push_back(std::move(sr));
+    return out;
+  }
+
+  for (const Value& ctx : context) {
+    auto it = levels.find(ctx.AsString());
+    if (it == levels.end()) {
+      return Status::NotFound("dewey node " + ctx.ToString());
+    }
+    const std::string& d = ctx.AsString();
+    std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = " + D(doc) +
+                      " AND dewey > " + SqlLiteral(Value(d + ".")) +
+                      " AND dewey < " + SqlLiteral(Value(d + "/"));
+    switch (axis) {
+      case xpath::Axis::kChild:
+        sql += " AND level = " + std::to_string(it->second + 1) +
+               " AND kind = 'elem'";
+        break;
+      case xpath::Axis::kAttribute:
+        sql += " AND level = " + std::to_string(it->second + 1) +
+               " AND kind = 'attr'";
+        break;
+      case xpath::Axis::kDescendant:
+        sql += " AND kind = 'elem'";
+        break;
+    }
+    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    sql += " ORDER BY dewey";
+    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    for (auto& row : r.rows) out.push_back({ctx, row[0]});
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DeweyMapping::StringValues(
+    rdb::Database* db, DocId doc, const NodeSet& nodes) const {
+  std::vector<std::string> out(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const std::string& d = nodes[i].AsString();
+    ASSIGN_OR_RETURN(QueryResult self,
+                     db->Execute("SELECT kind, value FROM dw_nodes "
+                                 "WHERE docid = " + D(doc) + " AND dewey = " +
+                                 SqlLiteral(nodes[i])));
+    if (self.rows.empty()) continue;
+    if (self.rows[0][0].AsString() != "elem") {
+      out[i] = self.rows[0][1].is_null() ? "" : self.rows[0][1].AsString();
+      continue;
+    }
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT value FROM dw_nodes WHERE docid = " +
+                                 D(doc) + " AND dewey > " +
+                                 SqlLiteral(Value(d + ".")) + " AND dewey < " +
+                                 SqlLiteral(Value(d + "/")) +
+                                 " AND kind = 'text' ORDER BY dewey"));
+    for (auto& row : r.rows) {
+      if (!row[0].is_null()) out[i] += row[0].AsString();
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> DeweyMapping::ReconstructSubtree(
+    rdb::Database* db, DocId doc, const rdb::Value& node) const {
+  ASSIGN_OR_RETURN(QueryResult self,
+                   db->Execute("SELECT level, kind, name, value FROM dw_nodes "
+                               "WHERE docid = " + D(doc) + " AND dewey = " +
+                               SqlLiteral(node)));
+  if (self.rows.empty()) return Status::NotFound("node " + node.ToString());
+  int64_t root_level = self.rows[0][0].AsInt();
+  const std::string kind = self.rows[0][1].AsString();
+  if (kind == "text") {
+    return std::make_unique<xml::Node>(xml::NodeKind::kText, "",
+                                       self.rows[0][3].AsString());
+  }
+  if (kind == "attr") {
+    return std::make_unique<xml::Node>(xml::NodeKind::kAttribute,
+                                       self.rows[0][2].AsString(),
+                                       self.rows[0][3].AsString());
+  }
+  auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement,
+                                          self.rows[0][2].AsString());
+  const std::string& d = node.AsString();
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT level, kind, name, value FROM dw_nodes "
+                               "WHERE docid = " + D(doc) + " AND dewey > " +
+                               SqlLiteral(Value(d + ".")) + " AND dewey < " +
+                               SqlLiteral(Value(d + "/")) + " ORDER BY dewey"));
+  std::vector<xml::Node*> stack{root.get()};
+  std::vector<int64_t> levels{root_level};
+  for (auto& row : r.rows) {
+    int64_t level = row[0].AsInt();
+    while (levels.back() >= level) {
+      stack.pop_back();
+      levels.pop_back();
+    }
+    xml::Node* parent = stack.back();
+    const std::string& k = row[1].AsString();
+    if (k == "elem") {
+      xml::Node* el = parent->AddElement(row[2].AsString());
+      stack.push_back(el);
+      levels.push_back(level);
+    } else if (k == "attr") {
+      parent->SetAttr(row[2].AsString(), row[3].AsString());
+    } else {
+      parent->AddText(row[3].is_null() ? "" : row[3].AsString());
+    }
+  }
+  return root;
+}
+
+Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
+                                   const rdb::Value& parent,
+                                   const xml::Node& subtree) {
+  if (!subtree.IsElement()) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  const std::string& d = parent.AsString();
+  ASSIGN_OR_RETURN(QueryResult pr,
+                   db->Execute("SELECT level FROM dw_nodes WHERE docid = " +
+                               D(doc) + " AND dewey = " + SqlLiteral(parent)));
+  if (pr.rows.empty()) return Status::NotFound("node " + parent.ToString());
+  int64_t level = pr.rows[0][0].AsInt();
+  // Last used child slot: MAX over direct children.
+  ASSIGN_OR_RETURN(QueryResult mc,
+                   db->Execute("SELECT MAX(dewey) FROM dw_nodes WHERE docid = " +
+                               D(doc) + " AND dewey > " +
+                               SqlLiteral(Value(d + ".")) + " AND dewey < " +
+                               SqlLiteral(Value(d + "/")) + " AND level = " +
+                               std::to_string(level + 1)));
+  int64_t next_slot = 1;
+  if (!mc.rows.empty() && !mc.rows[0][0].is_null()) {
+    const std::string& max_dewey = mc.rows[0][0].AsString();
+    // Last 6-digit component.
+    std::string comp = max_dewey.substr(max_dewey.rfind('.') + 1);
+    next_slot = std::strtoll(comp.c_str(), nullptr, 10) + 1;
+  }
+  std::vector<rdb::Row> rows;
+  ShredDewey(subtree, doc, DeweyChild(d, next_slot), level + 1, &rows);
+  rdb::Table* t = db->FindTable("dw_nodes");
+  return t->InsertMany(std::move(rows));
+}
+
+Status DeweyMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                                   const rdb::Value& node) {
+  const std::string& d = node.AsString();
+  return db
+      ->Execute("DELETE FROM dw_nodes WHERE docid = " + D(doc) +
+                " AND dewey >= " + SqlLiteral(node) + " AND dewey < " +
+                SqlLiteral(Value(d + "/")))
+      .status();
+}
+
+}  // namespace xmlrdb::shred

@@ -1,0 +1,62 @@
+// Dewey-order mapping (Tatarinov et al., SIGMOD 2002).
+//
+//   dw_nodes(docid, dewey, level, kind, name, value)
+//
+// Every node's id is its Dewey path: the root element is "000001"; its k-th
+// child slot is "<parent>.<k>" with each component zero-padded to 6 digits,
+// so plain string order IS document order and the subtree of d is exactly
+// the key range [d, d + "/") ('/' is the successor of '.' in ASCII).
+// Attributes occupy the leading sibling slots of their element.
+//
+// The structural trade against the interval mapping: axis steps are string
+// range scans (slightly wider keys), but appending a subtree touches only
+// the new rows — no renumbering of following nodes or ancestors.
+
+#ifndef XMLRDB_SHRED_DEWEY_MAPPING_H_
+#define XMLRDB_SHRED_DEWEY_MAPPING_H_
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+/// Encodes one Dewey component (1-based) as a fixed-width string.
+std::string DeweyComponent(int64_t ordinal);
+
+/// Appends a component: "000001" + 3 -> "000001.000003".
+std::string DeweyChild(const std::string& parent, int64_t ordinal);
+
+class DeweyMapping : public Mapping {
+ public:
+  std::string name() const override { return "dewey"; }
+
+  Status Initialize(rdb::Database* db) override;
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Status Remove(DocId doc, rdb::Database* db) override;
+
+  Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
+  Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                              const std::string& name_test) const override;
+  Result<std::vector<StepResult>> Step(rdb::Database* db, DocId doc,
+                                       const NodeSet& context, xpath::Axis axis,
+                                       const std::string& name_test) const override;
+  Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const override;
+
+  Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const override;
+
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree) override;
+  Status DeleteSubtree(rdb::Database* db, DocId doc,
+                       const rdb::Value& node) override;
+
+ protected:
+  std::vector<std::string> TableNames(const rdb::Database& db) const override {
+    (void)db;
+    return {"dw_nodes"};
+  }
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_DEWEY_MAPPING_H_

@@ -1,0 +1,415 @@
+#include "shred/edge_mapping.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "shred/shred_util.h"
+
+namespace xmlrdb::shred {
+
+using rdb::DataType;
+using rdb::QueryResult;
+using rdb::Value;
+
+namespace {
+constexpr const char* kCtx = "_edge_ctx";
+constexpr const char* kFrontier = "_edge_frontier";
+
+std::string D(DocId doc) { return std::to_string(doc); }
+}  // namespace
+
+Status EdgeMapping::Initialize(rdb::Database* db) {
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE edge ("
+                              "docid INTEGER NOT NULL, "
+                              "source INTEGER NOT NULL, "
+                              "ordinal INTEGER NOT NULL, "
+                              "kind VARCHAR NOT NULL, "
+                              "name VARCHAR, "
+                              "target INTEGER NOT NULL, "
+                              "value VARCHAR)")
+                      .status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX edge_src ON edge (docid, source, ordinal)")
+          .status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX edge_name ON edge (docid, name)").status());
+  RETURN_IF_ERROR(
+      db->Execute("CREATE INDEX edge_tgt ON edge (docid, target)").status());
+  return Status::OK();
+}
+
+namespace {
+
+/// Pre-order shredding walk. Attributes are numbered before children.
+void ShredNode(const xml::Node& n, DocId doc, int64_t parent, int64_t* counter,
+               std::vector<rdb::Row>* rows) {
+  int64_t ordinal = 1;
+  // Attributes first.
+  for (const auto& a : n.attributes()) {
+    int64_t id = (*counter)++;
+    rows->push_back({Value(doc), Value(parent), Value(ordinal++), Value("attr"),
+                     Value(a->name()), Value(id), Value(a->value())});
+  }
+  for (const auto& c : n.children()) {
+    switch (c->kind()) {
+      case xml::NodeKind::kElement: {
+        int64_t id = (*counter)++;
+        rows->push_back({Value(doc), Value(parent), Value(ordinal++),
+                         Value("elem"), Value(c->name()), Value(id),
+                         Value::Null()});
+        // Recurse with the child's own id as the parent.
+        ShredNode(*c, doc, id, counter, rows);
+        break;
+      }
+      case xml::NodeKind::kText: {
+        int64_t id = (*counter)++;
+        rows->push_back({Value(doc), Value(parent), Value(ordinal++),
+                         Value("text"), Value::Null(), Value(id),
+                         Value(c->value())});
+        break;
+      }
+      default:
+        break;  // comments / PIs are not shredded
+    }
+  }
+}
+
+}  // namespace
+
+Result<DocId> EdgeMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  const xml::Node* root = doc.root();
+  if (root == nullptr) return Status::InvalidArgument("document has no root");
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "edge", "docid"));
+
+  std::vector<rdb::Row> rows;
+  int64_t counter = 1;
+  // Root element edge from the document node (id 0).
+  int64_t root_id = counter++;
+  rows.push_back({Value(docid), Value(static_cast<int64_t>(0)),
+                  Value(static_cast<int64_t>(1)), Value("elem"),
+                  Value(root->name()), Value(root_id), Value::Null()});
+  ShredNode(*root, docid, root_id, &counter, &rows);
+
+  rdb::Table* t = db->FindTable("edge");
+  if (t == nullptr) return Status::Internal("edge table missing");
+  RETURN_IF_ERROR(t->InsertMany(std::move(rows)));
+  return docid;
+}
+
+Status EdgeMapping::Remove(DocId doc, rdb::Database* db) {
+  return db->Execute("DELETE FROM edge WHERE docid = " + D(doc)).status();
+}
+
+Result<Value> EdgeMapping::RootElement(rdb::Database* db, DocId doc) const {
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT target FROM edge WHERE docid = " + D(doc) +
+                               " AND source = 0 AND kind = 'elem'"));
+  if (r.rows.empty()) return Status::NotFound("document " + D(doc));
+  return r.rows[0][0];
+}
+
+Result<NodeSet> EdgeMapping::AllElements(rdb::Database* db, DocId doc,
+                                         const std::string& name_test) const {
+  std::string sql = "SELECT target FROM edge WHERE docid = " + D(doc) +
+                    " AND kind = 'elem'";
+  if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+  sql += " ORDER BY target";
+  ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+  NodeSet out;
+  out.reserve(r.rows.size());
+  for (auto& row : r.rows) out.push_back(row[0]);
+  return out;
+}
+
+Result<std::vector<StepResult>> EdgeMapping::Step(
+    rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+    const std::string& name_test) const {
+  std::vector<StepResult> out;
+  if (context.empty()) return out;
+
+  if (axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute) {
+    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, context));
+    const char* kind = axis == xpath::Axis::kAttribute ? "attr" : "elem";
+    std::string sql = "SELECT c.id, e.target FROM " + std::string(kCtx) +
+                      " c JOIN edge e ON e.source = c.id WHERE e.docid = " +
+                      D(doc) + " AND e.kind = '" + kind + "'";
+    if (name_test != "*") sql += " AND e.name = " + SqlLiteral(Value(name_test));
+    sql += " ORDER BY c.id, e.ordinal";
+    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    out.reserve(r.rows.size());
+    for (auto& row : r.rows) out.push_back({row[0], row[1]});
+    return out;
+  }
+
+  // Descendant: semi-naive frontier expansion, tracking the originating
+  // context so the evaluator can group results.
+  std::vector<std::pair<Value, Value>> frontier;
+  frontier.reserve(context.size());
+  for (const Value& c : context) frontier.emplace_back(c, c);
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    std::string sql =
+        "SELECT f.origin, e.target, e.name FROM " + std::string(kFrontier) +
+        " f JOIN edge e ON e.source = f.id WHERE e.docid = " + D(doc) +
+        " AND e.kind = 'elem' ORDER BY f.origin, e.target";
+    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    frontier.clear();
+    for (auto& row : r.rows) {
+      if (name_test == "*" ||
+          (!row[2].is_null() && row[2].AsString() == name_test)) {
+        out.push_back({row[0], row[1]});
+      }
+      frontier.emplace_back(row[0], row[1]);
+    }
+  }
+  // Group by context input order, node id within.
+  std::unordered_map<int64_t, size_t> ctx_pos;
+  for (size_t i = 0; i < context.size(); ++i) ctx_pos[context[i].AsInt()] = i;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const StepResult& a, const StepResult& b) {
+                     size_t pa = ctx_pos[a.context.AsInt()];
+                     size_t pb = ctx_pos[b.context.AsInt()];
+                     if (pa != pb) return pa < pb;
+                     return a.node.AsInt() < b.node.AsInt();
+                   });
+  return out;
+}
+
+Result<std::vector<std::string>> EdgeMapping::StringValues(
+    rdb::Database* db, DocId doc, const NodeSet& nodes) const {
+  std::vector<std::string> out(nodes.size());
+  if (nodes.empty()) return out;
+  std::unordered_map<int64_t, size_t> pos;
+  for (size_t i = 0; i < nodes.size(); ++i) pos[nodes[i].AsInt()] = i;
+
+  // Direct values: attributes (and text nodes, should they be passed).
+  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, nodes));
+  ASSIGN_OR_RETURN(
+      QueryResult kinds,
+      db->Execute("SELECT c.id, e.kind, e.value FROM " + std::string(kCtx) +
+                  " c JOIN edge e ON e.target = c.id WHERE e.docid = " + D(doc)));
+  std::vector<std::pair<Value, Value>> frontier;
+  for (auto& row : kinds.rows) {
+    const std::string& kind = row[1].AsString();
+    if (kind == "attr" || kind == "text") {
+      out[pos[row[0].AsInt()]] = row[2].is_null() ? "" : row[2].AsString();
+    } else {
+      frontier.emplace_back(row[0], row[0]);
+    }
+  }
+  // Elements: collect descendant text via expansion; concatenate by node id
+  // (document order).
+  std::vector<std::pair<int64_t, std::pair<int64_t, std::string>>> texts;
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        db->Execute("SELECT f.origin, e.target, e.kind, e.value FROM " +
+                    std::string(kFrontier) +
+                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
+                    D(doc) + " AND e.kind <> 'attr'"));
+    frontier.clear();
+    for (auto& row : r.rows) {
+      if (row[2].AsString() == "text") {
+        texts.push_back({row[0].AsInt(),
+                         {row[1].AsInt(),
+                          row[3].is_null() ? "" : row[3].AsString()}});
+      } else {
+        frontier.emplace_back(row[0], row[1]);
+      }
+    }
+  }
+  std::sort(texts.begin(), texts.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.first < b.second.first;
+            });
+  for (auto& [origin, t] : texts) out[pos[origin]] += t.second;
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> EdgeMapping::ReconstructSubtree(
+    rdb::Database* db, DocId doc, const rdb::Value& node) const {
+  // Fetch the node's own row for its name/kind.
+  ASSIGN_OR_RETURN(QueryResult self,
+                   db->Execute("SELECT kind, name, value FROM edge WHERE docid = " +
+                               D(doc) + " AND target = " + SqlLiteral(node)));
+  if (self.rows.empty()) return Status::NotFound("node " + node.ToString());
+  const std::string kind = self.rows[0][0].AsString();
+  if (kind == "text") {
+    return std::make_unique<xml::Node>(xml::NodeKind::kText, "",
+                                       self.rows[0][2].AsString());
+  }
+  if (kind == "attr") {
+    return std::make_unique<xml::Node>(xml::NodeKind::kAttribute,
+                                       self.rows[0][1].AsString(),
+                                       self.rows[0][2].AsString());
+  }
+  auto root = std::make_unique<xml::Node>(xml::NodeKind::kElement,
+                                          self.rows[0][1].AsString());
+  // Level-order expansion gathering all subtree rows, then assemble.
+  struct EdgeRow {
+    int64_t ordinal;
+    std::string kind;
+    std::string name;
+    int64_t target;
+    std::string value;
+    bool value_null;
+  };
+  std::map<int64_t, std::vector<EdgeRow>> children;  // source -> rows
+  std::vector<std::pair<Value, Value>> frontier{{node, node}};
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        db->Execute("SELECT e.source, e.ordinal, e.kind, e.name, e.target, "
+                    "e.value FROM " + std::string(kFrontier) +
+                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
+                    D(doc)));
+    frontier.clear();
+    for (auto& row : r.rows) {
+      EdgeRow er;
+      er.ordinal = row[1].AsInt();
+      er.kind = row[2].AsString();
+      er.name = row[3].is_null() ? "" : row[3].AsString();
+      er.target = row[4].AsInt();
+      er.value_null = row[5].is_null();
+      er.value = er.value_null ? "" : row[5].AsString();
+      if (er.kind == "elem") {
+        frontier.emplace_back(Value(er.target), Value(er.target));
+      }
+      children[row[0].AsInt()].push_back(std::move(er));
+    }
+  }
+  // Assemble recursively.
+  struct Assembler {
+    std::map<int64_t, std::vector<EdgeRow>>* children;
+    void Build(xml::Node* el, int64_t id) {
+      auto it = children->find(id);
+      if (it == children->end()) return;
+      std::sort(it->second.begin(), it->second.end(),
+                [](const EdgeRow& a, const EdgeRow& b) {
+                  return a.ordinal < b.ordinal;
+                });
+      for (const EdgeRow& er : it->second) {
+        if (er.kind == "attr") {
+          el->SetAttr(er.name, er.value);
+        } else if (er.kind == "text") {
+          el->AddText(er.value);
+        } else {
+          xml::Node* child = el->AddElement(er.name);
+          Build(child, er.target);
+        }
+      }
+    }
+  };
+  Assembler a{&children};
+  a.Build(root.get(), node.AsInt());
+  return root;
+}
+
+Result<NodeSet> EdgeMapping::SubtreeIds(rdb::Database* db, DocId doc,
+                                        const rdb::Value& node) const {
+  NodeSet ids{node};
+  std::vector<std::pair<Value, Value>> frontier{{node, node}};
+  while (!frontier.empty()) {
+    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        db->Execute("SELECT e.target, e.kind FROM " + std::string(kFrontier) +
+                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
+                    D(doc)));
+    frontier.clear();
+    for (auto& row : r.rows) {
+      ids.push_back(row[0]);
+      if (row[1].AsString() == "elem") {
+        frontier.emplace_back(row[0], row[0]);
+      }
+    }
+  }
+  return ids;
+}
+
+Status EdgeMapping::InsertSubtree(rdb::Database* db, DocId doc,
+                                  const rdb::Value& parent,
+                                  const xml::Node& subtree) {
+  if (!subtree.IsElement()) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  ASSIGN_OR_RETURN(QueryResult maxq,
+                   db->Execute("SELECT MAX(target) FROM edge WHERE docid = " +
+                               D(doc)));
+  int64_t counter =
+      (maxq.rows.empty() || maxq.rows[0][0].is_null()) ? 1
+                                                       : maxq.rows[0][0].AsInt() + 1;
+  ASSIGN_OR_RETURN(
+      QueryResult ordq,
+      db->Execute("SELECT MAX(ordinal) FROM edge WHERE docid = " + D(doc) +
+                  " AND source = " + SqlLiteral(parent)));
+  int64_t ordinal =
+      (ordq.rows.empty() || ordq.rows[0][0].is_null()) ? 1
+                                                       : ordq.rows[0][0].AsInt() + 1;
+  std::vector<rdb::Row> rows;
+  int64_t root_id = counter++;
+  rows.push_back({Value(doc), parent, Value(ordinal), Value("elem"),
+                  Value(subtree.name()), Value(root_id), Value::Null()});
+  ShredNode(subtree, doc, root_id, &counter, &rows);
+  rdb::Table* t = db->FindTable("edge");
+  if (t == nullptr) return Status::Internal("edge table missing");
+  return t->InsertMany(std::move(rows));
+}
+
+Status EdgeMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                                  const rdb::Value& node) {
+  ASSIGN_OR_RETURN(NodeSet ids, SubtreeIds(db, doc, node));
+  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, ids));
+  // Delete every edge row whose target is in the subtree. (Each node has
+  // exactly one incoming edge row, so this removes the whole subtree.)
+  rdb::Table* edge = db->FindTable("edge");
+  const rdb::Index* tgt = edge->FindIndex("edge_tgt");
+  for (const Value& id : ids) {
+    std::vector<rdb::RowId> rids = tgt->LookupEqual({Value(doc), id});
+    for (rdb::RowId rid : rids) RETURN_IF_ERROR(edge->Delete(rid));
+  }
+  return Status::OK();
+}
+
+Result<std::string> EdgeMapping::TranslatePathToSql(
+    DocId doc, const xpath::PathExpr& path) const {
+  // Child-only, predicate-free paths become an n-way self join; each step i
+  // joins alias e<i> with e<i-1> on source = target.
+  if (path.HasDescendant()) {
+    return Status::Unsupported(
+        "edge mapping: '//' needs transitive closure (not a single statement)");
+  }
+  if (!path.PredicateFree()) {
+    return Status::Unsupported("edge mapping: SQL translation of predicates");
+  }
+  std::string select;
+  std::string from;
+  std::string where;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const auto& step = path.steps[i];
+    std::string alias = "e" + std::to_string(i);
+    if (i > 0) from += ", ";
+    from += "edge " + alias;
+    if (!where.empty()) where += " AND ";
+    where += alias + ".docid = " + D(doc);
+    where += " AND " + alias + ".kind = '" +
+             (step.axis == xpath::Axis::kAttribute ? "attr" : "elem") + "'";
+    if (!step.IsWildcard()) {
+      where += " AND " + alias + ".name = " + SqlLiteral(Value(step.name));
+    }
+    if (i == 0) {
+      where += " AND " + alias + ".source = 0";
+    } else {
+      where += " AND " + alias + ".source = e" + std::to_string(i - 1) + ".target";
+    }
+    select = "SELECT " + alias + ".target FROM ";
+  }
+  return select + from + " WHERE " + where + " ORDER BY e" +
+         std::to_string(path.steps.size() - 1) + ".target";
+}
+
+}  // namespace xmlrdb::shred

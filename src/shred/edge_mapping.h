@@ -1,0 +1,69 @@
+// Edge mapping (Florescu & Kossmann 1999): one universal table of edges.
+//
+//   edge(docid, source, ordinal, kind, name, target, value)
+//
+// Every node (element, attribute, text) is one row describing the edge from
+// its parent: `source` is the parent node id, `target` the node's own id,
+// `ordinal` the position among the parent's children (attributes before
+// children), `kind` one of 'elem' | 'attr' | 'text'. The document node has
+// id 0; node ids are assigned in document (pre-)order, so id order IS
+// document order. Values are stored inline as strings (the "universal value
+// column" simplification; the paper's separate per-type value tables change
+// constants, not plan shapes).
+//
+// Path steps become self-joins on the edge table. The descendant axis needs
+// transitive closure, evaluated semi-naively with a frontier table — the
+// known weakness this mapping trades for schema universality.
+
+#ifndef XMLRDB_SHRED_EDGE_MAPPING_H_
+#define XMLRDB_SHRED_EDGE_MAPPING_H_
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+class EdgeMapping : public Mapping {
+ public:
+  std::string name() const override { return "edge"; }
+
+  Status Initialize(rdb::Database* db) override;
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Status Remove(DocId doc, rdb::Database* db) override;
+
+  Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
+  Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                              const std::string& name_test) const override;
+  Result<std::vector<StepResult>> Step(rdb::Database* db, DocId doc,
+                                       const NodeSet& context, xpath::Axis axis,
+                                       const std::string& name_test) const override;
+  Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const override;
+
+  Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const override;
+
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree) override;
+  Status DeleteSubtree(rdb::Database* db, DocId doc,
+                       const rdb::Value& node) override;
+
+  /// Child-axis-only paths translate to an n-way self join; descendant axes
+  /// are rejected (closure is not expressible in one statement).
+  Result<std::string> TranslatePathToSql(DocId doc,
+                                         const xpath::PathExpr& path) const override;
+
+ protected:
+  std::vector<std::string> TableNames(const rdb::Database& db) const override {
+    (void)db;
+    return {"edge"};
+  }
+
+ private:
+  /// Collects the node-id set of the subtree rooted at `node` (inclusive).
+  Result<NodeSet> SubtreeIds(rdb::Database* db, DocId doc,
+                             const rdb::Value& node) const;
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_EDGE_MAPPING_H_

@@ -1,0 +1,28 @@
+// Generic XPath evaluation over any Mapping.
+//
+// Each location step becomes one (or, for closure-based mappings, a few)
+// SQL statements via the mapping's Step primitive; predicates are evaluated
+// set-at-a-time with batched relative-path expansion and string-value
+// fetches. Semantics match xpath::EvalOnDom exactly (it is the test oracle).
+
+#ifndef XMLRDB_SHRED_EVALUATOR_H_
+#define XMLRDB_SHRED_EVALUATOR_H_
+
+#include "shred/mapping.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::shred {
+
+/// Evaluates `path` against the stored document, returning matching node ids
+/// in the mapping's document order.
+Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
+                         rdb::Database* db, DocId doc);
+
+/// Convenience: evaluate and return the string-values of all result nodes.
+Result<std::vector<std::string>> EvalPathStrings(const xpath::PathExpr& path,
+                                                 Mapping* mapping,
+                                                 rdb::Database* db, DocId doc);
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_EVALUATOR_H_

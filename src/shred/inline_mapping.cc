@@ -1,0 +1,805 @@
+#include "shred/inline_mapping.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/str_util.h"
+#include "shred/shred_util.h"
+
+namespace xmlrdb::shred {
+
+using rdb::Column;
+using rdb::DataType;
+using rdb::QueryResult;
+using rdb::Value;
+using xml::Multiplicity;
+using xml::SimplifiedElement;
+
+namespace {
+std::string D(DocId doc) { return std::to_string(doc); }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schema planning
+// ---------------------------------------------------------------------------
+
+std::string InlineMapping::ColPrefix(const std::string& path) {
+  return path.empty() ? "" : "c_" + path + "_";
+}
+
+Result<std::unique_ptr<InlineMapping>> InlineMapping::Create(
+    const xml::Dtd& dtd, const std::string& root_name, bool force_no_inlining) {
+  auto m = std::unique_ptr<InlineMapping>(new InlineMapping());
+  ASSIGN_OR_RETURN(m->sdtd_, xml::SimplifyDtd(dtd));
+  m->root_name_ = root_name;
+  if (m->sdtd_.elements.count(root_name) == 0) {
+    return Status::InvalidArgument("root element '" + root_name +
+                                   "' not declared in the DTD");
+  }
+
+  // 1. Decide which element types get their own table.
+  std::set<std::string> tables;
+  tables.insert(root_name);
+  for (const std::string& r : m->sdtd_.recursive) tables.insert(r);
+  for (const auto& [name, deg] : m->sdtd_.in_degree) {
+    if (deg >= 2) tables.insert(name);
+  }
+  for (const auto& [pname, se] : m->sdtd_.elements) {
+    (void)pname;
+    for (const auto& c : se.children) {
+      if (c.mult == Multiplicity::kStar) tables.insert(c.name);
+    }
+  }
+  if (force_no_inlining) {
+    for (const auto& [name, se] : m->sdtd_.elements) {
+      (void)se;
+      tables.insert(name);
+    }
+  }
+
+  // 2. Build each table's column plan by walking the inline closure.
+  std::set<std::string> used_table_names{"inl_docs"};
+  for (const std::string& x : tables) {
+    std::string base = "inl_" + SanitizeName(x);
+    std::string tname = base;
+    int suffix = 2;
+    while (used_table_names.count(tname) > 0) {
+      tname = base + "_" + std::to_string(suffix++);
+    }
+    used_table_names.insert(tname);
+
+    std::vector<Column> cols{
+        {"docid", DataType::kInt, false, ""},
+        {"id", DataType::kInt, false, ""},
+        {"pid", DataType::kInt, true, ""},
+        {"ppath", DataType::kString, true, ""},
+        {"seq", DataType::kInt, false, ""},
+        {"ord", DataType::kInt, false, ""},
+    };
+    std::set<std::string> used_cols;
+    for (const auto& c : cols) used_cols.insert(c.name);
+    auto add_col = [&](std::string name, DataType type) {
+      while (used_cols.count(name) > 0) name += "_x";
+      used_cols.insert(name);
+      cols.push_back({name, type, true, ""});
+      return name;
+    };
+
+    m->storage_[x] = {true, tname, ""};
+    m->table_element_[tname] = x;
+    m->path_element_[{tname, ""}] = x;
+
+    // Recursive closure over inlined descendants.
+    struct Planner {
+      InlineMapping* m;
+      const std::set<std::string>* tables;
+      const std::string* tname;
+      std::function<std::string(std::string, DataType)> add_col;
+
+      Status Plan(const std::string& type, const std::string& path) {
+        auto it = m->sdtd_.elements.find(type);
+        if (it == m->sdtd_.elements.end()) {
+          return Status::InvalidArgument("element '" + type +
+                                         "' referenced but not declared");
+        }
+        const SimplifiedElement& se = it->second;
+        std::string prefix = ColPrefix(path);
+        if (se.has_text || se.any) {
+          add_col(prefix.empty() ? "tx" : prefix + "tx", DataType::kString);
+        }
+        for (const auto& attr : se.attributes) {
+          add_col((prefix.empty() ? "at_" : prefix + "at_") +
+                      SanitizeName(attr.name),
+                  DataType::kString);
+        }
+        for (const auto& child : se.children) {
+          if (tables->count(child.name) > 0) continue;  // own table
+          std::string cpath = path.empty()
+                                  ? SanitizeName(child.name)
+                                  : path + "_" + SanitizeName(child.name);
+          add_col("c_" + cpath + "_ex", DataType::kBool);
+          add_col("c_" + cpath + "_id", DataType::kInt);
+          add_col("c_" + cpath + "_seq", DataType::kInt);
+          m->storage_[child.name] = {false, *tname, cpath};
+          m->path_element_[{*tname, cpath}] = child.name;
+          RETURN_IF_ERROR(Plan(child.name, cpath));
+        }
+        return Status::OK();
+      }
+    };
+    Planner planner{m.get(), &tables, &tname, add_col};
+    RETURN_IF_ERROR(planner.Plan(x, ""));
+    m->table_columns_[x] = std::move(cols);
+  }
+  return m;
+}
+
+Status InlineMapping::Initialize(rdb::Database* db) {
+  RETURN_IF_ERROR(db->Execute("CREATE TABLE inl_docs (docid INTEGER NOT NULL, "
+                              "max_id INTEGER NOT NULL, "
+                              "root_id INTEGER NOT NULL)")
+                      .status());
+  for (const auto& [elem, cols] : table_columns_) {
+    const std::string& tname = storage_.at(elem).table;
+    ASSIGN_OR_RETURN(rdb::Table * t,
+                     db->CreateTable(tname, rdb::Schema(cols)));
+    RETURN_IF_ERROR(t->CreateIndex(tname + "_id", {"docid", "id"}));
+    RETURN_IF_ERROR(t->CreateIndex(tname + "_pid", {"docid", "pid"}));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Node references
+// ---------------------------------------------------------------------------
+
+rdb::Value InlineMapping::MakeRef(const std::string& table, int64_t row_id,
+                                  const std::string& path) {
+  return Value(table + "|" + std::to_string(row_id) + "|" + path);
+}
+
+Result<InlineMapping::ParsedRef> InlineMapping::ParseRef(
+    const rdb::Value& id) const {
+  if (id.type() != DataType::kString) {
+    return Status::InvalidArgument("inline node ids are strings");
+  }
+  std::vector<std::string> parts = Split(id.AsString(), '|');
+  if (parts.size() != 3 && parts.size() != 4) {
+    return Status::InvalidArgument("malformed inline node id '" +
+                                   id.AsString() + "'");
+  }
+  ParsedRef ref;
+  ref.table = parts[0];
+  ASSIGN_OR_RETURN(ref.row_id, ParseInt64(parts[1]));
+  ref.path = parts[2];
+  if (parts.size() == 4) {
+    if (parts[3].empty() || parts[3][0] != '@') {
+      return Status::InvalidArgument("malformed attribute ref");
+    }
+    ref.attr = parts[3].substr(1);
+  }
+  return ref;
+}
+
+Result<std::string> InlineMapping::ElementTypeAt(const ParsedRef& ref) const {
+  auto it = path_element_.find({ref.table, ref.path});
+  if (it == path_element_.end()) {
+    return Status::NotFound("no element at " + ref.table + "|" + ref.path);
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+struct InlineMapping::RowBuffer {
+  std::string table;
+  std::map<std::string, Value> values;
+};
+
+Status InlineMapping::StoreElement(const xml::Node& el, DocId doc,
+                                   int64_t* counter, RowBuffer* host_row,
+                                   const std::string& path, int64_t pid,
+                                   const std::string& ppath, int64_t seq,
+                                   int64_t ord, rdb::Database* db) {
+  auto sit = storage_.find(el.name());
+  if (sit == storage_.end()) {
+    return Status::ConstraintError("element '" + el.name() +
+                                   "' not declared in the DTD");
+  }
+  const Storage& st = sit->second;
+  const SimplifiedElement& se = sdtd_.elements.at(el.name());
+
+  RowBuffer own_row;
+  RowBuffer* row = host_row;
+  std::string my_path = path;
+  int64_t my_id = (*counter)++;
+  int64_t my_row_id = 0;
+
+  if (st.is_table) {
+    own_row.table = st.table;
+    own_row.values["docid"] = Value(doc);
+    own_row.values["id"] = Value(my_id);
+    own_row.values["pid"] = pid == 0 ? Value::Null() : Value(pid);
+    own_row.values["ppath"] = Value(ppath);
+    own_row.values["seq"] = Value(seq);
+    own_row.values["ord"] = Value(ord);
+    row = &own_row;
+    my_path = "";
+    my_row_id = my_id;
+  } else {
+    if (row == nullptr) {
+      return Status::Internal("inlined element without a host row");
+    }
+    std::string prefix = ColPrefix(st.path);
+    if (row->values.count(prefix + "ex") > 0) {
+      return Status::ConstraintError(
+          "element '" + el.name() +
+          "' occurs more than once but the DTD allows at most one");
+    }
+    row->values[prefix + "ex"] = Value(true);
+    row->values[prefix + "id"] = Value(my_id);
+    row->values[prefix + "seq"] = Value(seq);
+    my_path = st.path;
+    my_row_id = row->values.at("id").AsInt();
+  }
+
+  // Attributes.
+  std::string prefix = ColPrefix(my_path);
+  std::set<std::string> declared_attrs;
+  for (const auto& ad : se.attributes) declared_attrs.insert(ad.name);
+  for (const auto& a : el.attributes()) {
+    if (declared_attrs.count(a->name()) == 0) {
+      return Status::ConstraintError("attribute '" + a->name() +
+                                     "' of element '" + el.name() +
+                                     "' not declared in the DTD");
+    }
+    row->values[(prefix.empty() ? "at_" : prefix + "at_") +
+                SanitizeName(a->name())] = Value(a->value());
+  }
+
+  // Content.
+  std::string text;
+  int64_t child_seq = 0;
+  std::map<std::string, int64_t> ords;
+  std::set<std::string> allowed;
+  for (const auto& c : se.children) allowed.insert(c.name);
+  for (const auto& c : el.children()) {
+    switch (c->kind()) {
+      case xml::NodeKind::kText:
+        if (!se.has_text && !se.any) {
+          if (IsAllWhitespace(c->value())) break;
+          return Status::ConstraintError("unexpected text content in '" +
+                                         el.name() + "'");
+        }
+        text += c->value();
+        break;
+      case xml::NodeKind::kElement: {
+        if (allowed.count(c->name()) == 0) {
+          return Status::ConstraintError("child '" + c->name() +
+                                         "' not allowed in '" + el.name() +
+                                         "' by the DTD");
+        }
+        ++child_seq;
+        int64_t o = ++ords[c->name()];
+        RETURN_IF_ERROR(StoreElement(*c, doc, counter, row, my_path, my_row_id,
+                                     my_path, child_seq, o, db));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!text.empty()) {
+    row->values[prefix.empty() ? "tx" : prefix + "tx"] = Value(std::move(text));
+  }
+
+  if (st.is_table) {
+    // Materialise the row in declared column order.
+    const std::vector<Column>& cols = table_columns_.at(el.name());
+    rdb::Row out;
+    out.reserve(cols.size());
+    for (const Column& c : cols) {
+      auto it = own_row.values.find(c.name);
+      out.push_back(it == own_row.values.end() ? Value::Null() : it->second);
+    }
+    rdb::Table* t = db->FindTable(st.table);
+    if (t == nullptr) return Status::Internal("missing table " + st.table);
+    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid, t->Insert(std::move(out)));
+  }
+  return Status::OK();
+}
+
+Result<DocId> InlineMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  const xml::Node* root = doc.root();
+  if (root == nullptr) return Status::InvalidArgument("document has no root");
+  if (root->name() != root_name_) {
+    return Status::ConstraintError("root element '" + root->name() +
+                                   "' does not match DTD root '" + root_name_ +
+                                   "'");
+  }
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "inl_docs", "docid"));
+  int64_t counter = 1;
+  RETURN_IF_ERROR(StoreElement(*root, docid, &counter, nullptr, "", 0, "", 1, 1,
+                               db));
+  RETURN_IF_ERROR(db->Execute("INSERT INTO inl_docs VALUES (" + D(docid) + ", " +
+                              std::to_string(counter - 1) + ", 1)")
+                      .status());
+  return docid;
+}
+
+Status InlineMapping::Remove(DocId doc, rdb::Database* db) {
+  for (const auto& [elem, cols] : table_columns_) {
+    (void)cols;
+    RETURN_IF_ERROR(db->Execute("DELETE FROM " + storage_.at(elem).table +
+                                " WHERE docid = " + D(doc))
+                        .status());
+  }
+  return db->Execute("DELETE FROM inl_docs WHERE docid = " + D(doc)).status();
+}
+
+// ---------------------------------------------------------------------------
+// Query primitives
+// ---------------------------------------------------------------------------
+
+Result<Value> InlineMapping::RootElement(rdb::Database* db, DocId doc) const {
+  const Storage& st = storage_.at(root_name_);
+  ASSIGN_OR_RETURN(QueryResult r,
+                   db->Execute("SELECT id FROM " + st.table +
+                               " WHERE docid = " + D(doc) + " AND pid IS NULL"));
+  if (r.rows.empty()) return Status::NotFound("document " + D(doc));
+  return MakeRef(st.table, r.rows[0][0].AsInt(), "");
+}
+
+Result<NodeSet> InlineMapping::AllElements(rdb::Database* db, DocId doc,
+                                           const std::string& name_test) const {
+  NodeSet out;
+  for (const auto& [type, st] : storage_) {
+    if (name_test != "*" && type != name_test) continue;
+    if (st.is_table) {
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT id FROM " + st.table +
+                                   " WHERE docid = " + D(doc) + " ORDER BY id"));
+      for (auto& row : r.rows) {
+        out.push_back(MakeRef(st.table, row[0].AsInt(), ""));
+      }
+    } else {
+      std::string ex = "c_" + st.path + "_ex";
+      ASSIGN_OR_RETURN(QueryResult r,
+                       db->Execute("SELECT id FROM " + st.table +
+                                   " WHERE docid = " + D(doc) + " AND " + ex +
+                                   " = TRUE ORDER BY id"));
+      for (auto& row : r.rows) {
+        out.push_back(MakeRef(st.table, row[0].AsInt(), st.path));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<InlineMapping::ChildHit>> InlineMapping::ChildrenOf(
+    rdb::Database* db, DocId doc, const ParsedRef& ref) const {
+  ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
+  const SimplifiedElement& se = sdtd_.elements.at(type);
+  std::vector<ChildHit> hits;
+
+  // One row fetch serves every inlined child.
+  ASSIGN_OR_RETURN(QueryResult row,
+                   db->Execute("SELECT * FROM " + ref.table + " WHERE docid = " +
+                               D(doc) + " AND id = " +
+                               std::to_string(ref.row_id)));
+  if (row.rows.empty()) {
+    return Status::NotFound("inline row " + std::to_string(ref.row_id));
+  }
+  auto col_value = [&](const std::string& name) -> Value {
+    auto idx = row.schema.TryIndexOf(name);
+    return idx.has_value() ? row.rows[0][*idx] : Value::Null();
+  };
+
+  for (const auto& child : se.children) {
+    const Storage& cst = storage_.at(child.name);
+    if (cst.is_table) {
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          db->Execute("SELECT id, seq FROM " + cst.table + " WHERE docid = " +
+                      D(doc) + " AND pid = " + std::to_string(ref.row_id) +
+                      " AND ppath = " + SqlLiteral(Value(ref.path)) +
+                      " ORDER BY seq"));
+      for (auto& rr : r.rows) {
+        hits.push_back({rr[1].AsInt(), child.name,
+                        MakeRef(cst.table, rr[0].AsInt(), "")});
+      }
+    } else {
+      Value ex = col_value("c_" + cst.path + "_ex");
+      if (!ex.is_null() && ex.AsBool()) {
+        Value seq = col_value("c_" + cst.path + "_seq");
+        hits.push_back({seq.is_null() ? 0 : seq.AsInt(), child.name,
+                        MakeRef(ref.table, ref.row_id, cst.path)});
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const ChildHit& a, const ChildHit& b) { return a.seq < b.seq; });
+  return hits;
+}
+
+Result<std::vector<StepResult>> InlineMapping::Step(
+    rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+    const std::string& name_test) const {
+  std::vector<StepResult> out;
+  for (const Value& ctx : context) {
+    ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(ctx));
+    if (!ref.attr.empty()) continue;  // attributes have no children
+    switch (axis) {
+      case xpath::Axis::kChild: {
+        ASSIGN_OR_RETURN(std::vector<ChildHit> hits, ChildrenOf(db, doc, ref));
+        for (const auto& h : hits) {
+          if (name_test == "*" || h.name == name_test) {
+            out.push_back({ctx, h.ref});
+          }
+        }
+        break;
+      }
+      case xpath::Axis::kDescendant: {
+        // BFS through ChildrenOf.
+        std::vector<ParsedRef> frontier{ref};
+        while (!frontier.empty()) {
+          std::vector<ParsedRef> next;
+          for (const ParsedRef& f : frontier) {
+            ASSIGN_OR_RETURN(std::vector<ChildHit> hits, ChildrenOf(db, doc, f));
+            for (const auto& h : hits) {
+              if (name_test == "*" || h.name == name_test) {
+                out.push_back({ctx, h.ref});
+              }
+              ASSIGN_OR_RETURN(ParsedRef pr, ParseRef(h.ref));
+              next.push_back(std::move(pr));
+            }
+          }
+          frontier = std::move(next);
+        }
+        break;
+      }
+      case xpath::Axis::kAttribute: {
+        ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
+        const SimplifiedElement& se = sdtd_.elements.at(type);
+        if (se.attributes.empty()) break;
+        ASSIGN_OR_RETURN(QueryResult row,
+                         db->Execute("SELECT * FROM " + ref.table +
+                                     " WHERE docid = " + D(doc) + " AND id = " +
+                                     std::to_string(ref.row_id)));
+        if (row.rows.empty()) break;
+        std::string prefix = ColPrefix(ref.path);
+        for (const auto& ad : se.attributes) {
+          if (name_test != "*" && ad.name != name_test) continue;
+          std::string col = (prefix.empty() ? "at_" : prefix + "at_") +
+                            SanitizeName(ad.name);
+          auto idx = row.schema.TryIndexOf(col);
+          if (!idx.has_value() || row.rows[0][*idx].is_null()) continue;
+          out.push_back({ctx, Value(ref.table + "|" +
+                                    std::to_string(ref.row_id) + "|" + ref.path +
+                                    "|@" + ad.name)});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> InlineMapping::StringValues(
+    rdb::Database* db, DocId doc, const NodeSet& nodes) const {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const Value& v : nodes) {
+    ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(v));
+    ASSIGN_OR_RETURN(QueryResult row,
+                     db->Execute("SELECT * FROM " + ref.table +
+                                 " WHERE docid = " + D(doc) + " AND id = " +
+                                 std::to_string(ref.row_id)));
+    if (row.rows.empty()) return Status::NotFound("inline row");
+    auto col_value = [&](const std::string& name) -> Value {
+      auto idx = row.schema.TryIndexOf(name);
+      return idx.has_value() ? row.rows[0][*idx] : Value::Null();
+    };
+    std::string prefix = ColPrefix(ref.path);
+    if (!ref.attr.empty()) {
+      Value av = col_value((prefix.empty() ? "at_" : prefix + "at_") +
+                           SanitizeName(ref.attr));
+      out.push_back(av.is_null() ? "" : av.AsString());
+      continue;
+    }
+    // Element: own text plus descendants' text in sequence order.
+    struct Collector {
+      const InlineMapping* m;
+      rdb::Database* db;
+      DocId doc;
+      Status Collect(const ParsedRef& r, std::string* acc) {
+        ASSIGN_OR_RETURN(QueryResult row,
+                         db->Execute("SELECT * FROM " + r.table +
+                                     " WHERE docid = " + D(doc) + " AND id = " +
+                                     std::to_string(r.row_id)));
+        if (row.rows.empty()) return Status::OK();
+        std::string prefix = ColPrefix(r.path);
+        auto idx = row.schema.TryIndexOf(prefix.empty() ? "tx" : prefix + "tx");
+        if (idx.has_value() && !row.rows[0][*idx].is_null()) {
+          acc->append(row.rows[0][*idx].AsString());
+        }
+        ASSIGN_OR_RETURN(std::vector<ChildHit> hits, m->ChildrenOf(db, doc, r));
+        for (const auto& h : hits) {
+          ASSIGN_OR_RETURN(ParsedRef cr, m->ParseRef(h.ref));
+          RETURN_IF_ERROR(Collect(cr, acc));
+        }
+        return Status::OK();
+      }
+    };
+    Collector c{this, db, doc};
+    std::string acc;
+    RETURN_IF_ERROR(c.Collect(ref, &acc));
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction
+// ---------------------------------------------------------------------------
+
+Status InlineMapping::ReconstructInto(rdb::Database* db, DocId doc,
+                                      const ParsedRef& ref,
+                                      xml::Node* out) const {
+  ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
+  const SimplifiedElement& se = sdtd_.elements.at(type);
+  ASSIGN_OR_RETURN(QueryResult row,
+                   db->Execute("SELECT * FROM " + ref.table + " WHERE docid = " +
+                               D(doc) + " AND id = " +
+                               std::to_string(ref.row_id)));
+  if (row.rows.empty()) return Status::NotFound("inline row");
+  auto col_value = [&](const std::string& name) -> Value {
+    auto idx = row.schema.TryIndexOf(name);
+    return idx.has_value() ? row.rows[0][*idx] : Value::Null();
+  };
+  std::string prefix = ColPrefix(ref.path);
+  for (const auto& ad : se.attributes) {
+    Value av = col_value((prefix.empty() ? "at_" : prefix + "at_") +
+                         SanitizeName(ad.name));
+    if (!av.is_null()) out->SetAttr(ad.name, av.AsString());
+  }
+  Value tx = col_value(prefix.empty() ? "tx" : prefix + "tx");
+  if (!tx.is_null() && !tx.AsString().empty()) out->AddText(tx.AsString());
+  ASSIGN_OR_RETURN(std::vector<ChildHit> hits, ChildrenOf(db, doc, ref));
+  for (const auto& h : hits) {
+    xml::Node* child = out->AddElement(h.name);
+    ASSIGN_OR_RETURN(ParsedRef cr, ParseRef(h.ref));
+    RETURN_IF_ERROR(ReconstructInto(db, doc, cr, child));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<xml::Node>> InlineMapping::ReconstructSubtree(
+    rdb::Database* db, DocId doc, const rdb::Value& node) const {
+  ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(node));
+  if (!ref.attr.empty()) {
+    ASSIGN_OR_RETURN(std::vector<std::string> vals,
+                     StringValues(db, doc, {node}));
+    return std::make_unique<xml::Node>(xml::NodeKind::kAttribute, ref.attr,
+                                       vals[0]);
+  }
+  ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
+  auto out = std::make_unique<xml::Node>(xml::NodeKind::kElement, type);
+  RETURN_IF_ERROR(ReconstructInto(db, doc, ref, out.get()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+Status InlineMapping::DeleteRowTree(rdb::Database* db, DocId doc,
+                                    const std::string& table,
+                                    int64_t row_id) const {
+  // Child table rows anywhere under this row.
+  for (const auto& [elem, cols] : table_columns_) {
+    (void)cols;
+    const std::string& ctable = storage_.at(elem).table;
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT id FROM " + ctable + " WHERE docid = " +
+                                 D(doc) + " AND pid = " +
+                                 std::to_string(row_id)));
+    for (auto& rr : r.rows) {
+      RETURN_IF_ERROR(DeleteRowTree(db, doc, ctable, rr[0].AsInt()));
+    }
+  }
+  return db
+      ->Execute("DELETE FROM " + table + " WHERE docid = " + D(doc) +
+                " AND id = " + std::to_string(row_id))
+      .status();
+}
+
+Status InlineMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                                    const rdb::Value& node) {
+  ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(node));
+  if (!ref.attr.empty()) {
+    return Status::InvalidArgument("cannot delete an attribute as a subtree");
+  }
+  if (ref.path.empty()) {
+    ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
+    if (type == root_name_) {
+      return Status::InvalidArgument("cannot delete the root element");
+    }
+    return DeleteRowTree(db, doc, ref.table, ref.row_id);
+  }
+  // Inlined element: NULL its column group (and deeper prefixes), delete any
+  // table rows hanging below it.
+  const std::string elem_type = path_element_.at({ref.table, ref.path});
+  (void)elem_type;
+  // Table rows below: ppath equals ref.path or extends it.
+  for (const auto& [elem, cols] : table_columns_) {
+    (void)cols;
+    const std::string& ctable = storage_.at(elem).table;
+    ASSIGN_OR_RETURN(QueryResult r,
+                     db->Execute("SELECT id, ppath FROM " + ctable +
+                                 " WHERE docid = " + D(doc) + " AND pid = " +
+                                 std::to_string(ref.row_id)));
+    for (auto& rr : r.rows) {
+      const std::string& ppath = rr[1].is_null() ? "" : rr[1].AsString();
+      if (ppath == ref.path || StartsWith(ppath, ref.path + "_")) {
+        RETURN_IF_ERROR(DeleteRowTree(db, doc, ctable, rr[0].AsInt()));
+      }
+    }
+  }
+  // NULL out the column group.
+  std::string host_elem = table_element_.at(ref.table);
+  std::string sets;
+  for (const Column& c : table_columns_.at(host_elem)) {
+    if (StartsWith(c.name, "c_" + ref.path + "_")) {
+      if (!sets.empty()) sets += ", ";
+      sets += c.name + " = NULL";
+    }
+  }
+  if (sets.empty()) return Status::Internal("no columns for inlined element");
+  return db
+      ->Execute("UPDATE " + ref.table + " SET " + sets + " WHERE docid = " +
+                D(doc) + " AND id = " + std::to_string(ref.row_id))
+      .status();
+}
+
+Status InlineMapping::InsertSubtree(rdb::Database* db, DocId doc,
+                                    const rdb::Value& parent,
+                                    const xml::Node& subtree) {
+  if (!subtree.IsElement()) {
+    return Status::InvalidArgument("subtree root must be an element");
+  }
+  ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(parent));
+  if (!ref.attr.empty()) {
+    return Status::InvalidArgument("cannot insert under an attribute");
+  }
+  ASSIGN_OR_RETURN(std::string ptype, ElementTypeAt(ref));
+  const SimplifiedElement& pse = sdtd_.elements.at(ptype);
+  bool allowed = false;
+  for (const auto& c : pse.children) allowed = allowed || c.name == subtree.name();
+  if (!allowed) {
+    return Status::ConstraintError("child '" + subtree.name() +
+                                   "' not allowed in '" + ptype + "'");
+  }
+  const Storage& cst = storage_.at(subtree.name());
+  if (!cst.is_table) {
+    return Status::Unsupported(
+        "inserting a single-occurrence inlined child is not supported; "
+        "only set-valued (table) children can be appended");
+  }
+  ASSIGN_OR_RETURN(QueryResult maxq,
+                   db->Execute("SELECT max_id FROM inl_docs WHERE docid = " +
+                               D(doc)));
+  if (maxq.rows.empty()) return Status::NotFound("document " + D(doc));
+  int64_t counter = maxq.rows[0][0].AsInt() + 1;
+  // seq/ord: append after existing children.
+  ASSIGN_OR_RETURN(std::vector<ChildHit> hits, ChildrenOf(db, doc, ref));
+  int64_t seq = hits.empty() ? 1 : hits.back().seq + 1;
+  int64_t ord = 1;
+  for (const auto& h : hits) {
+    if (h.name == subtree.name()) ++ord;
+  }
+  RETURN_IF_ERROR(StoreElement(subtree, doc, &counter, nullptr, "", ref.row_id,
+                               ref.path, seq, ord, db));
+  return db
+      ->Execute("UPDATE inl_docs SET max_id = " + std::to_string(counter - 1) +
+                " WHERE docid = " + D(doc))
+      .status();
+}
+
+// ---------------------------------------------------------------------------
+// SQL translation & misc
+// ---------------------------------------------------------------------------
+
+Result<std::string> InlineMapping::TranslatePathToSql(
+    DocId doc, const xpath::PathExpr& path) const {
+  if (path.HasDescendant() || !path.PredicateFree()) {
+    return Status::Unsupported("inline mapping: only child-axis, "
+                               "predicate-free paths translate to one SQL");
+  }
+  std::string from, where;
+  int joins = 0;
+  std::string cur_alias;
+  std::string cur_path;
+  std::string cur_type;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const auto& step = path.steps[i];
+    if (step.IsWildcard()) {
+      return Status::Unsupported("inline mapping: wildcard steps");
+    }
+    if (step.axis == xpath::Axis::kAttribute) {
+      if (cur_alias.empty()) {
+        return Status::InvalidArgument("attribute step at path head");
+      }
+      std::string col = (ColPrefix(cur_path).empty()
+                             ? "at_"
+                             : ColPrefix(cur_path) + "at_") +
+                        SanitizeName(step.name);
+      return "SELECT " + cur_alias + "." + col + " FROM " + from + " WHERE " +
+             where + " AND " + cur_alias + "." + col + " IS NOT NULL";
+    }
+    if (i == 0) {
+      if (step.name != root_name_) {
+        return Status::NotFound("path head '" + step.name +
+                                "' is not the DTD root");
+      }
+      cur_type = root_name_;
+      cur_path = "";
+      cur_alias = "r0";
+      from = storage_.at(root_name_).table + " " + cur_alias;
+      where = cur_alias + ".docid = " + D(doc) + " AND " + cur_alias +
+              ".pid IS NULL";
+      continue;
+    }
+    auto sit = storage_.find(step.name);
+    if (sit == storage_.end()) {
+      return Status::NotFound("element '" + step.name + "' not in the DTD");
+    }
+    const Storage& st = sit->second;
+    if (st.is_table) {
+      ++joins;
+      std::string a = "r" + std::to_string(joins);
+      from += ", " + st.table + " " + a;
+      where += " AND " + a + ".docid = " + D(doc) + " AND " + a + ".pid = " +
+               cur_alias + ".id AND " + a + ".ppath = " +
+               SqlLiteral(Value(cur_path));
+      cur_alias = a;
+      cur_path = "";
+      cur_type = step.name;
+    } else {
+      // Same table, no join: just require presence.
+      if (st.table != storage_.at(cur_type).table && !cur_path.empty()) {
+        // Shouldn't happen: inlined child lives in the ancestor's table.
+      }
+      where += " AND " + cur_alias + ".c_" + st.path + "_ex = TRUE";
+      cur_path = st.path;
+      cur_type = step.name;
+    }
+  }
+  std::string id_col =
+      cur_path.empty() ? "id" : "c_" + cur_path + "_id";
+  return "SELECT " + cur_alias + "." + id_col + " FROM " + from + " WHERE " +
+         where;
+}
+
+std::vector<std::string> InlineMapping::TableElementNames() const {
+  std::vector<std::string> out;
+  for (const auto& [elem, cols] : table_columns_) {
+    (void)cols;
+    out.push_back(elem);
+  }
+  return out;
+}
+
+std::vector<std::string> InlineMapping::TableNames(const rdb::Database& db) const {
+  (void)db;
+  std::vector<std::string> out{"inl_docs"};
+  for (const auto& [tname, elem] : table_element_) {
+    (void)elem;
+    out.push_back(tname);
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::shred

@@ -1,0 +1,74 @@
+// Interval mapping (Grust 2002 "tree encoding"): every node is one row
+//
+//   iv_nodes(docid, pre, size, level, kind, name, value)
+//
+// `pre` is the pre-order rank (document order), `size` the number of nodes in
+// the subtree below (so the subtree of n spans (pre, pre+size]), `level` the
+// depth. Axes become pure range predicates:
+//
+//   descendant(n) : pre in (n.pre, n.pre + n.size]
+//   child(n)      : descendant(n) and level = n.level + 1
+//
+// which a (docid, pre) or (docid, name, pre) B+-tree answers with one range
+// scan — the structural win this mapping trades against update cost: inserts
+// and deletes must renumber every following node and resize every ancestor.
+
+#ifndef XMLRDB_SHRED_INTERVAL_MAPPING_H_
+#define XMLRDB_SHRED_INTERVAL_MAPPING_H_
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+class IntervalMapping : public Mapping {
+ public:
+  /// `with_name_index` toggles the (docid, name, pre) index — the A1 ablation.
+  explicit IntervalMapping(bool with_name_index = true)
+      : with_name_index_(with_name_index) {}
+
+  std::string name() const override { return "interval"; }
+
+  Status Initialize(rdb::Database* db) override;
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Status Remove(DocId doc, rdb::Database* db) override;
+
+  Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
+  Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                              const std::string& name_test) const override;
+  Result<std::vector<StepResult>> Step(rdb::Database* db, DocId doc,
+                                       const NodeSet& context, xpath::Axis axis,
+                                       const std::string& name_test) const override;
+  Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const override;
+
+  Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const override;
+
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree) override;
+  Status DeleteSubtree(rdb::Database* db, DocId doc,
+                       const rdb::Value& node) override;
+
+  /// Any predicate-free path (including '//') is one n-way range self-join.
+  Result<std::string> TranslatePathToSql(DocId doc,
+                                         const xpath::PathExpr& path) const override;
+
+ protected:
+  std::vector<std::string> TableNames(const rdb::Database& db) const override {
+    (void)db;
+    return {"iv_nodes"};
+  }
+
+ private:
+  struct NodeInfo {
+    int64_t pre, size, level;
+  };
+  Result<std::vector<NodeInfo>> FetchInfo(rdb::Database* db, DocId doc,
+                                          const NodeSet& nodes) const;
+
+  bool with_name_index_;
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_INTERVAL_MAPPING_H_

@@ -1,0 +1,30 @@
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+Result<std::unique_ptr<xml::Document>> Mapping::Reconstruct(rdb::Database* db,
+                                                            DocId doc) const {
+  ASSIGN_OR_RETURN(rdb::Value root, RootElement(db, doc));
+  ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> tree,
+                   ReconstructSubtree(db, doc, root));
+  auto out = std::make_unique<xml::Document>();
+  out->doc_node()->AddChild(std::move(tree));
+  return out;
+}
+
+Result<std::string> Mapping::TranslatePathToSql(DocId,
+                                                const xpath::PathExpr&) const {
+  return Status::Unsupported("single-statement SQL translation for mapping '" +
+                             name() + "'");
+}
+
+Result<size_t> Mapping::FootprintBytes(const rdb::Database& db) const {
+  size_t total = 0;
+  for (const std::string& t : TableNames(db)) {
+    const rdb::Table* table = db.FindTable(t);
+    if (table != nullptr) total += table->FootprintBytes();
+  }
+  return total;
+}
+
+}  // namespace xmlrdb::shred

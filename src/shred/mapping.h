@@ -1,0 +1,121 @@
+// Mapping: the core abstraction of xmlrdb.
+//
+// A Mapping defines how XML trees are shredded into relational tables and how
+// the XPath evaluator's primitive operations (root lookup, axis steps, string
+// values) translate into SQL against those tables. Six implementations ship
+// with the library:
+//
+//   EdgeMapping      one universal edge table          (Florescu & Kossmann 99)
+//   BinaryMapping    edge table partitioned by label   (Florescu & Kossmann 99)
+//   IntervalMapping  pre/size/level tree encoding      (Grust 02)
+//   DeweyMapping     Dewey order identifiers           (Tatarinov et al. 02)
+//   InlineMapping    DTD-driven inlining               (Shanmugasundaram 99)
+//   BlobMapping      document text baseline ("smart file system")
+//
+// Node identifiers are mapping-specific rdb::Values (integers or strings);
+// within one document they are unique across node kinds, and for mappings
+// that preserve global document order their natural ordering IS document
+// order (edge/binary/interval/blob: integer pre-order; dewey: lexicographic).
+
+#ifndef XMLRDB_SHRED_MAPPING_H_
+#define XMLRDB_SHRED_MAPPING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/database.h"
+#include "xml/node.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::shred {
+
+using DocId = int64_t;
+
+/// A stored node: document plus mapping-specific node id.
+struct NodeRef {
+  DocId doc = 0;
+  rdb::Value id;
+};
+
+using NodeSet = std::vector<rdb::Value>;
+
+/// One (context, result) pair of an axis step. Results are grouped by
+/// context in input order; within one context they follow document order
+/// (or the mapping's best approximation of it — see InlineMapping notes).
+struct StepResult {
+  rdb::Value context;
+  rdb::Value node;
+};
+
+class Mapping {
+ public:
+  virtual ~Mapping() = default;
+
+  /// Short identifier: "edge", "binary", "interval", "dewey", "inline", "blob".
+  virtual std::string name() const = 0;
+
+  /// Creates this mapping's tables and indexes in `db` (idempotent-unsafe:
+  /// call once per database).
+  virtual Status Initialize(rdb::Database* db) = 0;
+
+  /// Shreds `doc` into the tables under a fresh document id.
+  virtual Result<DocId> Store(const xml::Document& doc, rdb::Database* db) = 0;
+
+  /// Removes every row belonging to `doc`.
+  virtual Status Remove(DocId doc, rdb::Database* db) = 0;
+
+  /// The stored root element of `doc`.
+  virtual Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const = 0;
+
+  /// All elements of `doc` whose name matches `name_test` ("*" = all), in
+  /// document order. This is the entry point for '//x' at the path head.
+  virtual Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
+                                      const std::string& name_test) const = 0;
+
+  /// Axis step from every node of `context` (element ids). See StepResult
+  /// for ordering guarantees.
+  virtual Result<std::vector<StepResult>> Step(
+      rdb::Database* db, DocId doc, const NodeSet& context, xpath::Axis axis,
+      const std::string& name_test) const = 0;
+
+  /// XPath string-value: attribute value, or concatenated descendant text
+  /// for elements. One output per input, in order.
+  virtual Result<std::vector<std::string>> StringValues(
+      rdb::Database* db, DocId doc, const NodeSet& nodes) const = 0;
+
+  /// Rebuilds the subtree rooted at `node` as an XML tree.
+  virtual Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
+      rdb::Database* db, DocId doc, const rdb::Value& node) const = 0;
+
+  /// Rebuilds the entire document.
+  Result<std::unique_ptr<xml::Document>> Reconstruct(rdb::Database* db,
+                                                     DocId doc) const;
+
+  /// Appends `subtree` (an element) as the last child of `parent`.
+  virtual Status InsertSubtree(rdb::Database* db, DocId doc,
+                               const rdb::Value& parent,
+                               const xml::Node& subtree) = 0;
+
+  /// Deletes the subtree rooted at `node` (must not be the root element).
+  virtual Status DeleteSubtree(rdb::Database* db, DocId doc,
+                               const rdb::Value& node) = 0;
+
+  /// Translates a whole path into a single SQL SELECT returning node ids,
+  /// where the mapping's table design permits it (used by the plan-shape
+  /// experiment and the quickstart demo). Default: kUnsupported.
+  virtual Result<std::string> TranslatePathToSql(DocId doc,
+                                                 const xpath::PathExpr& path) const;
+
+  /// Approximate storage footprint of this mapping's tables in `db`.
+  virtual Result<size_t> FootprintBytes(const rdb::Database& db) const;
+
+ protected:
+  /// Names of the tables this mapping owns (for FootprintBytes / tooling).
+  virtual std::vector<std::string> TableNames(const rdb::Database& db) const = 0;
+};
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_MAPPING_H_

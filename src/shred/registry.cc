@@ -1,0 +1,32 @@
+#include "shred/registry.h"
+
+#include "shred/binary_mapping.h"
+#include "shred/blob_mapping.h"
+#include "shred/dewey_mapping.h"
+#include "shred/edge_mapping.h"
+#include "shred/interval_mapping.h"
+
+namespace xmlrdb::shred {
+
+Result<std::unique_ptr<Mapping>> CreateMapping(const std::string& name) {
+  if (name == "edge") return std::unique_ptr<Mapping>(new EdgeMapping());
+  if (name == "binary") return std::unique_ptr<Mapping>(new BinaryMapping());
+  if (name == "interval") return std::unique_ptr<Mapping>(new IntervalMapping());
+  if (name == "dewey") return std::unique_ptr<Mapping>(new DeweyMapping());
+  if (name == "blob") return std::unique_ptr<Mapping>(new BlobMapping());
+  return Status::NotFound("unknown mapping '" + name + "'");
+}
+
+std::vector<std::unique_ptr<Mapping>> CreateGenericMappings() {
+  std::vector<std::unique_ptr<Mapping>> out;
+  for (const std::string& name : GenericMappingNames()) {
+    out.push_back(std::move(CreateMapping(name)).value());
+  }
+  return out;
+}
+
+std::vector<std::string> GenericMappingNames() {
+  return {"edge", "binary", "interval", "dewey", "blob"};
+}
+
+}  // namespace xmlrdb::shred

@@ -1,0 +1,26 @@
+// Factory helpers over the mapping implementations.
+
+#ifndef XMLRDB_SHRED_REGISTRY_H_
+#define XMLRDB_SHRED_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+/// Creates a mapping by name: "edge", "binary", "interval", "dewey", "blob".
+/// ("inline" requires a DTD; construct InlineMapping directly.)
+Result<std::unique_ptr<Mapping>> CreateMapping(const std::string& name);
+
+/// All schema-oblivious mappings (everything except inline).
+std::vector<std::unique_ptr<Mapping>> CreateGenericMappings();
+
+/// Names accepted by CreateMapping.
+std::vector<std::string> GenericMappingNames();
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_REGISTRY_H_

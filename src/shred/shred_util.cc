@@ -1,0 +1,58 @@
+#include "shred/shred_util.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::shred {
+
+Status LoadContextTable(rdb::Database* db, const std::string& name,
+                        rdb::DataType id_type, const NodeSet& ids) {
+  if (db->FindTable(name) != nullptr) RETURN_IF_ERROR(db->DropTable(name));
+  rdb::Schema schema({rdb::Column{"id", id_type, false, ""}});
+  ASSIGN_OR_RETURN(rdb::Table * t, db->CreateTable(name, std::move(schema)));
+  for (const rdb::Value& v : ids) {
+    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid, t->Insert({v}));
+  }
+  return Status::OK();
+}
+
+Status LoadFrontierTable(
+    rdb::Database* db, const std::string& name, rdb::DataType id_type,
+    const std::vector<std::pair<rdb::Value, rdb::Value>>& rows) {
+  if (db->FindTable(name) != nullptr) RETURN_IF_ERROR(db->DropTable(name));
+  rdb::Schema schema({rdb::Column{"origin", id_type, false, ""},
+                      rdb::Column{"id", id_type, false, ""}});
+  ASSIGN_OR_RETURN(rdb::Table * t, db->CreateTable(name, std::move(schema)));
+  for (const auto& [origin, id] : rows) {
+    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid, t->Insert({origin, id}));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
+                              const std::string& col) {
+  ASSIGN_OR_RETURN(rdb::QueryResult r,
+                   db->Execute("SELECT MAX(" + col + ") FROM " + table));
+  if (r.rows.empty() || r.rows[0][0].is_null()) return static_cast<int64_t>(1);
+  return r.rows[0][0].AsInt() + 1;
+}
+
+std::string SqlLiteral(const rdb::Value& v) {
+  if (v.type() == rdb::DataType::kString) return SqlQuote(v.AsString());
+  return v.ToString();
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "x" + out;
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::shred

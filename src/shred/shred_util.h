@@ -1,0 +1,39 @@
+// Helpers shared by the relational mappings.
+
+#ifndef XMLRDB_SHRED_SHRED_UTIL_H_
+#define XMLRDB_SHRED_SHRED_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/database.h"
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+/// (Re)creates a single-column temp table `name(id <type>)` filled with `ids`.
+/// Mappings use these as join partners for context node sets.
+Status LoadContextTable(rdb::Database* db, const std::string& name,
+                        rdb::DataType id_type, const NodeSet& ids);
+
+/// (Re)creates a two-column temp table `name(origin <type>, id <type>)`.
+Status LoadFrontierTable(rdb::Database* db, const std::string& name,
+                         rdb::DataType id_type,
+                         const std::vector<std::pair<rdb::Value, rdb::Value>>& rows);
+
+/// MAX(col)+1 over `table` filtered to nothing; 1 when the table is empty.
+Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
+                              const std::string& col);
+
+/// Escapes a value for direct inclusion in generated SQL text.
+std::string SqlLiteral(const rdb::Value& v);
+
+/// Sanitizes an XML name for use as a SQL table/column fragment:
+/// [A-Za-z0-9_] kept, others become '_'; result is never empty and never
+/// starts with a digit.
+std::string SanitizeName(const std::string& name);
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_SHRED_UTIL_H_

@@ -1,0 +1,150 @@
+#include "shred/streaming.h"
+
+#include <vector>
+
+#include "shred/dewey_mapping.h"
+#include "shred/shred_util.h"
+#include "xml/sax.h"
+
+namespace xmlrdb::shred {
+
+using rdb::Value;
+
+namespace {
+
+/// Builds edge rows from the token stream with only the open-element stack.
+class EdgeStreamHandler : public xml::SaxHandler {
+ public:
+  explicit EdgeStreamHandler(DocId doc) : doc_(doc) {
+    stack_.push_back({0, 1});  // document node
+  }
+
+  Status StartElement(std::string_view name) override {
+    Frame& parent = stack_.back();
+    int64_t id = counter_++;
+    rows_.push_back({Value(doc_), Value(parent.id), Value(parent.next_ordinal++),
+                     Value("elem"), Value(std::string(name)), Value(id),
+                     Value::Null()});
+    stack_.push_back({id, 1});
+    return Status::OK();
+  }
+
+  Status Attribute(std::string_view name, std::string_view value) override {
+    Frame& cur = stack_.back();
+    int64_t id = counter_++;
+    rows_.push_back({Value(doc_), Value(cur.id), Value(cur.next_ordinal++),
+                     Value("attr"), Value(std::string(name)), Value(id),
+                     Value(std::string(value))});
+    return Status::OK();
+  }
+
+  Status Text(std::string_view text) override {
+    Frame& cur = stack_.back();
+    int64_t id = counter_++;
+    rows_.push_back({Value(doc_), Value(cur.id), Value(cur.next_ordinal++),
+                     Value("text"), Value::Null(), Value(id),
+                     Value(std::string(text))});
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+
+  std::vector<rdb::Row> TakeRows() { return std::move(rows_); }
+
+ private:
+  struct Frame {
+    int64_t id;
+    int64_t next_ordinal;
+  };
+  DocId doc_;
+  int64_t counter_ = 1;
+  std::vector<Frame> stack_;
+  std::vector<rdb::Row> rows_;
+};
+
+/// Dewey rows from the token stream: the Dewey key IS the stack.
+class DeweyStreamHandler : public xml::SaxHandler {
+ public:
+  explicit DeweyStreamHandler(DocId doc) : doc_(doc) {}
+
+  Status StartElement(std::string_view name) override {
+    std::string dewey;
+    int64_t level;
+    if (stack_.empty()) {
+      dewey = DeweyComponent(1);
+      level = 1;
+    } else {
+      dewey = DeweyChild(stack_.back().dewey, stack_.back().next_slot++);
+      level = stack_.back().level + 1;
+    }
+    rows_.push_back({Value(doc_), Value(dewey), Value(level), Value("elem"),
+                     Value(std::string(name)), Value::Null()});
+    stack_.push_back({std::move(dewey), level, 1});
+    return Status::OK();
+  }
+
+  Status Attribute(std::string_view name, std::string_view value) override {
+    Frame& cur = stack_.back();
+    rows_.push_back({Value(doc_), Value(DeweyChild(cur.dewey, cur.next_slot++)),
+                     Value(cur.level + 1), Value("attr"),
+                     Value(std::string(name)), Value(std::string(value))});
+    return Status::OK();
+  }
+
+  Status Text(std::string_view text) override {
+    Frame& cur = stack_.back();
+    rows_.push_back({Value(doc_), Value(DeweyChild(cur.dewey, cur.next_slot++)),
+                     Value(cur.level + 1), Value("text"), Value::Null(),
+                     Value(std::string(text))});
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+
+  std::vector<rdb::Row> TakeRows() { return std::move(rows_); }
+
+ private:
+  struct Frame {
+    std::string dewey;
+    int64_t level;
+    int64_t next_slot;
+  };
+  DocId doc_;
+  std::vector<Frame> stack_;
+  std::vector<rdb::Row> rows_;
+};
+
+}  // namespace
+
+Result<DocId> StreamStoreEdge(std::string_view xml, rdb::Database* db) {
+  rdb::Table* t = db->FindTable("edge");
+  if (t == nullptr) {
+    return Status::NotFound("edge table missing (run EdgeMapping::Initialize)");
+  }
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "edge", "docid"));
+  EdgeStreamHandler handler(docid);
+  RETURN_IF_ERROR(xml::ParseSax(xml, &handler));
+  RETURN_IF_ERROR(t->InsertMany(handler.TakeRows()));
+  return docid;
+}
+
+Result<DocId> StreamStoreDewey(std::string_view xml, rdb::Database* db) {
+  rdb::Table* t = db->FindTable("dw_nodes");
+  if (t == nullptr) {
+    return Status::NotFound(
+        "dw_nodes table missing (run DeweyMapping::Initialize)");
+  }
+  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "dw_nodes", "docid"));
+  DeweyStreamHandler handler(docid);
+  RETURN_IF_ERROR(xml::ParseSax(xml, &handler));
+  RETURN_IF_ERROR(t->InsertMany(handler.TakeRows()));
+  return docid;
+}
+
+}  // namespace xmlrdb::shred

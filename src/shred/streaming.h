@@ -1,0 +1,32 @@
+// Streaming shredders: bulk-load documents straight from the SAX token
+// stream without materialising a DOM.
+//
+// The edge and dewey encodings are naturally streamable — both need only the
+// open-element stack (pre-order ids / the Dewey path). The interval encoding
+// needs subtree sizes (a post-order quantity) and is deliberately NOT
+// offered here; the tutorial's point that trees are hard to stream and token
+// streams are not is exactly this asymmetry.
+
+#ifndef XMLRDB_SHRED_STREAMING_H_
+#define XMLRDB_SHRED_STREAMING_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdb/database.h"
+#include "shred/mapping.h"
+
+namespace xmlrdb::shred {
+
+/// Shreds XML text directly into the edge table (which must exist:
+/// EdgeMapping::Initialize). Produces rows identical to
+/// EdgeMapping::Store(Parse(xml)).
+Result<DocId> StreamStoreEdge(std::string_view xml, rdb::Database* db);
+
+/// Shreds XML text directly into dw_nodes (DeweyMapping::Initialize first).
+/// Produces rows identical to DeweyMapping::Store(Parse(xml)).
+Result<DocId> StreamStoreDewey(std::string_view xml, rdb::Database* db);
+
+}  // namespace xmlrdb::shred
+
+#endif  // XMLRDB_SHRED_STREAMING_H_

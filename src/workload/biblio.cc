@@ -1,0 +1,66 @@
+#include "workload/biblio.h"
+
+#include "common/rng.h"
+
+namespace xmlrdb::workload {
+
+std::string BiblioDtd() {
+  return R"(
+<!ELEMENT bib (book*, article*)>
+<!ELEMENT book (title, author, publisher?)>
+<!ATTLIST book year CDATA #REQUIRED price CDATA #IMPLIED>
+<!ELEMENT article (title, author*, journal)>
+<!ATTLIST article year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (firstname, lastname)>
+<!ATTLIST author age CDATA #IMPLIED>
+<!ELEMENT firstname (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+)";
+}
+
+namespace {
+void AddAuthor(xml::Node* parent, Rng* rng) {
+  xml::Node* author = parent->AddElement("author");
+  if (rng->Bernoulli(0.5)) {
+    author->SetAttr("age", std::to_string(rng->Uniform(25, 80)));
+  }
+  author->AddElement("firstname")->AddText(rng->Word(3, 8));
+  author->AddElement("lastname")->AddText(rng->Word(4, 10));
+}
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateBiblio(const BiblioConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto doc = std::make_unique<xml::Document>();
+  doc->set_dtd_text(BiblioDtd());
+  doc->set_doctype_name("bib");
+  xml::Node* bib = doc->doc_node()->AddChild(
+      std::make_unique<xml::Node>(xml::NodeKind::kElement, "bib"));
+  for (int64_t i = 0; i < cfg.books; ++i) {
+    xml::Node* book = bib->AddElement("book");
+    book->SetAttr("year", std::to_string(rng.Uniform(1970, 2003)));
+    if (rng.Bernoulli(0.7)) {
+      book->SetAttr("price", std::to_string(rng.Uniform(10, 150)));
+    }
+    book->AddElement("title")->AddText(rng.Word(4, 10) + " " + rng.Word(4, 10));
+    AddAuthor(book, &rng);
+    if (rng.Bernoulli(0.8)) {
+      book->AddElement("publisher")->AddText(rng.Word(5, 12) + " Press");
+    }
+  }
+  for (int64_t i = 0; i < cfg.articles; ++i) {
+    xml::Node* article = bib->AddElement("article");
+    article->SetAttr("year", std::to_string(rng.Uniform(1990, 2003)));
+    article->AddElement("title")->AddText(rng.Word(4, 10) + " " +
+                                          rng.Word(4, 10));
+    int64_t n_authors = rng.Uniform(1, 4);
+    for (int64_t a = 0; a < n_authors; ++a) AddAuthor(article, &rng);
+    article->AddElement("journal")->AddText("Journal of " + rng.Word(5, 10));
+  }
+  return doc;
+}
+
+}  // namespace xmlrdb::workload

@@ -1,0 +1,28 @@
+// Bibliography generator: the book/article corpus the DTD-inlining paper
+// (Shanmugasundaram et al. 1999) uses as its running example.
+
+#ifndef XMLRDB_WORKLOAD_BIBLIO_H_
+#define XMLRDB_WORKLOAD_BIBLIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xmlrdb::workload {
+
+struct BiblioConfig {
+  int64_t books = 100;
+  int64_t articles = 150;
+  uint64_t seed = 11;
+};
+
+std::unique_ptr<xml::Document> GenerateBiblio(const BiblioConfig& config);
+
+/// DTD for the generated bibliography.
+std::string BiblioDtd();
+
+}  // namespace xmlrdb::workload
+
+#endif  // XMLRDB_WORKLOAD_BIBLIO_H_

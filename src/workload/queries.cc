@@ -1,0 +1,35 @@
+#include "workload/queries.h"
+
+namespace xmlrdb::workload {
+
+std::vector<BenchQuery> AuctionQueries() {
+  return {
+      {"Q1", "/site/people/person/name", "short fully-specified path"},
+      {"Q2", "/site/people/person[@id = 'person0']/name",
+       "attribute point selection"},
+      {"Q3", "/site/regions/africa/item/name", "long fully-specified path"},
+      {"Q4", "//item/name", "descendant axis at the path head"},
+      {"Q5", "/site/regions//item/name", "descendant axis mid-path"},
+      {"Q6", "/site/regions/*/item/location", "wildcard step"},
+      {"Q7", "//item[quantity = 2]/name", "value predicate on child element"},
+      {"Q8", "/site/regions/africa/item[3]/name", "positional predicate"},
+      {"Q9", "//person[creditcard]/name", "existence predicate"},
+      {"Q10", "//open_auction[initial > 200]/current",
+       "numeric range predicate"},
+      {"Q11", "//person/@id", "attribute harvest under descendant axis"},
+      {"Q12", "/site/open_auctions/open_auction",
+       "subtree selection (feeds reconstruction)"},
+  };
+}
+
+std::vector<BenchQuery> BiblioQueries() {
+  return {
+      {"B1", "/bib/book/title", "inlined leaf access"},
+      {"B2", "/bib/article/author/lastname", "set-valued child table join"},
+      {"B3", "//author[firstname]/lastname", "existence predicate"},
+      {"B4", "/bib/book[@year = '2000']/title", "attribute selection"},
+      {"B5", "//title", "descendant name lookup"},
+  };
+}
+
+}  // namespace xmlrdb::workload

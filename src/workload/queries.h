@@ -1,0 +1,27 @@
+// The benchmark query workload Q1–Q12 over the auction documents, spanning
+// the query classes the storage-scheme comparison literature reports on.
+
+#ifndef XMLRDB_WORKLOAD_QUERIES_H_
+#define XMLRDB_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace xmlrdb::workload {
+
+struct BenchQuery {
+  std::string id;          ///< "Q1"...
+  std::string xpath;
+  std::string description; ///< the query class it represents
+};
+
+/// The full auction-workload query suite.
+std::vector<BenchQuery> AuctionQueries();
+
+/// A small suite over the bibliography documents (used by the inline
+/// mapping benchmarks, whose DTD is the bibliography's).
+std::vector<BenchQuery> BiblioQueries();
+
+}  // namespace xmlrdb::workload
+
+#endif  // XMLRDB_WORKLOAD_QUERIES_H_

@@ -1,0 +1,54 @@
+#include "workload/random_tree.h"
+
+#include "common/rng.h"
+
+namespace xmlrdb::workload {
+
+namespace {
+
+void Grow(xml::Node* el, Rng* rng, const RandomTreeConfig& cfg, int depth) {
+  for (int a = 0; a < cfg.attr_alphabet; ++a) {
+    if (rng->Bernoulli(cfg.attr_prob)) {
+      std::string value = cfg.numeric_text ? std::to_string(rng->Uniform(0, 99))
+                                           : rng->Word(2, 8);
+      el->SetAttr("a" + std::to_string(a), value);
+    }
+  }
+  bool leafy = depth >= cfg.max_depth;
+  int n_children = leafy ? 0 : static_cast<int>(rng->Uniform(0, cfg.max_children));
+  bool has_text = rng->Bernoulli(cfg.text_prob);
+  bool mixed = has_text && n_children > 0 && rng->Bernoulli(cfg.mixed_prob);
+
+  auto add_text = [&]() {
+    std::string text = cfg.numeric_text ? std::to_string(rng->Uniform(0, 999))
+                                        : rng->Word(1, 12);
+    el->AddText(text);
+  };
+
+  if (has_text && !mixed && n_children == 0) add_text();
+  if (mixed) add_text();
+  for (int i = 0; i < n_children; ++i) {
+    xml::Node* child =
+        el->AddElement("t" + std::to_string(rng->Uniform(0, cfg.tag_alphabet - 1)));
+    Grow(child, rng, cfg, depth + 1);
+    if (mixed && rng->Bernoulli(0.5)) add_text();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateRandomTree(const RandomTreeConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto doc = std::make_unique<xml::Document>();
+  xml::Node* root = doc->doc_node()->AddChild(
+      std::make_unique<xml::Node>(xml::NodeKind::kElement, "root"));
+  Grow(root, &rng, cfg, 1);
+  // Guarantee a non-trivial tree: at least one child.
+  if (root->children().empty()) {
+    xml::Node* child = root->AddElement("t0");
+    child->AddText("x");
+  }
+  return doc;
+}
+
+}  // namespace xmlrdb::workload

@@ -1,0 +1,30 @@
+// Random XML tree generator for property-based testing.
+
+#ifndef XMLRDB_WORKLOAD_RANDOM_TREE_H_
+#define XMLRDB_WORKLOAD_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xml/node.h"
+
+namespace xmlrdb::workload {
+
+struct RandomTreeConfig {
+  uint64_t seed = 42;
+  int max_depth = 5;
+  int max_children = 5;       ///< element children per node
+  int tag_alphabet = 6;       ///< distinct element names t0..t{n-1}
+  int attr_alphabet = 4;      ///< distinct attribute names a0..a{n-1}
+  double attr_prob = 0.4;     ///< probability of each attribute slot
+  double text_prob = 0.5;     ///< probability a node gets a text child
+  double mixed_prob = 0.1;    ///< probability of text interleaved with elements
+  bool numeric_text = false;  ///< emit small integers instead of words
+};
+
+/// Generates a random document. Deterministic in the seed.
+std::unique_ptr<xml::Document> GenerateRandomTree(const RandomTreeConfig& config);
+
+}  // namespace xmlrdb::workload
+
+#endif  // XMLRDB_WORKLOAD_RANDOM_TREE_H_

@@ -1,0 +1,224 @@
+#include "workload/xmark.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace xmlrdb::workload {
+
+namespace {
+
+const char* kRegions[] = {"africa", "asia", "australia", "europe",
+                          "namerica", "samerica"};
+
+const char* kCountries[] = {"United States", "Germany", "Japan", "Kenya",
+                            "Brazil", "Australia", "France", "India"};
+
+const char* kCategories[] = {"antiques", "books", "computers", "coins",
+                             "stamps", "art", "music", "garden"};
+
+std::string Sentence(Rng* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += " ";
+    out += rng->Word(3, 9);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string XMarkDtd() {
+  return R"(
+<!ELEMENT site (regions, categories, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, description, incategory*)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, creditcard?, profile?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*)>
+<!ATTLIST profile income CDATA #IMPLIED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, bidder*, current, itemref, seller)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, personref, increase)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (price, date, quantity, itemref, buyer)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+)";
+}
+
+std::unique_ptr<xml::Document> GenerateXMark(const XMarkConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto count = [&](double base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(base * cfg.scale));
+  };
+  const int64_t n_items = count(200);
+  const int64_t n_people = count(250);
+  const int64_t n_open = count(120);
+  const int64_t n_closed = count(100);
+  const int64_t n_categories =
+      std::min<int64_t>(8, std::max<int64_t>(2, count(8)));
+
+  auto doc = std::make_unique<xml::Document>();
+  doc->set_dtd_text(XMarkDtd());
+  doc->set_doctype_name("site");
+  xml::Node* site = doc->doc_node()->AddChild(
+      std::make_unique<xml::Node>(xml::NodeKind::kElement, "site"));
+
+  // regions / items
+  xml::Node* regions = site->AddElement("regions");
+  int64_t item_no = 0;
+  for (const char* region : kRegions) {
+    xml::Node* r = regions->AddElement(region);
+    int64_t here = n_items / 6 + (item_no % 6 == 0 ? n_items % 6 : 0);
+    for (int64_t i = 0; i < here; ++i) {
+      xml::Node* item = r->AddElement("item");
+      item->SetAttr("id", "item" + std::to_string(item_no++));
+      if (rng.Bernoulli(0.1)) item->SetAttr("featured", "yes");
+      item->AddElement("location")
+          ->AddText(kCountries[rng.Uniform(0, 7)]);
+      item->AddElement("quantity")
+          ->AddText(std::to_string(rng.Uniform(1, 5)));
+      item->AddElement("name")->AddText(Sentence(&rng, 2));
+      item->AddElement("description")->AddText(Sentence(&rng, 12));
+      int64_t cats = rng.Uniform(0, 2);
+      for (int64_t c = 0; c < cats; ++c) {
+        xml::Node* inc = item->AddElement("incategory");
+        inc->SetAttr("category",
+                     "category" + std::to_string(rng.Uniform(0, n_categories - 1)));
+      }
+    }
+  }
+  const int64_t total_items = item_no;
+
+  // categories
+  xml::Node* categories = site->AddElement("categories");
+  for (int64_t c = 0; c < n_categories; ++c) {
+    xml::Node* cat = categories->AddElement("category");
+    cat->SetAttr("id", "category" + std::to_string(c));
+    cat->AddElement("name")->AddText(kCategories[c % 8]);
+  }
+
+  // people
+  xml::Node* people = site->AddElement("people");
+  for (int64_t p = 0; p < n_people; ++p) {
+    xml::Node* person = people->AddElement("person");
+    person->SetAttr("id", "person" + std::to_string(p));
+    person->AddElement("name")->AddText(Sentence(&rng, 2));
+    person->AddElement("emailaddress")
+        ->AddText(rng.Word(4, 8) + "@" + rng.Word(3, 6) + ".com");
+    if (rng.Bernoulli(0.6)) {
+      person->AddElement("phone")->AddText(
+          "+" + std::to_string(rng.Uniform(1, 99)) + " " +
+          std::to_string(rng.Uniform(1000000, 9999999)));
+    }
+    if (rng.Bernoulli(0.7)) {
+      xml::Node* addr = person->AddElement("address");
+      addr->AddElement("street")
+          ->AddText(std::to_string(rng.Uniform(1, 99)) + " " + rng.Word(4, 9) +
+                    " St");
+      addr->AddElement("city")->AddText(rng.Word(4, 10));
+      addr->AddElement("country")->AddText(kCountries[rng.Uniform(0, 7)]);
+    }
+    if (rng.Bernoulli(0.5)) {
+      person->AddElement("creditcard")
+          ->AddText(std::to_string(rng.Uniform(1000, 9999)) + " " +
+                    std::to_string(rng.Uniform(1000, 9999)));
+    }
+    if (rng.Bernoulli(0.8)) {
+      xml::Node* profile = person->AddElement("profile");
+      profile->SetAttr("income",
+                       std::to_string(rng.Uniform(10000, 200000)));
+      int64_t interests = rng.Uniform(0, 3);
+      for (int64_t i = 0; i < interests; ++i) {
+        profile->AddElement("interest")->SetAttr(
+            "category",
+            "category" + std::to_string(rng.Uniform(0, n_categories - 1)));
+      }
+    }
+  }
+
+  // open auctions
+  xml::Node* open = site->AddElement("open_auctions");
+  for (int64_t a = 0; a < n_open; ++a) {
+    xml::Node* auc = open->AddElement("open_auction");
+    auc->SetAttr("id", "open_auction" + std::to_string(a));
+    int64_t initial = rng.Uniform(5, 300);
+    auc->AddElement("initial")->AddText(std::to_string(initial));
+    int64_t bids = rng.Uniform(0, 5);
+    int64_t current = initial;
+    for (int64_t b = 0; b < bids; ++b) {
+      xml::Node* bidder = auc->AddElement("bidder");
+      bidder->AddElement("date")->AddText(
+          std::to_string(rng.Uniform(1, 28)) + "/" +
+          std::to_string(rng.Uniform(1, 12)) + "/2002");
+      bidder->AddElement("personref")
+          ->SetAttr("person", "person" + std::to_string(rng.Uniform(0, n_people - 1)));
+      int64_t inc = rng.Uniform(1, 50);
+      bidder->AddElement("increase")->AddText(std::to_string(inc));
+      current += inc;
+    }
+    auc->AddElement("current")->AddText(std::to_string(current));
+    auc->AddElement("itemref")->SetAttr(
+        "item", "item" + std::to_string(rng.Uniform(0, total_items - 1)));
+    auc->AddElement("seller")->SetAttr(
+        "person", "person" + std::to_string(rng.Uniform(0, n_people - 1)));
+  }
+
+  // closed auctions
+  xml::Node* closed = site->AddElement("closed_auctions");
+  for (int64_t a = 0; a < n_closed; ++a) {
+    xml::Node* auc = closed->AddElement("closed_auction");
+    auc->AddElement("price")->AddText(std::to_string(rng.Uniform(10, 1000)));
+    auc->AddElement("date")->AddText(std::to_string(rng.Uniform(1, 28)) + "/" +
+                                     std::to_string(rng.Uniform(1, 12)) +
+                                     "/2002");
+    auc->AddElement("quantity")->AddText(std::to_string(rng.Uniform(1, 5)));
+    auc->AddElement("itemref")->SetAttr(
+        "item", "item" + std::to_string(rng.Uniform(0, total_items - 1)));
+    auc->AddElement("buyer")->SetAttr(
+        "person", "person" + std::to_string(rng.Uniform(0, n_people - 1)));
+  }
+
+  return doc;
+}
+
+}  // namespace xmlrdb::workload

@@ -1,0 +1,35 @@
+// XMark-flavoured auction-site document generator.
+//
+// Substitution note (see DESIGN.md): the original XMark data generator and
+// its 100 MB reference documents are replaced by this structurally faithful
+// synthetic generator — same element vocabulary (site / regions / item /
+// people / person / open_auction / ...), same reference structure
+// (person ids, item refs), controllable scale. Queries Q1–Q12 in queries.h
+// exercise the same access patterns as the published auction workloads.
+
+#ifndef XMLRDB_WORKLOAD_XMARK_H_
+#define XMLRDB_WORKLOAD_XMARK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xmlrdb::workload {
+
+struct XMarkConfig {
+  /// 1.0 produces roughly 200 items / 250 people / 220 auctions (~1 MB).
+  double scale = 0.1;
+  uint64_t seed = 7;
+};
+
+/// Generates the auction document.
+std::unique_ptr<xml::Document> GenerateXMark(const XMarkConfig& config);
+
+/// The DTD matching GenerateXMark's output (drives the inline mapping).
+std::string XMarkDtd();
+
+}  // namespace xmlrdb::workload
+
+#endif  // XMLRDB_WORKLOAD_XMARK_H_

@@ -1,0 +1,322 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::xml {
+
+const char* QuantName(Quant q) {
+  switch (q) {
+    case Quant::kOne: return "";
+    case Quant::kOpt: return "?";
+    case Quant::kStar: return "*";
+    case Quant::kPlus: return "+";
+  }
+  return "";
+}
+
+std::string ContentParticle::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kPCData: out = "#PCDATA"; break;
+    case Kind::kEmpty: out = "EMPTY"; break;
+    case Kind::kAny: out = "ANY"; break;
+    case Kind::kName: out = name; break;
+    case Kind::kSeq:
+    case Kind::kChoice: {
+      out = "(";
+      const char* sep = kind == Kind::kSeq ? ", " : " | ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+  }
+  out += QuantName(quant);
+  return out;
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = elements_.find(std::string(name));
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+const std::vector<AttrDecl>* Dtd::FindAttlist(std::string_view name) const {
+  auto it = attlists_.find(std::string(name));
+  return it == attlists_.end() ? nullptr : &it->second;
+}
+
+void Dtd::AddElement(ElementDecl decl) {
+  elements_[decl.name] = std::move(decl);
+}
+
+void Dtd::AddAttr(const std::string& element, AttrDecl attr) {
+  attlists_[element].push_back(std::move(attr));
+}
+
+namespace {
+void CollectNames(const ContentParticle& cp, std::set<std::string>* out) {
+  if (cp.kind == ContentParticle::Kind::kName) out->insert(cp.name);
+  for (const auto& c : cp.children) CollectNames(*c, out);
+}
+}  // namespace
+
+std::vector<std::string> Dtd::RecursiveElements() const {
+  // element -> set of directly referenced child element names
+  std::map<std::string, std::set<std::string>> edges;
+  for (const auto& [name, decl] : elements_) {
+    if (decl.content) CollectNames(*decl.content, &edges[name]);
+  }
+  std::vector<std::string> out;
+  for (const auto& [name, _] : elements_) {
+    // DFS from name; recursive iff name reachable from itself.
+    std::set<std::string> seen;
+    std::vector<std::string> stack;
+    for (const auto& next : edges[name]) stack.push_back(next);
+    bool recursive = false;
+    while (!stack.empty()) {
+      std::string cur = stack.back();
+      stack.pop_back();
+      if (cur == name) {
+        recursive = true;
+        break;
+      }
+      if (!seen.insert(cur).second) continue;
+      auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      for (const auto& next : it->second) stack.push_back(next);
+    }
+    if (recursive) out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view in) : in_(in) {}
+
+  Result<std::unique_ptr<Dtd>> Parse() {
+    auto dtd = std::make_unique<Dtd>();
+    while (true) {
+      SkipWs();
+      if (AtEnd()) break;
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+        continue;
+      }
+      if (Consume("<!ELEMENT")) {
+        RETURN_IF_ERROR(ParseElementDecl(dtd.get()));
+        continue;
+      }
+      if (Consume("<!ATTLIST")) {
+        RETURN_IF_ERROR(ParseAttlistDecl(dtd.get()));
+        continue;
+      }
+      if (Consume("<!ENTITY")) {
+        return Status::Unsupported("entity declarations are not supported");
+      }
+      if (Consume("<!NOTATION") || Consume("<?")) {
+        // Skip to end of declaration/PI.
+        while (!AtEnd() && Peek() != '>') Advance();
+        if (!AtEnd()) Advance();
+        continue;
+      }
+      return Err("unexpected content in DTD");
+    }
+    return dtd;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  void Advance() { ++pos_; }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+  bool Consume(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("DTD: " + msg + " near offset " + std::to_string(pos_));
+  }
+
+  Result<std::string> ParseName() {
+    SkipWs();
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Quant ParseQuant() {
+    if (Consume("?")) return Quant::kOpt;
+    if (Consume("*")) return Quant::kStar;
+    if (Consume("+")) return Quant::kPlus;
+    return Quant::kOne;
+  }
+
+  Status ParseElementDecl(Dtd* dtd) {
+    ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWs();
+    ElementDecl decl;
+    decl.name = name;
+    if (Consume("EMPTY")) {
+      decl.content = std::make_unique<ContentParticle>();
+      decl.content->kind = ContentParticle::Kind::kEmpty;
+    } else if (Consume("ANY")) {
+      decl.content = std::make_unique<ContentParticle>();
+      decl.content->kind = ContentParticle::Kind::kAny;
+    } else if (Peek() == '(') {
+      ASSIGN_OR_RETURN(decl.content, ParseGroup());
+      decl.content->quant = ParseQuant();
+      // Detect mixed content: first child is #PCDATA.
+      if (!decl.content->children.empty() &&
+          decl.content->children[0]->kind == ContentParticle::Kind::kPCData) {
+        decl.mixed = true;
+      } else if (decl.content->kind == ContentParticle::Kind::kPCData) {
+        decl.mixed = true;
+      }
+    } else {
+      return Err("expected content model for element " + name);
+    }
+    SkipWs();
+    if (!Consume(">")) return Err("expected '>' after element declaration");
+    dtd->AddElement(std::move(decl));
+    return Status::OK();
+  }
+
+  /// Parses a parenthesised group, which may be a seq, a choice, or a single
+  /// particle. On entry Peek() == '('.
+  Result<std::unique_ptr<ContentParticle>> ParseGroup() {
+    Consume("(");
+    auto group = std::make_unique<ContentParticle>();
+    group->kind = ContentParticle::Kind::kSeq;
+    char sep = '\0';
+    while (true) {
+      SkipWs();
+      std::unique_ptr<ContentParticle> item;
+      if (Peek() == '(') {
+        ASSIGN_OR_RETURN(item, ParseGroup());
+        item->quant = ParseQuant();
+      } else if (Consume("#PCDATA")) {
+        item = std::make_unique<ContentParticle>();
+        item->kind = ContentParticle::Kind::kPCData;
+      } else {
+        ASSIGN_OR_RETURN(std::string n, ParseName());
+        item = std::make_unique<ContentParticle>();
+        item->kind = ContentParticle::Kind::kName;
+        item->name = std::move(n);
+        item->quant = ParseQuant();
+      }
+      group->children.push_back(std::move(item));
+      SkipWs();
+      if (Peek() == ',' || Peek() == '|') {
+        if (sep != '\0' && sep != Peek()) {
+          return Err("mixed ',' and '|' in one group");
+        }
+        sep = Peek();
+        Advance();
+        continue;
+      }
+      if (Consume(")")) break;
+      return Err("expected ',' '|' or ')' in content model");
+    }
+    if (sep == '|') group->kind = ContentParticle::Kind::kChoice;
+    if (group->children.size() == 1 &&
+        group->kind == ContentParticle::Kind::kSeq &&
+        group->children[0]->kind == ContentParticle::Kind::kPCData) {
+      // (#PCDATA) — collapse.
+      auto only = std::move(group->children[0]);
+      return only;
+    }
+    return group;
+  }
+
+  Status ParseAttlistDecl(Dtd* dtd) {
+    ASSIGN_OR_RETURN(std::string element, ParseName());
+    while (true) {
+      SkipWs();
+      if (Consume(">")) return Status::OK();
+      AttrDecl attr;
+      ASSIGN_OR_RETURN(attr.name, ParseName());
+      SkipWs();
+      if (Consume("CDATA")) attr.type = AttrDecl::Type::kCData;
+      else if (Consume("IDREFS")) attr.type = AttrDecl::Type::kIdRefs;
+      else if (Consume("IDREF")) attr.type = AttrDecl::Type::kIdRef;
+      else if (Consume("ID")) attr.type = AttrDecl::Type::kId;
+      else if (Consume("NMTOKENS")) attr.type = AttrDecl::Type::kNmTokens;
+      else if (Consume("NMTOKEN")) attr.type = AttrDecl::Type::kNmToken;
+      else if (Peek() == '(') {
+        attr.type = AttrDecl::Type::kEnum;
+        Advance();
+        while (true) {
+          ASSIGN_OR_RETURN(std::string v, ParseName());
+          attr.enum_values.push_back(std::move(v));
+          SkipWs();
+          if (Consume("|")) continue;
+          if (Consume(")")) break;
+          return Err("expected '|' or ')' in enumerated attribute type");
+        }
+      } else {
+        return Err("unknown attribute type for " + attr.name);
+      }
+      SkipWs();
+      if (Consume("#REQUIRED")) {
+        attr.dflt = AttrDecl::Default::kRequired;
+      } else if (Consume("#IMPLIED")) {
+        attr.dflt = AttrDecl::Default::kImplied;
+      } else if (Consume("#FIXED")) {
+        attr.dflt = AttrDecl::Default::kFixed;
+        SkipWs();
+        ASSIGN_OR_RETURN(attr.default_value, ParseQuoted());
+      } else if (Peek() == '"' || Peek() == '\'') {
+        attr.dflt = AttrDecl::Default::kValue;
+        ASSIGN_OR_RETURN(attr.default_value, ParseQuoted());
+      } else {
+        return Err("expected default declaration for attribute " + attr.name);
+      }
+      dtd->AddAttr(element, std::move(attr));
+    }
+  }
+
+  Result<std::string> ParseQuoted() {
+    SkipWs();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') return Err("expected quoted value");
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Err("unterminated quoted value");
+    std::string out(in_.substr(start, pos_ - start));
+    Advance();
+    return out;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Dtd>> ParseDtd(std::string_view input) {
+  DtdParser p(input);
+  return p.Parse();
+}
+
+}  // namespace xmlrdb::xml

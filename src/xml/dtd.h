@@ -1,0 +1,86 @@
+// DTD (internal subset) model and parser.
+//
+// The DTD drives the Inline mapping (Shanmugasundaram et al., VLDB 1999):
+// element declarations give content models, attribute lists give columns.
+
+#ifndef XMLRDB_XML_DTD_H_
+#define XMLRDB_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb::xml {
+
+/// Occurrence indicator on a content particle.
+enum class Quant { kOne, kOpt, kStar, kPlus };
+
+const char* QuantName(Quant q);
+
+/// A node of a DTD content model expression tree.
+struct ContentParticle {
+  enum class Kind { kPCData, kEmpty, kAny, kName, kSeq, kChoice };
+
+  Kind kind = Kind::kEmpty;
+  Quant quant = Quant::kOne;
+  std::string name;                                      // for kName
+  std::vector<std::unique_ptr<ContentParticle>> children;  // for kSeq/kChoice
+
+  /// Content-model text, e.g. "(title, author*)".
+  std::string ToString() const;
+};
+
+/// <!ATTLIST ...> entry for one attribute.
+struct AttrDecl {
+  enum class Type { kCData, kId, kIdRef, kIdRefs, kNmToken, kNmTokens, kEnum };
+  enum class Default { kRequired, kImplied, kFixed, kValue };
+
+  std::string name;
+  Type type = Type::kCData;
+  Default dflt = Default::kImplied;
+  std::string default_value;              // for kFixed / kValue
+  std::vector<std::string> enum_values;   // for kEnum
+};
+
+/// <!ELEMENT name content>.
+struct ElementDecl {
+  std::string name;
+  std::unique_ptr<ContentParticle> content;
+  /// True for (#PCDATA | a | b)* style declarations.
+  bool mixed = false;
+};
+
+/// A parsed DTD: element declarations plus per-element attribute lists.
+class Dtd {
+ public:
+  const std::map<std::string, ElementDecl>& elements() const { return elements_; }
+  const std::map<std::string, std::vector<AttrDecl>>& attlists() const {
+    return attlists_;
+  }
+
+  const ElementDecl* FindElement(std::string_view name) const;
+  const std::vector<AttrDecl>* FindAttlist(std::string_view name) const;
+
+  void AddElement(ElementDecl decl);
+  void AddAttr(const std::string& element, AttrDecl attr);
+
+  /// Names of elements that can (transitively) reach themselves through
+  /// their content models — these cannot be inlined.
+  std::vector<std::string> RecursiveElements() const;
+
+ private:
+  std::map<std::string, ElementDecl> elements_;
+  std::map<std::string, std::vector<AttrDecl>> attlists_;
+};
+
+/// Parses the text between '[' and ']' of a DOCTYPE internal subset.
+/// Entity declarations and conditional sections are rejected as kUnsupported.
+Result<std::unique_ptr<Dtd>> ParseDtd(std::string_view input);
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_DTD_H_

@@ -1,0 +1,124 @@
+#include "xml/dtd_simplify.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xmlrdb::xml {
+
+const char* MultiplicityName(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne: return "1";
+    case Multiplicity::kOpt: return "?";
+    case Multiplicity::kStar: return "*";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Combines an outer quantifier applied to an already-flattened multiplicity.
+Multiplicity Apply(Multiplicity inner, Quant outer) {
+  switch (outer) {
+    case Quant::kOne:
+      return inner;
+    case Quant::kOpt:
+      return inner == Multiplicity::kStar ? Multiplicity::kStar
+                                          : Multiplicity::kOpt;
+    case Quant::kStar:
+    case Quant::kPlus:  // e+ -> e* (generalise)
+      return Multiplicity::kStar;
+  }
+  return Multiplicity::kStar;
+}
+
+/// Merges a child occurrence into the flat list: duplicates become star.
+void Merge(std::vector<SimplifiedChild>* out, const std::string& name,
+           Multiplicity mult) {
+  for (auto& c : *out) {
+    if (c.name == name) {
+      c.mult = Multiplicity::kStar;
+      return;
+    }
+  }
+  out->push_back({name, mult});
+}
+
+/// Flattens a content particle under an effective quantifier context.
+/// `in_choice` demotes kOne children to kOpt ((e1|e2) -> e1?, e2?).
+void Flatten(const ContentParticle& cp, Quant context, bool in_choice,
+             SimplifiedElement* out) {
+  Multiplicity base = Multiplicity::kOne;
+  if (in_choice) base = Multiplicity::kOpt;
+  switch (cp.kind) {
+    case ContentParticle::Kind::kPCData:
+      out->has_text = true;
+      return;
+    case ContentParticle::Kind::kEmpty:
+      return;
+    case ContentParticle::Kind::kAny:
+      out->any = true;
+      out->has_text = true;
+      return;
+    case ContentParticle::Kind::kName: {
+      Multiplicity m = Apply(base, cp.quant);
+      m = Apply(m, context);
+      Merge(&out->children, cp.name, m);
+      return;
+    }
+    case ContentParticle::Kind::kSeq:
+    case ContentParticle::Kind::kChoice: {
+      // The group's own quantifier composes with the surrounding context:
+      // (e1, e2)* pushes * onto each child.
+      Quant combined;
+      if (context == Quant::kStar || context == Quant::kPlus ||
+          cp.quant == Quant::kStar || cp.quant == Quant::kPlus) {
+        combined = Quant::kStar;
+      } else if (context == Quant::kOpt || cp.quant == Quant::kOpt) {
+        combined = Quant::kOpt;
+      } else {
+        combined = Quant::kOne;
+      }
+      bool choice = cp.kind == ContentParticle::Kind::kChoice;
+      for (const auto& c : cp.children) {
+        Flatten(*c, combined, in_choice || choice, out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<SimplifiedDtd> SimplifyDtd(const Dtd& dtd) {
+  SimplifiedDtd out;
+  for (const auto& [name, decl] : dtd.elements()) {
+    SimplifiedElement se;
+    se.name = name;
+    if (decl.content) Flatten(*decl.content, Quant::kOne, false, &se);
+    if (const auto* attrs = dtd.FindAttlist(name)) se.attributes = *attrs;
+    out.elements[name] = std::move(se);
+  }
+  // Attlists for undeclared elements still yield (attribute-only) entries so
+  // the inline mapping can build a table for them.
+  for (const auto& [name, attrs] : dtd.attlists()) {
+    if (out.elements.count(name) == 0) {
+      SimplifiedElement se;
+      se.name = name;
+      se.attributes = attrs;
+      se.has_text = true;  // no content model: be permissive
+      se.any = true;
+      out.elements[name] = std::move(se);
+    }
+  }
+  out.recursive = dtd.RecursiveElements();
+  for (const auto& [name, se] : out.elements) {
+    (void)name;
+    std::set<std::string> seen;
+    for (const auto& c : se.children) {
+      if (seen.insert(c.name).second) out.in_degree[c.name] += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::xml

@@ -1,0 +1,69 @@
+// DTD simplification (normalisation) for relational schema generation.
+//
+// Implements the rewrite rules of Shanmugasundaram et al. (VLDB 1999):
+//
+//   (e1, e2)*  ->  e1*, e2*
+//   (e1, e2)?  ->  e1?, e2?
+//   (e1 | e2)  ->  e1?, e2?
+//   e**        ->  e*
+//   e*?        ->  e*
+//   e??        ->  e?
+//   e+         ->  e*          (generalised quantifier: be less specific)
+//   ..a*,..,a*..-> a*, ..      (duplicate child names merge to a single star)
+//
+// The result per element is a flat multiplicity map: each child element name
+// occurs once, annotated kOne / kOpt / kStar, plus a "has text" flag.
+
+#ifndef XMLRDB_XML_DTD_SIMPLIFY_H_
+#define XMLRDB_XML_DTD_SIMPLIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dtd.h"
+
+namespace xmlrdb::xml {
+
+/// Flat multiplicity of one child element within its parent.
+enum class Multiplicity { kOne, kOpt, kStar };
+
+const char* MultiplicityName(Multiplicity m);
+
+struct SimplifiedChild {
+  std::string name;
+  Multiplicity mult;
+};
+
+/// The normalised content model of one element type.
+struct SimplifiedElement {
+  std::string name;
+  /// Children in (first-appearance) document-model order; names are unique.
+  std::vector<SimplifiedChild> children;
+  /// True if text content may appear (#PCDATA / mixed / ANY).
+  bool has_text = false;
+  /// True if the original model was ANY (children become untyped).
+  bool any = false;
+  /// Attributes copied from the ATTLIST (if present).
+  std::vector<AttrDecl> attributes;
+};
+
+/// The whole DTD after normalisation, plus the recursion analysis the
+/// inlining mapping needs.
+struct SimplifiedDtd {
+  std::map<std::string, SimplifiedElement> elements;
+  /// Elements that participate in a content-model cycle.
+  std::vector<std::string> recursive;
+  /// in_degree[name] = number of distinct parent element types that can
+  /// contain `name` (used to decide table-vs-inline: shared elements get
+  /// their own table).
+  std::map<std::string, int> in_degree;
+};
+
+/// Normalises every element declaration of `dtd`.
+Result<SimplifiedDtd> SimplifyDtd(const Dtd& dtd);
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_DTD_SIMPLIFY_H_

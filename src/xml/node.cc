@@ -1,0 +1,124 @@
+#include "xml/node.h"
+
+#include <cassert>
+
+namespace xmlrdb::xml {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument: return "document";
+    case NodeKind::kElement: return "element";
+    case NodeKind::kAttribute: return "attribute";
+    case NodeKind::kText: return "text";
+    case NodeKind::kComment: return "comment";
+    case NodeKind::kProcessingInstruction: return "processing-instruction";
+  }
+  return "unknown";
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  assert(child->kind() != NodeKind::kAttribute);
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddAttribute(std::unique_ptr<Node> attr) {
+  assert(attr->kind() == NodeKind::kAttribute);
+  attr->parent_ = this;
+  attributes_.push_back(std::move(attr));
+  return attributes_.back().get();
+}
+
+Node* Node::AddElement(std::string name) {
+  return AddChild(std::make_unique<Node>(NodeKind::kElement, std::move(name)));
+}
+
+Node* Node::AddText(std::string text) {
+  return AddChild(
+      std::make_unique<Node>(NodeKind::kText, std::string(), std::move(text)));
+}
+
+Node* Node::SetAttr(std::string name, std::string value) {
+  for (auto& a : attributes_) {
+    if (a->name() == name) {
+      a->set_value(std::move(value));
+      return a.get();
+    }
+  }
+  return AddAttribute(std::make_unique<Node>(NodeKind::kAttribute, std::move(name),
+                                             std::move(value)));
+}
+
+void Node::RemoveChild(size_t idx) {
+  assert(idx < children_.size());
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(idx));
+}
+
+std::unique_ptr<Node> Node::DetachChild(size_t idx) {
+  assert(idx < children_.size());
+  std::unique_ptr<Node> out = std::move(children_[idx]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(idx));
+  out->parent_ = nullptr;
+  return out;
+}
+
+const Node* Node::FindAttribute(std::string_view name) const {
+  for (const auto& a : attributes_) {
+    if (a->name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+const Node* Node::FindChildElement(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->IsElement() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+namespace {
+void CollectText(const Node& n, std::string* out) {
+  if (n.kind() == NodeKind::kText) {
+    out->append(n.value());
+    return;
+  }
+  for (const auto& c : n.children()) CollectText(*c, out);
+}
+}  // namespace
+
+std::string Node::StringValue() const {
+  if (kind_ == NodeKind::kAttribute || kind_ == NodeKind::kText ||
+      kind_ == NodeKind::kComment || kind_ == NodeKind::kProcessingInstruction) {
+    return value_;
+  }
+  std::string out;
+  CollectText(*this, &out);
+  return out;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t n = 1 + attributes_.size();
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto copy = std::make_unique<Node>(kind_, name_, value_);
+  for (const auto& a : attributes_) copy->AddAttribute(a->Clone());
+  for (const auto& c : children_) copy->AddChild(c->Clone());
+  return copy;
+}
+
+Node* Document::root() {
+  for (auto& c : doc_node_->children()) {
+    if (c->IsElement()) return c.get();
+  }
+  return nullptr;
+}
+
+const Node* Document::root() const {
+  return const_cast<Document*>(this)->root();
+}
+
+}  // namespace xmlrdb::xml

@@ -1,0 +1,127 @@
+// In-memory XML tree (DOM).
+//
+// The model is deliberately close to the XPath 1.0 data model restricted to
+// what the relational mappings need: documents, elements, attributes, text,
+// comments and processing instructions. Namespaces are treated lexically
+// (prefix:name is the node name), matching how the classic shredding papers
+// store QNames.
+
+#ifndef XMLRDB_XML_NODE_H_
+#define XMLRDB_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb::xml {
+
+enum class NodeKind {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+const char* NodeKindName(NodeKind kind);
+
+/// One node of an XML tree. Elements own their children and attributes;
+/// ownership is strictly tree-shaped (no sharing).
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+  Node(NodeKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+  Node(NodeKind kind, std::string name, std::string value)
+      : kind_(kind), name_(std::move(name)), value_(std::move(value)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  /// Element/attribute/PI name; empty for document, text and comment nodes.
+  const std::string& name() const { return name_; }
+  /// Text content (text/comment), attribute value, or PI data.
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  Node* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+  const std::vector<std::unique_ptr<Node>>& attributes() const { return attributes_; }
+
+  bool IsElement() const { return kind_ == NodeKind::kElement; }
+  bool IsText() const { return kind_ == NodeKind::kText; }
+
+  /// Appends a child node (element/text/comment/PI) and takes ownership.
+  Node* AddChild(std::unique_ptr<Node> child);
+  /// Appends an attribute node and takes ownership.
+  Node* AddAttribute(std::unique_ptr<Node> attr);
+
+  /// Convenience builders used by generators and tests.
+  Node* AddElement(std::string name);
+  Node* AddText(std::string text);
+  Node* SetAttr(std::string name, std::string value);
+
+  /// Removes (and destroys) the idx-th child. Requires idx < children().size().
+  void RemoveChild(size_t idx);
+
+  /// Detaches the idx-th child, transferring ownership to the caller.
+  std::unique_ptr<Node> DetachChild(size_t idx);
+
+  /// Attribute value lookup; null if absent.
+  const Node* FindAttribute(std::string_view name) const;
+
+  /// First child element with the given name; null if absent.
+  const Node* FindChildElement(std::string_view name) const;
+
+  /// Concatenation of all descendant text (the XPath string-value of an
+  /// element), or value() for attribute/text nodes.
+  std::string StringValue() const;
+
+  /// Number of nodes in this subtree including self, attributes and text.
+  size_t SubtreeSize() const;
+
+  /// Deep copy of this subtree (parent pointer of the copy is null).
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  NodeKind kind_;
+  std::string name_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+  std::vector<std::unique_ptr<Node>> attributes_;
+};
+
+/// A parsed document: owns the tree; `root()` is the single top element.
+class Document {
+ public:
+  Document() : doc_node_(std::make_unique<Node>(NodeKind::kDocument)) {}
+
+  Node* doc_node() { return doc_node_.get(); }
+  const Node* doc_node() const { return doc_node_.get(); }
+
+  /// The document element; null for an (invalid) empty document.
+  Node* root();
+  const Node* root() const;
+
+  /// Internal DTD subset text captured from <!DOCTYPE ... [ ... ]>, if any.
+  const std::string& dtd_text() const { return dtd_text_; }
+  void set_dtd_text(std::string t) { dtd_text_ = std::move(t); }
+
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string n) { doctype_name_ = std::move(n); }
+
+ private:
+  std::unique_ptr<Node> doc_node_;
+  std::string dtd_text_;
+  std::string doctype_name_;
+};
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_NODE_H_

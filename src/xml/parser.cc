@@ -1,0 +1,335 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), opt_(options) {}
+
+  Result<std::unique_ptr<Document>> ParseDocument() {
+    auto doc = std::make_unique<Document>();
+    RETURN_IF_ERROR(ParseProlog(doc.get()));
+    SkipMisc(doc->doc_node());
+    if (AtEnd() || Peek() != '<') {
+      return Err("expected document element");
+    }
+    ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseElement());
+    doc->doc_node()->AddChild(std::move(root));
+    SkipMisc(doc->doc_node());
+    if (!AtEnd()) return Err("content after document element");
+    return doc;
+  }
+
+  Result<std::unique_ptr<Node>> ParseSingleElement() {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '<') return Err("expected element");
+    ASSIGN_OR_RETURN(std::unique_ptr<Node> el, ParseElement());
+    SkipWhitespace();
+    if (!AtEnd()) return Err("content after fragment element");
+    return el;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(std::string_view lit) {
+    if (in_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    for (size_t i = 0; i < lit.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Err("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  /// Decodes &lt; &gt; &amp; &quot; &apos; &#NN; &#xHH;.
+  Status AppendReference(std::string* out) {
+    // Called with Peek() == '&'.
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';' && pos_ - start < 32) Advance();
+    if (AtEnd() || Peek() != ';') return Err("unterminated entity reference");
+    std::string_view ent = in_.substr(start, pos_ - start);
+    Advance();  // ';'
+    if (ent == "lt") *out += '<';
+    else if (ent == "gt") *out += '>';
+    else if (ent == "amp") *out += '&';
+    else if (ent == "quot") *out += '"';
+    else if (ent == "apos") *out += '\'';
+    else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) return Err("invalid character reference");
+      // UTF-8 encode.
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        *out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        *out += static_cast<char>(0xC0 | (cp >> 6));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        *out += static_cast<char>(0xE0 | (cp >> 12));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (cp >> 18));
+        *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      return Err("unknown entity '&" + std::string(ent) + ";'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseProlog(Document* doc) {
+    SkipWhitespace();
+    if (Consume("<?xml")) {
+      // Skip the XML declaration body.
+      while (!AtEnd() && !(Peek() == '?' && Peek(1) == '>')) Advance();
+      if (AtEnd()) return Err("unterminated XML declaration");
+      Advance();
+      Advance();
+    }
+    SkipMisc(doc->doc_node());
+    if (Consume("<!DOCTYPE")) {
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(std::string name, ParseName());
+      doc->set_doctype_name(name);
+      SkipWhitespace();
+      // Skip external id (SYSTEM/PUBLIC "..."); we do not fetch externals.
+      while (!AtEnd() && Peek() != '[' && Peek() != '>') Advance();
+      if (AtEnd()) return Err("unterminated DOCTYPE");
+      if (Peek() == '[') {
+        Advance();
+        size_t start = pos_;
+        int depth = 1;
+        while (!AtEnd() && depth > 0) {
+          if (Peek() == '[') ++depth;
+          if (Peek() == ']') --depth;
+          if (depth > 0) Advance();
+        }
+        if (AtEnd()) return Err("unterminated DTD internal subset");
+        doc->set_dtd_text(std::string(in_.substr(start, pos_ - start)));
+        Advance();  // ']'
+        SkipWhitespace();
+      }
+      if (!Consume(">")) return Err("expected '>' closing DOCTYPE");
+    }
+    return Status::OK();
+  }
+
+  /// Skips whitespace, comments and PIs at document level (optionally keeping
+  /// comment/PI nodes under `parent`).
+  void SkipMisc(Node* parent) {
+    while (true) {
+      SkipWhitespace();
+      if (Peek() == '<' && Peek(1) == '!' && Peek(2) == '-' && Peek(3) == '-') {
+        (void)ParseComment(parent);
+      } else if (Peek() == '<' && Peek(1) == '?') {
+        (void)ParsePI(parent);
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ParseComment(Node* parent) {
+    // Peek is at "<!--".
+    Consume("<!--");
+    size_t start = pos_;
+    while (!AtEnd() && !(Peek() == '-' && Peek(1) == '-' && Peek(2) == '>')) {
+      Advance();
+    }
+    if (AtEnd()) return Err("unterminated comment");
+    std::string text(in_.substr(start, pos_ - start));
+    Consume("-->");
+    if (opt_.keep_comments && parent != nullptr) {
+      parent->AddChild(std::make_unique<Node>(NodeKind::kComment, std::string(),
+                                              std::move(text)));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePI(Node* parent) {
+    Consume("<?");
+    ASSIGN_OR_RETURN(std::string target, ParseName());
+    size_t start = pos_;
+    while (!AtEnd() && !(Peek() == '?' && Peek(1) == '>')) Advance();
+    if (AtEnd()) return Err("unterminated processing instruction");
+    std::string data(StripWhitespace(in_.substr(start, pos_ - start)));
+    Consume("?>");
+    if (opt_.keep_processing_instructions && parent != nullptr) {
+      parent->AddChild(std::make_unique<Node>(NodeKind::kProcessingInstruction,
+                                              std::move(target), std::move(data)));
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<Node>> ParseElement() {
+    // Peek() == '<'
+    Advance();
+    ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto el = std::make_unique<Node>(NodeKind::kElement, std::move(name));
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>' || (Peek() == '/' && Peek(1) == '>')) break;
+      ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Err("expected '=' in attribute");
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') return Err("expected quoted attribute value");
+      Advance();
+      std::string aval;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '&') {
+          RETURN_IF_ERROR(AppendReference(&aval));
+        } else if (Peek() == '<') {
+          return Err("'<' in attribute value");
+        } else {
+          aval += Peek();
+          Advance();
+        }
+      }
+      if (AtEnd()) return Err("unterminated attribute value");
+      Advance();  // closing quote
+      if (el->FindAttribute(aname) != nullptr) {
+        return Err("duplicate attribute '" + aname + "'");
+      }
+      el->AddAttribute(std::make_unique<Node>(NodeKind::kAttribute, std::move(aname),
+                                              std::move(aval)));
+    }
+    if (Consume("/>")) return el;
+    Consume(">");
+    RETURN_IF_ERROR(ParseContent(el.get()));
+    // ParseContent consumed "</"; now the name.
+    ASSIGN_OR_RETURN(std::string close, ParseName());
+    if (close != el->name()) {
+      return Err("mismatched end tag </" + close + "> for <" + el->name() + ">");
+    }
+    SkipWhitespace();
+    if (!Consume(">")) return Err("expected '>' in end tag");
+    return el;
+  }
+
+  /// Parses element content up to (and including) the "</" of the end tag.
+  Status ParseContent(Node* el) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (!(opt_.strip_ignorable_whitespace && IsAllWhitespace(text))) {
+        el->AddText(text);
+      }
+      text.clear();
+    };
+    while (true) {
+      if (AtEnd()) return Err("unterminated element <" + el->name() + ">");
+      if (Peek() == '<') {
+        if (Peek(1) == '/') {
+          flush_text();
+          Consume("</");
+          return Status::OK();
+        }
+        if (Peek(1) == '!' && Peek(2) == '-' && Peek(3) == '-') {
+          flush_text();
+          RETURN_IF_ERROR(ParseComment(el));
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && !(Peek() == ']' && Peek(1) == ']' && Peek(2) == '>')) {
+            Advance();
+          }
+          if (AtEnd()) return Err("unterminated CDATA section");
+          text.append(in_.substr(start, pos_ - start));
+          Consume("]]>");
+          continue;
+        }
+        if (Peek(1) == '?') {
+          flush_text();
+          RETURN_IF_ERROR(ParsePI(el));
+          continue;
+        }
+        flush_text();
+        ASSIGN_OR_RETURN(std::unique_ptr<Node> child, ParseElement());
+        el->AddChild(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        RETURN_IF_ERROR(AppendReference(&text));
+        continue;
+      }
+      text += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view in_;
+  ParseOptions opt_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options) {
+  Parser p(input, options);
+  return p.ParseDocument();
+}
+
+Result<std::unique_ptr<Node>> ParseFragment(std::string_view input,
+                                            const ParseOptions& options) {
+  Parser p(input, options);
+  return p.ParseSingleElement();
+}
+
+}  // namespace xmlrdb::xml

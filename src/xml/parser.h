@@ -1,0 +1,40 @@
+// Recursive-descent parser for a practical XML 1.0 subset.
+//
+// Supported: prolog (<?xml ...?>), DOCTYPE with internal subset (captured as
+// text for the DTD parser), elements, attributes, character data with the
+// five predefined entities plus decimal/hex character references, CDATA
+// sections, comments and processing instructions. Not supported (rejected
+// with kUnsupported/kParseError): external entities and parameter entities.
+
+#ifndef XMLRDB_XML_PARSER_H_
+#define XMLRDB_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xmlrdb::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that contain only whitespace between elements.
+  bool strip_ignorable_whitespace = true;
+  /// Keep comment nodes in the tree (shredding usually ignores them).
+  bool keep_comments = false;
+  /// Keep processing-instruction nodes.
+  bool keep_processing_instructions = false;
+};
+
+/// Parses a complete document. On error, the status message includes
+/// 1-based line and column of the offending position.
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options = {});
+
+/// Parses a single element (fragment) — used by subtree-update paths.
+Result<std::unique_ptr<Node>> ParseFragment(std::string_view input,
+                                            const ParseOptions& options = {});
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_PARSER_H_

@@ -1,0 +1,282 @@
+#include "xml/sax.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Single-pass streaming parser; mirrors parser.cc's grammar but keeps only
+/// the open-element stack.
+class SaxParser {
+ public:
+  SaxParser(std::string_view in, SaxHandler* handler, const ParseOptions& opt)
+      : in_(in), handler_(handler), opt_(opt) {}
+
+  Status Run() {
+    RETURN_IF_ERROR(handler_->StartDocument());
+    RETURN_IF_ERROR(SkipProlog());
+    SkipMisc();
+    if (AtEnd() || Peek() != '<') return Err("expected document element");
+    RETURN_IF_ERROR(ParseElement());
+    SkipMisc();
+    if (!AtEnd()) return Err("content after document element");
+    return handler_->EndDocument();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek(size_t k = 0) const {
+    return pos_ + k < in_.size() ? in_[pos_ + k] : '\0';
+  }
+  void Advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) != lit) return false;
+    for (size_t i = 0; i < lit.size(); ++i) Advance();
+    return true;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_));
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Err("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Status AppendReference(std::string* out) {
+    Advance();  // '&'
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';' && pos_ - start < 32) Advance();
+    if (AtEnd() || Peek() != ';') return Err("unterminated entity reference");
+    std::string_view ent = in_.substr(start, pos_ - start);
+    Advance();
+    if (ent == "lt") *out += '<';
+    else if (ent == "gt") *out += '>';
+    else if (ent == "amp") *out += '&';
+    else if (ent == "quot") *out += '"';
+    else if (ent == "apos") *out += '\'';
+    else if (!ent.empty() && ent[0] == '#') {
+      long code = (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X'))
+                      ? std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16)
+                      : std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      if (code <= 0 || code > 0x10FFFF) return Err("invalid character reference");
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        *out += static_cast<char>(cp);
+      } else if (cp < 0x800) {
+        *out += static_cast<char>(0xC0 | (cp >> 6));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else if (cp < 0x10000) {
+        *out += static_cast<char>(0xE0 | (cp >> 12));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      } else {
+        *out += static_cast<char>(0xF0 | (cp >> 18));
+        *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        *out += static_cast<char>(0x80 | (cp & 0x3F));
+      }
+    } else {
+      return Err("unknown entity '&" + std::string(ent) + ";'");
+    }
+    return Status::OK();
+  }
+
+  Status SkipProlog() {
+    SkipWs();
+    if (Consume("<?xml")) {
+      while (!AtEnd() && !(Peek() == '?' && Peek(1) == '>')) Advance();
+      if (AtEnd()) return Err("unterminated XML declaration");
+      Advance();
+      Advance();
+    }
+    SkipMisc();
+    if (Consume("<!DOCTYPE")) {
+      SkipWs();
+      ASSIGN_OR_RETURN([[maybe_unused]] std::string name, ParseName());
+      while (!AtEnd() && Peek() != '[' && Peek() != '>') Advance();
+      if (AtEnd()) return Err("unterminated DOCTYPE");
+      if (Peek() == '[') {
+        Advance();
+        int depth = 1;
+        while (!AtEnd() && depth > 0) {
+          if (Peek() == '[') ++depth;
+          if (Peek() == ']') --depth;
+          if (depth > 0) Advance();
+        }
+        if (AtEnd()) return Err("unterminated DTD internal subset");
+        Advance();
+        SkipWs();
+      }
+      if (!Consume(">")) return Err("expected '>' closing DOCTYPE");
+    }
+    return Status::OK();
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (Peek() == '<' && Peek(1) == '!' && Peek(2) == '-' && Peek(3) == '-') {
+        Consume("<!--");
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Peek() == '<' && Peek(1) == '?') {
+        Consume("<?");
+        while (!AtEnd() && !(Peek() == '?' && Peek(1) == '>')) Advance();
+        if (!AtEnd()) {
+          Advance();
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ParseElement() {
+    Advance();  // '<'
+    ASSIGN_OR_RETURN(std::string name, ParseName());
+    RETURN_IF_ERROR(handler_->StartElement(name));
+    std::vector<std::string> seen_attrs;
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Peek() == '>' || (Peek() == '/' && Peek(1) == '>')) break;
+      ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipWs();
+      if (!Consume("=")) return Err("expected '=' in attribute");
+      SkipWs();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Err("expected quoted attribute value");
+      }
+      Advance();
+      std::string aval;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '&') {
+          RETURN_IF_ERROR(AppendReference(&aval));
+        } else if (Peek() == '<') {
+          return Err("'<' in attribute value");
+        } else {
+          aval += Peek();
+          Advance();
+        }
+      }
+      if (AtEnd()) return Err("unterminated attribute value");
+      Advance();
+      for (const auto& prev : seen_attrs) {
+        if (prev == aname) return Err("duplicate attribute '" + aname + "'");
+      }
+      seen_attrs.push_back(aname);
+      RETURN_IF_ERROR(handler_->Attribute(aname, aval));
+    }
+    if (Consume("/>")) return handler_->EndElement(name);
+    Consume(">");
+
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      if (text.empty()) return Status::OK();
+      if (!(opt_.strip_ignorable_whitespace && IsAllWhitespace(text))) {
+        RETURN_IF_ERROR(handler_->Text(text));
+      }
+      text.clear();
+      return Status::OK();
+    };
+    while (true) {
+      if (AtEnd()) return Err("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (Peek(1) == '/') {
+          RETURN_IF_ERROR(flush_text());
+          Consume("</");
+          ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != name) {
+            return Err("mismatched end tag </" + close + "> for <" + name + ">");
+          }
+          SkipWs();
+          if (!Consume(">")) return Err("expected '>' in end tag");
+          return handler_->EndElement(name);
+        }
+        if (Peek(1) == '!' && Peek(2) == '-' && Peek(3) == '-') {
+          RETURN_IF_ERROR(flush_text());
+          Consume("<!--");
+          while (!AtEnd() && !Consume("-->")) Advance();
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && !(Peek() == ']' && Peek(1) == ']' && Peek(2) == '>')) {
+            Advance();
+          }
+          if (AtEnd()) return Err("unterminated CDATA section");
+          text.append(in_.substr(start, pos_ - start));
+          Consume("]]>");
+          continue;
+        }
+        if (Peek(1) == '?') {
+          RETURN_IF_ERROR(flush_text());
+          Consume("<?");
+          while (!AtEnd() && !(Peek() == '?' && Peek(1) == '>')) Advance();
+          if (!AtEnd()) {
+            Advance();
+            Advance();
+          }
+          continue;
+        }
+        RETURN_IF_ERROR(flush_text());
+        RETURN_IF_ERROR(ParseElement());
+        continue;
+      }
+      if (Peek() == '&') {
+        RETURN_IF_ERROR(AppendReference(&text));
+        continue;
+      }
+      text += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view in_;
+  SaxHandler* handler_;
+  ParseOptions opt_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Status ParseSax(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options) {
+  SaxParser p(input, handler, options);
+  return p.Run();
+}
+
+}  // namespace xmlrdb::xml

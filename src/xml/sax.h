@@ -1,0 +1,44 @@
+// Streaming (SAX-style) XML parsing: the "token stream" processing model.
+//
+// ParseSax walks the document once and fires events without materialising a
+// tree — the memory-bounded path used by the streaming shredders
+// (shred/streaming.h). The accepted language matches xml::Parse exactly
+// (tested differentially); entity handling, CDATA, comments and the DOCTYPE
+// prolog behave identically.
+
+#ifndef XMLRDB_XML_SAX_H_
+#define XMLRDB_XML_SAX_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/parser.h"
+
+namespace xmlrdb::xml {
+
+/// Event sink. Any returned error aborts the parse and is propagated.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual Status StartDocument() { return Status::OK(); }
+  virtual Status EndDocument() { return Status::OK(); }
+
+  /// Fired after the start tag's name is read, before its attributes.
+  virtual Status StartElement(std::string_view name) = 0;
+  /// One call per attribute, between StartElement and the first content.
+  virtual Status Attribute(std::string_view name, std::string_view value) = 0;
+  /// Character data (entities expanded, CDATA unwrapped). May be called
+  /// multiple times for adjacent runs.
+  virtual Status Text(std::string_view text) = 0;
+  virtual Status EndElement(std::string_view name) = 0;
+};
+
+/// Streams `input` into `handler`. ParseOptions' whitespace stripping
+/// applies; comments and PIs are always skipped (no events).
+Status ParseSax(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options = {});
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_SAX_H_

@@ -1,0 +1,131 @@
+#include "xml/serializer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::xml {
+
+namespace {
+
+void SerializeNode(const Node& n, const SerializeOptions& opt, int depth,
+                   std::string* out) {
+  auto indent = [&]() {
+    if (opt.pretty) {
+      out->append(1, '\n');
+      out->append(static_cast<size_t>(depth * opt.indent_width), ' ');
+    }
+  };
+  switch (n.kind()) {
+    case NodeKind::kDocument:
+      for (const auto& c : n.children()) SerializeNode(*c, opt, depth, out);
+      return;
+    case NodeKind::kText:
+      *out += XmlEscape(n.value());
+      return;
+    case NodeKind::kComment:
+      indent();
+      *out += "<!--" + n.value() + "-->";
+      return;
+    case NodeKind::kProcessingInstruction:
+      indent();
+      *out += "<?" + n.name() + " " + n.value() + "?>";
+      return;
+    case NodeKind::kAttribute:
+      *out += n.name() + "=\"" + XmlEscape(n.value()) + "\"";
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  if (opt.pretty && depth > 0) indent();
+  *out += "<" + n.name();
+  for (const auto& a : n.attributes()) {
+    *out += " ";
+    SerializeNode(*a, opt, depth, out);
+  }
+  if (n.children().empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  bool text_only = std::all_of(n.children().begin(), n.children().end(),
+                               [](const auto& c) { return c->IsText(); });
+  for (const auto& c : n.children()) SerializeNode(*c, opt, depth + 1, out);
+  if (opt.pretty && !text_only) {
+    out->append(1, '\n');
+    out->append(static_cast<size_t>(depth * opt.indent_width), ' ');
+  }
+  *out += "</" + n.name() + ">";
+}
+
+void CanonicalizeNode(const Node& n, std::string* out) {
+  switch (n.kind()) {
+    case NodeKind::kDocument:
+      for (const auto& c : n.children()) CanonicalizeNode(*c, out);
+      return;
+    case NodeKind::kText:
+      *out += "#text(" + n.value() + ")";
+      return;
+    case NodeKind::kComment:
+      *out += "#comment(" + n.value() + ")";
+      return;
+    case NodeKind::kProcessingInstruction:
+      *out += "#pi(" + n.name() + "," + n.value() + ")";
+      return;
+    case NodeKind::kAttribute:
+      *out += "@" + n.name() + "=(" + n.value() + ")";
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  *out += "<" + n.name();
+  // Attribute order is not significant in XML; sort for comparison.
+  std::vector<const Node*> attrs;
+  attrs.reserve(n.attributes().size());
+  for (const auto& a : n.attributes()) attrs.push_back(a.get());
+  std::sort(attrs.begin(), attrs.end(),
+            [](const Node* a, const Node* b) { return a->name() < b->name(); });
+  for (const Node* a : attrs) {
+    *out += " ";
+    CanonicalizeNode(*a, out);
+  }
+  *out += ">";
+  for (const auto& c : n.children()) CanonicalizeNode(*c, out);
+  *out += "</>";
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += "\n";
+  }
+  for (const auto& c : doc.doc_node()->children()) {
+    SerializeNode(*c, options, 0, &out);
+  }
+  return out;
+}
+
+std::string Canonicalize(const Node& node) {
+  std::string out;
+  CanonicalizeNode(node, &out);
+  return out;
+}
+
+std::string Canonicalize(const Document& doc) {
+  std::string out;
+  for (const auto& c : doc.doc_node()->children()) {
+    CanonicalizeNode(*c, &out);
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::xml

@@ -1,0 +1,34 @@
+// XML serialization: node tree -> text.
+
+#ifndef XMLRDB_XML_SERIALIZER_H_
+#define XMLRDB_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xmlrdb::xml {
+
+struct SerializeOptions {
+  /// Indent nested elements; false produces one compact line.
+  bool pretty = false;
+  int indent_width = 2;
+  /// Emit the <?xml version="1.0"?> declaration for documents.
+  bool declaration = false;
+};
+
+/// Serializes a subtree rooted at `node` (element/text/comment/PI/attribute).
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+
+/// Serializes a whole document.
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+
+/// Canonical single-line form with attributes sorted by name and
+/// text normalized — equal canonical strings <=> structurally equal trees.
+/// Used by the shred/reconstruct round-trip property tests.
+std::string Canonicalize(const Node& node);
+std::string Canonicalize(const Document& doc);
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_SERIALIZER_H_

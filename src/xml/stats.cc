@@ -1,0 +1,45 @@
+#include "xml/stats.h"
+
+#include <sstream>
+
+namespace xmlrdb::xml {
+
+namespace {
+void Walk(const Node& n, uint64_t depth, DocStats* s) {
+  switch (n.kind()) {
+    case NodeKind::kElement:
+      s->element_count += 1;
+      s->tag_counts[n.name()] += 1;
+      s->max_depth = std::max(s->max_depth, depth);
+      s->attribute_count += n.attributes().size();
+      for (const auto& c : n.children()) Walk(*c, depth + 1, s);
+      break;
+    case NodeKind::kText:
+      s->text_node_count += 1;
+      s->text_bytes += n.value().size();
+      break;
+    case NodeKind::kDocument:
+      for (const auto& c : n.children()) Walk(*c, depth, s);
+      break;
+    default:
+      break;
+  }
+}
+}  // namespace
+
+DocStats ComputeStats(const Node& node) {
+  DocStats s;
+  Walk(node, 1, &s);
+  s.distinct_tags = s.tag_counts.size();
+  return s;
+}
+
+std::string DocStats::ToString() const {
+  std::ostringstream os;
+  os << "elements=" << element_count << " attributes=" << attribute_count
+     << " text_nodes=" << text_node_count << " text_bytes=" << text_bytes
+     << " max_depth=" << max_depth << " distinct_tags=" << distinct_tags;
+  return os.str();
+}
+
+}  // namespace xmlrdb::xml

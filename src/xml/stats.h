@@ -1,0 +1,32 @@
+// Document statistics used by the benchmarks and the planner's cardinality
+// heuristics.
+
+#ifndef XMLRDB_XML_STATS_H_
+#define XMLRDB_XML_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xmlrdb::xml {
+
+struct DocStats {
+  uint64_t element_count = 0;
+  uint64_t attribute_count = 0;
+  uint64_t text_node_count = 0;
+  uint64_t text_bytes = 0;
+  uint64_t max_depth = 0;          ///< root element has depth 1
+  uint64_t distinct_tags = 0;
+  std::map<std::string, uint64_t> tag_counts;
+
+  std::string ToString() const;
+};
+
+/// Walks the subtree under `node` (typically a document's root element).
+DocStats ComputeStats(const Node& node);
+
+}  // namespace xmlrdb::xml
+
+#endif  // XMLRDB_XML_STATS_H_

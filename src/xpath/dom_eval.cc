@@ -1,0 +1,154 @@
+#include "xpath/dom_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace xmlrdb::xpath {
+
+using xml::Node;
+using xml::NodeKind;
+
+bool CompareNodeValue(const std::string& node_value, CmpOp op,
+                      const rdb::Value& literal) {
+  int c;
+  if (literal.type() == rdb::DataType::kString) {
+    c = node_value.compare(literal.AsString());
+    c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else {
+    auto parsed = ParseDouble(node_value);
+    if (!parsed.ok()) return false;
+    double lhs = parsed.value();
+    double rhs = literal.AsDouble();
+    c = lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  }
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+namespace {
+
+bool NameMatches(const std::string& test, const std::string& name) {
+  return test == "*" || test == name;
+}
+
+void CollectDescendantElements(const Node& n, const std::string& test,
+                               std::vector<const Node*>* out) {
+  for (const auto& c : n.children()) {
+    if (c->IsElement()) {
+      if (NameMatches(test, c->name())) out->push_back(c.get());
+      CollectDescendantElements(*c, test, out);
+    }
+  }
+}
+
+/// Evaluates a predicate relative path from `ctx`, returning the string
+/// values of all matched nodes.
+void EvalRelPath(const Node& ctx, const RelPath& rel, size_t step_idx,
+                 std::vector<std::string>* out) {
+  if (step_idx >= rel.steps.size()) {
+    out->push_back(ctx.StringValue());
+    return;
+  }
+  const auto& rs = rel.steps[step_idx];
+  if (rs.attribute) {
+    for (const auto& a : ctx.attributes()) {
+      if (NameMatches(rs.name, a->name())) out->push_back(a->value());
+    }
+    return;
+  }
+  for (const auto& c : ctx.children()) {
+    if (c->IsElement() && NameMatches(rs.name, c->name())) {
+      EvalRelPath(*c, rel, step_idx + 1, out);
+    }
+  }
+}
+
+bool PredicateHolds(const Node& ctx, const Predicate& pred, size_t position,
+                    size_t group_size) {
+  switch (pred.kind) {
+    case Predicate::Kind::kPosition:
+      return static_cast<int64_t>(position) == pred.position;
+    case Predicate::Kind::kLast:
+      return position == group_size;
+    case Predicate::Kind::kExists: {
+      std::vector<std::string> vals;
+      EvalRelPath(ctx, pred.rel, 0, &vals);
+      return !vals.empty();
+    }
+    case Predicate::Kind::kValueCmp: {
+      std::vector<std::string> vals;
+      EvalRelPath(ctx, pred.rel, 0, &vals);
+      // Existential semantics: true if ANY matched node satisfies the
+      // comparison (XPath 1.0 node-set comparison).
+      return std::any_of(vals.begin(), vals.end(), [&](const std::string& v) {
+        return CompareNodeValue(v, pred.op, pred.literal);
+      });
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<const Node*>> EvalOnDom(const PathExpr& path,
+                                           const Node& root) {
+  std::vector<const Node*> current{&root};
+  for (const auto& step : path.steps) {
+    std::vector<const Node*> next;
+    for (const Node* ctx : current) {
+      // Candidates per context node, so positional predicates see the
+      // correct proximity group.
+      std::vector<const Node*> group;
+      switch (step.axis) {
+        case Axis::kChild:
+          for (const auto& c : ctx->children()) {
+            if (c->IsElement() && NameMatches(step.name, c->name())) {
+              group.push_back(c.get());
+            }
+          }
+          break;
+        case Axis::kDescendant:
+          CollectDescendantElements(*ctx, step.name, &group);
+          break;
+        case Axis::kAttribute:
+          for (const auto& a : ctx->attributes()) {
+            if (NameMatches(step.name, a->name())) group.push_back(a.get());
+          }
+          break;
+      }
+      for (size_t i = 0; i < group.size(); ++i) {
+        bool keep = true;
+        for (const auto& pred : step.predicates) {
+          if (!PredicateHolds(*group[i], pred, i + 1, group.size())) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) next.push_back(group[i]);
+      }
+    }
+    // Deduplicate while keeping document order: with child/attribute axes
+    // duplicates cannot occur, but '//' from overlapping contexts can
+    // produce them.
+    std::vector<const Node*> deduped;
+    deduped.reserve(next.size());
+    std::unordered_set<const Node*> seen;
+    for (const Node* n : next) {
+      if (seen.insert(n).second) deduped.push_back(n);
+    }
+    current = std::move(deduped);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace xmlrdb::xpath

@@ -1,0 +1,39 @@
+// Direct evaluation of the XPath subset over an in-memory xml::Node tree.
+//
+// This evaluator is the semantics oracle: every relational mapping's query
+// answers are property-tested against it. It is also the execution engine of
+// the Blob mapping (parse, then navigate).
+//
+// Semantics notes (shared by all evaluators in this repo):
+//  * '//' means *strict* descendants of the context node (document-rooted
+//    '//x' therefore includes the root element).
+//  * Value comparison uses: numeric literal -> both sides parsed as numbers
+//    (non-numeric node values never match); string literal -> byte equality
+//    /ordering on the node string-value.
+//  * Positional predicates apply to the per-parent child sequence selected by
+//    the step name, matching XPath's child-axis proximity position.
+
+#ifndef XMLRDB_XPATH_DOM_EVAL_H_
+#define XMLRDB_XPATH_DOM_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::xpath {
+
+/// Evaluates `path` with `root` as the document node (steps start below it).
+/// Returns matched nodes (elements or attributes) in document order.
+Result<std::vector<const xml::Node*>> EvalOnDom(const PathExpr& path,
+                                                const xml::Node& root);
+
+/// Compares a node's string-value against a literal under our comparison
+/// semantics. Exposed so the relational evaluators share the exact logic.
+bool CompareNodeValue(const std::string& node_value, CmpOp op,
+                      const rdb::Value& literal);
+
+}  // namespace xmlrdb::xpath
+
+#endif  // XMLRDB_XPATH_DOM_EVAL_H_

@@ -1,0 +1,89 @@
+// AST for the XPath subset the mappings translate to SQL.
+//
+// Grammar (absolute paths only at the top level):
+//
+//   path      := ('/' | '//') step ( ('/' | '//') step )*
+//   step      := '@'? (NAME | '*') predicate*
+//   predicate := '[' INTEGER ']'                    positional
+//              | '[' 'last()' ']'
+//              | '[' relpath ']'                    existence
+//              | '[' relpath cmp literal ']'        value comparison
+//   relpath   := '@'? (NAME|'*') ( '/' '@'? (NAME|'*') )*   (child axis only)
+//   cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   literal   := 'string' | "string" | number
+
+#ifndef XMLRDB_XPATH_XPATH_AST_H_
+#define XMLRDB_XPATH_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::xpath {
+
+enum class Axis {
+  kChild,
+  kDescendant,      ///< from '//': descendant elements
+  kAttribute,
+};
+
+const char* AxisName(Axis axis);
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// A relative path used inside predicates: child steps (optionally ending in
+/// an attribute step); no nested predicates.
+struct RelPath {
+  struct RelStep {
+    std::string name;  ///< "*" for wildcard
+    bool attribute = false;
+  };
+  std::vector<RelStep> steps;
+
+  std::string ToString() const;
+};
+
+struct Predicate {
+  enum class Kind { kPosition, kLast, kExists, kValueCmp };
+
+  Kind kind = Kind::kExists;
+  int64_t position = 0;  ///< for kPosition (1-based)
+  RelPath rel;           ///< for kExists / kValueCmp
+  CmpOp op = CmpOp::kEq; ///< for kValueCmp
+  rdb::Value literal;    ///< for kValueCmp
+
+  std::string ToString() const;
+};
+
+struct Step {
+  Axis axis = Axis::kChild;
+  std::string name;  ///< "*" for wildcard
+  std::vector<Predicate> predicates;
+
+  bool IsWildcard() const { return name == "*"; }
+  std::string ToString() const;
+};
+
+struct PathExpr {
+  std::vector<Step> steps;
+
+  std::string ToString() const;
+
+  /// True if any step uses the descendant axis.
+  bool HasDescendant() const;
+  /// True if no step carries predicates.
+  bool PredicateFree() const;
+};
+
+/// Parses the XPath subset; rejects unsupported syntax with kUnsupported or
+/// kParseError.
+Result<PathExpr> ParseXPath(std::string_view input);
+
+}  // namespace xmlrdb::xpath
+
+#endif  // XMLRDB_XPATH_XPATH_AST_H_

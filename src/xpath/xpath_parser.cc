@@ -1,0 +1,257 @@
+#include <cctype>
+
+#include "common/str_util.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::xpath {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kAttribute: return "attribute";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string RelPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += "/";
+    if (steps[i].attribute) out += "@";
+    out += steps[i].name;
+  }
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kPosition: return "[" + std::to_string(position) + "]";
+    case Kind::kLast: return "[last()]";
+    case Kind::kExists: return "[" + rel.ToString() + "]";
+    case Kind::kValueCmp: {
+      std::string lit = literal.type() == rdb::DataType::kString
+                            ? "'" + literal.AsString() + "'"
+                            : literal.ToString();
+      return "[" + rel.ToString() + " " + CmpOpName(op) + " " + lit + "]";
+    }
+  }
+  return "[?]";
+}
+
+std::string Step::ToString() const {
+  std::string out;
+  if (axis == Axis::kAttribute) out += "@";
+  out += name;
+  for (const auto& p : predicates) out += p.ToString();
+  return out;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (const auto& s : steps) {
+    out += s.axis == Axis::kDescendant ? "//" : "/";
+    out += s.ToString();
+  }
+  return out;
+}
+
+bool PathExpr::HasDescendant() const {
+  for (const auto& s : steps) {
+    if (s.axis == Axis::kDescendant) return true;
+  }
+  return false;
+}
+
+bool PathExpr::PredicateFree() const {
+  for (const auto& s : steps) {
+    if (!s.predicates.empty()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view in) : in_(in) {}
+
+  Result<PathExpr> Parse() {
+    PathExpr path;
+    SkipWs();
+    if (AtEnd() || Peek() != '/') return Err("path must start with '/' or '//'");
+    while (!AtEnd()) {
+      if (!Consume("/")) return Err("expected '/'");
+      bool descendant = Consume("/");
+      RETURN_IF_ERROR(ParseStepInto(descendant, &path));
+      SkipWs();
+      if (AtEnd()) break;
+      if (Peek() != '/') return Err("unexpected trailing input");
+    }
+    if (path.steps.empty()) return Err("empty path");
+    return path;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+  void Advance() { ++pos_; }
+  bool Consume(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError("XPath: " + msg + " at offset " +
+                              std::to_string(pos_) + " in '" + std::string(in_) +
+                              "'");
+  }
+
+  Result<std::string> ParseName() {
+    if (Consume("*")) return std::string("*");
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected name or '*'");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  /// Parses one lexical step. `//@name` expands into a wildcard descendant
+  /// step followed by an attribute step (descendant-or-self semantics are
+  /// handled by the evaluators treating the attribute step as applying to
+  /// the input node as well — see eval notes).
+  Status ParseStepInto(bool descendant, PathExpr* path) {
+    Step step;
+    if (Consume("@")) {
+      if (descendant) {
+        Step wild;
+        wild.axis = Axis::kDescendant;
+        wild.name = "*";
+        path->steps.push_back(std::move(wild));
+      }
+      step.axis = Axis::kAttribute;
+      ASSIGN_OR_RETURN(step.name, ParseName());
+    } else {
+      step.axis = descendant ? Axis::kDescendant : Axis::kChild;
+      ASSIGN_OR_RETURN(step.name, ParseName());
+    }
+    while (Consume("[")) {
+      ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+      SkipWs();
+      if (!Consume("]")) return Err("expected ']'");
+    }
+    if (step.axis == Axis::kAttribute && !step.predicates.empty()) {
+      return Status::Unsupported("predicates on attribute steps");
+    }
+    path->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  Result<Predicate> ParsePredicate() {
+    SkipWs();
+    Predicate pred;
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      size_t start = pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      ASSIGN_OR_RETURN(pred.position, ParseInt64(in_.substr(start, pos_ - start)));
+      if (pred.position < 1) return Err("positions are 1-based");
+      pred.kind = Predicate::Kind::kPosition;
+      return pred;
+    }
+    if (Consume("last()")) {
+      pred.kind = Predicate::Kind::kLast;
+      return pred;
+    }
+    while (true) {
+      RelPath::RelStep rs;
+      rs.attribute = Consume("@");
+      ASSIGN_OR_RETURN(rs.name, ParseName());
+      bool was_attr = rs.attribute;
+      pred.rel.steps.push_back(std::move(rs));
+      if (was_attr) break;  // attribute steps are terminal in a rel path
+      if (!Consume("/")) break;
+    }
+    SkipWs();
+    CmpOp op = CmpOp::kEq;
+    bool has_cmp = true;
+    if (Consume("!=")) op = CmpOp::kNe;
+    else if (Consume("<=")) op = CmpOp::kLe;
+    else if (Consume(">=")) op = CmpOp::kGe;
+    else if (Consume("<")) op = CmpOp::kLt;
+    else if (Consume(">")) op = CmpOp::kGt;
+    else if (Consume("=")) op = CmpOp::kEq;
+    else has_cmp = false;
+    if (!has_cmp) {
+      pred.kind = Predicate::Kind::kExists;
+      return pred;
+    }
+    pred.kind = Predicate::Kind::kValueCmp;
+    pred.op = op;
+    SkipWs();
+    if (Peek() == '\'' || Peek() == '"') {
+      char q = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != q) Advance();
+      if (AtEnd()) return Err("unterminated string literal");
+      pred.literal = rdb::Value(std::string(in_.substr(start, pos_ - start)));
+      Advance();
+    } else {
+      size_t start = pos_;
+      bool is_double = false;
+      if (Peek() == '-') Advance();
+      while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '.')) {
+        if (Peek() == '.') is_double = true;
+        Advance();
+      }
+      std::string_view num = in_.substr(start, pos_ - start);
+      if (num.empty()) return Err("expected literal");
+      if (is_double) {
+        ASSIGN_OR_RETURN(double v, ParseDouble(num));
+        pred.literal = rdb::Value(v);
+      } else {
+        ASSIGN_OR_RETURN(int64_t v, ParseInt64(num));
+        pred.literal = rdb::Value(v);
+      }
+    }
+    return pred;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParseXPath(std::string_view input) {
+  XPathParser p(input);
+  return p.Parse();
+}
+
+}  // namespace xmlrdb::xpath

@@ -1,0 +1,172 @@
+// B+-tree unit and property tests, including differential testing against
+// std::set over random operation sequences.
+
+#include "rdb/btree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+Row K(int64_t a) { return {Value(a)}; }
+Row K2(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+
+TEST(BTreeTest, InsertAndContains) {
+  BTree t(8);
+  EXPECT_TRUE(t.Insert(K(5)));
+  EXPECT_TRUE(t.Insert(K(1)));
+  EXPECT_TRUE(t.Insert(K(9)));
+  EXPECT_FALSE(t.Insert(K(5)));  // duplicate
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Contains(K(5)));
+  EXPECT_FALSE(t.Contains(K(6)));
+}
+
+TEST(BTreeTest, EraseRemovesOnlyExactKey) {
+  BTree t(8);
+  t.Insert(K(1));
+  t.Insert(K(2));
+  EXPECT_FALSE(t.Erase(K(3)));
+  EXPECT_TRUE(t.Erase(K(2)));
+  EXPECT_FALSE(t.Erase(K(2)));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains(K(1)));
+}
+
+TEST(BTreeTest, SplitsKeepOrder) {
+  BTree t(4);  // tiny fanout forces many splits
+  for (int64_t i = 100; i >= 1; --i) EXPECT_TRUE(t.Insert(K(i)));
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_GT(t.height(), 1u);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+  int64_t expect = 1;
+  for (auto it = t.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key()[0].AsInt(), expect++);
+  }
+  EXPECT_EQ(expect, 101);
+}
+
+TEST(BTreeTest, SeekAtLeastExactAndBetween) {
+  BTree t(4);
+  for (int64_t i = 0; i < 100; i += 10) t.Insert(K(i));
+  auto it = t.SeekAtLeast(K(30));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 30);
+  it = t.SeekAtLeast(K(31));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 40);
+  it = t.SeekAtLeast(K(30), /*inclusive=*/false);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 40);
+  it = t.SeekAtLeast(K(1000));
+  EXPECT_FALSE(it.Valid());
+  it = t.SeekAtLeast(K(-5));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 0);
+}
+
+TEST(BTreeTest, PrefixSeekOverCompositeKeys) {
+  BTree t(4);
+  for (int64_t a = 0; a < 10; ++a) {
+    for (int64_t b = 0; b < 5; ++b) t.Insert(K2(a, b));
+  }
+  // Seek to prefix (7): should land on (7,0).
+  auto it = t.SeekAtLeast(K(7));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 7);
+  EXPECT_EQ(it.key()[1].AsInt(), 0);
+  // Iterate the whole (7,*) group.
+  int count = 0;
+  while (it.Valid() && PrefixCompareRows(it.key(), K(7)) == 0) {
+    ++count;
+    it.Next();
+  }
+  EXPECT_EQ(count, 5);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 8);
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTree t(4);
+  for (const char* s : {"pear", "apple", "fig", "kiwi", "banana"}) {
+    t.Insert({Value(s)});
+  }
+  auto it = t.Begin();
+  std::vector<std::string> got;
+  for (; it.Valid(); it.Next()) got.push_back(it.key()[0].AsString());
+  EXPECT_EQ(got, (std::vector<std::string>{"apple", "banana", "fig", "kiwi",
+                                           "pear"}));
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Begin().Valid());
+  EXPECT_FALSE(t.SeekAtLeast(K(0)).Valid());
+  EXPECT_FALSE(t.Contains(K(0)));
+  EXPECT_FALSE(t.Erase(K(0)));
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, EraseThenIterateSkipsEmptyLeaves) {
+  BTree t(4);
+  for (int64_t i = 0; i < 50; ++i) t.Insert(K(i));
+  // Erase a whole leaf's worth in the middle.
+  for (int64_t i = 10; i < 20; ++i) EXPECT_TRUE(t.Erase(K(i)));
+  EXPECT_TRUE(t.CheckInvariants().ok());
+  auto it = t.SeekAtLeast(K(9));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 9);
+  it.Next();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 20);
+}
+
+class BTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeFanoutTest, DifferentialAgainstStdSet) {
+  BTree t(GetParam());
+  std::set<int64_t> oracle;
+  Rng rng(GetParam() * 7919 + 1);
+  for (int op = 0; op < 5000; ++op) {
+    int64_t key = rng.Uniform(0, 400);
+    double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      EXPECT_EQ(t.Insert(K(key)), oracle.insert(key).second);
+    } else if (dice < 0.9) {
+      EXPECT_EQ(t.Erase(K(key)), oracle.erase(key) > 0);
+    } else {
+      EXPECT_EQ(t.Contains(K(key)), oracle.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  ASSERT_TRUE(t.CheckInvariants().ok());
+  // Full scan equals oracle order.
+  auto it = t.Begin();
+  for (int64_t v : oracle) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].AsInt(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  // Random range scans equal oracle ranges.
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t lo = rng.Uniform(0, 400);
+    auto tit = t.SeekAtLeast(K(lo));
+    auto oit = oracle.lower_bound(lo);
+    for (int k = 0; k < 10 && oit != oracle.end(); ++k, ++oit, tit.Next()) {
+      ASSERT_TRUE(tit.Valid());
+      EXPECT_EQ(tit.key()[0].AsInt(), *oit);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanoutTest,
+                         ::testing::Values(4, 8, 32, 128));
+
+}  // namespace
+}  // namespace xmlrdb::rdb

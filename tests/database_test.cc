@@ -1,0 +1,106 @@
+// Tests for the Database facade beyond what the SQL end-to-end suite covers.
+
+#include "rdb/database.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db;
+  EXPECT_TRUE(db.TableNames().empty());
+  auto t = db.CreateTable("a", Schema({{"x", DataType::kInt, true, ""}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(db.FindTable("a"), nullptr);
+  EXPECT_EQ(db.FindTable("b"), nullptr);
+  EXPECT_EQ(db.CreateTable("a", Schema()).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.CreateTable("b", Schema({{"y", DataType::kString, true, ""}}))
+                  .ok());
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(db.DropTable("a").ok());
+  EXPECT_EQ(db.DropTable("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"b"}));
+}
+
+TEST(DatabaseTest, DropTableIfExistsViaSql) {
+  Database db;
+  EXPECT_TRUE(db.Execute("DROP TABLE IF EXISTS ghost").ok());
+  EXPECT_FALSE(db.Execute("DROP TABLE ghost").ok());
+}
+
+TEST(DatabaseTest, QueryResultToString) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'x'), (2, NULL)").ok());
+  auto r = db.Execute("SELECT a, b FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  std::string s = r.value().ToString();
+  EXPECT_NE(s.find("a | b"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 | x"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 | NULL"), std::string::npos) << s;
+  EXPECT_NE(s.find("(2 rows)"), std::string::npos) << s;
+}
+
+TEST(DatabaseTest, FootprintTracksData) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (s VARCHAR)").ok());
+  size_t before = db.FootprintBytes();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES ('some sizeable payload')")
+                    .ok());
+  }
+  EXPECT_GT(db.FootprintBytes(), before);
+}
+
+TEST(DatabaseTest, InsertExpressionsMustBeConstant) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  // Arithmetic over literals is fine.
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1 + 2 * 3)").ok());
+  auto r = db.Execute("SELECT a FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 7);
+  // Column references in VALUES are rejected.
+  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (a)").ok());
+}
+
+TEST(DatabaseTest, UpdateUsesOldRowValuesConsistently) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER, b INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 10)").ok());
+  // Both assignments read the pre-update row.
+  ASSERT_TRUE(db.Execute("UPDATE t SET a = b, b = a").ok());
+  auto r = db.Execute("SELECT a, b FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 1);
+}
+
+TEST(DatabaseTest, DeleteAllWithoutWhere) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  auto r = db.Execute("DELETE FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().affected, 3);
+  EXPECT_EQ(db.Execute("SELECT a FROM t").value().rows.size(), 0u);
+}
+
+TEST(DatabaseTest, UpdateWithIndexMaintainsIt) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX ia ON t (a)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(db.Execute("UPDATE t SET a = a + 10").ok());
+  auto r = db.Execute("SELECT a FROM t WHERE a = 11");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 1u);
+  auto plan = db.PlanSql("SELECT a FROM t WHERE a = 11");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value()->CountOperators("IndexScan"), 0);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,112 @@
+// White-box tests for the Dewey key encoding and its ordering properties.
+
+#include <gtest/gtest.h>
+
+#include "shred/dewey_mapping.h"
+#include "shred/evaluator.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::shred {
+namespace {
+
+TEST(DeweyEncodingTest, ComponentIsFixedWidth) {
+  EXPECT_EQ(DeweyComponent(1), "000001");
+  EXPECT_EQ(DeweyComponent(42), "000042");
+  EXPECT_EQ(DeweyComponent(999999), "999999");
+}
+
+TEST(DeweyEncodingTest, ChildAppendsComponent) {
+  EXPECT_EQ(DeweyChild("", 1), "000001");
+  EXPECT_EQ(DeweyChild("000001", 3), "000001.000003");
+  EXPECT_EQ(DeweyChild("000001.000003", 12), "000001.000003.000012");
+}
+
+TEST(DeweyEncodingTest, StringOrderIsDocumentOrder) {
+  // Sibling order.
+  EXPECT_LT(DeweyChild("000001", 2), DeweyChild("000001", 10));
+  // Parent before child.
+  EXPECT_LT(std::string("000001"), DeweyChild("000001", 1));
+  // Child of earlier sibling before later sibling.
+  EXPECT_LT(DeweyChild(DeweyChild("000001", 1), 5), DeweyChild("000001", 2));
+}
+
+TEST(DeweyEncodingTest, SubtreeRangeIsTight) {
+  // The subtree of d is exactly [d, d + "/") — "/" = '.'+1 in ASCII.
+  std::string d = DeweyChild("000001", 2);
+  std::string descendant = DeweyChild(DeweyChild(d, 1), 1);
+  std::string next_sibling = DeweyChild("000001", 3);
+  EXPECT_GE(descendant, d);
+  EXPECT_LT(descendant, d + "/");
+  EXPECT_GE(next_sibling, d + "/");
+}
+
+TEST(DeweyEncodingTest, StoredKeysFollowStructure) {
+  DeweyMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  auto r = db.Execute("SELECT dewey, name FROM dw_nodes ORDER BY dewey");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 4u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "000001");           // a
+  EXPECT_EQ(r.value().rows[1][0].AsString(), "000001.000001");    // b
+  EXPECT_EQ(r.value().rows[2][0].AsString(), "000001.000002");    // c
+  EXPECT_EQ(r.value().rows[3][0].AsString(), "000001.000002.000001");  // d
+}
+
+TEST(DeweyEncodingTest, InsertDoesNotTouchExistingRows) {
+  DeweyMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  auto before = db.Execute("SELECT dewey FROM dw_nodes ORDER BY dewey");
+  ASSERT_TRUE(before.ok());
+
+  auto frag = xml::ParseFragment("<d/>");
+  ASSERT_TRUE(frag.ok());
+  ASSERT_TRUE(m.InsertSubtree(&db, id.value(), rdb::Value("000001"),
+                              *frag.value())
+                  .ok());
+  // All pre-existing keys unchanged — the headline contrast with interval.
+  auto after = db.Execute("SELECT dewey FROM dw_nodes ORDER BY dewey");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().rows.size(), before.value().rows.size() + 1);
+  for (size_t i = 0; i < before.value().rows.size(); ++i) {
+    EXPECT_EQ(before.value().rows[i][0].AsString(),
+              after.value().rows[i][0].AsString());
+  }
+  // The new node took the next sibling slot.
+  EXPECT_EQ(after.value().rows.back()[0].AsString(), "000001.000003");
+}
+
+TEST(DeweyEncodingTest, InsertAfterDeleteReusesNoSlot) {
+  DeweyMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  // Delete c (slot 2); the next insert must take slot 3 anyway? No — MAX of
+  // remaining children is slot 1, so slot 2 is reused, which is safe because
+  // the old slot 2 subtree is fully gone.
+  ASSERT_TRUE(m.DeleteSubtree(&db, id.value(), rdb::Value("000001.000002")).ok());
+  auto frag = xml::ParseFragment("<d/>");
+  ASSERT_TRUE(m.InsertSubtree(&db, id.value(), rdb::Value("000001"),
+                              *frag.value())
+                  .ok());
+  auto r = db.Execute("SELECT dewey, name FROM dw_nodes ORDER BY dewey");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 3u);
+  EXPECT_EQ(r.value().rows[2][1].AsString(), "d");
+}
+
+}  // namespace
+}  // namespace xmlrdb::shred

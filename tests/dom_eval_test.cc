@@ -1,0 +1,136 @@
+// Direct tests of the DOM evaluator (the oracle itself needs pinning).
+
+#include "xpath/dom_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::xpath {
+namespace {
+
+class DomEvalTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& text) {
+    auto doc = xml::Parse(text);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+  }
+
+  std::vector<std::string> Eval(const std::string& xpath) {
+    auto p = ParseXPath(xpath);
+    EXPECT_TRUE(p.ok()) << p.status();
+    auto nodes = EvalOnDom(p.value(), *doc_->doc_node());
+    EXPECT_TRUE(nodes.ok()) << nodes.status();
+    std::vector<std::string> out;
+    for (const xml::Node* n : nodes.value()) out.push_back(n->StringValue());
+    return out;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+};
+
+TEST_F(DomEvalTest, ChildSteps) {
+  Load("<a><b>1</b><c>skip</c><b>2</b></a>");
+  EXPECT_EQ(Eval("/a/b"), (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(Eval("/a/c"), (std::vector<std::string>{"skip"}));
+  EXPECT_TRUE(Eval("/a/missing").empty());
+  EXPECT_TRUE(Eval("/wrongroot").empty());
+}
+
+TEST_F(DomEvalTest, DescendantIncludesAllLevels) {
+  Load("<a><b>1<b>2<b>3</b></b></b></a>");
+  EXPECT_EQ(Eval("//b").size(), 3u);
+  EXPECT_EQ(Eval("/a//b").size(), 3u);
+  EXPECT_EQ(Eval("//b//b").size(), 2u);
+  // '//a' from the document includes the root element itself.
+  EXPECT_EQ(Eval("//a").size(), 1u);
+}
+
+TEST_F(DomEvalTest, DescendantDeduplicates) {
+  Load("<a><b><b><c>x</c></b></b></a>");
+  // c is a descendant of both b's, but must appear once.
+  EXPECT_EQ(Eval("//b//c").size(), 1u);
+}
+
+TEST_F(DomEvalTest, Wildcard) {
+  Load("<a><b>1</b><c>2</c></a>");
+  EXPECT_EQ(Eval("/a/*").size(), 2u);
+  EXPECT_EQ(Eval("/*").size(), 1u);
+}
+
+TEST_F(DomEvalTest, Attributes) {
+  Load("<a x=\"1\"><b x=\"2\" y=\"3\"/></a>");
+  EXPECT_EQ(Eval("/a/@x"), (std::vector<std::string>{"1"}));
+  EXPECT_EQ(Eval("/a/b/@*").size(), 2u);
+  // //@x expands to //*/@x; //* from the document node includes the root.
+  EXPECT_EQ(Eval("//@x").size(), 2u);
+}
+
+TEST_F(DomEvalTest, PositionalPredicates) {
+  Load("<a><b>1</b><b>2</b><b>3</b><c><b>4</b></c></a>");
+  EXPECT_EQ(Eval("/a/b[2]"), (std::vector<std::string>{"2"}));
+  EXPECT_EQ(Eval("/a/b[last()]"), (std::vector<std::string>{"3"}));
+  // Positions are per parent: both /a and /c contribute their first b.
+  EXPECT_EQ(Eval("//*/b[1]").size(), 2u);
+}
+
+TEST_F(DomEvalTest, ExistencePredicates) {
+  Load("<r><p><q/></p><p/><p><q/><s/></p></r>");
+  EXPECT_EQ(Eval("/r/p[q]").size(), 2u);
+  EXPECT_EQ(Eval("/r/p[s]").size(), 1u);
+  EXPECT_EQ(Eval("/r/p[q/missing]").size(), 0u);
+}
+
+TEST_F(DomEvalTest, ValuePredicatesStringAndNumeric) {
+  Load("<r><i><v>10</v></i><i><v>9</v></i><i><v>abc</v></i></r>");
+  EXPECT_EQ(Eval("/r/i[v = 10]").size(), 1u);
+  EXPECT_EQ(Eval("/r/i[v > 8]").size(), 2u);
+  EXPECT_EQ(Eval("/r/i[v = 'abc']").size(), 1u);
+  // Numeric comparison with a non-numeric node value never matches.
+  EXPECT_EQ(Eval("/r/i[v < 100]").size(), 2u);
+  // String comparison is lexicographic: "10" < "9".
+  EXPECT_EQ(Eval("/r/i[v < '9']").size(), 1u);
+}
+
+TEST_F(DomEvalTest, ExistentialComparisonSemantics) {
+  // Any matching node satisfies the predicate (XPath 1.0 node-set compare).
+  Load("<r><i><v>1</v><v>5</v></i><i><v>2</v></i></r>");
+  EXPECT_EQ(Eval("/r/i[v = 5]").size(), 1u);
+  EXPECT_EQ(Eval("/r/i[v > 1]").size(), 2u);
+}
+
+TEST_F(DomEvalTest, AttributePredicates) {
+  Load("<r><i k=\"a\"/><i k=\"b\"/><i/></r>");
+  EXPECT_EQ(Eval("/r/i[@k]").size(), 2u);
+  EXPECT_EQ(Eval("/r/i[@k = 'b']").size(), 1u);
+}
+
+TEST_F(DomEvalTest, MultiplePredicatesConjoin) {
+  Load("<r><i k=\"a\"><v>1</v></i><i k=\"a\"><v>2</v></i><i k=\"b\"><v>1</v></i></r>");
+  EXPECT_EQ(Eval("/r/i[@k = 'a'][v = 1]").size(), 1u);
+}
+
+TEST_F(DomEvalTest, MixedContentStringValue) {
+  Load("<r><p>one<b>two</b>three</p></r>");
+  EXPECT_EQ(Eval("/r/p"), (std::vector<std::string>{"onetwothree"}));
+}
+
+TEST(CompareNodeValueTest, Operators) {
+  rdb::Value five(int64_t{5});
+  EXPECT_TRUE(CompareNodeValue("5", CmpOp::kEq, five));
+  EXPECT_TRUE(CompareNodeValue("5.0", CmpOp::kEq, five));
+  EXPECT_TRUE(CompareNodeValue("6", CmpOp::kGt, five));
+  EXPECT_TRUE(CompareNodeValue("4", CmpOp::kLt, five));
+  EXPECT_TRUE(CompareNodeValue("5", CmpOp::kLe, five));
+  EXPECT_TRUE(CompareNodeValue("5", CmpOp::kGe, five));
+  EXPECT_TRUE(CompareNodeValue("4", CmpOp::kNe, five));
+  EXPECT_FALSE(CompareNodeValue("abc", CmpOp::kEq, five));
+  rdb::Value s("abc");
+  EXPECT_TRUE(CompareNodeValue("abc", CmpOp::kEq, s));
+  EXPECT_TRUE(CompareNodeValue("abd", CmpOp::kGt, s));
+}
+
+}  // namespace
+}  // namespace xmlrdb::xpath

@@ -1,0 +1,150 @@
+// Tests for the DTD normalisation rules of Shanmugasundaram et al.
+
+#include "xml/dtd_simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/dtd.h"
+
+namespace xmlrdb::xml {
+namespace {
+
+SimplifiedDtd Simplify(const std::string& dtd_text) {
+  auto dtd = ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  auto s = SimplifyDtd(*dtd.value());
+  EXPECT_TRUE(s.ok()) << s.status();
+  return std::move(s).value();
+}
+
+Multiplicity MultOf(const SimplifiedElement& se, const std::string& child) {
+  for (const auto& c : se.children) {
+    if (c.name == child) return c.mult;
+  }
+  ADD_FAILURE() << "child " << child << " not found";
+  return Multiplicity::kOne;
+}
+
+TEST(SimplifyTest, PlainSequence) {
+  auto s = Simplify("<!ELEMENT a (b, c?, d*)>");
+  const auto& a = s.elements.at("a");
+  ASSERT_EQ(a.children.size(), 3u);
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kOne);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kOpt);
+  EXPECT_EQ(MultOf(a, "d"), Multiplicity::kStar);
+  EXPECT_FALSE(a.has_text);
+}
+
+TEST(SimplifyTest, StarDistributesOverSequence) {
+  // (e1, e2)* -> e1*, e2*
+  auto s = Simplify("<!ELEMENT a ((b, c)*)>");
+  const auto& a = s.elements.at("a");
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kStar);
+}
+
+TEST(SimplifyTest, OptDistributesOverSequence) {
+  // (e1, e2)? -> e1?, e2?
+  auto s = Simplify("<!ELEMENT a ((b, c)?)>");
+  const auto& a = s.elements.at("a");
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kOpt);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kOpt);
+}
+
+TEST(SimplifyTest, ChoiceBecomesOptions) {
+  // (e1 | e2) -> e1?, e2?
+  auto s = Simplify("<!ELEMENT a (b | c)>");
+  const auto& a = s.elements.at("a");
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kOpt);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kOpt);
+}
+
+TEST(SimplifyTest, NestedQuantifiersCollapse) {
+  // e** -> e*, e*? -> e*, e?? -> e?
+  auto s1 = Simplify("<!ELEMENT a ((b*)*)>");
+  EXPECT_EQ(MultOf(s1.elements.at("a"), "b"), Multiplicity::kStar);
+  auto s2 = Simplify("<!ELEMENT a ((b*)?)>");
+  EXPECT_EQ(MultOf(s2.elements.at("a"), "b"), Multiplicity::kStar);
+  auto s3 = Simplify("<!ELEMENT a ((b?)?)>");
+  EXPECT_EQ(MultOf(s3.elements.at("a"), "b"), Multiplicity::kOpt);
+}
+
+TEST(SimplifyTest, PlusGeneralisesToStar) {
+  auto s = Simplify("<!ELEMENT a (b+)>");
+  EXPECT_EQ(MultOf(s.elements.at("a"), "b"), Multiplicity::kStar);
+}
+
+TEST(SimplifyTest, DuplicateNamesMergeToStar) {
+  // ..a,..,a.. -> a*
+  auto s = Simplify("<!ELEMENT a (b, c, b)>");
+  const auto& a = s.elements.at("a");
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kOne);
+}
+
+TEST(SimplifyTest, MixedContent) {
+  auto s = Simplify("<!ELEMENT p (#PCDATA | em | strong)*>");
+  const auto& p = s.elements.at("p");
+  EXPECT_TRUE(p.has_text);
+  EXPECT_EQ(MultOf(p, "em"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(p, "strong"), Multiplicity::kStar);
+}
+
+TEST(SimplifyTest, PcdataOnly) {
+  auto s = Simplify("<!ELEMENT t (#PCDATA)>");
+  const auto& t = s.elements.at("t");
+  EXPECT_TRUE(t.has_text);
+  EXPECT_TRUE(t.children.empty());
+}
+
+TEST(SimplifyTest, AnyContent) {
+  auto s = Simplify("<!ELEMENT x ANY>");
+  EXPECT_TRUE(s.elements.at("x").any);
+  EXPECT_TRUE(s.elements.at("x").has_text);
+}
+
+TEST(SimplifyTest, DeepNesting) {
+  // ((b | (c, d))*, e)? — b,c,d all star-ish, e optional.
+  auto s = Simplify("<!ELEMENT a (((b | (c, d))*, e)?)>");
+  const auto& a = s.elements.at("a");
+  EXPECT_EQ(MultOf(a, "b"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(a, "c"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(a, "d"), Multiplicity::kStar);
+  EXPECT_EQ(MultOf(a, "e"), Multiplicity::kOpt);
+}
+
+TEST(SimplifyTest, InDegreeCountsDistinctParents) {
+  auto s = Simplify(R"(
+<!ELEMENT bib (book*, article*)>
+<!ELEMENT book (title, author)>
+<!ELEMENT article (title, author, author)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+)");
+  EXPECT_EQ(s.in_degree.at("title"), 2);   // book + article
+  EXPECT_EQ(s.in_degree.at("author"), 2);  // duplicates within article: once
+  EXPECT_EQ(s.in_degree.at("book"), 1);
+}
+
+TEST(SimplifyTest, AttributesCarriedThrough) {
+  auto s = Simplify(R"(
+<!ELEMENT a EMPTY>
+<!ATTLIST a x CDATA #REQUIRED y CDATA #IMPLIED>
+)");
+  EXPECT_EQ(s.elements.at("a").attributes.size(), 2u);
+}
+
+TEST(SimplifyTest, AttlistWithoutElementDecl) {
+  auto s = Simplify("<!ATTLIST ghost x CDATA #IMPLIED>");
+  ASSERT_TRUE(s.elements.count("ghost") > 0);
+  EXPECT_EQ(s.elements.at("ghost").attributes.size(), 1u);
+}
+
+TEST(SimplifyTest, RecursionDetected) {
+  auto s = Simplify("<!ELEMENT part (part*)>");
+  EXPECT_EQ(s.recursive, std::vector<std::string>{"part"});
+}
+
+}  // namespace
+}  // namespace xmlrdb::xml

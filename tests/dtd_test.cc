@@ -1,0 +1,133 @@
+#include "xml/dtd.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::xml {
+namespace {
+
+TEST(DtdParserTest, ElementDeclarations) {
+  auto dtd = ParseDtd(R"(
+<!ELEMENT book (title, author*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (first?, last)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT empty EMPTY>
+<!ELEMENT anything ANY>
+)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ElementDecl* book = dtd.value()->FindElement("book");
+  ASSERT_NE(book, nullptr);
+  EXPECT_EQ(book->content->ToString(), "(title, author*)");
+  EXPECT_FALSE(book->mixed);
+  const ElementDecl* title = dtd.value()->FindElement("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_TRUE(title->mixed);
+  EXPECT_EQ(dtd.value()->FindElement("empty")->content->kind,
+            ContentParticle::Kind::kEmpty);
+  EXPECT_EQ(dtd.value()->FindElement("anything")->content->kind,
+            ContentParticle::Kind::kAny);
+  EXPECT_EQ(dtd.value()->FindElement("nope"), nullptr);
+}
+
+TEST(DtdParserTest, ChoiceAndNestedGroups) {
+  auto dtd = ParseDtd("<!ELEMENT a ((b | c)+, d?)>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd.value()->FindElement("a")->content->ToString(),
+            "((b | c)+, d?)");
+}
+
+TEST(DtdParserTest, MixedContent) {
+  auto dtd = ParseDtd("<!ELEMENT p (#PCDATA | em | strong)*>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ElementDecl* p = dtd.value()->FindElement("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->mixed);
+}
+
+TEST(DtdParserTest, Attlist) {
+  auto dtd = ParseDtd(R"(
+<!ELEMENT item EMPTY>
+<!ATTLIST item
+  id ID #REQUIRED
+  ref IDREF #IMPLIED
+  refs IDREFS #IMPLIED
+  kind (new | used | broken) "used"
+  note CDATA #IMPLIED
+  fixed_one CDATA #FIXED "constant">
+)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const auto* attrs = dtd.value()->FindAttlist("item");
+  ASSERT_NE(attrs, nullptr);
+  ASSERT_EQ(attrs->size(), 6u);
+  EXPECT_EQ((*attrs)[0].type, AttrDecl::Type::kId);
+  EXPECT_EQ((*attrs)[0].dflt, AttrDecl::Default::kRequired);
+  EXPECT_EQ((*attrs)[1].type, AttrDecl::Type::kIdRef);
+  EXPECT_EQ((*attrs)[2].type, AttrDecl::Type::kIdRefs);
+  EXPECT_EQ((*attrs)[3].type, AttrDecl::Type::kEnum);
+  EXPECT_EQ((*attrs)[3].enum_values,
+            (std::vector<std::string>{"new", "used", "broken"}));
+  EXPECT_EQ((*attrs)[3].default_value, "used");
+  EXPECT_EQ((*attrs)[5].dflt, AttrDecl::Default::kFixed);
+  EXPECT_EQ((*attrs)[5].default_value, "constant");
+}
+
+TEST(DtdParserTest, CommentsAndPIsSkipped) {
+  auto dtd = ParseDtd(R"(
+<!-- a comment with <!ELEMENT fake (x)> inside -->
+<!ELEMENT real (#PCDATA)>
+<?pi stuff?>
+)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd.value()->FindElement("fake"), nullptr);
+  EXPECT_NE(dtd.value()->FindElement("real"), nullptr);
+}
+
+TEST(DtdParserTest, EntityDeclarationsRejected) {
+  auto dtd = ParseDtd("<!ENTITY foo \"bar\">");
+  EXPECT_FALSE(dtd.ok());
+  EXPECT_EQ(dtd.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DtdParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT broken").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b,, c)>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b | c, d)>").ok());  // mixed separators
+  EXPECT_FALSE(ParseDtd("<!ATTLIST a x BADTYPE #IMPLIED>").ok());
+  EXPECT_FALSE(ParseDtd("random garbage").ok());
+}
+
+TEST(DtdRecursionTest, DirectRecursion) {
+  auto dtd = ParseDtd("<!ELEMENT part (name?, part*)>\n<!ELEMENT name (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto rec = dtd.value()->RecursiveElements();
+  EXPECT_EQ(rec, std::vector<std::string>{"part"});
+}
+
+TEST(DtdRecursionTest, MutualRecursion) {
+  auto dtd = ParseDtd(R"(
+<!ELEMENT a (b?)>
+<!ELEMENT b (c?)>
+<!ELEMENT c (a?)>
+<!ELEMENT standalone (#PCDATA)>
+)");
+  ASSERT_TRUE(dtd.ok());
+  auto rec = dtd.value()->RecursiveElements();
+  std::sort(rec.begin(), rec.end());
+  EXPECT_EQ(rec, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DtdRecursionTest, NoFalsePositives) {
+  auto dtd = ParseDtd(R"(
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title)>
+<!ELEMENT title (#PCDATA)>
+)");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd.value()->RecursiveElements().empty());
+}
+
+}  // namespace
+}  // namespace xmlrdb::xml

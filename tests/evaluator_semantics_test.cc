@@ -1,0 +1,127 @@
+// Focused semantics tests for the generic relational evaluator
+// (shred::EvalPath), beyond what the broad differential sweeps cover:
+// per-context positional groups, predicate interaction, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "shred/evaluator.h"
+#include "shred/registry.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb {
+namespace {
+
+class EvaluatorTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void Load(const std::string& xml_text) {
+    auto m = shred::CreateMapping(GetParam());
+    ASSERT_TRUE(m.ok());
+    mapping_ = std::move(m).value();
+    ASSERT_TRUE(mapping_->Initialize(&db_).ok());
+    auto doc = xml::Parse(xml_text);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    auto id = mapping_->Store(*doc.value(), &db_);
+    ASSERT_TRUE(id.ok()) << id.status();
+    id_ = id.value();
+  }
+
+  std::vector<std::string> Strings(const std::string& xpath) {
+    auto p = xpath::ParseXPath(xpath);
+    EXPECT_TRUE(p.ok()) << p.status();
+    auto v = shred::EvalPathStrings(p.value(), mapping_.get(), &db_, id_);
+    EXPECT_TRUE(v.ok()) << v.status();
+    auto out = v.ok() ? v.value() : std::vector<std::string>{};
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<shred::Mapping> mapping_;
+  rdb::Database db_;
+  shred::DocId id_ = 0;
+};
+
+TEST_P(EvaluatorTest, PositionalPredicateIsPerParent) {
+  Load("<r><g><i>a</i><i>b</i></g><g><i>c</i></g></r>");
+  // i[1] per parent group: a and c.
+  EXPECT_EQ(Strings("/r/g/i[1]"), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Strings("/r/g/i[2]"), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(Strings("/r/g/i[last()]"), (std::vector<std::string>{"b", "c"}));
+  EXPECT_TRUE(Strings("/r/g/i[3]").empty());
+}
+
+TEST_P(EvaluatorTest, PositionCountsOnlyMatchingNames) {
+  Load("<r><x>skip</x><i>first</i><x>skip</x><i>second</i></r>");
+  // The position is within the i-siblings, not among all children.
+  EXPECT_EQ(Strings("/r/i[1]"), (std::vector<std::string>{"first"}));
+  EXPECT_EQ(Strings("/r/i[2]"), (std::vector<std::string>{"second"}));
+}
+
+TEST_P(EvaluatorTest, MultiplePredicatesUseOriginalPositions) {
+  Load("<r><i k=\"y\">1</i><i>2</i><i k=\"y\">3</i></r>");
+  // Both predicates see the original 3-element group: [2] is the middle i
+  // (no @k), so [@k][2] matches nothing; [3][@k] matches the third.
+  EXPECT_TRUE(Strings("/r/i[@k][2]").empty());
+  EXPECT_EQ(Strings("/r/i[3][@k]"), (std::vector<std::string>{"3"}));
+}
+
+TEST_P(EvaluatorTest, PredicateRelPathDescendsMultipleSteps) {
+  Load("<r><p><q><s>ok</s></q></p><p><q/></p></r>");
+  EXPECT_EQ(Strings("/r/p[q/s]").size(), 1u);
+  EXPECT_EQ(Strings("/r/p[q/s = 'ok']").size(), 1u);
+  EXPECT_TRUE(Strings("/r/p[q/s = 'no']").empty());
+}
+
+TEST_P(EvaluatorTest, PredicateOnWildcardRelPath) {
+  Load("<r><p><a>1</a></p><p><b>2</b></p><p/></r>");
+  EXPECT_EQ(Strings("/r/p[*]").size(), 2u);
+  EXPECT_EQ(Strings("/r/p[* = 2]").size(), 1u);
+}
+
+TEST_P(EvaluatorTest, EmptyIntermediateStepsShortCircuit) {
+  Load("<r><a/></r>");
+  EXPECT_TRUE(Strings("/r/zzz/deeper/path").empty());
+  EXPECT_TRUE(Strings("//zzz//deeper").empty());
+}
+
+TEST_P(EvaluatorTest, DescendantFromNestedContextsDeduplicates) {
+  Load("<r><a><a><b>x</b></a></a></r>");
+  // //a yields nested contexts; //a//b must still return b once.
+  EXPECT_EQ(Strings("//a//b"), (std::vector<std::string>{"x"}));
+}
+
+TEST_P(EvaluatorTest, AttributeAtPathHeadSelectsNothing) {
+  // The document node has no attributes; /@x is empty, matching the oracle.
+  Load("<r x=\"1\"/>");
+  auto p = xpath::ParseXPath("/@x");
+  ASSERT_TRUE(p.ok());
+  auto v = shred::EvalPath(p.value(), mapping_.get(), &db_, id_);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(v.value().empty());
+}
+
+TEST_P(EvaluatorTest, UnknownDocumentFails) {
+  Load("<r/>");
+  auto p = xpath::ParseXPath("/r");
+  ASSERT_TRUE(p.ok());
+  auto v = shred::EvalPath(p.value(), mapping_.get(), &db_, id_ + 999);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST_P(EvaluatorTest, RootNameMismatchYieldsEmpty) {
+  Load("<r><a/></r>");
+  EXPECT_TRUE(Strings("/not_r").empty());
+  EXPECT_TRUE(Strings("/not_r/a").empty());
+}
+
+TEST_P(EvaluatorTest, StringValueConcatenatesDescendantText) {
+  Load("<r><p>one<q>two</q>three</p></r>");
+  EXPECT_EQ(Strings("/r/p"), (std::vector<std::string>{"onetwothree"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, EvaluatorTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,211 @@
+// Direct tests of the physical operators (plan.h), independent of SQL.
+
+#include "rdb/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+Schema TwoCol() {
+  return Schema({{"a", DataType::kInt, true, ""},
+                 {"b", DataType::kString, true, ""}});
+}
+
+std::vector<Row> MakeRows(std::initializer_list<std::pair<int64_t, const char*>> rs) {
+  std::vector<Row> out;
+  for (const auto& [a, b] : rs) out.push_back({Value(a), Value(b)});
+  return out;
+}
+
+PlanPtr Values(std::vector<Row> rows) {
+  return std::make_unique<ValuesNode>(TwoCol(), std::move(rows));
+}
+
+std::vector<Row> Drain(PlanPtr plan) {
+  auto r = ExecutePlan(plan.get());
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : std::vector<Row>{};
+}
+
+TEST(ExecutorTest, ValuesAndFilter) {
+  auto plan = std::make_unique<FilterNode>(
+      Values(MakeRows({{1, "x"}, {2, "y"}, {3, "z"}})),
+      Bin(BinOp::kGe, Col("a"), Lit(int64_t{2})));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsString(), "y");
+}
+
+TEST(ExecutorTest, ProjectComputesAndNames) {
+  auto plan = std::make_unique<ProjectNode>(
+      Values(MakeRows({{3, "x"}})),
+      [] {
+        std::vector<ExprPtr> es;
+        es.push_back(Bin(BinOp::kMul, Col("a"), Lit(int64_t{10})));
+        es.push_back(Col("b"));
+        return es;
+      }(),
+      std::vector<std::string>{"a10", ""});
+  EXPECT_EQ(plan->output_schema().column(0).name, "a10");
+  EXPECT_EQ(plan->output_schema().column(1).name, "b");
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 30);
+}
+
+TEST(ExecutorTest, NestedLoopJoinCrossAndPredicate) {
+  auto cross = std::make_unique<NestedLoopJoinNode>(
+      Values(MakeRows({{1, "l1"}, {2, "l2"}})),
+      Values(MakeRows({{1, "r1"}, {2, "r2"}, {3, "r3"}})), nullptr);
+  EXPECT_EQ(Drain(std::move(cross)).size(), 6u);
+
+  // Rebind: schemas of both sides share names, so qualify via projections is
+  // overkill here — use a literal-only predicate instead.
+  auto joined = std::make_unique<NestedLoopJoinNode>(
+      Values(MakeRows({{1, "l1"}, {2, "l2"}})),
+      Values(MakeRows({{9, "r"}})),
+      Bin(BinOp::kGt, Lit(int64_t{1}), Lit(int64_t{0})));
+  EXPECT_EQ(Drain(std::move(joined)).size(), 2u);
+}
+
+TEST(ExecutorTest, HashJoinMatchesOnKeys) {
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(Col("a"));
+  rk.push_back(Col("a"));
+  auto plan = std::make_unique<HashJoinNode>(
+      Values(MakeRows({{1, "l1"}, {2, "l2"}, {2, "l2b"}, {4, "l4"}})),
+      Values(MakeRows({{2, "r2"}, {2, "r2b"}, {4, "r4"}, {5, "r5"}})),
+      std::move(lk), std::move(rk), nullptr);
+  auto rows = Drain(std::move(plan));
+  // 2 matches 2x2 = 4, 4 matches 1.
+  EXPECT_EQ(rows.size(), 5u);
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[0].AsInt(), r[2].AsInt());
+  }
+}
+
+TEST(ExecutorTest, HashJoinSkipsNullKeys) {
+  std::vector<Row> left = MakeRows({{7, "x"}});
+  left.push_back({Value::Null(), Value("n")});
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(Col("a"));
+  rk.push_back(Col("a"));
+  std::vector<Row> right = MakeRows({{7, "y"}});
+  right.push_back({Value::Null(), Value("m")});
+  auto plan = std::make_unique<HashJoinNode>(
+      Values(std::move(left)), Values(std::move(right)), std::move(lk),
+      std::move(rk), nullptr);
+  EXPECT_EQ(Drain(std::move(plan)).size(), 1u);
+}
+
+TEST(ExecutorTest, SortAscDescStable) {
+  std::vector<SortKey> keys;
+  keys.push_back({Col("a"), false});
+  auto plan = std::make_unique<SortNode>(
+      Values(MakeRows({{2, "first2"}, {1, "one"}, {2, "second2"}, {3, "three"}})),
+      std::move(keys));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+  // Stability: equal keys keep input order.
+  EXPECT_EQ(rows[1][1].AsString(), "first2");
+  EXPECT_EQ(rows[2][1].AsString(), "second2");
+  EXPECT_EQ(rows[3][0].AsInt(), 1);
+}
+
+TEST(ExecutorTest, SortNullsFirst) {
+  std::vector<Row> rows = MakeRows({{5, "x"}});
+  rows.push_back({Value::Null(), Value("n")});
+  std::vector<SortKey> keys;
+  keys.push_back({Col("a"), true});
+  auto plan = std::make_unique<SortNode>(Values(std::move(rows)), std::move(keys));
+  auto out = Drain(std::move(plan));
+  EXPECT_TRUE(out[0][0].is_null());
+}
+
+TEST(ExecutorTest, AggregateGroupsAndFunctions) {
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col("b"));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kCountStar, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kSum, Col("a"), "total"});
+  aggs.push_back({AggFunc::kMin, Col("a"), "lo"});
+  aggs.push_back({AggFunc::kMax, Col("a"), "hi"});
+  aggs.push_back({AggFunc::kAvg, Col("a"), "mean"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values(MakeRows({{1, "g1"}, {2, "g1"}, {30, "g2"}})), std::move(groups),
+      std::vector<std::string>{"grp"}, std::move(aggs));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 2u);
+  // Deterministic order: sorted by group key.
+  EXPECT_EQ(rows[0][0].AsString(), "g1");
+  EXPECT_EQ(rows[0][1].AsInt(), 2);
+  EXPECT_EQ(rows[0][2].AsInt(), 3);
+  EXPECT_EQ(rows[0][3].AsInt(), 1);
+  EXPECT_EQ(rows[0][4].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(rows[0][5].AsDouble(), 1.5);
+  EXPECT_EQ(rows[1][1].AsInt(), 1);
+}
+
+TEST(ExecutorTest, DistinctRemovesDuplicates) {
+  auto plan = std::make_unique<DistinctNode>(
+      Values(MakeRows({{1, "a"}, {1, "a"}, {1, "b"}, {2, "a"}, {1, "a"}})));
+  EXPECT_EQ(Drain(std::move(plan)).size(), 3u);
+}
+
+TEST(ExecutorTest, LimitAndOffset) {
+  auto mk = [] {
+    return Values(MakeRows({{1, "a"}, {2, "b"}, {3, "c"}, {4, "d"}}));
+  };
+  EXPECT_EQ(Drain(std::make_unique<LimitNode>(mk(), 2, 0)).size(), 2u);
+  auto rows = Drain(std::make_unique<LimitNode>(mk(), 2, 3));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 4);
+  EXPECT_EQ(Drain(std::make_unique<LimitNode>(mk(), 0, 0)).size(), 0u);
+  EXPECT_EQ(Drain(std::make_unique<LimitNode>(mk(), -1, 1)).size(), 3u);
+}
+
+TEST(ExecutorTest, ExplainShowsTree) {
+  std::vector<SortKey> keys;
+  keys.push_back({Col("a"), true});
+  auto plan = std::make_unique<SortNode>(
+      std::make_unique<FilterNode>(Values({}),
+                                   Eq(Col("a"), Lit(int64_t{1}))),
+      std::move(keys));
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("  Filter"), std::string::npos);
+  EXPECT_NE(text.find("    Values"), std::string::npos);
+  EXPECT_EQ(plan->CountOperators("Filter"), 1);
+  EXPECT_EQ(plan->CountOperators("HashJoin"), 0);
+}
+
+TEST(ExecutorTest, ScanSkipsTombstones) {
+  Table t("t", TwoCol());
+  RowId r0 = t.Insert({Value(int64_t{1}), Value("a")}).value();
+  t.Insert({Value(int64_t{2}), Value("b")}).value();
+  ASSERT_TRUE(t.Delete(r0).ok());
+  auto scan = std::make_unique<SeqScanNode>(&t, "t");
+  auto rows = Drain(std::move(scan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+}
+
+TEST(ExecutorTest, IndexScanRespectsBounds) {
+  Table t("t", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("ia", {"a"}).ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value(i), Value("v")}).ok());
+  }
+  auto scan = std::make_unique<IndexScanNode>(
+      &t, t.FindIndex("ia"), "t", Row{Value(int64_t{3})}, true,
+      Row{Value(int64_t{6})}, false);
+  auto rows = Drain(std::move(scan));
+  ASSERT_EQ(rows.size(), 3u);  // 3, 4, 5
+  EXPECT_EQ(rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rows[2][0].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,168 @@
+#include "rdb/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({{"i", DataType::kInt, true, "t"},
+                 {"d", DataType::kDouble, true, "t"},
+                 {"s", DataType::kString, true, "t"},
+                 {"b", DataType::kBool, true, "t"}}) {}
+
+  Value Eval(ExprPtr e, const Row& row) {
+    EXPECT_TRUE(e->Bind(schema_).ok());
+    auto r = e->Eval(row);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? r.value() : Value::Null();
+  }
+
+  Row row_{Value(int64_t{10}), Value(2.5), Value("hello"), Value(true)};
+  Schema schema_;
+};
+
+TEST_F(ExprTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Col("i"), row_).AsInt(), 10);
+  EXPECT_EQ(Eval(Col("t.s"), row_).AsString(), "hello");
+  EXPECT_EQ(Eval(Lit(int64_t{7}), row_).AsInt(), 7);
+  ExprPtr bad = Col("missing");
+  EXPECT_FALSE(bad->Bind(schema_).ok());
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_EQ(Eval(Bin(BinOp::kAdd, Col("i"), Lit(int64_t{5})), row_).AsInt(), 15);
+  EXPECT_DOUBLE_EQ(Eval(Bin(BinOp::kMul, Col("d"), Lit(int64_t{4})), row_)
+                       .AsDouble(),
+                   10.0);
+  EXPECT_EQ(Eval(Bin(BinOp::kMod, Col("i"), Lit(int64_t{3})), row_).AsInt(), 1);
+  EXPECT_EQ(Eval(Bin(BinOp::kDiv, Col("i"), Lit(int64_t{4})), row_).AsInt(), 2);
+  // Division by zero is an error, not UB.
+  ExprPtr div = Bin(BinOp::kDiv, Col("i"), Lit(int64_t{0}));
+  ASSERT_TRUE(div->Bind(schema_).ok());
+  EXPECT_FALSE(div->Eval(row_).ok());
+}
+
+TEST_F(ExprTest, StringConcatenationViaPlus) {
+  EXPECT_EQ(Eval(Bin(BinOp::kAdd, Col("s"), Lit(std::string("!"))), row_)
+                .AsString(),
+            "hello!");
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_TRUE(Eval(Bin(BinOp::kGt, Col("i"), Lit(int64_t{9})), row_).AsBool());
+  EXPECT_FALSE(Eval(Bin(BinOp::kLt, Col("i"), Lit(int64_t{9})), row_).AsBool());
+  EXPECT_TRUE(Eval(Eq(Col("s"), Lit(std::string("hello"))), row_).AsBool());
+  // Int column vs double literal.
+  EXPECT_TRUE(Eval(Eq(Col("i"), Lit(Value(10.0))), row_).AsBool());
+}
+
+TEST_F(ExprTest, StringNumberComparisonParsesString) {
+  // A string column holding a number compares numerically vs numeric literal.
+  Row r{Value(int64_t{1}), Value(1.0), Value("42"), Value(false)};
+  EXPECT_TRUE(Eval(Bin(BinOp::kGt, Col("s"), Lit(int64_t{10})), r).AsBool());
+  // Non-numeric strings never match numeric comparisons.
+  Row r2{Value(int64_t{1}), Value(1.0), Value("abc"), Value(false)};
+  EXPECT_FALSE(Eval(Bin(BinOp::kGt, Col("s"), Lit(int64_t{10})), r2).AsBool());
+  EXPECT_FALSE(Eval(Eq(Col("s"), Lit(int64_t{10})), r2).AsBool());
+}
+
+TEST_F(ExprTest, NullComparisonsAreFalse) {
+  Row r{Value::Null(), Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_FALSE(Eval(Eq(Col("i"), Lit(int64_t{1})), r).AsBool());
+  EXPECT_FALSE(Eval(Bin(BinOp::kNe, Col("i"), Lit(int64_t{1})), r).AsBool());
+  EXPECT_FALSE(Eval(Bin(BinOp::kLt, Col("i"), Lit(int64_t{1})), r).AsBool());
+}
+
+TEST_F(ExprTest, LogicShortCircuits) {
+  // (i > 5) OR (1/0) — never evaluates the error branch.
+  ExprPtr e = Bin(BinOp::kOr, Bin(BinOp::kGt, Col("i"), Lit(int64_t{5})),
+                  Bin(BinOp::kDiv, Lit(int64_t{1}), Lit(int64_t{0})));
+  ASSERT_TRUE(e->Bind(schema_).ok());
+  auto r = e->Eval(row_);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value().AsBool());
+  // AND short-circuit on false.
+  ExprPtr e2 = Bin(BinOp::kAnd, Bin(BinOp::kLt, Col("i"), Lit(int64_t{5})),
+                   Bin(BinOp::kDiv, Lit(int64_t{1}), Lit(int64_t{0})));
+  ASSERT_TRUE(e2->Bind(schema_).ok());
+  EXPECT_FALSE(e2->Eval(row_).value().AsBool());
+}
+
+TEST_F(ExprTest, NotAndIsNull) {
+  EXPECT_FALSE(Eval(std::make_unique<NotExpr>(Col("b")), row_).AsBool());
+  EXPECT_FALSE(Eval(std::make_unique<IsNullExpr>(Col("i"), false), row_).AsBool());
+  EXPECT_TRUE(Eval(std::make_unique<IsNullExpr>(Col("i"), true), row_).AsBool());
+  Row r{Value::Null(), Value(1.0), Value("x"), Value(true)};
+  EXPECT_TRUE(Eval(std::make_unique<IsNullExpr>(Col("i"), false), r).AsBool());
+}
+
+TEST(LikeMatcherTest, Patterns) {
+  EXPECT_TRUE(LikeExpr::Match("hello", "hello"));
+  EXPECT_TRUE(LikeExpr::Match("hello", "h%"));
+  EXPECT_TRUE(LikeExpr::Match("hello", "%o"));
+  EXPECT_TRUE(LikeExpr::Match("hello", "%ell%"));
+  EXPECT_TRUE(LikeExpr::Match("hello", "h_llo"));
+  EXPECT_TRUE(LikeExpr::Match("hello", "%"));
+  EXPECT_TRUE(LikeExpr::Match("", "%"));
+  EXPECT_FALSE(LikeExpr::Match("hello", "h_o"));
+  EXPECT_FALSE(LikeExpr::Match("hello", "hello!"));
+  EXPECT_FALSE(LikeExpr::Match("", "_"));
+  EXPECT_TRUE(LikeExpr::Match("a%b", "a%b"));
+  EXPECT_TRUE(LikeExpr::Match("abcabc", "%abc"));
+  EXPECT_TRUE(LikeExpr::Match("aaab", "%a_b"));
+}
+
+TEST_F(ExprTest, InList) {
+  ExprPtr e = std::make_unique<InListExpr>(
+      Col("i"), std::vector<Value>{Value(int64_t{1}), Value(int64_t{10})});
+  EXPECT_TRUE(Eval(std::move(e), row_).AsBool());
+  ExprPtr e2 = std::make_unique<InListExpr>(
+      Col("i"), std::vector<Value>{Value(int64_t{2})});
+  EXPECT_FALSE(Eval(std::move(e2), row_).AsBool());
+}
+
+TEST_F(ExprTest, CloneIsIndependentAndEquivalent) {
+  ExprPtr orig = Bin(BinOp::kAnd, Eq(Col("s"), Lit(std::string("hello"))),
+                     Bin(BinOp::kGe, Col("i"), Lit(int64_t{10})));
+  ExprPtr copy = orig->Clone();
+  ASSERT_TRUE(orig->Bind(schema_).ok());
+  ASSERT_TRUE(copy->Bind(schema_).ok());
+  EXPECT_EQ(orig->Eval(row_).value().AsBool(), copy->Eval(row_).value().AsBool());
+  EXPECT_EQ(orig->ToString(), copy->ToString());
+}
+
+TEST(ExprHelpersTest, SplitConjuncts) {
+  ExprPtr e = And(And(Eq(Col("a"), Lit(int64_t{1})), Eq(Col("b"), Lit(int64_t{2}))),
+                  Eq(Col("c"), Lit(int64_t{3})));
+  std::vector<ExprPtr> parts;
+  SplitConjuncts(std::move(e), &parts);
+  EXPECT_EQ(parts.size(), 3u);
+  // OR is not split.
+  ExprPtr o = Bin(BinOp::kOr, Eq(Col("a"), Lit(int64_t{1})),
+                  Eq(Col("b"), Lit(int64_t{2})));
+  parts.clear();
+  SplitConjuncts(std::move(o), &parts);
+  EXPECT_EQ(parts.size(), 1u);
+}
+
+TEST(ExprHelpersTest, AndAll) {
+  EXPECT_EQ(AndAll({}), nullptr);
+  std::vector<ExprPtr> one;
+  one.push_back(Eq(Col("a"), Lit(int64_t{1})));
+  ExprPtr combined = AndAll(std::move(one));
+  EXPECT_EQ(combined->ToString(), "(a = 1)");
+}
+
+TEST_F(ExprTest, CollectColumns) {
+  ExprPtr e = And(Eq(Col("t.i"), Lit(int64_t{1})),
+                  Bin(BinOp::kLt, Col("t.d"), Col("t.i")));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"t.i", "t.d", "t.i"}));
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,130 @@
+// White-box property tests for the interval mapping: the (pre, size, level)
+// encoding must stay a consistent tree encoding through arbitrary update
+// sequences.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "shred/evaluator.h"
+#include "shred/interval_mapping.h"
+#include "workload/random_tree.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb {
+namespace {
+
+using rdb::QueryResult;
+using rdb::Value;
+
+/// Checks the structural invariants of the stored encoding:
+///  * pres are dense 1..N
+///  * the root has pre 1, level 1, size N-1
+///  * every node's subtree range nests properly inside its parent's
+///  * size equals the number of rows in (pre, pre+size]
+void CheckEncoding(rdb::Database* db, shred::DocId doc) {
+  auto r = db->Execute(
+      "SELECT pre, size, level FROM iv_nodes WHERE docid = " +
+      std::to_string(doc) + " ORDER BY pre");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const auto& rows = r.value().rows;
+  ASSERT_FALSE(rows.empty());
+  int64_t n = static_cast<int64_t>(rows.size());
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[0][2].AsInt(), 1);
+  EXPECT_EQ(rows[0][1].AsInt(), n - 1);
+  // Stack-based validation of nesting.
+  struct Open {
+    int64_t end;   // last pre contained
+    int64_t level;
+  };
+  std::vector<Open> stack;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t pre = rows[static_cast<size_t>(i)][0].AsInt();
+    int64_t size = rows[static_cast<size_t>(i)][1].AsInt();
+    int64_t level = rows[static_cast<size_t>(i)][2].AsInt();
+    EXPECT_EQ(pre, i + 1) << "pres must be dense";
+    while (!stack.empty() && stack.back().end < pre) stack.pop_back();
+    if (!stack.empty()) {
+      EXPECT_LE(pre + size, stack.back().end)
+          << "child subtree must nest in parent range";
+      EXPECT_EQ(level, stack.back().level + 1)
+          << "child level must be parent level + 1 at pre " << pre;
+    }
+    stack.push_back({pre + size, level});
+  }
+}
+
+TEST(IntervalInvariantTest, FreshStoreIsConsistent) {
+  shred::IntervalMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::RandomTreeConfig cfg;
+    cfg.seed = seed;
+    auto doc = workload::GenerateRandomTree(cfg);
+    auto id = m.Store(*doc, &db);
+    ASSERT_TRUE(id.ok());
+    CheckEncoding(&db, id.value());
+  }
+}
+
+TEST(IntervalInvariantTest, RandomUpdateSequencePreservesEncoding) {
+  shred::IntervalMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse(
+      "<r><a><x>1</x></a><b><x>2</x><x>3</x></b><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+
+  Rng rng(1234);
+  auto any_elem = xpath::ParseXPath("//*").value();
+  for (int step = 0; step < 40; ++step) {
+    auto nodes = shred::EvalPath(any_elem, &m, &db, id.value());
+    ASSERT_TRUE(nodes.ok());
+    ASSERT_FALSE(nodes.value().empty());
+    const Value& target = nodes.value()[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(nodes.value().size()) - 1))];
+    if (rng.Bernoulli(0.6) || nodes.value().size() < 3) {
+      auto frag = xml::ParseFragment(
+          "<n" + std::to_string(step) + "><leaf>" + std::to_string(step) +
+          "</leaf></n" + std::to_string(step) + ">");
+      ASSERT_TRUE(frag.ok());
+      ASSERT_TRUE(m.InsertSubtree(&db, id.value(), target, *frag.value()).ok());
+    } else {
+      // Never delete the root (pre 1).
+      if (target.AsInt() == 1) continue;
+      ASSERT_TRUE(m.DeleteSubtree(&db, id.value(), target).ok());
+    }
+    CheckEncoding(&db, id.value());
+  }
+  // The tree must still reconstruct cleanly.
+  auto rebuilt = m.Reconstruct(&db, id.value());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_NE(xml::Serialize(*rebuilt.value()).find("<r"), std::string::npos);
+}
+
+TEST(IntervalInvariantTest, DeleteShiftsFollowingPres) {
+  shred::IntervalMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<r><a><b/><c/></a><d/></r>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  // Delete <a> (pre 2, size 2): d must move from pre 5 to pre 2.
+  ASSERT_TRUE(m.DeleteSubtree(&db, id.value(), Value(int64_t{2})).ok());
+  auto r = db.Execute("SELECT pre, name FROM iv_nodes WHERE docid = " +
+                      std::to_string(id.value()) + " ORDER BY pre");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(r.value().rows[1][0].AsInt(), 2);
+  EXPECT_EQ(r.value().rows[1][1].AsString(), "d");
+  CheckEncoding(&db, id.value());
+}
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,137 @@
+// Property tests: shred -> reconstruct must reproduce the document exactly
+// (canonical-form equality) for every mapping, across many random trees and
+// the realistic workloads.
+
+#include <gtest/gtest.h>
+
+#include "shred/registry.h"
+#include "workload/biblio.h"
+#include "workload/random_tree.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlrdb {
+namespace {
+
+using shred::DocId;
+using shred::Mapping;
+
+class RoundtripTest : public ::testing::TestWithParam<std::string> {};
+
+void ExpectRoundtrip(Mapping* mapping, const xml::Document& doc) {
+  rdb::Database db;
+  ASSERT_TRUE(mapping->Initialize(&db).ok());
+  auto stored = mapping->Store(doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  auto rebuilt = mapping->Reconstruct(&db, stored.value());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(xml::Canonicalize(doc), xml::Canonicalize(*rebuilt.value()))
+      << "mapping: " << mapping->name();
+}
+
+TEST_P(RoundtripTest, TinyDocument) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  auto doc = xml::Parse(
+      "<a x=\"1\" y=\"two\"><b>hi</b><c/><b>ho<d z=\"3\"/>t</b></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ExpectRoundtrip(mapping.value().get(), *doc.value());
+}
+
+TEST_P(RoundtripTest, SpecialCharacters) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  auto doc = xml::Parse(
+      "<a note=\"5 &lt; 6 &amp; 7 &gt; 2\"><b>it&apos;s &quot;quoted&quot; "
+      "&amp; escaped</b></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ExpectRoundtrip(mapping.value().get(), *doc.value());
+}
+
+TEST_P(RoundtripTest, DeepChain) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  std::string text;
+  for (int i = 0; i < 30; ++i) text += "<n" + std::to_string(i) + ">";
+  text += "deep";
+  for (int i = 29; i >= 0; --i) text += "</n" + std::to_string(i) + ">";
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ExpectRoundtrip(mapping.value().get(), *doc.value());
+}
+
+TEST_P(RoundtripTest, RandomTrees) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    workload::RandomTreeConfig cfg;
+    cfg.seed = seed;
+    cfg.max_depth = 4 + static_cast<int>(seed % 3);
+    auto doc = workload::GenerateRandomTree(cfg);
+    ExpectRoundtrip(mapping.value().get(), *doc);
+  }
+}
+
+TEST_P(RoundtripTest, MixedContentTrees) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::RandomTreeConfig cfg;
+  cfg.seed = 99;
+  cfg.mixed_prob = 0.9;
+  cfg.text_prob = 0.9;
+  auto doc = workload::GenerateRandomTree(cfg);
+  ExpectRoundtrip(mapping.value().get(), *doc);
+}
+
+TEST_P(RoundtripTest, AuctionDocument) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  ExpectRoundtrip(mapping.value().get(), *doc);
+}
+
+TEST_P(RoundtripTest, BiblioDocument) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::BiblioConfig cfg;
+  cfg.books = 20;
+  cfg.articles = 25;
+  auto doc = workload::GenerateBiblio(cfg);
+  ExpectRoundtrip(mapping.value().get(), *doc);
+}
+
+TEST_P(RoundtripTest, MultipleDocumentsIndependent) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto doc1 = xml::Parse("<a><b>one</b></a>");
+  auto doc2 = xml::Parse("<x><y>two</y><y>three</y></x>");
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  auto id1 = mapping.value()->Store(*doc1.value(), &db);
+  auto id2 = mapping.value()->Store(*doc2.value(), &db);
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  auto r1 = mapping.value()->Reconstruct(&db, id1.value());
+  auto r2 = mapping.value()->Reconstruct(&db, id2.value());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(xml::Canonicalize(*doc1.value()), xml::Canonicalize(*r1.value()));
+  EXPECT_EQ(xml::Canonicalize(*doc2.value()), xml::Canonicalize(*r2.value()));
+  // Removing doc1 must not disturb doc2.
+  ASSERT_TRUE(mapping.value()->Remove(id1.value(), &db).ok());
+  auto r2b = mapping.value()->Reconstruct(&db, id2.value());
+  ASSERT_TRUE(r2b.ok()) << r2b.status();
+  EXPECT_EQ(xml::Canonicalize(*doc2.value()), xml::Canonicalize(*r2b.value()));
+  auto gone = mapping.value()->Reconstruct(&db, id1.value());
+  EXPECT_FALSE(gone.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, RoundtripTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,139 @@
+// Save/load round-trip tests for database persistence.
+
+#include "rdb/persist.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "shred/evaluator.h"
+#include "shred/registry.h"
+#include "workload/xmark.h"
+#include "xml/serializer.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xmlrdb_persist_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistTest, EmptyDatabaseRoundTrips) {
+  Database db;
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded.value()->TableNames().empty());
+}
+
+TEST_F(PersistTest, SchemaRowsAndIndexesSurvive) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (i INTEGER NOT NULL, d DOUBLE, "
+                         "s VARCHAR, b BOOLEAN)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX t_i ON t (i, s)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES "
+                         "(1, 1.5, 'plain', TRUE), "
+                         "(2, NULL, 'tab\tand\nnewline \\ backslash', FALSE), "
+                         "(3, 0.1, '', NULL)")
+                  .ok());
+  // Delete one row: tombstones must compact away.
+  ASSERT_TRUE(db.Execute("DELETE FROM t WHERE i = 3").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (4, 2.25, 'four', TRUE)").ok());
+
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto r = loaded.value()->Execute("SELECT i, d, s, b FROM t ORDER BY i");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r.value().rows.size(), 3u);
+  EXPECT_EQ(r.value().rows[1][2].AsString(), "tab\tand\nnewline \\ backslash");
+  EXPECT_TRUE(r.value().rows[1][1].is_null());
+  EXPECT_DOUBLE_EQ(r.value().rows[2][1].AsDouble(), 2.25);
+  // The index came back and is used.
+  auto plan = loaded.value()->PlanSql("SELECT s FROM t WHERE i = 2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value()->CountOperators("IndexScan"), 0)
+      << plan.value()->Explain();
+}
+
+TEST_F(PersistTest, DoubleValuesRoundTripExactly) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE d (x DOUBLE)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO d VALUES (0.1), (3.141592653589793), "
+                         "(1e300), (-2.5e-10)")
+                  .ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  auto a = db.Execute("SELECT x FROM d ORDER BY x");
+  auto b = loaded.value()->Execute("SELECT x FROM d ORDER BY x");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().rows.size(), b.value().rows.size());
+  for (size_t i = 0; i < a.value().rows.size(); ++i) {
+    EXPECT_EQ(a.value().rows[i][0].AsDouble(), b.value().rows[i][0].AsDouble());
+  }
+}
+
+TEST_F(PersistTest, ShreddedDocumentSurvivesReload) {
+  // The end-to-end story: shred, save, load, query + reconstruct the
+  // document from the loaded database.
+  auto mapping = shred::CreateMapping("interval");
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  auto id = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto path = xpath::ParseXPath("//person[creditcard]/name");
+  auto before = shred::EvalPathStrings(path.value(), mapping.value().get(), &db,
+                                       id.value());
+  auto after = shred::EvalPathStrings(path.value(), mapping.value().get(),
+                                      loaded.value().get(), id.value());
+  ASSERT_TRUE(before.ok() && after.ok()) << after.status();
+  EXPECT_EQ(before.value(), after.value());
+
+  auto rebuilt = mapping.value()->Reconstruct(loaded.value().get(), id.value());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(xml::Canonicalize(*doc), xml::Canonicalize(*rebuilt.value()));
+}
+
+TEST_F(PersistTest, LoadErrors) {
+  EXPECT_EQ(LoadDatabase((dir_ / "missing").string()).status().code(),
+            StatusCode::kNotFound);
+  // Corrupt catalog header.
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream f(dir_ / "catalog.xdb");
+    f << "not-a-catalog\n";
+  }
+  EXPECT_EQ(LoadDatabase(dir_.string()).status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,71 @@
+#include "publish/publisher.h"
+
+#include <gtest/gtest.h>
+
+#include "shred/registry.h"
+#include "xml/parser.h"
+
+namespace xmlrdb {
+namespace {
+
+class PublisherTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    auto m = shred::CreateMapping(GetParam());
+    ASSERT_TRUE(m.ok());
+    mapping_ = std::move(m).value();
+    ASSERT_TRUE(mapping_->Initialize(&db_).ok());
+    auto doc = xml::Parse(
+        "<library><book lang=\"en\"><title>Dune</title></book>"
+        "<book lang=\"de\"><title>Faust</title></book></library>");
+    ASSERT_TRUE(doc.ok());
+    auto stored = mapping_->Store(*doc.value(), &db_);
+    ASSERT_TRUE(stored.ok());
+    id_ = stored.value();
+  }
+
+  std::unique_ptr<shred::Mapping> mapping_;
+  rdb::Database db_;
+  shred::DocId id_ = 0;
+};
+
+TEST_P(PublisherTest, PublishDocumentRoundTrips) {
+  auto text = publish::PublishDocument(mapping_.get(), &db_, id_);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto reparsed = xml::Parse(text.value());
+  ASSERT_TRUE(reparsed.ok()) << text.value();
+  EXPECT_EQ(reparsed.value()->root()->name(), "library");
+  EXPECT_EQ(reparsed.value()->root()->children().size(), 2u);
+}
+
+TEST_P(PublisherTest, PublishQueryResultsWrapsMatches) {
+  auto out = publish::PublishQueryResults("/library/book[@lang = 'de']",
+                                          mapping_.get(), &db_, id_);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out.value().find("<results>"), std::string::npos);
+  EXPECT_NE(out.value().find("Faust"), std::string::npos);
+  EXPECT_EQ(out.value().find("Dune"), std::string::npos);
+}
+
+TEST_P(PublisherTest, PublishSubtree) {
+  auto out = publish::PublishQueryResults("//title", mapping_.get(), &db_, id_);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out.value().find("<title>Dune</title>"), std::string::npos);
+  EXPECT_NE(out.value().find("<title>Faust</title>"), std::string::npos);
+}
+
+TEST_P(PublisherTest, PrettyOutputIsReparseable) {
+  xml::SerializeOptions opt;
+  opt.pretty = true;
+  auto text = publish::PublishDocument(mapping_.get(), &db_, id_, opt);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find('\n'), std::string::npos);
+  EXPECT_TRUE(xml::Parse(text.value()).ok()) << text.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, PublisherTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,185 @@
+// Differential property tests: every mapping's XPath answers must equal the
+// DOM oracle's, compared as multisets of (string-value) results and as
+// canonical result-subtree sets.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "shred/evaluator.h"
+#include "shred/registry.h"
+#include "workload/random_tree.h"
+#include "workload/xmark.h"
+#include "xml/serializer.h"
+#include "xpath/dom_eval.h"
+
+namespace xmlrdb {
+namespace {
+
+using shred::DocId;
+using shred::Mapping;
+
+/// Oracle answer: sorted string-values of the DOM result nodes.
+std::vector<std::string> OracleStrings(const xml::Document& doc,
+                                       const std::string& xpath) {
+  auto path = xpath::ParseXPath(xpath);
+  EXPECT_TRUE(path.ok()) << path.status();
+  auto nodes = xpath::EvalOnDom(path.value(), *doc.doc_node());
+  EXPECT_TRUE(nodes.ok()) << nodes.status();
+  std::vector<std::string> out;
+  for (const xml::Node* n : nodes.value()) out.push_back(n->StringValue());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> MappingStrings(Mapping* mapping, rdb::Database* db,
+                                        DocId doc, const std::string& xpath) {
+  auto path = xpath::ParseXPath(xpath);
+  EXPECT_TRUE(path.ok()) << path.status();
+  auto values = shred::EvalPathStrings(path.value(), mapping, db, doc);
+  EXPECT_TRUE(values.ok()) << mapping->name() << ": " << values.status();
+  std::vector<std::string> out = values.ok() ? values.value()
+                                             : std::vector<std::string>{};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<std::string>& TestPaths() {
+  static const std::vector<std::string> kPaths = {
+      "/root",
+      "/root/t0",
+      "/root/t0/t1",
+      "/root/*",
+      "/root/*/t2",
+      "//t1",
+      "//t1/t2",
+      "/root//t3",
+      "//t2//t1",
+      "//t0/@a0",
+      "/root/t0[@a1]",
+      "//t1[@a0 = 'x']",
+      "/root/t0[2]",
+      "/root/t0[last()]",
+      "//t2[t1]",
+      "//*[@a2]",
+      "//t0[t1/t2]",
+  };
+  return kPaths;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialTest, RandomTreesMatchOracle) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::RandomTreeConfig cfg;
+    cfg.seed = seed;
+    cfg.tag_alphabet = 4;  // dense tag reuse => deeper recursion of same names
+    auto doc = workload::GenerateRandomTree(cfg);
+    rdb::Database db;
+    ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+    auto stored = mapping.value()->Store(*doc, &db);
+    ASSERT_TRUE(stored.ok()) << stored.status();
+    for (const std::string& xpath : TestPaths()) {
+      EXPECT_EQ(OracleStrings(*doc, xpath),
+                MappingStrings(mapping.value().get(), &db, stored.value(), xpath))
+          << "mapping=" << GetParam() << " seed=" << seed << " path=" << xpath;
+    }
+  }
+}
+
+TEST_P(DifferentialTest, NumericPredicatesMatchOracle) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::RandomTreeConfig cfg;
+  cfg.seed = 5;
+  cfg.numeric_text = true;
+  auto doc = workload::GenerateRandomTree(cfg);
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  for (const std::string& xpath : std::vector<std::string>{
+           "//t1[t0 > 500]",
+           "//t1[t0 < 500]/t2",
+           "//t2[@a0 >= 50]",
+           "//t0[t1 != 3]",
+           "//*[t3 <= 100]",
+       }) {
+    EXPECT_EQ(OracleStrings(*doc, xpath),
+              MappingStrings(mapping.value().get(), &db, stored.value(), xpath))
+        << "mapping=" << GetParam() << " path=" << xpath;
+  }
+}
+
+TEST_P(DifferentialTest, AuctionWorkloadMatchesOracle) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+  for (const std::string& xpath : std::vector<std::string>{
+           "/site/people/person/name",
+           "/site/people/person[@id = 'person0']/name",
+           "//item/name",
+           "/site/regions//item/name",
+           "/site/regions/*/item/location",
+           "//item[quantity = 2]/name",
+           "/site/regions/africa/item[3]/name",
+           "//person[creditcard]/name",
+           "//open_auction[initial > 200]/current",
+           "//person/@id",
+       }) {
+    EXPECT_EQ(OracleStrings(*doc, xpath),
+              MappingStrings(mapping.value().get(), &db, stored.value(), xpath))
+        << "mapping=" << GetParam() << " path=" << xpath;
+  }
+}
+
+TEST_P(DifferentialTest, ResultSubtreesMatchOracle) {
+  // Compare not just string-values but whole reconstructed result subtrees.
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::RandomTreeConfig cfg;
+  cfg.seed = 3;
+  auto doc = workload::GenerateRandomTree(cfg);
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+
+  auto path = xpath::ParseXPath("//t1");
+  ASSERT_TRUE(path.ok());
+  auto oracle_nodes = xpath::EvalOnDom(path.value(), *doc->doc_node());
+  ASSERT_TRUE(oracle_nodes.ok());
+  std::vector<std::string> oracle;
+  for (const xml::Node* n : oracle_nodes.value()) {
+    oracle.push_back(xml::Canonicalize(*n));
+  }
+  std::sort(oracle.begin(), oracle.end());
+
+  auto nodes = shred::EvalPath(path.value(), mapping.value().get(), &db,
+                               stored.value());
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  std::vector<std::string> got;
+  for (const rdb::Value& id : nodes.value()) {
+    auto subtree =
+        mapping.value()->ReconstructSubtree(&db, stored.value(), id);
+    ASSERT_TRUE(subtree.ok()) << subtree.status();
+    got.push_back(xml::Canonicalize(*subtree.value()));
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(oracle, got) << "mapping=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, DifferentialTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace xmlrdb

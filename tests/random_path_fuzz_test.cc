@@ -1,0 +1,112 @@
+// Randomized differential testing: generate random XPath expressions over
+// random documents and require every mapping to agree with the DOM oracle.
+// This sweeps corners the hand-written query lists miss.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "shred/evaluator.h"
+#include "shred/registry.h"
+#include "workload/random_tree.h"
+#include "xpath/dom_eval.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb {
+namespace {
+
+/// Builds a random (syntactically valid) path over tag alphabet t0..t{n-1}
+/// and attribute alphabet a0..a{m-1}.
+std::string RandomPath(Rng* rng, int tags, int attrs) {
+  int steps = static_cast<int>(rng->Uniform(1, 4));
+  std::string out;
+  for (int i = 0; i < steps; ++i) {
+    out += rng->Bernoulli(0.3) ? "//" : "/";
+    bool attr_step = i == steps - 1 && rng->Bernoulli(0.15);
+    if (attr_step) {
+      out += "@a" + std::to_string(rng->Uniform(0, attrs - 1));
+      break;
+    }
+    if (rng->Bernoulli(0.15)) {
+      out += "*";
+    } else if (i == 0 && rng->Bernoulli(0.3)) {
+      out += "root";
+    } else {
+      out += "t" + std::to_string(rng->Uniform(0, tags - 1));
+    }
+    // Predicates.
+    if (rng->Bernoulli(0.35)) {
+      double dice = rng->NextDouble();
+      if (dice < 0.2) {
+        out += "[" + std::to_string(rng->Uniform(1, 3)) + "]";
+      } else if (dice < 0.3) {
+        out += "[last()]";
+      } else if (dice < 0.55) {
+        out += "[t" + std::to_string(rng->Uniform(0, tags - 1)) + "]";
+      } else if (dice < 0.7) {
+        out += "[@a" + std::to_string(rng->Uniform(0, attrs - 1)) + "]";
+      } else if (dice < 0.85) {
+        out += "[t" + std::to_string(rng->Uniform(0, tags - 1)) + " > " +
+               std::to_string(rng->Uniform(0, 500)) + "]";
+      } else {
+        out += "[@a" + std::to_string(rng->Uniform(0, attrs - 1)) + " = " +
+               std::to_string(rng->Uniform(0, 99)) + "]";
+      }
+    }
+  }
+  return out;
+}
+
+class RandomPathFuzzTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RandomPathFuzzTest, AgreesWithOracleOnRandomPaths) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  Rng rng(2026);
+  int executed = 0;
+  for (uint64_t doc_seed = 1; doc_seed <= 3; ++doc_seed) {
+    workload::RandomTreeConfig cfg;
+    cfg.seed = doc_seed;
+    cfg.tag_alphabet = 4;
+    cfg.attr_alphabet = 3;
+    cfg.numeric_text = true;
+    auto doc = workload::GenerateRandomTree(cfg);
+    rdb::Database db;
+    ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+    auto id = mapping.value()->Store(*doc, &db);
+    ASSERT_TRUE(id.ok()) << id.status();
+
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string path_text = RandomPath(&rng, 4, 3);
+      auto path = xpath::ParseXPath(path_text);
+      ASSERT_TRUE(path.ok()) << path_text << ": " << path.status();
+      // Oracle.
+      auto oracle_nodes = xpath::EvalOnDom(path.value(), *doc->doc_node());
+      ASSERT_TRUE(oracle_nodes.ok()) << path_text;
+      std::vector<std::string> expect;
+      for (const xml::Node* n : oracle_nodes.value()) {
+        expect.push_back(n->StringValue());
+      }
+      std::sort(expect.begin(), expect.end());
+      // Mapping.
+      auto got = shred::EvalPathStrings(path.value(), mapping.value().get(),
+                                        &db, id.value());
+      ASSERT_TRUE(got.ok()) << path_text << ": " << got.status();
+      std::vector<std::string> actual = got.value();
+      std::sort(actual.begin(), actual.end());
+      EXPECT_EQ(expect, actual)
+          << "mapping=" << GetParam() << " doc_seed=" << doc_seed
+          << " path=" << path_text;
+      ++executed;
+    }
+  }
+  EXPECT_EQ(executed, 180);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, RandomPathFuzzTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace xmlrdb

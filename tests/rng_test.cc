@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.Uniform(7, 7), 7);
+  // Degenerate hi < lo clamps to lo.
+  EXPECT_EQ(rng.Uniform(9, 3), 9);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRespectsP) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  Rng r2(18);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r2.Bernoulli(0.0));
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(21);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.Zipf(10, 1.0)] += 1;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 2000);  // harmonic(10) ≈ 2.93 → p(0) ≈ 0.34
+  // Zero skew degenerates to uniform-ish.
+  std::map<size_t, int> flat;
+  for (int i = 0; i < 10000; ++i) flat[rng.Zipf(10, 0.0)] += 1;
+  EXPECT_LT(flat[0], 1500);
+}
+
+TEST(RngTest, WordShape) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    std::string w = rng.Word(3, 7);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 7u);
+    for (char c : w) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(4);
+  std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int x = rng.Pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb

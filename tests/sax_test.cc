@@ -1,0 +1,197 @@
+// SAX parser tests: event sequences, error propagation, and differential
+// equivalence with the DOM parser; plus the streaming shredders.
+
+#include "xml/sax.h"
+
+#include <gtest/gtest.h>
+
+#include "shred/dewey_mapping.h"
+#include "shred/edge_mapping.h"
+#include "shred/streaming.h"
+#include "workload/random_tree.h"
+#include "workload/xmark.h"
+#include "xml/serializer.h"
+
+namespace xmlrdb {
+namespace {
+
+/// Records events as a flat trace for assertions.
+class TraceHandler : public xml::SaxHandler {
+ public:
+  Status StartElement(std::string_view name) override {
+    trace_.push_back("<" + std::string(name));
+    return Status::OK();
+  }
+  Status Attribute(std::string_view name, std::string_view value) override {
+    trace_.push_back("@" + std::string(name) + "=" + std::string(value));
+    return Status::OK();
+  }
+  Status Text(std::string_view text) override {
+    trace_.push_back("#" + std::string(text));
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    trace_.push_back(">" + std::string(name));
+    return Status::OK();
+  }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  std::vector<std::string> trace_;
+};
+
+/// Rebuilds a DOM from SAX events — used for the differential test.
+class BuildHandler : public xml::SaxHandler {
+ public:
+  BuildHandler() : doc_(std::make_unique<xml::Document>()) {
+    stack_.push_back(doc_->doc_node());
+  }
+  Status StartElement(std::string_view name) override {
+    stack_.push_back(stack_.back()->AddElement(std::string(name)));
+    return Status::OK();
+  }
+  Status Attribute(std::string_view name, std::string_view value) override {
+    stack_.back()->SetAttr(std::string(name), std::string(value));
+    return Status::OK();
+  }
+  Status Text(std::string_view text) override {
+    stack_.back()->AddText(std::string(text));
+    return Status::OK();
+  }
+  Status EndElement(std::string_view) override {
+    stack_.pop_back();
+    return Status::OK();
+  }
+  std::unique_ptr<xml::Document> Take() { return std::move(doc_); }
+
+ private:
+  std::unique_ptr<xml::Document> doc_;
+  std::vector<xml::Node*> stack_;
+};
+
+TEST(SaxTest, EventSequence) {
+  TraceHandler h;
+  ASSERT_TRUE(
+      xml::ParseSax("<a x=\"1\"><b>hi</b><c/></a>", &h).ok());
+  EXPECT_EQ(h.trace(),
+            (std::vector<std::string>{"<a", "@x=1", "<b", "#hi", ">b", "<c",
+                                      ">c", ">a"}));
+}
+
+TEST(SaxTest, EntitiesAndCData) {
+  TraceHandler h;
+  ASSERT_TRUE(xml::ParseSax("<a>&lt;x&gt;<![CDATA[ & raw ]]></a>", &h).ok());
+  EXPECT_EQ(h.trace(),
+            (std::vector<std::string>{"<a", "#<x> & raw ", ">a"}));
+}
+
+TEST(SaxTest, ErrorsPropagate) {
+  TraceHandler h;
+  EXPECT_FALSE(xml::ParseSax("<a><b></a>", &h).ok());
+  EXPECT_FALSE(xml::ParseSax("", &h).ok());
+  EXPECT_FALSE(xml::ParseSax("<a x=1/>", &h).ok());
+}
+
+class AbortingHandler : public TraceHandler {
+ public:
+  Status Text(std::string_view) override {
+    return Status::Internal("stop here");
+  }
+};
+
+TEST(SaxTest, HandlerErrorAbortsParse) {
+  AbortingHandler h;
+  Status st = xml::ParseSax("<a><b>boom</b><c/></a>", &h);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // Nothing after the aborting text event.
+  EXPECT_EQ(h.trace().back(), "<b");
+}
+
+TEST(SaxTest, DifferentialAgainstDomParser) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::RandomTreeConfig cfg;
+    cfg.seed = seed;
+    cfg.mixed_prob = 0.4;
+    auto doc = workload::GenerateRandomTree(cfg);
+    std::string text = xml::Serialize(*doc);
+    BuildHandler builder;
+    ASSERT_TRUE(xml::ParseSax(text, &builder).ok()) << text;
+    auto via_dom = xml::Parse(text);
+    ASSERT_TRUE(via_dom.ok());
+    EXPECT_EQ(xml::Canonicalize(*via_dom.value()),
+              xml::Canonicalize(*builder.Take()))
+        << "seed " << seed;
+  }
+}
+
+TEST(StreamingShredTest, EdgeRowsIdenticalToDomPath) {
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  std::string text = xml::Serialize(*doc);
+
+  shred::EdgeMapping mapping;
+  rdb::Database via_dom, via_stream;
+  ASSERT_TRUE(mapping.Initialize(&via_dom).ok());
+  ASSERT_TRUE(mapping.Initialize(&via_stream).ok());
+  auto id1 = mapping.Store(*doc, &via_dom);
+  auto id2 = shred::StreamStoreEdge(text, &via_stream);
+  ASSERT_TRUE(id1.ok() && id2.ok()) << id2.status();
+  EXPECT_EQ(id1.value(), id2.value());
+
+  auto r1 = via_dom.Execute("SELECT * FROM edge ORDER BY target");
+  auto r2 = via_stream.Execute("SELECT * FROM edge ORDER BY target");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1.value().rows.size(), r2.value().rows.size());
+  for (size_t i = 0; i < r1.value().rows.size(); ++i) {
+    EXPECT_EQ(rdb::CompareRows(r1.value().rows[i], r2.value().rows[i]), 0)
+        << "row " << i << ": " << rdb::RowToString(r1.value().rows[i]) << " vs "
+        << rdb::RowToString(r2.value().rows[i]);
+  }
+}
+
+TEST(StreamingShredTest, DeweyRowsIdenticalToDomPath) {
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  std::string text = xml::Serialize(*doc);
+
+  shred::DeweyMapping mapping;
+  rdb::Database via_dom, via_stream;
+  ASSERT_TRUE(mapping.Initialize(&via_dom).ok());
+  ASSERT_TRUE(mapping.Initialize(&via_stream).ok());
+  auto id1 = mapping.Store(*doc, &via_dom);
+  auto id2 = shred::StreamStoreDewey(text, &via_stream);
+  ASSERT_TRUE(id1.ok() && id2.ok()) << id2.status();
+
+  auto r1 = via_dom.Execute("SELECT * FROM dw_nodes ORDER BY dewey");
+  auto r2 = via_stream.Execute("SELECT * FROM dw_nodes ORDER BY dewey");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1.value().rows.size(), r2.value().rows.size());
+  for (size_t i = 0; i < r1.value().rows.size(); ++i) {
+    EXPECT_EQ(rdb::CompareRows(r1.value().rows[i], r2.value().rows[i]), 0)
+        << "row " << i;
+  }
+}
+
+TEST(StreamingShredTest, RequiresInitializedTables) {
+  rdb::Database db;
+  EXPECT_EQ(shred::StreamStoreEdge("<a/>", &db).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(shred::StreamStoreDewey("<a/>", &db).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StreamingShredTest, MalformedInputLeavesNoPartialRows) {
+  shred::EdgeMapping mapping;
+  rdb::Database db;
+  ASSERT_TRUE(mapping.Initialize(&db).ok());
+  EXPECT_FALSE(shred::StreamStoreEdge("<a><b></a>", &db).ok());
+  auto r = db.Execute("SELECT COUNT(*) FROM edge");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace xmlrdb

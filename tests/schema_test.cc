@@ -1,0 +1,67 @@
+#include "rdb/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+Schema MakeTestSchema() {
+  return Schema({{"id", DataType::kInt, false, ""},
+                 {"name", DataType::kString, true, ""},
+                 {"score", DataType::kDouble, true, ""}});
+}
+
+TEST(SchemaTest, IndexOfUnqualified) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.IndexOf("id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("score").value(), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  Schema s = MakeTestSchema().WithQualifier("t");
+  EXPECT_EQ(s.IndexOf("t.name").value(), 1u);
+  EXPECT_EQ(s.IndexOf("name").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("u.name").ok());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedFails) {
+  Schema joined = Schema::Concat(MakeTestSchema().WithQualifier("a"),
+                                 MakeTestSchema().WithQualifier("b"));
+  EXPECT_FALSE(joined.IndexOf("id").ok());
+  EXPECT_EQ(joined.IndexOf("a.id").value(), 0u);
+  EXPECT_EQ(joined.IndexOf("b.id").value(), 3u);
+}
+
+TEST(SchemaTest, ValidateRowAcceptsMatchingTypes) {
+  Schema s = MakeTestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value(int64_t{1}), Value("x"), Value(1.5)}).ok());
+  // INT widens into DOUBLE columns.
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("x"), Value(int64_t{2})}).ok());
+  // NULL allowed in nullable columns only.
+  EXPECT_TRUE(s.ValidateRow({Value(int64_t{1}), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(s.ValidateRow({Value::Null(), Value("x"), Value(1.0)}).code(),
+            StatusCode::kConstraintError);
+}
+
+TEST(SchemaTest, ValidateRowRejectsBadArityAndTypes) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.ValidateRow({Value(int64_t{1})}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ValidateRow({Value("not int"), Value("x"), Value(1.0)}).code(),
+            StatusCode::kTypeError);
+  // DOUBLE does not narrow into INT.
+  EXPECT_EQ(
+      s.ValidateRow({Value(1.5), Value("x"), Value(1.0)}).code(),
+      StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  std::string str = MakeTestSchema().ToString();
+  EXPECT_NE(str.find("id INTEGER"), std::string::npos);
+  EXPECT_NE(str.find("score DOUBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

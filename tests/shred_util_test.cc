@@ -1,0 +1,77 @@
+#include "shred/shred_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::shred {
+namespace {
+
+using rdb::DataType;
+using rdb::Value;
+
+TEST(SanitizeNameTest, KeepsSafeCharacters) {
+  EXPECT_EQ(SanitizeName("item"), "item");
+  EXPECT_EQ(SanitizeName("open_auction"), "open_auction");
+  EXPECT_EQ(SanitizeName("Item42"), "Item42");
+}
+
+TEST(SanitizeNameTest, ReplacesUnsafeCharacters) {
+  EXPECT_EQ(SanitizeName("ns:name"), "ns_name");
+  EXPECT_EQ(SanitizeName("a-b.c"), "a_b_c");
+}
+
+TEST(SanitizeNameTest, NeverEmptyOrDigitLed) {
+  EXPECT_EQ(SanitizeName(""), "x");
+  EXPECT_EQ(SanitizeName("1abc"), "x1abc");
+}
+
+TEST(SqlLiteralTest, QuotesStringsOnly) {
+  EXPECT_EQ(SqlLiteral(Value("o'brien")), "'o''brien'");
+  EXPECT_EQ(SqlLiteral(Value(int64_t{42})), "42");
+  EXPECT_EQ(SqlLiteral(Value(1.5)), "1.5");
+  EXPECT_EQ(SqlLiteral(Value::Null()), "NULL");
+}
+
+TEST(ContextTableTest, CreatesAndReplaces) {
+  rdb::Database db;
+  NodeSet ids{Value(int64_t{3}), Value(int64_t{1}), Value(int64_t{2})};
+  ASSERT_TRUE(LoadContextTable(&db, "_ctx", DataType::kInt, ids).ok());
+  auto r = db.Execute("SELECT id FROM _ctx ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 3u);
+  // Reload replaces the previous contents.
+  ASSERT_TRUE(LoadContextTable(&db, "_ctx", DataType::kInt,
+                               {Value(int64_t{9})})
+                  .ok());
+  r = db.Execute("SELECT id FROM _ctx");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 9);
+}
+
+TEST(FrontierTableTest, TwoColumns) {
+  rdb::Database db;
+  std::vector<std::pair<Value, Value>> rows{
+      {Value(int64_t{1}), Value(int64_t{10})},
+      {Value(int64_t{1}), Value(int64_t{11})},
+  };
+  ASSERT_TRUE(LoadFrontierTable(&db, "_fr", DataType::kInt, rows).ok());
+  auto r = db.Execute("SELECT origin, id FROM _fr ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_EQ(r.value().rows[1][1].AsInt(), 11);
+}
+
+TEST(NextIdFromMaxTest, EmptyAndNonEmpty) {
+  rdb::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INTEGER)").ok());
+  auto next = NextIdFromMax(&db, "t", "x");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 1);
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (41)").ok());
+  next = NextIdFromMax(&db, "t", "x");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 42);
+}
+
+}  // namespace
+}  // namespace xmlrdb::shred

@@ -1,0 +1,220 @@
+// End-to-end SQL tests: parse -> plan -> execute against a Database.
+
+#include <gtest/gtest.h>
+
+#include "rdb/database.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE emp (id INTEGER NOT NULL, name VARCHAR, dept INTEGER, "
+        "salary DOUBLE)");
+    Run("CREATE TABLE dept (id INTEGER NOT NULL, name VARCHAR)");
+    Run("INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')");
+    Run("INSERT INTO emp VALUES "
+        "(1, 'ada', 1, 120.0), "
+        "(2, 'bob', 1, 95.5), "
+        "(3, 'cyd', 2, 80.0), "
+        "(4, 'dee', 2, 85.0), "
+        "(5, 'eve', 1, 130.0)");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto res = db_.Execute(sql);
+    EXPECT_TRUE(res.ok()) << sql << " -> " << res.status().ToString();
+    return res.ok() ? std::move(res).value() : QueryResult{};
+  }
+
+  Status RunErr(const std::string& sql) { return db_.Execute(sql).status(); }
+
+  Database db_;
+};
+
+TEST_F(SqlEndToEndTest, SelectAll) {
+  QueryResult r = Run("SELECT * FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.schema.size(), 4u);
+}
+
+TEST_F(SqlEndToEndTest, Projection) {
+  QueryResult r = Run("SELECT name, salary FROM emp WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ada");
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 120.0);
+}
+
+TEST_F(SqlEndToEndTest, WhereComparisons) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary > 90").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary >= 95.5").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE dept = 1 AND salary < 100").rows.size(),
+            1u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE dept = 1 OR dept = 2").rows.size(), 5u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE NOT (dept = 1)").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name <> 'ada'").rows.size(), 4u);
+}
+
+TEST_F(SqlEndToEndTest, Like) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name LIKE '%e%'").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name LIKE '_o_'").rows.size(), 1u);
+}
+
+TEST_F(SqlEndToEndTest, InList) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name IN ('ada', 'eve')").rows.size(),
+            2u);
+}
+
+TEST_F(SqlEndToEndTest, OrderByAndLimit) {
+  QueryResult r = Run("SELECT name FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "eve");
+  EXPECT_EQ(r.rows[1][0].AsString(), "ada");
+}
+
+TEST_F(SqlEndToEndTest, OrderByNonProjectedColumn) {
+  QueryResult r = Run("SELECT name FROM emp ORDER BY id DESC LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "eve");
+}
+
+TEST_F(SqlEndToEndTest, LimitOffset) {
+  QueryResult r = Run("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 4);
+}
+
+TEST_F(SqlEndToEndTest, JoinCommaSyntax) {
+  QueryResult r = Run(
+      "SELECT e.name, d.name FROM emp e, dept d WHERE e.dept = d.id AND "
+      "d.name = 'sales' ORDER BY e.id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "cyd");
+  EXPECT_EQ(r.rows[0][1].AsString(), "sales");
+}
+
+TEST_F(SqlEndToEndTest, JoinOnSyntax) {
+  QueryResult r = Run(
+      "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.id "
+      "WHERE d.name = 'eng' ORDER BY e.name");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ada");
+}
+
+TEST_F(SqlEndToEndTest, SelfJoin) {
+  QueryResult r = Run(
+      "SELECT a.id, b.id FROM emp a, emp b "
+      "WHERE a.dept = b.dept AND a.id < b.id ORDER BY a.id, b.id");
+  // dept 1: (1,2),(1,5),(2,5); dept 2: (3,4)
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(SqlEndToEndTest, GroupByWithAggregates) {
+  QueryResult r = Run(
+      "SELECT dept, COUNT(*) AS cnt, AVG(salary) AS avg_sal, MIN(name), "
+      "MAX(salary) FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_NEAR(r.rows[0][2].AsDouble(), (120.0 + 95.5 + 130.0) / 3, 1e-9);
+  EXPECT_EQ(r.rows[0][3].AsString(), "ada");
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 130.0);
+}
+
+TEST_F(SqlEndToEndTest, GlobalAggregate) {
+  QueryResult r = Run("SELECT COUNT(*), SUM(salary) FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_NEAR(r.rows[0][1].AsDouble(), 510.5, 1e-9);
+}
+
+TEST_F(SqlEndToEndTest, GlobalAggregateEmptyInput) {
+  QueryResult r = Run("SELECT COUNT(*) FROM emp WHERE id > 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(SqlEndToEndTest, Having) {
+  QueryResult r = Run(
+      "SELECT dept, COUNT(*) AS cnt FROM emp GROUP BY dept "
+      "HAVING COUNT(*) > 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
+TEST_F(SqlEndToEndTest, Distinct) {
+  QueryResult r = Run("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlEndToEndTest, Arithmetic) {
+  QueryResult r = Run("SELECT salary * 2 + 1 FROM emp WHERE id = 3");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 161.0);
+}
+
+TEST_F(SqlEndToEndTest, DeleteWithWhere) {
+  QueryResult r = Run("DELETE FROM emp WHERE dept = 2");
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_EQ(Run("SELECT id FROM emp").rows.size(), 3u);
+}
+
+TEST_F(SqlEndToEndTest, Update) {
+  QueryResult r = Run("UPDATE emp SET salary = salary + 10 WHERE dept = 1");
+  EXPECT_EQ(r.affected, 3);
+  QueryResult q = Run("SELECT salary FROM emp WHERE id = 1");
+  EXPECT_DOUBLE_EQ(q.rows[0][0].AsDouble(), 130.0);
+}
+
+TEST_F(SqlEndToEndTest, IndexedLookupMatchesSeqScan) {
+  Run("CREATE INDEX emp_dept ON emp (dept, salary)");
+  QueryResult with_index =
+      Run("SELECT id FROM emp WHERE dept = 1 AND salary > 100 ORDER BY id");
+  ASSERT_EQ(with_index.rows.size(), 2u);
+  EXPECT_EQ(with_index.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(with_index.rows[1][0].AsInt(), 5);
+  // Plan should actually use the index.
+  auto plan = db_.PlanSql("SELECT id FROM emp WHERE dept = 1 AND salary > 100");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value()->CountOperators("IndexScan"), 0)
+      << plan.value()->Explain();
+}
+
+TEST_F(SqlEndToEndTest, Explain) {
+  QueryResult r = Run("EXPLAIN SELECT e.name FROM emp e JOIN dept d ON "
+                      "e.dept = d.id WHERE d.name = 'eng'");
+  EXPECT_NE(r.plan_text.find("HashJoin"), std::string::npos) << r.plan_text;
+}
+
+TEST_F(SqlEndToEndTest, Errors) {
+  EXPECT_EQ(RunErr("SELECT * FROM missing").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunErr("SELECT bogus FROM emp").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunErr("CREATE TABLE emp (x INTEGER)").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(RunErr("SELECT FROM emp").code(), StatusCode::kParseError);
+  EXPECT_EQ(RunErr("INSERT INTO emp VALUES (1)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunErr("INSERT INTO emp VALUES (NULL, 'x', 1, 1.0)").code(),
+            StatusCode::kConstraintError);
+}
+
+TEST_F(SqlEndToEndTest, NullHandling) {
+  Run("INSERT INTO emp VALUES (6, NULL, NULL, NULL)");
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE name IS NOT NULL").rows.size(), 5u);
+  // NULL never matches comparisons.
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE dept = 1").rows.size(), 3u);
+  // NULL keys never join.
+  EXPECT_EQ(Run("SELECT e.id FROM emp e, dept d WHERE e.dept = d.id").rows.size(),
+            5u);
+  // Aggregates skip NULLs; COUNT(*) does not.
+  QueryResult r = Run("SELECT COUNT(*), COUNT(dept) FROM emp");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,178 @@
+#include "rdb/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rdb/sql_lexer.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+const SelectStmt& AsSelect(const Statement& s) {
+  return std::get<SelectStmt>(s);
+}
+
+TEST(SqlLexerTest, TokenKinds) {
+  auto toks = LexSql("SELECT a1, 'it''s', 3.5, 42 <> <= >= != -- comment\nx");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  const auto& t = toks.value();
+  EXPECT_EQ(t[0].upper, "SELECT");
+  EXPECT_EQ(t[1].text, "a1");
+  EXPECT_EQ(t[3].kind, TokKind::kString);
+  EXPECT_EQ(t[3].text, "it's");
+  EXPECT_EQ(t[5].kind, TokKind::kDouble);
+  EXPECT_EQ(t[7].kind, TokKind::kInt);
+  EXPECT_EQ(t[8].text, "<>");
+  EXPECT_EQ(t[9].text, "<=");
+  EXPECT_EQ(t[10].text, ">=");
+  EXPECT_EQ(t[11].text, "!=");
+  EXPECT_EQ(t[12].text, "x");  // after the line comment
+  EXPECT_EQ(t.back().kind, TokKind::kEnd);
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(LexSql("SELECT 'unterminated").ok());
+  EXPECT_FALSE(LexSql("SELECT #").ok());
+  EXPECT_FALSE(LexSql("\"unterminated ident").ok());
+}
+
+TEST(SqlParserTest, SelectBasics) {
+  auto stmt = ParseSql("SELECT a, b AS bb, t.c FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& s = AsSelect(stmt.value());
+  ASSERT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[1].alias, "bb");
+  EXPECT_EQ(s.items[2].expr->ToString(), "t.c");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(SqlParserTest, SelectStarAndDistinct) {
+  auto stmt = ParseSql("SELECT DISTINCT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& s = AsSelect(stmt.value());
+  EXPECT_TRUE(s.distinct);
+  EXPECT_TRUE(s.items[0].star);
+}
+
+TEST(SqlParserTest, ImplicitAliasWithoutAs) {
+  auto stmt = ParseSql("SELECT e.name nm FROM emp e");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& s = AsSelect(stmt.value());
+  EXPECT_EQ(s.items[0].alias, "nm");
+  EXPECT_EQ(s.from[0].alias, "e");
+  EXPECT_EQ(s.from[0].effective_alias(), "e");
+}
+
+TEST(SqlParserTest, JoinOnFoldsIntoWhere) {
+  auto stmt = ParseSql(
+      "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE b.y > 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& s = AsSelect(stmt.value());
+  EXPECT_EQ(s.from.size(), 2u);
+  ASSERT_NE(s.where, nullptr);
+  std::string w = s.where->ToString();
+  EXPECT_NE(w.find("a.id = b.id"), std::string::npos) << w;
+  EXPECT_NE(w.find("b.y > 2"), std::string::npos) << w;
+}
+
+TEST(SqlParserTest, OperatorPrecedence) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE a + 2 * 3 = 7 AND b = 1 OR c = 2");
+  ASSERT_TRUE(stmt.ok());
+  const auto& s = AsSelect(stmt.value());
+  // OR binds loosest, * tighter than +.
+  EXPECT_EQ(s.where->ToString(),
+            "((((a + (2 * 3)) = 7) AND (b = 1)) OR (c = 2))");
+}
+
+TEST(SqlParserTest, GroupByHavingOrderLimit) {
+  auto stmt = ParseSql(
+      "SELECT dept, COUNT(*) c FROM emp GROUP BY dept HAVING COUNT(*) > 1 "
+      "ORDER BY dept DESC, c LIMIT 10 OFFSET 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& s = AsSelect(stmt.value());
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.offset, 5);
+}
+
+TEST(SqlParserTest, AggregateFunctions) {
+  auto stmt = ParseSql("SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& s = AsSelect(stmt.value());
+  EXPECT_EQ(s.items[0].expr->ToString(), "COUNT(*)");
+  EXPECT_EQ(s.items[1].expr->ToString(), "SUM(x)");
+  EXPECT_EQ(s.items[0].expr->kind(), Expr::Kind::kAgg);
+}
+
+TEST(SqlParserTest, LikeInIsNull) {
+  auto stmt = ParseSql(
+      "SELECT a FROM t WHERE a LIKE 'x%' AND b IN (1, 2, 3) AND c IS NOT NULL "
+      "AND d IS NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+}
+
+TEST(SqlParserTest, NegativeNumbersAndUnaryMinus) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE a = -5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(AsSelect(stmt.value()).where->ToString(), "(a = (0 - 5))");
+}
+
+TEST(SqlParserTest, CreateTable) {
+  auto stmt = ParseSql(
+      "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(100), score DOUBLE)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& c = std::get<CreateTableStmt>(stmt.value());
+  EXPECT_EQ(c.name, "t");
+  ASSERT_EQ(c.columns.size(), 3u);
+  EXPECT_FALSE(c.columns[0].nullable);
+  EXPECT_TRUE(c.columns[1].nullable);
+  EXPECT_EQ(c.columns[2].type, DataType::kDouble);
+}
+
+TEST(SqlParserTest, CreateIndexDropInsertDeleteUpdate) {
+  EXPECT_TRUE(ParseSql("CREATE INDEX i ON t (a, b)").ok());
+  EXPECT_TRUE(ParseSql("DROP TABLE t").ok());
+  EXPECT_TRUE(ParseSql("DROP TABLE IF EXISTS t").ok());
+  auto ins = ParseSql("INSERT INTO t VALUES (1, 'a'), (2, NULL)");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(std::get<InsertStmt>(ins.value()).rows.size(), 2u);
+  EXPECT_TRUE(ParseSql("DELETE FROM t WHERE a = 1").ok());
+  EXPECT_TRUE(ParseSql("DELETE FROM t").ok());
+  auto upd = ParseSql("UPDATE t SET a = a + 1, b = 'x' WHERE c > 2");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(std::get<UpdateStmt>(upd.value()).assignments.size(), 2u);
+}
+
+TEST(SqlParserTest, Explain) {
+  auto stmt = ParseSql("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(std::get<ExplainStmt>(stmt.value()).select, nullptr);
+}
+
+TEST(SqlParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSql("SELECT a FROM t;").ok());
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELEC a FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a").ok());                    // no FROM
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP dept").ok());  // missing BY
+  EXPECT_FALSE(ParseSql("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseSql("SELECT unknown_func(a) FROM t").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a BADTYPE)").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE b IN (c)").ok());  // non-literal
+  EXPECT_FALSE(ParseSql("SELECT a FROM t INNER b").ok());
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,88 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb {
+namespace {
+
+TEST(SplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StripWhitespaceTest, Variants) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("no-ws"), "no-ws");
+}
+
+TEST(IsAllWhitespaceTest, Variants) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\n\r"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(CaseTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD 42!"), "mixed 42!");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("edge_table", "edge"));
+  EXPECT_FALSE(StartsWith("edge", "edge_table"));
+  EXPECT_TRUE(EndsWith("foo.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", "foo.xml"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_EQ(ParseInt64("999999999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(XmlEscapeTest, EscapesAllFive) {
+  EXPECT_EQ(XmlEscape("<a & 'b' \"c\">"),
+            "&lt;a &amp; &apos;b&apos; &quot;c&quot;&gt;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(SqlQuoteTest, EscapesQuotes) {
+  EXPECT_EQ(SqlQuote("it's"), "'it''s'");
+  EXPECT_EQ(SqlQuote(""), "''");
+  EXPECT_EQ(SqlQuote("x"), "'x'");
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(1536 * 1024), "1.5 MiB");
+}
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,122 @@
+#include "rdb/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+Schema EmpSchema() {
+  return Schema({{"id", DataType::kInt, false, ""},
+                 {"dept", DataType::kInt, true, ""},
+                 {"name", DataType::kString, true, ""}});
+}
+
+Row Emp(int64_t id, int64_t dept, const std::string& name) {
+  return {Value(id), Value(dept), Value(name)};
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t("emp", EmpSchema());
+  EXPECT_TRUE(t.Insert(Emp(1, 10, "a")).ok());
+  EXPECT_FALSE(t.Insert({Value(int64_t{1})}).ok());           // arity
+  EXPECT_FALSE(t.Insert({Value("x"), Value(int64_t{1}), Value("a")}).ok());
+  EXPECT_FALSE(
+      t.Insert({Value::Null(), Value(int64_t{1}), Value("a")}).ok());  // NOT NULL
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, DeleteTombstonesAndKeepsIds) {
+  Table t("emp", EmpSchema());
+  RowId r0 = t.Insert(Emp(1, 10, "a")).value();
+  RowId r1 = t.Insert(Emp(2, 10, "b")).value();
+  RowId r2 = t.Insert(Emp(3, 20, "c")).value();
+  EXPECT_TRUE(t.Delete(r1).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_slots(), 3u);
+  EXPECT_TRUE(t.IsLive(r0));
+  EXPECT_FALSE(t.IsLive(r1));
+  EXPECT_TRUE(t.IsLive(r2));
+  EXPECT_EQ(t.Delete(r1).code(), StatusCode::kNotFound);  // double delete
+  EXPECT_EQ(t.row(r2)[2].AsString(), "c");
+}
+
+TEST(TableTest, UpdateRevalidatesAndReindexes) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.CreateIndex("by_dept", {"dept"}).ok());
+  RowId r = t.Insert(Emp(1, 10, "a")).value();
+  ASSERT_TRUE(t.Update(r, Emp(1, 20, "a2")).ok());
+  const Index* idx = t.FindIndex("by_dept");
+  EXPECT_TRUE(idx->LookupEqual({Value(int64_t{10})}).empty());
+  EXPECT_EQ(idx->LookupEqual({Value(int64_t{20})}).size(), 1u);
+  EXPECT_FALSE(t.Update(r, {Value::Null(), Value(int64_t{1}), Value("x")}).ok());
+}
+
+TEST(TableTest, IndexBackfillsExistingRows) {
+  Table t("emp", EmpSchema());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(Emp(i, i % 3, "n")).ok());
+  }
+  ASSERT_TRUE(t.CreateIndex("by_dept", {"dept"}).ok());
+  const Index* idx = t.FindIndex("by_dept");
+  EXPECT_EQ(idx->num_entries(), 10u);
+  EXPECT_EQ(idx->LookupEqual({Value(int64_t{0})}).size(), 4u);  // 0,3,6,9
+  EXPECT_EQ(idx->LookupEqual({Value(int64_t{1})}).size(), 3u);
+}
+
+TEST(TableTest, IndexRangeAndDuplicates) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.CreateIndex("by_dept_id", {"dept", "id"}).ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert(Emp(i, i / 5, "n")).ok());
+  }
+  const Index* idx = t.FindIndex("by_dept_id");
+  // Equality on prefix.
+  EXPECT_EQ(idx->LookupEqual({Value(int64_t{2})}).size(), 5u);
+  // Range over prefix: dept in [1, 2].
+  auto rids = idx->LookupRange({Value(int64_t{1})}, true, {Value(int64_t{2})},
+                               true);
+  EXPECT_EQ(rids.size(), 10u);
+  // Exclusive bounds.
+  rids = idx->LookupRange({Value(int64_t{1})}, false, {Value(int64_t{3})}, false);
+  EXPECT_EQ(rids.size(), 5u);  // only dept 2
+  // Unbounded below.
+  rids = idx->LookupRange({}, true, {Value(int64_t{0})}, true);
+  EXPECT_EQ(rids.size(), 5u);
+}
+
+TEST(TableTest, IndexIgnoresDeletedRows) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.CreateIndex("by_dept", {"dept"}).ok());
+  RowId r = t.Insert(Emp(1, 10, "a")).value();
+  ASSERT_TRUE(t.Insert(Emp(2, 10, "b")).ok());
+  ASSERT_TRUE(t.Delete(r).ok());
+  EXPECT_EQ(t.FindIndex("by_dept")->LookupEqual({Value(int64_t{10})}).size(),
+            1u);
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.CreateIndex("i", {"id"}).ok());
+  EXPECT_EQ(t.CreateIndex("i", {"dept"}).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(t.CreateIndex("j", {"missing_col"}).ok());
+}
+
+TEST(TableTest, FindIndexByColumns) {
+  Table t("emp", EmpSchema());
+  ASSERT_TRUE(t.CreateIndex("a", {"dept", "id"}).ok());
+  EXPECT_NE(t.FindIndexByColumns({1}), nullptr);       // prefix match
+  EXPECT_NE(t.FindIndexByColumns({1, 0}), nullptr);    // exact
+  EXPECT_EQ(t.FindIndexByColumns({0}), nullptr);       // id is not a prefix
+}
+
+TEST(TableTest, FootprintGrowsWithData) {
+  Table t("emp", EmpSchema());
+  size_t empty = t.FootprintBytes();
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert(Emp(i, i, "some name payload")).ok());
+  }
+  EXPECT_GT(t.FootprintBytes(), empty + 100 * 3 * sizeof(Value) / 2);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,99 @@
+#include "rdb/value.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb::rdb {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), DataType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt);
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("hi").type(), DataType::kString);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(true).type(), DataType::kBool);
+}
+
+TEST(ValueTest, IntDoubleCrossComparison) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(int64_t{3})), 0);
+  EXPECT_TRUE(Value(int64_t{2}) == Value(2.0));
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value::Null().Compare(Value("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_GT(Value("b").Compare(Value("azzz")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+}
+
+TEST(ValueTest, IntAndIntValuedDoubleHashEqually) {
+  // Required so mixed-type equi-joins work in the hash join.
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("txt").ToString(), "txt");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(Value("42").CastTo(DataType::kInt).value().AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value("2.5").CastTo(DataType::kDouble).value().AsDouble(), 2.5);
+  EXPECT_EQ(Value(int64_t{3}).CastTo(DataType::kDouble).value().AsDouble(), 3.0);
+  EXPECT_EQ(Value(3.9).CastTo(DataType::kInt).value().AsInt(), 3);
+  EXPECT_EQ(Value(int64_t{1}).CastTo(DataType::kBool).value().AsBool(), true);
+  EXPECT_EQ(Value(int64_t{9}).CastTo(DataType::kString).value().AsString(), "9");
+  EXPECT_FALSE(Value("abc").CastTo(DataType::kInt).ok());
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kInt).value().is_null());
+}
+
+TEST(ValueTest, ParseDataTypeNames) {
+  EXPECT_EQ(ParseDataType("INTEGER").value(), DataType::kInt);
+  EXPECT_EQ(ParseDataType("int").value(), DataType::kInt);
+  EXPECT_EQ(ParseDataType("BIGINT").value(), DataType::kInt);
+  EXPECT_EQ(ParseDataType("double").value(), DataType::kDouble);
+  EXPECT_EQ(ParseDataType("REAL").value(), DataType::kDouble);
+  EXPECT_EQ(ParseDataType("VARCHAR").value(), DataType::kString);
+  EXPECT_EQ(ParseDataType("text").value(), DataType::kString);
+  EXPECT_EQ(ParseDataType("BOOLEAN").value(), DataType::kBool);
+  EXPECT_FALSE(ParseDataType("blob").ok());
+}
+
+TEST(RowTest, CompareRowsLexicographic) {
+  Row a{Value(int64_t{1}), Value("x")};
+  Row b{Value(int64_t{1}), Value("y")};
+  Row c{Value(int64_t{2})};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_GT(CompareRows(b, a), 0);
+  EXPECT_EQ(CompareRows(a, a), 0);
+  EXPECT_LT(CompareRows(a, c), 0);
+  // Prefix ordering: shorter row that is a prefix compares less.
+  Row p{Value(int64_t{1})};
+  EXPECT_LT(CompareRows(p, a), 0);
+}
+
+TEST(RowTest, HashRowConsistentWithEquality) {
+  Row a{Value(int64_t{1}), Value("x")};
+  Row b{Value(int64_t{1}), Value("x")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+TEST(RowTest, RowToString) {
+  Row r{Value(int64_t{1}), Value("a"), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, a, NULL)");
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

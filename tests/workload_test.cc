@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "workload/biblio.h"
+#include "workload/queries.h"
+#include "workload/random_tree.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace xmlrdb::workload {
+namespace {
+
+TEST(RandomTreeTest, DeterministicInSeed) {
+  RandomTreeConfig cfg;
+  cfg.seed = 77;
+  auto a = GenerateRandomTree(cfg);
+  auto b = GenerateRandomTree(cfg);
+  EXPECT_EQ(xml::Canonicalize(*a), xml::Canonicalize(*b));
+  cfg.seed = 78;
+  auto c = GenerateRandomTree(cfg);
+  EXPECT_NE(xml::Canonicalize(*a), xml::Canonicalize(*c));
+}
+
+TEST(RandomTreeTest, RespectsDepthBound) {
+  RandomTreeConfig cfg;
+  cfg.max_depth = 3;
+  for (uint64_t s = 0; s < 5; ++s) {
+    cfg.seed = s;
+    auto doc = GenerateRandomTree(cfg);
+    xml::DocStats st = xml::ComputeStats(*doc->root());
+    EXPECT_LE(st.max_depth, 3u);
+  }
+}
+
+TEST(XMarkTest, ScaleControlsSize) {
+  XMarkConfig small;
+  small.scale = 0.05;
+  XMarkConfig big;
+  big.scale = 0.5;
+  auto sdoc = GenerateXMark(small);
+  auto bdoc = GenerateXMark(big);
+  xml::DocStats ss = xml::ComputeStats(*sdoc->root());
+  xml::DocStats bs = xml::ComputeStats(*bdoc->root());
+  EXPECT_GT(bs.element_count, ss.element_count * 4);
+}
+
+TEST(XMarkTest, StructureMatchesVocabulary) {
+  XMarkConfig cfg;
+  cfg.scale = 0.1;
+  auto doc = GenerateXMark(cfg);
+  const xml::Node* site = doc->root();
+  ASSERT_EQ(site->name(), "site");
+  EXPECT_NE(site->FindChildElement("regions"), nullptr);
+  EXPECT_NE(site->FindChildElement("people"), nullptr);
+  EXPECT_NE(site->FindChildElement("open_auctions"), nullptr);
+  EXPECT_NE(site->FindChildElement("closed_auctions"), nullptr);
+  xml::DocStats st = xml::ComputeStats(*site);
+  EXPECT_GT(st.tag_counts.at("item"), 0u);
+  EXPECT_GT(st.tag_counts.at("person"), 0u);
+}
+
+TEST(XMarkTest, DtdParsesAndCoversVocabulary) {
+  auto dtd = xml::ParseDtd(XMarkDtd());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = GenerateXMark(cfg);
+  xml::DocStats st = xml::ComputeStats(*doc->root());
+  for (const auto& [tag, count] : st.tag_counts) {
+    (void)count;
+    EXPECT_NE(dtd.value()->FindElement(tag), nullptr)
+        << "generator emits undeclared element " << tag;
+  }
+}
+
+TEST(XMarkTest, ReferencesPointAtExistingIds) {
+  XMarkConfig cfg;
+  cfg.scale = 0.1;
+  auto doc = GenerateXMark(cfg);
+  // Collect person ids.
+  std::set<std::string> person_ids;
+  const xml::Node* people = doc->root()->FindChildElement("people");
+  ASSERT_NE(people, nullptr);
+  for (const auto& p : people->children()) {
+    if (p->IsElement()) person_ids.insert(p->FindAttribute("id")->value());
+  }
+  // Every seller must reference an existing person.
+  const xml::Node* open = doc->root()->FindChildElement("open_auctions");
+  ASSERT_NE(open, nullptr);
+  for (const auto& a : open->children()) {
+    const xml::Node* seller = a->FindChildElement("seller");
+    ASSERT_NE(seller, nullptr);
+    EXPECT_TRUE(person_ids.count(seller->FindAttribute("person")->value()) > 0);
+  }
+}
+
+TEST(BiblioTest, CountsAndDtd) {
+  BiblioConfig cfg;
+  cfg.books = 7;
+  cfg.articles = 9;
+  auto doc = GenerateBiblio(cfg);
+  xml::DocStats st = xml::ComputeStats(*doc->root());
+  EXPECT_EQ(st.tag_counts.at("book"), 7u);
+  EXPECT_EQ(st.tag_counts.at("article"), 9u);
+  auto dtd = xml::ParseDtd(BiblioDtd());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  for (const auto& [tag, count] : st.tag_counts) {
+    (void)count;
+    EXPECT_NE(dtd.value()->FindElement(tag), nullptr) << tag;
+  }
+}
+
+TEST(QueriesTest, SuitesAreWellFormed) {
+  auto qs = AuctionQueries();
+  EXPECT_EQ(qs.size(), 12u);
+  std::set<std::string> ids;
+  for (const auto& q : qs) {
+    EXPECT_TRUE(ids.insert(q.id).second) << "duplicate id " << q.id;
+    EXPECT_FALSE(q.xpath.empty());
+    EXPECT_FALSE(q.description.empty());
+  }
+  EXPECT_EQ(BiblioQueries().size(), 5u);
+}
+
+}  // namespace
+}  // namespace xmlrdb::workload

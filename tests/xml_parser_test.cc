@@ -1,0 +1,194 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+
+namespace xmlrdb::xml {
+namespace {
+
+Result<std::unique_ptr<Document>> P(const std::string& text,
+                                    const ParseOptions& opt = {}) {
+  return Parse(text, opt);
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = P("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_NE(doc.value()->root(), nullptr);
+  EXPECT_EQ(doc.value()->root()->name(), "a");
+  EXPECT_TRUE(doc.value()->root()->children().empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = P("<a><b>hello</b><c><d>world</d></c></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc.value()->root();
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children()[0]->name(), "b");
+  EXPECT_EQ(root->children()[0]->StringValue(), "hello");
+  EXPECT_EQ(root->StringValue(), "helloworld");
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto doc = P("<a x=\"1\" y='two' z=\"a&amp;b\"/>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc.value()->root();
+  ASSERT_EQ(root->attributes().size(), 3u);
+  EXPECT_EQ(root->FindAttribute("x")->value(), "1");
+  EXPECT_EQ(root->FindAttribute("y")->value(), "two");
+  EXPECT_EQ(root->FindAttribute("z")->value(), "a&b");
+  EXPECT_EQ(root->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParserTest, EntityReferences) {
+  auto doc = P("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->root()->StringValue(), "<tag> & \"q\" 's'");
+}
+
+TEST(XmlParserTest, CharacterReferences) {
+  auto doc = P("<a>&#65;&#x42;&#x263A;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->root()->StringValue(), "AB\xE2\x98\xBA");
+}
+
+TEST(XmlParserTest, CData) {
+  auto doc = P("<a><![CDATA[<raw> & stuff]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->root()->StringValue(), "<raw> & stuff");
+}
+
+TEST(XmlParserTest, CommentsDroppedByDefault) {
+  auto doc = P("<a><!-- note --><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->root()->children().size(), 1u);
+}
+
+TEST(XmlParserTest, CommentsKeptWhenAsked) {
+  ParseOptions opt;
+  opt.keep_comments = true;
+  auto doc = P("<a><!-- note --></a>", opt);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value()->root()->children().size(), 1u);
+  EXPECT_EQ(doc.value()->root()->children()[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(doc.value()->root()->children()[0]->value(), " note ");
+}
+
+TEST(XmlParserTest, ProcessingInstructions) {
+  ParseOptions opt;
+  opt.keep_processing_instructions = true;
+  auto doc = P("<a><?target data here?></a>", opt);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value()->root()->children().size(), 1u);
+  const Node* pi = doc.value()->root()->children()[0].get();
+  EXPECT_EQ(pi->kind(), NodeKind::kProcessingInstruction);
+  EXPECT_EQ(pi->name(), "target");
+  EXPECT_EQ(pi->value(), "data here");
+}
+
+TEST(XmlParserTest, XmlDeclarationAndDoctype) {
+  auto doc = P("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+               "<!DOCTYPE bib [<!ELEMENT bib (#PCDATA)>]>\n"
+               "<bib>x</bib>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value()->doctype_name(), "bib");
+  EXPECT_NE(doc.value()->dtd_text().find("<!ELEMENT bib"), std::string::npos);
+}
+
+TEST(XmlParserTest, WhitespaceStrippingToggle) {
+  auto stripped = P("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(stripped.ok());
+  EXPECT_EQ(stripped.value()->root()->children().size(), 1u);
+
+  ParseOptions keep;
+  keep.strip_ignorable_whitespace = false;
+  auto kept = P("<a>\n  <b/>\n</a>", keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value()->root()->children().size(), 3u);
+}
+
+TEST(XmlParserTest, MixedContentPreserved) {
+  auto doc = P("<p>one<b>two</b>three</p>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc.value()->root();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_TRUE(root->children()[0]->IsText());
+  EXPECT_TRUE(root->children()[1]->IsElement());
+  EXPECT_TRUE(root->children()[2]->IsText());
+  EXPECT_EQ(root->StringValue(), "onetwothree");
+}
+
+TEST(XmlParserTest, ErrorMismatchedTags) {
+  auto doc = P("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, ErrorReportsLineAndColumn) {
+  auto doc = P("<a>\n<b>\n</wrong>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status();
+}
+
+TEST(XmlParserTest, ErrorCases) {
+  EXPECT_FALSE(P("").ok());
+  EXPECT_FALSE(P("plain text").ok());
+  EXPECT_FALSE(P("<a>").ok());                     // unterminated
+  EXPECT_FALSE(P("<a x=1/>").ok());                // unquoted attribute
+  EXPECT_FALSE(P("<a x=\"1\" x=\"2\"/>").ok());    // duplicate attribute
+  EXPECT_FALSE(P("<a>&unknown;</a>").ok());        // unknown entity
+  EXPECT_FALSE(P("<a></a><b/>").ok());             // two roots
+  EXPECT_FALSE(P("<a><b attr></b></a>").ok());     // attr without value
+  EXPECT_FALSE(P("<a>&#xFFFFFFFF;</a>").ok());     // invalid char ref
+  EXPECT_FALSE(P("<1a/>").ok());                   // bad name start
+}
+
+TEST(XmlParserTest, FragmentParsing) {
+  auto frag = ParseFragment("<item id=\"3\"><name>x</name></item>");
+  ASSERT_TRUE(frag.ok()) << frag.status();
+  EXPECT_EQ(frag.value()->name(), "item");
+  EXPECT_FALSE(ParseFragment("<a/><b/>").ok());
+  EXPECT_FALSE(ParseFragment("just text").ok());
+}
+
+TEST(XmlParserTest, RoundTripThroughSerializer) {
+  const std::string text =
+      "<order id=\"4711\"><date>2003-08-19</date>"
+      "<lineitem sku=\"a&amp;b\">2 &lt; 3</lineitem></order>";
+  auto doc = P(text);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = Serialize(*doc.value());
+  auto again = P(serialized);
+  ASSERT_TRUE(again.ok()) << serialized;
+  EXPECT_EQ(Canonicalize(*doc.value()), Canonicalize(*again.value()));
+}
+
+TEST(XmlParserTest, NamespacePrefixesTreatedLexically) {
+  auto doc = P("<ns:a xmlns:ns=\"http://x\" ns:attr=\"v\"><ns:b/></ns:a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->root()->name(), "ns:a");
+  EXPECT_EQ(doc.value()->root()->children()[0]->name(), "ns:b");
+  EXPECT_NE(doc.value()->root()->FindAttribute("ns:attr"), nullptr);
+}
+
+TEST(XmlParserTest, DeepNestingNoStackIssues) {
+  std::string text;
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+  auto doc = P(text);
+  ASSERT_TRUE(doc.ok());
+  const Node* n = doc.value()->root();
+  int depth = 1;
+  while (!n->children().empty()) {
+    n = n->children()[0].get();
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+}
+
+}  // namespace
+}  // namespace xmlrdb::xml

@@ -1,0 +1,121 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/stats.h"
+
+namespace xmlrdb::xml {
+namespace {
+
+TEST(SerializerTest, CompactForm) {
+  auto doc = Parse("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Serialize(*doc.value()), "<a x=\"1\"><b>t</b><c/></a>");
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  Node el(NodeKind::kElement, "a");
+  el.SetAttr("q", "x\"y<z");
+  el.AddText("1 < 2 & 3");
+  std::string out = Serialize(el);
+  EXPECT_EQ(out, "<a q=\"x&quot;y&lt;z\">1 &lt; 2 &amp; 3</a>");
+  // Must re-parse to the same tree.
+  auto again = Parse(out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Canonicalize(el), Canonicalize(*again.value()->root()));
+}
+
+TEST(SerializerTest, DeclarationOption) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opt;
+  opt.declaration = true;
+  std::string out = Serialize(*doc.value(), opt);
+  EXPECT_EQ(out.rfind("<?xml", 0), 0u);
+}
+
+TEST(SerializerTest, PrettyPrintingNests) {
+  auto doc = Parse("<a><b><c>x</c></b></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opt;
+  opt.pretty = true;
+  std::string out = Serialize(*doc.value(), opt);
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos) << out;
+  EXPECT_NE(out.find("\n    <c>x</c>"), std::string::npos) << out;
+  // Pretty output still parses back to an equivalent tree (whitespace
+  // between elements is ignorable).
+  auto again = Parse(out);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Canonicalize(*doc.value()), Canonicalize(*again.value()));
+}
+
+TEST(CanonicalizeTest, AttributeOrderInsensitive) {
+  auto d1 = Parse("<a x=\"1\" y=\"2\"/>");
+  auto d2 = Parse("<a y=\"2\" x=\"1\"/>");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(Canonicalize(*d1.value()), Canonicalize(*d2.value()));
+}
+
+TEST(CanonicalizeTest, DistinguishesStructure) {
+  auto d1 = Parse("<a><b/><c/></a>");
+  auto d2 = Parse("<a><c/><b/></a>");
+  auto d3 = Parse("<a><b/></a>");
+  ASSERT_TRUE(d1.ok() && d2.ok() && d3.ok());
+  EXPECT_NE(Canonicalize(*d1.value()), Canonicalize(*d2.value()));
+  EXPECT_NE(Canonicalize(*d1.value()), Canonicalize(*d3.value()));
+}
+
+TEST(CanonicalizeTest, DistinguishesTextSplits) {
+  // "ab" as one text node vs "a","b" adjacent: structurally different.
+  Node one(NodeKind::kElement, "x");
+  one.AddText("ab");
+  Node two(NodeKind::kElement, "x");
+  two.AddText("a");
+  two.AddText("b");
+  EXPECT_NE(Canonicalize(one), Canonicalize(two));
+}
+
+TEST(NodeTest, CloneIsDeepAndDetached) {
+  auto doc = Parse("<a x=\"1\"><b>t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto copy = doc.value()->root()->Clone();
+  EXPECT_EQ(copy->parent(), nullptr);
+  EXPECT_EQ(Canonicalize(*doc.value()->root()), Canonicalize(*copy));
+  copy->SetAttr("x", "changed");
+  EXPECT_EQ(doc.value()->root()->FindAttribute("x")->value(), "1");
+}
+
+TEST(NodeTest, SubtreeSizeCountsEverything) {
+  auto doc = Parse("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  // a, @x, b, text(t), c
+  EXPECT_EQ(doc.value()->root()->SubtreeSize(), 5u);
+}
+
+TEST(NodeTest, DetachChildTransfersOwnership) {
+  auto doc = Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  Node* root = doc.value()->root();
+  std::unique_ptr<Node> b = root->DetachChild(0);
+  EXPECT_EQ(b->name(), "b");
+  EXPECT_EQ(b->parent(), nullptr);
+  EXPECT_EQ(root->children().size(), 1u);
+  EXPECT_EQ(root->children()[0]->name(), "c");
+}
+
+TEST(StatsTest, CountsAndDepth) {
+  auto doc = Parse("<a x=\"1\"><b>text</b><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  DocStats s = ComputeStats(*doc.value()->root());
+  EXPECT_EQ(s.element_count, 4u);  // a, b, b, c
+  EXPECT_EQ(s.attribute_count, 1u);
+  EXPECT_EQ(s.text_node_count, 1u);
+  EXPECT_EQ(s.text_bytes, 4u);
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_EQ(s.distinct_tags, 3u);
+  EXPECT_EQ(s.tag_counts.at("b"), 2u);
+}
+
+}  // namespace
+}  // namespace xmlrdb::xml

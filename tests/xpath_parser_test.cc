@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::xpath {
+namespace {
+
+Result<PathExpr> P(const std::string& s) { return ParseXPath(s); }
+
+TEST(XPathParserTest, SimpleSteps) {
+  auto p = P("/a/b/c");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p.value().steps.size(), 3u);
+  EXPECT_EQ(p.value().steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.value().steps[2].name, "c");
+  EXPECT_EQ(p.value().ToString(), "/a/b/c");
+  EXPECT_FALSE(p.value().HasDescendant());
+  EXPECT_TRUE(p.value().PredicateFree());
+}
+
+TEST(XPathParserTest, DescendantAxes) {
+  auto p = P("//a/b//c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(p.value().steps[1].axis, Axis::kChild);
+  EXPECT_EQ(p.value().steps[2].axis, Axis::kDescendant);
+  EXPECT_TRUE(p.value().HasDescendant());
+  EXPECT_EQ(p.value().ToString(), "//a/b//c");
+}
+
+TEST(XPathParserTest, WildcardsAndAttributes) {
+  auto p = P("/a/*/@id");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().steps[1].IsWildcard());
+  EXPECT_EQ(p.value().steps[2].axis, Axis::kAttribute);
+  EXPECT_EQ(p.value().steps[2].name, "id");
+}
+
+TEST(XPathParserTest, DescendantAttributeExpands) {
+  auto p = P("/a//@id");
+  ASSERT_TRUE(p.ok()) << p.status();
+  // Expands to /a//*/@id.
+  ASSERT_EQ(p.value().steps.size(), 3u);
+  EXPECT_EQ(p.value().steps[1].axis, Axis::kDescendant);
+  EXPECT_TRUE(p.value().steps[1].IsWildcard());
+  EXPECT_EQ(p.value().steps[2].axis, Axis::kAttribute);
+}
+
+TEST(XPathParserTest, PositionalPredicates) {
+  auto p = P("/a/b[3]");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.value().steps[1].predicates.size(), 1u);
+  EXPECT_EQ(p.value().steps[1].predicates[0].kind, Predicate::Kind::kPosition);
+  EXPECT_EQ(p.value().steps[1].predicates[0].position, 3);
+  auto last = P("/a/b[last()]");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().steps[1].predicates[0].kind, Predicate::Kind::kLast);
+  EXPECT_FALSE(P("/a/b[0]").ok());  // positions are 1-based
+}
+
+TEST(XPathParserTest, ExistencePredicates) {
+  auto p = P("/a[b/c][@x]");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p.value().steps[0].predicates.size(), 2u);
+  const auto& p0 = p.value().steps[0].predicates[0];
+  EXPECT_EQ(p0.kind, Predicate::Kind::kExists);
+  ASSERT_EQ(p0.rel.steps.size(), 2u);
+  EXPECT_EQ(p0.rel.steps[1].name, "c");
+  const auto& p1 = p.value().steps[0].predicates[1];
+  EXPECT_TRUE(p1.rel.steps[0].attribute);
+}
+
+TEST(XPathParserTest, ValuePredicates) {
+  auto p = P("/a[b = 'x'][c != 3][@d >= 2.5]");
+  ASSERT_TRUE(p.ok()) << p.status();
+  const auto& preds = p.value().steps[0].predicates;
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds[0].op, CmpOp::kEq);
+  EXPECT_EQ(preds[0].literal.AsString(), "x");
+  EXPECT_EQ(preds[1].op, CmpOp::kNe);
+  EXPECT_EQ(preds[1].literal.AsInt(), 3);
+  EXPECT_EQ(preds[2].op, CmpOp::kGe);
+  EXPECT_DOUBLE_EQ(preds[2].literal.AsDouble(), 2.5);
+}
+
+TEST(XPathParserTest, NegativeNumericLiteral) {
+  auto p = P("/a[b < -5]");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p.value().steps[0].predicates[0].literal.AsInt(), -5);
+}
+
+TEST(XPathParserTest, DoubleQuotedStrings) {
+  auto p = P("/a[b = \"double\"]");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().steps[0].predicates[0].literal.AsString(), "double");
+}
+
+TEST(XPathParserTest, ToStringRoundTrips) {
+  for (const std::string& s : std::vector<std::string>{
+           "/a/b/c", "//x", "/a//b", "/a/*/@id", "/a/b[2]",
+           "/a[b = 'x']", "/a[@y > 3]", "/a/b[last()]"}) {
+    auto p = P(s);
+    ASSERT_TRUE(p.ok()) << s << ": " << p.status();
+    auto again = P(p.value().ToString());
+    ASSERT_TRUE(again.ok()) << p.value().ToString();
+    EXPECT_EQ(p.value().ToString(), again.value().ToString());
+  }
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(P("").ok());
+  EXPECT_FALSE(P("a/b").ok());           // must start with /
+  EXPECT_FALSE(P("/").ok());             // empty step
+  EXPECT_FALSE(P("/a[").ok());           // unterminated predicate
+  EXPECT_FALSE(P("/a[b = ]").ok());      // missing literal
+  EXPECT_FALSE(P("/a[b = 'x]").ok());    // unterminated string
+  EXPECT_FALSE(P("/a/b extra").ok());    // trailing garbage
+  EXPECT_FALSE(P("/@x[1]").ok());        // predicate on attribute step
+}
+
+}  // namespace
+}  // namespace xmlrdb::xpath
