@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_descendant.dir/bench_descendant.cc.o"
+  "CMakeFiles/bench_descendant.dir/bench_descendant.cc.o.d"
+  "bench_descendant"
+  "bench_descendant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_descendant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

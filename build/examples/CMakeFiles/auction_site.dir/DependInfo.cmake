@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/auction_site.cpp" "examples/CMakeFiles/auction_site.dir/auction_site.cpp.o" "gcc" "examples/CMakeFiles/auction_site.dir/auction_site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shred/CMakeFiles/xmlrdb_shred.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlrdb_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmlrdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/publish/CMakeFiles/xmlrdb_publish.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/xmlrdb_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlrdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlrdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_archive.dir/document_archive.cpp.o"
+  "CMakeFiles/document_archive.dir/document_archive.cpp.o.d"
+  "document_archive"
+  "document_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_aware.dir/schema_aware.cpp.o"
+  "CMakeFiles/schema_aware.dir/schema_aware.cpp.o.d"
+  "schema_aware"
+  "schema_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_shell.dir/xmlrdb_shell.cpp.o"
+  "CMakeFiles/xmlrdb_shell.dir/xmlrdb_shell.cpp.o.d"
+  "xmlrdb_shell"
+  "xmlrdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_common.dir/rng.cc.o"
+  "CMakeFiles/xmlrdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/xmlrdb_common.dir/status.cc.o"
+  "CMakeFiles/xmlrdb_common.dir/status.cc.o.d"
+  "CMakeFiles/xmlrdb_common.dir/str_util.cc.o"
+  "CMakeFiles/xmlrdb_common.dir/str_util.cc.o.d"
+  "libxmlrdb_common.a"
+  "libxmlrdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_publish.dir/publisher.cc.o"
+  "CMakeFiles/xmlrdb_publish.dir/publisher.cc.o.d"
+  "libxmlrdb_publish.a"
+  "libxmlrdb_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdb/btree.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/btree.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/btree.cc.o.d"
+  "/root/repo/src/rdb/database.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/database.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/database.cc.o.d"
+  "/root/repo/src/rdb/expr.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/expr.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/expr.cc.o.d"
+  "/root/repo/src/rdb/persist.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/persist.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/persist.cc.o.d"
+  "/root/repo/src/rdb/plan.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/plan.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/plan.cc.o.d"
+  "/root/repo/src/rdb/planner.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/planner.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/planner.cc.o.d"
+  "/root/repo/src/rdb/schema.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/schema.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/schema.cc.o.d"
+  "/root/repo/src/rdb/sql_lexer.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/sql_lexer.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/rdb/sql_parser.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/sql_parser.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/sql_parser.cc.o.d"
+  "/root/repo/src/rdb/table.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/table.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/table.cc.o.d"
+  "/root/repo/src/rdb/value.cc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/value.cc.o" "gcc" "src/rdb/CMakeFiles/xmlrdb_rdb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlrdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

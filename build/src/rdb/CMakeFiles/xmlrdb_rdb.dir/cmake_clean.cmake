@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_rdb.dir/btree.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/btree.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/database.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/database.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/expr.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/expr.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/persist.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/persist.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/plan.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/plan.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/planner.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/planner.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/schema.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/schema.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/sql_lexer.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/sql_parser.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/sql_parser.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/table.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/table.cc.o.d"
+  "CMakeFiles/xmlrdb_rdb.dir/value.cc.o"
+  "CMakeFiles/xmlrdb_rdb.dir/value.cc.o.d"
+  "libxmlrdb_rdb.a"
+  "libxmlrdb_rdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_rdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

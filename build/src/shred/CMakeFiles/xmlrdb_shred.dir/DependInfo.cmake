@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shred/binary_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/binary_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/binary_mapping.cc.o.d"
+  "/root/repo/src/shred/blob_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/blob_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/blob_mapping.cc.o.d"
+  "/root/repo/src/shred/dewey_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/dewey_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/dewey_mapping.cc.o.d"
+  "/root/repo/src/shred/edge_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/edge_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/edge_mapping.cc.o.d"
+  "/root/repo/src/shred/evaluator.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/evaluator.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/evaluator.cc.o.d"
+  "/root/repo/src/shred/inline_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/inline_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/inline_mapping.cc.o.d"
+  "/root/repo/src/shred/interval_mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/interval_mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/interval_mapping.cc.o.d"
+  "/root/repo/src/shred/mapping.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/mapping.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/mapping.cc.o.d"
+  "/root/repo/src/shred/registry.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/registry.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/registry.cc.o.d"
+  "/root/repo/src/shred/shred_util.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/shred_util.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/shred_util.cc.o.d"
+  "/root/repo/src/shred/streaming.cc" "src/shred/CMakeFiles/xmlrdb_shred.dir/streaming.cc.o" "gcc" "src/shred/CMakeFiles/xmlrdb_shred.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdb/CMakeFiles/xmlrdb_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlrdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlrdb_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlrdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_shred.dir/binary_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/binary_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/blob_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/blob_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/dewey_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/dewey_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/edge_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/edge_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/evaluator.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/evaluator.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/inline_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/inline_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/interval_mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/interval_mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/mapping.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/mapping.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/registry.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/registry.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/shred_util.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/shred_util.cc.o.d"
+  "CMakeFiles/xmlrdb_shred.dir/streaming.cc.o"
+  "CMakeFiles/xmlrdb_shred.dir/streaming.cc.o.d"
+  "libxmlrdb_shred.a"
+  "libxmlrdb_shred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_shred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

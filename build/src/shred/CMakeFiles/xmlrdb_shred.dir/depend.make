@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlrdb_shred.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/biblio.cc" "src/workload/CMakeFiles/xmlrdb_workload.dir/biblio.cc.o" "gcc" "src/workload/CMakeFiles/xmlrdb_workload.dir/biblio.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/workload/CMakeFiles/xmlrdb_workload.dir/queries.cc.o" "gcc" "src/workload/CMakeFiles/xmlrdb_workload.dir/queries.cc.o.d"
+  "/root/repo/src/workload/random_tree.cc" "src/workload/CMakeFiles/xmlrdb_workload.dir/random_tree.cc.o" "gcc" "src/workload/CMakeFiles/xmlrdb_workload.dir/random_tree.cc.o.d"
+  "/root/repo/src/workload/xmark.cc" "src/workload/CMakeFiles/xmlrdb_workload.dir/xmark.cc.o" "gcc" "src/workload/CMakeFiles/xmlrdb_workload.dir/xmark.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlrdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlrdb_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_workload.dir/biblio.cc.o"
+  "CMakeFiles/xmlrdb_workload.dir/biblio.cc.o.d"
+  "CMakeFiles/xmlrdb_workload.dir/queries.cc.o"
+  "CMakeFiles/xmlrdb_workload.dir/queries.cc.o.d"
+  "CMakeFiles/xmlrdb_workload.dir/random_tree.cc.o"
+  "CMakeFiles/xmlrdb_workload.dir/random_tree.cc.o.d"
+  "CMakeFiles/xmlrdb_workload.dir/xmark.cc.o"
+  "CMakeFiles/xmlrdb_workload.dir/xmark.cc.o.d"
+  "libxmlrdb_workload.a"
+  "libxmlrdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

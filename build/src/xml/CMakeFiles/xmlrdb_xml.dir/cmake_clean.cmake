@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_xml.dir/dtd.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/dtd.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/dtd_simplify.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/dtd_simplify.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/node.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/node.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/parser.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/sax.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/sax.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/serializer.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xmlrdb_xml.dir/stats.cc.o"
+  "CMakeFiles/xmlrdb_xml.dir/stats.cc.o.d"
+  "libxmlrdb_xml.a"
+  "libxmlrdb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

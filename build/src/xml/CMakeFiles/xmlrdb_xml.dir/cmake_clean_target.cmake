@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmlrdb_xml.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrdb_xpath.dir/dom_eval.cc.o"
+  "CMakeFiles/xmlrdb_xpath.dir/dom_eval.cc.o.d"
+  "CMakeFiles/xmlrdb_xpath.dir/xpath_parser.cc.o"
+  "CMakeFiles/xmlrdb_xpath.dir/xpath_parser.cc.o.d"
+  "libxmlrdb_xpath.a"
+  "libxmlrdb_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrdb_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

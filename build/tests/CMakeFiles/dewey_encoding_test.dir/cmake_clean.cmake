@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dewey_encoding_test.dir/dewey_encoding_test.cc.o"
+  "CMakeFiles/dewey_encoding_test.dir/dewey_encoding_test.cc.o.d"
+  "dewey_encoding_test"
+  "dewey_encoding_test.pdb"
+  "dewey_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dewey_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_eval_test.dir/dom_eval_test.cc.o"
+  "CMakeFiles/dom_eval_test.dir/dom_eval_test.cc.o.d"
+  "dom_eval_test"
+  "dom_eval_test.pdb"
+  "dom_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_simplify_test.dir/dtd_simplify_test.cc.o"
+  "CMakeFiles/dtd_simplify_test.dir/dtd_simplify_test.cc.o.d"
+  "dtd_simplify_test"
+  "dtd_simplify_test.pdb"
+  "dtd_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_semantics_test.dir/evaluator_semantics_test.cc.o"
+  "CMakeFiles/evaluator_semantics_test.dir/evaluator_semantics_test.cc.o.d"
+  "evaluator_semantics_test"
+  "evaluator_semantics_test.pdb"
+  "evaluator_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

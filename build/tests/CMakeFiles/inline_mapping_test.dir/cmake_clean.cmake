@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_mapping_test.dir/inline_mapping_test.cc.o"
+  "CMakeFiles/inline_mapping_test.dir/inline_mapping_test.cc.o.d"
+  "inline_mapping_test"
+  "inline_mapping_test.pdb"
+  "inline_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_invariant_test.dir/interval_invariant_test.cc.o"
+  "CMakeFiles/interval_invariant_test.dir/interval_invariant_test.cc.o.d"
+  "interval_invariant_test"
+  "interval_invariant_test.pdb"
+  "interval_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_roundtrip_test.dir/mapping_roundtrip_test.cc.o"
+  "CMakeFiles/mapping_roundtrip_test.dir/mapping_roundtrip_test.cc.o.d"
+  "mapping_roundtrip_test"
+  "mapping_roundtrip_test.pdb"
+  "mapping_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

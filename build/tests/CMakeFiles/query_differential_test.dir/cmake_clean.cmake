@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_differential_test.dir/query_differential_test.cc.o"
+  "CMakeFiles/query_differential_test.dir/query_differential_test.cc.o.d"
+  "query_differential_test"
+  "query_differential_test.pdb"
+  "query_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_path_fuzz_test.dir/random_path_fuzz_test.cc.o"
+  "CMakeFiles/random_path_fuzz_test.dir/random_path_fuzz_test.cc.o.d"
+  "random_path_fuzz_test"
+  "random_path_fuzz_test.pdb"
+  "random_path_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_path_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shred_util_test.dir/shred_util_test.cc.o"
+  "CMakeFiles/shred_util_test.dir/shred_util_test.cc.o.d"
+  "shred_util_test"
+  "shred_util_test.pdb"
+  "shred_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shred_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

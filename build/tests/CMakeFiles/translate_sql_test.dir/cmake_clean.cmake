@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_sql_test.dir/translate_sql_test.cc.o"
+  "CMakeFiles/translate_sql_test.dir/translate_sql_test.cc.o.d"
+  "translate_sql_test"
+  "translate_sql_test.pdb"
+  "translate_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
