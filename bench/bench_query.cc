@@ -37,6 +37,20 @@ void BM_Query(benchmark::State& state, const std::string& mapping_name,
     benchmark::DoNotOptimize(nodes.value());
   }
   state.counters["results"] = static_cast<double>(results);
+
+  // One uncounted pass with the metrics registry enabled: per-query operator
+  // stats (rows scanned, SQL statements, per-operator rows) land in the
+  // bench JSON alongside latency, so trajectories capture plan shape too.
+  {
+    ScopedMetricsCapture capture;
+    auto nodes = shred::EvalPath(path.value(), sa->mapping.get(),
+                                 sa->db.get(), sa->doc_id);
+    if (nodes.ok()) {
+      for (const auto& [name, value] : BenchCounterNames(capture.Delta())) {
+        state.counters[name] = static_cast<double>(value);
+      }
+    }
+  }
 }
 
 void RegisterAll() {

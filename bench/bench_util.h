@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "shred/evaluator.h"
 #include "shred/inline_mapping.h"
 #include "shred/registry.h"
@@ -41,6 +42,34 @@ struct StoredAuction {
   std::unique_ptr<xml::Document> doc;
   shred::DocId doc_id = 0;
 };
+
+/// Flattens a metrics delta into bench-counter names: "sql.statements" ->
+/// "sql_stmts", "exec.rows_scanned" -> "rows_scanned", "op.<Op>.rows" ->
+/// "op_<Op>_rows", plus a distinct-tables-touched count. Keys the benchmark
+/// JSON can carry so trajectories capture plan shape, not just latency.
+inline std::map<std::string, int64_t> BenchCounterNames(
+    const MetricsSnapshot& delta) {
+  std::map<std::string, int64_t> out;
+  int64_t tables = 0;
+  for (const auto& [name, value] : delta) {
+    if (name == "sql.statements") {
+      out["sql_stmts"] = value;
+    } else if (name == "exec.rows_scanned") {
+      out["rows_scanned"] = value;
+    } else if (name.rfind("op.", 0) == 0) {
+      std::string flat = "op_" + name.substr(3);
+      for (char& c : flat) {
+        if (c == '.') c = '_';
+      }
+      out[flat] = value;
+    } else if (name.rfind("table.", 0) == 0 &&
+               name.compare(name.size() - 6, 6, ".scans") == 0) {
+      ++tables;
+    }
+  }
+  if (tables > 0) out["tables_touched"] = tables;
+  return out;
+}
 
 /// Builds (and memoizes per (mapping, scale)) a stored auction document.
 inline StoredAuction* GetStoredAuction(const std::string& mapping_name,

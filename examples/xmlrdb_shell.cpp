@@ -147,7 +147,7 @@ int RunShell(std::istream& in, bool interactive) {
       }
       continue;
     }
-    if (!state.loaded && cmd != ".sql") {
+    if (!state.loaded && cmd != ".sql" && cmd != ".explain") {
       std::printf("load a document first (.load / .gen)\n");
       continue;
     }

@@ -1,0 +1,43 @@
+#include "common/metrics.h"
+
+namespace xmlrdb {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Add(std::string_view name, int64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[std::string(name)] += delta;
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    int64_t prev = it == before.end() ? 0 : it->second;
+    if (value != prev) out[name] = value - prev;
+  }
+  return out;
+}
+
+}  // namespace xmlrdb

@@ -1,0 +1,81 @@
+// Engine-wide metrics: named monotonic counters (row counts, statement
+// counts, nanosecond timers) behind one process-global registry.
+//
+// The registry is disabled by default; Add() is a single relaxed atomic load
+// when disabled, so instrumented hot paths cost nothing in normal operation.
+// Consumers (EXPLAIN ANALYZE, the XPath evaluator's per-query stats, the
+// benchmark harness) enable it, snapshot before/after a region, and diff.
+
+#ifndef XMLRDB_COMMON_METRICS_H_
+#define XMLRDB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xmlrdb {
+
+using MetricsSnapshot = std::map<std::string, int64_t>;
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the executor and evaluator.
+  static MetricsRegistry& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Adds `delta` to counter `name`; no-op while the registry is disabled.
+  void Add(std::string_view name, int64_t delta);
+
+  /// Current value of `name` (0 if never written).
+  int64_t Get(const std::string& name) const;
+
+  /// Copy of all counters.
+  MetricsSnapshot Snapshot() const;
+
+  /// Clears all counters (leaves the enabled flag untouched).
+  void Reset();
+
+  /// Counters that changed between `before` and `after`, as after - before.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot counters_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII capture of the global registry over a scope: enables it, snapshots on
+/// construction, and restores the previous enabled state on destruction.
+class ScopedMetricsCapture {
+ public:
+  ScopedMetricsCapture()
+      : was_enabled_(MetricsRegistry::Global().enabled()) {
+    MetricsRegistry::Global().set_enabled(true);
+    before_ = MetricsRegistry::Global().Snapshot();
+  }
+  ~ScopedMetricsCapture() {
+    MetricsRegistry::Global().set_enabled(was_enabled_);
+  }
+
+  ScopedMetricsCapture(const ScopedMetricsCapture&) = delete;
+  ScopedMetricsCapture& operator=(const ScopedMetricsCapture&) = delete;
+
+  /// Counters changed since construction.
+  MetricsSnapshot Delta() const {
+    return MetricsRegistry::Delta(before_, MetricsRegistry::Global().Snapshot());
+  }
+
+ private:
+  bool was_enabled_;
+  MetricsSnapshot before_;
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_METRICS_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/metrics.h"
 #include "rdb/sql_parser.h"
 
 namespace xmlrdb::rdb {
@@ -70,8 +71,29 @@ size_t Database::FootprintBytes() const {
   return total;
 }
 
+namespace {
+
+const char* StatementKind(const Statement& stmt) {
+  if (std::holds_alternative<SelectStmt>(stmt)) return "select";
+  if (std::holds_alternative<CreateTableStmt>(stmt)) return "create_table";
+  if (std::holds_alternative<CreateIndexStmt>(stmt)) return "create_index";
+  if (std::holds_alternative<DropTableStmt>(stmt)) return "drop_table";
+  if (std::holds_alternative<InsertStmt>(stmt)) return "insert";
+  if (std::holds_alternative<DeleteStmt>(stmt)) return "delete";
+  if (std::holds_alternative<UpdateStmt>(stmt)) return "update";
+  if (std::holds_alternative<ExplainStmt>(stmt)) return "explain";
+  return "other";
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Execute(std::string_view sql) {
   ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.enabled()) {
+    reg.Add("sql.statements", 1);
+    reg.Add(std::string("sql.") + StatementKind(stmt), 1);
+  }
   if (auto* s = std::get_if<SelectStmt>(&stmt)) return RunSelect(*s);
   if (auto* s = std::get_if<CreateTableStmt>(&stmt)) return RunCreateTable(*s);
   if (auto* s = std::get_if<CreateIndexStmt>(&stmt)) return RunCreateIndex(*s);
@@ -82,7 +104,15 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   if (auto* s = std::get_if<ExplainStmt>(&stmt)) {
     ASSIGN_OR_RETURN(PlanPtr plan, Plan(*s->select));
     QueryResult out;
-    out.plan_text = plan->Explain();
+    if (s->analyze) {
+      plan->EnableAnalyze();
+      ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan.get()));
+      FlushPlanMetrics(*plan);
+      out.affected = static_cast<int64_t>(rows.size());
+      out.plan_text = plan->ExplainAnalyze();
+    } else {
+      out.plan_text = plan->Explain();
+    }
     return out;
   }
   return Status::Internal("unhandled statement type");
@@ -104,6 +134,7 @@ Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
   QueryResult out;
   out.schema = plan->output_schema();
   ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
+  FlushPlanMetrics(*plan);
   return out;
 }
 

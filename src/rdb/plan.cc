@@ -1,6 +1,10 @@
 #include "rdb/plan.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/metrics.h"
 
 namespace xmlrdb::rdb {
 
@@ -47,18 +51,85 @@ DataType InferType(const Expr& e, const Schema& schema) {
   return DataType::kString;
 }
 
-void ExplainRec(const PlanNode& n, int depth, std::string* out) {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ExplainRec(const PlanNode& n, int depth, bool analyze, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(n.Describe());
+  if (analyze) {
+    const OperatorStats& s = n.stats();
+    char buf[128];
+    if (n.analyze_enabled()) {
+      std::snprintf(buf, sizeof(buf),
+                    "  (actual rows=%lld calls=%lld time=%.3fms)",
+                    static_cast<long long>(s.rows),
+                    static_cast<long long>(s.next_calls),
+                    static_cast<double>(s.open_ns + s.next_ns) / 1e6);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  (actual rows=%lld calls=%lld)",
+                    static_cast<long long>(s.rows),
+                    static_cast<long long>(s.next_calls));
+    }
+    out->append(buf);
+  }
   out->append("\n");
-  for (const PlanNode* c : n.Children()) ExplainRec(*c, depth + 1, out);
+  for (const PlanNode* c : n.Children()) ExplainRec(*c, depth + 1, analyze, out);
 }
 
 }  // namespace
 
+Status PlanNode::Open() {
+  ++stats_.open_calls;
+  if (!analyze_) return OpenImpl();
+  int64_t t0 = NowNs();
+  Status st = OpenImpl();
+  stats_.open_ns += NowNs() - t0;
+  return st;
+}
+
+Result<bool> PlanNode::Next(Row* out) {
+  ++stats_.next_calls;
+  if (!analyze_) {
+    Result<bool> r = NextImpl(out);
+    if (r.ok() && r.value()) ++stats_.rows;
+    return r;
+  }
+  int64_t t0 = NowNs();
+  Result<bool> r = NextImpl(out);
+  stats_.next_ns += NowNs() - t0;
+  if (r.ok() && r.value()) ++stats_.rows;
+  return r;
+}
+
+void PlanNode::Close() { CloseImpl(); }
+
+void PlanNode::EnableAnalyze() {
+  analyze_ = true;
+  // Children() exposes the subtree read-only for EXPLAIN; instrumentation is
+  // the one writer that needs to reach through it.
+  for (const PlanNode* c : Children()) {
+    const_cast<PlanNode*>(c)->EnableAnalyze();
+  }
+}
+
+std::string PlanNode::OperatorName() const {
+  std::string d = Describe();
+  return d.substr(0, d.find('('));
+}
+
 std::string PlanNode::Explain() const {
   std::string out;
-  ExplainRec(*this, 0, &out);
+  ExplainRec(*this, 0, /*analyze=*/false, &out);
+  return out;
+}
+
+std::string PlanNode::ExplainAnalyze() const {
+  std::string out;
+  ExplainRec(*this, 0, /*analyze=*/true, &out);
   return out;
 }
 
@@ -85,6 +156,22 @@ Result<std::vector<Row>> ExecutePlan(PlanNode* plan) {
   return out;
 }
 
+void FlushPlanMetrics(const PlanNode& plan) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  std::string op = plan.OperatorName();
+  const OperatorStats& s = plan.stats();
+  reg.Add("op." + op + ".rows", s.rows);
+  reg.Add("op." + op + ".next_calls", s.next_calls);
+  if (plan.analyze_enabled()) {
+    reg.Add("op." + op + ".time_ns", s.open_ns + s.next_ns);
+  }
+  if (op == "SeqScan" || op == "IndexScan") {
+    reg.Add("exec.rows_scanned", s.rows);
+  }
+  for (const PlanNode* c : plan.Children()) FlushPlanMetrics(*c);
+}
+
 // ---- SeqScan ----
 
 SeqScanNode::SeqScanNode(const Table* table, std::string alias)
@@ -93,12 +180,13 @@ SeqScanNode::SeqScanNode(const Table* table, std::string alias)
       alias_.empty() ? table_->name() : alias_);
 }
 
-Status SeqScanNode::Open() {
+Status SeqScanNode::OpenImpl() {
+  MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
   next_ = 0;
   return Status::OK();
 }
 
-Result<bool> SeqScanNode::Next(Row* out) {
+Result<bool> SeqScanNode::NextImpl(Row* out) {
   while (next_ < table_->num_slots()) {
     RowId rid = next_++;
     if (table_->IsLive(rid)) {
@@ -126,13 +214,14 @@ IndexScanNode::IndexScanNode(const Table* table, const Index* index,
       alias_.empty() ? table_->name() : alias_);
 }
 
-Status IndexScanNode::Open() {
+Status IndexScanNode::OpenImpl() {
+  MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
   rids_ = index_->LookupRange(lower_, lower_inclusive_, upper_, upper_inclusive_);
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> IndexScanNode::Next(Row* out) {
+Result<bool> IndexScanNode::NextImpl(Row* out) {
   while (pos_ < rids_.size()) {
     RowId rid = rids_[pos_++];
     if (table_->IsLive(rid)) {
@@ -143,7 +232,7 @@ Result<bool> IndexScanNode::Next(Row* out) {
   return false;
 }
 
-void IndexScanNode::Close() { rids_.clear(); }
+void IndexScanNode::CloseImpl() { rids_.clear(); }
 
 std::string IndexScanNode::Describe() const {
   std::string out = "IndexScan(" + table_->name() + "." + index_->name();
@@ -163,12 +252,12 @@ std::string IndexScanNode::Describe() const {
 FilterNode::FilterNode(PlanPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status FilterNode::Open() {
+Status FilterNode::OpenImpl() {
   RETURN_IF_ERROR(predicate_->Bind(child_->output_schema()));
   return child_->Open();
 }
 
-Result<bool> FilterNode::Next(Row* out) {
+Result<bool> FilterNode::NextImpl(Row* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -209,12 +298,12 @@ ProjectNode::ProjectNode(PlanPtr child, std::vector<ExprPtr> exprs,
   }
 }
 
-Status ProjectNode::Open() {
+Status ProjectNode::OpenImpl() {
   for (auto& e : exprs_) RETURN_IF_ERROR(e->Bind(child_->output_schema()));
   return child_->Open();
 }
 
-Result<bool> ProjectNode::Next(Row* out) {
+Result<bool> ProjectNode::NextImpl(Row* out) {
   Row in;
   ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -245,7 +334,7 @@ NestedLoopJoinNode::NestedLoopJoinNode(PlanPtr left, PlanPtr right,
   schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
 }
 
-Status NestedLoopJoinNode::Open() {
+Status NestedLoopJoinNode::OpenImpl() {
   if (predicate_ != nullptr) RETURN_IF_ERROR(predicate_->Bind(schema_));
   RETURN_IF_ERROR(left_->Open());
   RETURN_IF_ERROR(right_->Open());
@@ -262,7 +351,7 @@ Status NestedLoopJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinNode::Next(Row* out) {
+Result<bool> NestedLoopJoinNode::NextImpl(Row* out) {
   while (true) {
     if (!left_valid_) {
       ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
@@ -284,7 +373,7 @@ Result<bool> NestedLoopJoinNode::Next(Row* out) {
   }
 }
 
-void NestedLoopJoinNode::Close() {
+void NestedLoopJoinNode::CloseImpl() {
   left_->Close();
   right_rows_.clear();
 }
@@ -305,7 +394,7 @@ HashJoinNode::HashJoinNode(PlanPtr left, PlanPtr right,
   schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
 }
 
-Status HashJoinNode::Open() {
+Status HashJoinNode::OpenImpl() {
   for (auto& k : left_keys_) RETURN_IF_ERROR(k->Bind(left_->output_schema()));
   for (auto& k : right_keys_) RETURN_IF_ERROR(k->Bind(right_->output_schema()));
   if (residual_ != nullptr) RETURN_IF_ERROR(residual_->Bind(schema_));
@@ -317,11 +406,17 @@ Status HashJoinNode::Open() {
     if (!more) break;
     Row key;
     key.reserve(right_keys_.size());
+    bool has_null = false;
     for (auto& k : right_keys_) {
       ASSIGN_OR_RETURN(Value v, k->Eval(r));
+      has_null = has_null || v.is_null();
       key.push_back(std::move(v));
     }
-    build_.emplace(HashRow(key), r);
+    // SQL equality never matches NULL, so NULL-keyed rows can never join:
+    // keep them out of the build table entirely.
+    if (has_null) continue;
+    size_t h = HashRow(key);
+    build_.emplace(h, BuildEntry{std::move(key), r});
   }
   right_->Close();
   RETURN_IF_ERROR(left_->Open());
@@ -330,7 +425,7 @@ Status HashJoinNode::Open() {
   return Status::OK();
 }
 
-Result<bool> HashJoinNode::Next(Row* out) {
+Result<bool> HashJoinNode::NextImpl(Row* out) {
   while (true) {
     while (match_pos_ < matches_.size()) {
       const Row& r = *matches_[match_pos_++];
@@ -357,21 +452,16 @@ Result<bool> HashJoinNode::Next(Row* out) {
     if (has_null) continue;  // NULL keys never join
     auto [lo, hi] = build_.equal_range(HashRow(key));
     for (auto it = lo; it != hi; ++it) {
-      // Verify actual key equality (hash collisions).
-      bool equal = true;
-      for (size_t i = 0; i < right_keys_.size() && equal; ++i) {
-        auto rv = right_keys_[i]->Eval(it->second);
-        if (!rv.ok() || rv.value().is_null() ||
-            rv.value().Compare(key[i]) != 0) {
-          equal = false;
-        }
+      // Verify actual key equality (hash collisions). Build keys are
+      // NULL-free, so CompareRows == 0 means true SQL equality.
+      if (CompareRows(it->second.key, key) == 0) {
+        matches_.push_back(&it->second.row);
       }
-      if (equal) matches_.push_back(&it->second);
     }
   }
 }
 
-void HashJoinNode::Close() {
+void HashJoinNode::CloseImpl() {
   left_->Close();
   build_.clear();
   matches_.clear();
@@ -392,7 +482,7 @@ std::string HashJoinNode::Describe() const {
 SortNode::SortNode(PlanPtr child, std::vector<SortKey> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {}
 
-Status SortNode::Open() {
+Status SortNode::OpenImpl() {
   for (auto& k : keys_) RETURN_IF_ERROR(k.expr->Bind(child_->output_schema()));
   RETURN_IF_ERROR(child_->Open());
   rows_.clear();
@@ -432,13 +522,13 @@ Status SortNode::Open() {
   return Status::OK();
 }
 
-Result<bool> SortNode::Next(Row* out) {
+Result<bool> SortNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-void SortNode::Close() { rows_.clear(); }
+void SortNode::CloseImpl() { rows_.clear(); }
 
 std::string SortNode::Describe() const {
   std::string out = "Sort(";
@@ -503,14 +593,27 @@ namespace {
 struct AggState {
   Row group;
   std::vector<int64_t> counts;
+  // SUM/AVG accumulate exactly in int64 while every input is an int64 and
+  // the running sum fits; `all_int` flips false (demoting isums into sums)
+  // on the first non-integer input or on int64 overflow.
+  std::vector<int64_t> isums;
   std::vector<double> sums;
   std::vector<Value> mins;
   std::vector<Value> maxs;
   std::vector<bool> all_int;
+
+  explicit AggState(size_t n) {
+    counts.assign(n, 0);
+    isums.assign(n, 0);
+    sums.assign(n, 0.0);
+    mins.assign(n, Value::Null());
+    maxs.assign(n, Value::Null());
+    all_int.assign(n, true);
+  }
 };
 }  // namespace
 
-Status AggregateNode::Open() {
+Status AggregateNode::OpenImpl() {
   for (auto& g : group_by_) RETURN_IF_ERROR(g->Bind(child_->output_schema()));
   for (auto& a : aggs_) {
     if (a.arg) RETURN_IF_ERROR(a.arg->Bind(child_->output_schema()));
@@ -539,13 +642,8 @@ Status AggregateNode::Open() {
       }
     }
     if (state == nullptr) {
-      AggState fresh;
+      AggState fresh(aggs_.size());
       fresh.group = gkey;
-      fresh.counts.assign(aggs_.size(), 0);
-      fresh.sums.assign(aggs_.size(), 0.0);
-      fresh.mins.assign(aggs_.size(), Value::Null());
-      fresh.maxs.assign(aggs_.size(), Value::Null());
-      fresh.all_int.assign(aggs_.size(), true);
       groups[h].push_back(std::move(fresh));
       state = &groups[h].back();
     }
@@ -561,9 +659,19 @@ Status AggregateNode::Open() {
       switch (a.func) {
         case AggFunc::kSum:
         case AggFunc::kAvg: {
+          int64_t next_isum = 0;
+          if (state->all_int[i] && v.type() == DataType::kInt &&
+              !__builtin_add_overflow(state->isums[i], v.AsInt(), &next_isum)) {
+            state->isums[i] = next_isum;
+            break;
+          }
+          if (state->all_int[i]) {
+            // Demote the exact integer sum accumulated so far.
+            state->all_int[i] = false;
+            state->sums[i] = static_cast<double>(state->isums[i]);
+          }
           ASSIGN_OR_RETURN(Value num, v.CastTo(DataType::kDouble));
           state->sums[i] += num.AsDouble();
-          if (v.type() != DataType::kInt) state->all_int[i] = false;
           break;
         }
         case AggFunc::kMin:
@@ -602,13 +710,17 @@ Status AggregateNode::Open() {
           break;
         case AggFunc::kSum:
           if (s.counts[i] == 0) out.push_back(Value::Null());
-          else if (s.all_int[i]) out.push_back(Value(static_cast<int64_t>(s.sums[i])));
+          else if (s.all_int[i]) out.push_back(Value(s.isums[i]));
           else out.push_back(Value(s.sums[i]));
           break;
         case AggFunc::kAvg:
-          out.push_back(s.counts[i] == 0
-                            ? Value::Null()
-                            : Value(s.sums[i] / static_cast<double>(s.counts[i])));
+          if (s.counts[i] == 0) {
+            out.push_back(Value::Null());
+          } else {
+            double total = s.all_int[i] ? static_cast<double>(s.isums[i])
+                                        : s.sums[i];
+            out.push_back(Value(total / static_cast<double>(s.counts[i])));
+          }
           break;
         case AggFunc::kMin:
           out.push_back(s.mins[i]);
@@ -623,26 +735,19 @@ Status AggregateNode::Open() {
   for (const AggState* s : states) emit(*s);
   // Global aggregate over empty input still yields one row.
   if (group_by_.empty() && !any_input) {
-    AggState s;
-    s.group = {};
-    s.counts.assign(aggs_.size(), 0);
-    s.sums.assign(aggs_.size(), 0.0);
-    s.mins.assign(aggs_.size(), Value::Null());
-    s.maxs.assign(aggs_.size(), Value::Null());
-    s.all_int.assign(aggs_.size(), true);
-    emit(s);
+    emit(AggState(aggs_.size()));
   }
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> AggregateNode::Next(Row* out) {
+Result<bool> AggregateNode::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   return true;
 }
 
-void AggregateNode::Close() { results_.clear(); }
+void AggregateNode::CloseImpl() { results_.clear(); }
 
 std::string AggregateNode::Describe() const {
   std::string out = "Aggregate(";
@@ -663,12 +768,12 @@ std::string AggregateNode::Describe() const {
 
 DistinctNode::DistinctNode(PlanPtr child) : child_(std::move(child)) {}
 
-Status DistinctNode::Open() {
+Status DistinctNode::OpenImpl() {
   seen_rows_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctNode::Next(Row* out) {
+Result<bool> DistinctNode::NextImpl(Row* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -688,7 +793,7 @@ Result<bool> DistinctNode::Next(Row* out) {
   }
 }
 
-void DistinctNode::Close() {
+void DistinctNode::CloseImpl() {
   child_->Close();
   seen_rows_.clear();
 }
@@ -698,13 +803,13 @@ void DistinctNode::Close() {
 LimitNode::LimitNode(PlanPtr child, int64_t limit, int64_t offset)
     : child_(std::move(child)), limit_(limit), offset_(offset) {}
 
-Status LimitNode::Open() {
+Status LimitNode::OpenImpl() {
   emitted_ = 0;
   skipped_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitNode::Next(Row* out) {
+Result<bool> LimitNode::NextImpl(Row* out) {
   while (skipped_ < offset_) {
     ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -728,12 +833,12 @@ std::string LimitNode::Describe() const {
 ValuesNode::ValuesNode(Schema schema, std::vector<Row> rows)
     : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
-Status ValuesNode::Open() {
+Status ValuesNode::OpenImpl() {
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> ValuesNode::Next(Row* out) {
+Result<bool> ValuesNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;

@@ -3,10 +3,17 @@
 // Every operator exposes Open / Next / Close plus its output schema. Plans
 // are single-use: Open once, drain with Next, Close. The planner (planner.h)
 // builds these from SQL; the XPath translators may also build them directly.
+//
+// Open/Next/Close are non-virtual wrappers on PlanNode that collect
+// per-operator runtime statistics (rows produced, Next() calls, and — when
+// EnableAnalyze() has been called — open/next wall time); operators implement
+// the protected OpenImpl/NextImpl/CloseImpl hooks. EXPLAIN ANALYZE renders
+// the collected stats via ExplainAnalyze().
 
 #ifndef XMLRDB_RDB_PLAN_H_
 #define XMLRDB_RDB_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,32 +28,69 @@
 
 namespace xmlrdb::rdb {
 
+/// Runtime statistics of one operator instance. Row/call counts are always
+/// collected (increment-only, no clock reads); the *_ns timers are only
+/// populated after EnableAnalyze().
+struct OperatorStats {
+  int64_t open_calls = 0;
+  int64_t next_calls = 0;
+  int64_t rows = 0;      ///< rows produced (Next() returning true)
+  int64_t open_ns = 0;   ///< wall time inside Open(), children inclusive
+  int64_t next_ns = 0;   ///< wall time inside Next(), children inclusive
+};
+
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
   virtual const Schema& output_schema() const = 0;
-  virtual Status Open() = 0;
+
+  Status Open();
   /// Produces the next row into *out; returns false when exhausted.
-  virtual Result<bool> Next(Row* out) = 0;
-  virtual void Close() = 0;
+  Result<bool> Next(Row* out);
+  void Close();
 
   /// One-line operator description (EXPLAIN uses this).
   virtual std::string Describe() const = 0;
   virtual std::vector<const PlanNode*> Children() const { return {}; }
 
+  /// Operator name: Describe() up to the first '(' ("SeqScan", "HashJoin"...).
+  std::string OperatorName() const;
+
+  /// Turns on wall-time collection for this subtree (EXPLAIN ANALYZE).
+  void EnableAnalyze();
+  bool analyze_enabled() const { return analyze_; }
+
+  const OperatorStats& stats() const { return stats_; }
+
   /// Multi-line indented plan tree.
   std::string Explain() const;
+  /// Explain() annotated with actual row counts and (if analyzing) timings.
+  std::string ExplainAnalyze() const;
 
   /// Count of operators of a given description prefix in this subtree —
   /// used by the join-count experiment (T6).
   int CountOperators(const std::string& prefix) const;
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+  virtual void CloseImpl() = 0;
+
+ private:
+  bool analyze_ = false;
+  OperatorStats stats_;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;
 
 /// Drains a plan into a row vector (Open/Next/Close).
 Result<std::vector<Row>> ExecutePlan(PlanNode* plan);
+
+/// Publishes a finished plan's per-operator stats into the global
+/// MetricsRegistry ("op.<Name>.rows", "exec.rows_scanned", ...). No-op while
+/// the registry is disabled.
+void FlushPlanMetrics(const PlanNode& plan);
 
 // ---------------------------------------------------------------------------
 
@@ -56,10 +100,12 @@ class SeqScanNode : public PlanNode {
   SeqScanNode(const Table* table, std::string alias);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override {}
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override {}
 
  private:
   const Table* table_;
@@ -76,10 +122,12 @@ class IndexScanNode : public PlanNode {
                 Row lower, bool lower_inclusive, Row upper, bool upper_inclusive);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   const Table* table_;
@@ -97,11 +145,13 @@ class FilterNode : public PlanNode {
   FilterNode(PlanPtr child, ExprPtr predicate);
 
   const Schema& output_schema() const override { return child_->output_schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override { child_->Close(); }
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   PlanPtr child_;
@@ -115,11 +165,13 @@ class ProjectNode : public PlanNode {
               std::vector<std::string> names);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override { child_->Close(); }
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   PlanPtr child_;
@@ -134,13 +186,15 @@ class NestedLoopJoinNode : public PlanNode {
   NestedLoopJoinNode(PlanPtr left, PlanPtr right, ExprPtr predicate);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override {
     return {left_.get(), right_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   PlanPtr left_, right_;
@@ -154,26 +208,35 @@ class NestedLoopJoinNode : public PlanNode {
 
 /// Equi hash join: build on the right input, probe with the left.
 /// `residual` (optional) is applied to the concatenated row.
+/// Rows with a NULL in any join key never match (SQL equality semantics):
+/// they are skipped on the build side and on the probe side.
 class HashJoinNode : public PlanNode {
  public:
   HashJoinNode(PlanPtr left, PlanPtr right, std::vector<ExprPtr> left_keys,
                std::vector<ExprPtr> right_keys, ExprPtr residual);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override {
     return {left_.get(), right_.get()};
   }
 
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
+
  private:
+  struct BuildEntry {
+    Row key;
+    Row row;
+  };
+
   PlanPtr left_, right_;
   std::vector<ExprPtr> left_keys_, right_keys_;
   ExprPtr residual_;
   Schema schema_;
-  std::unordered_multimap<size_t, Row> build_;
+  std::unordered_multimap<size_t, BuildEntry> build_;
   Row probe_row_;
   std::vector<const Row*> matches_;
   size_t match_pos_ = 0;
@@ -189,11 +252,13 @@ class SortNode : public PlanNode {
   SortNode(PlanPtr child, std::vector<SortKey> keys);
 
   const Schema& output_schema() const override { return child_->output_schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   PlanPtr child_;
@@ -219,11 +284,13 @@ class AggregateNode : public PlanNode {
                 std::vector<std::string> group_names, std::vector<AggSpec> aggs);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   PlanPtr child_;
@@ -239,11 +306,13 @@ class DistinctNode : public PlanNode {
   explicit DistinctNode(PlanPtr child);
 
   const Schema& output_schema() const override { return child_->output_schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override;
   std::string Describe() const override { return "Distinct"; }
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
 
  private:
   PlanPtr child_;
@@ -255,11 +324,13 @@ class LimitNode : public PlanNode {
   LimitNode(PlanPtr child, int64_t limit, int64_t offset);
 
   const Schema& output_schema() const override { return child_->output_schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override { child_->Close(); }
   std::string Describe() const override;
   std::vector<const PlanNode*> Children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   PlanPtr child_;
@@ -273,10 +344,12 @@ class ValuesNode : public PlanNode {
   ValuesNode(Schema schema, std::vector<Row> rows);
 
   const Schema& output_schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-  void Close() override {}
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override {}
 
  private:
   Schema schema_;

@@ -10,7 +10,7 @@
 //   SELECT [DISTINCT] items FROM t [a] [, t2 [b]] [JOIN t3 [c] ON expr]
 //     [WHERE expr] [GROUP BY exprs] [HAVING expr]
 //     [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
-//   EXPLAIN SELECT ...
+//   EXPLAIN [ANALYZE] SELECT ...
 
 #ifndef XMLRDB_RDB_SQL_AST_H_
 #define XMLRDB_RDB_SQL_AST_H_
@@ -92,6 +92,9 @@ struct UpdateStmt {
 
 struct ExplainStmt {
   std::unique_ptr<SelectStmt> select;
+  /// EXPLAIN ANALYZE: execute the plan and annotate operators with actual
+  /// row counts and wall time.
+  bool analyze = false;
 };
 
 using Statement = std::variant<SelectStmt, CreateTableStmt, CreateIndexStmt,

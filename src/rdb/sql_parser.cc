@@ -19,9 +19,10 @@ class SqlParser {
     }
     if (IsKeyword("EXPLAIN")) {
       Next();
+      ExplainStmt e;
+      e.analyze = ConsumeKeyword("ANALYZE");
       ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
       RETURN_IF_ERROR(ExpectEnd());
-      ExplainStmt e;
       e.select = std::make_unique<SelectStmt>(std::move(s));
       return Statement(std::move(e));
     }

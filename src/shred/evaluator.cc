@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "xpath/dom_eval.h"
 
 namespace xmlrdb::shred {
@@ -125,8 +126,29 @@ Status FilterGroup(const std::vector<Predicate>& preds,
 
 }  // namespace
 
-Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
-                         rdb::Database* db, DocId doc) {
+namespace {
+
+/// Condenses a metrics delta into per-query stats. Statement counts come
+/// from "sql.statements"; tables touched counts distinct "table.<t>.scans"
+/// counters that moved; rows scanned from "exec.rows_scanned".
+EvalStats StatsFromDelta(const MetricsSnapshot& delta) {
+  EvalStats out;
+  for (const auto& [name, value] : delta) {
+    if (name == "sql.statements") {
+      out.sql_statements = value;
+    } else if (name == "exec.rows_scanned") {
+      out.rows_scanned = value;
+    } else if (name.rfind("table.", 0) == 0 &&
+               name.size() > 6 + 6 &&
+               name.compare(name.size() - 6, 6, ".scans") == 0) {
+      ++out.tables_touched;
+    }
+  }
+  return out;
+}
+
+Result<NodeSet> EvalPathImpl(const xpath::PathExpr& path, Mapping* mapping,
+                             rdb::Database* db, DocId doc) {
   NodeSet current;
   bool first = true;
   for (const auto& step : path.steps) {
@@ -188,6 +210,17 @@ Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
     if (current.empty()) break;
   }
   return current;
+}
+
+}  // namespace
+
+Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
+                         rdb::Database* db, DocId doc, EvalStats* stats) {
+  if (stats == nullptr) return EvalPathImpl(path, mapping, db, doc);
+  ScopedMetricsCapture capture;
+  auto result = EvalPathImpl(path, mapping, db, doc);
+  *stats = StatsFromDelta(capture.Delta());
+  return result;
 }
 
 Result<std::vector<std::string>> EvalPathStrings(const xpath::PathExpr& path,

@@ -13,10 +13,21 @@
 
 namespace xmlrdb::shred {
 
+/// Relational work done on behalf of one XPath query, derived from the
+/// global MetricsRegistry counters the SQL layer maintains.
+struct EvalStats {
+  int64_t sql_statements = 0;  ///< SQL statements issued
+  int64_t tables_touched = 0;  ///< distinct tables scanned
+  int64_t rows_scanned = 0;    ///< rows produced by SeqScan/IndexScan
+};
+
 /// Evaluates `path` against the stored document, returning matching node ids
-/// in the mapping's document order.
+/// in the mapping's document order. If `stats` is non-null, the global
+/// metrics registry is enabled for the duration of the call and `stats` is
+/// filled with the relational work the query performed.
 Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
-                         rdb::Database* db, DocId doc);
+                         rdb::Database* db, DocId doc,
+                         EvalStats* stats = nullptr);
 
 /// Convenience: evaluate and return the string-values of all result nodes.
 Result<std::vector<std::string>> EvalPathStrings(const xpath::PathExpr& path,

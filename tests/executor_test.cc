@@ -2,6 +2,9 @@
 
 #include "rdb/plan.h"
 
+#include <algorithm>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace xmlrdb::rdb {
@@ -205,6 +208,197 @@ TEST(ExecutorTest, IndexScanRespectsBounds) {
   ASSERT_EQ(rows.size(), 3u);  // 3, 4, 5
   EXPECT_EQ(rows[0][0].AsInt(), 3);
   EXPECT_EQ(rows[2][0].AsInt(), 5);
+}
+
+// SUM/AVG over int64 must accumulate in int64: a double accumulator silently
+// rounds values beyond 2^53. 2^53 + 1 is the first integer a double cannot
+// represent, so summing three of them catches any double round-trip.
+TEST(ExecutorTest, SumInt64ExactBeyondDoublePrecision) {
+  const int64_t big = (int64_t{1} << 53) + 1;  // 9007199254740993
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("a"), "total"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values(MakeRows({{big, "x"}, {big, "y"}, {big, "z"}})),
+      std::vector<ExprPtr>{}, std::vector<std::string>{}, std::move(aggs));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].type(), DataType::kInt);
+  EXPECT_EQ(rows[0][0].AsInt(), 3 * big);  // 27021597764222979, not ...976
+}
+
+TEST(ExecutorTest, SumInt64OverflowDemotesToDouble) {
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("a"), "total"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values(MakeRows({{max, "x"}, {max, "y"}})), std::vector<ExprPtr>{},
+      std::vector<std::string>{}, std::move(aggs));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].type(), DataType::kDouble);
+  EXPECT_NEAR(rows[0][0].AsDouble(), 2.0 * static_cast<double>(max),
+              1e4);  // approximate is the best a demoted sum can do
+}
+
+TEST(ExecutorTest, SumMixedIntDoubleDemotesExactPrefix) {
+  std::vector<Row> rows = MakeRows({{10, "x"}, {20, "y"}});
+  rows.push_back({Value(0.5), Value("z")});
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kSum, Col("a"), "total"});
+  aggs.push_back({AggFunc::kAvg, Col("a"), "mean"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values(std::move(rows)), std::vector<ExprPtr>{},
+      std::vector<std::string>{}, std::move(aggs));
+  auto out = Drain(std::move(plan));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(out[0][0].AsDouble(), 30.5);
+  EXPECT_DOUBLE_EQ(out[0][1].AsDouble(), 30.5 / 3.0);
+}
+
+// Differential check: hash join and nested-loop join must agree on
+// NULL-bearing inputs — SQL equality never matches NULL against anything,
+// including another NULL.
+TEST(ExecutorTest, HashJoinAgreesWithNestedLoopOnNulls) {
+  Schema left_schema({{"la", DataType::kInt, true, ""},
+                      {"lb", DataType::kString, true, ""}});
+  Schema right_schema({{"ra", DataType::kInt, true, ""},
+                       {"rb", DataType::kString, true, ""}});
+  auto make_left = [&] {
+    std::vector<Row> rows;
+    rows.push_back({Value(int64_t{1}), Value("l1")});
+    rows.push_back({Value::Null(), Value("lnull")});
+    rows.push_back({Value(int64_t{2}), Value("l2")});
+    rows.push_back({Value::Null(), Value("lnull2")});
+    rows.push_back({Value(int64_t{2}), Value("l2b")});
+    return std::make_unique<ValuesNode>(left_schema, std::move(rows));
+  };
+  auto make_right = [&] {
+    std::vector<Row> rows;
+    rows.push_back({Value::Null(), Value("rnull")});
+    rows.push_back({Value(int64_t{2}), Value("r2")});
+    rows.push_back({Value::Null(), Value("rnull2")});
+    rows.push_back({Value(int64_t{3}), Value("r3")});
+    return std::make_unique<ValuesNode>(right_schema, std::move(rows));
+  };
+
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(Col("la"));
+  rk.push_back(Col("ra"));
+  auto hash_rows = Drain(std::make_unique<HashJoinNode>(
+      make_left(), make_right(), std::move(lk), std::move(rk), nullptr));
+  auto nlj_rows = Drain(std::make_unique<NestedLoopJoinNode>(
+      make_left(), make_right(), Eq(Col("la"), Col("ra"))));
+
+  auto key = [](const Row& r) {
+    return r[1].AsString() + "/" + r[3].AsString();
+  };
+  std::vector<std::string> hk, nk;
+  for (const Row& r : hash_rows) hk.push_back(key(r));
+  for (const Row& r : nlj_rows) nk.push_back(key(r));
+  std::sort(hk.begin(), hk.end());
+  std::sort(nk.begin(), nk.end());
+  EXPECT_EQ(hk, nk);
+  // Only la=2 matches ra=2 (2 left dups x 1 right): no NULL=NULL pairs.
+  ASSERT_EQ(hash_rows.size(), 2u);
+  for (const Row& r : hash_rows) {
+    EXPECT_FALSE(r[0].is_null());
+    EXPECT_FALSE(r[2].is_null());
+  }
+}
+
+TEST(ExecutorTest, LimitZeroProducesNothing) {
+  auto plan = std::make_unique<LimitNode>(
+      Values(MakeRows({{1, "a"}, {2, "b"}})), 0, 0);
+  ASSERT_TRUE(plan->Open().ok());
+  Row row;
+  auto more = plan->Next(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value());
+  // Next() past exhaustion stays exhausted.
+  more = plan->Next(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value());
+  plan->Close();
+}
+
+TEST(ExecutorTest, OffsetPastEndOfInput) {
+  auto plan = std::make_unique<LimitNode>(
+      Values(MakeRows({{1, "a"}, {2, "b"}, {3, "c"}})), 10, 99);
+  EXPECT_EQ(Drain(std::move(plan)).size(), 0u);
+}
+
+// DISTINCT must compare rows, not hashes: rows engineered to collide in
+// HashRow must still be treated as distinct.
+TEST(ExecutorTest, DistinctSeparatesHashCollidingRows) {
+  Schema two_ints({{"a", DataType::kInt, true, ""},
+                   {"b", DataType::kInt, true, ""}});
+  // HashRow((a,b)) = (HashRow((a)) ^ Hash(b)) * prime, so when std::hash of
+  // int64 is the identity (libstdc++/libc++), b2 below makes (a2,b2) collide
+  // with (a1,b1).
+  const int64_t a1 = 1, b1 = 2, a2 = 3;
+  size_t want_hash_b2 = HashRow({Value(a1)}) ^ HashRow({Value(a2)}) ^
+                        Value(b1).Hash();
+  const int64_t b2 = static_cast<int64_t>(want_hash_b2);
+  Row r1{Value(a1), Value(b1)};
+  Row r2{Value(a2), Value(b2)};
+  ASSERT_NE(CompareRows(r1, r2), 0);
+  if (HashRow(r1) != HashRow(r2)) {
+    GTEST_SKIP() << "std::hash<int64_t> is not identity here; "
+                    "cannot construct a collision deterministically";
+  }
+  auto plan = std::make_unique<DistinctNode>(
+      std::make_unique<ValuesNode>(two_ints,
+                                   std::vector<Row>{r1, r2, r1, r2}));
+  EXPECT_EQ(Drain(std::move(plan)).size(), 2u);
+}
+
+TEST(ExecutorTest, GlobalAggregateOverEmptyInput) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kCountStar, nullptr, "cnt"});
+  aggs.push_back({AggFunc::kCount, Col("a"), "cnta"});
+  aggs.push_back({AggFunc::kSum, Col("a"), "total"});
+  aggs.push_back({AggFunc::kAvg, Col("a"), "mean"});
+  aggs.push_back({AggFunc::kMin, Col("a"), "lo"});
+  aggs.push_back({AggFunc::kMax, Col("a"), "hi"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values({}), std::vector<ExprPtr>{}, std::vector<std::string>{},
+      std::move(aggs));
+  auto rows = Drain(std::move(plan));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 0);
+  EXPECT_EQ(rows[0][1].AsInt(), 0);
+  EXPECT_TRUE(rows[0][2].is_null());
+  EXPECT_TRUE(rows[0][3].is_null());
+  EXPECT_TRUE(rows[0][4].is_null());
+  EXPECT_TRUE(rows[0][5].is_null());
+}
+
+TEST(ExecutorTest, GroupedAggregateOverEmptyInputYieldsNoRows) {
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col("b"));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFunc::kCountStar, nullptr, "cnt"});
+  auto plan = std::make_unique<AggregateNode>(
+      Values({}), std::move(groups), std::vector<std::string>{"grp"},
+      std::move(aggs));
+  EXPECT_EQ(Drain(std::move(plan)).size(), 0u);
+}
+
+TEST(ExecutorTest, OperatorStatsCountRowsAndCalls) {
+  auto filter = std::make_unique<FilterNode>(
+      Values(MakeRows({{1, "x"}, {2, "y"}, {3, "z"}})),
+      Bin(BinOp::kGe, Col("a"), Lit(int64_t{2})));
+  ASSERT_TRUE(ExecutePlan(filter.get()).ok());
+  EXPECT_EQ(filter->stats().rows, 2);
+  EXPECT_EQ(filter->stats().open_calls, 1);
+  EXPECT_EQ(filter->stats().next_calls, 3);  // 2 rows + exhaustion
+  const PlanNode* values = filter->Children()[0];
+  EXPECT_EQ(values->stats().rows, 3);
+  EXPECT_EQ(values->stats().next_calls, 4);
+  // Timers stay zero without EnableAnalyze().
+  EXPECT_EQ(filter->stats().open_ns, 0);
+  EXPECT_EQ(filter->stats().next_ns, 0);
 }
 
 }  // namespace

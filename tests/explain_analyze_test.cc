@@ -1,0 +1,170 @@
+// EXPLAIN ANALYZE end to end: SQL-level plan annotation, per-operator
+// runtime stats, query-level metrics from Database::Execute, evaluator
+// per-query stats, and the Q1-Q12 suite over the edge/interval mappings.
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "rdb/database.h"
+#include "shred/edge_mapping.h"
+#include "shred/evaluator.h"
+#include "shred/interval_mapping.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().set_enabled(false);
+    MetricsRegistry::Global().Reset();
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), "
+                            "(3, 'z'), (4, 'w')").ok());
+    ASSERT_TRUE(db_.Execute("CREATE TABLE u (a INTEGER, c VARCHAR)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO u VALUES (2, 'uu'), (3, 'vv')").ok());
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().set_enabled(false);
+    MetricsRegistry::Global().Reset();
+  }
+
+  rdb::Database db_;
+};
+
+TEST_F(ExplainAnalyzeTest, PlainExplainHasNoActualCounts) {
+  auto res = db_.Execute("EXPLAIN SELECT * FROM t WHERE a >= 2");
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_NE(res.value().plan_text.find("Filter"), std::string::npos);
+  EXPECT_EQ(res.value().plan_text.find("actual rows="), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeTest, AnnotatesEveryOperatorWithRowsAndTime) {
+  auto res = db_.Execute("EXPLAIN ANALYZE SELECT * FROM t WHERE a >= 2");
+  ASSERT_TRUE(res.ok()) << res.status();
+  const std::string& text = res.value().plan_text;
+  // Every line of the tree carries actual counts.
+  size_t lines = std::count(text.begin(), text.end(), '\n');
+  size_t annotated = 0;
+  for (size_t pos = 0; (pos = text.find("actual rows=", pos)) != std::string::npos;
+       ++pos) {
+    ++annotated;
+  }
+  EXPECT_EQ(annotated, lines);
+  EXPECT_NE(text.find("time="), std::string::npos);
+  // The query produced 3 rows (a in {2,3,4}).
+  EXPECT_EQ(res.value().affected, 3);
+}
+
+TEST_F(ExplainAnalyzeTest, ActualRowCountsMatchExecution) {
+  auto res = db_.Execute(
+      "EXPLAIN ANALYZE SELECT t.b, u.c FROM t JOIN u ON t.a = u.a");
+  ASSERT_TRUE(res.ok()) << res.status();
+  const std::string& text = res.value().plan_text;
+  EXPECT_EQ(res.value().affected, 2);
+  // The join line reports 2 actual rows.
+  size_t join = text.find("Join");
+  ASSERT_NE(join, std::string::npos);
+  size_t annot = text.find("actual rows=", join);
+  ASSERT_NE(annot, std::string::npos);
+  EXPECT_EQ(text.substr(annot, std::string("actual rows=2").size()),
+            "actual rows=2");
+}
+
+TEST_F(ExplainAnalyzeTest, ParsesWithTrailingSemicolonAndRejectsNonSelect) {
+  EXPECT_TRUE(db_.Execute("EXPLAIN ANALYZE SELECT a FROM t;").ok());
+  EXPECT_FALSE(db_.Execute("EXPLAIN ANALYZE INSERT INTO t VALUES (9, 'q')").ok());
+}
+
+TEST_F(ExplainAnalyzeTest, ExecuteFillsQueryLevelCounters) {
+  ScopedMetricsCapture capture;
+  ASSERT_TRUE(db_.Execute("SELECT * FROM t WHERE a >= 2").ok());
+  ASSERT_TRUE(db_.Execute("SELECT COUNT(*) FROM u").ok());
+  MetricsSnapshot delta = capture.Delta();
+  EXPECT_EQ(delta["sql.statements"], 2);
+  EXPECT_EQ(delta["sql.select"], 2);
+  EXPECT_EQ(delta["table.t.scans"], 1);
+  EXPECT_EQ(delta["table.u.scans"], 1);
+  EXPECT_EQ(delta["exec.rows_scanned"], 6);  // 4 from t + 2 from u
+  EXPECT_EQ(delta["op.SeqScan.rows"], 6);
+  EXPECT_GT(delta["op.Filter.rows"], 0);
+}
+
+class ExplainAnalyzeMappingTest : public ::testing::Test {
+ protected:
+  void StoreInto(shred::Mapping* m) {
+    workload::XMarkConfig cfg;
+    cfg.scale = 0.05;
+    auto doc = workload::GenerateXMark(cfg);
+    ASSERT_TRUE(m->Initialize(&db_).ok());
+    auto stored = m->Store(*doc, &db_);
+    ASSERT_TRUE(stored.ok()) << stored.status();
+    id_ = stored.value();
+  }
+
+  /// Runs EXPLAIN ANALYZE over every Q1-Q12 query the mapping can translate
+  /// to one SQL statement; returns how many were analyzed.
+  int AnalyzeSuite(shred::Mapping* m) {
+    int analyzed = 0;
+    for (const auto& query : workload::AuctionQueries()) {
+      auto path = xpath::ParseXPath(query.xpath);
+      EXPECT_TRUE(path.ok()) << query.id;
+      if (!path.ok()) continue;
+      auto sql = m->TranslatePathToSql(id_, path.value());
+      if (!sql.ok()) continue;  // closure axes etc.: not one statement
+      auto res = db_.Execute("EXPLAIN ANALYZE " + sql.value());
+      EXPECT_TRUE(res.ok()) << query.id << ": " << res.status();
+      if (!res.ok()) continue;
+      const std::string& text = res.value().plan_text;
+      EXPECT_NE(text.find("actual rows="), std::string::npos) << query.id;
+      EXPECT_NE(text.find("time="), std::string::npos) << query.id;
+      ++analyzed;
+    }
+    return analyzed;
+  }
+
+  rdb::Database db_;
+  shred::DocId id_ = 0;
+};
+
+TEST_F(ExplainAnalyzeMappingTest, EdgeMappingSuite) {
+  shred::EdgeMapping m;
+  StoreInto(&m);
+  EXPECT_GE(AnalyzeSuite(&m), 1);
+}
+
+TEST_F(ExplainAnalyzeMappingTest, IntervalMappingSuite) {
+  shred::IntervalMapping m;
+  StoreInto(&m);
+  EXPECT_GE(AnalyzeSuite(&m), 3);
+}
+
+TEST_F(ExplainAnalyzeMappingTest, EvaluatorReportsPerQueryStats) {
+  shred::EdgeMapping m;
+  StoreInto(&m);
+  auto path = xpath::ParseXPath("/site/people/person/name");
+  ASSERT_TRUE(path.ok());
+  shred::EvalStats stats;
+  auto nodes = shred::EvalPath(path.value(), &m, &db_, id_, &stats);
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  EXPECT_FALSE(nodes.value().empty());
+  EXPECT_GT(stats.sql_statements, 0);
+  EXPECT_GT(stats.tables_touched, 0);
+  EXPECT_GT(stats.rows_scanned, 0);
+  // The registry was only force-enabled for the stats call.
+  EXPECT_FALSE(MetricsRegistry::Global().enabled());
+
+  // Without a stats sink the same query runs with the registry untouched.
+  auto plain = shred::EvalPath(path.value(), &m, &db_, id_);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().size(), nodes.value().size());
+}
+
+}  // namespace
+}  // namespace xmlrdb

@@ -1,0 +1,81 @@
+// Tests for the global metrics registry (common/metrics.h).
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb {
+namespace {
+
+// The registry is process-global; each test restores the disabled default.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().set_enabled(false);
+    MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().set_enabled(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(MetricsTest, DisabledAddIsANoOp) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ASSERT_FALSE(reg.enabled());
+  reg.Add("x", 5);
+  EXPECT_EQ(reg.Get("x"), 0);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST_F(MetricsTest, EnabledCountersAccumulate) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.Add("x", 5);
+  reg.Add("x", 2);
+  reg.Add("y", 1);
+  EXPECT_EQ(reg.Get("x"), 7);
+  EXPECT_EQ(reg.Get("y"), 1);
+  EXPECT_EQ(reg.Get("unset"), 0);
+  EXPECT_EQ(reg.Snapshot().size(), 2u);
+}
+
+TEST_F(MetricsTest, DeltaReportsOnlyChangedCounters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.Add("stable", 3);
+  reg.Add("moves", 1);
+  MetricsSnapshot before = reg.Snapshot();
+  reg.Add("moves", 4);
+  reg.Add("fresh", 9);
+  MetricsSnapshot delta = MetricsRegistry::Delta(before, reg.Snapshot());
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta["moves"], 4);
+  EXPECT_EQ(delta["fresh"], 9);
+}
+
+TEST_F(MetricsTest, ResetClearsCountersButKeepsEnabledFlag) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.Add("x", 5);
+  reg.Reset();
+  EXPECT_EQ(reg.Get("x"), 0);
+  EXPECT_TRUE(reg.enabled());
+}
+
+TEST_F(MetricsTest, ScopedCaptureEnablesAndRestores) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ASSERT_FALSE(reg.enabled());
+  {
+    ScopedMetricsCapture capture;
+    EXPECT_TRUE(reg.enabled());
+    reg.Add("inside", 2);
+    MetricsSnapshot delta = capture.Delta();
+    ASSERT_EQ(delta.size(), 1u);
+    EXPECT_EQ(delta["inside"], 2);
+  }
+  EXPECT_FALSE(reg.enabled());
+}
+
+}  // namespace
+}  // namespace xmlrdb
