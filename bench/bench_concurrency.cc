@@ -1,0 +1,128 @@
+// Experiment C1 — concurrent query serving. QPS as a function of client
+// thread count for the Q1–Q12 auction workload over the edge and interval
+// mappings (pure reads scale with the reader-writer locks), plus a mixed
+// 90/10 read/write workload showing the cost of exclusive DML locks in the
+// statement mix. items_per_second in the benchmark JSON is the aggregate QPS.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+void BM_ConcurrentQuery(benchmark::State& state,
+                        const std::string& mapping_name,
+                        const workload::BenchQuery& query) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(query.xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto nodes = shred::EvalPath(path.value(), sa->mapping.get(),
+                                 sa->db.get(), sa->doc_id);
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(nodes.value());
+  }
+  // Aggregated across threads by the harness: items/s == queries/s.
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// 90% point queries, 10% single-statement writes against the mapping's main
+/// table. Each thread writes under its own scratch docid so DELETEs do not
+/// interfere across threads.
+void BM_MixedReadWrite(benchmark::State& state,
+                       const std::string& mapping_name) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath("//item/name");
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  int64_t scratch_doc = 1000000 + state.thread_index();
+  std::string insert_sql, delete_sql;
+  if (mapping_name == "edge") {
+    insert_sql = "INSERT INTO edge VALUES (" + std::to_string(scratch_doc) +
+                 ", 0, 1, 'elem', 'tmp', 1, NULL)";
+    delete_sql =
+        "DELETE FROM edge WHERE docid = " + std::to_string(scratch_doc);
+  } else {
+    insert_sql = "INSERT INTO iv_nodes VALUES (" +
+                 std::to_string(scratch_doc) + ", 1, 1, 1, 'elem', 'tmp', NULL)";
+    delete_sql =
+        "DELETE FROM iv_nodes WHERE docid = " + std::to_string(scratch_doc);
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    if (++i % 10 == 0) {
+      auto ins = sa->db->Execute(insert_sql);
+      auto del = sa->db->Execute(delete_sql);
+      if (!ins.ok() || !del.ok()) {
+        state.SkipWithError("write failed");
+        return;
+      }
+    } else {
+      auto nodes = shred::EvalPath(path.value(), sa->mapping.get(),
+                                   sa->db.get(), sa->doc_id);
+      if (!nodes.ok()) {
+        state.SkipWithError(nodes.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(nodes.value());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const std::string name : {"edge", "interval"}) {
+    for (const auto& query : workload::AuctionQueries()) {
+      benchmark::RegisterBenchmark(
+          ("C1/" + query.id + "/" + name).c_str(),
+          [name, query](benchmark::State& s) {
+            BM_ConcurrentQuery(s, name, query);
+          })
+          ->Threads(1)
+          ->Threads(2)
+          ->Threads(4)
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        ("C1/mixed_90_10/" + name).c_str(),
+        [name](benchmark::State& s) { BM_MixedReadWrite(s, name); })
+        ->Threads(1)
+        ->Threads(2)
+        ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

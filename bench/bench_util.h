@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,10 +73,13 @@ inline std::map<std::string, int64_t> BenchCounterNames(
 }
 
 /// Builds (and memoizes per (mapping, scale)) a stored auction document.
+/// Thread-safe: multi-threaded benchmarks hit the cache from every worker.
 inline StoredAuction* GetStoredAuction(const std::string& mapping_name,
                                        double scale) {
+  static std::mutex mu;
   static std::map<std::pair<std::string, int>, std::unique_ptr<StoredAuction>>
       cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto key = std::make_pair(mapping_name, static_cast<int>(scale * 1000));
   auto it = cache.find(key);
   if (it != cache.end()) return it->second.get();

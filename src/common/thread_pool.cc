@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace xmlrdb {
+
+namespace {
+// Set for the lifetime of each worker thread; lets ParallelFor detect
+// re-entrant use from inside a task and fall back to inline execution.
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1 || t_on_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One dispatcher task per worker; each pulls the next unclaimed index, so
+  // slow iterations never stall fast ones behind a static partition.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t live = 0;
+  } state;
+  size_t fanout = std::min(n, threads_.size());
+  state.live = fanout;
+  for (size_t w = 0; w < fanout; ++w) {
+    Submit([&state, &fn, n] {
+      size_t i;
+      while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.live == 0) state.done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.live == 0; });
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(std::max(2u, hw));
+  }());
+  return pool;
+}
+
+}  // namespace xmlrdb

@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// Submit() enqueues fire-and-forget tasks; ParallelFor() fans a loop out over
+// the workers and blocks until every iteration has run. ParallelFor called
+// from inside a pool worker runs inline (no pool-in-pool deadlock), so nested
+// parallel code degrades to serial instead of hanging. Destruction drains
+// nothing: outstanding Submit() tasks are completed, then workers join.
+//
+// Shared() is the process-wide pool the parallel scan and bulk shredding use
+// by default; it is lazily constructed (thread-safe) with one worker per
+// hardware thread.
+
+#ifndef XMLRDB_COMMON_THREAD_POOL_H_
+#define XMLRDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmlrdb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = run everything inline).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Completes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `fn` for asynchronous execution. With zero workers, runs inline.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0) ... fn(n-1) across the workers and blocks until all have
+  /// finished. Iterations are handed out dynamically (morsel-style), so
+  /// uneven iteration costs still balance. Runs inline when the pool is
+  /// empty, n <= 1, or the caller is itself a pool worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool OnWorkerThread();
+
+  /// The process-wide pool (one worker per hardware thread, at least 2).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_THREAD_POOL_H_

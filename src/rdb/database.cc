@@ -1,5 +1,6 @@
 #include "rdb/database.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/metrics.h"
@@ -26,12 +27,16 @@ std::string QueryResult::ToString() const {
   return os.str();
 }
 
-Database::Database()
-    : planner_([this](const std::string& name) -> const Table* {
-        return FindTable(name);
-      }) {}
+// ---------------------------------------------------------------------------
+// Catalog (public methods lock internally; *Locked assume mu_ is held).
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CreateTableLocked(name, std::move(schema));
+}
+
+Result<Table*> Database::CreateTableLocked(const std::string& name,
+                                           Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "'");
   }
@@ -42,23 +47,39 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Database::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  // Drain in-flight statements: any statement using the table acquired its
+  // lock while holding the catalog lock we now own exclusively, so once we
+  // can take the table lock no reader or writer remains and none can return.
+  { std::unique_lock<std::shared_mutex> drain(it->second->mutex()); }
   tables_.erase(it);
   return Status::OK();
 }
 
 Table* Database::FindTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindTableLocked(name);
+}
+
+Table* Database::FindTableLocked(const std::string& name) {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-const Table* Database::FindTable(const std::string& name) const {
+const Table* Database::FindTableLocked(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, _] : tables_) out.push_back(name);
@@ -66,10 +87,60 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 size_t Database::FootprintBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [_, t] : tables_) total += t->FootprintBytes();
   return total;
 }
+
+// ---------------------------------------------------------------------------
+// Statement-scope locking.
+
+struct Database::ReadLockSet {
+  /// Distinct referenced tables, resolved under the catalog lock.
+  std::map<std::string, const Table*> tables;
+  /// Shared locks in map (= ascending name) order.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+};
+
+Status Database::LockTablesShared(const std::vector<TableRef>& from,
+                                  ReadLockSet* out) const {
+  std::shared_lock<std::shared_mutex> catalog(mu_);
+  for (const TableRef& ref : from) {
+    const Table* t = FindTableLocked(ref.table);
+    if (t == nullptr) return Status::NotFound("table '" + ref.table + "'");
+    out->tables.emplace(ref.table, t);
+  }
+  out->locks.reserve(out->tables.size());
+  for (const auto& [name, t] : out->tables) {
+    out->locks.emplace_back(t->mutex());
+  }
+  return Status::OK();
+}
+
+Status Database::LockTableExclusive(const std::string& name, Table** table,
+                                    std::unique_lock<std::shared_mutex>* lock) {
+  std::shared_lock<std::shared_mutex> catalog(mu_);
+  Table* t = FindTableLocked(name);
+  if (t == nullptr) return Status::NotFound("table '" + name + "'");
+  *table = t;
+  *lock = std::unique_lock<std::shared_mutex>(t->mutex());
+  return Status::OK();
+}
+
+Result<PlanPtr> Database::PlanWithLocks(const SelectStmt& stmt,
+                                        const ReadLockSet& locks) const {
+  Planner planner(
+      [&locks](const std::string& name) -> const Table* {
+        auto it = locks.tables.find(name);
+        return it == locks.tables.end() ? nullptr : it->second;
+      },
+      planner_options_);
+  return planner.PlanSelect(stmt);
+}
+
+// ---------------------------------------------------------------------------
+// SQL entry points.
 
 namespace {
 
@@ -101,25 +172,14 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   if (auto* s = std::get_if<InsertStmt>(&stmt)) return RunInsert(*s);
   if (auto* s = std::get_if<DeleteStmt>(&stmt)) return RunDelete(*s);
   if (auto* s = std::get_if<UpdateStmt>(&stmt)) return RunUpdate(*s);
-  if (auto* s = std::get_if<ExplainStmt>(&stmt)) {
-    ASSIGN_OR_RETURN(PlanPtr plan, Plan(*s->select));
-    QueryResult out;
-    if (s->analyze) {
-      plan->EnableAnalyze();
-      ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan.get()));
-      FlushPlanMetrics(*plan);
-      out.affected = static_cast<int64_t>(rows.size());
-      out.plan_text = plan->ExplainAnalyze();
-    } else {
-      out.plan_text = plan->Explain();
-    }
-    return out;
-  }
+  if (auto* s = std::get_if<ExplainStmt>(&stmt)) return RunExplain(*s);
   return Status::Internal("unhandled statement type");
 }
 
 Result<PlanPtr> Database::Plan(const SelectStmt& stmt) const {
-  return planner_.PlanSelect(stmt);
+  ReadLockSet locks;
+  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks));
+  return PlanWithLocks(stmt, locks);
 }
 
 Result<PlanPtr> Database::PlanSql(std::string_view select_sql) const {
@@ -130,7 +190,9 @@ Result<PlanPtr> Database::PlanSql(std::string_view select_sql) const {
 }
 
 Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
-  ASSIGN_OR_RETURN(PlanPtr plan, Plan(stmt));
+  ReadLockSet locks;
+  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks));
+  ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(stmt, locks));
   QueryResult out;
   out.schema = plan->output_schema();
   ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
@@ -138,16 +200,35 @@ Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
   return out;
 }
 
+Result<QueryResult> Database::RunExplain(const ExplainStmt& stmt) {
+  ReadLockSet locks;
+  RETURN_IF_ERROR(LockTablesShared(stmt.select->from, &locks));
+  ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(*stmt.select, locks));
+  QueryResult out;
+  if (stmt.analyze) {
+    plan->EnableAnalyze();
+    ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan.get()));
+    FlushPlanMetrics(*plan);
+    out.affected = static_cast<int64_t>(rows.size());
+    out.plan_text = plan->ExplainAnalyze();
+  } else {
+    out.plan_text = plan->Explain();
+  }
+  return out;
+}
+
 Result<QueryResult> Database::RunCreateTable(const CreateTableStmt& stmt) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ASSIGN_OR_RETURN([[maybe_unused]] Table* t,
-                   CreateTable(stmt.name, Schema(stmt.columns)));
+                   CreateTableLocked(stmt.name, Schema(stmt.columns)));
   return QueryResult{};
 }
 
 Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
-  Table* t = FindTable(stmt.table);
-  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
-  RETURN_IF_ERROR(t->CreateIndex(stmt.index, stmt.columns));
+  Table* t = nullptr;
+  std::unique_lock<std::shared_mutex> lock;
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
+  RETURN_IF_ERROR(t->CreateIndexUnlocked(stmt.index, stmt.columns));
   return QueryResult{};
 }
 
@@ -161,8 +242,9 @@ Result<QueryResult> Database::RunDropTable(const DropTableStmt& stmt) {
 }
 
 Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
-  Table* t = FindTable(stmt.table);
-  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  Table* t = nullptr;
+  std::unique_lock<std::shared_mutex> lock;
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
   QueryResult out;
   Row empty;
   for (const auto& exprs : stmt.rows) {
@@ -177,15 +259,17 @@ Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
       ASSIGN_OR_RETURN(Value v, c->Eval(empty));
       row.push_back(std::move(v));
     }
-    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, t->Insert(std::move(row)));
+    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid,
+                     t->InsertUnlocked(std::move(row)));
     ++out.affected;
   }
   return out;
 }
 
 Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
-  Table* t = FindTable(stmt.table);
-  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  Table* t = nullptr;
+  std::unique_lock<std::shared_mutex> lock;
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
   ExprPtr pred;
   if (stmt.where != nullptr) {
     pred = stmt.where->Clone();
@@ -200,15 +284,16 @@ Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
     }
     to_delete.push_back(rid);
   }
-  for (RowId rid : to_delete) RETURN_IF_ERROR(t->Delete(rid));
+  for (RowId rid : to_delete) RETURN_IF_ERROR(t->DeleteUnlocked(rid));
   QueryResult out;
   out.affected = static_cast<int64_t>(to_delete.size());
   return out;
 }
 
 Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt) {
-  Table* t = FindTable(stmt.table);
-  if (t == nullptr) return Status::NotFound("table '" + stmt.table + "'");
+  Table* t = nullptr;
+  std::unique_lock<std::shared_mutex> lock;
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
   Schema bound_schema = t->schema().WithQualifier(t->name());
   ExprPtr pred;
   if (stmt.where != nullptr) {
@@ -234,7 +319,7 @@ Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt) {
       ASSIGN_OR_RETURN(Value v, e->Eval(t->row(rid)));
       updated[idx] = std::move(v);
     }
-    RETURN_IF_ERROR(t->Update(rid, std::move(updated)));
+    RETURN_IF_ERROR(t->UpdateUnlocked(rid, std::move(updated)));
     ++out.affected;
   }
   return out;

@@ -3,12 +3,30 @@
 // A Database owns named tables. Statements run through Execute(); SELECTs
 // can also be planned without execution (Plan / Explain) — the plan-shape
 // experiment (T6) uses that.
+//
+// Concurrency model (statement-level two-phase locking):
+//   * The catalog map is guarded by a reader-writer mutex. Every statement
+//     takes it shared just long enough to resolve its tables; CREATE TABLE /
+//     DROP TABLE take it exclusively.
+//   * SELECT and EXPLAIN then hold a shared lock on every referenced table
+//     for the duration of the statement (in ascending name order), so many
+//     queries scan the same tables concurrently.
+//   * INSERT / DELETE / UPDATE / CREATE INDEX hold an exclusive lock on
+//     their single target table for the duration of the statement, which
+//     makes each DML statement atomic with respect to readers.
+//   * DROP TABLE drains in-flight statements on the victim (acquire+release
+//     its exclusive lock under the exclusive catalog lock) before erasing
+//     it, so no scan ever dereferences a freed table.
+// The public catalog methods (CreateTable, FindTable, ...) lock internally
+// and are safe to call concurrently with Execute.
 
 #ifndef XMLRDB_RDB_DATABASE_H_
 #define XMLRDB_RDB_DATABASE_H_
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,7 +53,7 @@ struct QueryResult {
 
 class Database {
  public:
-  Database();
+  Database() = default;
 
   // -- catalog --
   Result<Table*> CreateTable(const std::string& name, Schema schema);
@@ -48,15 +66,42 @@ class Database {
   size_t FootprintBytes() const;
 
   // -- SQL --
-  /// Parses and executes one statement.
+  /// Parses and executes one statement. Safe to call from many threads at
+  /// once; see the locking model above.
   Result<QueryResult> Execute(std::string_view sql);
 
   /// Plans a SELECT without running it.
   Result<PlanPtr> Plan(const SelectStmt& stmt) const;
   Result<PlanPtr> PlanSql(std::string_view select_sql) const;
 
+  /// Planner knobs (parallel scan fan-out, thresholds). Set before serving
+  /// traffic: the options are read without synchronization while planning.
+  void set_planner_options(const PlannerOptions& options) {
+    planner_options_ = options;
+  }
+  const PlannerOptions& planner_options() const { return planner_options_; }
+
  private:
+  /// The tables a SELECT references, each held shared for statement scope.
+  struct ReadLockSet;
+
+  /// Resolves `from` under the catalog lock, then locks every distinct table
+  /// shared (ascending name order). The catalog lock is released on return.
+  Status LockTablesShared(const std::vector<TableRef>& from,
+                          ReadLockSet* out) const;
+  /// Resolves `name` and locks that table exclusively for statement scope.
+  Status LockTableExclusive(const std::string& name, Table** table,
+                            std::unique_lock<std::shared_mutex>* lock);
+
+  Result<Table*> CreateTableLocked(const std::string& name, Schema schema);
+  const Table* FindTableLocked(const std::string& name) const;
+  Table* FindTableLocked(const std::string& name);
+
+  Result<PlanPtr> PlanWithLocks(const SelectStmt& stmt,
+                                const ReadLockSet& locks) const;
+
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
+  Result<QueryResult> RunExplain(const ExplainStmt& stmt);
   Result<QueryResult> RunCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> RunCreateIndex(const CreateIndexStmt& stmt);
   Result<QueryResult> RunDropTable(const DropTableStmt& stmt);
@@ -64,8 +109,9 @@ class Database {
   Result<QueryResult> RunDelete(const DeleteStmt& stmt);
   Result<QueryResult> RunUpdate(const UpdateStmt& stmt);
 
+  mutable std::shared_mutex mu_;  ///< guards tables_ (the catalog)
   std::map<std::string, std::unique_ptr<Table>> tables_;
-  Planner planner_;
+  PlannerOptions planner_options_;
 };
 
 }  // namespace xmlrdb::rdb

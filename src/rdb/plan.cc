@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 
 namespace xmlrdb::rdb {
 
@@ -200,6 +201,87 @@ Result<bool> SeqScanNode::NextImpl(Row* out) {
 std::string SeqScanNode::Describe() const {
   return "SeqScan(" + table_->name() +
          (alias_.empty() || alias_ == table_->name() ? "" : " AS " + alias_) + ")";
+}
+
+// ---- ParallelSeqScan ----
+
+ParallelSeqScanNode::ParallelSeqScanNode(const Table* table, std::string alias,
+                                         ExprPtr predicate, int max_workers,
+                                         ThreadPool* pool)
+    : table_(table), alias_(std::move(alias)), predicate_(std::move(predicate)),
+      max_workers_(max_workers), pool_(pool) {
+  schema_ = table_->schema().WithQualifier(
+      alias_.empty() ? table_->name() : alias_);
+}
+
+Status ParallelSeqScanNode::OpenImpl() {
+  MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
+  rows_.clear();
+  pos_ = 0;
+  size_t slots = table_->num_slots();
+  if (slots == 0) return Status::OK();
+  // More morsels than workers so an unlucky partition (all tombstones vs all
+  // predicate matches) cannot serialize the scan behind one thread.
+  size_t num_morsels =
+      std::min(slots, static_cast<size_t>(std::max(max_workers_, 1)) * 4);
+  size_t per = (slots + num_morsels - 1) / num_morsels;
+  std::vector<std::vector<Row>> buffers(num_morsels);
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Shared();
+  pool.ParallelFor(num_morsels, [&](size_t m) {
+    size_t begin = m * per;
+    size_t end = std::min(slots, begin + per);
+    ExprPtr pred;
+    if (predicate_ != nullptr) {
+      pred = predicate_->Clone();
+      Status st = pred->Bind(schema_);
+      if (!st.ok()) {
+        statuses[m] = st;
+        return;
+      }
+    }
+    std::vector<Row>& out = buffers[m];
+    for (RowId rid = begin; rid < end; ++rid) {
+      if (!table_->IsLive(rid)) continue;
+      const Row& r = table_->row(rid);
+      if (pred != nullptr) {
+        Result<bool> pass = pred->EvalBool(r);
+        if (!pass.ok()) {
+          statuses[m] = pass.status();
+          return;
+        }
+        if (!pass.value()) continue;
+      }
+      out.push_back(r);
+    }
+  });
+  for (const Status& st : statuses) RETURN_IF_ERROR(st);
+  size_t total = 0;
+  for (const auto& b : buffers) total += b.size();
+  rows_.reserve(total);
+  for (auto& b : buffers) {
+    for (auto& r : b) rows_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelSeqScanNode::NextImpl(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = std::move(rows_[pos_++]);
+  return true;
+}
+
+void ParallelSeqScanNode::CloseImpl() {
+  rows_.clear();
+  pos_ = 0;
+}
+
+std::string ParallelSeqScanNode::Describe() const {
+  std::string out = "ParallelSeqScan(" + table_->name();
+  if (!alias_.empty() && alias_ != table_->name()) out += " AS " + alias_;
+  out += ", workers=" + std::to_string(max_workers_);
+  if (predicate_ != nullptr) out += ", filter=" + predicate_->ToString();
+  return out + ")";
 }
 
 // ---- IndexScan ----

@@ -26,6 +26,10 @@
 #include "rdb/schema.h"
 #include "rdb/table.h"
 
+namespace xmlrdb {
+class ThreadPool;
+}  // namespace xmlrdb
+
 namespace xmlrdb::rdb {
 
 /// Runtime statistics of one operator instance. Row/call counts are always
@@ -112,6 +116,36 @@ class SeqScanNode : public PlanNode {
   std::string alias_;
   Schema schema_;
   RowId next_ = 0;
+};
+
+/// Morsel-parallel full table scan. Open() splits the slot range into
+/// contiguous morsels dispatched across a thread pool; each worker clones and
+/// binds the (optional) pushed-down predicate, then filters its morsel into a
+/// private buffer. The buffers are concatenated in morsel order, so the
+/// output is byte-identical to SeqScan + Filter. Requires the caller to hold
+/// the table's shared lock across Open..Close, like every scan.
+class ParallelSeqScanNode : public PlanNode {
+ public:
+  ParallelSeqScanNode(const Table* table, std::string alias, ExprPtr predicate,
+                      int max_workers, ThreadPool* pool);
+
+  const Schema& output_schema() const override { return schema_; }
+  std::string Describe() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
+  void CloseImpl() override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+  Schema schema_;
+  ExprPtr predicate_;  ///< unbound; each worker clones + binds its own copy
+  int max_workers_;
+  ThreadPool* pool_;  ///< null means ThreadPool::Shared()
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
 };
 
 /// Range scan through a secondary index. Bounds are prefix rows over the

@@ -149,9 +149,12 @@ bool MatchColOpLit(const Expr& e, const Table& table, ColOpLit* out) {
 
 /// Builds the access path for one table: picks an index whose key prefix is
 /// covered by equality conjuncts (optionally + one range column), otherwise a
-/// sequential scan. Consumed conjunct indexes are recorded in `used`.
+/// sequential scan — parallel when the options allow it and the table is big
+/// enough, with the leftover conjuncts pushed into the scan workers.
+/// Consumed conjunct indexes are recorded in `used`.
 PlanPtr BuildScan(const Table* table, const std::string& alias,
-                  std::vector<ExprPtr>* conjuncts) {
+                  std::vector<ExprPtr>* conjuncts,
+                  const PlannerOptions& options) {
   // Gather sargable predicates.
   std::vector<std::pair<size_t, ColOpLit>> sargs;  // (conjunct idx, match)
   for (size_t i = 0; i < conjuncts->size(); ++i) {
@@ -238,16 +241,22 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
     for (size_t ci : best_used) {
       (*conjuncts)[ci] = nullptr;
     }
-  } else {
-    scan = std::make_unique<SeqScanNode>(table, alias);
   }
-  // Remaining conjuncts become a filter above the scan.
+  // Remaining conjuncts become a filter above the scan (or inside it, for a
+  // parallel scan).
   std::vector<ExprPtr> remaining;
   for (auto& c : *conjuncts) {
     if (c != nullptr) remaining.push_back(std::move(c));
   }
   conjuncts->clear();
   ExprPtr filter = AndAll(std::move(remaining));
+  if (scan == nullptr && options.max_parallelism > 1 &&
+      table->num_slots() >= options.parallel_scan_min_rows) {
+    // Morsel-parallel scan with the filter pushed into the workers.
+    return std::make_unique<ParallelSeqScanNode>(
+        table, alias, std::move(filter), options.max_parallelism, options.pool);
+  }
+  if (scan == nullptr) scan = std::make_unique<SeqScanNode>(table, alias);
   if (filter != nullptr) {
     scan = std::make_unique<FilterNode>(std::move(scan), std::move(filter));
   }
@@ -391,7 +400,7 @@ Result<PlanPtr> Planner::PlanSelect(const SelectStmt& stmt) const {
       est /= 10.0;  // heuristic selectivity per pushed-down predicate
     }
     estimates[alias] = std::max(est, 1.0);
-    scans[alias] = BuildScan(table, alias, &filters);
+    scans[alias] = BuildScan(table, alias, &filters, options_);
   }
 
   // --- join ordering (greedy) ---

@@ -18,20 +18,38 @@
 #include "rdb/plan.h"
 #include "rdb/sql_ast.h"
 
+namespace xmlrdb {
+class ThreadPool;
+}  // namespace xmlrdb
+
 namespace xmlrdb::rdb {
 
 /// Catalog lookup callback: table name -> Table* (null if missing).
 using TableResolver = std::function<const Table*(const std::string&)>;
 
+/// Planner knobs. Defaults preserve fully serial plans.
+struct PlannerOptions {
+  /// Upper bound on scan workers. 1 (default) keeps every scan serial.
+  int max_parallelism = 1;
+  /// Tables with fewer slots than this always scan serially — partitioning
+  /// overhead beats the win on small inputs.
+  size_t parallel_scan_min_rows = 4096;
+  /// Pool used by parallel operators; null means ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
 class Planner {
  public:
   explicit Planner(TableResolver resolver) : resolver_(std::move(resolver)) {}
+  Planner(TableResolver resolver, PlannerOptions options)
+      : resolver_(std::move(resolver)), options_(options) {}
 
   /// Builds an executable plan for a SELECT statement.
   Result<PlanPtr> PlanSelect(const SelectStmt& stmt) const;
 
  private:
   TableResolver resolver_;
+  PlannerOptions options_;
 };
 
 }  // namespace xmlrdb::rdb

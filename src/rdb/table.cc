@@ -1,6 +1,7 @@
 #include "rdb/table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace xmlrdb::rdb {
 
@@ -47,6 +48,11 @@ bool Index::MatchesPrefix(const std::vector<size_t>& cols) const {
 }
 
 Result<RowId> Table::Insert(Row row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InsertUnlocked(std::move(row));
+}
+
+Result<RowId> Table::InsertUnlocked(Row row) {
   RETURN_IF_ERROR(schema_.ValidateRow(row));
   RowId rid = rows_.size();
   rows_.push_back(std::move(row));
@@ -57,13 +63,19 @@ Result<RowId> Table::Insert(Row row) {
 }
 
 Status Table::InsertMany(std::vector<Row> rows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& r : rows) {
-    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, Insert(std::move(r)));
+    ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, InsertUnlocked(std::move(r)));
   }
   return Status::OK();
 }
 
 Status Table::Delete(RowId rid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DeleteUnlocked(rid);
+}
+
+Status Table::DeleteUnlocked(RowId rid) {
   if (!IsLive(rid)) {
     return Status::NotFound("row " + std::to_string(rid) + " is not live");
   }
@@ -74,6 +86,11 @@ Status Table::Delete(RowId rid) {
 }
 
 Status Table::Update(RowId rid, Row row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return UpdateUnlocked(rid, std::move(row));
+}
+
+Status Table::UpdateUnlocked(RowId rid, Row row) {
   if (!IsLive(rid)) {
     return Status::NotFound("row " + std::to_string(rid) + " is not live");
   }
@@ -84,8 +101,24 @@ Status Table::Update(RowId rid, Row row) {
   return Status::OK();
 }
 
+void Table::Truncate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  rows_.clear();
+  deleted_.clear();
+  live_rows_ = 0;
+  for (auto& idx : indexes_) {
+    idx = std::make_unique<Index>(idx->name(), this, idx->key_columns());
+  }
+}
+
 Status Table::CreateIndex(const std::string& name,
                           const std::vector<std::string>& column_names) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return CreateIndexUnlocked(name, column_names);
+}
+
+Status Table::CreateIndexUnlocked(const std::string& name,
+                                  const std::vector<std::string>& column_names) {
   if (FindIndex(name) != nullptr) {
     return Status::AlreadyExists("index '" + name + "'");
   }
@@ -118,6 +151,11 @@ const Index* Table::FindIndexByColumns(const std::vector<size_t>& cols) const {
 }
 
 size_t Table::FootprintBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FootprintBytesUnlocked();
+}
+
+size_t Table::FootprintBytesUnlocked() const {
   size_t bytes = 0;
   for (RowId rid = 0; rid < rows_.size(); ++rid) {
     if (deleted_[rid]) continue;

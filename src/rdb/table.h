@@ -3,12 +3,23 @@
 // Rows live in an append-only vector; deletes set a tombstone so row ids stay
 // stable for index entries. Indexes map (key columns..., row id) into a
 // B+-tree; duplicate keys are therefore naturally supported.
+//
+// Concurrency: every Table carries a reader-writer mutex, reachable via
+// mutex(). The public mutators (Insert, InsertMany, Delete, Update,
+// CreateIndex) acquire it exclusively themselves, so direct callers — the
+// shredding mappings, bulk loads — are safe against concurrent readers. The
+// SQL engine instead takes statement-scope locks in Database::Execute
+// (shared for the tables a SELECT scans, exclusive for a DML target) and
+// calls the *Unlocked variants, keeping one acquisition per statement. The
+// cheap readers (num_rows, row, IsLive, indexes) never lock: their callers
+// must hold mutex() shared — which every statement run through Execute does.
 
 #ifndef XMLRDB_RDB_TABLE_H_
 #define XMLRDB_RDB_TABLE_H_
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -65,22 +76,39 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
+  /// The table's reader-writer lock. Scans hold it shared across the whole
+  /// statement (the executor reads rows_ by reference); mutators hold it
+  /// exclusive. Lock tables in ascending name order when taking several.
+  std::shared_mutex& mutex() const { return mu_; }
+
   /// Live (non-deleted) row count.
   size_t num_rows() const { return live_rows_; }
   /// Physical slot count including tombstones.
   size_t num_slots() const { return rows_.size(); }
 
   /// Validates against the schema, appends, and maintains indexes.
+  /// Takes mutex() exclusively; use InsertUnlocked when already holding it.
   Result<RowId> Insert(Row row);
+  Result<RowId> InsertUnlocked(Row row);
 
   /// Batch insert without per-row Status overhead; stops at first error.
+  /// Holds mutex() exclusively for the whole batch (one atomic unit for
+  /// concurrent readers).
   Status InsertMany(std::vector<Row> rows);
 
   /// Tombstones a row and removes its index entries.
   Status Delete(RowId rid);
+  Status DeleteUnlocked(RowId rid);
 
   /// Replaces a row in place (revalidates, re-indexes).
   Status Update(RowId rid, Row row);
+  Status UpdateUnlocked(RowId rid, Row row);
+
+  /// Drops every row (and tombstone slot) and empties all indexes; the
+  /// schema and index definitions stay. Unlike repeated Delete, slots do
+  /// not accumulate — scratch tables reused across queries stay small.
+  /// Takes mutex() exclusively.
+  void Truncate();
 
   bool IsLive(RowId rid) const {
     return rid < rows_.size() && !deleted_[rid];
@@ -91,6 +119,8 @@ class Table {
   /// backfills it from existing rows.
   Status CreateIndex(const std::string& name,
                      const std::vector<std::string>& column_names);
+  Status CreateIndexUnlocked(const std::string& name,
+                             const std::vector<std::string>& column_names);
 
   const std::vector<std::unique_ptr<Index>>& indexes() const { return indexes_; }
   const Index* FindIndex(const std::string& name) const;
@@ -99,11 +129,15 @@ class Table {
   const Index* FindIndexByColumns(const std::vector<size_t>& cols) const;
 
   /// Approximate heap footprint of data + indexes (storage benchmark).
+  /// Takes mutex() shared.
   size_t FootprintBytes() const;
 
  private:
+  size_t FootprintBytesUnlocked() const;
+
   std::string name_;
   Schema schema_;
+  mutable std::shared_mutex mu_;
   std::vector<Row> rows_;
   std::vector<bool> deleted_;
   size_t live_rows_ = 0;

@@ -12,8 +12,8 @@ using rdb::QueryResult;
 using rdb::Value;
 
 namespace {
-constexpr const char* kCtx = "_bin_ctx";
-constexpr const char* kFrontier = "_bin_frontier";
+std::string Ctx() { return ScratchName("_bin_ctx"); }
+std::string Frontier() { return ScratchName("_bin_frontier"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
 }  // namespace
@@ -212,7 +212,7 @@ Result<std::vector<StepResult>> BinaryMapping::Step(
   };
 
   if (axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute) {
-    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, context));
+    RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, context));
     const std::string kind =
         axis == xpath::Axis::kAttribute ? "attr" : "elem";
     ASSIGN_OR_RETURN(std::vector<std::string> tbls,
@@ -221,7 +221,7 @@ Result<std::vector<StepResult>> BinaryMapping::Step(
     for (const std::string& tbl : tbls) {
       ASSIGN_OR_RETURN(QueryResult r,
                        db->Execute("SELECT c.id, t.ordinal, t.target FROM " +
-                                   std::string(kCtx) +
+                                   Ctx() +
                                    " c JOIN " + tbl + " t ON t.source = c.id "
                                    "WHERE t.docid = " + D(doc)));
       for (auto& row : r.rows) {
@@ -247,12 +247,12 @@ Result<std::vector<StepResult>> BinaryMapping::Step(
   std::vector<std::pair<Value, Value>> frontier;
   for (const Value& c : context) frontier.emplace_back(c, c);
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
     for (const std::string& tbl : all_elem) {
       ASSIGN_OR_RETURN(QueryResult r,
                        db->Execute("SELECT f.origin, t.target FROM " +
-                                   std::string(kFrontier) + " f JOIN " + tbl +
+                                   Frontier() + " f JOIN " + tbl +
                                    " t ON t.source = f.id WHERE t.docid = " +
                                    D(doc)));
       for (auto& row : r.rows) {
@@ -284,12 +284,12 @@ Result<std::vector<std::string>> BinaryMapping::StringValues(
 
   // Attribute inputs: look the id up in every attribute partition.
   ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
-  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, nodes));
+  RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, nodes));
   std::vector<bool> resolved(nodes.size(), false);
   for (const auto& l : labels) {
     if (l.kind != "attr") continue;
     ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT c.id, t.value FROM " + std::string(kCtx) +
+                     db->Execute("SELECT c.id, t.value FROM " + Ctx() +
                                  " c JOIN " + l.tbl +
                                  " t ON t.target = c.id WHERE t.docid = " +
                                  D(doc)));
@@ -310,11 +310,11 @@ Result<std::vector<std::string>> BinaryMapping::StringValues(
     if (l.kind == "elem") elem_tbls.push_back(l.tbl);
   }
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
     ASSIGN_OR_RETURN(QueryResult tr,
                      db->Execute("SELECT f.origin, t.target, t.value FROM " +
-                                 std::string(kFrontier) +
+                                 Frontier() +
                                  " f JOIN bt_text t ON t.source = f.id "
                                  "WHERE t.docid = " + D(doc)));
     for (auto& row : tr.rows) {
@@ -323,7 +323,7 @@ Result<std::vector<std::string>> BinaryMapping::StringValues(
     for (const std::string& tbl : elem_tbls) {
       ASSIGN_OR_RETURN(QueryResult r,
                        db->Execute("SELECT f.origin, t.target FROM " +
-                                   std::string(kFrontier) + " f JOIN " + tbl +
+                                   Frontier() + " f JOIN " + tbl +
                                    " t ON t.source = f.id WHERE t.docid = " +
                                    D(doc)));
       for (auto& row : r.rows) frontier.emplace_back(row[0], row[1]);
@@ -380,7 +380,7 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
   std::map<int64_t, std::vector<ChildRow>> children;
   std::vector<std::pair<Value, Value>> frontier{{node, node}};
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
     for (const auto& l : labels) {
       std::string cols = l.kind == "attr"
@@ -388,7 +388,7 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
                              : "f.id, t.ordinal, t.target";
       ASSIGN_OR_RETURN(QueryResult r,
                        db->Execute("SELECT " + cols + " FROM " +
-                                   std::string(kFrontier) + " f JOIN " + l.tbl +
+                                   Frontier() + " f JOIN " + l.tbl +
                                    " t ON t.source = f.id WHERE t.docid = " +
                                    D(doc)));
       for (auto& row : r.rows) {
@@ -406,7 +406,7 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
     }
     ASSIGN_OR_RETURN(QueryResult tr,
                      db->Execute("SELECT f.id, t.ordinal, t.target, t.value "
-                                 "FROM " + std::string(kFrontier) +
+                                 "FROM " + Frontier() +
                                  " f JOIN bt_text t ON t.source = f.id "
                                  "WHERE t.docid = " + D(doc)));
     for (auto& row : tr.rows) {
@@ -452,13 +452,13 @@ Result<NodeSet> BinaryMapping::SubtreeElementIds(rdb::Database* db, DocId doc,
   ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
   std::vector<std::pair<Value, Value>> frontier{{node, node}};
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
     for (const auto& l : labels) {
       if (l.kind != "elem") continue;
       ASSIGN_OR_RETURN(QueryResult r,
                        db->Execute("SELECT t.target FROM " +
-                                   std::string(kFrontier) + " f JOIN " + l.tbl +
+                                   Frontier() + " f JOIN " + l.tbl +
                                    " t ON t.source = f.id WHERE t.docid = " +
                                    D(doc)));
       for (auto& row : r.rows) {

@@ -21,16 +21,26 @@ Status BlobMapping::Initialize(rdb::Database* db) {
       .status();
 }
 
-Result<DocId> BlobMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> BlobMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "blob_docs", "docid");
+}
+
+Status BlobMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                rdb::Database* db) {
   if (doc.root() == nullptr) {
     return Status::InvalidArgument("document has no root");
   }
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "blob_docs", "docid"));
   std::string text = xml::Serialize(doc);
   rdb::Table* t = db->FindTable("blob_docs");
   if (t == nullptr) return Status::Internal("blob_docs table missing");
   ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
                    t->Insert({Value(docid), Value(std::move(text))}));
+  return Status::OK();
+}
+
+Result<DocId> BlobMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 

@@ -25,6 +25,10 @@ class BlobMapping : public Mapping {
 
   Status Initialize(rdb::Database* db) override;
   Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  bool SupportsParallelStore() const override { return true; }
+  Result<DocId> NextDocId(rdb::Database* db) const override;
+  Status StoreWithId(const xml::Document& doc, DocId docid,
+                     rdb::Database* db) override;
   Status Remove(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;

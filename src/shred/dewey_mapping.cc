@@ -13,15 +13,31 @@ using rdb::QueryResult;
 using rdb::Value;
 
 namespace {
-constexpr const char* kCtx = "_dw_ctx";
+std::string Ctx() { return ScratchName("_dw_ctx"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
 }  // namespace
 
 std::string DeweyComponent(int64_t ordinal) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%06lld", static_cast<long long>(ordinal));
-  return buf;
+  if (ordinal <= 999999) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%06lld", static_cast<long long>(ordinal));
+    return buf;
+  }
+  // Order-preserving escape for wide ordinals: ':' sorts after every digit,
+  // and the digit-count excess makes longer numbers sort after shorter ones;
+  // equal-width numbers then compare lexicographically = numerically.
+  std::string digits = std::to_string(ordinal);
+  std::string out = ":";
+  out += static_cast<char>('0' + (digits.size() - 7));
+  out += digits;
+  return out;
+}
+
+int64_t DeweyComponentOrdinal(const std::string& component) {
+  const char* s = component.c_str();
+  if (!component.empty() && component[0] == ':') s += 2;
+  return std::strtoll(s, nullptr, 10);
 }
 
 std::string DeweyChild(const std::string& parent, int64_t ordinal) {
@@ -76,15 +92,24 @@ void ShredDewey(const xml::Node& n, DocId doc, const std::string& my_dewey,
 
 }  // namespace
 
-Result<DocId> DeweyMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> DeweyMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "dw_nodes", "docid");
+}
+
+Status DeweyMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                 rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "dw_nodes", "docid"));
   std::vector<rdb::Row> rows;
   ShredDewey(*root, docid, DeweyComponent(1), 1, &rows);
   rdb::Table* t = db->FindTable("dw_nodes");
   if (t == nullptr) return Status::Internal("dw_nodes table missing");
-  RETURN_IF_ERROR(t->InsertMany(std::move(rows)));
+  return t->InsertMany(std::move(rows));
+}
+
+Result<DocId> DeweyMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 
@@ -129,10 +154,10 @@ Result<std::vector<StepResult>> DeweyMapping::Step(
       if (!r.rows.empty()) levels[ctx.AsString()] = r.rows[0][0].AsInt();
     }
   } else {
-    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kString, context));
+    RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kString, context));
     ASSIGN_OR_RETURN(QueryResult li,
                      db->Execute("SELECT c.id, n.level FROM " +
-                                 std::string(kCtx) +
+                                 Ctx() +
                                  " c JOIN dw_nodes n ON n.dewey = c.id "
                                  "WHERE n.docid = " + D(doc)));
     for (auto& row : li.rows) levels[row[0].AsString()] = row[1].AsInt();
@@ -334,9 +359,8 @@ Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
   int64_t next_slot = 1;
   if (!mc.rows.empty() && !mc.rows[0][0].is_null()) {
     const std::string& max_dewey = mc.rows[0][0].AsString();
-    // Last 6-digit component.
     std::string comp = max_dewey.substr(max_dewey.rfind('.') + 1);
-    next_slot = std::strtoll(comp.c_str(), nullptr, 10) + 1;
+    next_slot = DeweyComponentOrdinal(comp) + 1;
   }
   std::vector<rdb::Row> rows;
   ShredDewey(subtree, doc, DeweyChild(d, next_slot), level + 1, &rows);

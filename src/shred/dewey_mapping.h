@@ -19,8 +19,15 @@
 
 namespace xmlrdb::shred {
 
-/// Encodes one Dewey component (1-based) as a fixed-width string.
+/// Encodes one Dewey component (1-based) as an order-preserving string.
+/// Ordinals up to 999999 keep the classic 6-digit zero-pad; larger ordinals
+/// are prefixed with ':' (which sorts after any digit) plus the digit-count
+/// excess, so string order stays numeric order across the width boundary.
+/// Naive zero-padding breaks there: "1000000" < "999999" as strings.
 std::string DeweyComponent(int64_t ordinal);
+
+/// Decodes a component produced by DeweyComponent.
+int64_t DeweyComponentOrdinal(const std::string& component);
 
 /// Appends a component: "000001" + 3 -> "000001.000003".
 std::string DeweyChild(const std::string& parent, int64_t ordinal);
@@ -31,6 +38,10 @@ class DeweyMapping : public Mapping {
 
   Status Initialize(rdb::Database* db) override;
   Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  bool SupportsParallelStore() const override { return true; }
+  Result<DocId> NextDocId(rdb::Database* db) const override;
+  Status StoreWithId(const xml::Document& doc, DocId docid,
+                     rdb::Database* db) override;
   Status Remove(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;

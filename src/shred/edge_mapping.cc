@@ -13,8 +13,8 @@ using rdb::QueryResult;
 using rdb::Value;
 
 namespace {
-constexpr const char* kCtx = "_edge_ctx";
-constexpr const char* kFrontier = "_edge_frontier";
+std::string Ctx() { return ScratchName("_edge_ctx"); }
+std::string Frontier() { return ScratchName("_edge_frontier"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
 }  // namespace
@@ -77,11 +77,14 @@ void ShredNode(const xml::Node& n, DocId doc, int64_t parent, int64_t* counter,
 
 }  // namespace
 
-Result<DocId> EdgeMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> EdgeMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "edge", "docid");
+}
+
+Status EdgeMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "edge", "docid"));
-
   std::vector<rdb::Row> rows;
   int64_t counter = 1;
   // Root element edge from the document node (id 0).
@@ -93,7 +96,12 @@ Result<DocId> EdgeMapping::Store(const xml::Document& doc, rdb::Database* db) {
 
   rdb::Table* t = db->FindTable("edge");
   if (t == nullptr) return Status::Internal("edge table missing");
-  RETURN_IF_ERROR(t->InsertMany(std::move(rows)));
+  return t->InsertMany(std::move(rows));
+}
+
+Result<DocId> EdgeMapping::Store(const xml::Document& doc, rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 
@@ -129,9 +137,9 @@ Result<std::vector<StepResult>> EdgeMapping::Step(
   if (context.empty()) return out;
 
   if (axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute) {
-    RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, context));
+    RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, context));
     const char* kind = axis == xpath::Axis::kAttribute ? "attr" : "elem";
-    std::string sql = "SELECT c.id, e.target FROM " + std::string(kCtx) +
+    std::string sql = "SELECT c.id, e.target FROM " + Ctx() +
                       " c JOIN edge e ON e.source = c.id WHERE e.docid = " +
                       D(doc) + " AND e.kind = '" + kind + "'";
     if (name_test != "*") sql += " AND e.name = " + SqlLiteral(Value(name_test));
@@ -148,9 +156,9 @@ Result<std::vector<StepResult>> EdgeMapping::Step(
   frontier.reserve(context.size());
   for (const Value& c : context) frontier.emplace_back(c, c);
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     std::string sql =
-        "SELECT f.origin, e.target, e.name FROM " + std::string(kFrontier) +
+        "SELECT f.origin, e.target, e.name FROM " + Frontier() +
         " f JOIN edge e ON e.source = f.id WHERE e.docid = " + D(doc) +
         " AND e.kind = 'elem' ORDER BY f.origin, e.target";
     ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
@@ -184,10 +192,10 @@ Result<std::vector<std::string>> EdgeMapping::StringValues(
   for (size_t i = 0; i < nodes.size(); ++i) pos[nodes[i].AsInt()] = i;
 
   // Direct values: attributes (and text nodes, should they be passed).
-  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, nodes));
+  RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, nodes));
   ASSIGN_OR_RETURN(
       QueryResult kinds,
-      db->Execute("SELECT c.id, e.kind, e.value FROM " + std::string(kCtx) +
+      db->Execute("SELECT c.id, e.kind, e.value FROM " + Ctx() +
                   " c JOIN edge e ON e.target = c.id WHERE e.docid = " + D(doc)));
   std::vector<std::pair<Value, Value>> frontier;
   for (auto& row : kinds.rows) {
@@ -202,11 +210,11 @@ Result<std::vector<std::string>> EdgeMapping::StringValues(
   // (document order).
   std::vector<std::pair<int64_t, std::pair<int64_t, std::string>>> texts;
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
         db->Execute("SELECT f.origin, e.target, e.kind, e.value FROM " +
-                    std::string(kFrontier) +
+                    Frontier() +
                     " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
                     D(doc) + " AND e.kind <> 'attr'"));
     frontier.clear();
@@ -260,11 +268,11 @@ Result<std::unique_ptr<xml::Node>> EdgeMapping::ReconstructSubtree(
   std::map<int64_t, std::vector<EdgeRow>> children;  // source -> rows
   std::vector<std::pair<Value, Value>> frontier{{node, node}};
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
         db->Execute("SELECT e.source, e.ordinal, e.kind, e.name, e.target, "
-                    "e.value FROM " + std::string(kFrontier) +
+                    "e.value FROM " + Frontier() +
                     " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
                     D(doc)));
     frontier.clear();
@@ -314,10 +322,10 @@ Result<NodeSet> EdgeMapping::SubtreeIds(rdb::Database* db, DocId doc,
   NodeSet ids{node};
   std::vector<std::pair<Value, Value>> frontier{{node, node}};
   while (!frontier.empty()) {
-    RETURN_IF_ERROR(LoadFrontierTable(db, kFrontier, DataType::kInt, frontier));
+    RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
-        db->Execute("SELECT e.target, e.kind FROM " + std::string(kFrontier) +
+        db->Execute("SELECT e.target, e.kind FROM " + Frontier() +
                     " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
                     D(doc)));
     frontier.clear();
@@ -363,7 +371,7 @@ Status EdgeMapping::InsertSubtree(rdb::Database* db, DocId doc,
 Status EdgeMapping::DeleteSubtree(rdb::Database* db, DocId doc,
                                   const rdb::Value& node) {
   ASSIGN_OR_RETURN(NodeSet ids, SubtreeIds(db, doc, node));
-  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, ids));
+  RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, ids));
   // Delete every edge row whose target is in the subtree. (Each node has
   // exactly one incoming edge row, so this removes the whole subtree.)
   rdb::Table* edge = db->FindTable("edge");

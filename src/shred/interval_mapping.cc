@@ -12,7 +12,7 @@ using rdb::QueryResult;
 using rdb::Value;
 
 namespace {
-constexpr const char* kCtx = "_iv_ctx";
+std::string Ctx() { return ScratchName("_iv_ctx"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
 std::string N(int64_t v) { return std::to_string(v); }
@@ -78,17 +78,26 @@ int64_t ShredInterval(const xml::Node& n, DocId doc, int64_t level,
 
 }  // namespace
 
-Result<DocId> IntervalMapping::Store(const xml::Document& doc,
-                                     rdb::Database* db) {
+Result<DocId> IntervalMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "iv_nodes", "docid");
+}
+
+Status IntervalMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                    rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "iv_nodes", "docid"));
   std::vector<rdb::Row> rows;
   int64_t counter = 1;
   ShredInterval(*root, docid, 1, &counter, &rows);
   rdb::Table* t = db->FindTable("iv_nodes");
   if (t == nullptr) return Status::Internal("iv_nodes table missing");
-  RETURN_IF_ERROR(t->InsertMany(std::move(rows)));
+  return t->InsertMany(std::move(rows));
+}
+
+Result<DocId> IntervalMapping::Store(const xml::Document& doc,
+                                     rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 
@@ -135,10 +144,10 @@ Result<std::vector<IntervalMapping::NodeInfo>> IntervalMapping::FetchInfo(
     }
     return out;
   }
-  RETURN_IF_ERROR(LoadContextTable(db, kCtx, DataType::kInt, nodes));
+  RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, nodes));
   ASSIGN_OR_RETURN(QueryResult r,
                    db->Execute("SELECT c.id, n.size, n.level FROM " +
-                               std::string(kCtx) +
+                               Ctx() +
                                " c JOIN iv_nodes n ON n.pre = c.id "
                                "WHERE n.docid = " + D(doc)));
   std::unordered_map<int64_t, std::pair<int64_t, int64_t>> by_pre;

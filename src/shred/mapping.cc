@@ -1,6 +1,42 @@
 #include "shred/mapping.h"
 
+#include "common/thread_pool.h"
+
 namespace xmlrdb::shred {
+
+Result<std::vector<DocId>> Mapping::StoreAll(
+    const std::vector<const xml::Document*>& docs, rdb::Database* db,
+    ThreadPool* pool) {
+  std::vector<DocId> ids(docs.size(), 0);
+  if (docs.empty()) return ids;
+  if (!SupportsParallelStore() || docs.size() == 1) {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      ASSIGN_OR_RETURN(ids[i], Store(*docs[i], db));
+    }
+    return ids;
+  }
+  // Pre-assign a contiguous id block so workers never race on MAX(docid),
+  // then shred each document on its own worker.
+  ASSIGN_OR_RETURN(DocId base, NextDocId(db));
+  std::vector<Status> statuses(docs.size(), Status::OK());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
+  p.ParallelFor(docs.size(), [&](size_t i) {
+    statuses[i] = StoreWithId(*docs[i], base + static_cast<DocId>(i), db);
+  });
+  for (const Status& st : statuses) RETURN_IF_ERROR(st);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ids[i] = base + static_cast<DocId>(i);
+  }
+  return ids;
+}
+
+Result<DocId> Mapping::NextDocId(rdb::Database*) const {
+  return Status::Unsupported("parallel store for mapping '" + name() + "'");
+}
+
+Status Mapping::StoreWithId(const xml::Document&, DocId, rdb::Database*) {
+  return Status::Unsupported("parallel store for mapping '" + name() + "'");
+}
 
 Result<std::unique_ptr<xml::Document>> Mapping::Reconstruct(rdb::Database* db,
                                                             DocId doc) const {

@@ -29,6 +29,10 @@
 #include "xml/node.h"
 #include "xpath/xpath_ast.h"
 
+namespace xmlrdb {
+class ThreadPool;
+}  // namespace xmlrdb
+
 namespace xmlrdb::shred {
 
 using DocId = int64_t;
@@ -62,6 +66,27 @@ class Mapping {
 
   /// Shreds `doc` into the tables under a fresh document id.
   virtual Result<DocId> Store(const xml::Document& doc, rdb::Database* db) = 0;
+
+  /// Bulk load: stores every document and returns their ids in input order.
+  /// Mappings that support it (see SupportsParallelStore) pre-assign a
+  /// contiguous id block and shred independent documents across `pool`
+  /// workers — the expensive tree walk runs in parallel, while the table's
+  /// own lock serialises the final inserts. Null pool = ThreadPool::Shared().
+  /// Other mappings fall back to calling Store serially.
+  Result<std::vector<DocId>> StoreAll(
+      const std::vector<const xml::Document*>& docs, rdb::Database* db,
+      ThreadPool* pool = nullptr);
+
+  /// True when StoreWithId may shred different documents concurrently
+  /// (fixed table set, no per-store DDL).
+  virtual bool SupportsParallelStore() const { return false; }
+
+  /// First unused document id. Parallel-store mappings only.
+  virtual Result<DocId> NextDocId(rdb::Database* db) const;
+
+  /// Shreds `doc` under a caller-assigned id. Parallel-store mappings only.
+  virtual Status StoreWithId(const xml::Document& doc, DocId docid,
+                             rdb::Database* db);
 
   /// Removes every row belonging to `doc`.
   virtual Status Remove(DocId doc, rdb::Database* db) = 0;

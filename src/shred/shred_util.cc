@@ -1,33 +1,64 @@
 #include "shred/shred_util.h"
 
+#include <atomic>
 #include <cctype>
 
 #include "common/str_util.h"
 
 namespace xmlrdb::shred {
 
+std::string ScratchName(const std::string& base) {
+  static std::atomic<uint64_t> next_thread_id{0};
+  thread_local uint64_t id = next_thread_id.fetch_add(1);
+  return base + "_t" + std::to_string(id);
+}
+
+namespace {
+
+// Finds the per-thread scratch table, creating it on first use. Reuse is
+// deliberate: CREATE/DROP TABLE take the catalog lock exclusively, which
+// serializes concurrent readers — truncating an existing table only takes
+// that table's own lock, so steady-state path queries run catalog-shared.
+Result<rdb::Table*> ScratchTable(rdb::Database* db, const std::string& name,
+                                 rdb::Schema schema) {
+  rdb::Table* t = db->FindTable(name);
+  if (t != nullptr) {
+    bool same = t->schema().size() == schema.size();
+    for (size_t i = 0; same && i < schema.size(); ++i) {
+      same = t->schema().column(i).type == schema.column(i).type;
+    }
+    if (!same) {
+      RETURN_IF_ERROR(db->DropTable(name));
+      t = nullptr;
+    }
+  }
+  if (t == nullptr) return db->CreateTable(name, std::move(schema));
+  t->Truncate();
+  return t;
+}
+
+}  // namespace
+
 Status LoadContextTable(rdb::Database* db, const std::string& name,
                         rdb::DataType id_type, const NodeSet& ids) {
-  if (db->FindTable(name) != nullptr) RETURN_IF_ERROR(db->DropTable(name));
   rdb::Schema schema({rdb::Column{"id", id_type, false, ""}});
-  ASSIGN_OR_RETURN(rdb::Table * t, db->CreateTable(name, std::move(schema)));
-  for (const rdb::Value& v : ids) {
-    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid, t->Insert({v}));
-  }
-  return Status::OK();
+  ASSIGN_OR_RETURN(rdb::Table * t, ScratchTable(db, name, std::move(schema)));
+  std::vector<rdb::Row> rows;
+  rows.reserve(ids.size());
+  for (const rdb::Value& v : ids) rows.push_back({v});
+  return t->InsertMany(std::move(rows));
 }
 
 Status LoadFrontierTable(
     rdb::Database* db, const std::string& name, rdb::DataType id_type,
     const std::vector<std::pair<rdb::Value, rdb::Value>>& rows) {
-  if (db->FindTable(name) != nullptr) RETURN_IF_ERROR(db->DropTable(name));
   rdb::Schema schema({rdb::Column{"origin", id_type, false, ""},
                       rdb::Column{"id", id_type, false, ""}});
-  ASSIGN_OR_RETURN(rdb::Table * t, db->CreateTable(name, std::move(schema)));
-  for (const auto& [origin, id] : rows) {
-    ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid, t->Insert({origin, id}));
-  }
-  return Status::OK();
+  ASSIGN_OR_RETURN(rdb::Table * t, ScratchTable(db, name, std::move(schema)));
+  std::vector<rdb::Row> batch;
+  batch.reserve(rows.size());
+  for (const auto& [origin, id] : rows) batch.push_back({origin, id});
+  return t->InsertMany(std::move(batch));
 }
 
 Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,

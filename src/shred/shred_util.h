@@ -12,6 +12,13 @@
 
 namespace xmlrdb::shred {
 
+/// A scratch-table name unique to the calling thread: "<base>_t<k>". The
+/// mappings materialise context/frontier node sets into catalog tables while
+/// evaluating a path step; a fixed name would make two threads evaluating
+/// queries over the same Database clobber each other's scratch state even
+/// though each individual statement is locked correctly.
+std::string ScratchName(const std::string& base);
+
 /// (Re)creates a single-column temp table `name(id <type>)` filled with `ids`.
 /// Mappings use these as join partners for context node sets.
 Status LoadContextTable(rdb::Database* db, const std::string& name,

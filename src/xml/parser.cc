@@ -87,7 +87,8 @@ class Parser {
     Advance();
     size_t start = pos_;
     while (!AtEnd() && Peek() != ';' && pos_ - start < 32) Advance();
-    if (AtEnd() || Peek() != ';') return Err("unterminated entity reference");
+    if (AtEnd()) return Err("unterminated entity reference");
+    if (Peek() != ';') return Err("entity reference too long");
     std::string_view ent = in_.substr(start, pos_ - start);
     Advance();  // ';'
     if (ent == "lt") *out += '<';
@@ -96,13 +97,28 @@ class Parser {
     else if (ent == "quot") *out += '"';
     else if (ent == "apos") *out += '\'';
     else if (!ent.empty() && ent[0] == '#') {
+      // Accumulate digits by hand: every character after the '#' (or '#x')
+      // must be a digit of the radix — strtol's stop-at-garbage lenience
+      // would accept "&#12abc;".
+      bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return Err("invalid character reference");
       long code = 0;
-      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (hex && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (hex && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return Err("invalid character reference");
+        code = code * (hex ? 16 : 10) + d;
+        if (code > 0x10FFFF) return Err("invalid character reference");
       }
-      if (code <= 0 || code > 0x10FFFF) return Err("invalid character reference");
+      if (code <= 0) return Err("invalid character reference");
+      // Surrogate code points are not characters and cannot appear in
+      // well-formed XML (nor be UTF-8 encoded).
+      if (code >= 0xD800 && code <= 0xDFFF) {
+        return Err("invalid character reference");
+      }
       // UTF-8 encode.
       unsigned cp = static_cast<unsigned>(code);
       if (cp < 0x80) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "shred/dewey_mapping.h"
 #include "shred/evaluator.h"
 #include "xml/parser.h"
@@ -14,6 +16,68 @@ TEST(DeweyEncodingTest, ComponentIsFixedWidth) {
   EXPECT_EQ(DeweyComponent(1), "000001");
   EXPECT_EQ(DeweyComponent(42), "000042");
   EXPECT_EQ(DeweyComponent(999999), "999999");
+}
+
+TEST(DeweyEncodingTest, ComponentOrderSurvivesWidthBoundary) {
+  // The classic 6-digit pad breaks at 1000000: "1000000" < "999999" as
+  // strings. The escape prefix keeps string order = numeric order.
+  const int64_t ordinals[] = {1,          42,         999998,    999999,
+                              1000000,    1000001,    9999999,   10000000,
+                              123456789,  9999999999, 10000000000};
+  for (size_t i = 0; i + 1 < std::size(ordinals); ++i) {
+    EXPECT_LT(DeweyComponent(ordinals[i]), DeweyComponent(ordinals[i + 1]))
+        << ordinals[i] << " vs " << ordinals[i + 1];
+  }
+}
+
+TEST(DeweyEncodingTest, ComponentRoundTripsThroughDecoder) {
+  for (int64_t n : {int64_t{1}, int64_t{999999}, int64_t{1000000},
+                    int64_t{1000001}, int64_t{123456789}, int64_t{9999999999}}) {
+    EXPECT_EQ(DeweyComponentOrdinal(DeweyComponent(n)), n) << n;
+  }
+}
+
+TEST(DeweyEncodingTest, WideComponentsKeepSubtreeRangeTight) {
+  // Components never contain '.' or '/' and every character sorts above
+  // '/', so the [d + ".", d + "/") subtree range still works.
+  std::string wide = DeweyComponent(1000000);
+  EXPECT_EQ(wide.find('.'), std::string::npos);
+  EXPECT_EQ(wide.find('/'), std::string::npos);
+  for (char c : wide) EXPECT_GT(c, '/');
+  std::string d = DeweyChild("000001", 2);
+  std::string wide_child = DeweyChild(d, 1000000);
+  EXPECT_GT(wide_child, d + ".");
+  EXPECT_LT(wide_child, d + "/");
+}
+
+TEST(DeweyEncodingTest, InsertSubtreeDecodesWideSiblingSlots) {
+  DeweyMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  // Simulate an element whose last child slot already crossed the boundary.
+  auto t = db.FindTable("dw_nodes");
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(t->Insert({rdb::Value(id.value()),
+                         rdb::Value(DeweyChild("000001", 1000000)),
+                         rdb::Value(int64_t{2}), rdb::Value("elem"),
+                         rdb::Value("wide"), rdb::Value::Null()})
+                  .ok());
+  auto frag = xml::ParseFragment("<d/>");
+  ASSERT_TRUE(frag.ok());
+  ASSERT_TRUE(
+      m.InsertSubtree(&db, id.value(), rdb::Value("000001"), *frag.value())
+          .ok());
+  // The new node must take slot 1000001, not a re-used small slot.
+  auto r = db.Execute(
+      "SELECT dewey FROM dw_nodes WHERE name = 'd'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(),
+            DeweyChild("000001", 1000001));
 }
 
 TEST(DeweyEncodingTest, ChildAppendsComponent) {

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  // The destructor drains the queue; check after scope instead.
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&calls](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int count = 0;
+  pool.Submit([&count] { ++count; });
+  pool.ParallelFor(10, [&count](size_t) { ++count; });
+  EXPECT_EQ(count, 11);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // ParallelFor from inside a worker must fall back to inline execution —
+  // a pool-in-pool wait would deadlock once all workers block.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::OnWorkerThread());
+    pool.ParallelFor(8, [&count](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForUsesWorkerThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> on_worker{0};
+  pool.ParallelFor(100, [&on_worker](size_t) {
+    if (ThreadPool::OnWorkerThread()) on_worker.fetch_add(1);
+  });
+  EXPECT_EQ(on_worker.load(), 100);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 2u);
+  std::atomic<int> count{0};
+  a.ParallelFor(100, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace xmlrdb

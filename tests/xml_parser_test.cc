@@ -53,6 +53,65 @@ TEST(XmlParserTest, CharacterReferences) {
   EXPECT_EQ(doc.value()->root()->StringValue(), "AB\xE2\x98\xBA");
 }
 
+TEST(XmlParserTest, CharacterReferenceRejectsTrailingGarbage) {
+  // strtol-style lenience ("&#12abc;" == 12) is not well-formed XML.
+  EXPECT_FALSE(P("<a>&#12abc;</a>").ok());
+  EXPECT_FALSE(P("<a>&#x1G;</a>").ok());
+  EXPECT_FALSE(P("<a>&#x 41;</a>").ok());
+  EXPECT_FALSE(P("<a>&#-5;</a>").ok());
+}
+
+TEST(XmlParserTest, CharacterReferenceRejectsEmptyAndZero) {
+  EXPECT_FALSE(P("<a>&#;</a>").ok());
+  EXPECT_FALSE(P("<a>&#x;</a>").ok());
+  EXPECT_FALSE(P("<a>&#0;</a>").ok());
+}
+
+TEST(XmlParserTest, CharacterReferenceRejectsSurrogates) {
+  // U+D800..U+DFFF are not characters; encoding them yields invalid UTF-8.
+  EXPECT_FALSE(P("<a>&#xD800;</a>").ok());
+  EXPECT_FALSE(P("<a>&#xDBFF;</a>").ok());
+  EXPECT_FALSE(P("<a>&#xDFFF;</a>").ok());
+  EXPECT_FALSE(P("<a>&#55296;</a>").ok());
+  // The neighbours are fine.
+  EXPECT_TRUE(P("<a>&#xD7FF;</a>").ok());
+  EXPECT_TRUE(P("<a>&#xE000;</a>").ok());
+}
+
+TEST(XmlParserTest, CharacterReferenceRejectsOutOfRange) {
+  EXPECT_FALSE(P("<a>&#x110000;</a>").ok());
+  // Huge digit strings must not overflow into the valid range.
+  EXPECT_FALSE(P("<a>&#99999999999999999999;</a>").ok());
+  EXPECT_TRUE(P("<a>&#x10FFFF;</a>").ok());
+}
+
+TEST(XmlParserTest, OverlongReferenceReportsTooLongNotUnterminated) {
+  std::string ref = "&#" + std::string(40, '1') + ";";
+  auto doc = P("<a>" + ref + "</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("too long"), std::string::npos)
+      << doc.status();
+  auto eof = P("<a>&amp");
+  ASSERT_FALSE(eof.ok());
+  EXPECT_NE(eof.status().message().find("unterminated"), std::string::npos)
+      << eof.status();
+}
+
+TEST(XmlParserTest, CharacterReferencesRoundTripThroughSerializer) {
+  for (const std::string body :
+       {"&#65;&#x42;", "&#x263A;", "&#xD7FF;", "&#xE000;", "&#x10FFFF;",
+        "&lt;&amp;&gt;"}) {
+    auto doc = P("<a>" + body + "</a>");
+    ASSERT_TRUE(doc.ok()) << body << ": " << doc.status();
+    std::string text = Serialize(*doc.value());
+    auto again = P(text);
+    ASSERT_TRUE(again.ok()) << text << ": " << again.status();
+    EXPECT_EQ(again.value()->root()->StringValue(),
+              doc.value()->root()->StringValue())
+        << body;
+  }
+}
+
 TEST(XmlParserTest, CData) {
   auto doc = P("<a><![CDATA[<raw> & stuff]]></a>");
   ASSERT_TRUE(doc.ok());
