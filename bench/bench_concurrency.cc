@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "xpath/xpath_ast.h"
 
 namespace xmlrdb::bench {
@@ -29,9 +30,12 @@ void BM_ConcurrentQuery(benchmark::State& state,
     state.SkipWithError(path.status().ToString().c_str());
     return;
   }
+  Histogram latencies;  // per-thread: the harness averages the percentiles
   for (auto _ : state) {
+    Stopwatch iter_timer;
     auto nodes = shred::EvalPath(path.value(), sa->mapping.get(),
                                  sa->db.get(), sa->doc_id);
+    latencies.Record(static_cast<int64_t>(iter_timer.ElapsedMicros()));
     if (!nodes.ok()) {
       state.SkipWithError(nodes.status().ToString().c_str());
       return;
@@ -40,6 +44,8 @@ void BM_ConcurrentQuery(benchmark::State& state,
   }
   // Aggregated across threads by the harness: items/s == queries/s.
   state.SetItemsProcessed(state.iterations());
+  ReportLatencyPercentiles(state, latencies.Snapshot(),
+                           /*average_across_threads=*/true);
 }
 
 /// 90% point queries, 10% single-statement writes against the mapping's main
@@ -70,8 +76,10 @@ void BM_MixedReadWrite(benchmark::State& state,
     delete_sql =
         "DELETE FROM iv_nodes WHERE docid = " + std::to_string(scratch_doc);
   }
+  Histogram latencies;
   int64_t i = 0;
   for (auto _ : state) {
+    Stopwatch iter_timer;
     if (++i % 10 == 0) {
       auto ins = sa->db->Execute(insert_sql);
       auto del = sa->db->Execute(delete_sql);
@@ -88,8 +96,11 @@ void BM_MixedReadWrite(benchmark::State& state,
       }
       benchmark::DoNotOptimize(nodes.value());
     }
+    latencies.Record(static_cast<int64_t>(iter_timer.ElapsedMicros()));
   }
   state.SetItemsProcessed(state.iterations());
+  ReportLatencyPercentiles(state, latencies.Snapshot(),
+                           /*average_across_threads=*/true);
 }
 
 void RegisterAll() {
@@ -123,6 +134,10 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   xmlrdb::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
+  // XMLRDB_TRACE_JSON=<path> exports a Chrome trace of the whole run —
+  // morsel and shred spans nest under their statement spans across threads.
+  xmlrdb::bench::EnableTracingIfRequested();
   benchmark::RunSpecifiedBenchmarks();
+  xmlrdb::bench::WriteTraceJsonIfRequested();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/stopwatch.h"
 #include "xpath/xpath_ast.h"
 
 namespace xmlrdb::bench {
@@ -25,10 +26,13 @@ void BM_Query(benchmark::State& state, const std::string& mapping_name,
     return;
   }
   size_t results = 0;
+  Histogram latencies;
   for (auto _ : state) {
+    Stopwatch iter_timer;
     auto nodes =
         shred::EvalPath(path.value(), sa->mapping.get(), sa->db.get(),
                         sa->doc_id);
+    latencies.Record(static_cast<int64_t>(iter_timer.ElapsedMicros()));
     if (!nodes.ok()) {
       state.SkipWithError(nodes.status().ToString().c_str());
       return;
@@ -37,6 +41,7 @@ void BM_Query(benchmark::State& state, const std::string& mapping_name,
     benchmark::DoNotOptimize(nodes.value());
   }
   state.counters["results"] = static_cast<double>(results);
+  ReportLatencyPercentiles(state, latencies.Snapshot());
 
   // One uncounted pass with the metrics registry enabled: per-query operator
   // stats (rows scanned, SQL statements, per-operator rows) land in the
@@ -70,6 +75,8 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   xmlrdb::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
+  xmlrdb::bench::EnableTracingIfRequested();
   benchmark::RunSpecifiedBenchmarks();
+  xmlrdb::bench::WriteTraceJsonIfRequested();
   return 0;
 }

@@ -3,13 +3,19 @@
 #ifndef XMLRDB_BENCH_BENCH_UTIL_H_
 #define XMLRDB_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "shred/evaluator.h"
 #include "shred/inline_mapping.h"
 #include "shred/registry.h"
@@ -70,6 +76,41 @@ inline std::map<std::string, int64_t> BenchCounterNames(
   }
   if (tables > 0) out["tables_touched"] = tables;
   return out;
+}
+
+/// Publishes a latency histogram's p50/p95/p99 (microseconds) as benchmark
+/// counters so they land in the JSON output next to the mean. Multi-threaded
+/// benchmarks pass average_across_threads = true: each thread reports its own
+/// per-thread histogram and the harness averages them.
+inline void ReportLatencyPercentiles(benchmark::State& state,
+                                     const HistogramSnapshot& snap,
+                                     bool average_across_threads = false) {
+  if (snap.count == 0) return;
+  const auto flags = average_across_threads ? benchmark::Counter::kAvgThreads
+                                            : benchmark::Counter::kDefaults;
+  state.counters["p50_us"] = benchmark::Counter(snap.p50(), flags);
+  state.counters["p95_us"] = benchmark::Counter(snap.p95(), flags);
+  state.counters["p99_us"] = benchmark::Counter(snap.p99(), flags);
+}
+
+/// When the XMLRDB_TRACE_JSON environment variable names a file, enables the
+/// global trace collector for the duration of the program; call
+/// WriteTraceJsonIfRequested() after the benchmarks to export the Chrome
+/// trace. Returns true when tracing was enabled.
+inline bool EnableTracingIfRequested() {
+  const char* path = std::getenv("XMLRDB_TRACE_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  TraceCollector::Global().set_enabled(true);
+  return true;
+}
+
+inline void WriteTraceJsonIfRequested() {
+  const char* path = std::getenv("XMLRDB_TRACE_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  TraceCollector& collector = TraceCollector::Global();
+  collector.set_enabled(false);
+  std::ofstream out(path);
+  out << collector.RenderChromeJson();
 }
 
 /// Builds (and memoizes per (mapping, scale)) a stored auction document.

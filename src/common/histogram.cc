@@ -1,0 +1,78 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xmlrdb {
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  // bit_width(value): 1 -> bucket 1, [2,4) -> 2, [4,8) -> 3, ...
+  return 64 - __builtin_clzll(static_cast<uint64_t>(value));
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return INT64_C(1) << (bucket - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 1;
+  if (bucket >= kNumBuckets - 1) return INT64_MAX;
+  return INT64_C(1) << bucket;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::Clear() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the sample whose value we report.
+  double rank = std::max(1.0, std::ceil(p * static_cast<double>(count) / 100.0));
+  int64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      double k = rank - static_cast<double>(cum);  // in (0, in_bucket]
+      double v = lo + (hi - lo) * k / static_cast<double>(in_bucket);
+      // The exact maximum is tracked separately; never report beyond it.
+      return std::min(v, static_cast<double>(max));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace xmlrdb

@@ -1,0 +1,85 @@
+// Fixed log-bucketed latency histograms with lock-free recording.
+//
+// A Histogram has 64 power-of-two buckets: bucket 0 holds the value 0 and
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i). Record() is three relaxed
+// atomic adds plus a CAS loop for the exact maximum, so concurrent writers
+// never serialize. Percentile() walks the bucket array and interpolates
+// linearly inside the winning bucket; the reported value never exceeds the
+// exact recorded maximum.
+//
+// Histograms are registered by name in MetricsRegistry (see metrics.h) and
+// surface through the xmlrdb_metrics virtual table, RenderPrometheus(), and
+// the benchmark JSON percentiles.
+
+#ifndef XMLRDB_COMMON_HISTOGRAM_H_
+#define XMLRDB_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace xmlrdb {
+
+/// Point-in-time copy of a histogram's state; cheap to pass around and safe
+/// to aggregate offline.
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 64;
+
+  std::array<int64_t, kNumBuckets> buckets{};
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+
+  /// Value at percentile `p` in [0, 100]; 0 for an empty histogram.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Negative values clamp to 0. Lock-free.
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough copy for reporting (individual loads are relaxed; the
+  /// snapshot may tear against concurrent writers by at most a few samples).
+  HistogramSnapshot Snapshot() const;
+
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+
+  /// Zeroes every bucket and the count/sum/max. Not atomic with respect to
+  /// concurrent Record() calls; callers quiesce or accept the skew.
+  void Clear();
+
+  /// Bucket index for a value: 0 for 0, else bit_width(value).
+  static int BucketIndex(int64_t value);
+  /// Smallest value a bucket holds (0, 1, 2, 4, 8, ...).
+  static int64_t BucketLowerBound(int bucket);
+  /// Exclusive upper bound of a bucket (1, 2, 4, 8, ...).
+  static int64_t BucketUpperBound(int bucket);
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_HISTOGRAM_H_

@@ -1,5 +1,8 @@
 #include "common/metrics.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace xmlrdb {
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -9,24 +12,99 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 void MetricsRegistry::Add(std::string_view name, int64_t delta) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[std::string(name)] += delta;
+  Shard& shard = shards_[ShardIndex(name)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
 }
 
 int64_t MetricsRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const Shard& shard = shards_[ShardIndex(name)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counters.find(name);
+  return it == shard.counters.end() ? 0 : it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  MetricsSnapshot out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(shard.counters.begin(), shard.counters.end());
+  }
+  return out;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::RecordLatency(std::string_view name, int64_t value) {
+  if (!enabled()) return;
+  GetHistogram(name).Record(value);
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::map<std::string, HistogramSnapshot> out;
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  for (const auto& [name, hist] : histograms_) out[name] = hist->Snapshot();
+  return out;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.clear();
+  }
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  for (auto& [name, hist] : histograms_) hist->Clear();
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "xmlrdb_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : Snapshot()) {
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n",
+                  PrometheusName(name).c_str(), value);
+    out.append(buf);
+  }
+  for (const auto& [name, snap] : HistogramSnapshots()) {
+    std::string p = PrometheusName(name);
+    for (double q : {0.5, 0.95, 0.99}) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%.2f\"} %.1f\n", p.c_str(),
+                    q, snap.Percentile(q * 100.0));
+      out.append(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", p.c_str(),
+                  snap.count);
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), "%s_sum %" PRId64 "\n", p.c_str(),
+                  snap.sum);
+    out.append(buf);
+    std::snprintf(buf, sizeof(buf), "%s_max %" PRId64 "\n", p.c_str(),
+                  snap.max);
+    out.append(buf);
+  }
+  return out;
 }
 
 MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& before,

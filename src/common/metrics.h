@@ -1,10 +1,22 @@
 // Engine-wide metrics: named monotonic counters (row counts, statement
-// counts, nanosecond timers) behind one process-global registry.
+// counts, nanosecond timers) and latency histograms behind one process-global
+// registry.
 //
-// The registry is disabled by default; Add() is a single relaxed atomic load
-// when disabled, so instrumented hot paths cost nothing in normal operation.
-// Consumers (EXPLAIN ANALYZE, the XPath evaluator's per-query stats, the
-// benchmark harness) enable it, snapshot before/after a region, and diff.
+// The registry is disabled by default; Add() / RecordLatency() are a single
+// relaxed atomic load when disabled, so instrumented hot paths cost nothing
+// in normal operation. Consumers (EXPLAIN ANALYZE, the XPath evaluator's
+// per-query stats, the benchmark harness) enable it, snapshot before/after a
+// region, and diff.
+//
+// Counters are striped across kNumShards independently-locked maps so
+// per-row operator counters recorded from parallel scan workers do not
+// serialize on one mutex. Histograms (histogram.h) record lock-free; the
+// registry only locks to resolve a name to its (stable) Histogram once.
+//
+// The registry counts as enabled while either the manual flag is set
+// (set_enabled) or at least one ScopedMetricsCapture is alive; captures nest
+// and overlap freely across threads — a capture ending never turns metrics
+// off under a concurrent capture that is still running.
 
 #ifndef XMLRDB_COMMON_METRICS_H_
 #define XMLRDB_COMMON_METRICS_H_
@@ -12,9 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/histogram.h"
 
 namespace xmlrdb {
 
@@ -25,8 +40,18 @@ class MetricsRegistry {
   /// The process-wide registry used by the executor and evaluator.
   static MetricsRegistry& Global();
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed) ||
+           capture_depth_.load(std::memory_order_relaxed) > 0;
+  }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Scoped-capture nesting: the registry stays enabled while any capture is
+  /// alive. Used by ScopedMetricsCapture; callers normally don't need these.
+  void BeginCapture() {
+    capture_depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndCapture() { capture_depth_.fetch_sub(1, std::memory_order_relaxed); }
 
   /// Adds `delta` to counter `name`; no-op while the registry is disabled.
   void Add(std::string_view name, int64_t delta);
@@ -37,42 +62,71 @@ class MetricsRegistry {
   /// Copy of all counters.
   MetricsSnapshot Snapshot() const;
 
-  /// Clears all counters (leaves the enabled flag untouched).
+  /// The histogram registered under `name`, created on first use. The
+  /// returned reference stays valid for the process lifetime (Reset() zeroes
+  /// histogram contents but never destroys them), so hot paths may cache it
+  /// and Record() lock-free.
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Records one sample into histogram `name`; no-op while disabled.
+  void RecordLatency(std::string_view name, int64_t value);
+
+  /// Snapshots of every registered histogram.
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
+
+  /// Clears all counters and zeroes all histograms (leaves the enabled flag
+  /// and capture depth untouched).
   void Reset();
+
+  /// Prometheus text exposition: counters as gauges, histograms as
+  /// quantile/count/sum/max series. Metric names have '.' mapped to '_' and
+  /// an "xmlrdb_" prefix.
+  std::string RenderPrometheus() const;
 
   /// Counters that changed between `before` and `after`, as after - before.
   static MetricsSnapshot Delta(const MetricsSnapshot& before,
                                const MetricsSnapshot& after);
 
  private:
-  mutable std::mutex mu_;
-  MetricsSnapshot counters_;
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    MetricsSnapshot counters;
+  };
+
+  static size_t ShardIndex(std::string_view name) {
+    return std::hash<std::string_view>{}(name) % kNumShards;
+  }
+
+  Shard shards_[kNumShards];
+  mutable std::mutex hist_mu_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> capture_depth_{0};
 };
 
-/// RAII capture of the global registry over a scope: enables it, snapshots on
-/// construction, and restores the previous enabled state on destruction.
+/// RAII capture of the global registry over a scope: keeps it enabled for
+/// the capture's lifetime (nesting-safe: overlapping captures on different
+/// threads each hold their own reference) and snapshots on construction.
 class ScopedMetricsCapture {
  public:
-  ScopedMetricsCapture()
-      : was_enabled_(MetricsRegistry::Global().enabled()) {
-    MetricsRegistry::Global().set_enabled(true);
+  ScopedMetricsCapture() {
+    MetricsRegistry::Global().BeginCapture();
     before_ = MetricsRegistry::Global().Snapshot();
   }
-  ~ScopedMetricsCapture() {
-    MetricsRegistry::Global().set_enabled(was_enabled_);
-  }
+  ~ScopedMetricsCapture() { MetricsRegistry::Global().EndCapture(); }
 
   ScopedMetricsCapture(const ScopedMetricsCapture&) = delete;
   ScopedMetricsCapture& operator=(const ScopedMetricsCapture&) = delete;
 
   /// Counters changed since construction.
   MetricsSnapshot Delta() const {
-    return MetricsRegistry::Delta(before_, MetricsRegistry::Global().Snapshot());
+    return MetricsRegistry::Delta(before_,
+                                  MetricsRegistry::Global().Snapshot());
   }
 
  private:
-  bool was_enabled_;
   MetricsSnapshot before_;
 };
 

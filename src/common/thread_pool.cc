@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
+
+#include "common/trace.h"
 
 namespace xmlrdb {
 
@@ -44,12 +47,21 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (threads_.empty()) {
+    // Inline execution stays on the caller's thread: its trace context is
+    // already current.
     fn();
     return;
   }
+  // Capture the submitter's innermost span so spans opened by the task nest
+  // under it even though the task runs on a worker thread.
+  uint64_t parent_span = trace::CurrentSpanId();
+  auto task = [parent_span, fn = std::move(fn)] {
+    ScopedTraceContext ctx(parent_span);
+    fn();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
 }

@@ -9,6 +9,11 @@
 // Shared() is the process-wide pool the parallel scan and bulk shredding use
 // by default; it is lazily constructed (thread-safe) with one worker per
 // hardware thread.
+//
+// Trace context propagates through the pool: Submit() captures the
+// submitting thread's current span (common/trace.h) and installs it for the
+// task's duration, so spans opened inside pool work — ParallelFor morsels
+// included — nest under the span that dispatched them.
 
 #ifndef XMLRDB_COMMON_THREAD_POOL_H_
 #define XMLRDB_COMMON_THREAD_POOL_H_
@@ -36,7 +41,8 @@ class ThreadPool {
 
   size_t size() const { return threads_.size(); }
 
-  /// Enqueues `fn` for asynchronous execution. With zero workers, runs inline.
+  /// Enqueues `fn` for asynchronous execution. With zero workers, runs
+  /// inline. The submitter's trace context travels with the task.
   void Submit(std::function<void()> fn);
 
   /// Runs fn(0) ... fn(n-1) across the workers and blocks until all have

@@ -1,0 +1,156 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace xmlrdb {
+
+namespace {
+
+thread_local uint64_t t_current_span = 0;
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<int64_t> g_next_thread_id{1};
+
+int64_t ThreadIdSlow() {
+  thread_local int64_t t_id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return t_id;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace trace {
+
+uint64_t CurrentSpanId() { return t_current_span; }
+
+int64_t CurrentThreadId() { return ThreadIdSlow(); }
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+}  // namespace trace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceCollector::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+std::string TraceCollector::RenderChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendJsonEscaped(e.name, &out);
+    out.append("\",\"cat\":\"");
+    AppendJsonEscaped(e.category, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%lld,\"ts\":%lld,"
+                  "\"dur\":%lld,\"args\":{\"span\":%llu,\"parent\":%llu}}",
+                  static_cast<long long>(e.tid),
+                  static_cast<long long>(e.start_us),
+                  static_cast<long long>(e.dur_us),
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent_id));
+    out.append(buf);
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category) {
+  if (!TraceCollector::Global().enabled()) return;
+  active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_us_ = trace::NowMicros();
+  name_ = name;
+  category_ = category;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  t_current_span = parent_;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.id = id_;
+  event.parent_id = parent_;
+  event.tid = trace::CurrentThreadId();
+  event.start_us = start_us_;
+  event.dur_us = trace::NowMicros() - start_us_;
+  TraceCollector::Global().Record(std::move(event));
+}
+
+ScopedTraceContext::ScopedTraceContext(uint64_t parent_span_id)
+    : saved_(t_current_span) {
+  t_current_span = parent_span_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_span = saved_; }
+
+}  // namespace xmlrdb

@@ -1,0 +1,123 @@
+// Hierarchical trace spans with explicit cross-thread context propagation.
+//
+// ScopedSpan opens a span on construction and records it into the global
+// TraceCollector on destruction. Each thread keeps a span stack (the current
+// span is the parent of any span opened next), and ThreadPool::Submit
+// captures the submitting thread's current span so work executed on pool
+// workers — parallel-scan morsels, bulk-shred documents — still nests under
+// the statement span that spawned it.
+//
+// The collector is disabled by default; a ScopedSpan constructed while it is
+// disabled costs one relaxed atomic load and records nothing. Finished spans
+// are exported as Chrome trace-event JSON ("X" complete events with explicit
+// span/parent ids in args), loadable in chrome://tracing or Perfetto.
+
+#ifndef XMLRDB_COMMON_TRACE_H_
+#define XMLRDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlrdb {
+
+/// One finished span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t id = 0;         ///< unique span id (> 0)
+  uint64_t parent_id = 0;  ///< 0 = top-level span
+  int64_t tid = 0;         ///< stable small integer per thread
+  int64_t start_us = 0;    ///< microseconds since process trace epoch
+  int64_t dur_us = 0;
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Appends a finished span; silently drops once `capacity` events are
+  /// buffered (dropped() reports how many).
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drops all buffered events and resets the dropped counter.
+  void Clear();
+
+  /// Bounded buffer size (default 128k events).
+  void set_capacity(size_t capacity);
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]}. Every event carries
+  /// args.span / args.parent so cross-thread nesting survives the export.
+  std::string RenderChromeJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_ = 128 * 1024;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> dropped_{0};
+};
+
+namespace trace {
+
+/// The calling thread's innermost open span id (0 if none).
+uint64_t CurrentSpanId();
+
+/// Stable small integer identifying the calling thread in trace output.
+int64_t CurrentThreadId();
+
+/// Microseconds since the process trace epoch (first use).
+int64_t NowMicros();
+
+}  // namespace trace
+
+/// RAII span: pushes itself as the thread's current span, records into the
+/// global collector on destruction. Inactive (and nearly free) while the
+/// collector is disabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view category = "engine");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// This span's id; 0 when the collector was disabled at construction.
+  uint64_t id() const { return id_; }
+
+ private:
+  bool active_ = false;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  int64_t start_us_ = 0;
+  std::string name_;
+  std::string category_;
+};
+
+/// Installs `parent_span_id` as the calling thread's current span for the
+/// scope — the cross-thread handoff used by ThreadPool workers.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(uint64_t parent_span_id);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_TRACE_H_

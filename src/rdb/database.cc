@@ -1,12 +1,53 @@
 #include "rdb/database.h"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "rdb/sql_parser.h"
 
 namespace xmlrdb::rdb {
+
+// ---------------------------------------------------------------------------
+// Statement log.
+
+void StatementLog::Append(StatementLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  entry.seq = next_seq_++;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<StatementLogEntry> StatementLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+size_t StatementLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void StatementLog::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+int64_t StatementLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void StatementLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
 
 std::string QueryResult::ToString() const {
   if (!plan_text.empty()) return plan_text;
@@ -37,6 +78,11 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
 
 Result<Table*> Database::CreateTableLocked(const std::string& name,
                                            Schema schema) {
+  if (name.rfind("xmlrdb_", 0) == 0) {
+    return Status::InvalidArgument(
+        "table names beginning with 'xmlrdb_' are reserved for virtual "
+        "tables");
+  }
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "'");
   }
@@ -99,33 +145,154 @@ size_t Database::FootprintBytes() const {
 struct Database::ReadLockSet {
   /// Distinct referenced tables, resolved under the catalog lock.
   std::map<std::string, const Table*> tables;
-  /// Shared locks in map (= ascending name) order.
+  /// Materialized virtual-table snapshots, alive for statement scope. They
+  /// are statement-private, so they are never locked — and they must be
+  /// declared before `locks` so every lock releases before any table dies.
+  std::vector<std::unique_ptr<Table>> owned;
+  /// Shared locks on the catalog tables in map (= ascending name) order.
   std::vector<std::shared_lock<std::shared_mutex>> locks;
 };
 
 Status Database::LockTablesShared(const std::vector<TableRef>& from,
-                                  ReadLockSet* out) const {
+                                  ReadLockSet* out,
+                                  int64_t* lock_wait_us) const {
+  Stopwatch wait;
   std::shared_lock<std::shared_mutex> catalog(mu_);
+  std::set<const Table*> ephemeral;
   for (const TableRef& ref : from) {
+    if (out->tables.count(ref.table) > 0) continue;
     const Table* t = FindTableLocked(ref.table);
+    if (t == nullptr && IsVirtualTableName(ref.table)) {
+      std::unique_ptr<Table> snapshot = MaterializeVirtualTable(ref.table);
+      t = snapshot.get();
+      ephemeral.insert(t);
+      out->owned.push_back(std::move(snapshot));
+    }
     if (t == nullptr) return Status::NotFound("table '" + ref.table + "'");
     out->tables.emplace(ref.table, t);
   }
   out->locks.reserve(out->tables.size());
   for (const auto& [name, t] : out->tables) {
+    // Virtual-table snapshots are statement-private: no lock needed (or
+    // wanted — their mutexes die with the statement).
+    if (ephemeral.count(t) > 0) continue;
     out->locks.emplace_back(t->mutex());
+  }
+  if (lock_wait_us != nullptr) {
+    *lock_wait_us += static_cast<int64_t>(wait.ElapsedMicros());
   }
   return Status::OK();
 }
 
 Status Database::LockTableExclusive(const std::string& name, Table** table,
-                                    std::unique_lock<std::shared_mutex>* lock) {
+                                    std::unique_lock<std::shared_mutex>* lock,
+                                    int64_t* lock_wait_us) {
+  if (IsVirtualTableName(name)) {
+    return Status::InvalidArgument("virtual table '" + name +
+                                   "' is read-only");
+  }
+  Stopwatch wait;
   std::shared_lock<std::shared_mutex> catalog(mu_);
   Table* t = FindTableLocked(name);
   if (t == nullptr) return Status::NotFound("table '" + name + "'");
   *table = t;
   *lock = std::unique_lock<std::shared_mutex>(t->mutex());
+  if (lock_wait_us != nullptr) {
+    *lock_wait_us += static_cast<int64_t>(wait.ElapsedMicros());
+  }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual tables: read-only snapshots of live engine state, materialized at
+// statement-lock time (under the shared catalog lock) and scanned through
+// the normal planner like any base table.
+
+bool Database::IsVirtualTableName(const std::string& name) {
+  return name == "xmlrdb_metrics" || name == "xmlrdb_statements" ||
+         name == "xmlrdb_tables";
+}
+
+namespace {
+
+Column MakeColumn(const char* name, DataType type) {
+  Column c;
+  c.name = name;
+  c.type = type;
+  return c;
+}
+
+}  // namespace
+
+std::unique_ptr<Table> Database::MaterializeVirtualTable(
+    const std::string& name) const {
+  std::vector<Row> rows;
+  Schema schema;
+  if (name == "xmlrdb_metrics") {
+    schema = Schema({MakeColumn("name", DataType::kString),
+                     MakeColumn("value", DataType::kInt)});
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    for (const auto& [counter, value] : reg.Snapshot()) {
+      rows.push_back({Value(counter), Value(value)});
+    }
+    for (const auto& [hist, snap] : reg.HistogramSnapshots()) {
+      rows.push_back({Value(hist + ".count"), Value(snap.count)});
+      rows.push_back(
+          {Value(hist + ".p50"),
+           Value(static_cast<int64_t>(std::llround(snap.p50())))});
+      rows.push_back(
+          {Value(hist + ".p95"),
+           Value(static_cast<int64_t>(std::llround(snap.p95())))});
+      rows.push_back(
+          {Value(hist + ".p99"),
+           Value(static_cast<int64_t>(std::llround(snap.p99())))});
+      rows.push_back({Value(hist + ".max"), Value(snap.max)});
+    }
+  } else if (name == "xmlrdb_statements") {
+    schema = Schema({MakeColumn("seq", DataType::kInt),
+                     MakeColumn("kind", DataType::kString),
+                     MakeColumn("sql", DataType::kString),
+                     MakeColumn("duration_us", DataType::kInt),
+                     MakeColumn("lock_wait_us", DataType::kInt),
+                     MakeColumn("rows", DataType::kInt),
+                     MakeColumn("slow", DataType::kInt),
+                     MakeColumn("plan", DataType::kString)});
+    for (const StatementLogEntry& e : statement_log_.Entries()) {
+      rows.push_back({Value(e.seq), Value(e.kind), Value(e.sql),
+                      Value(e.duration_us), Value(e.lock_wait_us),
+                      Value(e.rows), Value(static_cast<int64_t>(e.slow ? 1 : 0)),
+                      Value(e.plan)});
+    }
+  } else if (name == "xmlrdb_tables") {
+    schema = Schema({MakeColumn("name", DataType::kString),
+                     MakeColumn("rows", DataType::kInt),
+                     MakeColumn("bytes", DataType::kInt),
+                     MakeColumn("indexes", DataType::kInt)});
+    // Called under the shared catalog lock: iterate tables_ directly. Row
+    // and index counts read under each table's shared lock (same
+    // catalog-then-table order every statement uses).
+    for (const auto& [table_name, t] : tables_) {
+      size_t live = 0;
+      size_t num_indexes = 0;
+      {
+        std::shared_lock<std::shared_mutex> table_lock(t->mutex());
+        live = t->num_rows();
+        num_indexes = t->indexes().size();
+      }
+      rows.push_back({Value(table_name), Value(static_cast<int64_t>(live)),
+                      Value(static_cast<int64_t>(t->FootprintBytes())),
+                      Value(static_cast<int64_t>(num_indexes))});
+    }
+  }
+  // The snapshot is private until the statement's lock set publishes it to
+  // the planner, so fill it without touching its mutex: acquiring it here
+  // would thread the ephemeral table into the lock-order graph for nothing.
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  for (Row& r : rows) {
+    auto inserted = table->InsertUnlocked(std::move(r));
+    (void)inserted;
+  }
+  return table;
 }
 
 Result<PlanPtr> Database::PlanWithLocks(const SelectStmt& stmt,
@@ -160,19 +327,61 @@ const char* StatementKind(const Statement& stmt) {
 
 Result<QueryResult> Database::Execute(std::string_view sql) {
   ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  const char* kind = StatementKind(stmt);
   MetricsRegistry& reg = MetricsRegistry::Global();
   if (reg.enabled()) {
     reg.Add("sql.statements", 1);
-    reg.Add(std::string("sql.") + StatementKind(stmt), 1);
+    reg.Add(std::string("sql.") + kind, 1);
   }
-  if (auto* s = std::get_if<SelectStmt>(&stmt)) return RunSelect(*s);
+  StatementExec exec;
+  Stopwatch timer;
+  Result<QueryResult> result = QueryResult{};
+  {
+    // The statement span: everything the statement does — planning, morsel
+    // workers on pool threads, nested scratch statements — nests under it.
+    ScopedSpan span(std::string("sql.") + kind, "sql");
+    result = Dispatch(stmt, &exec);
+  }
+  const int64_t duration_us = static_cast<int64_t>(timer.ElapsedMicros());
+  if (reg.enabled()) {
+    reg.RecordLatency(std::string("sql.") + kind + ".latency_us", duration_us);
+    if (exec.lock_wait_us > 0) reg.Add("sql.lock_wait_us", exec.lock_wait_us);
+  }
+  const int64_t threshold = slow_query_threshold_us();
+  const bool slow = threshold >= 0 && duration_us >= threshold;
+  if (slow && reg.enabled()) reg.Add("sql.slow_statements", 1);
+  if (statement_log_.capacity() > 0) {
+    StatementLogEntry entry;
+    entry.sql = std::string(sql);
+    entry.kind = kind;
+    entry.duration_us = duration_us;
+    entry.lock_wait_us = exec.lock_wait_us;
+    if (!result.ok()) {
+      entry.rows = -1;
+    } else if (!result.value().rows.empty()) {
+      entry.rows = static_cast<int64_t>(result.value().rows.size());
+    } else {
+      entry.rows = result.value().affected;
+    }
+    entry.slow = slow;
+    if (slow) entry.plan = std::move(exec.analyzed_plan);
+    statement_log_.Append(std::move(entry));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::Dispatch(const Statement& stmt,
+                                       StatementExec* exec) {
+  if (auto* s = std::get_if<SelectStmt>(&stmt)) return RunSelect(*s, exec);
   if (auto* s = std::get_if<CreateTableStmt>(&stmt)) return RunCreateTable(*s);
-  if (auto* s = std::get_if<CreateIndexStmt>(&stmt)) return RunCreateIndex(*s);
+  if (auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
+    return RunCreateIndex(*s, exec);
+  }
   if (auto* s = std::get_if<DropTableStmt>(&stmt)) return RunDropTable(*s);
-  if (auto* s = std::get_if<InsertStmt>(&stmt)) return RunInsert(*s);
-  if (auto* s = std::get_if<DeleteStmt>(&stmt)) return RunDelete(*s);
-  if (auto* s = std::get_if<UpdateStmt>(&stmt)) return RunUpdate(*s);
-  if (auto* s = std::get_if<ExplainStmt>(&stmt)) return RunExplain(*s);
+  if (auto* s = std::get_if<InsertStmt>(&stmt)) return RunInsert(*s, exec);
+  if (auto* s = std::get_if<DeleteStmt>(&stmt)) return RunDelete(*s, exec);
+  if (auto* s = std::get_if<UpdateStmt>(&stmt)) return RunUpdate(*s, exec);
+  if (auto* s = std::get_if<ExplainStmt>(&stmt)) return RunExplain(*s, exec);
   return Status::Internal("unhandled statement type");
 }
 
@@ -189,20 +398,33 @@ Result<PlanPtr> Database::PlanSql(std::string_view select_sql) const {
   return Plan(*s);
 }
 
-Result<QueryResult> Database::RunSelect(const SelectStmt& stmt) {
+Result<QueryResult> Database::RunSelect(const SelectStmt& stmt,
+                                        StatementExec* exec) {
   ReadLockSet locks;
-  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks));
+  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
+                                   exec != nullptr ? &exec->lock_wait_us
+                                                   : nullptr));
   ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(stmt, locks));
+  // Slow-query tracking: pay for per-operator timing up front so an offender
+  // can log the plan tree it actually ran with.
+  const bool capture_plan = slow_query_threshold_us() >= 0;
+  if (capture_plan) plan->EnableAnalyze();
   QueryResult out;
   out.schema = plan->output_schema();
   ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
   FlushPlanMetrics(*plan);
+  if (capture_plan && exec != nullptr) {
+    exec->analyzed_plan = plan->ExplainAnalyze();
+  }
   return out;
 }
 
-Result<QueryResult> Database::RunExplain(const ExplainStmt& stmt) {
+Result<QueryResult> Database::RunExplain(const ExplainStmt& stmt,
+                                         StatementExec* exec) {
   ReadLockSet locks;
-  RETURN_IF_ERROR(LockTablesShared(stmt.select->from, &locks));
+  RETURN_IF_ERROR(LockTablesShared(stmt.select->from, &locks,
+                                   exec != nullptr ? &exec->lock_wait_us
+                                                   : nullptr));
   ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(*stmt.select, locks));
   QueryResult out;
   if (stmt.analyze) {
@@ -224,10 +446,13 @@ Result<QueryResult> Database::RunCreateTable(const CreateTableStmt& stmt) {
   return QueryResult{};
 }
 
-Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt) {
+Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt,
+                                             StatementExec* exec) {
   Table* t = nullptr;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr));
   RETURN_IF_ERROR(t->CreateIndexUnlocked(stmt.index, stmt.columns));
   return QueryResult{};
 }
@@ -241,10 +466,13 @@ Result<QueryResult> Database::RunDropTable(const DropTableStmt& stmt) {
   return QueryResult{};
 }
 
-Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
+Result<QueryResult> Database::RunInsert(const InsertStmt& stmt,
+                                        StatementExec* exec) {
   Table* t = nullptr;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr));
   QueryResult out;
   Row empty;
   for (const auto& exprs : stmt.rows) {
@@ -266,10 +494,13 @@ Result<QueryResult> Database::RunInsert(const InsertStmt& stmt) {
   return out;
 }
 
-Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
+Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt,
+                                        StatementExec* exec) {
   Table* t = nullptr;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr));
   ExprPtr pred;
   if (stmt.where != nullptr) {
     pred = stmt.where->Clone();
@@ -290,10 +521,13 @@ Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt) {
   return out;
 }
 
-Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt) {
+Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt,
+                                        StatementExec* exec) {
   Table* t = nullptr;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock));
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr));
   Schema bound_schema = t->schema().WithQualifier(t->name());
   ExprPtr pred;
   if (stmt.where != nullptr) {

@@ -19,10 +19,21 @@
 //     it, so no scan ever dereferences a freed table.
 // The public catalog methods (CreateTable, FindTable, ...) lock internally
 // and are safe to call concurrently with Execute.
+//
+// Observability: every statement run through Execute() is timed (total and
+// lock-wait) and appended to a bounded in-memory statement log. When a
+// slow-query threshold is configured, SELECTs run with per-operator timing
+// enabled and offenders keep their captured EXPLAIN ANALYZE tree in the log.
+// Three read-only virtual tables expose engine state through the normal
+// planner: xmlrdb_metrics (counters + histogram percentiles),
+// xmlrdb_statements (the statement log), and xmlrdb_tables (catalog stats).
+// The "xmlrdb_" table-name prefix is reserved for them.
 
 #ifndef XMLRDB_RDB_DATABASE_H_
 #define XMLRDB_RDB_DATABASE_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,6 +49,46 @@
 #include "rdb/table.h"
 
 namespace xmlrdb::rdb {
+
+/// One executed statement, as kept by the statement log.
+struct StatementLogEntry {
+  int64_t seq = 0;  ///< monotonically increasing statement number
+  std::string sql;
+  std::string kind;  ///< "select", "insert", ... (see StatementKind)
+  int64_t duration_us = 0;
+  int64_t lock_wait_us = 0;  ///< time spent acquiring statement-scope locks
+  int64_t rows = 0;          ///< rows returned / affected; -1 on error
+  bool slow = false;         ///< duration >= the configured threshold
+  std::string plan;  ///< captured EXPLAIN ANALYZE tree (slow SELECTs only)
+};
+
+/// Bounded ring buffer of the most recent statements. Thread-safe.
+class StatementLog {
+ public:
+  explicit StatementLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends one entry (assigning its seq), evicting the oldest at capacity.
+  /// No-op when the capacity is 0.
+  void Append(StatementLogEntry entry);
+
+  /// Entries oldest-first.
+  std::vector<StatementLogEntry> Entries() const;
+
+  size_t capacity() const;
+  /// Resizes the ring; shrinking drops the oldest entries. 0 disables logging.
+  void set_capacity(size_t capacity);
+
+  /// Total statements ever appended (not bounded by capacity).
+  int64_t total_appended() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  int64_t next_seq_ = 0;
+  std::deque<StatementLogEntry> entries_;
+};
 
 /// Result of Execute(): rows for queries, affected count for DML/DDL.
 struct QueryResult {
@@ -81,17 +132,51 @@ class Database {
   }
   const PlannerOptions& planner_options() const { return planner_options_; }
 
+  // -- observability --
+  /// The statement log Execute() appends to. Use set_capacity(0) to disable.
+  StatementLog& statement_log() { return statement_log_; }
+  const StatementLog& statement_log() const { return statement_log_; }
+
+  /// Slow-query threshold in microseconds. Negative (default) disables slow
+  /// tracking. While >= 0, SELECTs execute with per-operator timing enabled
+  /// and any statement at or over the threshold is flagged slow in the log
+  /// with its EXPLAIN ANALYZE tree attached (0 = capture every statement).
+  void set_slow_query_threshold_us(int64_t us) {
+    slow_query_threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t slow_query_threshold_us() const {
+    return slow_query_threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// True for the reserved virtual-table names ("xmlrdb_metrics",
+  /// "xmlrdb_statements", "xmlrdb_tables").
+  static bool IsVirtualTableName(const std::string& name);
+
  private:
   /// The tables a SELECT references, each held shared for statement scope.
   struct ReadLockSet;
 
+  /// Per-statement execution details threaded out of the Run* helpers for
+  /// the statement log.
+  struct StatementExec {
+    int64_t lock_wait_us = 0;
+    /// EXPLAIN ANALYZE tree, filled for SELECTs while slow tracking is on.
+    std::string analyzed_plan;
+  };
+
   /// Resolves `from` under the catalog lock, then locks every distinct table
-  /// shared (ascending name order). The catalog lock is released on return.
-  Status LockTablesShared(const std::vector<TableRef>& from,
-                          ReadLockSet* out) const;
+  /// shared (ascending name order). Virtual xmlrdb_* names materialize a
+  /// snapshot table owned by `out`. The catalog lock is released on return;
+  /// lock-wait time is added to *lock_wait_us when non-null.
+  Status LockTablesShared(const std::vector<TableRef>& from, ReadLockSet* out,
+                          int64_t* lock_wait_us = nullptr) const;
   /// Resolves `name` and locks that table exclusively for statement scope.
   Status LockTableExclusive(const std::string& name, Table** table,
-                            std::unique_lock<std::shared_mutex>* lock);
+                            std::unique_lock<std::shared_mutex>* lock,
+                            int64_t* lock_wait_us = nullptr);
+
+  /// Builds the named virtual table from live engine state.
+  std::unique_ptr<Table> MaterializeVirtualTable(const std::string& name) const;
 
   Result<Table*> CreateTableLocked(const std::string& name, Schema schema);
   const Table* FindTableLocked(const std::string& name) const;
@@ -100,18 +185,22 @@ class Database {
   Result<PlanPtr> PlanWithLocks(const SelectStmt& stmt,
                                 const ReadLockSet& locks) const;
 
-  Result<QueryResult> RunSelect(const SelectStmt& stmt);
-  Result<QueryResult> RunExplain(const ExplainStmt& stmt);
+  Result<QueryResult> Dispatch(const Statement& stmt, StatementExec* exec);
+  Result<QueryResult> RunSelect(const SelectStmt& stmt, StatementExec* exec);
+  Result<QueryResult> RunExplain(const ExplainStmt& stmt, StatementExec* exec);
   Result<QueryResult> RunCreateTable(const CreateTableStmt& stmt);
-  Result<QueryResult> RunCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> RunCreateIndex(const CreateIndexStmt& stmt,
+                                     StatementExec* exec);
   Result<QueryResult> RunDropTable(const DropTableStmt& stmt);
-  Result<QueryResult> RunInsert(const InsertStmt& stmt);
-  Result<QueryResult> RunDelete(const DeleteStmt& stmt);
-  Result<QueryResult> RunUpdate(const UpdateStmt& stmt);
+  Result<QueryResult> RunInsert(const InsertStmt& stmt, StatementExec* exec);
+  Result<QueryResult> RunDelete(const DeleteStmt& stmt, StatementExec* exec);
+  Result<QueryResult> RunUpdate(const UpdateStmt& stmt, StatementExec* exec);
 
   mutable std::shared_mutex mu_;  ///< guards tables_ (the catalog)
   std::map<std::string, std::unique_ptr<Table>> tables_;
   PlannerOptions planner_options_;
+  StatementLog statement_log_;
+  std::atomic<int64_t> slow_query_threshold_us_{-1};
 };
 
 }  // namespace xmlrdb::rdb

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace xmlrdb::rdb {
 
@@ -166,6 +167,7 @@ void FlushPlanMetrics(const PlanNode& plan) {
   reg.Add("op." + op + ".next_calls", s.next_calls);
   if (plan.analyze_enabled()) {
     reg.Add("op." + op + ".time_ns", s.open_ns + s.next_ns);
+    reg.RecordLatency("op." + op + ".time_us", (s.open_ns + s.next_ns) / 1000);
   }
   if (op == "SeqScan" || op == "IndexScan") {
     reg.Add("exec.rows_scanned", s.rows);
@@ -229,6 +231,8 @@ Status ParallelSeqScanNode::OpenImpl() {
   std::vector<Status> statuses(num_morsels, Status::OK());
   ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Shared();
   pool.ParallelFor(num_morsels, [&](size_t m) {
+    // Nests under the statement span via the pool's context propagation.
+    ScopedSpan morsel_span("scan.morsel", "exec");
     size_t begin = m * per;
     size_t end = std::min(slots, begin + per);
     ExprPtr pred;

@@ -131,7 +131,7 @@ Status BinaryMapping::ShredInto(const xml::Node& n, DocId doc, int64_t parent,
   return Status::OK();
 }
 
-Result<DocId> BinaryMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
   ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "bin_docs", "docid"));

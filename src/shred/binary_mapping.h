@@ -26,7 +26,7 @@ class BinaryMapping : public Mapping {
   std::string name() const override { return "binary"; }
 
   Status Initialize(rdb::Database* db) override;
-  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Result<DocId> StoreImpl(const xml::Document& doc, rdb::Database* db) override;
   Status Remove(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;

@@ -38,7 +38,7 @@ Status BlobMapping::StoreWithId(const xml::Document& doc, DocId docid,
   return Status::OK();
 }
 
-Result<DocId> BlobMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> BlobMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
   ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
   RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;

@@ -107,7 +107,7 @@ Status DeweyMapping::StoreWithId(const xml::Document& doc, DocId docid,
   return t->InsertMany(std::move(rows));
 }
 
-Result<DocId> DeweyMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> DeweyMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
   ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
   RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;

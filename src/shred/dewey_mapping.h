@@ -37,7 +37,7 @@ class DeweyMapping : public Mapping {
   std::string name() const override { return "dewey"; }
 
   Status Initialize(rdb::Database* db) override;
-  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Result<DocId> StoreImpl(const xml::Document& doc, rdb::Database* db) override;
   bool SupportsParallelStore() const override { return true; }
   Result<DocId> NextDocId(rdb::Database* db) const override;
   Status StoreWithId(const xml::Document& doc, DocId docid,

@@ -99,7 +99,7 @@ Status EdgeMapping::StoreWithId(const xml::Document& doc, DocId docid,
   return t->InsertMany(std::move(rows));
 }
 
-Result<DocId> EdgeMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> EdgeMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
   ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
   RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "xpath/dom_eval.h"
 
 namespace xmlrdb::shred {
@@ -13,6 +15,25 @@ namespace {
 using rdb::Value;
 using xpath::Axis;
 using xpath::Predicate;
+
+/// Mapping::Step wrapped in a per-axis trace span and latency histogram
+/// ("xpath.step.<axis>.latency_us").
+Result<std::vector<StepResult>> TimedStep(Mapping* mapping, rdb::Database* db,
+                                          DocId doc, const NodeSet& context,
+                                          Axis axis,
+                                          const std::string& name_test) {
+  const char* axis_name = xpath::AxisName(axis);
+  ScopedSpan span(std::string("xpath.step.") + axis_name, "xpath");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) {
+    return mapping->Step(db, doc, context, axis, name_test);
+  }
+  Stopwatch timer;
+  auto out = mapping->Step(db, doc, context, axis, name_test);
+  reg.RecordLatency(std::string("xpath.step.") + axis_name + ".latency_us",
+                    static_cast<int64_t>(timer.ElapsedMicros()));
+  return out;
+}
 
 /// Sorts and deduplicates a node set by the mapping's natural id order
 /// (document order for the order-preserving mappings).
@@ -45,9 +66,9 @@ Result<std::vector<std::vector<std::string>>> EvalRelPath(
     for (const auto& [idx, node] : frontier) ctx.push_back(node);
     Normalize(&ctx);
     ASSIGN_OR_RETURN(std::vector<StepResult> step,
-                     mapping->Step(db, doc, ctx,
-                                   rs.attribute ? Axis::kAttribute : Axis::kChild,
-                                   rs.name));
+                     TimedStep(mapping, db, doc, ctx,
+                               rs.attribute ? Axis::kAttribute : Axis::kChild,
+                               rs.name));
     // node -> produced children
     std::map<std::string, std::vector<Value>> by_ctx;
     for (const auto& sr : step) by_ctx[sr.context.ToString()].push_back(sr.node);
@@ -156,6 +177,8 @@ Result<NodeSet> EvalPathImpl(const xpath::PathExpr& path, Mapping* mapping,
     std::vector<std::vector<Value>> groups;
     if (first) {
       first = false;
+      ScopedSpan head_span(
+          std::string("xpath.step.") + xpath::AxisName(step.axis), "xpath");
       switch (step.axis) {
         case Axis::kChild: {
           // The document node has exactly one element child: the root.
@@ -181,7 +204,8 @@ Result<NodeSet> EvalPathImpl(const xpath::PathExpr& path, Mapping* mapping,
       }
     } else {
       ASSIGN_OR_RETURN(std::vector<StepResult> results,
-                       mapping->Step(db, doc, current, step.axis, step.name));
+                       TimedStep(mapping, db, doc, current, step.axis,
+                                 step.name));
       // Split into per-context groups (results arrive grouped).
       std::vector<Value> group;
       const Value* cur_ctx = nullptr;
@@ -216,10 +240,20 @@ Result<NodeSet> EvalPathImpl(const xpath::PathExpr& path, Mapping* mapping,
 
 Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
                          rdb::Database* db, DocId doc, EvalStats* stats) {
-  if (stats == nullptr) return EvalPathImpl(path, mapping, db, doc);
-  ScopedMetricsCapture capture;
-  auto result = EvalPathImpl(path, mapping, db, doc);
-  *stats = StatsFromDelta(capture.Delta());
+  ScopedSpan span("xpath.query", "xpath");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Stopwatch timer;
+  Result<NodeSet> result = [&]() -> Result<NodeSet> {
+    if (stats == nullptr) return EvalPathImpl(path, mapping, db, doc);
+    ScopedMetricsCapture capture;
+    auto inner = EvalPathImpl(path, mapping, db, doc);
+    *stats = StatsFromDelta(capture.Delta());
+    return inner;
+  }();
+  if (reg.enabled()) {
+    reg.RecordLatency("mapping." + mapping->name() + ".query_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
+  }
   return result;
 }
 

@@ -311,7 +311,7 @@ Status InlineMapping::StoreElement(const xml::Node& el, DocId doc,
   return Status::OK();
 }
 
-Result<DocId> InlineMapping::Store(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
   if (root->name() != root_name_) {

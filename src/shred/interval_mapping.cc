@@ -94,7 +94,7 @@ Status IntervalMapping::StoreWithId(const xml::Document& doc, DocId docid,
   return t->InsertMany(std::move(rows));
 }
 
-Result<DocId> IntervalMapping::Store(const xml::Document& doc,
+Result<DocId> IntervalMapping::StoreImpl(const xml::Document& doc,
                                      rdb::Database* db) {
   ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
   RETURN_IF_ERROR(StoreWithId(doc, docid, db));

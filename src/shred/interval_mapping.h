@@ -29,7 +29,7 @@ class IntervalMapping : public Mapping {
   std::string name() const override { return "interval"; }
 
   Status Initialize(rdb::Database* db) override;
-  Result<DocId> Store(const xml::Document& doc, rdb::Database* db) override;
+  Result<DocId> StoreImpl(const xml::Document& doc, rdb::Database* db) override;
   bool SupportsParallelStore() const override { return true; }
   Result<DocId> NextDocId(rdb::Database* db) const override;
   Status StoreWithId(const xml::Document& doc, DocId docid,

@@ -1,8 +1,22 @@
 #include "shred/mapping.h"
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace xmlrdb::shred {
+
+Result<DocId> Mapping::Store(const xml::Document& doc, rdb::Database* db) {
+  ScopedSpan span("shred." + name(), "shred");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return StoreImpl(doc, db);
+  Stopwatch timer;
+  auto out = StoreImpl(doc, db);
+  reg.RecordLatency("mapping." + name() + ".store_us",
+                    static_cast<int64_t>(timer.ElapsedMicros()));
+  return out;
+}
 
 Result<std::vector<DocId>> Mapping::StoreAll(
     const std::vector<const xml::Document*>& docs, rdb::Database* db,
@@ -21,7 +35,18 @@ Result<std::vector<DocId>> Mapping::StoreAll(
   std::vector<Status> statuses(docs.size(), Status::OK());
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
   p.ParallelFor(docs.size(), [&](size_t i) {
+    // Each document's shred is its own span, nested under the caller's
+    // span via the pool's trace-context propagation.
+    ScopedSpan doc_span("shred.doc", "shred");
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    if (!reg.enabled()) {
+      statuses[i] = StoreWithId(*docs[i], base + static_cast<DocId>(i), db);
+      return;
+    }
+    Stopwatch timer;
     statuses[i] = StoreWithId(*docs[i], base + static_cast<DocId>(i), db);
+    reg.RecordLatency("mapping." + name() + ".store_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
   });
   for (const Status& st : statuses) RETURN_IF_ERROR(st);
   for (size_t i = 0; i < docs.size(); ++i) {
@@ -40,12 +65,23 @@ Status Mapping::StoreWithId(const xml::Document&, DocId, rdb::Database*) {
 
 Result<std::unique_ptr<xml::Document>> Mapping::Reconstruct(rdb::Database* db,
                                                             DocId doc) const {
-  ASSIGN_OR_RETURN(rdb::Value root, RootElement(db, doc));
-  ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> tree,
-                   ReconstructSubtree(db, doc, root));
-  auto out = std::make_unique<xml::Document>();
-  out->doc_node()->AddChild(std::move(tree));
-  return out;
+  ScopedSpan span("reconstruct." + name(), "shred");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Stopwatch timer;
+  auto run = [&]() -> Result<std::unique_ptr<xml::Document>> {
+    ASSIGN_OR_RETURN(rdb::Value root, RootElement(db, doc));
+    ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> tree,
+                     ReconstructSubtree(db, doc, root));
+    auto out = std::make_unique<xml::Document>();
+    out->doc_node()->AddChild(std::move(tree));
+    return out;
+  };
+  auto result = run();
+  if (reg.enabled()) {
+    reg.RecordLatency("mapping." + name() + ".reconstruct_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
+  }
+  return result;
 }
 
 Result<std::string> Mapping::TranslatePathToSql(DocId,

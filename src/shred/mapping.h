@@ -64,8 +64,10 @@ class Mapping {
   /// call once per database).
   virtual Status Initialize(rdb::Database* db) = 0;
 
-  /// Shreds `doc` into the tables under a fresh document id.
-  virtual Result<DocId> Store(const xml::Document& doc, rdb::Database* db) = 0;
+  /// Shreds `doc` into the tables under a fresh document id. Non-virtual
+  /// wrapper: records a "shred.<name>" trace span and the
+  /// "mapping.<name>.store_us" latency histogram around StoreImpl.
+  Result<DocId> Store(const xml::Document& doc, rdb::Database* db);
 
   /// Bulk load: stores every document and returns their ids in input order.
   /// Mappings that support it (see SupportsParallelStore) pre-assign a
@@ -114,7 +116,8 @@ class Mapping {
   virtual Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
       rdb::Database* db, DocId doc, const rdb::Value& node) const = 0;
 
-  /// Rebuilds the entire document.
+  /// Rebuilds the entire document. Records a "reconstruct.<name>" trace
+  /// span and the "mapping.<name>.reconstruct_us" latency histogram.
   Result<std::unique_ptr<xml::Document>> Reconstruct(rdb::Database* db,
                                                      DocId doc) const;
 
@@ -137,6 +140,10 @@ class Mapping {
   virtual Result<size_t> FootprintBytes(const rdb::Database& db) const;
 
  protected:
+  /// Mapping-specific shredding; called by Store() under its span/timer.
+  virtual Result<DocId> StoreImpl(const xml::Document& doc,
+                                  rdb::Database* db) = 0;
+
   /// Names of the tables this mapping owns (for FootprintBytes / tooling).
   virtual std::vector<std::string> TableNames(const rdb::Database& db) const = 0;
 };

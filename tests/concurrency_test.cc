@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "rdb/database.h"
 #include "shred/evaluator.h"
 #include "shred/registry.h"
@@ -180,6 +182,64 @@ TEST(ConcurrencyTest, ParallelStoreAllMatchesSerialStore) {
           << name << " doc " << i;
     }
   }
+}
+
+// The atomic-batches scenario again, but with the full observability stack
+// on: metrics, tracing, statement logging, and slow-query plan capture all
+// record from every reader and writer thread at once. TSan runs this suite;
+// the point is that the instrumentation itself is data-race-free.
+TEST(ConcurrencyTest, ObservabilityEnabledUnderConcurrentLoad) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  reg.set_enabled(true);
+  TraceCollector::Global().Clear();
+  TraceCollector::Global().set_enabled(true);
+
+  Database db;
+  db.set_slow_query_threshold_us(0);  // capture a plan for every SELECT
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INTEGER NOT NULL)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto res = db.Execute("SELECT COUNT(*) FROM t");
+        ASSERT_TRUE(res.ok()) << res.status();
+        auto metrics = db.Execute("SELECT * FROM xmlrdb_metrics");
+        ASSERT_TRUE(metrics.ok()) << metrics.status();
+        auto log = db.Execute("SELECT * FROM xmlrdb_statements");
+        ASSERT_TRUE(log.ok()) << log.status();
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 100; ++round) {
+      ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (100)").ok());
+      ASSERT_TRUE(db.Execute("DELETE FROM t WHERE x = 100").ok());
+    }
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  TraceCollector::Global().set_enabled(false);
+  reg.set_enabled(false);
+  EXPECT_GT(reg.Get("sql.statements"), 0);
+  EXPECT_GT(TraceCollector::Global().size(), 0u);
+  // Every SELECT was slow (threshold 0) and carries its analyzed plan.
+  auto entries = db.statement_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  bool saw_select_plan = false;
+  for (const auto& e : entries) {
+    if (e.kind == "select" && !e.plan.empty()) saw_select_plan = true;
+  }
+  EXPECT_TRUE(saw_select_plan);
+  std::string json = TraceCollector::Global().RenderChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  TraceCollector::Global().Clear();
+  reg.Reset();
 }
 
 TEST(ConcurrencyTest, InlineMappingFallsBackToSerialStoreAll) {

@@ -1,0 +1,136 @@
+#include "common/histogram.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xmlrdb {
+namespace {
+
+TEST(HistogramTest, BucketIndexExactBoundaries) {
+  // Bucket 0 holds only the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Negative values clamp into bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  // INT64_MAX lands in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  for (int b = 1; b < Histogram::kNumBuckets - 1; ++b) {
+    const int64_t lo = Histogram::BucketLowerBound(b);
+    const int64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::BucketIndex(hi - 1), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::BucketIndex(hi), b + 1) << "bucket " << b;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            INT64_MAX);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.Percentile(0), 0.0);
+  EXPECT_EQ(snap.p50(), 0.0);
+  EXPECT_EQ(snap.p99(), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(100);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.sum, 100);
+  EXPECT_EQ(snap.max, 100);
+  // Every percentile of a single sample is that sample (interpolation is
+  // clamped to the exact recorded maximum).
+  EXPECT_EQ(snap.p50(), 100.0);
+  EXPECT_EQ(snap.p95(), 100.0);
+  EXPECT_EQ(snap.p99(), 100.0);
+  EXPECT_EQ(snap.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentilesOfKnownDistribution) {
+  Histogram h;
+  // 100 samples: 1..100. p50 must land near 50, p95 near 95; log buckets
+  // make the interpolation coarse, so allow the enclosing bucket's range.
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.sum, 5050);
+  EXPECT_EQ(snap.max, 100);
+  const double p50 = snap.p50();
+  EXPECT_GE(p50, 32.0);   // bucket [32, 64) holds ranks 33..63
+  EXPECT_LE(p50, 64.0);
+  const double p95 = snap.p95();
+  EXPECT_GE(p95, 64.0);   // bucket [64, 128) holds ranks 65..100
+  EXPECT_LE(p95, 100.0);  // never above the exact max
+  EXPECT_EQ(snap.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsExactMax) {
+  Histogram h;
+  h.Record(5);
+  h.Record(6);
+  h.Record(7);  // all in bucket [4, 8)
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.max, 7);
+  EXPECT_LE(snap.p99(), 7.0);
+  EXPECT_LE(snap.Percentile(100), 7.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-50);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.p50(), 0.0);
+}
+
+TEST(HistogramTest, ClearResetsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Record(7);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Snapshot().p99(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordersLoseNoSamples) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 1000);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.max(), 999);
+}
+
+}  // namespace
+}  // namespace xmlrdb

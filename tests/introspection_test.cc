@@ -1,0 +1,283 @@
+// Tests for SQL-visible engine introspection: the statement log, the
+// slow-query EXPLAIN ANALYZE capture, and the xmlrdb_* virtual tables.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "rdb/database.h"
+#include "rdb/planner.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+std::vector<std::string> ColumnNames(const Schema& schema) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    out.push_back(schema.column(i).name);
+  }
+  return out;
+}
+
+TEST(StatementLogTest, AssignsSequentialSeqNumbers) {
+  StatementLog log(8);
+  for (int i = 0; i < 3; ++i) {
+    StatementLogEntry e;
+    e.sql = "stmt " + std::to_string(i);
+    log.Append(std::move(e));
+  }
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].seq, 0);
+  EXPECT_EQ(entries[1].seq, 1);
+  EXPECT_EQ(entries[2].seq, 2);
+  EXPECT_EQ(log.total_appended(), 3);
+}
+
+TEST(StatementLogTest, RingWrapsAroundAtCapacity) {
+  StatementLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    StatementLogEntry e;
+    e.sql = "stmt " + std::to_string(i);
+    log.Append(std::move(e));
+  }
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  // The two oldest were evicted; seq numbers keep counting.
+  EXPECT_EQ(entries.front().seq, 2);
+  EXPECT_EQ(entries.back().seq, 5);
+  EXPECT_EQ(entries.front().sql, "stmt 2");
+  EXPECT_EQ(log.total_appended(), 6);
+}
+
+TEST(StatementLogTest, ZeroCapacityDisablesLogging) {
+  StatementLog log(0);
+  log.Append(StatementLogEntry{});
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.total_appended(), 0);
+}
+
+TEST(StatementLogTest, ShrinkingCapacityDropsOldest) {
+  StatementLog log(8);
+  for (int i = 0; i < 5; ++i) log.Append(StatementLogEntry{});
+  log.set_capacity(2);
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.front().seq, 3);
+  EXPECT_EQ(entries.back().seq, 4);
+}
+
+TEST(IntrospectionTest, ExecuteAppendsToStatementLog) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  auto select = db.Execute("SELECT a FROM t");
+  ASSERT_TRUE(select.ok());
+
+  auto entries = db.statement_log().Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].kind, "create_table");
+  EXPECT_EQ(entries[1].kind, "insert");
+  EXPECT_EQ(entries[1].rows, 3);
+  EXPECT_EQ(entries[2].kind, "select");
+  EXPECT_EQ(entries[2].rows, 3);
+  EXPECT_GE(entries[2].duration_us, 0);
+  EXPECT_EQ(entries[2].sql, "SELECT a FROM t");
+}
+
+TEST(IntrospectionTest, FailedStatementLogsMinusOneRows) {
+  Database db;
+  EXPECT_FALSE(db.Execute("SELECT x FROM missing").ok());
+  auto entries = db.statement_log().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rows, -1);
+}
+
+TEST(IntrospectionTest, SlowQueryCapturesExplainAnalyze) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  // Threshold 0: every statement qualifies as slow.
+  db.set_slow_query_threshold_us(0);
+  ASSERT_TRUE(db.Execute("SELECT a FROM t WHERE a > 1").ok());
+
+  auto entries = db.statement_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  const StatementLogEntry& last = entries.back();
+  EXPECT_TRUE(last.slow);
+  // The captured plan is the EXPLAIN ANALYZE tree the statement actually ran.
+  EXPECT_NE(last.plan.find("SeqScan"), std::string::npos) << last.plan;
+  EXPECT_NE(last.plan.find("actual"), std::string::npos) << last.plan;
+}
+
+TEST(IntrospectionTest, NegativeThresholdDisablesSlowTracking) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  db.set_slow_query_threshold_us(-1);
+  ASSERT_TRUE(db.Execute("SELECT a FROM t").ok());
+  auto entries = db.statement_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_FALSE(entries.back().slow);
+  EXPECT_TRUE(entries.back().plan.empty());
+}
+
+TEST(IntrospectionTest, XmlrdbTablesListsCatalog) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").ok());
+  ASSERT_TRUE(db.Execute("CREATE INDEX idx_a ON t (a)").ok());
+
+  auto r = db.Execute("SELECT * FROM xmlrdb_tables");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ColumnNames(r.value().schema),
+            (std::vector<std::string>{"name", "rows", "bytes", "indexes"}));
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  const Row& row = r.value().rows[0];
+  EXPECT_EQ(row[0].AsString(), "t");
+  EXPECT_EQ(row[1].AsInt(), 2);
+  EXPECT_GT(row[2].AsInt(), 0);
+  EXPECT_EQ(row[3].AsInt(), 1);
+}
+
+TEST(IntrospectionTest, XmlrdbStatementsReflectsTheLog) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (7)").ok());
+
+  auto r = db.Execute(
+      "SELECT kind, rows FROM xmlrdb_statements WHERE kind = 'insert'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "insert");
+  EXPECT_EQ(r.value().rows[0][1].AsInt(), 1);
+
+  auto full = db.Execute("SELECT * FROM xmlrdb_statements");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(ColumnNames(full.value().schema),
+            (std::vector<std::string>{"seq", "kind", "sql", "duration_us",
+                                      "lock_wait_us", "rows", "slow", "plan"}));
+  // The snapshot is taken at statement-lock time, before the running
+  // statement itself is logged: CREATE + INSERT + the first SELECT.
+  EXPECT_EQ(full.value().rows.size(), 3u);
+}
+
+TEST(IntrospectionTest, XmlrdbMetricsExposesCountersAndPercentiles) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  reg.set_enabled(true);
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db.Execute("SELECT a FROM t").ok());
+
+  auto r = db.Execute(
+      "SELECT name, value FROM xmlrdb_metrics WHERE name = 'sql.statements'");
+  reg.set_enabled(false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  // CREATE + INSERT + SELECT at minimum; the introspection SELECT itself
+  // counts too, depending on when the snapshot is cut.
+  EXPECT_GE(r.value().rows[0][1].AsInt(), 3);
+
+  // Histograms surface as .count/.p50/.p95/.p99/.max rows.
+  auto hist = db.Execute(
+      "SELECT name, value FROM xmlrdb_metrics "
+      "WHERE name = 'sql.select.latency_us.count'");
+  ASSERT_TRUE(hist.ok());
+  ASSERT_EQ(hist.value().rows.size(), 1u);
+  EXPECT_GE(hist.value().rows[0][1].AsInt(), 1);
+  reg.Reset();
+}
+
+TEST(IntrospectionTest, VirtualTablesJoinWithBaseTables) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  // The virtual table goes through the normal planner: projections, filters,
+  // and ORDER BY all work.
+  auto r = db.Execute(
+      "SELECT name FROM xmlrdb_tables WHERE rows = 0 ORDER BY name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsString(), "t");
+}
+
+TEST(IntrospectionTest, VirtualTablesAreReadOnly) {
+  Database db;
+  auto ins = db.Execute("INSERT INTO xmlrdb_metrics VALUES ('x', 1)");
+  EXPECT_FALSE(ins.ok());
+  EXPECT_NE(ins.status().ToString().find("read-only"), std::string::npos);
+  auto del = db.Execute("DELETE FROM xmlrdb_statements");
+  EXPECT_FALSE(del.ok());
+  auto drop = db.Execute("DROP TABLE xmlrdb_tables");
+  EXPECT_FALSE(drop.ok());
+}
+
+// Acceptance scenario: trace a parallel-scan SELECT and export Chrome JSON.
+// The statement span must exist, and every morsel span recorded on a pool
+// worker must name it (transitively) as an ancestor.
+TEST(IntrospectionTest, TracedParallelScanNestsMorselSpans) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.set_enabled(true);
+
+  Database db;
+  PlannerOptions opts;
+  opts.max_parallelism = 4;
+  opts.parallel_scan_min_rows = 1;
+  db.set_planner_options(opts);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  std::string insert = "INSERT INTO t VALUES (0)";
+  for (int i = 1; i < 512; ++i) insert += ", (" + std::to_string(i) + ")";
+  ASSERT_TRUE(db.Execute(insert).ok());
+  auto r = db.Execute("SELECT a FROM t WHERE a >= 0");
+  collector.set_enabled(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 512u);
+
+  auto events = collector.Snapshot();
+  uint64_t statement_span = 0;
+  for (const auto& e : events) {
+    if (e.name == "sql.select") statement_span = e.id;
+  }
+  ASSERT_NE(statement_span, 0u);
+
+  std::map<uint64_t, uint64_t> parent_of;
+  for (const auto& e : events) parent_of[e.id] = e.parent_id;
+  size_t morsels = 0;
+  for (const auto& e : events) {
+    if (e.name != "scan.morsel") continue;
+    ++morsels;
+    // Walk up to the root; the statement span must be on the path.
+    bool under_statement = false;
+    for (uint64_t cur = e.id; cur != 0; cur = parent_of.count(cur) ? parent_of[cur] : 0) {
+      if (cur == statement_span) {
+        under_statement = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(under_statement) << "morsel span " << e.id
+                                 << " not nested under the statement";
+  }
+  EXPECT_GT(morsels, 0u);
+
+  std::string json = collector.RenderChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("scan.morsel"), std::string::npos);
+  EXPECT_NE(json.find("sql.select"), std::string::npos);
+  collector.Clear();
+}
+
+TEST(IntrospectionTest, ReservedPrefixRejectedForBaseTables) {
+  Database db;
+  auto r = db.Execute("CREATE TABLE xmlrdb_mine (a INTEGER)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("reserved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -2,6 +2,10 @@
 
 #include "common/metrics.h"
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace xmlrdb {
@@ -75,6 +79,119 @@ TEST_F(MetricsTest, ScopedCaptureEnablesAndRestores) {
     EXPECT_EQ(delta["inside"], 2);
   }
   EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(MetricsTest, NestedCapturesKeepRegistryEnabledUntilOutermostEnds) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ASSERT_FALSE(reg.enabled());
+  {
+    ScopedMetricsCapture outer;
+    {
+      ScopedMetricsCapture inner;
+      EXPECT_TRUE(reg.enabled());
+    }
+    // The inner capture ending must not turn metrics off for the outer one.
+    EXPECT_TRUE(reg.enabled());
+    reg.Add("after_inner", 1);
+    EXPECT_EQ(outer.Delta()["after_inner"], 1);
+  }
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(MetricsTest, CaptureDoesNotClobberManualEnable) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  { ScopedMetricsCapture capture; }
+  // A capture ending never disables a manually-enabled registry.
+  EXPECT_TRUE(reg.enabled());
+}
+
+TEST_F(MetricsTest, ConcurrentOverlappingCaptures) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 200; ++i) {
+        ScopedMetricsCapture capture;
+        EXPECT_TRUE(reg.enabled());
+        reg.Add("thread." + std::to_string(t), 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(reg.enabled());
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.Get("thread." + std::to_string(t)), 200);
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentAddsAcrossShardsLoseNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.Add("shared", 1);
+        reg.Add("counter." + std::to_string(i % 32), 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.Get("shared"), kThreads * kPerThread);
+  int64_t spread = 0;
+  for (int i = 0; i < 32; ++i) spread += reg.Get("counter." + std::to_string(i));
+  EXPECT_EQ(spread, kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, GetHistogramReturnsStableReference) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram& h1 = reg.GetHistogram("lat");
+  Histogram& h2 = reg.GetHistogram("lat");
+  EXPECT_EQ(&h1, &h2);
+  reg.Reset();  // zeroes contents but never destroys the histogram
+  EXPECT_EQ(&reg.GetHistogram("lat"), &h1);
+}
+
+TEST_F(MetricsTest, RecordLatencyRespectsEnabledFlag) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.RecordLatency("lat", 10);  // disabled: dropped
+  EXPECT_EQ(reg.GetHistogram("lat").count(), 0);
+  reg.set_enabled(true);
+  reg.RecordLatency("lat", 10);
+  reg.RecordLatency("lat", 20);
+  auto snaps = reg.HistogramSnapshots();
+  ASSERT_EQ(snaps.count("lat"), 1u);
+  EXPECT_EQ(snaps["lat"].count, 2);
+  EXPECT_EQ(snaps["lat"].max, 20);
+}
+
+TEST_F(MetricsTest, ResetZeroesHistograms) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.RecordLatency("lat", 100);
+  reg.Reset();
+  EXPECT_EQ(reg.GetHistogram("lat").count(), 0);
+  EXPECT_EQ(reg.GetHistogram("lat").max(), 0);
+}
+
+TEST_F(MetricsTest, RenderPrometheusExposesCountersAndQuantiles) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.Add("sql.statements", 7);
+  reg.RecordLatency("sql.select.latency_us", 100);
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("xmlrdb_sql_statements 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("xmlrdb_sql_select_latency_us_count 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
+  EXPECT_NE(text.find("xmlrdb_sql_select_latency_us_max 100"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace xmlrdb {
+namespace {
+
+/// Enables the global collector for one test, restoring a clean disabled
+/// state afterwards so tests do not leak spans into each other.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceCollector::Global().set_enabled(false);
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().set_capacity(128 * 1024);
+  }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::Global().set_enabled(false);
+  {
+    ScopedSpan span("ignored");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(TraceCollector::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, SameThreadNesting) {
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(trace::CurrentSpanId(), outer.id());
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(trace::CurrentSpanId(), inner.id());
+    }
+    // Popping the inner span restores the outer as current.
+    EXPECT_EQ(trace::CurrentSpanId(), outer.id());
+  }
+  EXPECT_EQ(trace::CurrentSpanId(), 0u);
+
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  std::map<std::string, TraceEvent> by_name;
+  for (const auto& e : events) by_name[e.name] = e;
+  ASSERT_TRUE(by_name.count("outer"));
+  ASSERT_TRUE(by_name.count("inner"));
+  EXPECT_EQ(by_name["outer"].parent_id, 0u);
+  EXPECT_EQ(by_name["inner"].parent_id, by_name["outer"].id);
+  EXPECT_GE(by_name["outer"].dur_us, by_name["inner"].dur_us);
+}
+
+TEST_F(TraceTest, NestingPropagatesAcrossParallelFor) {
+  constexpr size_t kTasks = 16;
+  uint64_t parent_id = 0;
+  {
+    ScopedSpan parent("parent");
+    parent_id = parent.id();
+    ThreadPool pool(4);
+    pool.ParallelFor(kTasks, [](size_t) { ScopedSpan child("child"); });
+  }
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  size_t children = 0;
+  for (const auto& e : events) {
+    if (e.name != "child") continue;
+    ++children;
+    // Every worker-side span nests under the submitting span even though it
+    // ran on a different thread.
+    EXPECT_EQ(e.parent_id, parent_id);
+  }
+  EXPECT_EQ(children, kTasks);
+}
+
+TEST_F(TraceTest, InlineExecutionKeepsCallerContext) {
+  // A pool of size 0 runs Submit() inline on the caller; the caller's span
+  // must still be the parent.
+  uint64_t parent_id = 0;
+  {
+    ScopedSpan parent("parent");
+    parent_id = parent.id();
+    ThreadPool pool(0);
+    pool.Submit([] { ScopedSpan child("child"); });
+  }
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  auto it = std::find_if(events.begin(), events.end(),
+                         [](const TraceEvent& e) { return e.name == "child"; });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->parent_id, parent_id);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  {
+    ScopedSpan outer("statement \"quoted\"", "sql");
+    ScopedSpan inner("morsel", "exec");
+  }
+  std::string json = TraceCollector::Global().RenderChromeJson();
+  // Structural markers of the trace-event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sql\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+  // Quotes in span names are escaped.
+  EXPECT_NE(json.find("statement \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("statement \"quoted\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(TraceTest, CapacityBoundsBufferAndCountsDrops) {
+  TraceCollector::Global().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("s" + std::to_string(i));
+  }
+  EXPECT_EQ(TraceCollector::Global().size(), 4u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 6);
+  TraceCollector::Global().Clear();
+  EXPECT_EQ(TraceCollector::Global().size(), 0u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 0);
+}
+
+TEST_F(TraceTest, SpanIdsAreUniqueAndNonZero) {
+  for (int i = 0; i < 100; ++i) {
+    ScopedSpan span("s");
+    EXPECT_NE(span.id(), 0u);
+  }
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  std::vector<uint64_t> ids;
+  for (const auto& e : events) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+}  // namespace xmlrdb
