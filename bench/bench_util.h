@@ -61,6 +61,14 @@ inline std::map<std::string, int64_t> BenchCounterNames(
   for (const auto& [name, value] : delta) {
     if (name == "sql.statements") {
       out["sql_stmts"] = value;
+    } else if (name == "sql.parsed") {
+      out["sql_parsed"] = value;
+    } else if (name == "plancache.hits") {
+      out["plancache_hits"] = value;
+    } else if (name == "plancache.misses") {
+      out["plancache_misses"] = value;
+    } else if (name == "plancache.invalidations") {
+      out["plancache_invalidations"] = value;
     } else if (name == "exec.rows_scanned") {
       out["rows_scanned"] = value;
     } else if (name.rfind("op.", 0) == 0) {

@@ -89,6 +89,7 @@ Result<Table*> Database::CreateTableLocked(const std::string& name,
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* out = table.get();
   tables_[name] = std::move(table);
+  BumpSchemaVersion();
   return out;
 }
 
@@ -101,6 +102,9 @@ Status Database::DropTable(const std::string& name) {
   // can take the table lock no reader or writer remains and none can return.
   { std::unique_lock<std::shared_mutex> drain(it->second->mutex()); }
   tables_.erase(it);
+  // Any cached plan may hold a pointer into the erased table; bumping the
+  // version forces those plans to rebuild before their next execution.
+  BumpSchemaVersion();
   return Status::OK();
 }
 
@@ -256,11 +260,13 @@ std::unique_ptr<Table> Database::MaterializeVirtualTable(
                      MakeColumn("lock_wait_us", DataType::kInt),
                      MakeColumn("rows", DataType::kInt),
                      MakeColumn("slow", DataType::kInt),
+                     MakeColumn("cache_hit", DataType::kInt),
                      MakeColumn("plan", DataType::kString)});
     for (const StatementLogEntry& e : statement_log_.Entries()) {
       rows.push_back({Value(e.seq), Value(e.kind), Value(e.sql),
                       Value(e.duration_us), Value(e.lock_wait_us),
                       Value(e.rows), Value(static_cast<int64_t>(e.slow ? 1 : 0)),
+                      Value(static_cast<int64_t>(e.cache_hit ? 1 : 0)),
                       Value(e.plan)});
     }
   } else if (name == "xmlrdb_tables") {
@@ -331,6 +337,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   if (reg.enabled()) {
     reg.Add("sql.statements", 1);
+    reg.Add("sql.parsed", 1);
     reg.Add(std::string("sql.") + kind, 1);
   }
   StatementExec exec;
@@ -368,6 +375,198 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
     statement_log_.Append(std::move(entry));
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements.
+
+namespace {
+
+/// SELECTs over xmlrdb_* virtual tables are materialized per statement, so
+/// their plans reference statement-private snapshot tables and must never be
+/// cached across executions.
+bool ReferencesVirtualTable(const SelectStmt& stmt) {
+  for (const TableRef& ref : stmt.from) {
+    if (Database::IsVirtualTableName(ref.table)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PreparedStatement> Database::Prepare(std::string_view sql) {
+  std::string key(sql);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (std::shared_ptr<PlanCacheEntry> entry = plan_cache_.Lookup(key)) {
+    if (reg.enabled()) reg.Add("plancache.hits", 1);
+    return PreparedStatement(this, std::move(entry));
+  }
+  if (reg.enabled()) {
+    reg.Add("plancache.misses", 1);
+    reg.Add("sql.parsed", 1);
+  }
+  ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
+  auto entry = std::make_shared<PlanCacheEntry>();
+  entry->sql = std::move(key);
+  entry->kind = StatementKind(parsed.stmt);
+  if (auto* s = std::get_if<SelectStmt>(&parsed.stmt)) {
+    entry->cache_plan = !ReferencesVirtualTable(*s);
+  }
+  entry->parsed = std::move(parsed);
+  entry = plan_cache_.Insert(std::move(entry));
+  return PreparedStatement(this, std::move(entry));
+}
+
+Result<QueryResult> PreparedStatement::Execute(std::vector<Value> params) {
+  if (db_ == nullptr) return Status::Internal("empty PreparedStatement");
+  return db_->ExecutePrepared(entry_.get(), std::move(params));
+}
+
+Result<std::string> PreparedStatement::ExplainPlan() {
+  if (db_ == nullptr) return Status::Internal("empty PreparedStatement");
+  return db_->ExplainPrepared(entry_.get());
+}
+
+Result<QueryResult> Database::ExecutePrepared(PlanCacheEntry* entry,
+                                              std::vector<Value> params) {
+  if (params.size() != entry->parsed.param_count) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(entry->parsed.param_count) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.enabled()) {
+    reg.Add("sql.statements", 1);
+    reg.Add("sql." + entry->kind, 1);
+  }
+  StatementExec exec;
+  Stopwatch timer;
+  bool cache_hit = false;
+  Result<QueryResult> result = QueryResult{};
+  {
+    ScopedSpan span("sql." + entry->kind, "sql");
+    std::unique_lock<std::mutex> checkout(entry->exec_mu, std::try_to_lock);
+    if (checkout.owns_lock()) {
+      if (entry->parsed.params != nullptr) {
+        *entry->parsed.params = std::move(params);
+      }
+      if (entry->cache_plan) {
+        result = RunSelectPrepared(entry, &exec, &cache_hit);
+      } else {
+        result = Dispatch(entry->parsed.stmt, &exec);
+      }
+    } else {
+      // Another thread is executing this exact statement right now. Rather
+      // than serialize behind it (the AST, param block and plan are all
+      // single-checkout state), fall back to a fresh uncached parse+plan.
+      if (reg.enabled()) reg.Add("sql.parsed", 1);
+      auto parsed_or = ParseSqlWithParams(entry->sql);
+      if (!parsed_or.ok()) {
+        result = parsed_or.status();
+      } else {
+        ParsedStatement fresh = std::move(parsed_or.value());
+        if (fresh.params != nullptr) *fresh.params = std::move(params);
+        result = Dispatch(fresh.stmt, &exec);
+      }
+    }
+  }
+  const int64_t duration_us = static_cast<int64_t>(timer.ElapsedMicros());
+  if (reg.enabled()) {
+    reg.RecordLatency("sql." + entry->kind + ".latency_us", duration_us);
+    if (exec.lock_wait_us > 0) reg.Add("sql.lock_wait_us", exec.lock_wait_us);
+  }
+  const int64_t threshold = slow_query_threshold_us();
+  const bool slow = threshold >= 0 && duration_us >= threshold;
+  if (slow && reg.enabled()) reg.Add("sql.slow_statements", 1);
+  if (statement_log_.capacity() > 0) {
+    StatementLogEntry log_entry;
+    log_entry.sql = entry->sql;
+    log_entry.kind = entry->kind;
+    log_entry.duration_us = duration_us;
+    log_entry.lock_wait_us = exec.lock_wait_us;
+    if (!result.ok()) {
+      log_entry.rows = -1;
+    } else if (!result.value().rows.empty()) {
+      log_entry.rows = static_cast<int64_t>(result.value().rows.size());
+    } else {
+      log_entry.rows = result.value().affected;
+    }
+    log_entry.slow = slow;
+    log_entry.cache_hit = cache_hit;
+    if (slow) log_entry.plan = std::move(exec.analyzed_plan);
+    statement_log_.Append(std::move(log_entry));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunSelectPrepared(PlanCacheEntry* entry,
+                                                StatementExec* exec,
+                                                bool* cache_hit) {
+  const SelectStmt& stmt = std::get<SelectStmt>(entry->parsed.stmt);
+  ReadLockSet locks;
+  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
+                                   exec != nullptr ? &exec->lock_wait_us
+                                                   : nullptr));
+  // Validate the cached plan while holding the table locks: DDL on any
+  // referenced table needs that table exclusively (DROP additionally drains
+  // under the exclusive catalog lock), so version equality here proves every
+  // Table/Index pointer baked into the plan is still alive and current.
+  const int64_t version = schema_version_.load(std::memory_order_acquire);
+  if (entry->plan == nullptr || entry->planned_version != version) {
+    if (entry->plan != nullptr) {
+      plan_cache_.RecordInvalidation();
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      if (reg.enabled()) reg.Add("plancache.invalidations", 1);
+      entry->plan.reset();
+    }
+    ASSIGN_OR_RETURN(entry->plan, PlanWithLocks(stmt, locks));
+    entry->planned_version = version;
+  } else {
+    *cache_hit = true;
+    // Reuse: the per-statement consumers (FlushPlanMetrics, slow-query
+    // EXPLAIN ANALYZE) expect stats for this execution only.
+    entry->plan->ResetStats();
+  }
+  const bool capture_plan = slow_query_threshold_us() >= 0;
+  if (capture_plan) entry->plan->EnableAnalyze();
+  QueryResult out;
+  out.schema = entry->plan->output_schema();
+  auto rows_or = ExecutePlan(entry->plan.get());
+  if (!rows_or.ok()) {
+    // Don't trust a plan whose execution failed midway; rebuild next time.
+    entry->plan.reset();
+    return rows_or.status();
+  }
+  out.rows = std::move(rows_or.value());
+  FlushPlanMetrics(*entry->plan);
+  if (capture_plan && exec != nullptr) {
+    exec->analyzed_plan = entry->plan->ExplainAnalyze();
+  }
+  return out;
+}
+
+Result<std::string> Database::ExplainPrepared(PlanCacheEntry* entry) {
+  auto* stmt = std::get_if<SelectStmt>(&entry->parsed.stmt);
+  if (stmt == nullptr) {
+    return Status::InvalidArgument("EXPLAIN requires a SELECT statement");
+  }
+  std::lock_guard<std::mutex> checkout(entry->exec_mu);
+  ReadLockSet locks;
+  RETURN_IF_ERROR(LockTablesShared(stmt->from, &locks));
+  if (!entry->cache_plan) {
+    ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(*stmt, locks));
+    return plan->Explain();
+  }
+  const int64_t version = schema_version_.load(std::memory_order_acquire);
+  if (entry->plan == nullptr || entry->planned_version != version) {
+    if (entry->plan != nullptr) {
+      plan_cache_.RecordInvalidation();
+      entry->plan.reset();
+    }
+    ASSIGN_OR_RETURN(entry->plan, PlanWithLocks(*stmt, locks));
+    entry->planned_version = version;
+  }
+  return entry->plan->Explain();
 }
 
 Result<QueryResult> Database::Dispatch(const Statement& stmt,
@@ -454,6 +653,9 @@ Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt,
                                      exec != nullptr ? &exec->lock_wait_us
                                                      : nullptr));
   RETURN_IF_ERROR(t->CreateIndexUnlocked(stmt.index, stmt.columns));
+  // Cached plans were costed without this index; invalidate so the next
+  // prepared execution can switch its access path.
+  BumpSchemaVersion();
   return QueryResult{};
 }
 

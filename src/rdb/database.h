@@ -44,11 +44,14 @@
 
 #include "common/status.h"
 #include "rdb/plan.h"
+#include "rdb/plan_cache.h"
 #include "rdb/planner.h"
 #include "rdb/sql_ast.h"
 #include "rdb/table.h"
 
 namespace xmlrdb::rdb {
+
+class Database;
 
 /// One executed statement, as kept by the statement log.
 struct StatementLogEntry {
@@ -59,6 +62,7 @@ struct StatementLogEntry {
   int64_t lock_wait_us = 0;  ///< time spent acquiring statement-scope locks
   int64_t rows = 0;          ///< rows returned / affected; -1 on error
   bool slow = false;         ///< duration >= the configured threshold
+  bool cache_hit = false;    ///< executed a cached plan (prepared path only)
   std::string plan;  ///< captured EXPLAIN ANALYZE tree (slow SELECTs only)
 };
 
@@ -102,6 +106,36 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+/// A statement parsed once (and, for SELECTs over base tables, plan-cached)
+/// against a Database. Cheap to copy — copies share the cache entry. Execute
+/// re-binds the positional `?` parameters and runs the statement; when the
+/// schema has not changed since the last run, the compiled plan is reused
+/// without re-parsing or re-planning.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  /// Runs the statement with `params` bound to the `?` placeholders in
+  /// order. `params.size()` must equal param_count().
+  Result<QueryResult> Execute(std::vector<Value> params = {});
+
+  /// The plan this statement would execute right now (replanning first if
+  /// DDL invalidated the cached one). SELECT statements only.
+  Result<std::string> ExplainPlan();
+
+  bool valid() const { return db_ != nullptr; }
+  const std::string& sql() const { return entry_->sql; }
+  size_t param_count() const { return entry_->parsed.param_count; }
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db, std::shared_ptr<PlanCacheEntry> entry)
+      : db_(db), entry_(std::move(entry)) {}
+
+  Database* db_ = nullptr;
+  std::shared_ptr<PlanCacheEntry> entry_;
+};
+
 class Database {
  public:
   Database() = default;
@@ -124,6 +158,25 @@ class Database {
   /// Plans a SELECT without running it.
   Result<PlanPtr> Plan(const SelectStmt& stmt) const;
   Result<PlanPtr> PlanSql(std::string_view select_sql) const;
+
+  // -- prepared statements & plan cache --
+  /// Parses `sql` once (or fetches the cached parse by exact text) and
+  /// returns a handle that re-executes it with per-call `?` bindings.
+  /// Repeated Prepare calls with the same text share one cache entry, so a
+  /// warmed-up workload issues no parses and — for SELECTs — no planning.
+  Result<PreparedStatement> Prepare(std::string_view sql);
+
+  /// The shared statement/plan cache. set_capacity(0) disables caching
+  /// (every Prepare parses fresh and Execute replans every time).
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Catalog generation counter: bumped by every DDL statement (CREATE/DROP
+  /// TABLE, CREATE INDEX). Cached plans carry the version they were built
+  /// at and replan when it moves.
+  int64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
 
   /// Planner knobs (parallel scan fan-out, thresholds). Set before serving
   /// traffic: the options are read without synchronization while planning.
@@ -185,6 +238,19 @@ class Database {
   Result<PlanPtr> PlanWithLocks(const SelectStmt& stmt,
                                 const ReadLockSet& locks) const;
 
+  friend class PreparedStatement;
+  /// Execution + observability epilogue for PreparedStatement::Execute.
+  Result<QueryResult> ExecutePrepared(PlanCacheEntry* entry,
+                                      std::vector<Value> params);
+  /// SELECT path with plan reuse: validates the cached plan against the
+  /// schema version, replanning on mismatch. Requires entry->exec_mu held.
+  Result<QueryResult> RunSelectPrepared(PlanCacheEntry* entry,
+                                        StatementExec* exec, bool* cache_hit);
+  Result<std::string> ExplainPrepared(PlanCacheEntry* entry);
+  void BumpSchemaVersion() {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   Result<QueryResult> Dispatch(const Statement& stmt, StatementExec* exec);
   Result<QueryResult> RunSelect(const SelectStmt& stmt, StatementExec* exec);
   Result<QueryResult> RunExplain(const ExplainStmt& stmt, StatementExec* exec);
@@ -201,6 +267,8 @@ class Database {
   PlannerOptions planner_options_;
   StatementLog statement_log_;
   std::atomic<int64_t> slow_query_threshold_us_{-1};
+  std::atomic<int64_t> schema_version_{0};
+  PlanCache plan_cache_;
 };
 
 }  // namespace xmlrdb::rdb

@@ -52,6 +52,14 @@ std::string LiteralExpr::ToString() const {
   return value_.ToString();
 }
 
+Result<Value> ParamExpr::Eval(const Row&) const {
+  if (block_ == nullptr || index_ >= block_->size()) {
+    return Status::Internal("parameter " + std::to_string(index_ + 1) +
+                            " not bound");
+  }
+  return (*block_)[index_];
+}
+
 Status BinaryExpr::Bind(const Schema& schema) {
   RETURN_IF_ERROR(left_->Bind(schema));
   return right_->Bind(schema);

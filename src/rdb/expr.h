@@ -28,7 +28,7 @@ const char* BinOpName(BinOp op);
 
 class Expr {
  public:
-  enum class Kind { kColumn, kLiteral, kBinary, kNot, kIsNull, kLike, kInList, kAgg };
+  enum class Kind { kColumn, kLiteral, kBinary, kNot, kIsNull, kLike, kInList, kAgg, kParam };
 
   virtual ~Expr() = default;
 
@@ -95,6 +95,30 @@ class LiteralExpr : public Expr {
 
  private:
   Value value_;
+};
+
+/// A positional `?` placeholder (prepared statements). All clones of a
+/// parameter — including the copies the planner embeds into plan operators —
+/// share one binding block, so writing `(*block)[index]` before execution
+/// re-binds the parameter everywhere without touching the plan tree.
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(size_t index, std::shared_ptr<std::vector<Value>> block)
+      : Expr(Kind::kParam), index_(index), block_(std::move(block)) {}
+
+  size_t index() const { return index_; }
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Result<Value> Eval(const Row&) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<ParamExpr>(index_, block_);
+  }
+  std::string ToString() const override { return "?"; }
+  void CollectColumns(std::vector<std::string>*) const override {}
+
+ private:
+  size_t index_;
+  std::shared_ptr<std::vector<Value>> block_;
 };
 
 class BinaryExpr : public Expr {

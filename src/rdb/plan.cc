@@ -49,6 +49,8 @@ DataType InferType(const Expr& e, const Schema& schema) {
       return DataType::kBool;
     case Expr::Kind::kAgg:
       return DataType::kDouble;  // resolved by AggregateNode before execution
+    case Expr::Kind::kParam:
+      return DataType::kString;  // runtime-typed; unknown until bound
   }
   return DataType::kString;
 }
@@ -115,6 +117,13 @@ void PlanNode::EnableAnalyze() {
   // the one writer that needs to reach through it.
   for (const PlanNode* c : Children()) {
     const_cast<PlanNode*>(c)->EnableAnalyze();
+  }
+}
+
+void PlanNode::ResetStats() {
+  stats_ = OperatorStats{};
+  for (const PlanNode* c : Children()) {
+    const_cast<PlanNode*>(c)->ResetStats();
   }
 }
 
@@ -300,8 +309,54 @@ IndexScanNode::IndexScanNode(const Table* table, const Index* index,
       alias_.empty() ? table_->name() : alias_);
 }
 
+IndexScanNode::IndexScanNode(const Table* table, const Index* index,
+                             std::string alias, std::vector<ExprPtr> lower,
+                             bool lower_inclusive, std::vector<ExprPtr> upper,
+                             bool upper_inclusive)
+    : table_(table), index_(index), alias_(std::move(alias)),
+      lower_exprs_(std::move(lower)), upper_exprs_(std::move(upper)),
+      lower_inclusive_(lower_inclusive), upper_inclusive_(upper_inclusive) {
+  schema_ = table_->schema().WithQualifier(
+      alias_.empty() ? table_->name() : alias_);
+}
+
+namespace {
+
+/// True when `v` can serve as an index bound for a key column of type `ct`:
+/// same type, or numeric-vs-numeric (Value::Compare orders those by value).
+/// Anything else (NULL, string-vs-int, ...) would compare by type id, which
+/// does not match predicate semantics — the caller truncates the bound.
+bool UsableBound(const Value& v, DataType ct) {
+  if (v.is_null()) return false;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt || t == DataType::kDouble;
+  };
+  if (numeric(ct) && numeric(v.type())) return true;
+  return v.type() == ct;
+}
+
+}  // namespace
+
 Status IndexScanNode::OpenImpl() {
   MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
+  if (!lower_exprs_.empty() || !upper_exprs_.empty()) {
+    // Parameterized bounds: resolve per execution, truncating the prefix at
+    // the first value the key column cannot be range-compared against.
+    static const Row kEmpty;
+    lower_.clear();
+    upper_.clear();
+    const auto& keys = index_->key_columns();
+    for (size_t i = 0; i < lower_exprs_.size() && i < keys.size(); ++i) {
+      ASSIGN_OR_RETURN(Value v, lower_exprs_[i]->Eval(kEmpty));
+      if (!UsableBound(v, table_->schema().column(keys[i]).type)) break;
+      lower_.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < upper_exprs_.size() && i < keys.size(); ++i) {
+      ASSIGN_OR_RETURN(Value v, upper_exprs_[i]->Eval(kEmpty));
+      if (!UsableBound(v, table_->schema().column(keys[i]).type)) break;
+      upper_.push_back(std::move(v));
+    }
+  }
   rids_ = index_->LookupRange(lower_, lower_inclusive_, upper_, upper_inclusive_);
   pos_ = 0;
   return Status::OK();
@@ -322,6 +377,25 @@ void IndexScanNode::CloseImpl() { rids_.clear(); }
 
 std::string IndexScanNode::Describe() const {
   std::string out = "IndexScan(" + table_->name() + "." + index_->name();
+  auto exprs_to_string = [](const std::vector<ExprPtr>& exprs) {
+    std::string s = "[";
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += exprs[i]->ToString();
+    }
+    return s + "]";
+  };
+  if (!lower_exprs_.empty() || !upper_exprs_.empty()) {
+    if (!lower_exprs_.empty()) {
+      out += lower_inclusive_ ? " >= " : " > ";
+      out += exprs_to_string(lower_exprs_);
+    }
+    if (!upper_exprs_.empty()) {
+      out += upper_inclusive_ ? " <= " : " < ";
+      out += exprs_to_string(upper_exprs_);
+    }
+    return out + ")";
+  }
   if (!lower_.empty()) {
     out += lower_inclusive_ ? " >= " : " > ";
     out += RowToString(lower_);

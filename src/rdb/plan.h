@@ -65,6 +65,11 @@ class PlanNode {
   void EnableAnalyze();
   bool analyze_enabled() const { return analyze_; }
 
+  /// Zeroes the subtree's OperatorStats. Cached plans are re-executed; the
+  /// per-statement consumers (FlushPlanMetrics, EXPLAIN ANALYZE) expect
+  /// stats for the current execution only, so reset before each reuse.
+  void ResetStats();
+
   const OperatorStats& stats() const { return stats_; }
 
   /// Multi-line indented plan tree.
@@ -149,11 +154,18 @@ class ParallelSeqScanNode : public PlanNode {
 };
 
 /// Range scan through a secondary index. Bounds are prefix rows over the
-/// index key columns; empty = unbounded on that side.
+/// index key columns; empty = unbounded on that side. The expression-bound
+/// form defers bound evaluation to Open() so parameterized plans re-resolve
+/// `?` values on every execution; a bound whose runtime type cannot be
+/// compared against the key column truncates the prefix there (the planner
+/// keeps parameterized conjuncts as residual filters, so widening is safe).
 class IndexScanNode : public PlanNode {
  public:
   IndexScanNode(const Table* table, const Index* index, std::string alias,
                 Row lower, bool lower_inclusive, Row upper, bool upper_inclusive);
+  IndexScanNode(const Table* table, const Index* index, std::string alias,
+                std::vector<ExprPtr> lower, bool lower_inclusive,
+                std::vector<ExprPtr> upper, bool upper_inclusive);
 
   const Schema& output_schema() const override { return schema_; }
   std::string Describe() const override;
@@ -169,6 +181,7 @@ class IndexScanNode : public PlanNode {
   std::string alias_;
   Schema schema_;
   Row lower_, upper_;
+  std::vector<ExprPtr> lower_exprs_, upper_exprs_;  ///< empty = fixed bounds
   bool lower_inclusive_, upper_inclusive_;
   std::vector<RowId> rids_;
   size_t pos_ = 0;

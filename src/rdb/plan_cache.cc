@@ -1,0 +1,72 @@
+#include "rdb/plan_cache.h"
+
+namespace xmlrdb::rdb {
+
+std::shared_ptr<PlanCacheEntry> PlanCache::Lookup(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sql);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return *it->second;
+}
+
+std::shared_ptr<PlanCacheEntry> PlanCache::Insert(
+    std::shared_ptr<PlanCacheEntry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return entry;
+  auto it = index_.find(entry->sql);
+  if (it != index_.end()) {
+    // Lost a Prepare race: the first insert is canonical.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  lru_.push_front(entry);
+  index_[entry->sql] = lru_.begin();
+  EvictToCapacityLocked();
+  return entry;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictToCapacityLocked();
+}
+
+void PlanCache::EvictToCapacityLocked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back()->sql);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,104 @@
+// Shared LRU cache of prepared statements, keyed by exact SQL text.
+//
+// Each entry owns one parse of the statement (with its shared positional-
+// parameter block) and, for cacheable SELECTs, the compiled plan. Plans are
+// validated lazily against the database's schema version: every DDL
+// statement bumps the version, and an execution that finds a cached plan
+// built at an older version replans instead of trusting Table/Index
+// pointers that DDL may have invalidated.
+//
+// Execution state is checked out exclusively through `exec_mu` (try_lock):
+// concurrent executions of the same statement never share a parameter block
+// or a plan — the loser of the race falls back to a fresh, uncached
+// parse+plan instead of blocking.
+
+#ifndef XMLRDB_RDB_PLAN_CACHE_H_
+#define XMLRDB_RDB_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "rdb/plan.h"
+#include "rdb/sql_parser.h"
+
+namespace xmlrdb::rdb {
+
+/// One cached statement. `sql`, `parsed` (the AST itself), `kind` and
+/// `cache_plan` are immutable after construction; `plan`, `planned_version`
+/// and writes into `parsed.params` are guarded by `exec_mu`.
+struct PlanCacheEntry {
+  std::string sql;
+  ParsedStatement parsed;
+  std::string kind;         ///< "select", "insert", ... (statement log)
+  bool cache_plan = false;  ///< SELECT over base tables only
+
+  std::mutex exec_mu;  ///< exclusive checkout of the execution state below
+  PlanPtr plan;                  ///< cached compiled plan (may be null)
+  int64_t planned_version = -1;  ///< schema version `plan` was built at
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t invalidations = 0;  ///< cached plans discarded after DDL
+  int64_t evictions = 0;      ///< entries dropped by the LRU policy
+};
+
+/// Thread-safe LRU map from SQL text to PlanCacheEntry. Evicted entries stay
+/// alive while any PreparedStatement still holds them (shared ownership);
+/// they just stop being findable.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns the entry for `sql` (touching it most-recently-used), or null.
+  /// Counts a hit or a miss.
+  std::shared_ptr<PlanCacheEntry> Lookup(const std::string& sql);
+
+  /// Inserts `entry` under its sql text and returns the canonical entry: if
+  /// another thread inserted the same text first, that earlier entry wins
+  /// and `entry` is discarded. With capacity 0 the cache stores nothing and
+  /// returns `entry` unchanged (every Prepare is independent).
+  std::shared_ptr<PlanCacheEntry> Insert(std::shared_ptr<PlanCacheEntry> entry);
+
+  /// Drops every cached entry (in-flight PreparedStatements keep theirs).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Resizes the cache; shrinking evicts least-recently-used entries.
+  /// 0 disables caching entirely.
+  void set_capacity(size_t capacity);
+
+  PlanCacheStats stats() const;
+  /// Called by the executor when a cached plan is discarded because the
+  /// schema version moved underneath it.
+  void RecordInvalidation() {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  void EvictToCapacityLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<std::shared_ptr<PlanCacheEntry>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::shared_ptr<PlanCacheEntry>>::iterator>
+      index_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_PLAN_CACHE_H_

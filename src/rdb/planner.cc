@@ -85,12 +85,16 @@ bool MatchEquiJoin(const Expr& e, const NameResolver& nr, JoinPred* out) {
   return true;
 }
 
-/// Pattern-matches `alias.col OP literal` (either operand order).
+/// Pattern-matches `alias.col OP literal` or `alias.col OP ?` (either operand
+/// order). For a literal the value is known at plan time; for a parameter only
+/// the expression is kept and the scan resolves it at Open().
 struct ColOpLit {
   std::string column;  // qualified as written
   size_t col_index;    // in the table schema
   BinOp op;            // normalised so the column is on the left
-  Value literal;
+  Value literal;       // valid only when !is_param
+  ExprPtr value;       // clone of the value operand (literal or param)
+  bool is_param = false;
 };
 
 BinOp FlipOp(BinOp op) {
@@ -113,14 +117,17 @@ bool MatchColOpLit(const Expr& e, const Table& table, ColOpLit* out) {
     default:
       return false;
   }
+  auto is_value = [](Expr::Kind k) {
+    return k == Expr::Kind::kLiteral || k == Expr::Kind::kParam;
+  };
   const Expr* col = bin.left();
-  const Expr* lit = bin.right();
+  const Expr* val = bin.right();
   BinOp op = bin.op();
-  if (col->kind() == Expr::Kind::kLiteral && lit->kind() == Expr::Kind::kColumn) {
-    std::swap(col, lit);
+  if (is_value(col->kind()) && val->kind() == Expr::Kind::kColumn) {
+    std::swap(col, val);
     op = FlipOp(op);
   }
-  if (col->kind() != Expr::Kind::kColumn || lit->kind() != Expr::Kind::kLiteral) {
+  if (col->kind() != Expr::Kind::kColumn || !is_value(val->kind())) {
     return false;
   }
   const auto& c = static_cast<const ColumnExpr&>(*col);
@@ -130,20 +137,27 @@ bool MatchColOpLit(const Expr& e, const Table& table, ColOpLit* out) {
   if (dot != std::string::npos) bare = bare.substr(dot + 1);
   auto idx = table.schema().TryIndexOf(bare);
   if (!idx.has_value()) return false;
-  const Value& v = static_cast<const LiteralExpr&>(*lit).value();
-  // Only index on type-compatible literals (string col vs string lit etc.);
-  // mismatched types fall back to filtering.
   DataType ct = table.schema().column(*idx).type;
-  bool compatible =
-      v.type() == ct ||
-      (ct == DataType::kDouble && v.type() == DataType::kInt) ||
-      (ct == DataType::kInt && v.type() == DataType::kDouble &&
-       op == BinOp::kEq);
-  if (!compatible) return false;
+  if (val->kind() == Expr::Kind::kLiteral) {
+    const Value& v = static_cast<const LiteralExpr&>(*val).value();
+    // Only index on type-compatible literals (string col vs string lit etc.);
+    // mismatched types fall back to filtering.
+    bool compatible =
+        v.type() == ct ||
+        (ct == DataType::kDouble && v.type() == DataType::kInt) ||
+        (ct == DataType::kInt && v.type() == DataType::kDouble &&
+         op == BinOp::kEq);
+    if (!compatible) return false;
+    out->literal = v;
+  } else {
+    // Parameter value is unknown until execution: the scan checks type
+    // compatibility at Open() and widens the bound if it cannot compare.
+    out->is_param = true;
+  }
   out->column = c.name();
   out->col_index = *idx;
   out->op = op;
-  out->literal = v;
+  out->value = val->Clone();
   return true;
 }
 
@@ -160,18 +174,22 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
   for (size_t i = 0; i < conjuncts->size(); ++i) {
     ColOpLit m;
     if ((*conjuncts)[i] != nullptr && MatchColOpLit(*(*conjuncts)[i], *table, &m)) {
-      sargs.emplace_back(i, m);
+      sargs.emplace_back(i, std::move(m));
     }
   }
   const Index* best_index = nullptr;
   size_t best_score = 0;
   std::vector<size_t> best_used;
   Row best_lower, best_upper;
+  std::vector<ExprPtr> best_lower_exprs, best_upper_exprs;
   bool best_lower_inc = true, best_upper_inc = true;
+  bool best_has_param = false;
 
   for (const auto& index : table->indexes()) {
     Row lower, upper;
+    std::vector<ExprPtr> lower_exprs, upper_exprs;
     bool lower_inc = true, upper_inc = true;
+    bool has_param = false;
     std::vector<size_t> used;
     size_t matched = 0;
     bool open = true;  // still matching equality prefix
@@ -183,6 +201,9 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
         if (m.col_index == kc && m.op == BinOp::kEq) {
           lower.push_back(m.literal);
           upper.push_back(m.literal);
+          lower_exprs.push_back(m.value->Clone());
+          upper_exprs.push_back(m.value->Clone());
+          has_param = has_param || m.is_param;
           used.push_back(ci);
           ++matched;
           eq_found = true;
@@ -193,28 +214,35 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
       // Otherwise try range sargs on this column, then stop extending.
       bool have_lower = false, have_upper = false;
       Value lo, hi;
+      ExprPtr lo_expr, hi_expr;
       bool lo_inc = true, hi_inc = true;
       for (const auto& [ci, m] : sargs) {
         if (m.col_index != kc) continue;
         if ((m.op == BinOp::kGt || m.op == BinOp::kGe) && !have_lower) {
           lo = m.literal;
+          lo_expr = m.value->Clone();
           lo_inc = m.op == BinOp::kGe;
+          has_param = has_param || m.is_param;
           have_lower = true;
           used.push_back(ci);
         } else if ((m.op == BinOp::kLt || m.op == BinOp::kLe) && !have_upper) {
           hi = m.literal;
+          hi_expr = m.value->Clone();
           hi_inc = m.op == BinOp::kLe;
+          has_param = has_param || m.is_param;
           have_upper = true;
           used.push_back(ci);
         }
       }
       if (have_lower) {
         lower.push_back(lo);
+        lower_exprs.push_back(std::move(lo_expr));
         lower_inc = lo_inc;
         ++matched;
       }
       if (have_upper) {
         upper.push_back(hi);
+        upper_exprs.push_back(std::move(hi_expr));
         upper_inc = hi_inc;
         ++matched;
       }
@@ -226,13 +254,24 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
       best_used = used;
       best_lower = lower;
       best_upper = upper;
+      best_lower_exprs = std::move(lower_exprs);
+      best_upper_exprs = std::move(upper_exprs);
       best_lower_inc = lower_inc;
       best_upper_inc = upper_inc;
+      best_has_param = has_param;
     }
   }
 
   PlanPtr scan;
-  if (best_index != nullptr) {
+  if (best_index != nullptr && best_has_param) {
+    // Parameterized bounds: the scan evaluates them at Open() and may widen
+    // the range if a bound value turns out type-incompatible with the key
+    // column. To stay correct under widening, every used conjunct is KEPT as
+    // a residual filter instead of being consumed.
+    scan = std::make_unique<IndexScanNode>(
+        table, best_index, alias, std::move(best_lower_exprs), best_lower_inc,
+        std::move(best_upper_exprs), best_upper_inc);
+  } else if (best_index != nullptr) {
     scan = std::make_unique<IndexScanNode>(table, best_index, alias, best_lower,
                                            best_lower_inc, best_upper,
                                            best_upper_inc);

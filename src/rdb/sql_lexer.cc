@@ -105,7 +105,7 @@ Result<std::vector<Token>> LexSql(std::string_view sql) {
       }
     }
     if (matched) continue;
-    static const std::string kOneChar = "=<>+-*/%(),.;";
+    static const std::string kOneChar = "=<>+-*/%(),.;?";
     if (kOneChar.find(c) != std::string::npos) {
       push(TokKind::kSymbol, std::string(1, c), start);
       ++i;

@@ -200,6 +200,13 @@ class SqlParser {
   }
 
   Result<ExprPtr> ParseFactor() {
+    if (IsSymbol("?")) {
+      Next();
+      if (param_block_ == nullptr) {
+        param_block_ = std::make_shared<std::vector<Value>>();
+      }
+      return ExprPtr(std::make_unique<ParamExpr>(param_count_++, param_block_));
+    }
     if (ConsumeSymbol("-")) {
       ASSIGN_OR_RETURN(ExprPtr child, ParseFactor());
       return Bin(BinOp::kSub, Lit(static_cast<int64_t>(0)), std::move(child));
@@ -480,14 +487,34 @@ class SqlParser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+
+ public:
+  std::shared_ptr<std::vector<Value>> param_block_;
+  size_t param_count_ = 0;
 };
 
 }  // namespace
 
 Result<Statement> ParseSql(std::string_view sql) {
+  ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
+  if (parsed.param_count > 0) {
+    return Status::InvalidArgument(
+        "positional parameters ('?') require a prepared statement "
+        "(Database::Prepare)");
+  }
+  return std::move(parsed.stmt);
+}
+
+Result<ParsedStatement> ParseSqlWithParams(std::string_view sql) {
   ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
   SqlParser parser(std::move(tokens));
-  return parser.ParseStatement();
+  ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  ParsedStatement out;
+  out.stmt = std::move(stmt);
+  out.param_count = parser.param_count_;
+  out.params = std::move(parser.param_block_);
+  if (out.params != nullptr) out.params->assign(out.param_count, Value::Null());
+  return out;
 }
 
 }  // namespace xmlrdb::rdb

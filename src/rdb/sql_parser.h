@@ -3,15 +3,30 @@
 #ifndef XMLRDB_RDB_SQL_PARSER_H_
 #define XMLRDB_RDB_SQL_PARSER_H_
 
+#include <memory>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "rdb/sql_ast.h"
+#include "rdb/value.h"
 
 namespace xmlrdb::rdb {
 
-/// Parses exactly one statement (a trailing ';' is allowed).
+/// Parses exactly one statement (a trailing ';' is allowed). Rejects `?`
+/// placeholders — those require the prepared-statement path.
 Result<Statement> ParseSql(std::string_view sql);
+
+/// A statement parsed with positional-parameter support: every `?` became a
+/// ParamExpr sharing `params` (sized to param_count, initially NULL). Writing
+/// params->at(i) binds parameter i for every clone of the expression tree.
+struct ParsedStatement {
+  Statement stmt;
+  std::shared_ptr<std::vector<Value>> params;
+  size_t param_count = 0;
+};
+
+Result<ParsedStatement> ParseSqlWithParams(std::string_view sql);
 
 }  // namespace xmlrdb::rdb
 

@@ -157,10 +157,12 @@ size_t Value::FootprintBytes() const {
 }
 
 size_t HashRow(const Row& row) {
-  size_t h = 14695981039346656037ull;
+  // Position-mixing combiner (boost::hash_combine style): the running hash
+  // is sheared into the incoming value, so permuted rows — and rows that
+  // differ only by shifting a value across columns — hash differently.
+  size_t h = row.size();
   for (const Value& v : row) {
-    h ^= v.Hash();
-    h *= 1099511628211ull;
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   }
   return h;
 }

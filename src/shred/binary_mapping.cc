@@ -16,6 +16,7 @@ std::string Ctx() { return ScratchName("_bin_ctx"); }
 std::string Frontier() { return ScratchName("_bin_frontier"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
 }  // namespace
 
 Status BinaryMapping::Initialize(rdb::Database* db) {
@@ -46,7 +47,7 @@ Status BinaryMapping::Initialize(rdb::Database* db) {
 Result<std::vector<BinaryMapping::Label>> BinaryMapping::Labels(
     rdb::Database* db) const {
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT name, kind, tbl FROM bin_labels"));
+                   ExecPrepared(db, "SELECT name, kind, tbl FROM bin_labels"));
   std::vector<Label> out;
   out.reserve(r.rows.size());
   for (auto& row : r.rows) {
@@ -58,10 +59,10 @@ Result<std::vector<BinaryMapping::Label>> BinaryMapping::Labels(
 Result<std::string> BinaryMapping::FindTableFor(rdb::Database* db,
                                                 const std::string& label,
                                                 const std::string& kind) const {
-  ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT tbl FROM bin_labels WHERE name = " +
-                               SqlLiteral(Value(label)) + " AND kind = '" +
-                               kind + "'"));
+  ASSIGN_OR_RETURN(
+      QueryResult r,
+      ExecPrepared(db, "SELECT tbl FROM bin_labels WHERE name = ? AND kind = ?",
+                   {Value(label), Value(kind)}));
   return r.rows.empty() ? std::string() : r.rows[0][0].AsString();
 }
 
@@ -86,9 +87,8 @@ Result<std::string> BinaryMapping::TableFor(rdb::Database* db,
   RETURN_IF_ERROR(db->Execute("CREATE INDEX " + tbl + "_tgt ON " + tbl +
                               " (docid, target)")
                       .status());
-  RETURN_IF_ERROR(db->Execute("INSERT INTO bin_labels VALUES (" +
-                              SqlLiteral(Value(label)) + ", '" + kind + "', " +
-                              SqlLiteral(Value(tbl)) + ")")
+  RETURN_IF_ERROR(ExecPrepared(db, "INSERT INTO bin_labels VALUES (?, ?, ?)",
+                               {Value(label), Value(kind), Value(tbl)})
                       .status());
   return tbl;
 }
@@ -143,10 +143,9 @@ Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
                    t->Insert({Value(docid), Value(static_cast<int64_t>(0)),
                               Value(static_cast<int64_t>(1)), Value(root_id)}));
   RETURN_IF_ERROR(ShredInto(*root, docid, root_id, &counter, db));
-  RETURN_IF_ERROR(db->Execute("INSERT INTO bin_docs VALUES (" + D(docid) + ", " +
-                              std::to_string(root_id) + ", " +
-                              SqlLiteral(Value(root->name())) + ", " +
-                              std::to_string(counter - 1) + ")")
+  RETURN_IF_ERROR(ExecPrepared(db, "INSERT INTO bin_docs VALUES (?, ?, ?, ?)",
+                               {Value(docid), Value(root_id),
+                                Value(root->name()), Value(counter - 1)})
                       .status());
   return docid;
 }
@@ -155,18 +154,22 @@ Status BinaryMapping::Remove(DocId doc, rdb::Database* db) {
   ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
   for (const auto& l : labels) {
     RETURN_IF_ERROR(
-        db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " + D(doc))
+        ExecPrepared(db, "DELETE FROM " + l.tbl + " WHERE docid = ?",
+                     {DV(doc)})
             .status());
   }
   RETURN_IF_ERROR(
-      db->Execute("DELETE FROM bt_text WHERE docid = " + D(doc)).status());
-  return db->Execute("DELETE FROM bin_docs WHERE docid = " + D(doc)).status();
+      ExecPrepared(db, "DELETE FROM bt_text WHERE docid = ?", {DV(doc)})
+          .status());
+  return ExecPrepared(db, "DELETE FROM bin_docs WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 Result<Value> BinaryMapping::RootElement(rdb::Database* db, DocId doc) const {
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT root FROM bin_docs WHERE docid = " +
-                               D(doc)));
+                   ExecPrepared(db,
+                                "SELECT root FROM bin_docs WHERE docid = ?",
+                                {DV(doc)}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   return r.rows[0][0];
 }
@@ -178,9 +181,10 @@ Result<NodeSet> BinaryMapping::AllElements(rdb::Database* db, DocId doc,
   for (const auto& l : labels) {
     if (l.kind != "elem") continue;
     if (name_test != "*" && l.name != name_test) continue;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT target FROM " + l.tbl +
-                                 " WHERE docid = " + D(doc)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db, "SELECT target FROM " + l.tbl + " WHERE docid = ?",
+                     {DV(doc)}));
     for (auto& row : r.rows) out.push_back(row[0]);
   }
   std::sort(out.begin(), out.end(),
@@ -219,11 +223,13 @@ Result<std::vector<StepResult>> BinaryMapping::Step(
                      partition_tables(kind, name_test));
     std::vector<std::pair<std::pair<int64_t, int64_t>, StepResult>> collected;
     for (const std::string& tbl : tbls) {
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT c.id, t.ordinal, t.target FROM " +
-                                   Ctx() +
-                                   " c JOIN " + tbl + " t ON t.source = c.id "
-                                   "WHERE t.docid = " + D(doc)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT c.id, t.ordinal, t.target FROM " + Ctx() +
+                           " c JOIN " + tbl + " t ON t.source = c.id "
+                           "WHERE t.docid = ?",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         collected.push_back({{row[0].AsInt(), row[1].AsInt()},
                              {row[0], row[2]}});
@@ -250,11 +256,13 @@ Result<std::vector<StepResult>> BinaryMapping::Step(
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
     for (const std::string& tbl : all_elem) {
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT f.origin, t.target FROM " +
-                                   Frontier() + " f JOIN " + tbl +
-                                   " t ON t.source = f.id WHERE t.docid = " +
-                                   D(doc)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT f.origin, t.target FROM " + Frontier() +
+                           " f JOIN " + tbl +
+                           " t ON t.source = f.id WHERE t.docid = ?",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         if (name_test == "*" || tbl_to_name[tbl] == name_test) {
           out.push_back({row[0], row[1]});
@@ -288,11 +296,12 @@ Result<std::vector<std::string>> BinaryMapping::StringValues(
   std::vector<bool> resolved(nodes.size(), false);
   for (const auto& l : labels) {
     if (l.kind != "attr") continue;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT c.id, t.value FROM " + Ctx() +
-                                 " c JOIN " + l.tbl +
-                                 " t ON t.target = c.id WHERE t.docid = " +
-                                 D(doc)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT c.id, t.value FROM " + Ctx() + " c JOIN " + l.tbl +
+                         " t ON t.target = c.id WHERE t.docid = ?",
+                     {DV(doc)}));
     for (auto& row : r.rows) {
       size_t p = pos[row[0].AsInt()];
       out[p] = row[1].AsString();
@@ -312,20 +321,24 @@ Result<std::vector<std::string>> BinaryMapping::StringValues(
   while (!frontier.empty()) {
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     frontier.clear();
-    ASSIGN_OR_RETURN(QueryResult tr,
-                     db->Execute("SELECT f.origin, t.target, t.value FROM " +
-                                 Frontier() +
-                                 " f JOIN bt_text t ON t.source = f.id "
-                                 "WHERE t.docid = " + D(doc)));
+    ASSIGN_OR_RETURN(
+        QueryResult tr,
+        ExecPrepared(db,
+                     "SELECT f.origin, t.target, t.value FROM " + Frontier() +
+                         " f JOIN bt_text t ON t.source = f.id "
+                         "WHERE t.docid = ?",
+                     {DV(doc)}));
     for (auto& row : tr.rows) {
       texts.push_back({row[0].AsInt(), {row[1].AsInt(), row[2].AsString()}});
     }
     for (const std::string& tbl : elem_tbls) {
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT f.origin, t.target FROM " +
-                                   Frontier() + " f JOIN " + tbl +
-                                   " t ON t.source = f.id WHERE t.docid = " +
-                                   D(doc)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT f.origin, t.target FROM " + Frontier() +
+                           " f JOIN " + tbl +
+                           " t ON t.source = f.id WHERE t.docid = ?",
+                       {DV(doc)}));
       for (auto& row : r.rows) frontier.emplace_back(row[0], row[1]);
     }
   }
@@ -344,10 +357,12 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
   std::string node_name;
   for (const auto& l : labels) {
     if (l.kind != "elem") continue;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT target FROM " + l.tbl +
-                                 " WHERE docid = " + D(doc) +
-                                 " AND target = " + SqlLiteral(node)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(
+            db,
+            "SELECT target FROM " + l.tbl + " WHERE docid = ? AND target = ?",
+            {DV(doc), node}));
     if (!r.rows.empty()) {
       node_name = l.name;
       break;
@@ -357,10 +372,12 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
     // Could be an attribute node.
     for (const auto& l : labels) {
       if (l.kind != "attr") continue;
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT value FROM " + l.tbl +
-                                   " WHERE docid = " + D(doc) +
-                                   " AND target = " + SqlLiteral(node)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(
+              db,
+              "SELECT value FROM " + l.tbl + " WHERE docid = ? AND target = ?",
+              {DV(doc), node}));
       if (!r.rows.empty()) {
         return std::make_unique<xml::Node>(xml::NodeKind::kAttribute, l.name,
                                            r.rows[0][0].AsString());
@@ -386,11 +403,12 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
       std::string cols = l.kind == "attr"
                              ? "f.id, t.ordinal, t.target, t.value"
                              : "f.id, t.ordinal, t.target";
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT " + cols + " FROM " +
-                                   Frontier() + " f JOIN " + l.tbl +
-                                   " t ON t.source = f.id WHERE t.docid = " +
-                                   D(doc)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT " + cols + " FROM " + Frontier() + " f JOIN " +
+                           l.tbl + " t ON t.source = f.id WHERE t.docid = ?",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         ChildRow cr;
         cr.ordinal = row[1].AsInt();
@@ -404,11 +422,14 @@ Result<std::unique_ptr<xml::Node>> BinaryMapping::ReconstructSubtree(
         children[row[0].AsInt()].push_back(std::move(cr));
       }
     }
-    ASSIGN_OR_RETURN(QueryResult tr,
-                     db->Execute("SELECT f.id, t.ordinal, t.target, t.value "
-                                 "FROM " + Frontier() +
-                                 " f JOIN bt_text t ON t.source = f.id "
-                                 "WHERE t.docid = " + D(doc)));
+    ASSIGN_OR_RETURN(
+        QueryResult tr,
+        ExecPrepared(db,
+                     "SELECT f.id, t.ordinal, t.target, t.value FROM " +
+                         Frontier() +
+                         " f JOIN bt_text t ON t.source = f.id "
+                         "WHERE t.docid = ?",
+                     {DV(doc)}));
     for (auto& row : tr.rows) {
       ChildRow cr;
       cr.ordinal = row[1].AsInt();
@@ -456,11 +477,12 @@ Result<NodeSet> BinaryMapping::SubtreeElementIds(rdb::Database* db, DocId doc,
     frontier.clear();
     for (const auto& l : labels) {
       if (l.kind != "elem") continue;
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT t.target FROM " +
-                                   Frontier() + " f JOIN " + l.tbl +
-                                   " t ON t.source = f.id WHERE t.docid = " +
-                                   D(doc)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT t.target FROM " + Frontier() + " f JOIN " +
+                           l.tbl + " t ON t.source = f.id WHERE t.docid = ?",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         ids.push_back(row[0]);
         frontier.emplace_back(row[0], row[0]);
@@ -477,8 +499,9 @@ Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
     return Status::InvalidArgument("subtree root must be an element");
   }
   ASSIGN_OR_RETURN(QueryResult maxq,
-                   db->Execute("SELECT max_id FROM bin_docs WHERE docid = " +
-                               D(doc)));
+                   ExecPrepared(db,
+                                "SELECT max_id FROM bin_docs WHERE docid = ?",
+                                {DV(doc)}));
   if (maxq.rows.empty()) return Status::NotFound("document " + D(doc));
   int64_t counter = maxq.rows[0][0].AsInt() + 1;
 
@@ -488,10 +511,12 @@ Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
   std::vector<std::string> child_tables{"bt_text"};
   for (const auto& l : labels) child_tables.push_back(l.tbl);
   for (const std::string& tbl : child_tables) {
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT MAX(ordinal) FROM " + tbl +
-                                 " WHERE docid = " + D(doc) +
-                                 " AND source = " + SqlLiteral(parent)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT MAX(ordinal) FROM " + tbl +
+                         " WHERE docid = ? AND source = ?",
+                     {DV(doc), parent}));
     if (!r.rows.empty() && !r.rows[0][0].is_null()) {
       ordinal = std::max(ordinal, r.rows[0][0].AsInt() + 1);
     }
@@ -503,9 +528,8 @@ Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
   ASSIGN_OR_RETURN([[maybe_unused]] rdb::RowId rid,
                    t->Insert({Value(doc), parent, Value(ordinal), Value(root_id)}));
   RETURN_IF_ERROR(ShredInto(subtree, doc, root_id, &counter, db));
-  return db
-      ->Execute("UPDATE bin_docs SET max_id = " + std::to_string(counter - 1) +
-                " WHERE docid = " + D(doc))
+  return ExecPrepared(db, "UPDATE bin_docs SET max_id = ? WHERE docid = ?",
+                      {Value(counter - 1), DV(doc)})
       .status();
 }
 
@@ -516,21 +540,27 @@ Status BinaryMapping::DeleteSubtree(rdb::Database* db, DocId doc,
   // Attribute/text rows hang off subtree elements (source in elems);
   // element rows are the subtree elements themselves (target in elems).
   for (const Value& id : elems) {
-    std::string ids = SqlLiteral(id);
     for (const auto& l : labels) {
       if (l.kind == "elem") {
-        RETURN_IF_ERROR(db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " +
-                                    D(doc) + " AND target = " + ids)
-                            .status());
+        RETURN_IF_ERROR(
+            ExecPrepared(db,
+                         "DELETE FROM " + l.tbl +
+                             " WHERE docid = ? AND target = ?",
+                         {DV(doc), id})
+                .status());
       } else {
-        RETURN_IF_ERROR(db->Execute("DELETE FROM " + l.tbl + " WHERE docid = " +
-                                    D(doc) + " AND source = " + ids)
-                            .status());
+        RETURN_IF_ERROR(
+            ExecPrepared(db,
+                         "DELETE FROM " + l.tbl +
+                             " WHERE docid = ? AND source = ?",
+                         {DV(doc), id})
+                .status());
       }
     }
-    RETURN_IF_ERROR(db->Execute("DELETE FROM bt_text WHERE docid = " + D(doc) +
-                                " AND source = " + ids)
-                        .status());
+    RETURN_IF_ERROR(
+        ExecPrepared(db, "DELETE FROM bt_text WHERE docid = ? AND source = ?",
+                     {DV(doc), id})
+            .status());
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@ using rdb::Value;
 
 namespace {
 std::string D(DocId doc) { return std::to_string(doc); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
 }  // namespace
 
 Status BlobMapping::Initialize(rdb::Database* db) {
@@ -46,7 +47,8 @@ Result<DocId> BlobMapping::StoreImpl(const xml::Document& doc, rdb::Database* db
 
 Status BlobMapping::Remove(DocId doc, rdb::Database* db) {
   cache_.erase(doc);
-  return db->Execute("DELETE FROM blob_docs WHERE docid = " + D(doc)).status();
+  return ExecPrepared(db, "DELETE FROM blob_docs WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 Result<BlobMapping::CachedDoc*> BlobMapping::Load(rdb::Database* db,
@@ -54,8 +56,9 @@ Result<BlobMapping::CachedDoc*> BlobMapping::Load(rdb::Database* db,
   auto it = cache_.find(doc);
   if (it != cache_.end()) return &it->second;
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT content FROM blob_docs WHERE docid = " +
-                               D(doc)));
+                   ExecPrepared(db,
+                                "SELECT content FROM blob_docs WHERE docid = ?",
+                                {DV(doc)}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> parsed,
                    xml::Parse(r.rows[0][0].AsString()));
@@ -190,10 +193,10 @@ Status BlobMapping::Flush(rdb::Database* db, DocId doc) {
   auto it = cache_.find(doc);
   if (it == cache_.end()) return Status::Internal("flush without cached doc");
   std::string text = xml::Serialize(*it->second.doc);
-  RETURN_IF_ERROR(db->Execute("UPDATE blob_docs SET content = " +
-                              SqlLiteral(Value(text)) + " WHERE docid = " +
-                              D(doc))
-                      .status());
+  RETURN_IF_ERROR(
+      ExecPrepared(db, "UPDATE blob_docs SET content = ? WHERE docid = ?",
+                   {Value(std::move(text)), DV(doc)})
+          .status());
   // Drop the cache entry: ids were invalidated by the mutation.
   cache_.erase(it);
   return Status::OK();

@@ -16,6 +16,7 @@ namespace {
 std::string Ctx() { return ScratchName("_dw_ctx"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
 }  // namespace
 
 std::string DeweyComponent(int64_t ordinal) {
@@ -114,25 +115,31 @@ Result<DocId> DeweyMapping::StoreImpl(const xml::Document& doc, rdb::Database* d
 }
 
 Status DeweyMapping::Remove(DocId doc, rdb::Database* db) {
-  return db->Execute("DELETE FROM dw_nodes WHERE docid = " + D(doc)).status();
+  return ExecPrepared(db, "DELETE FROM dw_nodes WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 Result<Value> DeweyMapping::RootElement(rdb::Database* db, DocId doc) const {
-  ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT dewey FROM dw_nodes WHERE docid = " +
-                               D(doc) + " AND dewey = '" + DeweyComponent(1) +
-                               "'"));
+  ASSIGN_OR_RETURN(
+      QueryResult r,
+      ExecPrepared(db,
+                   "SELECT dewey FROM dw_nodes WHERE docid = ? AND dewey = ?",
+                   {DV(doc), Value(DeweyComponent(1))}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   return r.rows[0][0];
 }
 
 Result<NodeSet> DeweyMapping::AllElements(rdb::Database* db, DocId doc,
                                           const std::string& name_test) const {
-  std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = " + D(doc) +
-                    " AND kind = 'elem'";
-  if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+  std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = ? "
+                    "AND kind = 'elem'";
+  std::vector<Value> params{DV(doc)};
+  if (name_test != "*") {
+    sql += " AND name = ?";
+    params.emplace_back(name_test);
+  }
   sql += " ORDER BY dewey";
-  ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+  ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
   NodeSet out;
   out.reserve(r.rows.size());
   for (auto& row : r.rows) out.push_back(row[0]);
@@ -148,18 +155,22 @@ Result<std::vector<StepResult>> DeweyMapping::Step(
   std::unordered_map<std::string, int64_t> levels;
   if (context.size() <= 8) {
     for (const Value& ctx : context) {
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT level FROM dw_nodes WHERE docid = " +
-                                   D(doc) + " AND dewey = " + SqlLiteral(ctx)));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT level FROM dw_nodes WHERE docid = ? "
+                       "AND dewey = ?",
+                       {DV(doc), ctx}));
       if (!r.rows.empty()) levels[ctx.AsString()] = r.rows[0][0].AsInt();
     }
   } else {
     RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kString, context));
     ASSIGN_OR_RETURN(QueryResult li,
-                     db->Execute("SELECT c.id, n.level FROM " +
-                                 Ctx() +
-                                 " c JOIN dw_nodes n ON n.dewey = c.id "
-                                 "WHERE n.docid = " + D(doc)));
+                     ExecPrepared(db,
+                                  "SELECT c.id, n.level FROM " + Ctx() +
+                                      " c JOIN dw_nodes n ON n.dewey = c.id "
+                                      "WHERE n.docid = ?",
+                                  {DV(doc)}));
     for (auto& row : li.rows) levels[row[0].AsString()] = row[1].AsInt();
   }
 
@@ -169,12 +180,16 @@ Result<std::vector<StepResult>> DeweyMapping::Step(
   // disjoint.
   constexpr size_t kMergeThreshold = 4;
   if (context.size() > kMergeThreshold) {
-    std::string sql = "SELECT dewey, level FROM dw_nodes WHERE docid = " +
-                      D(doc) + " AND kind = '" +
-                      (axis == xpath::Axis::kAttribute ? "attr" : "elem") + "'";
-    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    std::string sql =
+        "SELECT dewey, level FROM dw_nodes WHERE docid = ? AND kind = ?";
+    std::vector<Value> params{
+        DV(doc), Value(axis == xpath::Axis::kAttribute ? "attr" : "elem")};
+    if (name_test != "*") {
+      sql += " AND name = ?";
+      params.emplace_back(name_test);
+    }
     sql += " ORDER BY dewey";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
 
     struct CtxInfo {
       std::string lower;  // d + "."
@@ -237,25 +252,28 @@ Result<std::vector<StepResult>> DeweyMapping::Step(
       return Status::NotFound("dewey node " + ctx.ToString());
     }
     const std::string& d = ctx.AsString();
-    std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = " + D(doc) +
-                      " AND dewey > " + SqlLiteral(Value(d + ".")) +
-                      " AND dewey < " + SqlLiteral(Value(d + "/"));
+    std::string sql = "SELECT dewey FROM dw_nodes WHERE docid = ? "
+                      "AND dewey > ? AND dewey < ?";
+    std::vector<Value> params{DV(doc), Value(d + "."), Value(d + "/")};
     switch (axis) {
       case xpath::Axis::kChild:
-        sql += " AND level = " + std::to_string(it->second + 1) +
-               " AND kind = 'elem'";
+        sql += " AND level = ? AND kind = 'elem'";
+        params.emplace_back(it->second + 1);
         break;
       case xpath::Axis::kAttribute:
-        sql += " AND level = " + std::to_string(it->second + 1) +
-               " AND kind = 'attr'";
+        sql += " AND level = ? AND kind = 'attr'";
+        params.emplace_back(it->second + 1);
         break;
       case xpath::Axis::kDescendant:
         sql += " AND kind = 'elem'";
         break;
     }
-    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    if (name_test != "*") {
+      sql += " AND name = ?";
+      params.emplace_back(name_test);
+    }
     sql += " ORDER BY dewey";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
     for (auto& row : r.rows) out.push_back({ctx, row[0]});
   }
   return out;
@@ -267,20 +285,22 @@ Result<std::vector<std::string>> DeweyMapping::StringValues(
   for (size_t i = 0; i < nodes.size(); ++i) {
     const std::string& d = nodes[i].AsString();
     ASSIGN_OR_RETURN(QueryResult self,
-                     db->Execute("SELECT kind, value FROM dw_nodes "
-                                 "WHERE docid = " + D(doc) + " AND dewey = " +
-                                 SqlLiteral(nodes[i])));
+                     ExecPrepared(db,
+                                  "SELECT kind, value FROM dw_nodes "
+                                  "WHERE docid = ? AND dewey = ?",
+                                  {DV(doc), nodes[i]}));
     if (self.rows.empty()) continue;
     if (self.rows[0][0].AsString() != "elem") {
       out[i] = self.rows[0][1].is_null() ? "" : self.rows[0][1].AsString();
       continue;
     }
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT value FROM dw_nodes WHERE docid = " +
-                                 D(doc) + " AND dewey > " +
-                                 SqlLiteral(Value(d + ".")) + " AND dewey < " +
-                                 SqlLiteral(Value(d + "/")) +
-                                 " AND kind = 'text' ORDER BY dewey"));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT value FROM dw_nodes WHERE docid = ? "
+                     "AND dewey > ? AND dewey < ? AND kind = 'text' "
+                     "ORDER BY dewey",
+                     {DV(doc), Value(d + "."), Value(d + "/")}));
     for (auto& row : r.rows) {
       if (!row[0].is_null()) out[i] += row[0].AsString();
     }
@@ -291,9 +311,10 @@ Result<std::vector<std::string>> DeweyMapping::StringValues(
 Result<std::unique_ptr<xml::Node>> DeweyMapping::ReconstructSubtree(
     rdb::Database* db, DocId doc, const rdb::Value& node) const {
   ASSIGN_OR_RETURN(QueryResult self,
-                   db->Execute("SELECT level, kind, name, value FROM dw_nodes "
-                               "WHERE docid = " + D(doc) + " AND dewey = " +
-                               SqlLiteral(node)));
+                   ExecPrepared(db,
+                                "SELECT level, kind, name, value FROM dw_nodes "
+                                "WHERE docid = ? AND dewey = ?",
+                                {DV(doc), node}));
   if (self.rows.empty()) return Status::NotFound("node " + node.ToString());
   int64_t root_level = self.rows[0][0].AsInt();
   const std::string kind = self.rows[0][1].AsString();
@@ -310,10 +331,11 @@ Result<std::unique_ptr<xml::Node>> DeweyMapping::ReconstructSubtree(
                                           self.rows[0][2].AsString());
   const std::string& d = node.AsString();
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT level, kind, name, value FROM dw_nodes "
-                               "WHERE docid = " + D(doc) + " AND dewey > " +
-                               SqlLiteral(Value(d + ".")) + " AND dewey < " +
-                               SqlLiteral(Value(d + "/")) + " ORDER BY dewey"));
+                   ExecPrepared(db,
+                                "SELECT level, kind, name, value FROM dw_nodes "
+                                "WHERE docid = ? AND dewey > ? AND dewey < ? "
+                                "ORDER BY dewey",
+                                {DV(doc), Value(d + "."), Value(d + "/")}));
   std::vector<xml::Node*> stack{root.get()};
   std::vector<int64_t> levels{root_level};
   for (auto& row : r.rows) {
@@ -344,18 +366,21 @@ Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
     return Status::InvalidArgument("subtree root must be an element");
   }
   const std::string& d = parent.AsString();
-  ASSIGN_OR_RETURN(QueryResult pr,
-                   db->Execute("SELECT level FROM dw_nodes WHERE docid = " +
-                               D(doc) + " AND dewey = " + SqlLiteral(parent)));
+  ASSIGN_OR_RETURN(
+      QueryResult pr,
+      ExecPrepared(db,
+                   "SELECT level FROM dw_nodes WHERE docid = ? AND dewey = ?",
+                   {DV(doc), parent}));
   if (pr.rows.empty()) return Status::NotFound("node " + parent.ToString());
   int64_t level = pr.rows[0][0].AsInt();
   // Last used child slot: MAX over direct children.
-  ASSIGN_OR_RETURN(QueryResult mc,
-                   db->Execute("SELECT MAX(dewey) FROM dw_nodes WHERE docid = " +
-                               D(doc) + " AND dewey > " +
-                               SqlLiteral(Value(d + ".")) + " AND dewey < " +
-                               SqlLiteral(Value(d + "/")) + " AND level = " +
-                               std::to_string(level + 1)));
+  ASSIGN_OR_RETURN(
+      QueryResult mc,
+      ExecPrepared(db,
+                   "SELECT MAX(dewey) FROM dw_nodes WHERE docid = ? "
+                   "AND dewey > ? AND dewey < ? AND level = ?",
+                   {DV(doc), Value(d + "."), Value(d + "/"),
+                    Value(level + 1)}));
   int64_t next_slot = 1;
   if (!mc.rows.empty() && !mc.rows[0][0].is_null()) {
     const std::string& max_dewey = mc.rows[0][0].AsString();
@@ -371,10 +396,10 @@ Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
 Status DeweyMapping::DeleteSubtree(rdb::Database* db, DocId doc,
                                    const rdb::Value& node) {
   const std::string& d = node.AsString();
-  return db
-      ->Execute("DELETE FROM dw_nodes WHERE docid = " + D(doc) +
-                " AND dewey >= " + SqlLiteral(node) + " AND dewey < " +
-                SqlLiteral(Value(d + "/")))
+  return ExecPrepared(db,
+                      "DELETE FROM dw_nodes WHERE docid = ? "
+                      "AND dewey >= ? AND dewey < ?",
+                      {DV(doc), node, Value(d + "/")})
       .status();
 }
 

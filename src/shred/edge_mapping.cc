@@ -17,6 +17,7 @@ std::string Ctx() { return ScratchName("_edge_ctx"); }
 std::string Frontier() { return ScratchName("_edge_frontier"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
 }  // namespace
 
 Status EdgeMapping::Initialize(rdb::Database* db) {
@@ -106,24 +107,35 @@ Result<DocId> EdgeMapping::StoreImpl(const xml::Document& doc, rdb::Database* db
 }
 
 Status EdgeMapping::Remove(DocId doc, rdb::Database* db) {
-  return db->Execute("DELETE FROM edge WHERE docid = " + D(doc)).status();
+  return ExecPrepared(db, "DELETE FROM edge WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 Result<Value> EdgeMapping::RootElement(rdb::Database* db, DocId doc) const {
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT target FROM edge WHERE docid = " + D(doc) +
-                               " AND source = 0 AND kind = 'elem'"));
+                   ExecPrepared(db,
+                                "SELECT target FROM edge WHERE docid = ? AND "
+                                "source = 0 AND kind = 'elem'",
+                                {DV(doc)}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   return r.rows[0][0];
 }
 
 Result<NodeSet> EdgeMapping::AllElements(rdb::Database* db, DocId doc,
                                          const std::string& name_test) const {
-  std::string sql = "SELECT target FROM edge WHERE docid = " + D(doc) +
-                    " AND kind = 'elem'";
-  if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
-  sql += " ORDER BY target";
-  ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+  QueryResult r;
+  if (name_test != "*") {
+    ASSIGN_OR_RETURN(r, ExecPrepared(db,
+                                     "SELECT target FROM edge WHERE docid = ? "
+                                     "AND kind = 'elem' AND name = ? "
+                                     "ORDER BY target",
+                                     {DV(doc), Value(name_test)}));
+  } else {
+    ASSIGN_OR_RETURN(r, ExecPrepared(db,
+                                     "SELECT target FROM edge WHERE docid = ? "
+                                     "AND kind = 'elem' ORDER BY target",
+                                     {DV(doc)}));
+  }
   NodeSet out;
   out.reserve(r.rows.size());
   for (auto& row : r.rows) out.push_back(row[0]);
@@ -138,13 +150,21 @@ Result<std::vector<StepResult>> EdgeMapping::Step(
 
   if (axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute) {
     RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, context));
-    const char* kind = axis == xpath::Axis::kAttribute ? "attr" : "elem";
+    // One statement shape per (axis kind, wildcard-ness); the varying doc id,
+    // node kind and name test are `?` parameters, so every step over this
+    // axis reuses a cached plan.
+    std::vector<Value> params{DV(doc),
+                              Value(axis == xpath::Axis::kAttribute ? "attr"
+                                                                    : "elem")};
     std::string sql = "SELECT c.id, e.target FROM " + Ctx() +
-                      " c JOIN edge e ON e.source = c.id WHERE e.docid = " +
-                      D(doc) + " AND e.kind = '" + kind + "'";
-    if (name_test != "*") sql += " AND e.name = " + SqlLiteral(Value(name_test));
+                      " c JOIN edge e ON e.source = c.id WHERE e.docid = ?" +
+                      " AND e.kind = ?";
+    if (name_test != "*") {
+      sql += " AND e.name = ?";
+      params.push_back(Value(name_test));
+    }
     sql += " ORDER BY c.id, e.ordinal";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
     out.reserve(r.rows.size());
     for (auto& row : r.rows) out.push_back({row[0], row[1]});
     return out;
@@ -157,11 +177,13 @@ Result<std::vector<StepResult>> EdgeMapping::Step(
   for (const Value& c : context) frontier.emplace_back(c, c);
   while (!frontier.empty()) {
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
-    std::string sql =
-        "SELECT f.origin, e.target, e.name FROM " + Frontier() +
-        " f JOIN edge e ON e.source = f.id WHERE e.docid = " + D(doc) +
-        " AND e.kind = 'elem' ORDER BY f.origin, e.target";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT f.origin, e.target, e.name FROM " + Frontier() +
+                         " f JOIN edge e ON e.source = f.id WHERE e.docid = ?"
+                         " AND e.kind = 'elem' ORDER BY f.origin, e.target",
+                     {DV(doc)}));
     frontier.clear();
     for (auto& row : r.rows) {
       if (name_test == "*" ||
@@ -195,8 +217,10 @@ Result<std::vector<std::string>> EdgeMapping::StringValues(
   RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, nodes));
   ASSIGN_OR_RETURN(
       QueryResult kinds,
-      db->Execute("SELECT c.id, e.kind, e.value FROM " + Ctx() +
-                  " c JOIN edge e ON e.target = c.id WHERE e.docid = " + D(doc)));
+      ExecPrepared(db,
+                   "SELECT c.id, e.kind, e.value FROM " + Ctx() +
+                       " c JOIN edge e ON e.target = c.id WHERE e.docid = ?",
+                   {DV(doc)}));
   std::vector<std::pair<Value, Value>> frontier;
   for (auto& row : kinds.rows) {
     const std::string& kind = row[1].AsString();
@@ -213,10 +237,12 @@ Result<std::vector<std::string>> EdgeMapping::StringValues(
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
-        db->Execute("SELECT f.origin, e.target, e.kind, e.value FROM " +
-                    Frontier() +
-                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
-                    D(doc) + " AND e.kind <> 'attr'"));
+        ExecPrepared(db,
+                     "SELECT f.origin, e.target, e.kind, e.value FROM " +
+                         Frontier() +
+                         " f JOIN edge e ON e.source = f.id WHERE e.docid = ?"
+                         " AND e.kind <> 'attr'",
+                     {DV(doc)}));
     frontier.clear();
     for (auto& row : r.rows) {
       if (row[2].AsString() == "text") {
@@ -240,9 +266,12 @@ Result<std::vector<std::string>> EdgeMapping::StringValues(
 Result<std::unique_ptr<xml::Node>> EdgeMapping::ReconstructSubtree(
     rdb::Database* db, DocId doc, const rdb::Value& node) const {
   // Fetch the node's own row for its name/kind.
-  ASSIGN_OR_RETURN(QueryResult self,
-                   db->Execute("SELECT kind, name, value FROM edge WHERE docid = " +
-                               D(doc) + " AND target = " + SqlLiteral(node)));
+  ASSIGN_OR_RETURN(
+      QueryResult self,
+      ExecPrepared(db,
+                   "SELECT kind, name, value FROM edge WHERE docid = ? AND "
+                   "target = ?",
+                   {DV(doc), node}));
   if (self.rows.empty()) return Status::NotFound("node " + node.ToString());
   const std::string kind = self.rows[0][0].AsString();
   if (kind == "text") {
@@ -271,10 +300,12 @@ Result<std::unique_ptr<xml::Node>> EdgeMapping::ReconstructSubtree(
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
-        db->Execute("SELECT e.source, e.ordinal, e.kind, e.name, e.target, "
-                    "e.value FROM " + Frontier() +
-                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
-                    D(doc)));
+        ExecPrepared(db,
+                     "SELECT e.source, e.ordinal, e.kind, e.name, e.target, "
+                     "e.value FROM " +
+                         Frontier() +
+                         " f JOIN edge e ON e.source = f.id WHERE e.docid = ?",
+                     {DV(doc)}));
     frontier.clear();
     for (auto& row : r.rows) {
       EdgeRow er;
@@ -325,9 +356,10 @@ Result<NodeSet> EdgeMapping::SubtreeIds(rdb::Database* db, DocId doc,
     RETURN_IF_ERROR(LoadFrontierTable(db, Frontier(), DataType::kInt, frontier));
     ASSIGN_OR_RETURN(
         QueryResult r,
-        db->Execute("SELECT e.target, e.kind FROM " + Frontier() +
-                    " f JOIN edge e ON e.source = f.id WHERE e.docid = " +
-                    D(doc)));
+        ExecPrepared(db,
+                     "SELECT e.target, e.kind FROM " + Frontier() +
+                         " f JOIN edge e ON e.source = f.id WHERE e.docid = ?",
+                     {DV(doc)}));
     frontier.clear();
     for (auto& row : r.rows) {
       ids.push_back(row[0]);
@@ -346,15 +378,18 @@ Status EdgeMapping::InsertSubtree(rdb::Database* db, DocId doc,
     return Status::InvalidArgument("subtree root must be an element");
   }
   ASSIGN_OR_RETURN(QueryResult maxq,
-                   db->Execute("SELECT MAX(target) FROM edge WHERE docid = " +
-                               D(doc)));
+                   ExecPrepared(db,
+                                "SELECT MAX(target) FROM edge WHERE docid = ?",
+                                {DV(doc)}));
   int64_t counter =
       (maxq.rows.empty() || maxq.rows[0][0].is_null()) ? 1
                                                        : maxq.rows[0][0].AsInt() + 1;
   ASSIGN_OR_RETURN(
       QueryResult ordq,
-      db->Execute("SELECT MAX(ordinal) FROM edge WHERE docid = " + D(doc) +
-                  " AND source = " + SqlLiteral(parent)));
+      ExecPrepared(db,
+                   "SELECT MAX(ordinal) FROM edge WHERE docid = ? AND "
+                   "source = ?",
+                   {DV(doc), parent}));
   int64_t ordinal =
       (ordq.rows.empty() || ordq.rows[0][0].is_null()) ? 1
                                                        : ordq.rows[0][0].AsInt() + 1;

@@ -17,6 +17,7 @@ using xml::SimplifiedElement;
 
 namespace {
 std::string D(DocId doc) { return std::to_string(doc); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -323,8 +324,8 @@ Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
   int64_t counter = 1;
   RETURN_IF_ERROR(StoreElement(*root, docid, &counter, nullptr, "", 0, "", 1, 1,
                                db));
-  RETURN_IF_ERROR(db->Execute("INSERT INTO inl_docs VALUES (" + D(docid) + ", " +
-                              std::to_string(counter - 1) + ", 1)")
+  RETURN_IF_ERROR(ExecPrepared(db, "INSERT INTO inl_docs VALUES (?, ?, 1)",
+                               {Value(docid), Value(counter - 1)})
                       .status());
   return docid;
 }
@@ -332,11 +333,14 @@ Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
 Status InlineMapping::Remove(DocId doc, rdb::Database* db) {
   for (const auto& [elem, cols] : table_columns_) {
     (void)cols;
-    RETURN_IF_ERROR(db->Execute("DELETE FROM " + storage_.at(elem).table +
-                                " WHERE docid = " + D(doc))
+    RETURN_IF_ERROR(ExecPrepared(db,
+                                 "DELETE FROM " + storage_.at(elem).table +
+                                     " WHERE docid = ?",
+                                 {DV(doc)})
                         .status());
   }
-  return db->Execute("DELETE FROM inl_docs WHERE docid = " + D(doc)).status();
+  return ExecPrepared(db, "DELETE FROM inl_docs WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 // ---------------------------------------------------------------------------
@@ -345,9 +349,12 @@ Status InlineMapping::Remove(DocId doc, rdb::Database* db) {
 
 Result<Value> InlineMapping::RootElement(rdb::Database* db, DocId doc) const {
   const Storage& st = storage_.at(root_name_);
-  ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT id FROM " + st.table +
-                               " WHERE docid = " + D(doc) + " AND pid IS NULL"));
+  ASSIGN_OR_RETURN(
+      QueryResult r,
+      ExecPrepared(db,
+                   "SELECT id FROM " + st.table +
+                       " WHERE docid = ? AND pid IS NULL",
+                   {DV(doc)}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   return MakeRef(st.table, r.rows[0][0].AsInt(), "");
 }
@@ -358,18 +365,23 @@ Result<NodeSet> InlineMapping::AllElements(rdb::Database* db, DocId doc,
   for (const auto& [type, st] : storage_) {
     if (name_test != "*" && type != name_test) continue;
     if (st.is_table) {
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT id FROM " + st.table +
-                                   " WHERE docid = " + D(doc) + " ORDER BY id"));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT id FROM " + st.table +
+                           " WHERE docid = ? ORDER BY id",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         out.push_back(MakeRef(st.table, row[0].AsInt(), ""));
       }
     } else {
       std::string ex = "c_" + st.path + "_ex";
-      ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT id FROM " + st.table +
-                                   " WHERE docid = " + D(doc) + " AND " + ex +
-                                   " = TRUE ORDER BY id"));
+      ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecPrepared(db,
+                       "SELECT id FROM " + st.table + " WHERE docid = ? AND " +
+                           ex + " = TRUE ORDER BY id",
+                       {DV(doc)}));
       for (auto& row : r.rows) {
         out.push_back(MakeRef(st.table, row[0].AsInt(), st.path));
       }
@@ -385,10 +397,11 @@ Result<std::vector<InlineMapping::ChildHit>> InlineMapping::ChildrenOf(
   std::vector<ChildHit> hits;
 
   // One row fetch serves every inlined child.
-  ASSIGN_OR_RETURN(QueryResult row,
-                   db->Execute("SELECT * FROM " + ref.table + " WHERE docid = " +
-                               D(doc) + " AND id = " +
-                               std::to_string(ref.row_id)));
+  ASSIGN_OR_RETURN(
+      QueryResult row,
+      ExecPrepared(db,
+                   "SELECT * FROM " + ref.table + " WHERE docid = ? AND id = ?",
+                   {DV(doc), Value(ref.row_id)}));
   if (row.rows.empty()) {
     return Status::NotFound("inline row " + std::to_string(ref.row_id));
   }
@@ -402,10 +415,11 @@ Result<std::vector<InlineMapping::ChildHit>> InlineMapping::ChildrenOf(
     if (cst.is_table) {
       ASSIGN_OR_RETURN(
           QueryResult r,
-          db->Execute("SELECT id, seq FROM " + cst.table + " WHERE docid = " +
-                      D(doc) + " AND pid = " + std::to_string(ref.row_id) +
-                      " AND ppath = " + SqlLiteral(Value(ref.path)) +
-                      " ORDER BY seq"));
+          ExecPrepared(db,
+                       "SELECT id, seq FROM " + cst.table +
+                           " WHERE docid = ? AND pid = ? AND ppath = ? "
+                           "ORDER BY seq",
+                       {DV(doc), Value(ref.row_id), Value(ref.path)}));
       for (auto& rr : r.rows) {
         hits.push_back({rr[1].AsInt(), child.name,
                         MakeRef(cst.table, rr[0].AsInt(), "")});
@@ -464,10 +478,12 @@ Result<std::vector<StepResult>> InlineMapping::Step(
         ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
         const SimplifiedElement& se = sdtd_.elements.at(type);
         if (se.attributes.empty()) break;
-        ASSIGN_OR_RETURN(QueryResult row,
-                         db->Execute("SELECT * FROM " + ref.table +
-                                     " WHERE docid = " + D(doc) + " AND id = " +
-                                     std::to_string(ref.row_id)));
+        ASSIGN_OR_RETURN(
+            QueryResult row,
+            ExecPrepared(db,
+                         "SELECT * FROM " + ref.table +
+                             " WHERE docid = ? AND id = ?",
+                         {DV(doc), Value(ref.row_id)}));
         if (row.rows.empty()) break;
         std::string prefix = ColPrefix(ref.path);
         for (const auto& ad : se.attributes) {
@@ -493,10 +509,12 @@ Result<std::vector<std::string>> InlineMapping::StringValues(
   out.reserve(nodes.size());
   for (const Value& v : nodes) {
     ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(v));
-    ASSIGN_OR_RETURN(QueryResult row,
-                     db->Execute("SELECT * FROM " + ref.table +
-                                 " WHERE docid = " + D(doc) + " AND id = " +
-                                 std::to_string(ref.row_id)));
+    ASSIGN_OR_RETURN(
+        QueryResult row,
+        ExecPrepared(db,
+                     "SELECT * FROM " + ref.table +
+                         " WHERE docid = ? AND id = ?",
+                     {DV(doc), Value(ref.row_id)}));
     if (row.rows.empty()) return Status::NotFound("inline row");
     auto col_value = [&](const std::string& name) -> Value {
       auto idx = row.schema.TryIndexOf(name);
@@ -515,10 +533,12 @@ Result<std::vector<std::string>> InlineMapping::StringValues(
       rdb::Database* db;
       DocId doc;
       Status Collect(const ParsedRef& r, std::string* acc) {
-        ASSIGN_OR_RETURN(QueryResult row,
-                         db->Execute("SELECT * FROM " + r.table +
-                                     " WHERE docid = " + D(doc) + " AND id = " +
-                                     std::to_string(r.row_id)));
+        ASSIGN_OR_RETURN(
+            QueryResult row,
+            ExecPrepared(db,
+                         "SELECT * FROM " + r.table +
+                             " WHERE docid = ? AND id = ?",
+                         {DV(doc), Value(r.row_id)}));
         if (row.rows.empty()) return Status::OK();
         std::string prefix = ColPrefix(r.path);
         auto idx = row.schema.TryIndexOf(prefix.empty() ? "tx" : prefix + "tx");
@@ -550,10 +570,11 @@ Status InlineMapping::ReconstructInto(rdb::Database* db, DocId doc,
                                       xml::Node* out) const {
   ASSIGN_OR_RETURN(std::string type, ElementTypeAt(ref));
   const SimplifiedElement& se = sdtd_.elements.at(type);
-  ASSIGN_OR_RETURN(QueryResult row,
-                   db->Execute("SELECT * FROM " + ref.table + " WHERE docid = " +
-                               D(doc) + " AND id = " +
-                               std::to_string(ref.row_id)));
+  ASSIGN_OR_RETURN(
+      QueryResult row,
+      ExecPrepared(db,
+                   "SELECT * FROM " + ref.table + " WHERE docid = ? AND id = ?",
+                   {DV(doc), Value(ref.row_id)}));
   if (row.rows.empty()) return Status::NotFound("inline row");
   auto col_value = [&](const std::string& name) -> Value {
     auto idx = row.schema.TryIndexOf(name);
@@ -602,17 +623,19 @@ Status InlineMapping::DeleteRowTree(rdb::Database* db, DocId doc,
   for (const auto& [elem, cols] : table_columns_) {
     (void)cols;
     const std::string& ctable = storage_.at(elem).table;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT id FROM " + ctable + " WHERE docid = " +
-                                 D(doc) + " AND pid = " +
-                                 std::to_string(row_id)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT id FROM " + ctable +
+                         " WHERE docid = ? AND pid = ?",
+                     {DV(doc), Value(row_id)}));
     for (auto& rr : r.rows) {
       RETURN_IF_ERROR(DeleteRowTree(db, doc, ctable, rr[0].AsInt()));
     }
   }
-  return db
-      ->Execute("DELETE FROM " + table + " WHERE docid = " + D(doc) +
-                " AND id = " + std::to_string(row_id))
+  return ExecPrepared(db,
+                      "DELETE FROM " + table + " WHERE docid = ? AND id = ?",
+                      {DV(doc), Value(row_id)})
       .status();
 }
 
@@ -637,10 +660,12 @@ Status InlineMapping::DeleteSubtree(rdb::Database* db, DocId doc,
   for (const auto& [elem, cols] : table_columns_) {
     (void)cols;
     const std::string& ctable = storage_.at(elem).table;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT id, ppath FROM " + ctable +
-                                 " WHERE docid = " + D(doc) + " AND pid = " +
-                                 std::to_string(ref.row_id)));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT id, ppath FROM " + ctable +
+                         " WHERE docid = ? AND pid = ?",
+                     {DV(doc), Value(ref.row_id)}));
     for (auto& rr : r.rows) {
       const std::string& ppath = rr[1].is_null() ? "" : rr[1].AsString();
       if (ppath == ref.path || StartsWith(ppath, ref.path + "_")) {
@@ -658,9 +683,10 @@ Status InlineMapping::DeleteSubtree(rdb::Database* db, DocId doc,
     }
   }
   if (sets.empty()) return Status::Internal("no columns for inlined element");
-  return db
-      ->Execute("UPDATE " + ref.table + " SET " + sets + " WHERE docid = " +
-                D(doc) + " AND id = " + std::to_string(ref.row_id))
+  return ExecPrepared(db,
+                      "UPDATE " + ref.table + " SET " + sets +
+                          " WHERE docid = ? AND id = ?",
+                      {DV(doc), Value(ref.row_id)})
       .status();
 }
 
@@ -689,8 +715,9 @@ Status InlineMapping::InsertSubtree(rdb::Database* db, DocId doc,
         "only set-valued (table) children can be appended");
   }
   ASSIGN_OR_RETURN(QueryResult maxq,
-                   db->Execute("SELECT max_id FROM inl_docs WHERE docid = " +
-                               D(doc)));
+                   ExecPrepared(db,
+                                "SELECT max_id FROM inl_docs WHERE docid = ?",
+                                {DV(doc)}));
   if (maxq.rows.empty()) return Status::NotFound("document " + D(doc));
   int64_t counter = maxq.rows[0][0].AsInt() + 1;
   // seq/ord: append after existing children.
@@ -702,9 +729,8 @@ Status InlineMapping::InsertSubtree(rdb::Database* db, DocId doc,
   }
   RETURN_IF_ERROR(StoreElement(subtree, doc, &counter, nullptr, "", ref.row_id,
                                ref.path, seq, ord, db));
-  return db
-      ->Execute("UPDATE inl_docs SET max_id = " + std::to_string(counter - 1) +
-                " WHERE docid = " + D(doc))
+  return ExecPrepared(db, "UPDATE inl_docs SET max_id = ? WHERE docid = ?",
+                      {Value(counter - 1), DV(doc)})
       .status();
 }
 

@@ -15,7 +15,8 @@ namespace {
 std::string Ctx() { return ScratchName("_iv_ctx"); }
 
 std::string D(DocId doc) { return std::to_string(doc); }
-std::string N(int64_t v) { return std::to_string(v); }
+Value DV(DocId doc) { return Value(static_cast<int64_t>(doc)); }
+Value NV(int64_t v) { return Value(v); }
 }  // namespace
 
 Status IntervalMapping::Initialize(rdb::Database* db) {
@@ -102,24 +103,34 @@ Result<DocId> IntervalMapping::StoreImpl(const xml::Document& doc,
 }
 
 Status IntervalMapping::Remove(DocId doc, rdb::Database* db) {
-  return db->Execute("DELETE FROM iv_nodes WHERE docid = " + D(doc)).status();
+  return ExecPrepared(db, "DELETE FROM iv_nodes WHERE docid = ?", {DV(doc)})
+      .status();
 }
 
 Result<Value> IntervalMapping::RootElement(rdb::Database* db, DocId doc) const {
-  ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT pre FROM iv_nodes WHERE docid = " +
-                               D(doc) + " AND pre = 1"));
+  ASSIGN_OR_RETURN(
+      QueryResult r,
+      ExecPrepared(db, "SELECT pre FROM iv_nodes WHERE docid = ? AND pre = 1",
+                   {DV(doc)}));
   if (r.rows.empty()) return Status::NotFound("document " + D(doc));
   return r.rows[0][0];
 }
 
 Result<NodeSet> IntervalMapping::AllElements(rdb::Database* db, DocId doc,
                                              const std::string& name_test) const {
-  std::string sql = "SELECT pre FROM iv_nodes WHERE docid = " + D(doc) +
-                    " AND kind = 'elem'";
-  if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
-  sql += " ORDER BY pre";
-  ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+  QueryResult r;
+  if (name_test != "*") {
+    ASSIGN_OR_RETURN(r,
+                     ExecPrepared(db,
+                                  "SELECT pre FROM iv_nodes WHERE docid = ? "
+                                  "AND kind = 'elem' AND name = ? ORDER BY pre",
+                                  {DV(doc), Value(name_test)}));
+  } else {
+    ASSIGN_OR_RETURN(r, ExecPrepared(db,
+                                     "SELECT pre FROM iv_nodes WHERE docid = ? "
+                                     "AND kind = 'elem' ORDER BY pre",
+                                     {DV(doc)}));
+  }
   NodeSet out;
   out.reserve(r.rows.size());
   for (auto& row : r.rows) out.push_back(row[0]);
@@ -134,9 +145,10 @@ Result<std::vector<IntervalMapping::NodeInfo>> IntervalMapping::FetchInfo(
     out.reserve(nodes.size());
     for (const Value& v : nodes) {
       ASSIGN_OR_RETURN(QueryResult r,
-                       db->Execute("SELECT size, level FROM iv_nodes "
-                                   "WHERE docid = " + D(doc) + " AND pre = " +
-                                   SqlLiteral(v)));
+                       ExecPrepared(db,
+                                    "SELECT size, level FROM iv_nodes "
+                                    "WHERE docid = ? AND pre = ?",
+                                    {DV(doc), v}));
       if (r.rows.empty()) {
         return Status::NotFound("interval node pre=" + v.ToString());
       }
@@ -146,10 +158,11 @@ Result<std::vector<IntervalMapping::NodeInfo>> IntervalMapping::FetchInfo(
   }
   RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, nodes));
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT c.id, n.size, n.level FROM " +
-                               Ctx() +
-                               " c JOIN iv_nodes n ON n.pre = c.id "
-                               "WHERE n.docid = " + D(doc)));
+                   ExecPrepared(db,
+                                "SELECT c.id, n.size, n.level FROM " + Ctx() +
+                                    " c JOIN iv_nodes n ON n.pre = c.id "
+                                    "WHERE n.docid = ?",
+                                {DV(doc)}));
   std::unordered_map<int64_t, std::pair<int64_t, int64_t>> by_pre;
   for (auto& row : r.rows) {
     by_pre[row[0].AsInt()] = {row[1].AsInt(), row[2].AsInt()};
@@ -179,12 +192,17 @@ Result<std::vector<StepResult>> IntervalMapping::Step(
   // statement per context.
   constexpr size_t kMergeThreshold = 4;
   if (context.size() > kMergeThreshold) {
-    std::string sql = "SELECT pre, level FROM iv_nodes WHERE docid = " +
-                      D(doc) + " AND kind = '" +
-                      (axis == xpath::Axis::kAttribute ? "attr" : "elem") + "'";
-    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    std::vector<Value> params{DV(doc),
+                              Value(axis == xpath::Axis::kAttribute ? "attr"
+                                                                    : "elem")};
+    std::string sql =
+        "SELECT pre, level FROM iv_nodes WHERE docid = ? AND kind = ?";
+    if (name_test != "*") {
+      sql += " AND name = ?";
+      params.push_back(Value(name_test));
+    }
     sql += " ORDER BY pre";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
     // Contexts arrive sorted by pre (document order) and their ranges are
     // nested or disjoint.
     bool nested = false;
@@ -243,23 +261,28 @@ Result<std::vector<StepResult>> IntervalMapping::Step(
   for (size_t i = 0; i < context.size(); ++i) {
     const NodeInfo& ni = info[i];
     if (ni.size == 0) continue;  // leaf: empty subtree range
-    std::string sql = "SELECT pre FROM iv_nodes WHERE docid = " + D(doc) +
-                      " AND pre > " + N(ni.pre) + " AND pre <= " +
-                      N(ni.pre + ni.size);
+    std::vector<Value> params{DV(doc), NV(ni.pre), NV(ni.pre + ni.size)};
+    std::string sql =
+        "SELECT pre FROM iv_nodes WHERE docid = ? AND pre > ? AND pre <= ?";
     switch (axis) {
       case xpath::Axis::kChild:
-        sql += " AND level = " + N(ni.level + 1) + " AND kind = 'elem'";
+        sql += " AND level = ? AND kind = 'elem'";
+        params.push_back(NV(ni.level + 1));
         break;
       case xpath::Axis::kAttribute:
-        sql += " AND level = " + N(ni.level + 1) + " AND kind = 'attr'";
+        sql += " AND level = ? AND kind = 'attr'";
+        params.push_back(NV(ni.level + 1));
         break;
       case xpath::Axis::kDescendant:
         sql += " AND kind = 'elem'";
         break;
     }
-    if (name_test != "*") sql += " AND name = " + SqlLiteral(Value(name_test));
+    if (name_test != "*") {
+      sql += " AND name = ?";
+      params.push_back(Value(name_test));
+    }
     sql += " ORDER BY pre";
-    ASSIGN_OR_RETURN(QueryResult r, db->Execute(sql));
+    ASSIGN_OR_RETURN(QueryResult r, ExecPrepared(db, sql, std::move(params)));
     for (auto& row : r.rows) out.push_back({context[i], row[0]});
   }
   return out;
@@ -274,9 +297,10 @@ Result<std::vector<std::string>> IntervalMapping::StringValues(
     const NodeInfo& ni = info[i];
     // Own row first: attributes and text nodes carry their value directly.
     ASSIGN_OR_RETURN(QueryResult self,
-                     db->Execute("SELECT kind, value FROM iv_nodes "
-                                 "WHERE docid = " + D(doc) +
-                                 " AND pre = " + N(ni.pre)));
+                     ExecPrepared(db,
+                                  "SELECT kind, value FROM iv_nodes "
+                                  "WHERE docid = ? AND pre = ?",
+                                  {DV(doc), NV(ni.pre)}));
     if (self.rows.empty()) continue;
     const std::string& kind = self.rows[0][0].AsString();
     if (kind != "elem") {
@@ -284,11 +308,12 @@ Result<std::vector<std::string>> IntervalMapping::StringValues(
       continue;
     }
     if (ni.size == 0) continue;
-    ASSIGN_OR_RETURN(QueryResult r,
-                     db->Execute("SELECT value FROM iv_nodes WHERE docid = " +
-                                 D(doc) + " AND pre > " + N(ni.pre) +
-                                 " AND pre <= " + N(ni.pre + ni.size) +
-                                 " AND kind = 'text' ORDER BY pre"));
+    ASSIGN_OR_RETURN(
+        QueryResult r,
+        ExecPrepared(db,
+                     "SELECT value FROM iv_nodes WHERE docid = ? AND "
+                     "pre > ? AND pre <= ? AND kind = 'text' ORDER BY pre",
+                     {DV(doc), NV(ni.pre), NV(ni.pre + ni.size)}));
     for (auto& row : r.rows) {
       if (!row[0].is_null()) out[i] += row[0].AsString();
     }
@@ -299,9 +324,10 @@ Result<std::vector<std::string>> IntervalMapping::StringValues(
 Result<std::unique_ptr<xml::Node>> IntervalMapping::ReconstructSubtree(
     rdb::Database* db, DocId doc, const rdb::Value& node) const {
   ASSIGN_OR_RETURN(QueryResult self,
-                   db->Execute("SELECT size, level, kind, name, value "
-                               "FROM iv_nodes WHERE docid = " + D(doc) +
-                               " AND pre = " + SqlLiteral(node)));
+                   ExecPrepared(db,
+                                "SELECT size, level, kind, name, value "
+                                "FROM iv_nodes WHERE docid = ? AND pre = ?",
+                                {DV(doc), node}));
   if (self.rows.empty()) return Status::NotFound("node " + node.ToString());
   int64_t size = self.rows[0][0].AsInt();
   int64_t root_level = self.rows[0][1].AsInt();
@@ -320,10 +346,11 @@ Result<std::unique_ptr<xml::Node>> IntervalMapping::ReconstructSubtree(
   if (size == 0) return root;
   int64_t pre = node.AsInt();
   ASSIGN_OR_RETURN(QueryResult r,
-                   db->Execute("SELECT level, kind, name, value FROM iv_nodes "
-                               "WHERE docid = " + D(doc) + " AND pre > " +
-                               N(pre) + " AND pre <= " + N(pre + size) +
-                               " ORDER BY pre"));
+                   ExecPrepared(db,
+                                "SELECT level, kind, name, value FROM iv_nodes "
+                                "WHERE docid = ? AND pre > ? AND pre <= ? "
+                                "ORDER BY pre",
+                                {DV(doc), NV(pre), NV(pre + size)}));
   // Rebuild from the pre-ordered row stream using a level stack.
   std::vector<xml::Node*> stack{root.get()};
   std::vector<int64_t> levels{root_level};
@@ -362,14 +389,16 @@ Status IntervalMapping::InsertSubtree(rdb::Database* db, DocId doc,
   int64_t counter = p.pre + p.size + 1;
   int64_t k = ShredInterval(subtree, doc, p.level + 1, &counter, &rows);
   // 1. Shift everything after the parent's subtree.
-  RETURN_IF_ERROR(db->Execute("UPDATE iv_nodes SET pre = pre + " + N(k) +
-                              " WHERE docid = " + D(doc) + " AND pre > " +
-                              N(p.pre + p.size))
+  RETURN_IF_ERROR(ExecPrepared(db,
+                               "UPDATE iv_nodes SET pre = pre + ? WHERE "
+                               "docid = ? AND pre > ?",
+                               {NV(k), DV(doc), NV(p.pre + p.size)})
                       .status());
   // 2. Grow the parent and every ancestor.
-  RETURN_IF_ERROR(db->Execute("UPDATE iv_nodes SET size = size + " + N(k) +
-                              " WHERE docid = " + D(doc) + " AND pre <= " +
-                              N(p.pre) + " AND pre + size >= " + N(p.pre))
+  RETURN_IF_ERROR(ExecPrepared(db,
+                               "UPDATE iv_nodes SET size = size + ? WHERE "
+                               "docid = ? AND pre <= ? AND pre + size >= ?",
+                               {NV(k), DV(doc), NV(p.pre), NV(p.pre)})
                       .status());
   // 3. Insert the new rows.
   rdb::Table* t = db->FindTable("iv_nodes");
@@ -381,19 +410,22 @@ Status IntervalMapping::DeleteSubtree(rdb::Database* db, DocId doc,
   ASSIGN_OR_RETURN(std::vector<NodeInfo> info, FetchInfo(db, doc, {node}));
   const NodeInfo& n = info[0];
   int64_t k = n.size + 1;
-  RETURN_IF_ERROR(db->Execute("DELETE FROM iv_nodes WHERE docid = " + D(doc) +
-                              " AND pre >= " + N(n.pre) + " AND pre <= " +
-                              N(n.pre + n.size))
+  RETURN_IF_ERROR(ExecPrepared(db,
+                               "DELETE FROM iv_nodes WHERE docid = ? AND "
+                               "pre >= ? AND pre <= ?",
+                               {DV(doc), NV(n.pre), NV(n.pre + n.size)})
                       .status());
   // Shrink ancestors (the deleted node's own row is gone already).
-  RETURN_IF_ERROR(db->Execute("UPDATE iv_nodes SET size = size - " + N(k) +
-                              " WHERE docid = " + D(doc) + " AND pre < " +
-                              N(n.pre) + " AND pre + size >= " + N(n.pre))
+  RETURN_IF_ERROR(ExecPrepared(db,
+                               "UPDATE iv_nodes SET size = size - ? WHERE "
+                               "docid = ? AND pre < ? AND pre + size >= ?",
+                               {NV(k), DV(doc), NV(n.pre), NV(n.pre)})
                       .status());
   // Renumber everything after the deleted range.
-  return db
-      ->Execute("UPDATE iv_nodes SET pre = pre - " + N(k) + " WHERE docid = " +
-                D(doc) + " AND pre > " + N(n.pre + n.size))
+  return ExecPrepared(db,
+                      "UPDATE iv_nodes SET pre = pre - ? WHERE docid = ? AND "
+                      "pre > ?",
+                      {NV(k), DV(doc), NV(n.pre + n.size)})
       .status();
 }
 

@@ -64,9 +64,15 @@ Status LoadFrontierTable(
 Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
                               const std::string& col) {
   ASSIGN_OR_RETURN(rdb::QueryResult r,
-                   db->Execute("SELECT MAX(" + col + ") FROM " + table));
+                   ExecPrepared(db, "SELECT MAX(" + col + ") FROM " + table));
   if (r.rows.empty() || r.rows[0][0].is_null()) return static_cast<int64_t>(1);
   return r.rows[0][0].AsInt() + 1;
+}
+
+Result<rdb::QueryResult> ExecPrepared(rdb::Database* db, const std::string& sql,
+                                      std::vector<rdb::Value> params) {
+  ASSIGN_OR_RETURN(rdb::PreparedStatement stmt, db->Prepare(sql));
+  return stmt.Execute(std::move(params));
 }
 
 std::string SqlLiteral(const rdb::Value& v) {

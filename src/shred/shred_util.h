@@ -33,6 +33,14 @@ Status LoadFrontierTable(rdb::Database* db, const std::string& name,
 Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
                               const std::string& col);
 
+/// Runs `sql` through the database's prepared-statement path, binding
+/// `params` to its `?` placeholders. The parse and (for SELECTs) the
+/// compiled plan are cached by SQL text, so a mapping that executes the
+/// same statement shape per path step pays for parsing and planning once
+/// per shape instead of once per step.
+Result<rdb::QueryResult> ExecPrepared(rdb::Database* db, const std::string& sql,
+                                      std::vector<rdb::Value> params = {});
+
 /// Escapes a value for direct inclusion in generated SQL text.
 std::string SqlLiteral(const rdb::Value& v);
 

@@ -104,6 +104,55 @@ TEST(ConcurrencyTest, SelectsSurviveCreateDropChurnOnOtherTables) {
   for (auto& t : readers) t.join();
 }
 
+TEST(ConcurrencyTest, PreparedExecutionSurvivesConcurrentDdl) {
+  // Prepared statements share one plan-cache entry across threads while a
+  // DDL thread churns the catalog: every execution must either reuse a
+  // still-valid plan or replan, never touch dropped metadata.
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE stable (x INTEGER NOT NULL, "
+                         "grp INTEGER NOT NULL)")
+                  .ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO stable VALUES (" + std::to_string(i) +
+                           ", " + std::to_string(i % 4) + ")")
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      int64_t g = 0;
+      while (!stop.load()) {
+        auto stmt = db.Prepare("SELECT COUNT(x) FROM stable WHERE grp = ?");
+        ASSERT_TRUE(stmt.ok()) << stmt.status();
+        auto res = stmt.value().Execute({rdb::Value(g % 4)});
+        ASSERT_TRUE(res.ok()) << res.status();
+        EXPECT_EQ(res.value().rows[0][0].AsInt(), 16);
+        ++g;
+      }
+    });
+  }
+  std::thread ddl([&] {
+    for (int i = 0; i < 100; ++i) {
+      // Churn unrelated tables (bumps the schema version => forces version
+      // re-checks) and add an index on the queried table mid-run (switches
+      // the cached plan's access path under the readers).
+      std::string name = "scratch" + std::to_string(i % 4);
+      ASSERT_TRUE(
+          db.Execute("CREATE TABLE " + name + " (y INTEGER NOT NULL)").ok());
+      ASSERT_TRUE(db.Execute("DROP TABLE " + name).ok());
+      if (i == 50) {
+        ASSERT_TRUE(
+            db.Execute("CREATE INDEX stable_grp ON stable (grp)").ok());
+      }
+    }
+    stop.store(true);
+  });
+  ddl.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(db.plan_cache().stats().hits, 0);
+}
+
 TEST(ConcurrencyTest, ConcurrentXPathQueriesOverOneDatabase) {
   // Shared scratch tables used to make this impossible: two threads running
   // multi-step paths over the same Database clobbered each other's context

@@ -160,7 +160,8 @@ TEST(IntrospectionTest, XmlrdbStatementsReflectsTheLog) {
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(ColumnNames(full.value().schema),
             (std::vector<std::string>{"seq", "kind", "sql", "duration_us",
-                                      "lock_wait_us", "rows", "slow", "plan"}));
+                                      "lock_wait_us", "rows", "slow",
+                                      "cache_hit", "plan"}));
   // The snapshot is taken at statement-lock time, before the running
   // statement itself is logged: CREATE + INSERT + the first SELECT.
   EXPECT_EQ(full.value().rows.size(), 3u);

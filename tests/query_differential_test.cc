@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "shred/evaluator.h"
 #include "shred/registry.h"
+#include "workload/queries.h"
 #include "workload/random_tree.h"
 #include "workload/xmark.h"
 #include "xml/serializer.h"
@@ -175,6 +177,68 @@ TEST_P(DifferentialTest, ResultSubtreesMatchOracle) {
   }
   std::sort(got.begin(), got.end());
   EXPECT_EQ(oracle, got) << "mapping=" << GetParam();
+}
+
+TEST_P(DifferentialTest, PreparedPathEqualsUnpreparedOnAuctionQueries) {
+  // The mappings issue their step/string-value SQL through the prepared
+  // path. Re-running Q1–Q12 with the plan cache disabled (capacity 0 =>
+  // every statement parses and plans fresh) must give identical answers:
+  // caching is purely an execution-strategy change.
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+
+  std::vector<std::vector<std::string>> cached, uncached;
+  for (const auto& q : workload::AuctionQueries()) {
+    cached.push_back(
+        MappingStrings(mapping.value().get(), &db, stored.value(), q.xpath));
+  }
+  db.plan_cache().set_capacity(0);
+  db.plan_cache().Clear();
+  for (const auto& q : workload::AuctionQueries()) {
+    uncached.push_back(
+        MappingStrings(mapping.value().get(), &db, stored.value(), q.xpath));
+  }
+  const auto queries = workload::AuctionQueries();
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i], uncached[i])
+        << "mapping=" << GetParam() << " query=" << queries[i].id << " ("
+        << queries[i].xpath << ")";
+  }
+}
+
+TEST_P(DifferentialTest, RepeatedAuctionQueriesReparseNothingAfterWarmup) {
+  if (GetParam() == "blob") GTEST_SKIP() << "blob evaluates on a cached DOM";
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.02;
+  auto doc = workload::GenerateXMark(cfg);
+  rdb::Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+
+  ScopedMetricsCapture capture;
+  for (const auto& q : workload::AuctionQueries()) {
+    MappingStrings(mapping.value().get(), &db, stored.value(), q.xpath);
+  }
+  const int64_t parsed_after_warmup =
+      MetricsRegistry::Global().Get("sql.parsed");
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& q : workload::AuctionQueries()) {
+      MappingStrings(mapping.value().get(), &db, stored.value(), q.xpath);
+    }
+  }
+  EXPECT_EQ(MetricsRegistry::Global().Get("sql.parsed"), parsed_after_warmup)
+      << "mapping=" << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMappings, DifferentialTest,

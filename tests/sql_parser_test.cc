@@ -174,5 +174,31 @@ TEST(SqlParserTest, Errors) {
   EXPECT_FALSE(ParseSql("SELECT a FROM t INNER b").ok());
 }
 
+TEST(SqlParserTest, PlainParseRejectsParameters) {
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE b = ?").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES (?)").ok());
+}
+
+TEST(SqlParserTest, ParseWithParamsCountsPlaceholders) {
+  auto none = ParseSqlWithParams("SELECT a FROM t");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().param_count, 0u);
+
+  auto two = ParseSqlWithParams("SELECT a FROM t WHERE b = ? AND c < ?");
+  ASSERT_TRUE(two.ok()) << two.status();
+  EXPECT_EQ(two.value().param_count, 2u);
+  ASSERT_NE(two.value().params, nullptr);
+  EXPECT_EQ(two.value().params->size(), 2u);
+  for (const Value& v : *two.value().params) EXPECT_TRUE(v.is_null());
+
+  auto dml = ParseSqlWithParams("INSERT INTO t VALUES (?, ?, ?)");
+  ASSERT_TRUE(dml.ok()) << dml.status();
+  EXPECT_EQ(dml.value().param_count, 3u);
+
+  auto upd = ParseSqlWithParams("UPDATE t SET a = ? WHERE b = ?");
+  ASSERT_TRUE(upd.ok()) << upd.status();
+  EXPECT_EQ(upd.value().param_count, 2u);
+}
+
 }  // namespace
 }  // namespace xmlrdb::rdb

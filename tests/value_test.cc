@@ -90,6 +90,23 @@ TEST(RowTest, HashRowConsistentWithEquality) {
   EXPECT_EQ(HashRow(a), HashRow(b));
 }
 
+TEST(RowTest, HashRowMixesPosition) {
+  // Permuted rows must hash differently: join/distinct/group-by keys like
+  // (parent, child) and (child, parent) are distinct rows.
+  Row ab{Value(int64_t{7}), Value(int64_t{42})};
+  Row ba{Value(int64_t{42}), Value(int64_t{7})};
+  EXPECT_NE(HashRow(ab), HashRow(ba));
+
+  Row xy{Value("x"), Value("y")};
+  Row yx{Value("y"), Value("x")};
+  EXPECT_NE(HashRow(xy), HashRow(yx));
+
+  // Shifting a value across columns must change the hash too.
+  Row left{Value(int64_t{5}), Value(int64_t{0})};
+  Row right{Value(int64_t{0}), Value(int64_t{5})};
+  EXPECT_NE(HashRow(left), HashRow(right));
+}
+
 TEST(RowTest, RowToString) {
   Row r{Value(int64_t{1}), Value("a"), Value::Null()};
   EXPECT_EQ(RowToString(r), "(1, a, NULL)");
