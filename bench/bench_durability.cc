@@ -1,0 +1,209 @@
+// Experiment T7 — the price of durability and the speed of recovery.
+//
+// Three scenarios: (1) per-update latency of a WAL-backed store under each
+// fsync policy (never / batch / commit) against the no-WAL baseline, on the
+// real filesystem so fsync costs are real; (2) whole-document shred
+// throughput under the same policies; (3) cold-start recovery, replaying the
+// log over an in-memory Env, reporting how many records a reopen replays
+// (recovered_records — the CI smoke job asserts it is positive).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "rdb/durability.h"
+#include "rdb/env.h"
+#include "rdb/fault_env.h"
+#include "rdb/wal.h"
+#include "xml/parser.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr char kScratchRoot[] = "bench_durability.tmp";
+
+std::unique_ptr<xml::Node> ItemFragment(int i) {
+  auto frag = xml::ParseFragment(
+      "<item id=\"t7_item" + std::to_string(i) +
+      "\"><location>Benchland</location><quantity>1</quantity>"
+      "<name>t7 item</name><description>inserted by bench_durability"
+      "</description></item>");
+  return frag.ok() ? std::move(frag).value() : nullptr;
+}
+
+/// "none" means no WAL at all (the in-memory baseline); anything else is a
+/// durable database under that fsync policy.
+bool ParsePolicy(const std::string& name, rdb::WalOptions* out) {
+  if (name == "never") {
+    out->sync_policy = rdb::WalOptions::SyncPolicy::kNever;
+  } else if (name == "batch") {
+    out->sync_policy = rdb::WalOptions::SyncPolicy::kBatch;
+  } else if (name == "commit") {
+    out->sync_policy = rdb::WalOptions::SyncPolicy::kCommit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Opens a fresh (empty) durable database in a scratch directory on the real
+/// filesystem, or a plain in-memory database for policy "none".
+std::unique_ptr<rdb::Database> FreshDb(const std::string& policy,
+                                       const std::string& scratch) {
+  if (policy == "none") return std::make_unique<rdb::Database>();
+  rdb::Env* env = rdb::Env::Default();
+  if (!env->RemoveDirRecursive(scratch).ok()) return nullptr;
+  rdb::DurableOptions opts;
+  if (!ParsePolicy(policy, &opts.wal)) return nullptr;
+  auto db = rdb::OpenDurableDatabase(env, scratch, opts);
+  return db.ok() ? std::move(db).value() : nullptr;
+}
+
+int64_t GetOr(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.find(name);
+  return it == snap.end() ? 0 : it->second;
+}
+
+void ReportWalCounters(benchmark::State& state, const MetricsSnapshot& before) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  state.counters["wal_appends"] =
+      static_cast<double>(reg.Get("wal.appends") - GetOr(before, "wal.appends"));
+  state.counters["wal_fsyncs"] =
+      static_cast<double>(reg.Get("wal.fsyncs") - GetOr(before, "wal.fsyncs"));
+  state.counters["wal_bytes"] =
+      static_cast<double>(reg.Get("wal.bytes") - GetOr(before, "wal.bytes"));
+}
+
+/// Per-update latency: append one item subtree per iteration (dewey — update
+/// cost is row-local, so the WAL and fsync dominate the delta).
+void BM_DurableInsert(benchmark::State& state, const std::string& policy) {
+  auto mapping = MakeMapping("dewey");
+  auto db = FreshDb(policy, std::string(kScratchRoot) + "/insert_" + policy);
+  workload::XMarkConfig cfg;
+  cfg.scale = kScale;
+  auto doc = workload::GenerateXMark(cfg);
+  if (mapping == nullptr || db == nullptr ||
+      !mapping->Initialize(db.get()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto id = mapping->Store(*doc, db.get());
+  if (!id.ok()) {
+    state.SkipWithError(id.status().ToString().c_str());
+    return;
+  }
+  auto path = xpath::ParseXPath("/site/regions/africa");
+  auto nodes =
+      shred::EvalPath(path.value(), mapping.get(), db.get(), id.value());
+  if (!nodes.ok() || nodes.value().empty()) {
+    state.SkipWithError("insertion point not found");
+    return;
+  }
+  rdb::Value africa = nodes.value()[0];
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  const MetricsSnapshot before = reg.Snapshot();
+  int i = 0;
+  for (auto _ : state) {
+    auto frag = ItemFragment(i++);
+    Status st = mapping->InsertSubtree(db.get(), id.value(), africa, *frag);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  ReportWalCounters(state, before);
+}
+
+/// Whole-document shred throughput: one full store per iteration into a
+/// fresh durable database.
+void BM_DurableShred(benchmark::State& state, const std::string& policy) {
+  workload::XMarkConfig cfg;
+  cfg.scale = kScale;
+  auto doc = workload::GenerateXMark(cfg);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  const MetricsSnapshot before = reg.Snapshot();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mapping = MakeMapping("dewey");
+    auto db = FreshDb(policy, std::string(kScratchRoot) + "/shred_" + policy);
+    if (mapping == nullptr || db == nullptr) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    state.ResumeTiming();
+    Status st = mapping->Initialize(db.get());
+    if (st.ok()) st = mapping->Store(*doc, db.get()).status();
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  ReportWalCounters(state, before);
+}
+
+/// Cold-start recovery: reopen a database whose entire history lives in the
+/// WAL (no checkpoint), so every reopen replays the full log.
+void BM_Recover(benchmark::State& state) {
+  rdb::FaultInjectionEnv env;
+  workload::XMarkConfig cfg;
+  cfg.scale = kScale;
+  auto doc = workload::GenerateXMark(cfg);
+  {
+    auto db = rdb::OpenDurableDatabase(&env, "db");
+    auto mapping = MakeMapping("dewey");
+    if (!db.ok() || mapping == nullptr ||
+        !mapping->Initialize(db.value().get()).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    auto id = mapping->Store(*doc, db.value().get());
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+  }
+  int64_t replayed = 0;
+  for (auto _ : state) {
+    rdb::RecoveryStats stats;
+    auto db = rdb::OpenDurableDatabase(&env, "db", {}, &stats);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    replayed = stats.records_replayed;
+  }
+  state.counters["recovered_records"] = static_cast<double>(replayed);
+}
+
+void RegisterAll() {
+  for (const std::string policy : {"none", "never", "batch", "commit"}) {
+    benchmark::RegisterBenchmark(
+        ("T7/insert_subtree/" + policy).c_str(),
+        [policy](benchmark::State& s) { BM_DurableInsert(s, policy); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(100);
+    if (policy == "none") continue;  // shred baseline exists in T2 already
+    benchmark::RegisterBenchmark(
+        ("T7/shred/" + policy).c_str(),
+        [policy](benchmark::State& s) { BM_DurableShred(s, policy); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  }
+  benchmark::RegisterBenchmark("T7/recover", BM_Recover)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(20);
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  (void)xmlrdb::rdb::Env::Default()->RemoveDirRecursive("bench_durability.tmp");
+  return 0;
+}

@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kTypeError: return "TypeError";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kConstraintError: return "ConstraintError";
+    case StatusCode::kIoError: return "IoError";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -27,6 +27,7 @@ enum class StatusCode {
   kTypeError,        ///< value used with an incompatible relational type
   kUnsupported,      ///< feature intentionally outside the implemented subset
   kConstraintError,  ///< schema constraint violated during DML
+  kIoError,          ///< storage I/O failure (real or fault-injected)
   kInternal,         ///< invariant breakage inside the engine
 };
 
@@ -68,6 +69,9 @@ class Status {
   }
   static Status ConstraintError(std::string msg) {
     return Status(StatusCode::kConstraintError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -9,8 +9,12 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "rdb/sql_parser.h"
+#include "rdb/wal.h"
 
 namespace xmlrdb::rdb {
+
+Database::Database() = default;
+Database::~Database() = default;
 
 // ---------------------------------------------------------------------------
 // Statement log.
@@ -86,8 +90,12 @@ Result<Table*> Database::CreateTableLocked(const std::string& name,
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "'");
   }
+  const bool durable = wal_ != nullptr && !IsTransientTableName(name);
+  // WAL before catalog: a table the log never heard of must not exist.
+  if (durable) RETURN_IF_ERROR(wal_->LogCreateTable(name, schema));
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* out = table.get();
+  if (durable) out->set_mutation_sink(wal_.get());
   tables_[name] = std::move(table);
   BumpSchemaVersion();
   return out;
@@ -97,6 +105,9 @@ Status Database::DropTable(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  if (wal_ != nullptr && !IsTransientTableName(name)) {
+    RETURN_IF_ERROR(wal_->LogDropTable(name));
+  }
   // Drain in-flight statements: any statement using the table acquired its
   // lock while holding the catalog lock we now own exclusively, so once we
   // can take the table lock no reader or writer remains and none can return.
@@ -126,6 +137,19 @@ Table* Database::FindTableLocked(const std::string& name) {
 const Table* Database::FindTableLocked(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void Database::AttachDurability(Env* env, std::string dir,
+                                std::unique_ptr<Wal> wal,
+                                uint64_t next_checkpoint_seq) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  env_ = env;
+  durable_dir_ = std::move(dir);
+  wal_ = std::move(wal);
+  checkpoint_seq_ = next_checkpoint_seq;
+  for (auto& [name, table] : tables_) {
+    if (!IsTransientTableName(name)) table->set_mutation_sink(wal_.get());
+  }
 }
 
 std::vector<std::string> Database::TableNames() const {

@@ -52,6 +52,8 @@
 namespace xmlrdb::rdb {
 
 class Database;
+class Env;
+class Wal;
 
 /// One executed statement, as kept by the statement log.
 struct StatementLogEntry {
@@ -138,7 +140,8 @@ class PreparedStatement {
 
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();  ///< out-of-line: wal_ points to an incomplete type here
 
   // -- catalog --
   Result<Table*> CreateTable(const std::string& name, Schema schema);
@@ -205,6 +208,40 @@ class Database {
   /// "xmlrdb_statements", "xmlrdb_tables").
   static bool IsVirtualTableName(const std::string& name);
 
+  // -- durability --
+  /// True for scratch/temporary table names (leading '_'): the per-thread
+  /// context and frontier tables the XPath translator churns through. They
+  /// are never WAL-logged and never included in a checkpoint snapshot.
+  static bool IsTransientTableName(const std::string& name) {
+    return !name.empty() && name[0] == '_';
+  }
+
+  /// Makes this database durable: every future mutation of a non-transient
+  /// table is logged to `wal` before it is applied (the log's error vetoes
+  /// the mutation), and Checkpoint() writes snapshots under `dir` via `env`.
+  /// Called once by OpenDurableDatabase after recovery, before any traffic.
+  void AttachDurability(Env* env, std::string dir, std::unique_ptr<Wal> wal,
+                        uint64_t next_checkpoint_seq);
+
+  /// The attached write-ahead log, or nullptr for an in-memory database.
+  Wal* wal() const { return wal_.get(); }
+
+  /// Transaction gate: every WalTransaction scope holds it shared for its
+  /// whole lifetime; Checkpoint() takes it exclusively so a snapshot never
+  /// captures the in-memory rows of a transaction whose commit record would
+  /// land in the post-snapshot log (which, after a crash, would resurrect an
+  /// uncommitted transaction). Statement-scope mutations need no gate — they
+  /// commit atomically with their single WAL append under the table lock.
+  std::shared_mutex& txn_gate() { return txn_gate_; }
+
+  /// Writes a consistent snapshot of every durable table, switches the WAL
+  /// to a fresh log file, atomically flips the CURRENT pointer to the new
+  /// (snapshot, log) pair, and deletes the old one. Quiesces writers for the
+  /// duration (readers keep running). Error only in the durable state; the
+  /// in-memory database is never harmed by a failed checkpoint — the old
+  /// snapshot + log remain authoritative. Defined in durability.cc.
+  Status Checkpoint();
+
  private:
   /// The tables a SELECT references, each held shared for statement scope.
   struct ReadLockSet;
@@ -269,6 +306,16 @@ class Database {
   std::atomic<int64_t> slow_query_threshold_us_{-1};
   std::atomic<int64_t> schema_version_{0};
   PlanCache plan_cache_;
+
+  // Durability state (set once by AttachDurability, before traffic).
+  // Lock order: checkpoint_mu_ -> mu_ (shared) -> table locks (name order)
+  // -> the Wal's internal mutex, which is a leaf.
+  Env* env_ = nullptr;
+  std::string durable_dir_;
+  std::unique_ptr<Wal> wal_;
+  std::shared_mutex txn_gate_;
+  std::mutex checkpoint_mu_;  ///< serializes Checkpoint() calls
+  uint64_t checkpoint_seq_ = 0;  ///< guarded by checkpoint_mu_
 };
 
 }  // namespace xmlrdb::rdb

@@ -1,0 +1,322 @@
+#include "rdb/durability.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/str_util.h"
+#include "common/trace.h"
+#include "rdb/persist.h"
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+constexpr char kCurrentHeader[] = "xmlrdb-current 1";
+constexpr char kNoSnapshot[] = "-";
+
+struct CurrentFile {
+  std::string snapshot;  ///< directory name under dir, or "-"
+  std::string wal;       ///< log file name under dir
+  uint64_t seq = 0;      ///< checkpoint sequence that wrote this pair
+};
+
+/// CURRENT is four lines: header, snapshot name, wal name, sequence.
+Result<CurrentFile> ReadCurrent(Env* env, const std::string& dir) {
+  ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(dir + "/CURRENT"));
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t nl = data.find('\n', start);
+    if (nl == std::string::npos) nl = data.size();
+    lines.push_back(data.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() < 4 || lines[0] != kCurrentHeader) {
+    return Status::IoError("malformed CURRENT file in " + dir);
+  }
+  CurrentFile cur;
+  cur.snapshot = lines[1];
+  cur.wal = lines[2];
+  ASSIGN_OR_RETURN(int64_t seq, ParseInt64(lines[3]));
+  cur.seq = static_cast<uint64_t>(seq);
+  if (cur.wal.empty()) return Status::IoError("CURRENT names no WAL file");
+  return cur;
+}
+
+Status WriteCurrent(Env* env, const std::string& dir, const CurrentFile& cur) {
+  std::string data(kCurrentHeader);
+  data += "\n" + cur.snapshot + "\n" + cur.wal + "\n" +
+          std::to_string(cur.seq) + "\n";
+  const std::string tmp = dir + "/CURRENT.tmp";
+  {
+    ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                     env->NewWritableFile(tmp, /*truncate=*/true));
+    RETURN_IF_ERROR(f->Append(data));
+    RETURN_IF_ERROR(f->Sync());
+    RETURN_IF_ERROR(f->Close());
+  }
+  // The atomic commit point of both checkpointing and cold start.
+  return env->RenameFile(tmp, dir + "/CURRENT");
+}
+
+/// First live row whose value equals `row` (the WAL identifies rows by
+/// content; row ids are not stable across snapshots).
+Result<RowId> FindRowByValue(Table* t, const Row& row) {
+  for (RowId rid = 0; rid < t->num_slots(); ++rid) {
+    if (!t->IsLive(rid)) continue;
+    const Row& r = t->row(rid);
+    if (r.size() == row.size() && CompareRows(r, row) == 0) return rid;
+  }
+  return Status::IoError("WAL replay: table '" + t->name() +
+                         "' has no row matching " + RowToString(row));
+}
+
+Status ReplayRecord(Database* db, const WalRecord& rec) {
+  switch (rec.type) {
+    case WalRecordType::kCommit:
+      return Status::OK();
+    case WalRecordType::kCreateTable: {
+      ASSIGN_OR_RETURN([[maybe_unused]] Table * t,
+                       db->CreateTable(rec.table, Schema(rec.columns)));
+      return Status::OK();
+    }
+    case WalRecordType::kDropTable:
+      return db->DropTable(rec.table);
+    default:
+      break;
+  }
+  Table* t = db->FindTable(rec.table);
+  if (t == nullptr) {
+    return Status::IoError("WAL replay: unknown table '" + rec.table + "'");
+  }
+  switch (rec.type) {
+    case WalRecordType::kInsert: {
+      ASSIGN_OR_RETURN([[maybe_unused]] RowId rid, t->Insert(rec.row));
+      return Status::OK();
+    }
+    case WalRecordType::kDelete: {
+      ASSIGN_OR_RETURN(RowId rid, FindRowByValue(t, rec.row));
+      return t->Delete(rid);
+    }
+    case WalRecordType::kUpdate: {
+      ASSIGN_OR_RETURN(RowId rid, FindRowByValue(t, rec.old_row));
+      return t->Update(rid, rec.row);
+    }
+    case WalRecordType::kCreateIndex:
+      return t->CreateIndex(rec.index_name, rec.index_columns);
+    default:
+      return Status::IoError("WAL replay: unexpected record type");
+  }
+}
+
+/// Applies the committed content of `records` to `db` (no WAL attached yet).
+/// Transaction-0 records apply at their own position; records of a committed
+/// transaction apply together at their kCommit record's position, preserving
+/// the commit order the log established.
+Status ReplayLog(Database* db, const std::vector<WalRecord>& records,
+                 RecoveryStats* stats) {
+  std::set<uint64_t> committed;
+  for (const WalRecord& rec : records) {
+    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+  }
+  stats->txns_committed = static_cast<int64_t>(committed.size());
+
+  std::map<uint64_t, std::vector<const WalRecord*>> pending;
+  for (const WalRecord& rec : records) {
+    if (rec.type == WalRecordType::kCommit) {
+      auto it = pending.find(rec.txn);
+      if (it == pending.end()) continue;  // empty transaction
+      for (const WalRecord* r : it->second) {
+        RETURN_IF_ERROR(ReplayRecord(db, *r));
+        ++stats->records_replayed;
+      }
+      pending.erase(it);
+    } else if (rec.txn == 0) {
+      RETURN_IF_ERROR(ReplayRecord(db, rec));
+      ++stats->records_replayed;
+    } else if (committed.count(rec.txn) > 0) {
+      pending[rec.txn].push_back(&rec);
+    } else {
+      ++stats->records_discarded;
+    }
+  }
+  // Records of a transaction that appear *after* its commit record can only
+  // come from a buggy writer; treat them like uncommitted work.
+  for (const auto& [txn, recs] : pending) {
+    stats->records_discarded += static_cast<int64_t>(recs.size());
+  }
+  return Status::OK();
+}
+
+/// Rewrites the log to its intact prefix after a torn tail: copy the prefix
+/// to a temp file, sync, rename over the log. Appending after a torn tail
+/// without this would bury garbage mid-log, which a later open would
+/// (rightly) refuse as corruption.
+Status TruncateTornTail(Env* env, const std::string& path,
+                        size_t valid_bytes) {
+  ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  const std::string tmp = path + ".tmp";
+  {
+    ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                     env->NewWritableFile(tmp, /*truncate=*/true));
+    RETURN_IF_ERROR(f->Append(std::string_view(data).substr(0, valid_bytes)));
+    RETURN_IF_ERROR(f->Sync());
+    RETURN_IF_ERROR(f->Close());
+  }
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> OpenDurableDatabase(
+    Env* env, const std::string& dir, const DurableOptions& options,
+    RecoveryStats* stats) {
+  ScopedSpan span("recovery.open", "durability");
+  auto& metrics = MetricsRegistry::Global();
+  RecoveryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = RecoveryStats();
+
+  RETURN_IF_ERROR(env->CreateDirs(dir));
+
+  if (!env->FileExists(dir + "/CURRENT")) {
+    // Cold start: empty database, empty log, then publish via CURRENT.
+    stats->cold_start = true;
+    metrics.Add("recovery.cold_starts", 1);
+    CurrentFile cur;
+    cur.snapshot = kNoSnapshot;
+    cur.wal = "wal_0.log";
+    cur.seq = 0;
+    const std::string wal_path = dir + "/" + cur.wal;
+    ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                     Wal::CreateLogFile(env, wal_path, /*start_lsn=*/1));
+    RETURN_IF_ERROR(WriteCurrent(env, dir, cur));
+    auto db = std::make_unique<Database>();
+    db->AttachDurability(
+        env, dir,
+        std::make_unique<Wal>(env, wal_path, std::move(file), options.wal,
+                              /*next_lsn=*/1),
+        /*next_checkpoint_seq=*/1);
+    return db;
+  }
+
+  ASSIGN_OR_RETURN(CurrentFile cur, ReadCurrent(env, dir));
+
+  std::unique_ptr<Database> db;
+  if (cur.snapshot == kNoSnapshot) {
+    db = std::make_unique<Database>();
+  } else {
+    stats->snapshot_dir = cur.snapshot;
+    ASSIGN_OR_RETURN(db, LoadDatabase(env, dir + "/" + cur.snapshot));
+  }
+
+  const std::string wal_path = dir + "/" + cur.wal;
+  ASSIGN_OR_RETURN(WalReadResult log, ReadWal(env, wal_path));
+  stats->records_scanned = static_cast<int64_t>(log.records.size());
+  if (log.torn_tail) {
+    stats->torn_tail_truncated = true;
+    metrics.Add("recovery.torn_tails", 1);
+    RETURN_IF_ERROR(TruncateTornTail(env, wal_path, log.valid_bytes));
+  }
+
+  {
+    ScopedSpan replay_span("recovery.replay", "durability");
+    RETURN_IF_ERROR(ReplayLog(db.get(), log.records, stats));
+  }
+  metrics.Add("recovery.records_replayed", stats->records_replayed);
+  metrics.Add("recovery.records_discarded", stats->records_discarded);
+
+  // Reopen the validated log for appending. A missing or headerless log
+  // (CURRENT named it but nothing was ever appended durably) is recreated
+  // with a fresh header so later appends land in a well-formed file.
+  std::unique_ptr<WritableFile> file;
+  if (!env->FileExists(wal_path) || log.valid_bytes == 0) {
+    ASSIGN_OR_RETURN(file, Wal::CreateLogFile(env, wal_path, log.next_lsn));
+  } else {
+    ASSIGN_OR_RETURN(file, env->NewWritableFile(wal_path, /*truncate=*/false));
+  }
+  db->AttachDurability(
+      env, dir,
+      std::make_unique<Wal>(env, wal_path, std::move(file), options.wal,
+                            log.next_lsn),
+      /*next_checkpoint_seq=*/cur.seq + 1);
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint (declared in database.h; lives here with the rest of the
+// durable-layout knowledge).
+
+Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no durability attached to this database");
+  }
+  ScopedSpan span("checkpoint", "durability");
+
+  // Quiesce, outermost first (see the lock-order note in database.h):
+  // 1. the transaction gate, so no multi-statement transaction is mid-way;
+  // 2. the catalog shared, so no DDL runs;
+  // 3. every durable table shared (map order = ascending name order), so no
+  //    statement-scope mutation runs. Readers keep executing throughout.
+  std::unique_lock<std::shared_mutex> txn_block(txn_gate_);
+  std::shared_lock<std::shared_mutex> catalog(mu_);
+  std::vector<std::shared_lock<std::shared_mutex>> table_locks;
+  std::vector<const Table*> tables;
+  table_locks.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    if (IsTransientTableName(name)) continue;
+    table_locks.emplace_back(table->mutex());
+    tables.push_back(table.get());
+  }
+
+  // Everything logged so far must be durable before the snapshot that
+  // supersedes it claims to contain it.
+  RETURN_IF_ERROR(wal_->Sync());
+  RETURN_IF_ERROR(env_->CrashPoint("checkpoint.before_snapshot"));
+
+  const uint64_t seq = checkpoint_seq_;
+  CurrentFile cur;
+  cur.snapshot = "snap_" + std::to_string(seq);
+  cur.wal = "wal_" + std::to_string(seq) + ".log";
+  cur.seq = seq;
+
+  // Snapshot first, then the fresh (empty) log starting at the next LSN,
+  // then flip CURRENT. A crash anywhere before the flip leaves the old
+  // (snapshot, log) pair authoritative and the new files as ignored garbage.
+  RETURN_IF_ERROR(SaveTables(env_, tables, durable_dir_ + "/" + cur.snapshot));
+  RETURN_IF_ERROR(env_->CrashPoint("checkpoint.after_snapshot"));
+  const std::string new_wal_path = durable_dir_ + "/" + cur.wal;
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> new_log,
+                   Wal::CreateLogFile(env_, new_wal_path, wal_->next_lsn()));
+  RETURN_IF_ERROR(env_->CrashPoint("checkpoint.before_current"));
+  RETURN_IF_ERROR(WriteCurrent(env_, durable_dir_, cur));
+  RETURN_IF_ERROR(env_->CrashPoint("checkpoint.after_current"));
+
+  // Point of no return: the new pair is live on disk; route appends to it.
+  wal_->SwapFile(std::move(new_log), new_wal_path);
+  ++checkpoint_seq_;
+  MetricsRegistry::Global().Add("wal.checkpoints", 1);
+
+  // Best-effort cleanup of everything CURRENT no longer names — the
+  // superseded pair, plus debris of checkpoints that crashed halfway.
+  auto listing = env_->ListDir(durable_dir_);
+  if (listing.ok()) {
+    for (const std::string& name : listing.value()) {
+      if (name == "CURRENT" || name == cur.snapshot || name == cur.wal) {
+        continue;
+      }
+      if (name.rfind("snap_", 0) == 0) {
+        (void)env_->RemoveDirRecursive(durable_dir_ + "/" + name);
+      } else if (name.rfind("wal_", 0) == 0 || name == "CURRENT.tmp") {
+        (void)env_->RemoveFile(durable_dir_ + "/" + name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,74 @@
+// Crash-safe database opening: checkpoint snapshot + WAL replay.
+//
+// On-disk layout of a durable database directory:
+//   CURRENT          which (snapshot, log) pair is live — the only file ever
+//                    read to decide what the database *is*. Updated by
+//                    writing CURRENT.tmp and atomically renaming over it.
+//   snap_<seq>/      a SaveDatabase snapshot (absent before the first
+//                    checkpoint; CURRENT then records "-")
+//   wal_<seq>.log    the write-ahead log of everything since that snapshot
+// Anything not named by CURRENT is garbage from a superseded checkpoint or a
+// checkpoint that crashed halfway — opening ignores it, the next successful
+// checkpoint deletes it.
+//
+// OpenDurableDatabase:
+//   1. No CURRENT: cold start. Create an empty log, write CURRENT, serve.
+//   2. Load the snapshot CURRENT names (or start empty).
+//   3. Read the log. A torn tail (partial last record) is expected after a
+//      crash: the file is rewritten to its intact prefix. Corruption
+//      anywhere else fails the open.
+//   4. Replay: records of transaction 0 apply at their log position;
+//      records of a transaction whose kCommit record exists apply at the
+//      commit's position; records of uncommitted transactions are dropped.
+//      Replay happens before the WAL is attached, so it is never re-logged.
+//   5. Reopen the log for appending and attach it to the database.
+// Opening an already-consistent directory replays the same prefix to the
+// same state (replay is deterministic and the log is append-only), so a
+// crash during or immediately after recovery is harmless — recovery never
+// writes to the log.
+//
+// Database::Checkpoint (defined here, declared in database.h) bounds replay
+// work: quiesce writers, snapshot all durable tables to snap_<seq>/, start
+// wal_<seq>.log at the current LSN, flip CURRENT, delete the old pair.
+
+#ifndef XMLRDB_RDB_DURABILITY_H_
+#define XMLRDB_RDB_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rdb/database.h"
+#include "rdb/env.h"
+#include "rdb/wal.h"
+
+namespace xmlrdb::rdb {
+
+struct DurableOptions {
+  WalOptions wal;
+};
+
+/// What recovery found and did; also mirrored into engine metrics
+/// (recovery.records_replayed, recovery.records_discarded, ...).
+struct RecoveryStats {
+  bool cold_start = false;           ///< no CURRENT file existed
+  bool torn_tail_truncated = false;  ///< log ended mid-record; prefix kept
+  int64_t records_scanned = 0;       ///< intact records found in the log
+  int64_t records_replayed = 0;      ///< applied (committed or autocommit)
+  int64_t records_discarded = 0;     ///< dropped (uncommitted transactions)
+  int64_t txns_committed = 0;        ///< distinct committed transactions
+  std::string snapshot_dir;          ///< snapshot loaded ("" = none)
+};
+
+/// Opens (recovering if needed) the durable database living under `dir`,
+/// creating it on first use. The returned database logs every further
+/// mutation to the WAL named by CURRENT. `stats`, when non-null, receives
+/// what recovery did.
+Result<std::unique_ptr<Database>> OpenDurableDatabase(
+    Env* env, const std::string& dir, const DurableOptions& options = {},
+    RecoveryStats* stats = nullptr);
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_DURABILITY_H_

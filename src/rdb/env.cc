@@ -1,0 +1,141 @@
+#include "rdb/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IoError(path_ + ": file closed");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IoError("short write to " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::IoError(path_ + ": file closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("fflush failed for " + path_);
+    }
+#ifndef _WIN32
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IoError("fsync failed for " + path_);
+    }
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return Status::IoError("close failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (f == nullptr) {
+      return Status::IoError("cannot open " + path + " for writing");
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("cannot open " + path);
+    std::string out;
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) return Status::IoError("read failed for " + path);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IoError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> out;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      out.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IoError("list " + path + ": " + ec.message());
+    return out;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IoError("remove " + path +
+                             (ec ? ": " + ec.message() : ": no such file"));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IoError("rename " + from + " -> " + to + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) return Status::IoError("rm -r " + path + ": " + ec.message());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,91 @@
+// Env: the small VFS seam between the durability subsystem and the host
+// filesystem.
+//
+// Everything the WAL, snapshot persistence and checkpointing do to disk goes
+// through an Env — append-only writable files with explicit Sync (fsync),
+// whole-file reads, and the handful of metadata operations (create dirs,
+// list, remove, atomic rename) the checkpoint protocol needs. The default
+// Env is a thin POSIX/std::filesystem implementation; tests substitute
+// FaultInjectionEnv (fault_env.h), an in-memory filesystem that models the
+// synced-vs-unsynced distinction, injects write failures, and simulates
+// process crashes at named crash points.
+//
+// Crash points: durability-critical code calls env->CrashPoint("name") at
+// the instants a real crash would be interesting (after a WAL append, between
+// the two halves of a checkpoint, ...). The default Env treats these as
+// no-ops; FaultInjectionEnv records every name it sees and, when armed, turns
+// one into a simulated crash — from then on all I/O fails and unsynced data
+// is gone, exactly like a killed process.
+
+#ifndef XMLRDB_RDB_ENV_H_
+#define XMLRDB_RDB_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlrdb::rdb {
+
+/// An append-only file handle. Writes become durable only after Sync().
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Makes everything appended so far survive a crash (fsync).
+  virtual Status Sync() = 0;
+
+  /// Flushes buffers and closes the handle. Idempotent; called by the
+  /// destructor if not called explicitly (errors then silently dropped).
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending; `truncate` empties any existing file first.
+  /// The parent directory must exist.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Creates `path` and any missing parents (mkdir -p; ok if present).
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Names (not full paths) of the entries directly under `path`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics). This is
+  /// the commit primitive of the checkpoint protocol.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path` and everything under it. Ok if absent.
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+
+  /// Durability crash hook; see the header comment. Returns an error only
+  /// when a fault-injection Env decided to "crash" here — callers propagate
+  /// it like any I/O failure.
+  virtual Status CrashPoint(const std::string& name) {
+    (void)name;
+    return Status::OK();
+  }
+
+  /// The process-wide POSIX Env.
+  static Env* Default();
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_ENV_H_

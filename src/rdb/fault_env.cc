@@ -1,0 +1,225 @@
+#include "rdb/fault_env.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+const char kCrashedMsg[] = "simulated crash: process is dead";
+
+}  // namespace
+
+/// Handle over one in-memory file; all state lives in the env so that a
+/// crash can reach every open file at once.
+class FaultInjectionFile : public WritableFile {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return env_->WriteLocked(path_, data);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return env_->SyncLocked(path_);
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  FileRep& rep = files_[path];
+  if (truncate) {
+    rep.data.clear();
+    rep.synced_len = 0;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionFile>(this, path));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("cannot open " + path);
+  return it->second.data;
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path) > 0) return true;
+  // Directories are implicit: they exist when something lives under them.
+  const std::string prefix = path + "/";
+  auto it = files_.lower_bound(prefix);
+  return it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& /*path*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  return Status::OK();  // directories are implicit
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  const std::string prefix = path + "/";
+  std::set<std::string> names;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    std::string rest = it->first.substr(prefix.size());
+    names.insert(rest.substr(0, rest.find('/')));
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  if (files_.erase(path) == 0) return Status::IoError("remove " + path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::IoError("rename " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveDirRecursive(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  const std::string prefix = path + "/";
+  files_.erase(path);
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CrashPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  const int64_t hits = ++crash_point_hits_[name];
+  if (!armed_point_.empty() && armed_point_ == name && hits >= armed_hit_) {
+    armed_point_.clear();
+    CrashLocked();
+    return Status::IoError("simulated crash at crash point '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteLocked(const std::string& path,
+                                      std::string_view data) {
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IoError(path + ": file removed");
+  if (fail_after_writes_ == 0) {
+    const size_t keep = std::min(short_write_bytes_, data.size());
+    it->second.data.append(data.data(), keep);
+    return Status::IoError("injected write failure for " + path);
+  }
+  if (fail_after_writes_ > 0) --fail_after_writes_;
+  ++data_writes_;
+  it->second.data.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncLocked(const std::string& path) {
+  if (crashed_) return Status::IoError(kCrashedMsg);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IoError(path + ": file removed");
+  it->second.synced_len = it->second.data.size();
+  ++syncs_;
+  return Status::OK();
+}
+
+void FaultInjectionEnv::CrashLocked() {
+  for (auto& [path, rep] : files_) {
+    const size_t unsynced = rep.data.size() - rep.synced_len;
+    const size_t keep = rep.synced_len + std::min(torn_tail_bytes_, unsynced);
+    rep.data.resize(keep);
+  }
+  crashed_ = true;
+}
+
+void FaultInjectionEnv::set_fail_after_data_writes(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_after_writes_ = n;
+}
+
+void FaultInjectionEnv::set_short_write_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_write_bytes_ = bytes;
+}
+
+void FaultInjectionEnv::set_torn_tail_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_tail_bytes_ = bytes;
+}
+
+void FaultInjectionEnv::ArmCrashPoint(const std::string& name, int64_t hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_point_ = name;
+  armed_hit_ = crash_point_hits_[name] + hit;
+}
+
+void FaultInjectionEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CrashLocked();
+}
+
+void FaultInjectionEnv::ResetCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  armed_point_.clear();
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::map<std::string, int64_t> FaultInjectionEnv::CrashPointHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_point_hits_;
+}
+
+void FaultInjectionEnv::ClearCrashPointHits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_point_hits_.clear();
+}
+
+int64_t FaultInjectionEnv::data_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_writes_;
+}
+
+int64_t FaultInjectionEnv::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,112 @@
+// FaultInjectionEnv: an in-memory filesystem that models durability the way
+// a crash-consistency test needs it modelled.
+//
+// Every file keeps two lengths: its current contents and the prefix that has
+// been fsynced. A simulated crash (SimulateCrash or a tripped crash point)
+// discards everything past the synced prefix — optionally keeping a
+// configurable number of bytes of the unsynced tail to simulate a torn
+// write — and makes all further I/O fail like a dead process. Metadata
+// operations (create, rename, remove) are modelled as immediately durable;
+// only file *data* is volatile, which is the distinction the WAL and the
+// checkpoint protocol actually depend on.
+//
+// Fault knobs:
+//   * set_fail_after_data_writes(n): the (n+1)th Append from now on fails
+//     with kIoError (and every one after it, until the knob is cleared with
+//     -1). An optional short-write size persists a prefix of the failing
+//     append, simulating a torn in-place write.
+//   * ArmCrashPoint(name, hit): the hit-th time engine code reaches
+//     CrashPoint(name), the env crashes as described above.
+//   * set_torn_tail_bytes(k): on crash, keep up to k bytes of each file's
+//     unsynced tail instead of dropping it entirely.
+//
+// Every CrashPoint(name) call is recorded (name -> hit count) whether or not
+// a crash is armed, so a torture test can first run a workload cleanly to
+// enumerate the crash surface and then iterate over it.
+//
+// Thread-safe; all state is guarded by one mutex (I/O here is cheap).
+
+#ifndef XMLRDB_RDB_FAULT_ENV_H_
+#define XMLRDB_RDB_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rdb/env.h"
+
+namespace xmlrdb::rdb {
+
+class FaultInjectionEnv : public Env {
+ public:
+  FaultInjectionEnv() = default;
+
+  // -- Env --
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  Status CrashPoint(const std::string& name) override;
+
+  // -- fault knobs --
+  /// Fails every data write after the next `n` successful ones; -1 disables.
+  void set_fail_after_data_writes(int64_t n);
+  /// When a write fails via the knob above, persist its first `bytes` bytes
+  /// (a torn in-place write). Default 0 = nothing of the failed write lands.
+  void set_short_write_bytes(size_t bytes);
+  /// On crash, keep up to `bytes` of each file's unsynced tail (torn tail).
+  void set_torn_tail_bytes(size_t bytes);
+
+  /// Arms a crash at the `hit`-th (1-based) future call of CrashPoint(name).
+  void ArmCrashPoint(const std::string& name, int64_t hit = 1);
+  /// Drops unsynced data and fails all subsequent I/O, as if the process
+  /// died here.
+  void SimulateCrash();
+  /// Clears the crashed state (durable contents stay), so a test can
+  /// "restart the process" and recover from what survived.
+  void ResetCrash();
+  bool crashed() const;
+
+  // -- introspection --
+  /// Every crash-point name seen so far, with hit counts.
+  std::map<std::string, int64_t> CrashPointHits() const;
+  void ClearCrashPointHits();
+  int64_t data_writes() const;
+  int64_t syncs() const;
+
+ private:
+  friend class FaultInjectionFile;
+
+  struct FileRep {
+    std::string data;
+    size_t synced_len = 0;
+  };
+
+  /// Crash with `mu_` held.
+  void CrashLocked();
+  Status WriteLocked(const std::string& path, std::string_view data);
+  Status SyncLocked(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileRep> files_;
+  std::map<std::string, int64_t> crash_point_hits_;
+  std::string armed_point_;
+  int64_t armed_hit_ = 0;
+  bool crashed_ = false;
+  int64_t fail_after_writes_ = -1;
+  size_t short_write_bytes_ = 0;
+  size_t torn_tail_bytes_ = 0;
+  int64_t data_writes_ = 0;
+  int64_t syncs_ = 0;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_FAULT_ENV_H_

@@ -1,8 +1,6 @@
 #include "rdb/persist.h"
 
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -105,20 +103,43 @@ std::vector<std::string> SplitRecord(const std::string& line) {
   return out;
 }
 
+/// getline semantics over an in-memory file: a trailing newline does not
+/// produce a final empty line.
+std::vector<std::string> SplitLines(const std::string& data) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t nl = data.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(data.substr(start));
+      break;
+    }
+    lines.push_back(data.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Writes `contents` to `path` in one append and syncs it.
+Status WriteFileSynced(Env* env, const std::string& path,
+                       const std::string& contents) {
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   env->NewWritableFile(path, /*truncate=*/true));
+  RETURN_IF_ERROR(file->Append(contents));
+  RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
 }  // namespace
 
-Status SaveDatabase(const Database& db, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return Status::Internal("cannot create " + dir + ": " + ec.message());
+Status SaveTables(Env* env, const std::vector<const Table*>& tables,
+                  const std::string& dir) {
+  RETURN_IF_ERROR(env->CreateDirs(dir));
 
-  std::ofstream catalog(dir + "/catalog.xdb", std::ios::trunc);
-  if (!catalog) return Status::Internal("cannot write catalog in " + dir);
+  std::ostringstream catalog;
   catalog << "xmlrdb-catalog 1\n";
-
-  for (const std::string& tname : db.TableNames()) {
-    const Table* t = db.FindTable(tname);
-    catalog << "table\t" << EscapeField(tname) << "\n";
+  for (const Table* t : tables) {
+    catalog << "table\t" << EscapeField(t->name()) << "\n";
     for (const auto& col : t->schema().columns()) {
       catalog << "column\t" << EscapeField(col.name) << "\t"
               << DataTypeName(col.type) << "\t" << (col.nullable ? "1" : "0")
@@ -131,9 +152,13 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
       }
       catalog << "\n";
     }
+  }
+  RETURN_IF_ERROR(WriteFileSynced(env, dir + "/catalog.xdb", catalog.str()));
+  RETURN_IF_ERROR(env->CrashPoint("persist.after_catalog"));
+
+  for (const Table* t : tables) {
     // Rows (tombstones compacted away).
-    std::ofstream rows(dir + "/" + tname + ".tbl", std::ios::trunc);
-    if (!rows) return Status::Internal("cannot write rows for " + tname);
+    std::ostringstream rows;
     for (RowId rid = 0; rid < t->num_slots(); ++rid) {
       if (!t->IsLive(rid)) continue;
       const Row& row = t->row(rid);
@@ -143,17 +168,35 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
       }
       rows << '\n';
     }
+    RETURN_IF_ERROR(
+        WriteFileSynced(env, dir + "/" + t->name() + ".tbl", rows.str()));
+    RETURN_IF_ERROR(env->CrashPoint("persist.after_table"));
   }
   return Status::OK();
 }
 
-Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
-  std::ifstream catalog(dir + "/catalog.xdb");
-  if (!catalog) return Status::NotFound("no catalog in " + dir);
-  std::string header;
-  std::getline(catalog, header);
-  if (header != "xmlrdb-catalog 1") {
-    return Status::ParseError("unrecognised catalog header '" + header + "'");
+Status SaveDatabase(Env* env, const Database& db, const std::string& dir) {
+  std::vector<const Table*> tables;
+  for (const std::string& tname : db.TableNames()) {
+    const Table* t = db.FindTable(tname);
+    if (t != nullptr) tables.push_back(t);
+  }
+  return SaveTables(env, tables, dir);
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  return SaveDatabase(Env::Default(), db, dir);
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(Env* env,
+                                               const std::string& dir) {
+  auto catalog_data = env->ReadFileToString(dir + "/catalog.xdb");
+  if (!catalog_data.ok()) return Status::NotFound("no catalog in " + dir);
+  std::vector<std::string> catalog_lines = SplitLines(catalog_data.value());
+  if (catalog_lines.empty() || catalog_lines[0] != "xmlrdb-catalog 1") {
+    return Status::ParseError(
+        "unrecognised catalog header '" +
+        (catalog_lines.empty() ? std::string() : catalog_lines[0]) + "'");
   }
 
   auto db = std::make_unique<Database>();
@@ -165,12 +208,9 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
     if (pending_table.empty()) return Status::OK();
     ASSIGN_OR_RETURN(Table * t, db->CreateTable(pending_table, pending_schema));
     // Rows first (index backfill is cheaper than incremental maintenance).
-    std::ifstream rows(dir + "/" + pending_table + ".tbl");
-    if (!rows) {
-      return Status::NotFound("missing row file for table " + pending_table);
-    }
-    std::string line;
-    while (std::getline(rows, line)) {
+    ASSIGN_OR_RETURN(std::string row_data,
+                     env->ReadFileToString(dir + "/" + pending_table + ".tbl"));
+    for (const std::string& line : SplitLines(row_data)) {
       if (line.empty() && pending_schema.size() != 1) continue;
       std::vector<std::string> fields = SplitRecord(line);
       if (fields.size() != pending_schema.size()) {
@@ -194,8 +234,8 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
     return Status::OK();
   };
 
-  std::string line;
-  while (std::getline(catalog, line)) {
+  for (size_t li = 1; li < catalog_lines.size(); ++li) {
+    const std::string& line = catalog_lines[li];
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitRecord(line);
     if (fields[0] == "table") {
@@ -224,6 +264,10 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
   }
   RETURN_IF_ERROR(flush_table());
   return db;
+}
+
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir) {
+  return LoadDatabase(Env::Default(), dir);
 }
 
 }  // namespace xmlrdb::rdb

@@ -8,23 +8,43 @@
 // (verified by tests/persist_test.cc). Tombstoned rows are compacted away on
 // save; row ids are therefore NOT stable across a save/load cycle — node ids
 // of the shredding mappings are, because they live in columns.
+//
+// All I/O goes through an Env (env.h), so the fault-injection tests can
+// crash a snapshot halfway through; the checkpoint protocol (durability.cc)
+// tolerates that because a snapshot only becomes live when the CURRENT
+// pointer is flipped to it afterwards. The Env-less overloads use
+// Env::Default() and are what non-durability callers (benchmarks, the
+// persistence round-trip tests) keep using.
 
 #ifndef XMLRDB_RDB_PERSIST_H_
 #define XMLRDB_RDB_PERSIST_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "rdb/database.h"
+#include "rdb/env.h"
 
 namespace xmlrdb::rdb {
 
 /// Writes the whole database under `dir` (created if missing).
 Status SaveDatabase(const Database& db, const std::string& dir);
+Status SaveDatabase(Env* env, const Database& db, const std::string& dir);
+
+/// Writes exactly `tables` under `dir`. The caller guarantees the tables are
+/// stable for the duration (holds their locks or owns them exclusively) —
+/// this is the entry point Database::Checkpoint uses while already holding
+/// the catalog lock, where calling SaveDatabase's TableNames/FindTable would
+/// self-deadlock.
+Status SaveTables(Env* env, const std::vector<const Table*>& tables,
+                  const std::string& dir);
 
 /// Reads a database previously written by SaveDatabase.
 Result<std::unique_ptr<Database>> LoadDatabase(const std::string& dir);
+Result<std::unique_ptr<Database>> LoadDatabase(Env* env,
+                                               const std::string& dir);
 
 }  // namespace xmlrdb::rdb
 

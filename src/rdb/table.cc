@@ -54,6 +54,7 @@ Result<RowId> Table::Insert(Row row) {
 
 Result<RowId> Table::InsertUnlocked(Row row) {
   RETURN_IF_ERROR(schema_.ValidateRow(row));
+  if (sink_ != nullptr) RETURN_IF_ERROR(sink_->OnInsert(*this, row));
   RowId rid = rows_.size();
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
@@ -79,6 +80,7 @@ Status Table::DeleteUnlocked(RowId rid) {
   if (!IsLive(rid)) {
     return Status::NotFound("row " + std::to_string(rid) + " is not live");
   }
+  if (sink_ != nullptr) RETURN_IF_ERROR(sink_->OnDelete(*this, rows_[rid]));
   for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
   deleted_[rid] = true;
   --live_rows_;
@@ -95,6 +97,9 @@ Status Table::UpdateUnlocked(RowId rid, Row row) {
     return Status::NotFound("row " + std::to_string(rid) + " is not live");
   }
   RETURN_IF_ERROR(schema_.ValidateRow(row));
+  if (sink_ != nullptr) {
+    RETURN_IF_ERROR(sink_->OnUpdate(*this, rows_[rid], row));
+  }
   for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
   rows_[rid] = std::move(row);
   for (auto& idx : indexes_) idx->Add(rows_[rid], rid);
@@ -127,6 +132,9 @@ Status Table::CreateIndexUnlocked(const std::string& name,
   for (const auto& cn : column_names) {
     ASSIGN_OR_RETURN(size_t i, schema_.IndexOf(cn));
     cols.push_back(i);
+  }
+  if (sink_ != nullptr) {
+    RETURN_IF_ERROR(sink_->OnCreateIndex(*this, name, column_names));
   }
   auto idx = std::make_unique<Index>(name, this, std::move(cols));
   for (RowId rid = 0; rid < rows_.size(); ++rid) {

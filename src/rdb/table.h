@@ -34,6 +34,25 @@ using RowId = uint64_t;
 
 class Table;
 
+/// Observer of a table's mutations — the write-ahead log implements this to
+/// obtain a redo record for every row change and index creation, no matter
+/// whether the mutation arrived through a SQL statement or a direct call
+/// from a shredding mapping. Callbacks run with the table's exclusive lock
+/// held, after validation and *before* the in-memory change is applied; an
+/// error return vetoes the mutation (the caller sees the error and the table
+/// is untouched). Rows are identified by value, not RowId: row ids are not
+/// stable across a snapshot save/load cycle, row contents are.
+class TableMutationSink {
+ public:
+  virtual ~TableMutationSink() = default;
+  virtual Status OnInsert(const Table& table, const Row& row) = 0;
+  virtual Status OnDelete(const Table& table, const Row& row) = 0;
+  virtual Status OnUpdate(const Table& table, const Row& old_row,
+                          const Row& new_row) = 0;
+  virtual Status OnCreateIndex(const Table& table, const std::string& name,
+                               const std::vector<std::string>& columns) = 0;
+};
+
 /// A secondary index over one or more columns of a table.
 class Index {
  public:
@@ -107,7 +126,8 @@ class Table {
   /// Drops every row (and tombstone slot) and empties all indexes; the
   /// schema and index definitions stay. Unlike repeated Delete, slots do
   /// not accumulate — scratch tables reused across queries stay small.
-  /// Takes mutex() exclusively.
+  /// Takes mutex() exclusively. Bypasses the mutation sink: Truncate is for
+  /// transient scratch tables, which are never logged.
   void Truncate();
 
   bool IsLive(RowId rid) const {
@@ -132,6 +152,11 @@ class Table {
   /// Takes mutex() shared.
   size_t FootprintBytes() const;
 
+  /// Installs (or clears, with nullptr) the mutation observer. Set while no
+  /// mutator is running — Database attaches the WAL before serving traffic.
+  void set_mutation_sink(TableMutationSink* sink) { sink_ = sink; }
+  TableMutationSink* mutation_sink() const { return sink_; }
+
  private:
   size_t FootprintBytesUnlocked() const;
 
@@ -142,6 +167,7 @@ class Table {
   std::vector<bool> deleted_;
   size_t live_rows_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
+  TableMutationSink* sink_ = nullptr;
 };
 
 }  // namespace xmlrdb::rdb

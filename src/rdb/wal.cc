@@ -1,0 +1,540 @@
+#include "rdb/wal.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'X', 'R', 'D', 'B', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderSize = 8 + 4 + 8;
+constexpr size_t kFrameOverhead = 4 + 4;  // crc + len
+
+thread_local uint64_t tls_current_txn = 0;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// -- little-endian primitives --
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt:
+      PutU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case DataType::kDouble: {
+      uint64_t bits = 0;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case DataType::kString:
+      PutString(out, v.AsString());
+      break;
+    case DataType::kBool:
+      PutU8(out, v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(out, v);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::string String() {
+    const uint32_t len = U32();
+    if (!Need(len)) return {};
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  Value ReadValue() {
+    switch (static_cast<DataType>(U8())) {
+      case DataType::kNull:
+        return Value::Null();
+      case DataType::kInt:
+        return Value(static_cast<int64_t>(U64()));
+      case DataType::kDouble: {
+        const uint64_t bits = U64();
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        return Value(d);
+      }
+      case DataType::kString:
+        return Value(String());
+      case DataType::kBool:
+        return Value(U8() != 0);
+      default:
+        ok_ = false;
+        return Value::Null();
+    }
+  }
+
+  Row ReadRow() {
+    const uint32_t n = U32();
+    Row row;
+    for (uint32_t i = 0; i < n && ok_; ++i) row.push_back(ReadValue());
+    return row;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+uint32_t ReadU32At(std::string_view data, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(std::string_view data, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeHeader(Lsn start_lsn) {
+  std::string h(kWalMagic, sizeof(kWalMagic));
+  PutU32(&h, kWalVersion);
+  PutU64(&h, start_lsn);
+  return h;
+}
+
+}  // namespace
+
+uint32_t WalCrc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeWalPayload(const WalRecord& rec) {
+  std::string p;
+  PutU64(&p, rec.lsn);
+  PutU64(&p, rec.txn);
+  PutU8(&p, static_cast<uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kCommit:
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete:
+      PutString(&p, rec.table);
+      PutRow(&p, rec.row);
+      break;
+    case WalRecordType::kUpdate:
+      PutString(&p, rec.table);
+      PutRow(&p, rec.old_row);
+      PutRow(&p, rec.row);
+      break;
+    case WalRecordType::kCreateTable:
+      PutString(&p, rec.table);
+      PutU32(&p, static_cast<uint32_t>(rec.columns.size()));
+      for (const Column& c : rec.columns) {
+        PutString(&p, c.name);
+        PutU8(&p, static_cast<uint8_t>(c.type));
+        PutU8(&p, c.nullable ? 1 : 0);
+      }
+      break;
+    case WalRecordType::kDropTable:
+      PutString(&p, rec.table);
+      break;
+    case WalRecordType::kCreateIndex:
+      PutString(&p, rec.table);
+      PutString(&p, rec.index_name);
+      PutU32(&p, static_cast<uint32_t>(rec.index_columns.size()));
+      for (const std::string& c : rec.index_columns) PutString(&p, c);
+      break;
+  }
+  return p;
+}
+
+Result<WalRecord> DecodeWalPayload(std::string_view payload) {
+  Reader r(payload);
+  WalRecord rec;
+  rec.lsn = r.U64();
+  rec.txn = r.U64();
+  const uint8_t type = r.U8();
+  if (type < 1 || type > 7) {
+    return Status::IoError("WAL record with unknown type " +
+                           std::to_string(type));
+  }
+  rec.type = static_cast<WalRecordType>(type);
+  switch (rec.type) {
+    case WalRecordType::kCommit:
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete:
+      rec.table = r.String();
+      rec.row = r.ReadRow();
+      break;
+    case WalRecordType::kUpdate:
+      rec.table = r.String();
+      rec.old_row = r.ReadRow();
+      rec.row = r.ReadRow();
+      break;
+    case WalRecordType::kCreateTable: {
+      rec.table = r.String();
+      const uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        Column c;
+        c.name = r.String();
+        c.type = static_cast<DataType>(r.U8());
+        c.nullable = r.U8() != 0;
+        rec.columns.push_back(std::move(c));
+      }
+      break;
+    }
+    case WalRecordType::kDropTable:
+      rec.table = r.String();
+      break;
+    case WalRecordType::kCreateIndex: {
+      rec.table = r.String();
+      rec.index_name = r.String();
+      const uint32_t n = r.U32();
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        rec.index_columns.push_back(r.String());
+      }
+      break;
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::IoError("malformed WAL record payload");
+  }
+  return rec;
+}
+
+Result<WalReadResult> ReadWal(Env* env, const std::string& path) {
+  WalReadResult result;
+  if (!env->FileExists(path)) return result;  // missing log = cold start
+  ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  if (data.empty()) return result;  // empty log = cold start
+  if (data.size() < kHeaderSize) {
+    return Status::IoError("truncated WAL header in " + path);
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IoError(path + " is not a WAL file (bad magic)");
+  }
+  const uint32_t version = ReadU32At(data, sizeof(kWalMagic));
+  if (version != kWalVersion) {
+    return Status::IoError("unsupported WAL version " +
+                           std::to_string(version) + " in " + path);
+  }
+  result.next_lsn = ReadU64At(data, sizeof(kWalMagic) + 4);
+  result.valid_bytes = kHeaderSize;
+
+  size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    // A frame that does not fit in the remaining bytes is a torn append
+    // only if it is the last thing in the file — which it is by definition
+    // when we run out of bytes mid-frame.
+    if (data.size() - pos < kFrameOverhead) {
+      result.torn_tail = true;
+      return result;
+    }
+    const uint32_t crc = ReadU32At(data, pos);
+    const uint32_t len = ReadU32At(data, pos + 4);
+    if (data.size() - pos - kFrameOverhead < len) {
+      result.torn_tail = true;
+      return result;
+    }
+    const std::string_view payload(data.data() + pos + kFrameOverhead, len);
+    if (WalCrc32(payload) != crc) {
+      if (pos + kFrameOverhead + len == data.size()) {
+        // Bad CRC on the final frame: a torn append of the right length.
+        result.torn_tail = true;
+        return result;
+      }
+      return Status::IoError(
+          "WAL corruption in " + path + ": bad record checksum at offset " +
+          std::to_string(pos) + " with " +
+          std::to_string(data.size() - pos - kFrameOverhead - len) +
+          " bytes of log after it");
+    }
+    auto rec = DecodeWalPayload(payload);
+    if (!rec.ok()) {
+      // The frame passed its CRC but does not parse — written by a buggy or
+      // newer engine, not torn by a crash. Never silently drop it.
+      return rec.status();
+    }
+    result.records.push_back(std::move(rec.value()));
+    result.next_lsn = result.records.back().lsn + 1;
+    pos += kFrameOverhead + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+Result<std::unique_ptr<WritableFile>> Wal::CreateLogFile(
+    Env* env, const std::string& path, Lsn start_lsn) {
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   env->NewWritableFile(path, /*truncate=*/true));
+  RETURN_IF_ERROR(file->Append(EncodeHeader(start_lsn)));
+  RETURN_IF_ERROR(file->Sync());
+  return file;
+}
+
+Wal::Wal(Env* env, std::string path, std::unique_ptr<WritableFile> file,
+         WalOptions options, Lsn next_lsn)
+    : env_(env),
+      path_(std::move(path)),
+      options_(options),
+      file_(std::move(file)),
+      next_lsn_(next_lsn) {}
+
+Status Wal::Append(WalRecord rec, bool commit_point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(health_);
+  rec.lsn = next_lsn_.load(std::memory_order_relaxed);
+
+  std::string frame;
+  {
+    const std::string payload = EncodeWalPayload(rec);
+    PutU32(&frame, WalCrc32(payload));
+    PutU32(&frame, static_cast<uint32_t>(payload.size()));
+    frame += payload;
+  }
+
+  Status s = env_->CrashPoint("wal.before_append");
+  if (s.ok()) s = file_->Append(frame);
+  if (s.ok()) s = env_->CrashPoint("wal.after_append");
+  if (!s.ok()) {
+    health_ = s;  // poison: memory must not run ahead of the log
+    return s;
+  }
+  next_lsn_.store(rec.lsn + 1, std::memory_order_release);
+  unsynced_bytes_ += frame.size();
+
+  auto& metrics = MetricsRegistry::Global();
+  metrics.Add("wal.appends", 1);
+  metrics.Add("wal.bytes", static_cast<int64_t>(frame.size()));
+  if (commit_point) metrics.Add("wal.commits", 1);
+
+  const bool want_sync =
+      (options_.sync_policy == WalOptions::SyncPolicy::kCommit &&
+       commit_point) ||
+      (options_.sync_policy == WalOptions::SyncPolicy::kBatch &&
+       unsynced_bytes_ >= options_.batch_bytes);
+  if (want_sync) {
+    s = SyncLocked();
+    if (!s.ok()) {
+      health_ = s;
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Wal::SyncLocked() {
+  if (unsynced_bytes_ == 0) return Status::OK();
+  RETURN_IF_ERROR(file_->Sync());
+  RETURN_IF_ERROR(env_->CrashPoint("wal.after_sync"));
+  unsynced_bytes_ = 0;
+  MetricsRegistry::Global().Add("wal.fsyncs", 1);
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETURN_IF_ERROR(health_);
+  Status s = SyncLocked();
+  if (!s.ok()) health_ = s;
+  return s;
+}
+
+Status Wal::OnInsert(const Table& table, const Row& row) {
+  WalRecord rec;
+  rec.txn = tls_current_txn;
+  rec.type = WalRecordType::kInsert;
+  rec.table = table.name();
+  rec.row = row;
+  const bool autocommit = rec.txn == 0;
+  return Append(std::move(rec), /*commit_point=*/autocommit);
+}
+
+Status Wal::OnDelete(const Table& table, const Row& row) {
+  WalRecord rec;
+  rec.txn = tls_current_txn;
+  rec.type = WalRecordType::kDelete;
+  rec.table = table.name();
+  rec.row = row;
+  const bool autocommit = rec.txn == 0;
+  return Append(std::move(rec), /*commit_point=*/autocommit);
+}
+
+Status Wal::OnUpdate(const Table& table, const Row& old_row,
+                     const Row& new_row) {
+  WalRecord rec;
+  rec.txn = tls_current_txn;
+  rec.type = WalRecordType::kUpdate;
+  rec.table = table.name();
+  rec.old_row = old_row;
+  rec.row = new_row;
+  const bool autocommit = rec.txn == 0;
+  return Append(std::move(rec), /*commit_point=*/autocommit);
+}
+
+Status Wal::OnCreateIndex(const Table& table, const std::string& name,
+                          const std::vector<std::string>& columns) {
+  // DDL always self-commits (txn 0): replay applies it at its log position,
+  // so a table created mid-shred exists for every later committed record
+  // regardless of which transactions around it committed.
+  WalRecord rec;
+  rec.type = WalRecordType::kCreateIndex;
+  rec.table = table.name();
+  rec.index_name = name;
+  rec.index_columns = columns;
+  return Append(std::move(rec), /*commit_point=*/true);
+}
+
+Status Wal::LogCreateTable(const std::string& name, const Schema& schema) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCreateTable;
+  rec.table = name;
+  rec.columns = schema.columns();
+  return Append(std::move(rec), /*commit_point=*/true);
+}
+
+Status Wal::LogDropTable(const std::string& name) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDropTable;
+  rec.table = name;
+  return Append(std::move(rec), /*commit_point=*/true);
+}
+
+uint64_t Wal::CurrentTxn() { return tls_current_txn; }
+
+uint64_t Wal::BeginTxn() {
+  const uint64_t txn = next_txn_.fetch_add(1, std::memory_order_relaxed);
+  tls_current_txn = txn;
+  return txn;
+}
+
+Status Wal::Commit(uint64_t txn) {
+  tls_current_txn = 0;
+  WalRecord rec;
+  rec.txn = txn;
+  rec.type = WalRecordType::kCommit;
+  return Append(std::move(rec), /*commit_point=*/true);
+}
+
+void Wal::AbandonTxn() { tls_current_txn = 0; }
+
+void Wal::SwapFile(std::unique_ptr<WritableFile> file, std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_->Close();
+  file_ = std::move(file);
+  path_ = std::move(path);
+  unsynced_bytes_ = 0;
+  health_ = Status::OK();
+}
+
+WalTransaction::WalTransaction(Database* db) {
+  Wal* wal = db != nullptr ? db->wal() : nullptr;
+  if (wal == nullptr || Wal::CurrentTxn() != 0) return;  // outer scope owns it
+  gate_ = std::shared_lock<std::shared_mutex>(db->txn_gate());
+  wal_ = wal;
+  txn_ = wal_->BeginTxn();
+}
+
+WalTransaction::~WalTransaction() {
+  if (wal_ != nullptr && txn_ != 0) Wal::AbandonTxn();
+}
+
+Status WalTransaction::Commit() {
+  if (wal_ == nullptr || txn_ == 0) return Status::OK();
+  const uint64_t txn = txn_;
+  txn_ = 0;
+  return wal_->Commit(txn);
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,195 @@
+// Write-ahead log: the redo journal of the durability subsystem.
+//
+// Every mutation of a durable table — row insert/delete/update, CREATE /
+// DROP TABLE, CREATE INDEX — is appended here as a CRC32-framed, LSN-stamped
+// record *before* it is applied in memory. Startup recovery replays the log
+// over the last checkpoint snapshot (see durability.h); a checkpoint writes
+// a fresh snapshot and switches to a new, empty log.
+//
+// On-disk format
+//   header:  "XRDBWAL1" | u32 version (1) | u64 start_lsn          (20 bytes)
+//   frame:   u32 crc32(payload) | u32 payload_len | payload
+//   payload: u64 lsn | u64 txn | u8 type | type-specific body
+// All integers little-endian; strings are u32 length + bytes; rows are a
+// u32 count of tagged values. A record with txn = 0 commits by itself; a
+// record with txn != 0 belongs to a multi-statement transaction (one shred
+// or subtree update) and only takes effect if a kCommit record for that txn
+// follows in the log — recovery discards uncommitted transactions, which is
+// what makes a document store atomic under mid-shred crashes.
+//
+// Tail handling: recovery stops cleanly at the first frame whose CRC fails
+// *at the end of the log* (a torn append) and the opener truncates the file
+// back to the intact prefix. A CRC failure with further data behind it is
+// corruption, not a crash artifact, and recovery fails loudly instead.
+//
+// Fsync policy: kCommit syncs at every commit point (each autocommit record,
+// each kCommit record), kBatch syncs once at least batch_bytes have
+// accumulated, kNever leaves it to the OS. Any append or sync failure
+// poisons the log: every later mutation of a durable table fails with the
+// original error, so the in-memory state can never silently run ahead of
+// what a recovery could reproduce.
+
+#ifndef XMLRDB_RDB_WAL_H_
+#define XMLRDB_RDB_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/env.h"
+#include "rdb/schema.h"
+#include "rdb/table.h"
+
+namespace xmlrdb::rdb {
+
+class Database;
+
+using Lsn = uint64_t;
+
+enum class WalRecordType : uint8_t {
+  kCommit = 1,       ///< transaction `txn` is durable
+  kInsert = 2,       ///< table, row
+  kDelete = 3,       ///< table, row (identified by value)
+  kUpdate = 4,       ///< table, old_row -> row
+  kCreateTable = 5,  ///< table, columns
+  kDropTable = 6,    ///< table
+  kCreateIndex = 7,  ///< table, index_name, index_columns
+};
+
+struct WalRecord {
+  Lsn lsn = 0;
+  uint64_t txn = 0;  ///< 0 = self-committing record
+  WalRecordType type = WalRecordType::kCommit;
+  std::string table;
+  Row row;      ///< kInsert/kDelete; kUpdate: the new image
+  Row old_row;  ///< kUpdate: the old image
+  std::vector<Column> columns;              ///< kCreateTable
+  std::string index_name;                   ///< kCreateIndex
+  std::vector<std::string> index_columns;   ///< kCreateIndex
+};
+
+struct WalOptions {
+  enum class SyncPolicy { kNever, kBatch, kCommit };
+  SyncPolicy sync_policy = SyncPolicy::kCommit;
+  /// kBatch: fsync once this many un-synced bytes have accumulated.
+  size_t batch_bytes = 64 * 1024;
+};
+
+/// CRC32 (IEEE, reflected) of `data` — exposed for the corruption tests.
+uint32_t WalCrc32(std::string_view data);
+
+/// Record body serialization without the frame (exposed for tests).
+std::string EncodeWalPayload(const WalRecord& rec);
+Result<WalRecord> DecodeWalPayload(std::string_view payload);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< every intact record, in log order
+  Lsn next_lsn = 1;                ///< first unused LSN
+  bool torn_tail = false;          ///< log ended in a torn (partial) frame
+  size_t valid_bytes = 0;          ///< length of the intact prefix
+};
+
+/// Parses a log file. An empty file is a clean cold start (no records). A
+/// truncated or foreign header, or a bad-CRC frame that is *not* the last
+/// thing in the file, is corruption (kIoError).
+Result<WalReadResult> ReadWal(Env* env, const std::string& path);
+
+/// The append side of the log. Implements TableMutationSink, so attaching a
+/// Wal to a Database (Database::AttachDurability) routes every durable-table
+/// mutation through it. Thread-safe; appends from concurrent statements
+/// serialize on an internal mutex.
+class Wal : public TableMutationSink {
+ public:
+  /// Creates (truncating) a log file at `path` whose first record will carry
+  /// `start_lsn`, syncs the header, and leaves the handle open for append.
+  static Result<std::unique_ptr<WritableFile>> CreateLogFile(
+      Env* env, const std::string& path, Lsn start_lsn);
+
+  /// Wraps an already-positioned handle (from CreateLogFile, or reopened on
+  /// an existing log after recovery validated it).
+  Wal(Env* env, std::string path, std::unique_ptr<WritableFile> file,
+      WalOptions options, Lsn next_lsn);
+
+  // -- TableMutationSink --
+  Status OnInsert(const Table& table, const Row& row) override;
+  Status OnDelete(const Table& table, const Row& row) override;
+  Status OnUpdate(const Table& table, const Row& old_row,
+                  const Row& new_row) override;
+  Status OnCreateIndex(const Table& table, const std::string& name,
+                       const std::vector<std::string>& columns) override;
+
+  // -- DDL (called by Database under the exclusive catalog lock) --
+  Status LogCreateTable(const std::string& name, const Schema& schema);
+  Status LogDropTable(const std::string& name);
+
+  // -- transactions --
+  /// The transaction id active on this thread (0 = autocommit).
+  static uint64_t CurrentTxn();
+  /// Allocates a fresh transaction id and makes it current on this thread.
+  uint64_t BeginTxn();
+  /// Appends the commit record for `txn` and syncs per policy. Clears the
+  /// thread's current transaction.
+  Status Commit(uint64_t txn);
+  /// Clears the thread's current transaction without committing; the
+  /// transaction's records will be discarded by the next recovery.
+  static void AbandonTxn();
+
+  /// Forces an fsync regardless of policy.
+  Status Sync();
+
+  Lsn next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
+  const std::string& path() const { return path_; }
+  const WalOptions& options() const { return options_; }
+
+  /// Atomically redirects appends to a new log file (checkpointing). The
+  /// caller has quiesced writers; `file` was returned by CreateLogFile.
+  void SwapFile(std::unique_ptr<WritableFile> file, std::string path);
+
+ private:
+  /// Stamps, frames, appends and policy-syncs one record. `commit_point`
+  /// marks records that end a unit of work (autocommit DML, kCommit).
+  Status Append(WalRecord rec, bool commit_point);
+  Status SyncLocked();
+
+  Env* env_;
+  std::string path_;
+  WalOptions options_;
+  std::mutex mu_;  ///< guards file_, unsynced_bytes_, health_
+  std::unique_ptr<WritableFile> file_;
+  size_t unsynced_bytes_ = 0;
+  Status health_;  ///< first I/O error, sticky
+  std::atomic<Lsn> next_lsn_;
+  std::atomic<uint64_t> next_txn_{1};
+};
+
+/// RAII scope that groups every durable-table mutation issued on this thread
+/// into one WAL transaction — recovery applies it entirely or not at all.
+/// No-op when the database has no WAL, and when a transaction is already
+/// active on this thread (the outer scope owns the commit). Holds the
+/// database's transaction gate shared for its lifetime so a checkpoint never
+/// snapshots mid-transaction (see Database::txn_gate).
+class WalTransaction {
+ public:
+  explicit WalTransaction(Database* db);
+  /// Abandons the transaction if Commit was not reached (a crash before the
+  /// commit record makes the whole scope invisible to recovery; the
+  /// in-memory partial state matches what the failed operation left behind).
+  ~WalTransaction();
+
+  Status Commit();
+
+ private:
+  Wal* wal_ = nullptr;
+  uint64_t txn_ = 0;
+  std::shared_lock<std::shared_mutex> gate_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_WAL_H_

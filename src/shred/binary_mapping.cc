@@ -150,7 +150,7 @@ Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
   return docid;
 }
 
-Status BinaryMapping::Remove(DocId doc, rdb::Database* db) {
+Status BinaryMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));
   for (const auto& l : labels) {
     RETURN_IF_ERROR(
@@ -492,7 +492,7 @@ Result<NodeSet> BinaryMapping::SubtreeElementIds(rdb::Database* db, DocId doc,
   return ids;
 }
 
-Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status BinaryMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                     const rdb::Value& parent,
                                     const xml::Node& subtree) {
   if (!subtree.IsElement()) {
@@ -533,7 +533,7 @@ Status BinaryMapping::InsertSubtree(rdb::Database* db, DocId doc,
       .status();
 }
 
-Status BinaryMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status BinaryMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                     const rdb::Value& node) {
   ASSIGN_OR_RETURN(NodeSet elems, SubtreeElementIds(db, doc, node));
   ASSIGN_OR_RETURN(std::vector<Label> labels, Labels(db));

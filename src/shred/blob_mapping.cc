@@ -45,7 +45,7 @@ Result<DocId> BlobMapping::StoreImpl(const xml::Document& doc, rdb::Database* db
   return docid;
 }
 
-Status BlobMapping::Remove(DocId doc, rdb::Database* db) {
+Status BlobMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   cache_.erase(doc);
   return ExecPrepared(db, "DELETE FROM blob_docs WHERE docid = ?", {DV(doc)})
       .status();
@@ -202,7 +202,7 @@ Status BlobMapping::Flush(rdb::Database* db, DocId doc) {
   return Status::OK();
 }
 
-Status BlobMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status BlobMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                   const rdb::Value& parent,
                                   const xml::Node& subtree) {
   if (!subtree.IsElement()) {
@@ -217,7 +217,7 @@ Status BlobMapping::InsertSubtree(rdb::Database* db, DocId doc,
   return Flush(db, doc);
 }
 
-Status BlobMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status BlobMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                   const rdb::Value& node) {
   ASSIGN_OR_RETURN(CachedDoc * c, Load(db, doc));
   size_t idx = static_cast<size_t>(node.AsInt());

@@ -29,7 +29,7 @@ class BlobMapping : public Mapping {
   Result<DocId> NextDocId(rdb::Database* db) const override;
   Status StoreWithId(const xml::Document& doc, DocId docid,
                      rdb::Database* db) override;
-  Status Remove(DocId doc, rdb::Database* db) override;
+  Status RemoveImpl(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
   Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
@@ -43,9 +43,9 @@ class BlobMapping : public Mapping {
   Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
       rdb::Database* db, DocId doc, const rdb::Value& node) const override;
 
-  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+  Status InsertSubtreeImpl(rdb::Database* db, DocId doc, const rdb::Value& parent,
                        const xml::Node& subtree) override;
-  Status DeleteSubtree(rdb::Database* db, DocId doc,
+  Status DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                        const rdb::Value& node) override;
 
   /// Drops the DOM cache (so benchmarks can measure cold-parse cost).

@@ -114,7 +114,7 @@ Result<DocId> DeweyMapping::StoreImpl(const xml::Document& doc, rdb::Database* d
   return docid;
 }
 
-Status DeweyMapping::Remove(DocId doc, rdb::Database* db) {
+Status DeweyMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   return ExecPrepared(db, "DELETE FROM dw_nodes WHERE docid = ?", {DV(doc)})
       .status();
 }
@@ -359,7 +359,7 @@ Result<std::unique_ptr<xml::Node>> DeweyMapping::ReconstructSubtree(
   return root;
 }
 
-Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status DeweyMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                    const rdb::Value& parent,
                                    const xml::Node& subtree) {
   if (!subtree.IsElement()) {
@@ -393,7 +393,7 @@ Status DeweyMapping::InsertSubtree(rdb::Database* db, DocId doc,
   return t->InsertMany(std::move(rows));
 }
 
-Status DeweyMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status DeweyMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                    const rdb::Value& node) {
   const std::string& d = node.AsString();
   return ExecPrepared(db,

@@ -106,7 +106,7 @@ Result<DocId> EdgeMapping::StoreImpl(const xml::Document& doc, rdb::Database* db
   return docid;
 }
 
-Status EdgeMapping::Remove(DocId doc, rdb::Database* db) {
+Status EdgeMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   return ExecPrepared(db, "DELETE FROM edge WHERE docid = ?", {DV(doc)})
       .status();
 }
@@ -371,7 +371,7 @@ Result<NodeSet> EdgeMapping::SubtreeIds(rdb::Database* db, DocId doc,
   return ids;
 }
 
-Status EdgeMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status EdgeMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                   const rdb::Value& parent,
                                   const xml::Node& subtree) {
   if (!subtree.IsElement()) {
@@ -403,7 +403,7 @@ Status EdgeMapping::InsertSubtree(rdb::Database* db, DocId doc,
   return t->InsertMany(std::move(rows));
 }
 
-Status EdgeMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status EdgeMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                   const rdb::Value& node) {
   ASSIGN_OR_RETURN(NodeSet ids, SubtreeIds(db, doc, node));
   RETURN_IF_ERROR(LoadContextTable(db, Ctx(), DataType::kInt, ids));

@@ -330,7 +330,7 @@ Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
   return docid;
 }
 
-Status InlineMapping::Remove(DocId doc, rdb::Database* db) {
+Status InlineMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   for (const auto& [elem, cols] : table_columns_) {
     (void)cols;
     RETURN_IF_ERROR(ExecPrepared(db,
@@ -639,7 +639,7 @@ Status InlineMapping::DeleteRowTree(rdb::Database* db, DocId doc,
       .status();
 }
 
-Status InlineMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status InlineMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                     const rdb::Value& node) {
   ASSIGN_OR_RETURN(ParsedRef ref, ParseRef(node));
   if (!ref.attr.empty()) {
@@ -690,7 +690,7 @@ Status InlineMapping::DeleteSubtree(rdb::Database* db, DocId doc,
       .status();
 }
 
-Status InlineMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status InlineMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                     const rdb::Value& parent,
                                     const xml::Node& subtree) {
   if (!subtree.IsElement()) {

@@ -51,7 +51,7 @@ class InlineMapping : public Mapping {
 
   Status Initialize(rdb::Database* db) override;
   Result<DocId> StoreImpl(const xml::Document& doc, rdb::Database* db) override;
-  Status Remove(DocId doc, rdb::Database* db) override;
+  Status RemoveImpl(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;
   Result<NodeSet> AllElements(rdb::Database* db, DocId doc,
@@ -65,9 +65,9 @@ class InlineMapping : public Mapping {
   Result<std::unique_ptr<xml::Node>> ReconstructSubtree(
       rdb::Database* db, DocId doc, const rdb::Value& node) const override;
 
-  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+  Status InsertSubtreeImpl(rdb::Database* db, DocId doc, const rdb::Value& parent,
                        const xml::Node& subtree) override;
-  Status DeleteSubtree(rdb::Database* db, DocId doc,
+  Status DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                        const rdb::Value& node) override;
 
   /// Child-only predicate-free paths: consecutive inlined steps need NO join

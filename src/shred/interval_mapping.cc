@@ -102,7 +102,7 @@ Result<DocId> IntervalMapping::StoreImpl(const xml::Document& doc,
   return docid;
 }
 
-Status IntervalMapping::Remove(DocId doc, rdb::Database* db) {
+Status IntervalMapping::RemoveImpl(DocId doc, rdb::Database* db) {
   return ExecPrepared(db, "DELETE FROM iv_nodes WHERE docid = ?", {DV(doc)})
       .status();
 }
@@ -375,7 +375,7 @@ Result<std::unique_ptr<xml::Node>> IntervalMapping::ReconstructSubtree(
   return root;
 }
 
-Status IntervalMapping::InsertSubtree(rdb::Database* db, DocId doc,
+Status IntervalMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
                                       const rdb::Value& parent,
                                       const xml::Node& subtree) {
   if (!subtree.IsElement()) {
@@ -405,7 +405,7 @@ Status IntervalMapping::InsertSubtree(rdb::Database* db, DocId doc,
   return t->InsertMany(std::move(rows));
 }
 
-Status IntervalMapping::DeleteSubtree(rdb::Database* db, DocId doc,
+Status IntervalMapping::DeleteSubtreeImpl(rdb::Database* db, DocId doc,
                                       const rdb::Value& node) {
   ASSIGN_OR_RETURN(std::vector<NodeInfo> info, FetchInfo(db, doc, {node}));
   const NodeInfo& n = info[0];

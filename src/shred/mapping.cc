@@ -4,17 +4,26 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "rdb/wal.h"
 
 namespace xmlrdb::shred {
 
 Result<DocId> Mapping::Store(const xml::Document& doc, rdb::Database* db) {
   ScopedSpan span("shred." + name(), "shred");
   MetricsRegistry& reg = MetricsRegistry::Global();
-  if (!reg.enabled()) return StoreImpl(doc, db);
   Stopwatch timer;
+  // One WAL transaction per document: a crash mid-shred recovers to the
+  // document entirely absent, never partially stored.
+  rdb::WalTransaction txn(db);
   auto out = StoreImpl(doc, db);
-  reg.RecordLatency("mapping." + name() + ".store_us",
-                    static_cast<int64_t>(timer.ElapsedMicros()));
+  if (out.ok()) {
+    Status commit = txn.Commit();
+    if (!commit.ok()) out = commit;
+  }
+  if (reg.enabled()) {
+    reg.RecordLatency("mapping." + name() + ".store_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
+  }
   return out;
 }
 
@@ -36,17 +45,19 @@ Result<std::vector<DocId>> Mapping::StoreAll(
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
   p.ParallelFor(docs.size(), [&](size_t i) {
     // Each document's shred is its own span, nested under the caller's
-    // span via the pool's trace-context propagation.
+    // span via the pool's trace-context propagation — and its own WAL
+    // transaction (transaction ids are thread-local, so concurrent workers
+    // interleave their records in the log without mixing them up).
     ScopedSpan doc_span("shred.doc", "shred");
     MetricsRegistry& reg = MetricsRegistry::Global();
-    if (!reg.enabled()) {
-      statuses[i] = StoreWithId(*docs[i], base + static_cast<DocId>(i), db);
-      return;
-    }
     Stopwatch timer;
+    rdb::WalTransaction txn(db);
     statuses[i] = StoreWithId(*docs[i], base + static_cast<DocId>(i), db);
-    reg.RecordLatency("mapping." + name() + ".store_us",
-                      static_cast<int64_t>(timer.ElapsedMicros()));
+    if (statuses[i].ok()) statuses[i] = txn.Commit();
+    if (reg.enabled()) {
+      reg.RecordLatency("mapping." + name() + ".store_us",
+                        static_cast<int64_t>(timer.ElapsedMicros()));
+    }
   });
   for (const Status& st : statuses) RETURN_IF_ERROR(st);
   for (size_t i = 0; i < docs.size(); ++i) {
@@ -82,6 +93,27 @@ Result<std::unique_ptr<xml::Document>> Mapping::Reconstruct(rdb::Database* db,
                       static_cast<int64_t>(timer.ElapsedMicros()));
   }
   return result;
+}
+
+Status Mapping::Remove(DocId doc, rdb::Database* db) {
+  rdb::WalTransaction txn(db);
+  RETURN_IF_ERROR(RemoveImpl(doc, db));
+  return txn.Commit();
+}
+
+Status Mapping::InsertSubtree(rdb::Database* db, DocId doc,
+                              const rdb::Value& parent,
+                              const xml::Node& subtree) {
+  rdb::WalTransaction txn(db);
+  RETURN_IF_ERROR(InsertSubtreeImpl(db, doc, parent, subtree));
+  return txn.Commit();
+}
+
+Status Mapping::DeleteSubtree(rdb::Database* db, DocId doc,
+                              const rdb::Value& node) {
+  rdb::WalTransaction txn(db);
+  RETURN_IF_ERROR(DeleteSubtreeImpl(db, doc, node));
+  return txn.Commit();
 }
 
 Result<std::string> Mapping::TranslatePathToSql(DocId,

@@ -90,8 +90,10 @@ class Mapping {
   virtual Status StoreWithId(const xml::Document& doc, DocId docid,
                              rdb::Database* db);
 
-  /// Removes every row belonging to `doc`.
-  virtual Status Remove(DocId doc, rdb::Database* db) = 0;
+  /// Removes every row belonging to `doc`. Non-virtual wrapper: groups the
+  /// row deletes into one WAL transaction on a durable database, so a crash
+  /// mid-remove recovers to the document fully present, never half-removed.
+  Status Remove(DocId doc, rdb::Database* db);
 
   /// The stored root element of `doc`.
   virtual Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const = 0;
@@ -122,13 +124,13 @@ class Mapping {
                                                      DocId doc) const;
 
   /// Appends `subtree` (an element) as the last child of `parent`.
-  virtual Status InsertSubtree(rdb::Database* db, DocId doc,
-                               const rdb::Value& parent,
-                               const xml::Node& subtree) = 0;
+  /// Non-virtual wrapper: one WAL transaction (see Remove).
+  Status InsertSubtree(rdb::Database* db, DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree);
 
   /// Deletes the subtree rooted at `node` (must not be the root element).
-  virtual Status DeleteSubtree(rdb::Database* db, DocId doc,
-                               const rdb::Value& node) = 0;
+  /// Non-virtual wrapper: one WAL transaction (see Remove).
+  Status DeleteSubtree(rdb::Database* db, DocId doc, const rdb::Value& node);
 
   /// Translates a whole path into a single SQL SELECT returning node ids,
   /// where the mapping's table design permits it (used by the plan-shape
@@ -140,9 +142,19 @@ class Mapping {
   virtual Result<size_t> FootprintBytes(const rdb::Database& db) const;
 
  protected:
-  /// Mapping-specific shredding; called by Store() under its span/timer.
+  /// Mapping-specific shredding; called by Store() under its span/timer and
+  /// WAL transaction.
   virtual Result<DocId> StoreImpl(const xml::Document& doc,
                                   rdb::Database* db) = 0;
+
+  /// Mapping-specific bodies of Remove / InsertSubtree / DeleteSubtree;
+  /// called by the public wrappers inside a WAL transaction.
+  virtual Status RemoveImpl(DocId doc, rdb::Database* db) = 0;
+  virtual Status InsertSubtreeImpl(rdb::Database* db, DocId doc,
+                                   const rdb::Value& parent,
+                                   const xml::Node& subtree) = 0;
+  virtual Status DeleteSubtreeImpl(rdb::Database* db, DocId doc,
+                                   const rdb::Value& node) = 0;
 
   /// Names of the tables this mapping owns (for FootprintBytes / tooling).
   virtual std::vector<std::string> TableNames(const rdb::Database& db) const = 0;

@@ -1,0 +1,190 @@
+// FaultInjectionEnv semantics: the durability tests are only as good as the
+// fault model they run against, so the model itself is pinned down here —
+// synced-vs-unsynced data across a crash, torn tails, Nth-write failures,
+// short writes, crash-point accounting, and the dead-process behaviour.
+
+#include "rdb/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+std::unique_ptr<WritableFile> MustOpen(Env* env, const std::string& path,
+                                       bool truncate = true) {
+  auto file = env->NewWritableFile(path, truncate);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  return std::move(file.value());
+}
+
+TEST(FaultEnvTest, ReadBackWhatWasWritten) {
+  FaultInjectionEnv env;
+  auto f = MustOpen(&env, "dir/a.txt");
+  ASSERT_TRUE(f->Append("hello ").ok());
+  ASSERT_TRUE(f->Append("world").ok());
+  auto data = env.ReadFileToString("dir/a.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "hello world");
+}
+
+TEST(FaultEnvTest, CrashDropsUnsyncedTail) {
+  FaultInjectionEnv env;
+  auto f = MustOpen(&env, "a");
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("volatile").ok());
+  env.SimulateCrash();
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(f->Append("x").ok()) << "I/O must fail after the crash";
+  env.ResetCrash();
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "durable") << "unsynced bytes must not survive";
+}
+
+TEST(FaultEnvTest, CrashKeepsTornTailPrefix) {
+  FaultInjectionEnv env;
+  env.set_torn_tail_bytes(3);
+  auto f = MustOpen(&env, "a");
+  ASSERT_TRUE(f->Append("base").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("unsynced").ok());
+  env.SimulateCrash();
+  env.ResetCrash();
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "baseuns") << "3 torn bytes of the tail survive";
+}
+
+TEST(FaultEnvTest, NthWriteFailsAndPoisonsNothingElse) {
+  FaultInjectionEnv env;
+  auto f = MustOpen(&env, "a");
+  env.set_fail_after_data_writes(2);
+  EXPECT_TRUE(f->Append("one").ok());
+  EXPECT_TRUE(f->Append("two").ok());
+  EXPECT_FALSE(f->Append("three").ok()) << "third write must fail";
+  env.set_fail_after_data_writes(-1);
+  EXPECT_TRUE(f->Append("four").ok());
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "onetwofour");
+}
+
+TEST(FaultEnvTest, ShortWritePersistsPrefixOfFailedAppend) {
+  FaultInjectionEnv env;
+  auto f = MustOpen(&env, "a");
+  env.set_fail_after_data_writes(0);
+  env.set_short_write_bytes(4);
+  EXPECT_FALSE(f->Append("torn-record").ok());
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "torn") << "only the short-write prefix lands";
+}
+
+TEST(FaultEnvTest, MetadataOpsAreDurableAcrossCrash) {
+  FaultInjectionEnv env;
+  {
+    auto f = MustOpen(&env, "d/from");
+    ASSERT_TRUE(f->Append("payload").ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  ASSERT_TRUE(env.RenameFile("d/from", "d/to").ok());
+  env.SimulateCrash();
+  env.ResetCrash();
+  EXPECT_FALSE(env.FileExists("d/from"));
+  ASSERT_TRUE(env.FileExists("d/to"));
+  auto data = env.ReadFileToString("d/to");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "payload");
+}
+
+TEST(FaultEnvTest, ListDirAndRemoveDirRecursive) {
+  FaultInjectionEnv env;
+  MustOpen(&env, "root/sub/a");
+  MustOpen(&env, "root/sub/b");
+  MustOpen(&env, "root/c");
+  auto names = env.ListDir("root");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"c", "sub"}));
+  ASSERT_TRUE(env.RemoveDirRecursive("root/sub").ok());
+  EXPECT_FALSE(env.FileExists("root/sub/a"));
+  EXPECT_TRUE(env.FileExists("root/c"));
+}
+
+TEST(FaultEnvTest, CrashPointsRecordHitsAlways) {
+  FaultInjectionEnv env;
+  EXPECT_TRUE(env.CrashPoint("alpha").ok());
+  EXPECT_TRUE(env.CrashPoint("alpha").ok());
+  EXPECT_TRUE(env.CrashPoint("beta").ok());
+  auto hits = env.CrashPointHits();
+  EXPECT_EQ(hits["alpha"], 2);
+  EXPECT_EQ(hits["beta"], 1);
+}
+
+TEST(FaultEnvTest, ArmedCrashPointTripsAtRequestedHit) {
+  FaultInjectionEnv env;
+  auto f = MustOpen(&env, "a");
+  ASSERT_TRUE(f->Append("synced").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("lost").ok());
+
+  env.ArmCrashPoint("point", /*hit=*/2);
+  EXPECT_TRUE(env.CrashPoint("point").ok()) << "first hit passes";
+  Status s = env.CrashPoint("point");
+  EXPECT_FALSE(s.ok()) << "second hit crashes";
+  EXPECT_TRUE(env.crashed());
+  env.ResetCrash();
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "synced");
+  // Disarmed after firing: the same point passes now.
+  EXPECT_TRUE(env.CrashPoint("point").ok());
+}
+
+TEST(FaultEnvTest, ArmingIsRelativeToCurrentHitCount) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.CrashPoint("p").ok());
+  ASSERT_TRUE(env.CrashPoint("p").ok());
+  env.ArmCrashPoint("p", /*hit=*/1);  // the very next hit, not the third ever
+  EXPECT_FALSE(env.CrashPoint("p").ok());
+}
+
+TEST(FaultEnvTest, TruncateReopenEmptiesFile) {
+  FaultInjectionEnv env;
+  {
+    auto f = MustOpen(&env, "a");
+    ASSERT_TRUE(f->Append("old").ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  {
+    auto f = MustOpen(&env, "a", /*truncate=*/true);
+    ASSERT_TRUE(f->Append("new").ok());
+  }
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "new");
+}
+
+TEST(FaultEnvTest, AppendReopenKeepsContents) {
+  FaultInjectionEnv env;
+  {
+    auto f = MustOpen(&env, "a");
+    ASSERT_TRUE(f->Append("first").ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  {
+    auto f = MustOpen(&env, "a", /*truncate=*/false);
+    ASSERT_TRUE(f->Append("|second").ok());
+  }
+  auto data = env.ReadFileToString("a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "first|second");
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,326 @@
+// WAL unit tests: record framing round-trips, fsync policies, the poisoned
+// log, and the corruption matrix — torn tail (truncate at the failed CRC),
+// bit flip mid-log (clear error, no silent data loss), truncated header,
+// and empty / missing log files (clean cold starts).
+
+#include "rdb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdb/fault_env.h"
+#include "rdb/table.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+constexpr char kLog[] = "wal.log";
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt, false, ""},
+                 {"name", DataType::kString, true, ""}});
+}
+
+/// A Wal over `env` writing to kLog, plus a table to feed the sink.
+struct Fixture {
+  explicit Fixture(FaultInjectionEnv* e,
+                   WalOptions::SyncPolicy policy = WalOptions::SyncPolicy::kCommit,
+                   size_t batch_bytes = 64 * 1024)
+      : env(e), table("t", TwoColSchema()) {
+    WalOptions options;
+    options.sync_policy = policy;
+    options.batch_bytes = batch_bytes;
+    auto file = Wal::CreateLogFile(env, kLog, /*start_lsn=*/1);
+    EXPECT_TRUE(file.ok()) << file.status().ToString();
+    wal = std::make_unique<Wal>(env, kLog, std::move(file.value()), options,
+                                /*next_lsn=*/1);
+  }
+
+  Row MakeRow(int64_t id, const std::string& name) {
+    return {Value(id), Value(name)};
+  }
+
+  FaultInjectionEnv* env;
+  Table table;
+  std::unique_ptr<Wal> wal;
+};
+
+/// Reads kLog back, expecting success.
+WalReadResult MustRead(Env* env) {
+  auto read = ReadWal(env, kLog);
+  EXPECT_TRUE(read.ok()) << read.status().ToString();
+  return std::move(read.value());
+}
+
+std::string FileBytes(FaultInjectionEnv* env) {
+  auto data = env->ReadFileToString(kLog);
+  EXPECT_TRUE(data.ok());
+  return data.value();
+}
+
+void RewriteFile(FaultInjectionEnv* env, const std::string& bytes) {
+  auto file = env->NewWritableFile(kLog, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append(bytes).ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+}
+
+TEST(WalTest, PayloadRoundTripsEveryRecordType) {
+  WalRecord rec;
+  rec.lsn = 42;
+  rec.txn = 7;
+  rec.type = WalRecordType::kUpdate;
+  rec.table = "items\twith\nodd chars";
+  rec.old_row = {Value(int64_t{1}), Value("before"), Value::Null(),
+                 Value(true), Value(3.25)};
+  rec.row = {Value(int64_t{1}), Value("after"), Value("x"), Value(false),
+             Value(-0.5)};
+  auto decoded = DecodeWalPayload(EncodeWalPayload(rec));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().lsn, rec.lsn);
+  EXPECT_EQ(decoded.value().txn, rec.txn);
+  EXPECT_EQ(decoded.value().type, rec.type);
+  EXPECT_EQ(decoded.value().table, rec.table);
+  EXPECT_EQ(CompareRows(decoded.value().old_row, rec.old_row), 0);
+  EXPECT_EQ(CompareRows(decoded.value().row, rec.row), 0);
+
+  WalRecord ddl;
+  ddl.type = WalRecordType::kCreateTable;
+  ddl.table = "t2";
+  ddl.columns = TwoColSchema().columns();
+  auto ddl2 = DecodeWalPayload(EncodeWalPayload(ddl));
+  ASSERT_TRUE(ddl2.ok());
+  ASSERT_EQ(ddl2.value().columns.size(), 2u);
+  EXPECT_EQ(ddl2.value().columns[0].name, "id");
+  EXPECT_EQ(ddl2.value().columns[0].type, DataType::kInt);
+  EXPECT_FALSE(ddl2.value().columns[0].nullable);
+
+  WalRecord idx;
+  idx.type = WalRecordType::kCreateIndex;
+  idx.table = "t2";
+  idx.index_name = "t2_by_name";
+  idx.index_columns = {"name", "id"};
+  auto idx2 = DecodeWalPayload(EncodeWalPayload(idx));
+  ASSERT_TRUE(idx2.ok());
+  EXPECT_EQ(idx2.value().index_name, "t2_by_name");
+  EXPECT_EQ(idx2.value().index_columns,
+            (std::vector<std::string>{"name", "id"}));
+}
+
+TEST(WalTest, AppendedRecordsReadBackInOrderWithSequentialLsns) {
+  FaultInjectionEnv env;
+  Fixture fx(&env);
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  ASSERT_TRUE(
+      fx.wal->OnUpdate(fx.table, fx.MakeRow(2, "b"), fx.MakeRow(2, "c")).ok());
+  ASSERT_TRUE(fx.wal->OnDelete(fx.table, fx.MakeRow(1, "a")).ok());
+
+  WalReadResult read = MustRead(&env);
+  ASSERT_EQ(read.records.size(), 4u);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.next_lsn, 5u);
+  for (size_t i = 0; i < read.records.size(); ++i) {
+    EXPECT_EQ(read.records[i].lsn, i + 1);
+  }
+  EXPECT_EQ(read.records[2].type, WalRecordType::kUpdate);
+  EXPECT_EQ(read.records[3].type, WalRecordType::kDelete);
+}
+
+TEST(WalTest, CommitPolicySyncsEveryAutocommitRecord) {
+  FaultInjectionEnv env;
+  Fixture fx(&env, WalOptions::SyncPolicy::kCommit);
+  const int64_t before = env.syncs();
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  EXPECT_EQ(env.syncs() - before, 2);
+}
+
+TEST(WalTest, CommitPolicySyncsOncePerTransaction) {
+  FaultInjectionEnv env;
+  Fixture fx(&env, WalOptions::SyncPolicy::kCommit);
+  const int64_t before = env.syncs();
+  const uint64_t txn = fx.wal->BeginTxn();
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  EXPECT_EQ(env.syncs() - before, 0) << "mid-transaction records don't sync";
+  ASSERT_TRUE(fx.wal->Commit(txn).ok());
+  EXPECT_EQ(env.syncs() - before, 1) << "the commit record syncs";
+}
+
+TEST(WalTest, NeverPolicyNeverSyncs) {
+  FaultInjectionEnv env;
+  Fixture fx(&env, WalOptions::SyncPolicy::kNever);
+  const int64_t before = env.syncs();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(i, "x")).ok());
+  }
+  EXPECT_EQ(env.syncs() - before, 0);
+}
+
+TEST(WalTest, BatchPolicySyncsAtThreshold) {
+  FaultInjectionEnv env;
+  Fixture fx(&env, WalOptions::SyncPolicy::kBatch, /*batch_bytes=*/256);
+  const int64_t before = env.syncs();
+  int64_t appends = 0;
+  while (env.syncs() == before && appends < 1000) {
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(appends, "row")).ok());
+    ++appends;
+  }
+  EXPECT_EQ(env.syncs() - before, 1);
+  EXPECT_GT(appends, 1) << "several appends fit under the 256-byte batch";
+}
+
+TEST(WalTest, UncommittedRecordsCarryTransactionId) {
+  FaultInjectionEnv env;
+  Fixture fx(&env);
+  const uint64_t txn = fx.wal->BeginTxn();
+  ASSERT_GT(txn, 0u);
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  Wal::AbandonTxn();
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+
+  WalReadResult read = MustRead(&env);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].txn, txn);
+  EXPECT_EQ(read.records[1].txn, 0u) << "after abandon, back to autocommit";
+}
+
+TEST(WalTest, FailedAppendPoisonsTheLog) {
+  FaultInjectionEnv env;
+  Fixture fx(&env);
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  env.set_fail_after_data_writes(0);
+  EXPECT_FALSE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  env.set_fail_after_data_writes(-1);
+  EXPECT_FALSE(fx.wal->OnInsert(fx.table, fx.MakeRow(3, "c")).ok())
+      << "the log must stay poisoned after an I/O error";
+}
+
+// -- corruption matrix --
+
+TEST(WalCorruptionTest, TornTailTruncatesAtFailedCrc) {
+  FaultInjectionEnv env;
+  {
+    Fixture fx(&env);
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  }
+  // Tear the tail: drop the last 3 bytes of the final record.
+  std::string bytes = FileBytes(&env);
+  RewriteFile(&env, bytes.substr(0, bytes.size() - 3));
+
+  WalReadResult read = MustRead(&env);
+  EXPECT_TRUE(read.torn_tail);
+  ASSERT_EQ(read.records.size(), 1u) << "the intact prefix survives";
+  EXPECT_EQ(read.records[0].row[0].AsInt(), 1);
+  EXPECT_LT(read.valid_bytes, bytes.size());
+}
+
+TEST(WalCorruptionTest, BadCrcOnFinalFullLengthFrameIsTornTail) {
+  FaultInjectionEnv env;
+  {
+    Fixture fx(&env);
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+  }
+  // Flip a byte inside the LAST record: same length, failing CRC.
+  std::string bytes = FileBytes(&env);
+  bytes[bytes.size() - 2] ^= 0x40;
+  RewriteFile(&env, bytes);
+
+  WalReadResult read = MustRead(&env);
+  EXPECT_TRUE(read.torn_tail);
+  EXPECT_EQ(read.records.size(), 1u);
+}
+
+TEST(WalCorruptionTest, BitFlipMidLogIsAHardError) {
+  FaultInjectionEnv env;
+  size_t first_record_middle = 0;
+  {
+    Fixture fx(&env);
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "aaaa")).ok());
+    first_record_middle = FileBytes(&env).size() - 4;
+    ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "bbbb")).ok());
+  }
+  std::string bytes = FileBytes(&env);
+  bytes[first_record_middle] ^= 0x01;
+  RewriteFile(&env, bytes);
+
+  auto read = ReadWal(&env, kLog);
+  ASSERT_FALSE(read.ok()) << "mid-log corruption must not be dropped quietly";
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find("checksum"), std::string::npos)
+      << read.status().ToString();
+}
+
+TEST(WalCorruptionTest, TruncatedHeaderIsAHardError) {
+  FaultInjectionEnv env;
+  { Fixture fx(&env); }
+  std::string bytes = FileBytes(&env);
+  RewriteFile(&env, bytes.substr(0, 10));  // header is 20 bytes
+
+  auto read = ReadWal(&env, kLog);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("header"), std::string::npos);
+}
+
+TEST(WalCorruptionTest, ForeignMagicIsAHardError) {
+  FaultInjectionEnv env;
+  RewriteFile(&env, "definitely not a WAL file, but long enough");
+  auto read = ReadWal(&env, kLog);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("magic"), std::string::npos);
+}
+
+TEST(WalCorruptionTest, EmptyFileIsACleanColdStart) {
+  FaultInjectionEnv env;
+  RewriteFile(&env, "");
+  WalReadResult read = MustRead(&env);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.next_lsn, 1u);
+}
+
+TEST(WalCorruptionTest, MissingFileIsACleanColdStart) {
+  FaultInjectionEnv env;
+  WalReadResult read = MustRead(&env);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_FALSE(read.torn_tail);
+}
+
+TEST(WalCorruptionTest, HeaderOnlyLogHasNoRecords) {
+  FaultInjectionEnv env;
+  { Fixture fx(&env); }
+  WalReadResult read = MustRead(&env);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.next_lsn, 1u);
+}
+
+TEST(WalTest, SwapFileRedirectsAppends) {
+  FaultInjectionEnv env;
+  Fixture fx(&env);
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(1, "a")).ok());
+  const Lsn lsn_after_first = fx.wal->next_lsn();
+
+  auto next = Wal::CreateLogFile(&env, "wal2.log", lsn_after_first);
+  ASSERT_TRUE(next.ok());
+  fx.wal->SwapFile(std::move(next.value()), "wal2.log");
+  ASSERT_TRUE(fx.wal->OnInsert(fx.table, fx.MakeRow(2, "b")).ok());
+
+  auto old_read = ReadWal(&env, kLog);
+  ASSERT_TRUE(old_read.ok());
+  EXPECT_EQ(old_read.value().records.size(), 1u);
+  auto new_read = ReadWal(&env, "wal2.log");
+  ASSERT_TRUE(new_read.ok());
+  ASSERT_EQ(new_read.value().records.size(), 1u);
+  EXPECT_EQ(new_read.value().records[0].lsn, lsn_after_first)
+      << "LSNs continue across the swap";
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb
