@@ -1,0 +1,345 @@
+// Experiment S1 — network serving. The C1 concurrency experiment measured
+// the embedded engine; S1 puts the TCP front-end, wire protocol, and
+// admission control in the measured path:
+//
+//   * S1/<Qn>/<mapping>   — Q1–Q12 over loopback, N client threads, one
+//                           blocking connection each (RPC mode);
+//   * S1/mixed_90_10      — 90% reads / 10% writes through the socket;
+//   * S1/pipelined/<d>    — one connection, pipeline depth d: wire batching
+//                           amortizes the per-request round trip;
+//   * S1/connections_1000 — 1000 concurrent open connections, requests
+//                           round-robined across them (fd scalability);
+//   * S1/busy_shed        — a deliberately tiny server; measures shedding
+//                           (busy_rejected counter) instead of queueing.
+//
+// p50/p95/p99 latency percentiles and the server's plan-cache hit counters
+// land in the benchmark JSON next to the throughput numbers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::bench {
+namespace {
+
+constexpr double kScale = 0.1;
+
+/// The shared serving fixture: one server for the whole benchmark run,
+/// fronting a scratch SQL database; XPath requests are answered from the
+/// memoized StoredAuction instances (any mapping by name).
+struct ServerFixture {
+  rdb::Database db;
+  std::unique_ptr<net::Server> server;
+
+  ServerFixture() {
+    auto st = db.Execute(
+        "CREATE TABLE scratch (tid INTEGER, v VARCHAR)");
+    (void)st;
+    net::ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.max_in_flight = 64;
+    cfg.session_queue_cap = 64;
+    server = std::make_unique<net::Server>(&db, cfg);
+    server->set_xpath_handler(
+        [](int64_t doc, const std::string& mapping,
+           const std::string& xpath) -> Result<std::vector<std::string>> {
+          StoredAuction* sa = GetStoredAuction(mapping, kScale);
+          if (sa == nullptr) {
+            return Status::InvalidArgument("unknown mapping '" + mapping +
+                                           "'");
+          }
+          (void)doc;
+          ASSIGN_OR_RETURN(xpath::PathExpr path, xpath::ParseXPath(xpath));
+          return shred::EvalPathStrings(path, sa->mapping.get(),
+                                        sa->db.get(), sa->doc_id);
+        });
+    auto start = server->Start();
+    if (!start.ok()) server.reset();
+  }
+  ~ServerFixture() {
+    if (server) server->Stop();
+  }
+};
+
+ServerFixture* Fixture() {
+  static ServerFixture* f = new ServerFixture();  // leaked: lives to exit
+  return f->server ? f : nullptr;
+}
+
+net::Client ConnectOrSkip(benchmark::State& state) {
+  net::Client c;
+  ServerFixture* f = Fixture();
+  if (f == nullptr) {
+    state.SkipWithError("server failed to start");
+    return c;
+  }
+  Status st = c.Connect("127.0.0.1", f->server->port());
+  if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  return c;
+}
+
+void ReportPlanCacheCounters(benchmark::State& state) {
+  if (state.thread_index() != 0) return;
+  ServerFixture* f = Fixture();
+  if (f == nullptr) return;
+  auto pc = f->db.plan_cache().stats();
+  state.counters["plancache_hits"] = static_cast<double>(pc.hits);
+  state.counters["plancache_misses"] = static_cast<double>(pc.misses);
+  auto stats = f->server->stats();
+  state.counters["busy_rejected"] = static_cast<double>(stats.busy_rejected);
+}
+
+/// One RPC per iteration: the full wire round trip is the measured unit.
+void BM_ServerQuery(benchmark::State& state, const std::string& mapping,
+                    const workload::BenchQuery& query) {
+  // Warm the stored mapping before timing (first request would shred).
+  if (GetStoredAuction(mapping, kScale) == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  net::Client c = ConnectOrSkip(state);
+  if (!c.connected()) return;
+  Histogram latencies;
+  for (auto _ : state) {
+    Stopwatch timer;
+    auto r = c.XPath(1, mapping, query.xpath);
+    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportLatencyPercentiles(state, latencies.Snapshot(),
+                           /*average_across_threads=*/true);
+  ReportPlanCacheCounters(state);
+}
+
+/// 90% XPath reads, 10% prepared-statement writes, all through the socket.
+void BM_ServerMixed(benchmark::State& state, const std::string& mapping) {
+  if (GetStoredAuction(mapping, kScale) == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  net::Client c = ConnectOrSkip(state);
+  if (!c.connected()) return;
+  auto ins = c.Prepare("INSERT INTO scratch VALUES (?, ?)");
+  auto del = c.Prepare("DELETE FROM scratch WHERE tid = ?");
+  if (!ins.ok() || !del.ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  const int64_t tid = state.thread_index();
+  Histogram latencies;
+  int64_t i = 0;
+  for (auto _ : state) {
+    Stopwatch timer;
+    if (++i % 10 == 0) {
+      auto a = c.ExecPrepared(ins.value().stmt_id,
+                              {rdb::Value(tid), rdb::Value("tmp")});
+      auto b = c.ExecPrepared(del.value().stmt_id, {rdb::Value(tid)});
+      if (!a.ok() || !b.ok()) {
+        state.SkipWithError("write failed");
+        return;
+      }
+    } else {
+      auto r = c.XPath(1, mapping, "//item/name");
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r.value());
+    }
+    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportLatencyPercentiles(state, latencies.Snapshot(),
+                           /*average_across_threads=*/true);
+  ReportPlanCacheCounters(state);
+}
+
+/// Pipelining: send `depth` requests back-to-back, then read all responses.
+/// Per-request latency amortizes the socket round trip across the batch.
+void BM_ServerPipelined(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  if (GetStoredAuction("edge", kScale) == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  net::Client c = ConnectOrSkip(state);
+  if (!c.connected()) return;
+  Histogram latencies;
+  for (auto _ : state) {
+    Stopwatch timer;
+    int sent = 0;
+    for (int i = 0; i < depth; ++i) {
+      if (c.SendXPath(1, "edge", "//item/name").ok()) ++sent;
+    }
+    int64_t busy = 0;
+    for (int i = 0; i < sent; ++i) {
+      auto f = c.ReadResponse();
+      if (!f.ok()) {
+        state.SkipWithError(f.status().ToString().c_str());
+        return;
+      }
+      if (net::Client::IsBusy(f.value())) ++busy;
+    }
+    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()) /
+                     (sent > 0 ? sent : 1));
+    benchmark::DoNotOptimize(busy);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+  ReportLatencyPercentiles(state, latencies.Snapshot());
+  ReportPlanCacheCounters(state);
+}
+
+/// 1000 concurrent connections, requests round-robined across them. The
+/// measured unit is one ping sweep over every open connection; the point is
+/// that per-connection state (decoder, session, registry entry) scales and
+/// the poll loop handles thousands of fds.
+void BM_ServerManyConnections(benchmark::State& state) {
+  const size_t kConns = 1000;
+  ServerFixture* f = Fixture();
+  if (f == nullptr) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  std::vector<net::Client> conns(kConns);
+  for (size_t i = 0; i < kConns; ++i) {
+    Status st = conns[i].Connect("127.0.0.1", f->server->port());
+    if (!st.ok()) {
+      state.SkipWithError(("connect " + std::to_string(i) + ": " +
+                           st.ToString())
+                              .c_str());
+      return;
+    }
+  }
+  // Pipelined ping across every connection: all 1000 sessions are live and
+  // answering inside one measured iteration.
+  Histogram latencies;
+  for (auto _ : state) {
+    Stopwatch timer;
+    for (auto& c : conns) {
+      if (!c.SendPing().ok()) {
+        state.SkipWithError("send failed");
+        return;
+      }
+    }
+    for (auto& c : conns) {
+      auto r = c.ReadResponse();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
+  }
+  state.SetItemsProcessed(state.iterations() * kConns);
+  state.counters["connections"] = static_cast<double>(kConns);
+  ReportLatencyPercentiles(state, latencies.Snapshot());
+}
+
+/// Overload shedding: a server with one worker and minimal queues, blasted
+/// with deep pipelines. Well-behaved shedding means every request is
+/// answered promptly — mostly with BUSY — rather than queueing unboundedly.
+void BM_ServerBusyShed(benchmark::State& state) {
+  rdb::Database db;
+  auto ddl = db.Execute("CREATE TABLE t (a INTEGER)");
+  if (!ddl.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (int i = 0; i < 64; ++i) {
+    (void)db.Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  net::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_in_flight = 1;
+  cfg.session_queue_cap = 2;
+  net::Server server(&db, cfg);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  net::Client c;
+  if (!c.Connect("127.0.0.1", server.port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  constexpr int kBurst = 32;
+  int64_t answered = 0, shed = 0;
+  for (auto _ : state) {
+    int sent = 0;
+    for (int i = 0; i < kBurst; ++i) {
+      if (c.SendQuery("SELECT COUNT(*) FROM t WHERE a >= 0").ok()) ++sent;
+    }
+    for (int i = 0; i < sent; ++i) {
+      auto f = c.ReadResponse();
+      if (!f.ok()) {
+        state.SkipWithError(f.status().ToString().c_str());
+        return;
+      }
+      net::Client::IsBusy(f.value()) ? ++shed : ++answered;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  state.counters["answered"] = static_cast<double>(answered);
+  state.counters["busy_shed"] = static_cast<double>(shed);
+  server.Stop();
+}
+
+void RegisterAll() {
+  for (const std::string name : {"edge", "interval"}) {
+    for (const auto& query : workload::AuctionQueries()) {
+      benchmark::RegisterBenchmark(
+          ("S1/" + query.id + "/" + name).c_str(),
+          [name, query](benchmark::State& s) {
+            BM_ServerQuery(s, name, query);
+          })
+          ->Threads(1)
+          ->Threads(4)
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        ("S1/mixed_90_10/" + name).c_str(),
+        [name](benchmark::State& s) { BM_ServerMixed(s, name); })
+        ->Threads(1)
+        ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("S1/pipelined", BM_ServerPipelined)
+      ->Arg(1)
+      ->Arg(8)
+      ->Arg(32)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("S1/connections_1000", BM_ServerManyConnections)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("S1/busy_shed", BM_ServerBusyShed)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace xmlrdb::bench
+
+int main(int argc, char** argv) {
+  xmlrdb::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  xmlrdb::bench::EnableTracingIfRequested();
+  benchmark::RunSpecifiedBenchmarks();
+  xmlrdb::bench::WriteTraceJsonIfRequested();
+  return 0;
+}

@@ -1,0 +1,261 @@
+// xmlrdb_server — the standalone TCP server binary.
+//
+//   $ ./build/examples/xmlrdb_server [--port N] [--scale S] [--workers W]
+//
+// Stores the XMark auction document under every mapping, then serves the
+// wire protocol (src/net/protocol.h): SQL over QUERY/PREPARE/EXEC_PREPARED,
+// XPath over XPATH (docid 1, any mapping name), plus the xmlrdb_sessions /
+// xmlrdb_statements / xmlrdb_metrics virtual tables for live introspection.
+// Runs until stdin closes or SIGINT.
+//
+//   $ ./build/examples/xmlrdb_server --smoke
+//
+// Self-drive mode for CI: starts the server on an ephemeral port, runs an
+// in-process client mix (SQL + prepared statements + Q1–Q12 on every
+// mapping + pipelined burst + a protocol-violation connection), stops the
+// server cleanly, and prints one JSON object with the serving stats. Exits
+// nonzero if anything misbehaves — including a zero plan-cache hit count.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xpath/xpath_ast.h"
+
+using namespace xmlrdb;
+
+namespace {
+
+struct Store {
+  std::unique_ptr<shred::Mapping> mapping;
+  std::unique_ptr<rdb::Database> db;
+  shred::DocId id = 0;
+};
+
+std::map<std::string, Store>* BuildStores(double scale) {
+  workload::XMarkConfig cfg;
+  cfg.scale = scale;
+  auto doc = workload::GenerateXMark(cfg);
+  auto* stores = new std::map<std::string, Store>();
+  auto add = [&](const std::string& name,
+                 std::unique_ptr<shred::Mapping> m) -> bool {
+    Store s;
+    s.mapping = std::move(m);
+    s.db = std::make_unique<rdb::Database>();
+    if (!s.mapping->Initialize(s.db.get()).ok()) return false;
+    auto id = s.mapping->Store(*doc, s.db.get());
+    if (!id.ok()) {
+      std::fprintf(stderr, "store %s: %s\n", name.c_str(),
+                   id.status().ToString().c_str());
+      return false;
+    }
+    s.id = id.value();
+    (*stores)[name] = std::move(s);
+    return true;
+  };
+  for (const std::string& name : shred::GenericMappingNames()) {
+    auto m = shred::CreateMapping(name);
+    if (!m.ok() || !add(name, std::move(m).value())) return nullptr;
+  }
+  auto dtd = xml::ParseDtd(workload::XMarkDtd());
+  if (!dtd.ok()) return nullptr;
+  auto inline_m = shred::InlineMapping::Create(*dtd.value(), "site");
+  if (!inline_m.ok() || !add("inline", std::move(inline_m).value())) {
+    return nullptr;
+  }
+  return stores;
+}
+
+net::XPathHandler MakeHandler(std::map<std::string, Store>* stores) {
+  return [stores](int64_t doc, const std::string& mapping,
+                  const std::string& xpath)
+             -> Result<std::vector<std::string>> {
+    auto it = stores->find(mapping);
+    if (it == stores->end()) {
+      return Status::InvalidArgument("unknown mapping '" + mapping + "'");
+    }
+    (void)doc;
+    ASSIGN_OR_RETURN(xpath::PathExpr path, xpath::ParseXPath(xpath));
+    return shred::EvalPathStrings(path, it->second.mapping.get(),
+                                  it->second.db.get(), it->second.id);
+  };
+}
+
+/// CI self-drive: exercise every request type against a live socket, then
+/// verify the counters. Returns 0 on success.
+int RunSmoke(rdb::Database* db, net::Server* server,
+             std::map<std::string, Store>* stores) {
+  const uint16_t port = server->port();
+  net::Client c;
+  if (!c.Connect("127.0.0.1", port).ok()) {
+    std::fprintf(stderr, "smoke: connect failed\n");
+    return 1;
+  }
+  if (!c.Ping().ok()) {
+    std::fprintf(stderr, "smoke: ping failed\n");
+    return 1;
+  }
+  // SQL + prepared statements (twice, so the plan cache records hits).
+  if (!c.Query("CREATE TABLE smoke (a INTEGER)").ok()) return 1;
+  for (int round = 0; round < 2; ++round) {
+    auto h = c.Prepare("SELECT COUNT(*) FROM smoke WHERE a >= ?");
+    if (!h.ok()) return 1;
+    auto r = c.ExecPrepared(h.value().stmt_id, {rdb::Value(int64_t{0})});
+    if (!r.ok() || r.value().rows.size() != 1) return 1;
+    if (!c.CloseStmt(h.value().stmt_id).ok()) return 1;
+  }
+  // Q1–Q12 on every mapping through the socket; results must agree with
+  // the embedded evaluator.
+  for (const auto& [name, s] : *stores) {
+    for (const auto& q : workload::AuctionQueries()) {
+      auto wire = c.XPath(s.id, name, q.xpath);
+      if (!wire.ok()) {
+        std::fprintf(stderr, "smoke: %s/%s: %s\n", name.c_str(),
+                     q.id.c_str(), wire.status().ToString().c_str());
+        return 1;
+      }
+      auto path = xpath::ParseXPath(q.xpath);
+      auto local = shred::EvalPathStrings(path.value(), s.mapping.get(),
+                                          s.db.get(), s.id);
+      if (!local.ok() || local.value() != wire.value()) {
+        std::fprintf(stderr, "smoke: %s/%s: wire/embedded mismatch\n",
+                     name.c_str(), q.id.c_str());
+        return 1;
+      }
+    }
+  }
+  // Pipelined burst.
+  {
+    net::Client p;
+    if (!p.Connect("127.0.0.1", port).ok()) return 1;
+    int sent = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (p.SendXPath(1, "edge", "//item/name").ok()) ++sent;
+    }
+    for (int i = 0; i < sent; ++i) {
+      auto f = p.ReadResponse();
+      if (!f.ok()) return 1;
+    }
+  }
+  // One deliberately hostile connection: oversized frame must be rejected
+  // and the connection closed without hurting anyone else.
+  {
+    net::Client hostile;
+    if (!hostile.Connect("127.0.0.1", port).ok()) return 1;
+    std::string evil(net::kFrameHeaderBytes, '\0');
+    evil[3] = '\x7F';  // ~2 GB claimed length
+    evil[4] = static_cast<char>(net::MsgType::kQuery);
+    if (!hostile.SendRaw(evil).ok()) return 1;
+    auto f = hostile.ReadResponse();         // the error (or straight EOF)
+    if (f.ok()) (void)hostile.ReadResponse();  // then EOF
+  }
+  if (!c.Ping().ok()) {
+    std::fprintf(stderr, "smoke: server unhealthy after hostile client\n");
+    return 1;
+  }
+  // Introspection through the protocol.
+  auto sessions = c.Query("SELECT COUNT(*) FROM xmlrdb_sessions");
+  if (!sessions.ok() || sessions.value().rows[0][0].AsInt() < 1) {
+    std::fprintf(stderr, "smoke: xmlrdb_sessions empty\n");
+    return 1;
+  }
+  c.Close();
+
+  auto pc = db->plan_cache().stats();
+  server->Stop();
+  // Stop() tears down every remaining connection, so a clean shutdown means
+  // the open/close counters balance in the snapshot below.
+  auto stats = server->stats();
+  const bool ok = stats.requests > 0 && stats.protocol_errors > 0 &&
+                  pc.hits > 0;
+  std::printf(
+      "{\"smoke\": %s, \"sessions_opened\": %lld, \"sessions_closed\": %lld, "
+      "\"requests\": %lld, \"busy_rejected\": %lld, \"protocol_errors\": "
+      "%lld, \"plancache_hits\": %lld, \"plancache_misses\": %lld}\n",
+      ok ? "true" : "false", static_cast<long long>(stats.sessions_opened),
+      static_cast<long long>(stats.sessions_closed),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.busy_rejected),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(pc.hits), static_cast<long long>(pc.misses));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 8019;
+  double scale = 0.1;
+  size_t workers = 4;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      port = 0;  // ephemeral
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--scale S] [--workers W] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::map<std::string, Store>* stores = BuildStores(scale);
+  if (stores == nullptr) {
+    std::fprintf(stderr, "failed to build the stored mappings\n");
+    return 1;
+  }
+
+  rdb::Database db;
+  net::ServerConfig cfg;
+  cfg.port = port;
+  cfg.workers = workers;
+  net::Server server(&db, cfg);
+  server.set_xpath_handler(MakeHandler(stores));
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (smoke) return RunSmoke(&db, &server, stores);
+
+  std::printf("xmlrdb_server listening on %s:%u (%zu workers)\n",
+              cfg.bind_address.c_str(), server.port(), cfg.workers);
+  std::printf("mappings served over XPATH: ");
+  for (const auto& [name, s] : *stores) std::printf("%s ", name.c_str());
+  std::printf("\npress Ctrl-D to stop\n");
+  // Serve until stdin closes (Ctrl-D, or the harness killing the pipe).
+  signal(SIGPIPE, SIG_IGN);
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+  }
+  server.Stop();
+  auto stats = server.stats();
+  std::printf("served %lld requests over %lld sessions (%lld busy, %lld "
+              "protocol errors)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.sessions_opened),
+              static_cast<long long>(stats.busy_rejected),
+              static_cast<long long>(stats.protocol_errors));
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xmlrdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_seq_(other.next_seq_),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_seq_ = other.next_seq_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  next_seq_ = 1;
+  decoder_ = FrameDecoder(kDefaultMaxFrameBytes);
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> Client::SendFrame(MsgType type, std::string payload) {
+  Frame frame;
+  frame.type = type;
+  frame.seq = next_seq_++;
+  frame.payload = std::move(payload);
+  RETURN_IF_ERROR(SendRaw(EncodeFrame(frame)));
+  return frame.seq;
+}
+
+Result<Frame> Client::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  Frame frame;
+  for (;;) {
+    FrameDecoder::PollResult res = decoder_.Poll(&frame);
+    if (res == FrameDecoder::PollResult::kFrame) return frame;
+    if (res == FrameDecoder::PollResult::kError) return decoder_.error();
+    char buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Frame> Client::RoundTrip(MsgType type, std::string payload) {
+  ASSIGN_OR_RETURN(uint32_t seq, SendFrame(type, std::move(payload)));
+  ASSIGN_OR_RETURN(Frame resp, ReadResponse());
+  if (resp.seq != seq) {
+    return Status::Internal("response seq " + std::to_string(resp.seq) +
+                            " does not match request seq " +
+                            std::to_string(seq));
+  }
+  return resp;
+}
+
+Result<rdb::QueryResult> Client::AsResult(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kOkResult: {
+      rdb::QueryResult result;
+      RETURN_IF_ERROR(DecodeResultSet(frame.payload, &result));
+      return result;
+    }
+    case MsgType::kError:
+      return DecodeError(frame.payload);
+    case MsgType::kBusy:
+      return Status::IoError("server busy");
+    default:
+      return Status::ParseError(std::string("unexpected response frame ") +
+                                MsgTypeName(frame.type));
+  }
+}
+
+Result<rdb::QueryResult> Client::Query(std::string_view sql) {
+  ASSIGN_OR_RETURN(Frame resp, RoundTrip(MsgType::kQuery, std::string(sql)));
+  return AsResult(resp);
+}
+
+Result<PreparedHandle> Client::Prepare(std::string_view sql) {
+  ASSIGN_OR_RETURN(Frame resp, RoundTrip(MsgType::kPrepare, std::string(sql)));
+  if (resp.type == MsgType::kError) return DecodeError(resp.payload);
+  if (resp.type == MsgType::kBusy) return Status::IoError("server busy");
+  if (resp.type != MsgType::kPrepared) {
+    return Status::ParseError(std::string("unexpected response frame ") +
+                              MsgTypeName(resp.type));
+  }
+  PreparedHandle handle;
+  RETURN_IF_ERROR(
+      DecodePrepared(resp.payload, &handle.stmt_id, &handle.param_count));
+  return handle;
+}
+
+Result<rdb::QueryResult> Client::ExecPrepared(uint32_t stmt_id,
+                                              std::vector<rdb::Value> params) {
+  ASSIGN_OR_RETURN(Frame resp,
+                   RoundTrip(MsgType::kExecPrepared,
+                             EncodeExecPrepared(stmt_id, params)));
+  return AsResult(resp);
+}
+
+Status Client::CloseStmt(uint32_t stmt_id) {
+  ASSIGN_OR_RETURN(Frame resp,
+                   RoundTrip(MsgType::kCloseStmt, EncodeCloseStmt(stmt_id)));
+  return AsResult(resp).status();
+}
+
+Status Client::Ping() {
+  ASSIGN_OR_RETURN(Frame resp, RoundTrip(MsgType::kPing, {}));
+  if (resp.type == MsgType::kPong) return Status::OK();
+  if (resp.type == MsgType::kError) return DecodeError(resp.payload);
+  return Status::ParseError(std::string("unexpected response frame ") +
+                            MsgTypeName(resp.type));
+}
+
+Result<std::vector<std::string>> Client::XPath(int64_t doc,
+                                               const std::string& mapping,
+                                               std::string_view xpath) {
+  ASSIGN_OR_RETURN(Frame resp,
+                   RoundTrip(MsgType::kXPath,
+                             EncodeXPathRequest(doc, mapping, xpath)));
+  ASSIGN_OR_RETURN(rdb::QueryResult result, AsResult(resp));
+  std::vector<std::string> values;
+  values.reserve(result.rows.size());
+  for (rdb::Row& row : result.rows) {
+    if (row.size() != 1 || row[0].type() != rdb::DataType::kString) {
+      return Status::ParseError("malformed XPATH result row");
+    }
+    values.push_back(row[0].AsString());
+  }
+  return values;
+}
+
+Result<uint32_t> Client::SendQuery(std::string_view sql) {
+  return SendFrame(MsgType::kQuery, std::string(sql));
+}
+
+Result<uint32_t> Client::SendPrepare(std::string_view sql) {
+  return SendFrame(MsgType::kPrepare, std::string(sql));
+}
+
+Result<uint32_t> Client::SendExecPrepared(
+    uint32_t stmt_id, const std::vector<rdb::Value>& params) {
+  return SendFrame(MsgType::kExecPrepared, EncodeExecPrepared(stmt_id, params));
+}
+
+Result<uint32_t> Client::SendPing() { return SendFrame(MsgType::kPing, {}); }
+
+Result<uint32_t> Client::SendXPath(int64_t doc, const std::string& mapping,
+                                   std::string_view xpath) {
+  return SendFrame(MsgType::kXPath, EncodeXPathRequest(doc, mapping, xpath));
+}
+
+}  // namespace xmlrdb::net

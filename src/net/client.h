@@ -1,0 +1,95 @@
+// Blocking client for the xmlrdb wire protocol, used by the end-to-end
+// tests, the serving benchmark, and the server smoke driver.
+//
+// Two usage modes:
+//   * RPC: Query() / Prepare() / ExecPrepared() / Ping() / XPath() send one
+//     request and block for its response.
+//   * Pipelined: SendQuery()/SendExecPrepared()/... enqueue requests without
+//     waiting (they return the assigned seq); ReadResponse() then yields
+//     responses. Responses to admitted statements arrive in request order,
+//     but BUSY rejections can overtake them — match on seq.
+//
+// The client assigns sequence numbers automatically (1, 2, ...). SendRaw()
+// bypasses all framing for hostile-input tests.
+
+#ifndef XMLRDB_NET_CLIENT_H_
+#define XMLRDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::net {
+
+struct PreparedHandle {
+  uint32_t stmt_id = 0;
+  uint32_t param_count = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // -- one-shot RPCs --
+  Result<rdb::QueryResult> Query(std::string_view sql);
+  Result<PreparedHandle> Prepare(std::string_view sql);
+  Result<rdb::QueryResult> ExecPrepared(uint32_t stmt_id,
+                                        std::vector<rdb::Value> params = {});
+  Status CloseStmt(uint32_t stmt_id);
+  Status Ping();
+  Result<std::vector<std::string>> XPath(int64_t doc,
+                                         const std::string& mapping,
+                                         std::string_view xpath);
+
+  // -- pipelining --
+  /// Each Send* writes one request frame and returns its seq.
+  Result<uint32_t> SendQuery(std::string_view sql);
+  Result<uint32_t> SendPrepare(std::string_view sql);
+  Result<uint32_t> SendExecPrepared(uint32_t stmt_id,
+                                    const std::vector<rdb::Value>& params);
+  Result<uint32_t> SendPing();
+  Result<uint32_t> SendXPath(int64_t doc, const std::string& mapping,
+                             std::string_view xpath);
+
+  /// Blocks for the next response frame.
+  Result<Frame> ReadResponse();
+
+  static bool IsBusy(const Frame& frame) {
+    return frame.type == MsgType::kBusy;
+  }
+  /// Interprets a response frame as a statement result: kOkResult decodes,
+  /// kError re-materializes the server's Status, kBusy becomes an IoError
+  /// with message "server busy".
+  static Result<rdb::QueryResult> AsResult(const Frame& frame);
+
+  /// Writes raw bytes to the socket (hostile-input tests).
+  Status SendRaw(std::string_view bytes);
+
+ private:
+  Result<uint32_t> SendFrame(MsgType type, std::string payload);
+  /// Sends and waits; checks the echoed seq matches.
+  Result<Frame> RoundTrip(MsgType type, std::string payload);
+
+  int fd_ = -1;
+  uint32_t next_seq_ = 1;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+};
+
+}  // namespace xmlrdb::net
+
+#endif  // XMLRDB_NET_CLIENT_H_

@@ -1,0 +1,436 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace xmlrdb::net {
+
+namespace {
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("truncated frame payload: ") + what);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kQuery: return "QUERY";
+    case MsgType::kPrepare: return "PREPARE";
+    case MsgType::kExecPrepared: return "EXEC_PREPARED";
+    case MsgType::kCloseStmt: return "CLOSE_STMT";
+    case MsgType::kPing: return "PING";
+    case MsgType::kXPath: return "XPATH";
+    case MsgType::kOkResult: return "OK";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kBusy: return "BUSY";
+    case MsgType::kPong: return "PONG";
+    case MsgType::kPrepared: return "PREPARED";
+  }
+  return "UNKNOWN";
+}
+
+bool IsRequestType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kQuery) &&
+         t <= static_cast<uint8_t>(MsgType::kXPath);
+}
+
+bool IsResponseType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kOkResult) &&
+         t <= static_cast<uint8_t>(MsgType::kPrepared);
+}
+
+void AppendFrame(std::string* out, const Frame& frame) {
+  AppendU32(out, static_cast<uint32_t>(frame.payload.size()));
+  AppendU8(out, static_cast<uint8_t>(frame.type));
+  AppendU32(out, frame.seq);
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendFrame(&out, frame);
+  return out;
+}
+
+// -- FrameDecoder ----------------------------------------------------------
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return;  // poisoned: drop everything
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::PollResult FrameDecoder::Poll(Frame* out) {
+  if (!error_.ok()) return PollResult::kError;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return PollResult::kNeedMore;
+  const char* p = buffer_.data() + consumed_;
+  const uint32_t len = LoadU32(p);
+  const uint8_t type = static_cast<uint8_t>(p[4]);
+  // Header checks happen before the payload is required, so a hostile
+  // length or type is rejected without buffering len bytes first.
+  if (len > max_frame_bytes_) {
+    error_ = Status::InvalidArgument(
+        "frame of " + std::to_string(len) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes_) + "-byte frame limit");
+    return PollResult::kError;
+  }
+  if (!IsRequestType(type) && !IsResponseType(type)) {
+    error_ = Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(static_cast<int>(type)));
+    return PollResult::kError;
+  }
+  if (avail < kFrameHeaderBytes + len) return PollResult::kNeedMore;
+  out->type = static_cast<MsgType>(type);
+  out->seq = LoadU32(p + 5);
+  out->payload.assign(p + kFrameHeaderBytes, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return PollResult::kFrame;
+}
+
+// -- WireReader ------------------------------------------------------------
+
+Result<uint8_t> WireReader::ReadU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireReader::ReadU16() {
+  if (remaining() < 2) return Truncated("u16");
+  uint16_t v = static_cast<uint16_t>(
+      static_cast<unsigned char>(data_[pos_]) |
+      (static_cast<unsigned char>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = LoadU32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  if (remaining() < 8) return Truncated("i64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return static_cast<int64_t>(v);
+}
+
+Result<double> WireReader::ReadF64() {
+  ASSIGN_OR_RETURN(int64_t bits, ReadI64());
+  double d;
+  uint64_t u = static_cast<uint64_t>(bits);
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+Result<std::string> WireReader::ReadString() {
+  ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  // Validate against bytes actually present before allocating: a hostile
+  // length prefix must not drive an allocation.
+  if (remaining() < len) return Truncated("string body");
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<rdb::Value> WireReader::ReadValue() {
+  using rdb::Value;
+  ASSIGN_OR_RETURN(uint8_t tag, ReadU8());
+  switch (tag) {
+    case 0:
+      return Value::Null();
+    case 1: {
+      ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case 2: {
+      ASSIGN_OR_RETURN(double v, ReadF64());
+      return Value(v);
+    }
+    case 3: {
+      ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+    case 4: {
+      ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+      if (v > 1) return Status::ParseError("invalid bool encoding");
+      return Value(v == 1);
+    }
+    default:
+      return Status::ParseError("unknown value tag " + std::to_string(tag));
+  }
+}
+
+void AppendValue(std::string* out, const rdb::Value& v) {
+  using rdb::DataType;
+  switch (v.type()) {
+    case DataType::kNull:
+      AppendU8(out, 0);
+      break;
+    case DataType::kInt:
+      AppendU8(out, 1);
+      AppendI64(out, v.AsInt());
+      break;
+    case DataType::kDouble:
+      AppendU8(out, 2);
+      AppendF64(out, v.AsDouble());
+      break;
+    case DataType::kString:
+      AppendU8(out, 3);
+      AppendString(out, v.AsString());
+      break;
+    case DataType::kBool:
+      AppendU8(out, 4);
+      AppendU8(out, v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+// -- result sets -----------------------------------------------------------
+
+namespace {
+
+uint8_t TypeTag(rdb::DataType t) {
+  switch (t) {
+    case rdb::DataType::kNull: return 0;
+    case rdb::DataType::kInt: return 1;
+    case rdb::DataType::kDouble: return 2;
+    case rdb::DataType::kString: return 3;
+    case rdb::DataType::kBool: return 4;
+  }
+  return 0;
+}
+
+Result<rdb::DataType> TagType(uint8_t tag) {
+  switch (tag) {
+    case 0: return rdb::DataType::kNull;
+    case 1: return rdb::DataType::kInt;
+    case 2: return rdb::DataType::kDouble;
+    case 3: return rdb::DataType::kString;
+    case 4: return rdb::DataType::kBool;
+    default:
+      return Status::ParseError("unknown column type tag " +
+                                std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+std::string EncodeResultSet(const rdb::QueryResult& result) {
+  std::string out;
+  AppendI64(&out, result.affected);
+  AppendU32(&out, static_cast<uint32_t>(result.schema.size()));
+  for (const rdb::Column& c : result.schema.columns()) {
+    AppendString(&out, c.QualifiedName());
+    AppendU8(&out, TypeTag(c.type));
+  }
+  AppendU32(&out, static_cast<uint32_t>(result.rows.size()));
+  for (const rdb::Row& row : result.rows) {
+    for (const rdb::Value& v : row) AppendValue(&out, v);
+  }
+  return out;
+}
+
+Status DecodeResultSet(std::string_view payload, rdb::QueryResult* out) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(out->affected, r.ReadI64());
+  ASSIGN_OR_RETURN(uint32_t ncols, r.ReadU32());
+  // Each column costs at least 5 bytes on the wire; a count claiming more
+  // columns than remaining bytes is hostile.
+  if (static_cast<uint64_t>(ncols) * 5 > r.remaining()) {
+    return Truncated("column list");
+  }
+  std::vector<rdb::Column> cols;
+  cols.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    rdb::Column c;
+    ASSIGN_OR_RETURN(c.name, r.ReadString());
+    ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    ASSIGN_OR_RETURN(c.type, TagType(tag));
+    cols.push_back(std::move(c));
+  }
+  out->schema = rdb::Schema(std::move(cols));
+  ASSIGN_OR_RETURN(uint32_t nrows, r.ReadU32());
+  if (ncols > 0 && static_cast<uint64_t>(nrows) * ncols > r.remaining()) {
+    return Truncated("row data");
+  }
+  if (ncols == 0 && nrows > 0) {
+    return Status::ParseError("rows without columns");
+  }
+  out->rows.clear();
+  out->rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    rdb::Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      ASSIGN_OR_RETURN(rdb::Value v, r.ReadValue());
+      row.push_back(std::move(v));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after result set");
+  return Status::OK();
+}
+
+// -- errors ----------------------------------------------------------------
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeError(std::string_view payload) {
+  WireReader r(payload);
+  auto code = r.ReadU8();
+  if (!code.ok()) return Status::ParseError("empty error payload");
+  // Unknown codes (a newer server) degrade to kInternal instead of failing.
+  StatusCode c = code.value() <= static_cast<uint8_t>(StatusCode::kInternal)
+                     ? static_cast<StatusCode>(code.value())
+                     : StatusCode::kInternal;
+  if (c == StatusCode::kOk) c = StatusCode::kInternal;
+  return Status(c, std::string(r.Rest()));
+}
+
+// -- typed request/response payloads ---------------------------------------
+
+std::string EncodePrepared(uint32_t stmt_id, uint32_t param_count) {
+  std::string out;
+  AppendU32(&out, stmt_id);
+  AppendU32(&out, param_count);
+  return out;
+}
+
+Status DecodePrepared(std::string_view payload, uint32_t* stmt_id,
+                      uint32_t* param_count) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(*stmt_id, r.ReadU32());
+  ASSIGN_OR_RETURN(*param_count, r.ReadU32());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after PREPARED");
+  return Status::OK();
+}
+
+std::string EncodeExecPrepared(uint32_t stmt_id,
+                               const std::vector<rdb::Value>& params) {
+  std::string out;
+  AppendU32(&out, stmt_id);
+  AppendU16(&out, static_cast<uint16_t>(params.size()));
+  for (const rdb::Value& v : params) AppendValue(&out, v);
+  return out;
+}
+
+Status DecodeExecPrepared(std::string_view payload, uint32_t* stmt_id,
+                          std::vector<rdb::Value>* params) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(*stmt_id, r.ReadU32());
+  ASSIGN_OR_RETURN(uint16_t n, r.ReadU16());
+  if (static_cast<size_t>(n) > r.remaining()) return Truncated("parameters");
+  params->clear();
+  params->reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(rdb::Value v, r.ReadValue());
+    params->push_back(std::move(v));
+  }
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes after EXEC_PREPARED");
+  }
+  return Status::OK();
+}
+
+std::string EncodeCloseStmt(uint32_t stmt_id) {
+  std::string out;
+  AppendU32(&out, stmt_id);
+  return out;
+}
+
+Status DecodeCloseStmt(std::string_view payload, uint32_t* stmt_id) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(*stmt_id, r.ReadU32());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after CLOSE_STMT");
+  return Status::OK();
+}
+
+std::string EncodeXPathRequest(int64_t doc, const std::string& mapping,
+                               std::string_view xpath) {
+  std::string out;
+  AppendI64(&out, doc);
+  AppendU8(&out, static_cast<uint8_t>(mapping.size()));
+  out.append(mapping);
+  out.append(xpath);
+  return out;
+}
+
+Status DecodeXPathRequest(std::string_view payload, int64_t* doc,
+                          std::string* mapping, std::string* xpath) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(*doc, r.ReadI64());
+  ASSIGN_OR_RETURN(uint8_t name_len, r.ReadU8());
+  if (r.remaining() < name_len) return Truncated("mapping name");
+  std::string_view rest = r.Rest();
+  mapping->assign(rest.substr(0, name_len));
+  xpath->assign(rest.substr(name_len));
+  if (mapping->empty()) return Status::InvalidArgument("empty mapping name");
+  if (xpath->empty()) return Status::InvalidArgument("empty XPath");
+  return Status::OK();
+}
+
+}  // namespace xmlrdb::net

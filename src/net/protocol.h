@@ -1,0 +1,180 @@
+// Wire protocol for the TCP front-end: length-prefixed binary frames.
+//
+// Every message is one frame: a 9-byte header {u32 payload_len, u8 type,
+// u32 seq} followed by payload_len bytes of payload. All integers are
+// little-endian. `seq` is assigned by the client — the first request on a
+// connection carries seq 1 and every subsequent request increments it by
+// one; the server echoes the request's seq in its response so pipelined
+// responses can be matched even when a BUSY rejection overtakes earlier
+// in-flight statements.
+//
+// Request types (client -> server):
+//   kQuery         payload = SQL text (non-empty)
+//   kPrepare       payload = SQL text (non-empty); response kPrepared
+//   kExecPrepared  payload = u32 stmt_id, u16 nparams, nparams values
+//   kCloseStmt     payload = u32 stmt_id
+//   kPing          payload empty; response kPong
+//   kXPath         payload = i64 docid, u8 mapping_name_len, mapping name,
+//                  XPath text (non-empty); response = one-column ("value")
+//                  result set of the matching nodes' string-values
+//
+// Response types (server -> client):
+//   kOkResult      payload = i64 affected, u32 ncols, ncols x {string name,
+//                  u8 type}, u32 nrows, nrows x ncols values
+//   kError         payload = u8 status code, message text
+//   kBusy          payload empty — the statement was shed by admission
+//                  control; the connection stays usable
+//   kPong          payload empty
+//   kPrepared      payload = u32 stmt_id, u32 param_count
+//
+// Values are tagged: u8 {0 null, 1 int, 2 double, 3 string, 4 bool}
+// followed by the representation (i64, IEEE-754 u64 bits, u32 len + bytes,
+// u8). Strings are raw bytes, never NUL-terminated.
+//
+// The decoder treats the peer as hostile: frames longer than the
+// configured maximum, unknown frame types, truncated payloads, and
+// syntactically invalid request payloads are all rejected with a clean
+// error — never an abort, a hang, or an allocation proportional to an
+// attacker-supplied length that was not actually received.
+
+#ifndef XMLRDB_NET_PROTOCOL_H_
+#define XMLRDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/database.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::net {
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kQuery = 1,
+  kPrepare = 2,
+  kExecPrepared = 3,
+  kCloseStmt = 4,
+  kPing = 5,
+  kXPath = 6,
+  // Responses.
+  kOkResult = 0x80,
+  kError = 0x81,
+  kBusy = 0x82,
+  kPong = 0x83,
+  kPrepared = 0x84,
+};
+
+const char* MsgTypeName(MsgType t);
+bool IsRequestType(uint8_t t);
+bool IsResponseType(uint8_t t);
+
+constexpr size_t kFrameHeaderBytes = 9;
+constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  uint32_t seq = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload. The payload must fit in u32.
+std::string EncodeFrame(const Frame& frame);
+void AppendFrame(std::string* out, const Frame& frame);
+
+/// Incremental frame decoder over a byte stream.
+///
+/// Feed() appends received bytes; Poll() extracts the next complete frame.
+/// The header is validated as soon as its 9 bytes arrive, so an oversized
+/// or unknown-type frame is rejected before its payload is buffered — the
+/// decoder never allocates more than max_frame_bytes + one read's worth of
+/// bytes regardless of what the peer claims. After an error the decoder is
+/// poisoned: every further Poll() returns kError.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n);
+  void Feed(std::string_view data) { Feed(data.data(), data.size()); }
+
+  enum class PollResult { kFrame, kNeedMore, kError };
+  /// Extracts the next frame into *out. kNeedMore means the buffered bytes
+  /// end mid-frame (more Feed() calls may complete it); kError means the
+  /// stream is unrecoverably malformed (see error()).
+  PollResult Poll(Frame* out);
+
+  const Status& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  uint32_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  Status error_;         ///< non-OK once poisoned
+};
+
+// -- payload encoding ------------------------------------------------------
+
+void AppendValue(std::string* out, const rdb::Value& v);
+
+/// Cursor over a payload; every Read* validates remaining length.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  /// u32 length prefix + bytes; the length is validated against the bytes
+  /// actually present before any allocation.
+  Result<std::string> ReadString();
+  Result<rdb::Value> ReadValue();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// Everything not yet consumed (for trailing free-text fields).
+  std::string_view Rest() const { return data_.substr(pos_); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// kOkResult payload.
+std::string EncodeResultSet(const rdb::QueryResult& result);
+Status DecodeResultSet(std::string_view payload, rdb::QueryResult* out);
+
+/// kError payload.
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload);
+
+/// kPrepared payload.
+std::string EncodePrepared(uint32_t stmt_id, uint32_t param_count);
+Status DecodePrepared(std::string_view payload, uint32_t* stmt_id,
+                      uint32_t* param_count);
+
+/// kExecPrepared request payload.
+std::string EncodeExecPrepared(uint32_t stmt_id,
+                               const std::vector<rdb::Value>& params);
+Status DecodeExecPrepared(std::string_view payload, uint32_t* stmt_id,
+                          std::vector<rdb::Value>* params);
+
+/// kCloseStmt request payload.
+std::string EncodeCloseStmt(uint32_t stmt_id);
+Status DecodeCloseStmt(std::string_view payload, uint32_t* stmt_id);
+
+/// kXPath request payload.
+std::string EncodeXPathRequest(int64_t doc, const std::string& mapping,
+                               std::string_view xpath);
+Status DecodeXPathRequest(std::string_view payload, int64_t* doc,
+                          std::string* mapping, std::string* xpath);
+
+}  // namespace xmlrdb::net
+
+#endif  // XMLRDB_NET_PROTOCOL_H_

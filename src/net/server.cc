@@ -1,0 +1,713 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "net/session.h"
+
+namespace xmlrdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string PeerName(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+// One connection: socket state owned by the IO thread, dispatch state
+// guarded by the server's dispatch mutex, output buffer guarded by out_mu.
+struct Conn {
+  Conn(int fd_in, int64_t id, std::string peer, uint32_t max_frame)
+      : fd(fd_in), session(id, std::move(peer)), decoder(max_frame) {}
+
+  // -- IO thread only --
+  int fd;
+  bool close_after_flush = false;  ///< error sent; close once outbuf drains
+  bool reading_stopped = false;    ///< protocol violation: ignore input
+
+  Session session;
+  FrameDecoder decoder;
+
+  // -- dispatch state; transitions happen under Server::Impl::dsp_mu, but
+  // the snapshot provider and workers read the flags lock-free --
+  std::deque<Frame> pending;  ///< admitted, waiting for this session's turn
+  std::atomic<bool> active{false};     ///< a worker is executing right now
+  std::atomic<bool> in_ready{false};   ///< queued in the ready list
+  std::atomic<bool> peer_gone{false};  ///< socket closed; drop responses
+  std::atomic<bool> unregistered{false};
+
+  // -- stats mirror for lock-free snapshots --
+  std::atomic<int64_t> pending_count{0};
+
+  // -- output (out_mu; appended by workers, drained by the IO thread) --
+  std::mutex out_mu;
+  std::string outbuf;
+  size_t out_off = 0;
+  std::atomic<bool> has_output{false};
+};
+
+struct Server::Impl {
+  explicit Impl(Server* srv) : server(srv) {}
+
+  Server* server;
+
+  int listen_fd = -1;
+  int wake_r = -1, wake_w = -1;
+  std::thread io_thread;
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<bool> stopping{false};
+
+  // Session registry: the snapshot provider and teardown both use it.
+  mutable std::mutex reg_mu;
+  std::unordered_map<int64_t, std::shared_ptr<Conn>> registry;
+  int64_t next_session_id = 1;
+
+  // Dispatch state.
+  std::mutex dsp_mu;
+  std::condition_variable drained_cv;
+  size_t in_flight = 0;  ///< statements currently executing in the pool
+  std::deque<std::shared_ptr<Conn>> ready;  ///< runnable, waiting for a slot
+
+  // Stats.
+  std::atomic<int64_t> sessions_opened{0};
+  std::atomic<int64_t> sessions_closed{0};
+  std::atomic<int64_t> requests{0};
+  std::atomic<int64_t> busy_rejected{0};
+  std::atomic<int64_t> protocol_errors{0};
+
+  void WakeIo() {
+    char b = 1;
+    ssize_t n = write(wake_w, &b, 1);
+    (void)n;  // pipe full == a wakeup is already pending
+  }
+
+  // -- response path (any thread) --
+  void QueueResponse(const std::shared_ptr<Conn>& conn, Frame frame) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      AppendFrame(&conn->outbuf, frame);
+      conn->has_output.store(true, std::memory_order_release);
+    }
+    WakeIo();
+  }
+
+  void QueueError(const std::shared_ptr<Conn>& conn, uint32_t seq,
+                  const Status& status) {
+    QueueResponse(conn, Frame{MsgType::kError, seq, EncodeError(status)});
+  }
+
+  // -- dispatch (see server.h architecture comment) --
+
+  void SubmitLocked(std::shared_ptr<Conn> conn) {
+    conn->active = true;
+    ++in_flight;
+    pool->Submit([this, conn = std::move(conn)] { RunSession(conn); });
+  }
+
+  /// Starts ready sessions while execution slots are free.
+  void PumpReadyLocked() {
+    while (!stopping.load(std::memory_order_acquire) &&
+           in_flight < server->config_.max_in_flight && !ready.empty()) {
+      std::shared_ptr<Conn> conn = std::move(ready.front());
+      ready.pop_front();
+      conn->in_ready = false;
+      if (conn->active || conn->pending.empty()) continue;
+      SubmitLocked(std::move(conn));
+    }
+  }
+
+  /// Admission decision for one decoded request frame (IO thread).
+  void Admit(const std::shared_ptr<Conn>& conn, Frame frame) {
+    std::unique_lock<std::mutex> lock(dsp_mu);
+    if (stopping.load(std::memory_order_acquire)) return;
+    if (conn->pending.size() >= server->config_.session_queue_cap) {
+      conn->session.RecordBusy();
+      busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add("net.busy", 1);
+      uint32_t seq = frame.seq;
+      lock.unlock();
+      QueueResponse(conn, Frame{MsgType::kBusy, seq, {}});
+      return;
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    conn->pending.push_back(std::move(frame));
+    conn->pending_count.store(static_cast<int64_t>(conn->pending.size()),
+                              std::memory_order_relaxed);
+    if (conn->active || conn->in_ready) return;
+    if (in_flight < server->config_.max_in_flight) {
+      SubmitLocked(conn);
+    } else {
+      conn->in_ready = true;
+      ready.push_back(conn);
+    }
+  }
+
+  /// Worker body: executes this session's pending statements one at a time,
+  /// yielding its slot whenever other sessions are waiting.
+  void RunSession(const std::shared_ptr<Conn>& conn) {
+    for (;;) {
+      Frame frame;
+      {
+        std::unique_lock<std::mutex> lock(dsp_mu);
+        if (stopping.load(std::memory_order_acquire)) {
+          conn->pending.clear();
+          conn->pending_count.store(0, std::memory_order_relaxed);
+        }
+        if (conn->pending.empty()) {
+          conn->active = false;
+          --in_flight;
+          bool finished = conn->peer_gone && !conn->unregistered;
+          PumpReadyLocked();
+          if (in_flight == 0) drained_cv.notify_all();
+          lock.unlock();
+          if (finished) Unregister(conn);
+          return;
+        }
+        frame = std::move(conn->pending.front());
+        conn->pending.pop_front();
+        conn->pending_count.store(static_cast<int64_t>(conn->pending.size()),
+                                  std::memory_order_relaxed);
+      }
+
+      Frame response = ExecuteFrame(conn, frame);
+      if (!conn->peer_gone) QueueResponse(conn, std::move(response));
+
+      // Fairness: with sessions waiting for a slot, finish this statement's
+      // turn and requeue instead of draining the whole pipeline.
+      std::unique_lock<std::mutex> lock(dsp_mu);
+      if (!ready.empty() && !conn->pending.empty() &&
+          !stopping.load(std::memory_order_acquire)) {
+        conn->active = false;
+        --in_flight;
+        conn->in_ready = true;
+        ready.push_back(conn);
+        PumpReadyLocked();
+        if (in_flight == 0) drained_cv.notify_all();
+        return;
+      }
+    }
+  }
+
+  /// Executes one request and builds its response frame (worker thread).
+  Frame ExecuteFrame(const std::shared_ptr<Conn>& conn, const Frame& req) {
+    Stopwatch timer;
+    conn->session.RecordStatement();
+    Frame resp;
+    resp.seq = req.seq;
+    Status error;
+    switch (req.type) {
+      case MsgType::kQuery: {
+        auto result = server->db_->Execute(req.payload);
+        if (result.ok()) {
+          resp.type = MsgType::kOkResult;
+          resp.payload = EncodeResultSet(result.value());
+        } else {
+          error = result.status();
+        }
+        break;
+      }
+      case MsgType::kPrepare: {
+        auto prepared = server->db_->Prepare(req.payload);
+        if (prepared.ok()) {
+          uint32_t params =
+              static_cast<uint32_t>(prepared.value().param_count());
+          uint32_t id = conn->session.AddPrepared(std::move(prepared).value());
+          resp.type = MsgType::kPrepared;
+          resp.payload = EncodePrepared(id, params);
+        } else {
+          error = prepared.status();
+        }
+        break;
+      }
+      case MsgType::kExecPrepared: {
+        uint32_t stmt_id = 0;
+        std::vector<rdb::Value> params;
+        error = DecodeExecPrepared(req.payload, &stmt_id, &params);
+        if (error.ok()) {
+          rdb::PreparedStatement* stmt = conn->session.FindPrepared(stmt_id);
+          if (stmt == nullptr) {
+            error = Status::NotFound("unknown statement id " +
+                                     std::to_string(stmt_id));
+          } else {
+            auto result = stmt->Execute(std::move(params));
+            if (result.ok()) {
+              resp.type = MsgType::kOkResult;
+              resp.payload = EncodeResultSet(result.value());
+            } else {
+              error = result.status();
+            }
+          }
+        }
+        break;
+      }
+      case MsgType::kCloseStmt: {
+        uint32_t stmt_id = 0;
+        error = DecodeCloseStmt(req.payload, &stmt_id);
+        if (error.ok() && !conn->session.ClosePrepared(stmt_id)) {
+          error =
+              Status::NotFound("unknown statement id " + std::to_string(stmt_id));
+        }
+        if (error.ok()) {
+          resp.type = MsgType::kOkResult;
+          resp.payload = EncodeResultSet(rdb::QueryResult{});
+        }
+        break;
+      }
+      case MsgType::kXPath: {
+        int64_t doc = 0;
+        std::string mapping, xpath;
+        error = DecodeXPathRequest(req.payload, &doc, &mapping, &xpath);
+        if (error.ok()) {
+          if (!server->xpath_handler_) {
+            error = Status::Unsupported("server has no XPath handler");
+          } else {
+            auto values = server->xpath_handler_(doc, mapping, xpath);
+            if (values.ok()) {
+              rdb::QueryResult result;
+              rdb::Column col;
+              col.name = "value";
+              col.type = rdb::DataType::kString;
+              result.schema = rdb::Schema({col});
+              for (std::string& v : values.value()) {
+                result.rows.push_back({rdb::Value(std::move(v))});
+              }
+              resp.type = MsgType::kOkResult;
+              resp.payload = EncodeResultSet(result);
+            } else {
+              error = values.status();
+            }
+          }
+        }
+        break;
+      }
+      default:
+        error = Status::Internal("non-request frame reached execution");
+    }
+    if (!error.ok()) {
+      resp.type = MsgType::kError;
+      resp.payload = EncodeError(error);
+    }
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    reg.Add("net.requests", 1);
+    reg.RecordLatency("net.request_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
+    return resp;
+  }
+
+  /// Final removal from the registry once no worker can touch the session.
+  void Unregister(const std::shared_ptr<Conn>& conn) {
+    bool erased = false;
+    {
+      std::lock_guard<std::mutex> lock(reg_mu);
+      erased = registry.erase(conn->session.id()) > 0;
+    }
+    if (erased) {
+      conn->unregistered = true;
+      sessions_closed.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add("net.sessions_closed", 1);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // IO thread.
+
+  void TeardownConn(std::unordered_map<int, std::shared_ptr<Conn>>* conns,
+                    int fd) {
+    auto it = conns->find(fd);
+    if (it == conns->end()) return;
+    std::shared_ptr<Conn> conn = std::move(it->second);
+    conns->erase(it);
+    close(conn->fd);
+    conn->fd = -1;
+    bool finish_now;
+    {
+      std::lock_guard<std::mutex> lock(dsp_mu);
+      conn->peer_gone = true;
+      conn->pending.clear();
+      conn->pending_count.store(0, std::memory_order_relaxed);
+      // If a worker is mid-statement, it observes peer_gone at completion
+      // and unregisters then; otherwise the session dies here.
+      finish_now = !conn->active;
+    }
+    if (finish_now) Unregister(conn);
+  }
+
+  /// Handles one decoded frame on the IO thread: sequencing, fast-path
+  /// PING, payload sanity, then admission.
+  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
+    Status seq_check = conn->session.CheckSeq(frame.seq);
+    if (!seq_check.ok()) {
+      ProtocolViolation(conn, frame.seq, seq_check);
+      return;
+    }
+    if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
+      ProtocolViolation(conn, frame.seq,
+                        Status::InvalidArgument(
+                            "response-type frame sent by client"));
+      return;
+    }
+    if (frame.type == MsgType::kPing) {
+      QueueResponse(conn, Frame{MsgType::kPong, frame.seq, {}});
+      return;
+    }
+    if (frame.payload.empty() && frame.type != MsgType::kCloseStmt) {
+      ProtocolViolation(
+          conn, frame.seq,
+          Status::InvalidArgument(std::string("empty payload in ") +
+                                  MsgTypeName(frame.type) + " frame"));
+      return;
+    }
+    Admit(conn, std::move(frame));
+  }
+
+  void ProtocolViolation(const std::shared_ptr<Conn>& conn, uint32_t seq,
+                         const Status& status) {
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().Add("net.protocol_errors", 1);
+    conn->reading_stopped = true;
+    conn->close_after_flush = true;
+    QueueError(conn, seq, status);
+  }
+
+  /// Non-blocking drain of a connection's output buffer. Returns false on a
+  /// dead socket.
+  bool FlushOutput(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    while (conn->out_off < conn->outbuf.size()) {
+      ssize_t n = send(conn->fd, conn->outbuf.data() + conn->out_off,
+                       conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        return false;
+      }
+    }
+    if (conn->out_off == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_off = 0;
+      conn->has_output.store(false, std::memory_order_release);
+    }
+    return true;
+  }
+
+  void AcceptConnections(std::unordered_map<int, std::shared_ptr<Conn>>* conns) {
+    for (;;) {
+      sockaddr_in addr{};
+      socklen_t addr_len = sizeof(addr);
+      int fd = accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+      if (fd < 0) return;  // EAGAIN or transient error: try again next poll
+      if (!SetNonBlocking(fd)) {
+        close(fd);
+        continue;
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(reg_mu);
+        if (registry.size() < server->config_.max_sessions) {
+          int64_t id = next_session_id++;
+          auto conn = std::make_shared<Conn>(fd, id, PeerName(addr),
+                                             server->config_.max_frame_bytes);
+          registry.emplace(id, conn);
+          conns->emplace(fd, std::move(conn));
+          admitted = true;
+        }
+      }
+      if (admitted) {
+        sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        MetricsRegistry::Global().Add("net.sessions_opened", 1);
+        continue;
+      }
+      // Connection-level admission: BUSY with seq 0, then close.
+      busy_rejected.fetch_add(1, std::memory_order_relaxed);
+      std::string busy = EncodeFrame(Frame{MsgType::kBusy, 0, {}});
+      ssize_t n = send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+      (void)n;
+      close(fd);
+    }
+  }
+
+  void ReadConnection(std::unordered_map<int, std::shared_ptr<Conn>>* conns,
+                      const std::shared_ptr<Conn>& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        if (!conn->reading_stopped) conn->decoder.Feed(buf, n);
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        TeardownConn(conns, conn->fd);
+        return;
+      }
+    }
+    Frame frame;
+    while (!conn->reading_stopped) {
+      FrameDecoder::PollResult res = conn->decoder.Poll(&frame);
+      if (res == FrameDecoder::PollResult::kFrame) {
+        HandleFrame(conn, std::move(frame));
+      } else if (res == FrameDecoder::PollResult::kNeedMore) {
+        break;
+      } else {
+        ProtocolViolation(conn, 0, conn->decoder.error());
+        break;
+      }
+    }
+  }
+
+  void IoLoop() {
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    std::vector<pollfd> fds;
+    for (;;) {
+      const bool stop = stopping.load(std::memory_order_acquire);
+      fds.clear();
+      fds.push_back({wake_r, POLLIN, 0});
+      if (!stop) fds.push_back({listen_fd, POLLIN, 0});
+      for (auto& [fd, conn] : conns) {
+        short events = 0;
+        if (!stop && !conn->reading_stopped) events |= POLLIN;
+        if (conn->has_output.load(std::memory_order_acquire)) {
+          events |= POLLOUT;
+        }
+        fds.push_back({fd, events, 0});
+      }
+      int rc = poll(fds.data(), fds.size(), stop ? 10 : 500);
+      if (rc < 0 && errno != EINTR) break;
+
+      // Drain wakeup bytes.
+      if (fds[0].revents & POLLIN) {
+        char tmp[256];
+        while (read(wake_r, tmp, sizeof(tmp)) > 0) {
+        }
+      }
+      size_t idx = 1;
+      if (!stop) {
+        if (fds[idx].revents & POLLIN) AcceptConnections(&conns);
+        ++idx;
+      }
+      // Collect fds first: handlers mutate `conns`.
+      std::vector<pollfd> events(fds.begin() + idx, fds.end());
+      for (const pollfd& p : events) {
+        auto it = conns.find(p.fd);
+        if (it == conns.end()) continue;
+        std::shared_ptr<Conn> conn = it->second;
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Flush what we can (an error response may be queued), then drop.
+          FlushOutput(conn);
+          TeardownConn(&conns, p.fd);
+          continue;
+        }
+        if (p.revents & POLLIN) {
+          ReadConnection(&conns, conn);
+          if (conns.find(p.fd) == conns.end()) continue;  // torn down
+        }
+        if (conn->has_output.load(std::memory_order_acquire)) {
+          if (!FlushOutput(conn)) {
+            TeardownConn(&conns, p.fd);
+            continue;
+          }
+        }
+        if (conn->close_after_flush &&
+            !conn->has_output.load(std::memory_order_acquire)) {
+          TeardownConn(&conns, p.fd);
+        }
+      }
+
+      if (stop) {
+        // Shutdown: wait for workers to finish, flush whatever responses
+        // they produced, then drop every connection and exit.
+        bool drained;
+        {
+          std::lock_guard<std::mutex> lock(dsp_mu);
+          // Ready sessions will never get a slot now; drop them so the
+          // drain condition can hold.
+          for (auto& conn : ready) conn->in_ready = false;
+          ready.clear();
+          drained = in_flight == 0;
+        }
+        bool all_flushed = true;
+        for (auto& [fd, conn] : conns) {
+          FlushOutput(conn);
+          if (conn->has_output.load(std::memory_order_acquire)) {
+            all_flushed = false;
+          }
+        }
+        if (drained && all_flushed) break;
+      }
+    }
+    // Final teardown of every remaining connection.
+    std::vector<int> remaining;
+    remaining.reserve(conns.size());
+    for (auto& [fd, conn] : conns) remaining.push_back(fd);
+    for (int fd : remaining) TeardownConn(&conns, fd);
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+Server::Server(rdb::Database* db, ServerConfig config)
+    : impl_(std::make_unique<Impl>(this)), db_(db), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::set_xpath_handler(XPathHandler handler) {
+  xpath_handler_ = std::move(handler);
+}
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  impl_->stopping.store(false, std::memory_order_release);
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address '" + config_.bind_address +
+                                   "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    close(fd);
+    return st;
+  }
+  if (listen(fd, config_.listen_backlog) != 0) {
+    Status st = Errno("listen");
+    close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status st = Errno("getsockname");
+    close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(fd)) {
+    Status st = Errno("fcntl");
+    close(fd);
+    return st;
+  }
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    Status st = Errno("pipe");
+    close(fd);
+    return st;
+  }
+  SetNonBlocking(pipe_fds[0]);
+  SetNonBlocking(pipe_fds[1]);
+
+  impl_->listen_fd = fd;
+  impl_->wake_r = pipe_fds[0];
+  impl_->wake_w = pipe_fds[1];
+  impl_->pool = std::make_unique<ThreadPool>(config_.workers);
+  impl_->io_thread = std::thread([impl = impl_.get()] { impl->IoLoop(); });
+
+  db_->set_session_snapshot_provider(
+      [this] { return SnapshotSessions(); });
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Stop exposing sessions before they start dying.
+  db_->set_session_snapshot_provider(nullptr);
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->WakeIo();
+  // The IO loop owns the drain: it waits for workers, flushes responses,
+  // tears down connections, then exits.
+  if (impl_->io_thread.joinable()) impl_->io_thread.join();
+  {
+    // Belt and braces: RunSession observes `stopping` and drains; wait for
+    // any straggler the IO loop raced with.
+    std::unique_lock<std::mutex> lock(impl_->dsp_mu);
+    impl_->drained_cv.wait(lock, [this] { return impl_->in_flight == 0; });
+    impl_->ready.clear();
+  }
+  impl_->pool.reset();  // joins workers; queue is empty by now
+  close(impl_->listen_fd);
+  close(impl_->wake_r);
+  close(impl_->wake_w);
+  impl_->listen_fd = impl_->wake_r = impl_->wake_w = -1;
+  // Sessions that never finished teardown (none expected) die with the map.
+  std::lock_guard<std::mutex> lock(impl_->reg_mu);
+  impl_->registry.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.sessions_opened = impl_->sessions_opened.load(std::memory_order_relaxed);
+  s.sessions_closed = impl_->sessions_closed.load(std::memory_order_relaxed);
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.busy_rejected = impl_->busy_rejected.load(std::memory_order_relaxed);
+  s.protocol_errors = impl_->protocol_errors.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<rdb::SessionInfo> Server::SnapshotSessions() const {
+  std::vector<rdb::SessionInfo> out;
+  std::lock_guard<std::mutex> lock(impl_->reg_mu);
+  out.reserve(impl_->registry.size());
+  for (const auto& [id, conn] : impl_->registry) {
+    rdb::SessionInfo info;
+    info.id = id;
+    info.peer = conn->session.peer();
+    info.age_us = conn->session.age_us();
+    info.statements = conn->session.statements();
+    info.pending = conn->pending_count.load(std::memory_order_relaxed);
+    info.busy_rejected = conn->session.busy_rejected();
+    info.prepared_statements = conn->session.prepared_count();
+    // `active` is dispatch-guarded; this is a monitoring snapshot, so an
+    // instantaneously stale state string is fine.
+    info.state = conn->peer_gone ? "closing"
+                 : conn->active  ? "active"
+                                 : "idle";
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace xmlrdb::net

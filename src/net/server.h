@@ -1,0 +1,134 @@
+// TCP front-end: serves the wire protocol in net/protocol.h over loopback
+// or any interface, one Session per connection.
+//
+// Architecture (a small-scale mirror of the MySQL handler/session split):
+//
+//   * One IO thread owns every socket: it accepts connections, reads bytes
+//     into per-connection frame decoders, performs admission control, and
+//     writes queued response bytes. It never executes a statement.
+//   * A worker thread pool executes statements. At most one statement per
+//     session runs at a time (responses of one connection are produced in
+//     request order); different sessions execute in parallel up to the
+//     max_in_flight gate.
+//   * Admission control sheds load with explicit BUSY responses instead of
+//     unbounded queueing. Three bounds apply, in order:
+//       - max_sessions: further connections receive BUSY (seq 0) and are
+//         closed at accept time;
+//       - session_queue_cap: pipelined requests beyond this many waiting
+//         per connection are answered BUSY immediately (the BUSY can
+//         therefore overtake responses to earlier, still-queued requests —
+//         match responses by seq);
+//       - max_in_flight: sessions with runnable work beyond this many
+//         concurrently executing statements wait in a ready list whose
+//         length is bounded by the session count.
+//
+// Protocol violations (oversized/truncated/unknown frames, bad seq, empty
+// payloads) get one ERROR response, then the connection is closed after the
+// write drains. Execution errors (bad SQL, unknown statement ids) get an
+// ERROR response and the connection stays usable.
+//
+// Shutdown ordering (see DESIGN.md): Stop() stops accepting, discards
+// queued-but-not-started work, waits for in-flight statements to complete,
+// flushes pending response bytes best-effort, then tears sessions down —
+// so Session destruction (which releases prepared-statement plan-cache
+// pins) never races a worker still executing on that session. The server
+// must be stopped before the Database it serves is destroyed.
+
+#ifndef XMLRDB_NET_SERVER_H_
+#define XMLRDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "rdb/database.h"
+
+namespace xmlrdb {
+class ThreadPool;
+}  // namespace xmlrdb
+
+namespace xmlrdb::net {
+
+struct ServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (see Server::port()).
+  uint16_t port = 0;
+  /// Listen address. Default loopback; "0.0.0.0" serves all interfaces.
+  std::string bind_address = "127.0.0.1";
+  /// Frames longer than this are a protocol violation (ERROR + close).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Statement-execution worker threads.
+  size_t workers = 4;
+  /// Max concurrently executing statements across all sessions.
+  size_t max_in_flight = 64;
+  /// Max requests queued per connection (beyond the executing one) before
+  /// admission control answers BUSY.
+  size_t session_queue_cap = 32;
+  /// Max concurrent connections; further accepts get BUSY (seq 0) + close.
+  size_t max_sessions = 4096;
+  int listen_backlog = 256;
+};
+
+/// Aggregate serving counters (monotonic since Start).
+struct ServerStats {
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t requests = 0;        ///< frames admitted for execution
+  int64_t busy_rejected = 0;   ///< BUSY responses (admission shed)
+  int64_t protocol_errors = 0; ///< connections killed for malformed input
+};
+
+/// Host-provided XPath evaluation: (docid, mapping name, xpath) -> the
+/// string-values of the matching nodes. Keeps net/ independent of shred/;
+/// the host (test, bench, xmlrdb_server) wires the evaluator in.
+using XPathHandler = std::function<Result<std::vector<std::string>>(
+    int64_t doc, const std::string& mapping, const std::string& xpath)>;
+
+class Server {
+ public:
+  explicit Server(rdb::Database* db, ServerConfig config = {});
+  ~Server();  ///< stops the server if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Install before Start(); XPATH requests fail cleanly without one.
+  void set_xpath_handler(XPathHandler handler);
+
+  /// Binds, listens, spawns the IO thread and workers, and registers the
+  /// xmlrdb_sessions virtual-table provider with the database.
+  Status Start();
+
+  /// Drains in-flight statements, closes every connection, joins all
+  /// threads, and unregisters the session provider. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (after Start; resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  /// Live session snapshot (also the xmlrdb_sessions provider).
+  std::vector<rdb::SessionInfo> SnapshotSessions() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  rdb::Database* db_;
+  ServerConfig config_;
+  XPathHandler xpath_handler_;
+  std::atomic<bool> running_{false};
+  uint16_t port_ = 0;
+};
+
+}  // namespace xmlrdb::net
+
+#endif  // XMLRDB_NET_SERVER_H_

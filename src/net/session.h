@@ -1,0 +1,116 @@
+// Per-connection session state.
+//
+// A Session owns the connection's prepared-statement handles (each a
+// PreparedStatement sharing a PlanCache entry with every other session that
+// prepared the same text) and the protocol bookkeeping the server needs:
+// the expected request sequence number and the statement counters exposed
+// through the xmlrdb_sessions virtual table.
+//
+// Threading: exactly one statement of a session executes at a time (the
+// dispatcher serializes per-session work), so the prepared-statement map is
+// only touched from whichever worker currently runs the session's
+// statement — no lock needed. The counters are atomics because the IO
+// thread (admission control) and the snapshot provider read them
+// concurrently. Destroying the Session releases every plan-cache pin; the
+// server guarantees destruction happens only after the session's in-flight
+// statement (if any) has completed, so a client disconnect mid-query never
+// frees state a worker still reads.
+
+#ifndef XMLRDB_NET_SESSION_H_
+#define XMLRDB_NET_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::net {
+
+class Session {
+ public:
+  Session(int64_t id, std::string peer)
+      : id_(id), peer_(std::move(peer)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  int64_t id() const { return id_; }
+  const std::string& peer() const { return peer_; }
+
+  int64_t age_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  // -- request sequencing (IO thread only) --
+  /// Validates that `seq` is the next expected request number (1, 2, ...).
+  /// On success the expectation advances; on failure the caller must error
+  /// out and close the connection.
+  Status CheckSeq(uint32_t seq) {
+    if (seq != expected_seq_) {
+      return Status::InvalidArgument(
+          "out-of-sequence request: got seq " + std::to_string(seq) +
+          ", expected " + std::to_string(expected_seq_));
+    }
+    ++expected_seq_;
+    return Status::OK();
+  }
+
+  // -- prepared statements (current worker only) --
+  /// Registers a handle and returns its connection-local statement id.
+  uint32_t AddPrepared(rdb::PreparedStatement stmt) {
+    uint32_t id = next_stmt_id_++;
+    prepared_.emplace(id, std::move(stmt));
+    prepared_count_.store(static_cast<int64_t>(prepared_.size()),
+                          std::memory_order_relaxed);
+    return id;
+  }
+
+  rdb::PreparedStatement* FindPrepared(uint32_t stmt_id) {
+    auto it = prepared_.find(stmt_id);
+    return it == prepared_.end() ? nullptr : &it->second;
+  }
+
+  bool ClosePrepared(uint32_t stmt_id) {
+    bool erased = prepared_.erase(stmt_id) > 0;
+    prepared_count_.store(static_cast<int64_t>(prepared_.size()),
+                          std::memory_order_relaxed);
+    return erased;
+  }
+
+  // -- stats (any thread) --
+  void RecordStatement() {
+    statements_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBusy() { busy_rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  int64_t statements() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  int64_t busy_rejected() const {
+    return busy_rejected_.load(std::memory_order_relaxed);
+  }
+  int64_t prepared_count() const {
+    return prepared_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int64_t id_;
+  const std::string peer_;
+  const std::chrono::steady_clock::time_point start_;
+
+  uint32_t expected_seq_ = 1;  ///< IO thread only
+  uint32_t next_stmt_id_ = 1;  ///< current worker only
+  std::unordered_map<uint32_t, rdb::PreparedStatement> prepared_;
+
+  std::atomic<int64_t> statements_{0};
+  std::atomic<int64_t> busy_rejected_{0};
+  std::atomic<int64_t> prepared_count_{0};
+};
+
+}  // namespace xmlrdb::net
+
+#endif  // XMLRDB_NET_SESSION_H_

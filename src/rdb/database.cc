@@ -238,7 +238,7 @@ Status Database::LockTableExclusive(const std::string& name, Table** table,
 
 bool Database::IsVirtualTableName(const std::string& name) {
   return name == "xmlrdb_metrics" || name == "xmlrdb_statements" ||
-         name == "xmlrdb_tables";
+         name == "xmlrdb_tables" || name == "xmlrdb_sessions";
 }
 
 namespace {
@@ -312,6 +312,28 @@ std::unique_ptr<Table> Database::MaterializeVirtualTable(
       rows.push_back({Value(table_name), Value(static_cast<int64_t>(live)),
                       Value(static_cast<int64_t>(t->FootprintBytes())),
                       Value(static_cast<int64_t>(num_indexes))});
+    }
+  } else if (name == "xmlrdb_sessions") {
+    schema = Schema({MakeColumn("id", DataType::kInt),
+                     MakeColumn("peer", DataType::kString),
+                     MakeColumn("state", DataType::kString),
+                     MakeColumn("age_us", DataType::kInt),
+                     MakeColumn("statements", DataType::kInt),
+                     MakeColumn("pending", DataType::kInt),
+                     MakeColumn("busy_rejected", DataType::kInt),
+                     MakeColumn("prepared_statements", DataType::kInt)});
+    std::function<std::vector<SessionInfo>()> provider;
+    {
+      std::lock_guard<std::mutex> lock(session_provider_mu_);
+      provider = session_provider_;
+    }
+    if (provider) {
+      for (const SessionInfo& s : provider()) {
+        rows.push_back({Value(s.id), Value(s.peer), Value(s.state),
+                        Value(s.age_us), Value(s.statements),
+                        Value(s.pending), Value(s.busy_rejected),
+                        Value(s.prepared_statements)});
+      }
     }
   }
   // The snapshot is private until the statement's lock set publishes it to

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -94,6 +95,19 @@ class StatementLog {
   size_t capacity_;
   int64_t next_seq_ = 0;
   std::deque<StatementLogEntry> entries_;
+};
+
+/// One live network session, as reported by a session snapshot provider
+/// (net::Server) and exposed through the xmlrdb_sessions virtual table.
+struct SessionInfo {
+  int64_t id = 0;
+  std::string peer;   ///< "ip:port" of the client
+  std::string state;  ///< "active" (statement executing), "idle", "closing"
+  int64_t age_us = 0;
+  int64_t statements = 0;  ///< statements executed so far
+  int64_t pending = 0;     ///< pipelined requests waiting in-session
+  int64_t busy_rejected = 0;
+  int64_t prepared_statements = 0;
 };
 
 /// Result of Execute(): rows for queries, affected count for DML/DDL.
@@ -205,8 +219,18 @@ class Database {
   }
 
   /// True for the reserved virtual-table names ("xmlrdb_metrics",
-  /// "xmlrdb_statements", "xmlrdb_tables").
+  /// "xmlrdb_statements", "xmlrdb_tables", "xmlrdb_sessions").
   static bool IsVirtualTableName(const std::string& name);
+
+  /// Hook for the network server: while set, SELECTs over xmlrdb_sessions
+  /// materialize the provider's snapshot (without one the table is empty).
+  /// Pass nullptr to unregister — the server does so before teardown, so
+  /// the provider never outlives the sessions it reports on.
+  void set_session_snapshot_provider(
+      std::function<std::vector<SessionInfo>()> provider) {
+    std::lock_guard<std::mutex> lock(session_provider_mu_);
+    session_provider_ = std::move(provider);
+  }
 
   // -- durability --
   /// True for scratch/temporary table names (leading '_'): the per-thread
@@ -306,6 +330,8 @@ class Database {
   std::atomic<int64_t> slow_query_threshold_us_{-1};
   std::atomic<int64_t> schema_version_{0};
   PlanCache plan_cache_;
+  mutable std::mutex session_provider_mu_;
+  std::function<std::vector<SessionInfo>()> session_provider_;
 
   // Durability state (set once by AttachDurability, before traffic).
   // Lock order: checkpoint_mu_ -> mu_ (shared) -> table locks (name order)

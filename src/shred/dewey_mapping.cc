@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <unordered_map>
 
+#include "common/str_util.h"
 #include "shred/shred_util.h"
 
 namespace xmlrdb::shred {
@@ -35,10 +37,38 @@ std::string DeweyComponent(int64_t ordinal) {
   return out;
 }
 
-int64_t DeweyComponentOrdinal(const std::string& component) {
-  const char* s = component.c_str();
-  if (!component.empty() && component[0] == ':') s += 2;
-  return std::strtoll(s, nullptr, 10);
+Result<int64_t> DeweyComponentOrdinal(const std::string& component) {
+  std::string_view digits = component;
+  if (!component.empty() && component[0] == ':') {
+    // Escaped wide ordinal ":<excess><digits>"; the excess byte encodes
+    // digits.size() - 7 (see DeweyComponent).
+    if (component.size() < 3) {
+      return Status::ParseError("corrupt dewey component '" + component +
+                                "': truncated escape");
+    }
+    digits.remove_prefix(2);
+    int excess = component[1] - '0';
+    if (excess < 0 || digits.size() != static_cast<size_t>(excess) + 7) {
+      return Status::ParseError("corrupt dewey component '" + component +
+                                "': escape width disagrees with digits");
+    }
+  } else if (component.size() != 6) {
+    return Status::ParseError("corrupt dewey component '" + component +
+                              "': expected 6 digits");
+  }
+  // ParseInt64 rejects empty input, non-digit bytes, and overflow — the
+  // failure modes the old unchecked strtoll call decoded to 0 or a
+  // clamped INT64_MAX.
+  auto ordinal = ParseInt64(digits);
+  if (!ordinal.ok()) {
+    return Status::ParseError("corrupt dewey component '" + component +
+                              "': " + ordinal.status().message());
+  }
+  if (ordinal.value() < 1) {
+    return Status::ParseError("corrupt dewey component '" + component +
+                              "': ordinals are 1-based");
+  }
+  return ordinal.value();
 }
 
 std::string DeweyChild(const std::string& parent, int64_t ordinal) {
@@ -385,7 +415,13 @@ Status DeweyMapping::InsertSubtreeImpl(rdb::Database* db, DocId doc,
   if (!mc.rows.empty() && !mc.rows[0][0].is_null()) {
     const std::string& max_dewey = mc.rows[0][0].AsString();
     std::string comp = max_dewey.substr(max_dewey.rfind('.') + 1);
-    next_slot = DeweyComponentOrdinal(comp) + 1;
+    // A corrupt stored label must fail the insert, not silently land the
+    // subtree at slot 1 (= strtoll's 0 + 1) on top of an existing child.
+    auto ordinal = DeweyComponentOrdinal(comp);
+    if (!ordinal.ok()) {
+      return ordinal.status().WithContext("dewey label '" + max_dewey + "'");
+    }
+    next_slot = ordinal.value() + 1;
   }
   std::vector<rdb::Row> rows;
   ShredDewey(subtree, doc, DeweyChild(d, next_slot), level + 1, &rows);

@@ -26,8 +26,14 @@ namespace xmlrdb::shred {
 /// Naive zero-padding breaks there: "1000000" < "999999" as strings.
 std::string DeweyComponent(int64_t ordinal);
 
-/// Decodes a component produced by DeweyComponent.
-int64_t DeweyComponentOrdinal(const std::string& component);
+/// Decodes a component produced by DeweyComponent. Rejects anything that
+/// encoding cannot produce — empty strings, non-digit bytes, overflow, an
+/// escape marker whose width byte disagrees with the digit count — instead
+/// of silently decoding garbage to 0 or a clamped value. Dewey labels come
+/// back out of tables that untrusted input paths (network DML, recovery)
+/// can reach, so corrupt labels must surface as errors, not as inserts
+/// landed at a wrong or duplicate slot.
+Result<int64_t> DeweyComponentOrdinal(const std::string& component);
 
 /// Appends a component: "000001" + 3 -> "000001.000003".
 std::string DeweyChild(const std::string& parent, int64_t ordinal);

@@ -76,7 +76,8 @@ class SaxParser {
     Advance();  // '&'
     size_t start = pos_;
     while (!AtEnd() && Peek() != ';' && pos_ - start < 32) Advance();
-    if (AtEnd() || Peek() != ';') return Err("unterminated entity reference");
+    if (AtEnd()) return Err("unterminated entity reference");
+    if (Peek() != ';') return Err("entity reference too long");
     std::string_view ent = in_.substr(start, pos_ - start);
     Advance();
     if (ent == "lt") *out += '<';
@@ -85,10 +86,27 @@ class SaxParser {
     else if (ent == "quot") *out += '"';
     else if (ent == "apos") *out += '\'';
     else if (!ent.empty() && ent[0] == '#') {
-      long code = (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X'))
-                      ? std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16)
-                      : std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
-      if (code <= 0 || code > 0x10FFFF) return Err("invalid character reference");
+      // Same discipline as parser.cc: accumulate digits by hand so
+      // "&#12abc;" (strtol's stop-at-garbage lenience), overflow past the
+      // code-point range, and surrogate code points are all rejected —
+      // this path is reachable from network payloads via the blob mapping.
+      bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return Err("invalid character reference");
+      long code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (hex && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (hex && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return Err("invalid character reference");
+        code = code * (hex ? 16 : 10) + d;
+        if (code > 0x10FFFF) return Err("invalid character reference");
+      }
+      if (code <= 0) return Err("invalid character reference");
+      if (code >= 0xD800 && code <= 0xDFFF) {
+        return Err("invalid character reference");
+      }
       unsigned cp = static_cast<unsigned>(code);
       if (cp < 0x80) {
         *out += static_cast<char>(cp);

@@ -33,8 +33,59 @@ TEST(DeweyEncodingTest, ComponentOrderSurvivesWidthBoundary) {
 TEST(DeweyEncodingTest, ComponentRoundTripsThroughDecoder) {
   for (int64_t n : {int64_t{1}, int64_t{999999}, int64_t{1000000},
                     int64_t{1000001}, int64_t{123456789}, int64_t{9999999999}}) {
-    EXPECT_EQ(DeweyComponentOrdinal(DeweyComponent(n)), n) << n;
+    auto ordinal = DeweyComponentOrdinal(DeweyComponent(n));
+    ASSERT_TRUE(ordinal.ok()) << n;
+    EXPECT_EQ(ordinal.value(), n) << n;
   }
+}
+
+TEST(DeweyEncodingTest, DecoderRejectsCorruptComponents) {
+  // Regression: the decoder used to run these through strtoll with no
+  // errno/end-pointer checking, so garbage decoded to 0 (and overflow
+  // clamped to INT64_MAX) instead of failing.
+  const char* corrupt[] = {
+      "",          // empty
+      "abcdef",    // non-digits at full width
+      "00001x",    // trailing garbage inside the fixed width
+      "12345",     // wrong width (not a component the encoder emits)
+      "1234567",   // wrong width, too long without escape
+      "-00001",    // sign byte is not a digit position
+      ":",         // escape marker alone
+      ":3",        // escape marker without digits
+      ":9123",     // escape width byte disagrees with digit count
+      ":099999999999999999999999999",  // overflow (used to clamp)
+      "      ",    // whitespace is not a digit
+  };
+  for (const char* c : corrupt) {
+    auto ordinal = DeweyComponentOrdinal(c);
+    EXPECT_FALSE(ordinal.ok()) << "'" << c << "' decoded to "
+                               << (ordinal.ok() ? ordinal.value() : 0);
+  }
+}
+
+TEST(DeweyEncodingTest, InsertSubtreeFailsOnCorruptStoredLabel) {
+  DeweyMapping m;
+  rdb::Database db;
+  ASSERT_TRUE(m.Initialize(&db).ok());
+  auto doc = xml::Parse("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto id = m.Store(*doc.value(), &db);
+  ASSERT_TRUE(id.ok());
+  // Corrupt the stored child label so the MAX(dewey) slot probe reads
+  // garbage text where a component should be.
+  auto upd = db.Execute(
+      "UPDATE dw_nodes SET dewey = '000001.00bad!' WHERE name = 'b'");
+  ASSERT_TRUE(upd.ok()) << upd.status();
+  auto frag = xml::ParseFragment("<d/>");
+  ASSERT_TRUE(frag.ok());
+  auto status =
+      m.InsertSubtree(&db, id.value(), rdb::Value("000001"), *frag.value());
+  // Pre-fix this succeeded and landed the new node at slot 1 — on top of
+  // the existing (corrupt-labelled) child.
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("corrupt dewey component"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST(DeweyEncodingTest, WideComponentsKeepSubtreeRangeTight) {

@@ -1,0 +1,193 @@
+// Deterministic fuzz of the frame decoder and payload codecs, in the style
+// of persist_fuzz_test: random byte streams, bit-flipped valid streams, and
+// truncation sweeps. The invariants under test:
+//
+//   * the decoder never crashes, hangs, or allocates in proportion to an
+//     attacker-claimed length that was not actually received;
+//   * every outcome is kFrame, kNeedMore, or a poisoned kError — and once
+//     poisoned it stays poisoned;
+//   * payload decoders reject garbage with a Status, never UB.
+//
+// Run under ASan/UBSan in CI; the assertions here are deliberately loose so
+// the sanitizers are the real oracle.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/protocol.h"
+
+namespace xmlrdb::net {
+namespace {
+
+constexpr uint32_t kSmallMax = 4096;  // small frame cap keeps the fuzz fast
+
+/// Drains the decoder, returning how many frames came out; stops on error.
+size_t Drain(FrameDecoder* d) {
+  size_t frames = 0;
+  Frame f;
+  while (true) {
+    switch (d->Poll(&f)) {
+      case FrameDecoder::PollResult::kFrame:
+        ++frames;
+        EXPECT_LE(f.payload.size(), d->max_frame_bytes());
+        break;
+      case FrameDecoder::PollResult::kNeedMore:
+        return frames;
+      case FrameDecoder::PollResult::kError:
+        EXPECT_FALSE(d->error().ok());
+        return frames;
+    }
+  }
+}
+
+TEST(FrameFuzzTest, RandomBytesNeverCrashOrBloat) {
+  Rng rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder d(kSmallMax);
+    size_t fed = 0;
+    for (int chunk = 0; chunk < 20; ++chunk) {
+      std::string bytes;
+      size_t n = static_cast<size_t>(rng.Uniform(0, 300));
+      for (size_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<char>(rng.Uniform(0, 255)));
+      }
+      fed += bytes.size();
+      d.Feed(bytes);
+      Drain(&d);
+      // The decoder may hold at most one incomplete frame plus the header:
+      // anything more means a hostile length drove buffering.
+      if (d.error().ok()) {
+        EXPECT_LE(d.buffered_bytes(), kSmallMax + kFrameHeaderBytes);
+      }
+    }
+    (void)fed;
+  }
+}
+
+TEST(FrameFuzzTest, BitFlippedValidStreamsFailCleanly) {
+  Rng rng(7);
+  // A realistic pipelined stream of every request type.
+  std::string valid;
+  AppendFrame(&valid, Frame{MsgType::kQuery, 1, "SELECT a FROM t WHERE b = 1"});
+  AppendFrame(&valid, Frame{MsgType::kPrepare, 2, "SELECT ?"});
+  AppendFrame(&valid, Frame{MsgType::kExecPrepared, 3,
+                            EncodeExecPrepared(1, {rdb::Value(int64_t{9})})});
+  AppendFrame(&valid, Frame{MsgType::kXPath, 4,
+                            EncodeXPathRequest(1, "edge", "//item")});
+  AppendFrame(&valid, Frame{MsgType::kCloseStmt, 5, EncodeCloseStmt(1)});
+  AppendFrame(&valid, Frame{MsgType::kPing, 6, ""});
+  // Sanity: the pristine stream yields all six frames.
+  {
+    FrameDecoder d(kSmallMax);
+    d.Feed(valid);
+    EXPECT_EQ(Drain(&d), 6u);
+    EXPECT_TRUE(d.error().ok());
+  }
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = valid;
+    int flips = static_cast<int>(rng.Uniform(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(
+          mutated[pos] ^ (1 << rng.Uniform(0, 7)));
+    }
+    FrameDecoder d(kSmallMax);
+    // Feed in random chunk sizes to exercise resumption boundaries.
+    size_t pos = 0;
+    while (pos < mutated.size()) {
+      size_t n = static_cast<size_t>(
+          rng.Uniform(1, static_cast<int64_t>(mutated.size() - pos)));
+      d.Feed(mutated.data() + pos, n);
+      pos += n;
+      Drain(&d);
+    }
+    size_t more = Drain(&d);
+    EXPECT_LE(more, 6u);
+    if (!d.error().ok()) {
+      // Poisoned decoders must stay poisoned even when valid bytes follow.
+      d.Feed(valid);
+      Frame f;
+      EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kError);
+    }
+  }
+}
+
+TEST(FrameFuzzTest, PayloadDecodersSurviveRandomPayloads) {
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    std::string payload;
+    size_t n = static_cast<size_t>(rng.Uniform(0, 120));
+    for (size_t i = 0; i < n; ++i) {
+      payload.push_back(static_cast<char>(rng.Uniform(0, 255)));
+    }
+    rdb::QueryResult qr;
+    (void)DecodeResultSet(payload, &qr);
+    (void)DecodeError(payload);
+    uint32_t id, pc;
+    (void)DecodePrepared(payload, &id, &pc);
+    std::vector<rdb::Value> params;
+    (void)DecodeExecPrepared(payload, &id, &params);
+    (void)DecodeCloseStmt(payload, &id);
+    int64_t doc;
+    std::string mapping, xpath;
+    (void)DecodeXPathRequest(payload, &doc, &mapping, &xpath);
+  }
+}
+
+TEST(FrameFuzzTest, TruncationSweepOverTypedPayloads) {
+  // Every strict prefix of a valid payload must decode to an error.
+  std::string exec = EncodeExecPrepared(
+      3, {rdb::Value(int64_t{1}), rdb::Value("abc"), rdb::Value(2.5),
+          rdb::Value(true), rdb::Value::Null()});
+  uint32_t id;
+  std::vector<rdb::Value> params;
+  ASSERT_TRUE(DecodeExecPrepared(exec, &id, &params).ok());
+  for (size_t cut = 0; cut < exec.size(); ++cut) {
+    EXPECT_FALSE(DecodeExecPrepared(exec.substr(0, cut), &id, &params).ok())
+        << cut;
+  }
+  std::string xp = EncodeXPathRequest(5, "interval", "//open_auction");
+  int64_t doc;
+  std::string mapping, xpath;
+  ASSERT_TRUE(DecodeXPathRequest(xp, &doc, &mapping, &xpath).ok());
+  for (size_t cut = 0; cut < 9; ++cut) {  // fixed-width prefix region
+    EXPECT_FALSE(
+        DecodeXPathRequest(xp.substr(0, cut), &doc, &mapping, &xpath).ok())
+        << cut;
+  }
+}
+
+TEST(FrameFuzzTest, HeaderLengthSweepNeverOverAllocates) {
+  // Sweep hostile length fields across the u32 range; the decoder must
+  // either ask for more bytes (len <= max) or poison itself — and never
+  // buffer more than it was actually fed.
+  const uint32_t lens[] = {0,          1,          kSmallMax,     kSmallMax + 1,
+                           1u << 20,   1u << 24,   0x7FFFFFFFu,   0xFFFFFFFFu};
+  for (uint32_t len : lens) {
+    FrameDecoder d(kSmallMax);
+    std::string header;
+    for (int i = 0; i < 4; ++i) {
+      header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+    }
+    header.push_back(static_cast<char>(MsgType::kQuery));
+    header.append(4, '\0');  // seq
+    d.Feed(header);
+    Frame f;
+    auto r = d.Poll(&f);
+    if (len > kSmallMax) {
+      EXPECT_EQ(r, FrameDecoder::PollResult::kError) << len;
+    } else {
+      EXPECT_EQ(r, len == 0 ? FrameDecoder::PollResult::kFrame
+                            : FrameDecoder::PollResult::kNeedMore)
+          << len;
+    }
+    EXPECT_LE(d.buffered_bytes(), header.size());
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::net

@@ -1,0 +1,280 @@
+// Wire-protocol unit tests: frame round trips, the incremental decoder's
+// hostile-input discipline, and every typed payload codec.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "rdb/database.h"
+#include "rdb/value.h"
+
+namespace xmlrdb::net {
+namespace {
+
+Frame MustPoll(FrameDecoder* d) {
+  Frame f;
+  EXPECT_EQ(d->Poll(&f), FrameDecoder::PollResult::kFrame);
+  return f;
+}
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  Frame in{MsgType::kQuery, 42, "SELECT 1"};
+  std::string bytes = EncodeFrame(in);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + in.payload.size());
+  FrameDecoder d;
+  d.Feed(bytes);
+  Frame out = MustPoll(&d);
+  EXPECT_EQ(out.type, MsgType::kQuery);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.payload, "SELECT 1");
+  Frame extra;
+  EXPECT_EQ(d.Poll(&extra), FrameDecoder::PollResult::kNeedMore);
+}
+
+TEST(ProtocolTest, DecoderHandlesBytewiseDelivery) {
+  // A frame arriving one byte at a time must come out identical.
+  Frame in{MsgType::kPrepare, 7, "INSERT INTO t VALUES (?)"};
+  std::string bytes = EncodeFrame(in);
+  FrameDecoder d;
+  Frame out;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i + 1 < bytes.size()) {
+      EXPECT_EQ(d.Poll(&out), FrameDecoder::PollResult::kNeedMore) << i;
+    }
+    d.Feed(bytes.data() + i, 1);
+  }
+  out = MustPoll(&d);
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(ProtocolTest, DecoderYieldsPipelinedFrames) {
+  std::string bytes;
+  for (uint32_t seq = 1; seq <= 5; ++seq) {
+    AppendFrame(&bytes, Frame{MsgType::kPing, seq, ""});
+  }
+  FrameDecoder d;
+  d.Feed(bytes);
+  for (uint32_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_EQ(MustPoll(&d).seq, seq);
+  }
+  Frame f;
+  EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kNeedMore);
+}
+
+TEST(ProtocolTest, ZeroLengthPayloadFramesAreValid) {
+  // PING/PONG/BUSY legitimately carry no payload; the *server* rejects
+  // empty payloads for types that need one, not the decoder.
+  FrameDecoder d;
+  d.Feed(EncodeFrame(Frame{MsgType::kPing, 1, ""}));
+  EXPECT_EQ(MustPoll(&d).type, MsgType::kPing);
+}
+
+TEST(ProtocolTest, DecoderRejectsOversizedFrameFromHeaderAlone) {
+  // The hostile length is rejected as soon as the 9 header bytes arrive —
+  // no allocation proportional to the claimed length, no waiting for the
+  // (never-sent) payload.
+  FrameDecoder d(1024);
+  Frame huge{MsgType::kQuery, 1, std::string(2048, 'x')};
+  std::string bytes = EncodeFrame(huge);
+  d.Feed(bytes.data(), kFrameHeaderBytes);  // header only
+  Frame f;
+  EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kError);
+  EXPECT_FALSE(d.error().ok());
+  EXPECT_NE(d.error().message().find("frame limit"), std::string::npos);
+  // Poisoned: more bytes are dropped, every Poll errors.
+  d.Feed("garbage");
+  EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kError);
+  EXPECT_LE(d.buffered_bytes(), kFrameHeaderBytes);
+}
+
+TEST(ProtocolTest, DecoderRejectsUnknownType) {
+  std::string bytes = EncodeFrame(Frame{MsgType::kPing, 1, ""});
+  bytes[4] = 0x7F;  // not a request or response type
+  FrameDecoder d;
+  d.Feed(bytes);
+  Frame f;
+  EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kError);
+  EXPECT_NE(d.error().message().find("unknown frame type"), std::string::npos);
+}
+
+TEST(ProtocolTest, TruncatedFrameIsNeedMoreNotError) {
+  // A partial frame is not hostile — the rest may still arrive. (A peer
+  // that hangs up mid-frame is detected by the read returning EOF.)
+  Frame in{MsgType::kQuery, 3, "SELECT * FROM t"};
+  std::string bytes = EncodeFrame(in);
+  FrameDecoder d;
+  d.Feed(bytes.substr(0, bytes.size() - 4));
+  Frame f;
+  EXPECT_EQ(d.Poll(&f), FrameDecoder::PollResult::kNeedMore);
+  d.Feed(bytes.substr(bytes.size() - 4));
+  EXPECT_EQ(MustPoll(&d).payload, in.payload);
+}
+
+TEST(ProtocolTest, DecoderBufferStaysBoundedAcrossManyFrames) {
+  // The consumed prefix must be compacted away; a long-lived connection
+  // cannot grow the buffer without bound.
+  FrameDecoder d;
+  std::string one = EncodeFrame(Frame{MsgType::kQuery, 1, std::string(512, 'q')});
+  for (int i = 0; i < 1000; ++i) {
+    d.Feed(one);
+    Frame f;
+    ASSERT_EQ(d.Poll(&f), FrameDecoder::PollResult::kFrame);
+  }
+  EXPECT_LT(d.buffered_bytes() + one.size() * 2, one.size() * 8);
+}
+
+TEST(ProtocolTest, ValueRoundTrip) {
+  std::vector<rdb::Value> vals = {
+      rdb::Value::Null(),       rdb::Value(int64_t{-5}),
+      rdb::Value(int64_t{1} << 40), rdb::Value(3.25),
+      rdb::Value(std::string("hello \0 world", 13)),  // embedded NUL survives
+      rdb::Value(std::string()), rdb::Value(true),    rdb::Value(false),
+  };
+  std::string bytes;
+  for (const auto& v : vals) AppendValue(&bytes, v);
+  WireReader r(bytes);
+  for (const auto& v : vals) {
+    auto got = r.ReadValue();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got.value().is_null() ? v.is_null() : got.value() == v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ProtocolTest, ResultSetRoundTrip) {
+  rdb::QueryResult in;
+  in.affected = 3;
+  in.schema = rdb::Schema({{.name = "id", .type = rdb::DataType::kInt},
+                           {.name = "name", .type = rdb::DataType::kString},
+                           {.name = "score", .type = rdb::DataType::kDouble}});
+  in.rows.push_back({rdb::Value(int64_t{1}), rdb::Value("a"), rdb::Value(0.5)});
+  in.rows.push_back({rdb::Value(int64_t{2}), rdb::Value::Null(),
+                     rdb::Value(-1.0)});
+  rdb::QueryResult out;
+  ASSERT_TRUE(DecodeResultSet(EncodeResultSet(in), &out).ok());
+  EXPECT_EQ(out.affected, 3);
+  ASSERT_EQ(out.schema.size(), 3u);
+  EXPECT_EQ(out.schema.columns()[1].name, "name");
+  EXPECT_EQ(out.schema.columns()[2].type, rdb::DataType::kDouble);
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0][1].AsString(), "a");
+  EXPECT_TRUE(out.rows[1][1].is_null());
+  EXPECT_EQ(out.rows[1][0].AsInt(), 2);
+}
+
+TEST(ProtocolTest, EmptyResultSetRoundTrip) {
+  rdb::QueryResult in;
+  in.affected = 7;
+  rdb::QueryResult out;
+  ASSERT_TRUE(DecodeResultSet(EncodeResultSet(in), &out).ok());
+  EXPECT_EQ(out.affected, 7);
+  EXPECT_EQ(out.schema.size(), 0u);
+  EXPECT_TRUE(out.rows.empty());
+}
+
+TEST(ProtocolTest, ResultSetDecodeRejectsHostilePayloads) {
+  rdb::QueryResult scratch;
+  // Hostile column count: u32 max columns but almost no bytes behind it.
+  std::string p;
+  for (int i = 0; i < 8; ++i) p.push_back('\0');  // affected = 0
+  p += std::string("\xFF\xFF\xFF\xFF", 4);        // ncols = 2^32-1
+  EXPECT_FALSE(DecodeResultSet(p, &scratch).ok());
+  // Rows claimed without columns.
+  rdb::QueryResult empty;
+  std::string q = EncodeResultSet(empty);
+  q[q.size() - 4] = 5;  // nrows = 5, ncols = 0
+  EXPECT_FALSE(DecodeResultSet(q, &scratch).ok());
+  // Trailing bytes after a valid result set.
+  std::string r = EncodeResultSet(empty) + "x";
+  EXPECT_FALSE(DecodeResultSet(r, &scratch).ok());
+  // Truncation at every prefix must fail cleanly, never crash.
+  rdb::QueryResult full;
+  full.schema = rdb::Schema({{.name = "v", .type = rdb::DataType::kString}});
+  full.rows.push_back({rdb::Value("payload")});
+  std::string whole = EncodeResultSet(full);
+  for (size_t cut = 0; cut < whole.size(); ++cut) {
+    EXPECT_FALSE(DecodeResultSet(whole.substr(0, cut), &scratch).ok()) << cut;
+  }
+}
+
+TEST(ProtocolTest, ReadStringValidatesLengthBeforeAllocating) {
+  // length prefix says 100 MB; only 3 bytes follow.
+  std::string p("\x00\x00\x40\x06" "abc", 7);
+  WireReader r(p);
+  auto s = r.ReadString();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  Status in = Status::InvalidArgument("no such table 'phantom'");
+  Status out = DecodeError(EncodeError(in));
+  EXPECT_EQ(out.code(), in.code());
+  EXPECT_EQ(out.message(), in.message());
+  EXPECT_FALSE(DecodeError("").ok());  // empty payload decodes to an error too
+}
+
+TEST(ProtocolTest, PreparedRoundTrip) {
+  uint32_t id = 0, n = 0;
+  ASSERT_TRUE(DecodePrepared(EncodePrepared(9, 2), &id, &n).ok());
+  EXPECT_EQ(id, 9u);
+  EXPECT_EQ(n, 2u);
+  EXPECT_FALSE(DecodePrepared("\x01", &id, &n).ok());
+  EXPECT_FALSE(DecodePrepared(EncodePrepared(9, 2) + "x", &id, &n).ok());
+}
+
+TEST(ProtocolTest, ExecPreparedRoundTrip) {
+  std::vector<rdb::Value> params = {rdb::Value(int64_t{11}),
+                                    rdb::Value("bidder"), rdb::Value::Null()};
+  std::string bytes = EncodeExecPrepared(4, params);
+  uint32_t id = 0;
+  std::vector<rdb::Value> out;
+  ASSERT_TRUE(DecodeExecPrepared(bytes, &id, &out).ok());
+  EXPECT_EQ(id, 4u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].AsInt(), 11);
+  EXPECT_EQ(out[1].AsString(), "bidder");
+  EXPECT_TRUE(out[2].is_null());
+  // Hostile param count with no bytes behind it.
+  std::string hostile = EncodeExecPrepared(4, {});
+  hostile[4] = '\xFF';
+  hostile[5] = '\xFF';
+  EXPECT_FALSE(DecodeExecPrepared(hostile, &id, &out).ok());
+}
+
+TEST(ProtocolTest, XPathRequestRoundTrip) {
+  std::string bytes = EncodeXPathRequest(12, "dewey", "//item/name");
+  int64_t doc = 0;
+  std::string mapping, xpath;
+  ASSERT_TRUE(DecodeXPathRequest(bytes, &doc, &mapping, &xpath).ok());
+  EXPECT_EQ(doc, 12);
+  EXPECT_EQ(mapping, "dewey");
+  EXPECT_EQ(xpath, "//item/name");
+  // Empty mapping / empty path / short payloads are rejected.
+  EXPECT_FALSE(
+      DecodeXPathRequest(EncodeXPathRequest(1, "", "//a"), &doc, &mapping,
+                         &xpath)
+          .ok());
+  EXPECT_FALSE(
+      DecodeXPathRequest(EncodeXPathRequest(1, "edge", ""), &doc, &mapping,
+                         &xpath)
+          .ok());
+  EXPECT_FALSE(DecodeXPathRequest("\x01\x02", &doc, &mapping, &xpath).ok());
+  // Mapping-name length pointing past the payload.
+  std::string hostile = EncodeXPathRequest(1, "edge", "//a");
+  hostile[8] = '\xFF';
+  EXPECT_FALSE(DecodeXPathRequest(hostile, &doc, &mapping, &xpath).ok());
+}
+
+TEST(ProtocolTest, TypePredicates) {
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kQuery)));
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kXPath)));
+  EXPECT_FALSE(IsRequestType(0));
+  EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MsgType::kOkResult)));
+  EXPECT_TRUE(IsResponseType(static_cast<uint8_t>(MsgType::kBusy)));
+  EXPECT_FALSE(IsResponseType(static_cast<uint8_t>(MsgType::kPing)));
+  EXPECT_STREQ(MsgTypeName(MsgType::kExecPrepared), "EXEC_PREPARED");
+}
+
+}  // namespace
+}  // namespace xmlrdb::net

@@ -85,6 +85,37 @@ TEST(SaxTest, EntitiesAndCData) {
             (std::vector<std::string>{"<a", "#<x> & raw ", ">a"}));
 }
 
+TEST(SaxTest, CharacterReferencesRejectGarbage) {
+  // Regression: the char-ref path used strtol, which stops at the first
+  // non-digit byte — "&#12abc;" parsed as code point 12 instead of failing.
+  // This path is reachable from network payloads via the blob mapping, so
+  // it must follow the same strict discipline as parser.cc.
+  TraceHandler ok;
+  ASSERT_TRUE(xml::ParseSax("<a>&#65;&#x41;</a>", &ok).ok());
+  EXPECT_EQ(ok.trace(), (std::vector<std::string>{"<a", "#AA", ">a"}));
+  const char* bad[] = {
+      "<a>&#12abc;</a>",       // trailing garbage after digits
+      "<a>&#;</a>",            // no digits at all
+      "<a>&#x;</a>",           // hex marker without digits
+      "<a>&#xG1;</a>",         // non-hex digit
+      "<a>&#0;</a>",           // NUL is not a valid XML char
+      "<a>&#-5;</a>",          // sign is not a digit
+      "<a>&#1114112;</a>",     // one past U+10FFFF
+      "<a>&#x110000;</a>",     // same, hex spelling
+      "<a>&#99999999999999999999;</a>",  // overflow (used to clamp)
+      "<a>&#xD800;</a>",       // surrogate low bound
+      "<a>&#xDFFF;</a>",       // surrogate high bound
+      "<a b='&#12abc;'/>",     // same path via attribute values
+  };
+  for (const char* doc : bad) {
+    TraceHandler h;
+    EXPECT_FALSE(xml::ParseSax(doc, &h).ok()) << doc;
+  }
+  // Boundary values that must still be accepted.
+  TraceHandler h2;
+  EXPECT_TRUE(xml::ParseSax("<a>&#x10FFFF;&#xD7FF;&#xE000;</a>", &h2).ok());
+}
+
 TEST(SaxTest, ErrorsPropagate) {
   TraceHandler h;
   EXPECT_FALSE(xml::ParseSax("<a><b></a>", &h).ok());

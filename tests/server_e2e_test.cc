@@ -1,0 +1,433 @@
+// End-to-end tests through a real loopback socket: an ephemeral-port server
+// fronting a Database, exercised with the blocking client. The headline
+// test is differential — Q1–Q12 over the XMark document, on all six
+// mappings, answered through the wire must be byte-identical to the
+// embedded evaluator.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::net {
+namespace {
+
+/// One stored copy of the XMark document under a given mapping, with its
+/// own Database (each mapping owns its table namespace independently).
+struct StoredMapping {
+  std::unique_ptr<shred::Mapping> mapping;
+  std::unique_ptr<rdb::Database> db;
+  shred::DocId doc = 0;
+};
+
+/// Shared fixture: generate XMark once, store under all six mappings once,
+/// run one server for the whole suite. SetUpTestSuite keeps the cost to a
+/// single shred per mapping.
+class ServerE2ETest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = workload::GenerateXMark({}).release();
+    stored_ = new std::map<std::string, StoredMapping>();
+    for (const std::string& name : shred::GenericMappingNames()) {
+      auto m = shred::CreateMapping(name);
+      ASSERT_TRUE(m.ok()) << m.status();
+      AddStored(name, std::move(m.value()));
+    }
+    auto dtd = xml::ParseDtd(workload::XMarkDtd());
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    auto inline_m = shred::InlineMapping::Create(*dtd.value(), "site");
+    ASSERT_TRUE(inline_m.ok()) << inline_m.status();
+    AddStored("inline", std::move(inline_m.value()));
+
+    server_db_ = new rdb::Database();
+    ServerConfig cfg;
+    cfg.workers = 4;
+    server_ = new Server(server_db_, cfg);
+    server_->set_xpath_handler(
+        [](int64_t doc, const std::string& mapping,
+           const std::string& xpath) -> Result<std::vector<std::string>> {
+          auto it = stored_->find(mapping);
+          if (it == stored_->end()) {
+            return Status::InvalidArgument("unknown mapping '" + mapping +
+                                           "'");
+          }
+          ASSIGN_OR_RETURN(xpath::PathExpr path, xpath::ParseXPath(xpath));
+          (void)doc;
+          return shred::EvalPathStrings(path, it->second.mapping.get(),
+                                        it->second.db.get(), it->second.doc);
+        });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+    delete server_db_;
+    delete stored_;
+    delete doc_;
+    server_ = nullptr;
+    server_db_ = nullptr;
+    stored_ = nullptr;
+    doc_ = nullptr;
+  }
+
+  static void AddStored(const std::string& name,
+                        std::unique_ptr<shred::Mapping> mapping) {
+    StoredMapping s;
+    s.mapping = std::move(mapping);
+    s.db = std::make_unique<rdb::Database>();
+    ASSERT_TRUE(s.mapping->Initialize(s.db.get()).ok());
+    auto id = s.mapping->Store(*doc_, s.db.get());
+    ASSERT_TRUE(id.ok()) << name << ": " << id.status();
+    s.doc = id.value();
+    (*stored_)[name] = std::move(s);
+  }
+
+  static Client Connect() {
+    Client c;
+    Status st = c.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(st.ok()) << st;
+    return c;
+  }
+
+  /// Embedded-evaluator oracle for one (mapping, xpath) pair.
+  static std::vector<std::string> Embedded(const std::string& mapping,
+                                           const std::string& xpath) {
+    auto& s = stored_->at(mapping);
+    auto path = xpath::ParseXPath(xpath);
+    EXPECT_TRUE(path.ok()) << path.status();
+    auto vals =
+        shred::EvalPathStrings(path.value(), s.mapping.get(), s.db.get(),
+                               s.doc);
+    EXPECT_TRUE(vals.ok()) << mapping << ": " << vals.status();
+    return vals.ok() ? vals.value() : std::vector<std::string>{};
+  }
+
+  static xml::Document* doc_;
+  static std::map<std::string, StoredMapping>* stored_;
+  static rdb::Database* server_db_;
+  static Server* server_;
+};
+
+xml::Document* ServerE2ETest::doc_ = nullptr;
+std::map<std::string, StoredMapping>* ServerE2ETest::stored_ = nullptr;
+rdb::Database* ServerE2ETest::server_db_ = nullptr;
+Server* ServerE2ETest::server_ = nullptr;
+
+TEST_F(ServerE2ETest, PingRoundTrip) {
+  Client c = Connect();
+  EXPECT_TRUE(c.Ping().ok());
+  EXPECT_TRUE(c.Ping().ok());
+}
+
+TEST_F(ServerE2ETest, SqlOverTheWireMatchesEmbedded) {
+  Client c = Connect();
+  ASSERT_TRUE(
+      c.Query("CREATE TABLE kv (k INTEGER, v VARCHAR)").status().ok());
+  for (int i = 0; i < 10; ++i) {
+    auto r = c.Query("INSERT INTO kv VALUES (" + std::to_string(i) + ", 'v" +
+                     std::to_string(i) + "')");
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r.value().affected, 1);
+  }
+  auto wire = c.Query("SELECT k, v FROM kv WHERE k >= 5 ORDER BY k");
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  auto local = server_db_->Execute("SELECT k, v FROM kv WHERE k >= 5 ORDER BY k");
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(wire.value().rows.size(), local.value().rows.size());
+  for (size_t i = 0; i < wire.value().rows.size(); ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(wire.value().rows[i][j] == local.value().rows[i][j]);
+    }
+  }
+  ASSERT_TRUE(c.Query("DROP TABLE kv").status().ok());
+}
+
+TEST_F(ServerE2ETest, XMarkQueriesMatchEmbeddedOnAllSixMappings) {
+  Client c = Connect();
+  const auto queries = workload::AuctionQueries();
+  ASSERT_EQ(queries.size(), 12u);
+  for (const auto& [name, s] : *stored_) {
+    for (const auto& q : queries) {
+      auto wire = c.XPath(s.doc, name, q.xpath);
+      ASSERT_TRUE(wire.ok()) << name << "/" << q.id << ": " << wire.status();
+      // Byte-identical, including order: both sides run the same evaluator.
+      EXPECT_EQ(wire.value(), Embedded(name, q.xpath)) << name << "/" << q.id;
+    }
+  }
+}
+
+TEST_F(ServerE2ETest, PreparedStatementsOverTheWire) {
+  Client c = Connect();
+  ASSERT_TRUE(c.Query("CREATE TABLE nums (n INTEGER)").status().ok());
+  auto ins = c.Prepare("INSERT INTO nums VALUES (?)");
+  ASSERT_TRUE(ins.ok()) << ins.status();
+  EXPECT_EQ(ins.value().param_count, 1u);
+  for (int64_t i = 1; i <= 20; ++i) {
+    auto r = c.ExecPrepared(ins.value().stmt_id, {rdb::Value(i)});
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  auto sel = c.Prepare("SELECT n FROM nums WHERE n > ? ORDER BY n");
+  ASSERT_TRUE(sel.ok());
+  auto rows = c.ExecPrepared(sel.value().stmt_id, {rdb::Value(int64_t{17})});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows.value().rows.size(), 3u);
+  EXPECT_EQ(rows.value().rows[0][0].AsInt(), 18);
+  // Wrong arity is an execution error, not a connection killer.
+  EXPECT_FALSE(c.ExecPrepared(sel.value().stmt_id, {}).ok());
+  EXPECT_TRUE(c.Ping().ok());
+  // Close, then use-after-close is an error; unknown ids likewise.
+  ASSERT_TRUE(c.CloseStmt(sel.value().stmt_id).ok());
+  EXPECT_FALSE(
+      c.ExecPrepared(sel.value().stmt_id, {rdb::Value(int64_t{1})}).ok());
+  EXPECT_FALSE(c.ExecPrepared(9999, {}).ok());
+  EXPECT_TRUE(c.Ping().ok());
+  ASSERT_TRUE(c.Query("DROP TABLE nums").status().ok());
+}
+
+TEST_F(ServerE2ETest, PreparedStatementsHitThePlanCache) {
+  Client c = Connect();
+  ASSERT_TRUE(c.Query("CREATE TABLE pc (a INTEGER)").status().ok());
+  ASSERT_TRUE(c.Query("INSERT INTO pc VALUES (1)").status().ok());
+  // First Prepare populates the shared cache; every further Prepare of the
+  // same text — same connection or a different one — is a cache hit.
+  auto h = c.Prepare("SELECT a FROM pc WHERE a = ?");
+  ASSERT_TRUE(h.ok());
+  auto before = server_db_->plan_cache().stats();
+  Client c2 = Connect();
+  for (int i = 0; i < 4; ++i) {
+    auto again = (i % 2 == 0 ? c : c2).Prepare("SELECT a FROM pc WHERE a = ?");
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE(
+        c.ExecPrepared(h.value().stmt_id, {rdb::Value(int64_t{1})}).ok());
+  }
+  auto after = server_db_->plan_cache().stats();
+  EXPECT_GE(after.hits, before.hits + 4);
+  ASSERT_TRUE(c.Query("DROP TABLE pc").status().ok());
+}
+
+TEST_F(ServerE2ETest, ExecutionErrorsKeepTheConnectionAlive) {
+  Client c = Connect();
+  auto r = c.Query("SELECT nope FROM missing_table");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().message().empty());
+  // The connection survives execution errors...
+  EXPECT_TRUE(c.Ping().ok());
+  auto x = c.XPath(1, "no_such_mapping", "//a");
+  EXPECT_FALSE(x.ok());
+  auto bad_path = c.XPath(1, "edge", "//[[[");
+  EXPECT_FALSE(bad_path.ok());
+  EXPECT_TRUE(c.Ping().ok());
+  // ...and so does a well-framed request whose payload fails to decode:
+  // that is a statement error, not a frame-level violation. Raw frames so
+  // the client's automatic seq assignment stays out of the way.
+  Client raw = Connect();
+  ASSERT_TRUE(
+      raw.SendRaw(EncodeFrame(Frame{MsgType::kExecPrepared, 1, "xy"})).ok());
+  auto f = raw.ReadResponse();
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_EQ(f.value().type, MsgType::kError);
+  EXPECT_EQ(f.value().seq, 1u);
+  ASSERT_TRUE(raw.SendRaw(EncodeFrame(Frame{MsgType::kPing, 2, ""})).ok());
+  auto pong = raw.ReadResponse();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(pong.value().type, MsgType::kPong);
+}
+
+TEST_F(ServerE2ETest, ProtocolViolationsCloseTheConnection) {
+  struct Case {
+    const char* what;
+    std::string bytes;
+  };
+  std::vector<Case> cases;
+  // Oversized frame: header claims more than max_frame_bytes.
+  Frame big{MsgType::kQuery, 1, ""};
+  std::string oversized = EncodeFrame(big);
+  oversized[3] = '\x7F';  // length high byte -> ~2 GB
+  cases.push_back({"oversized", oversized});
+  // Unknown type byte.
+  std::string unknown = EncodeFrame(Frame{MsgType::kPing, 1, ""});
+  unknown[4] = '\x42';
+  cases.push_back({"unknown type", unknown});
+  // Response type sent as a request.
+  cases.push_back({"response type", EncodeFrame(Frame{MsgType::kPong, 1, ""})});
+  // Out-of-sequence seq (first request must be seq 1).
+  cases.push_back({"bad seq", EncodeFrame(Frame{MsgType::kPing, 99, ""})});
+  // Empty payload on a type that requires one.
+  cases.push_back({"empty query", EncodeFrame(Frame{MsgType::kQuery, 1, ""})});
+
+  for (const auto& kase : cases) {
+    Client c = Connect();
+    ASSERT_TRUE(c.SendRaw(kase.bytes).ok()) << kase.what;
+    // One ERROR response (when the violation is expressible as a frame),
+    // then EOF. ReadResponse eventually fails either way.
+    bool saw_error = false;
+    for (int i = 0; i < 2; ++i) {
+      auto f = c.ReadResponse();
+      if (!f.ok()) break;
+      EXPECT_EQ(f.value().type, MsgType::kError) << kase.what;
+      saw_error = true;
+      // The next read must hit EOF: the server closed after the write.
+      auto eof = c.ReadResponse();
+      EXPECT_FALSE(eof.ok()) << kase.what;
+      break;
+    }
+    (void)saw_error;
+  }
+  // Fresh connections still work afterwards.
+  Client ok = Connect();
+  EXPECT_TRUE(ok.Ping().ok());
+}
+
+TEST_F(ServerE2ETest, SessionsVirtualTableSeesTheServingSession) {
+  Client c = Connect();
+  auto r = c.Query("SELECT id, peer, state, statements FROM xmlrdb_sessions");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // At least the session running this very query, which must be active.
+  ASSERT_GE(r.value().rows.size(), 1u);
+  bool found_active = false;
+  for (const auto& row : r.value().rows) {
+    if (row[2].AsString() == "active") found_active = true;
+    EXPECT_NE(row[1].AsString().find("127.0.0.1"), std::string::npos);
+  }
+  EXPECT_TRUE(found_active);
+}
+
+TEST_F(ServerE2ETest, StatsCountTraffic) {
+  auto before = server_->stats();
+  Client c = Connect();
+  ASSERT_TRUE(c.Ping().ok());
+  auto r = c.Query("SELECT COUNT(*) FROM xmlrdb_tables");
+  ASSERT_TRUE(r.ok()) << r.status();
+  c.Close();
+  auto after = server_->stats();
+  EXPECT_GT(after.sessions_opened, before.sessions_opened);
+  EXPECT_GT(after.requests, before.requests);
+}
+
+// -- dedicated small servers for admission-control behaviour ---------------
+
+TEST(ServerAdmissionTest, PipelineOverflowIsShedWithBusy) {
+  rdb::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")").ok());
+  }
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_in_flight = 1;
+  cfg.session_queue_cap = 2;
+  Server server(&db, cfg);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Client c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+    // Blast a deep pipeline; with a queue cap of 2 most must be shed.
+    constexpr int kBurst = 64;
+    std::vector<uint32_t> seqs;
+    for (int i = 0; i < kBurst; ++i) {
+      auto s = c.SendQuery("SELECT COUNT(*) FROM t WHERE a >= 0");
+      ASSERT_TRUE(s.ok());
+      seqs.push_back(s.value());
+    }
+    int ok = 0, busy = 0;
+    std::vector<uint32_t> seen;
+    for (int i = 0; i < kBurst; ++i) {
+      auto f = c.ReadResponse();
+      ASSERT_TRUE(f.ok()) << f.status();
+      seen.push_back(f.value().seq);
+      if (Client::IsBusy(f.value())) {
+        ++busy;
+      } else {
+        ASSERT_EQ(f.value().type, MsgType::kOkResult);
+        ++ok;
+      }
+    }
+    EXPECT_EQ(ok + busy, kBurst);
+    EXPECT_GT(busy, 0) << "queue cap never shed load";
+    EXPECT_GT(ok, 0) << "everything was shed";
+    // Every request got exactly one response, matched by seq.
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, seqs);
+    // The connection is still healthy after shedding.
+    EXPECT_TRUE(c.Ping().ok());
+    EXPECT_GT(server.stats().busy_rejected, 0);
+  }
+  server.Stop();
+}
+
+TEST(ServerAdmissionTest, SessionCapRejectsExtraConnections) {
+  rdb::Database db;
+  ServerConfig cfg;
+  cfg.max_sessions = 1;
+  Server server(&db, cfg);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Client first;
+    ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(first.Ping().ok());
+    // Second connection is accepted at the TCP level, answered with one
+    // BUSY (seq 0) frame, and closed.
+    Client second;
+    ASSERT_TRUE(second.Connect("127.0.0.1", server.port()).ok());
+    auto f = second.ReadResponse();
+    ASSERT_TRUE(f.ok()) << f.status();
+    EXPECT_TRUE(Client::IsBusy(f.value()));
+    EXPECT_EQ(f.value().seq, 0u);
+    auto eof = second.ReadResponse();
+    EXPECT_FALSE(eof.ok());
+    // The first session is unaffected.
+    EXPECT_TRUE(first.Ping().ok());
+  }
+  server.Stop();
+}
+
+TEST(ServerLifecycleTest, StopIsIdempotentAndRestartableConfig) {
+  rdb::Database db;
+  Server server(&db, {});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  uint16_t port = server.port();
+  EXPECT_NE(port, 0);
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  // The session provider must be unregistered: the virtual table now
+  // reports no sessions instead of touching a dead server.
+  auto r = db.Execute("SELECT COUNT(*) FROM xmlrdb_sessions");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 0);
+}
+
+TEST(ServerLifecycleTest, StopWithIdleConnectionsDoesNotHang) {
+  rdb::Database db;
+  Server server(&db, {});
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<Client> idle(8);
+  for (auto& c : idle) {
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(c.Ping().ok());
+  }
+  server.Stop();  // must tear down the idle sockets and return
+  for (auto& c : idle) {
+    EXPECT_FALSE(c.Ping().ok());  // server side is gone
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::net
