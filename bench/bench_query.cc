@@ -6,6 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "rdb/batch.h"
 #include "xpath/xpath_ast.h"
 
 namespace xmlrdb::bench {
@@ -58,12 +59,71 @@ void BM_Query(benchmark::State& state, const std::string& mapping_name,
   }
 }
 
+// T3b — batch-size ablation: the full Q1–Q12 sweep per iteration with the
+// vectorized executor's batch size pinned to 256 / 1024 / 4096 rows.
+// Separates the vectorization win (row vs batch) from the cache-residency
+// sweet spot (batch size).
+void BM_QuerySweepAtBatchSize(benchmark::State& state,
+                              const std::string& mapping_name, int batch_size) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::vector<xpath::PathExpr> paths;
+  for (const auto& query : workload::AuctionQueries()) {
+    auto path = xpath::ParseXPath(query.xpath);
+    if (!path.ok()) {
+      state.SkipWithError(path.status().ToString().c_str());
+      return;
+    }
+    paths.push_back(std::move(path).value());
+  }
+  const int saved = rdb::DefaultBatchSize();
+  rdb::SetDefaultBatchSize(batch_size);
+  for (auto _ : state) {
+    for (const auto& path : paths) {
+      auto nodes = shred::EvalPath(path, sa->mapping.get(), sa->db.get(),
+                                   sa->doc_id);
+      if (!nodes.ok()) {
+        rdb::SetDefaultBatchSize(saved);
+        state.SkipWithError(nodes.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(nodes.value());
+    }
+  }
+  {
+    ScopedMetricsCapture capture;
+    for (const auto& path : paths) {
+      auto nodes = shred::EvalPath(path, sa->mapping.get(), sa->db.get(),
+                                   sa->doc_id);
+      benchmark::DoNotOptimize(nodes);
+    }
+    for (const auto& [name, value] : BenchCounterNames(capture.Delta())) {
+      state.counters[name] = static_cast<double>(value);
+    }
+  }
+  rdb::SetDefaultBatchSize(saved);
+  state.counters["batch_size"] = batch_size;
+}
+
 void RegisterAll() {
   for (const auto& query : workload::AuctionQueries()) {
     for (const std::string& name : AllMappingNames()) {
       benchmark::RegisterBenchmark(
           ("T3/" + query.id + "/" + name).c_str(),
           [name, query](benchmark::State& s) { BM_Query(s, name, query); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (int batch_size : {256, 1024, 4096}) {
+    for (const std::string& name : AllMappingNames()) {
+      benchmark::RegisterBenchmark(
+          ("T3b/batch" + std::to_string(batch_size) + "/" + name).c_str(),
+          [name, batch_size](benchmark::State& s) {
+            BM_QuerySweepAtBatchSize(s, name, batch_size);
+          })
           ->Unit(benchmark::kMillisecond);
     }
   }

@@ -71,6 +71,8 @@ inline std::map<std::string, int64_t> BenchCounterNames(
       out["plancache_invalidations"] = value;
     } else if (name == "exec.rows_scanned") {
       out["rows_scanned"] = value;
+    } else if (name == "exec.batches") {
+      out["batches"] = value;
     } else if (name.rfind("op.", 0) == 0) {
       std::string flat = "op_" + name.substr(3);
       for (char& c : flat) {

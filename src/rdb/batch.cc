@@ -1,0 +1,117 @@
+#include "rdb/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace xmlrdb::rdb {
+
+void Batch::Reset(size_t num_columns) {
+  if (cols_.size() != num_columns) {
+    cols_.resize(num_columns);
+  }
+  for (auto& col : cols_) col.clear();
+  num_rows_ = 0;
+  has_sel_ = false;
+  sel_.clear();
+  identity_.clear();
+}
+
+void Batch::AppendRow(const Row& row) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].push_back(c < row.size() ? row[c] : Value::Null());
+  }
+  ++num_rows_;
+}
+
+void Batch::AppendRowMove(Row&& row) {
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    cols_[c].push_back(c < row.size() ? std::move(row[c]) : Value::Null());
+  }
+  ++num_rows_;
+}
+
+void Batch::SetSelection(std::vector<uint32_t> sel) {
+  sel_ = std::move(sel);
+  has_sel_ = true;
+}
+
+void Batch::ClearSelection() {
+  has_sel_ = false;
+  sel_.clear();
+}
+
+const std::vector<uint32_t>& Batch::ActiveRids() const {
+  if (has_sel_) return sel_;
+  if (identity_.size() != num_rows_) {
+    identity_.resize(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      identity_[i] = static_cast<uint32_t>(i);
+    }
+  }
+  return identity_;
+}
+
+Row Batch::MaterializeRow(size_t physical_rid) const {
+  Row out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col[physical_rid]);
+  return out;
+}
+
+void Batch::AppendTo(std::vector<Row>* out) const {
+  for (uint32_t rid : ActiveRids()) out->push_back(MaterializeRow(rid));
+}
+
+namespace {
+
+constexpr int kMinBatchSize = 1;
+constexpr int kMaxBatchSize = 65536;
+
+int InitialBatchSize() {
+  if (const char* env = std::getenv("XMLRDB_BATCH_SIZE")) {
+    int v = std::atoi(env);
+    if (v > 0) return std::clamp(v, kMinBatchSize, kMaxBatchSize);
+  }
+  return 1024;
+}
+
+std::atomic<int>& BatchSizeVar() {
+  static std::atomic<int> size{InitialBatchSize()};
+  return size;
+}
+
+ExecMode InitialExecMode() {
+  if (const char* env = std::getenv("XMLRDB_EXEC_MODE")) {
+    std::string v = env;
+    if (v == "row") return ExecMode::kRow;
+  }
+  return ExecMode::kBatch;
+}
+
+std::atomic<ExecMode>& ExecModeVar() {
+  static std::atomic<ExecMode> mode{InitialExecMode()};
+  return mode;
+}
+
+}  // namespace
+
+int DefaultBatchSize() {
+  return BatchSizeVar().load(std::memory_order_relaxed);
+}
+
+void SetDefaultBatchSize(int n) {
+  BatchSizeVar().store(std::clamp(n, kMinBatchSize, kMaxBatchSize),
+                       std::memory_order_relaxed);
+}
+
+ExecMode DefaultExecMode() {
+  return ExecModeVar().load(std::memory_order_relaxed);
+}
+
+void SetDefaultExecMode(ExecMode mode) {
+  ExecModeVar().store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace xmlrdb::rdb

@@ -1,0 +1,107 @@
+// Column-oriented row batches for the vectorized executor.
+//
+// A Batch holds ~DefaultBatchSize() rows decomposed into per-column
+// std::vector<Value> arrays, plus an optional selection vector. Operators
+// that filter rows (Filter, Limit, Distinct, residual join predicates) do
+// not copy survivors out; they attach a selection vector of physical row
+// indices and leave the columns untouched. Consumers iterate ActiveRids()
+// — the selection when present, a cached identity vector otherwise — so a
+// chain of filters costs one index-vector rewrite per batch instead of one
+// Row copy per tuple.
+//
+// The executor mode and batch size are process-wide knobs: tests flip the
+// mode to byte-compare the batch path against the row path, and the batch
+// ablation benchmark sweeps the size (256/1024/4096).
+
+#ifndef XMLRDB_RDB_BATCH_H_
+#define XMLRDB_RDB_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdb/value.h"
+
+namespace xmlrdb::rdb {
+
+class Batch {
+ public:
+  Batch() = default;
+
+  /// Clears rows and selection and sets the column count. Column storage is
+  /// kept allocated so a pulling operator can reuse one Batch per lifetime.
+  void Reset(size_t num_columns);
+
+  size_t num_columns() const { return cols_.size(); }
+  /// Physical rows stored (ignores the selection vector).
+  size_t num_rows() const { return num_rows_; }
+  /// Rows visible through the selection vector (== num_rows() when none).
+  size_t ActiveCount() const { return has_sel_ ? sel_.size() : num_rows_; }
+
+  std::vector<Value>& column(size_t c) { return cols_[c]; }
+  const std::vector<Value>& column(size_t c) const { return cols_[c]; }
+  const Value& At(size_t c, size_t physical_rid) const {
+    return cols_[c][physical_rid];
+  }
+
+  /// Appends one row across all columns (the row-compat shim and small
+  /// operators use this; scans append column-wise directly).
+  void AppendRow(const Row& row);
+  void AppendRowMove(Row&& row);
+
+  /// Declares the physical row count after direct column writes. Every
+  /// column must hold exactly `n` values.
+  void SetNumRows(size_t n) { num_rows_ = n; }
+
+  bool has_selection() const { return has_sel_; }
+  /// Replaces the selection vector; indices must be physical rids in
+  /// ascending output order.
+  void SetSelection(std::vector<uint32_t> sel);
+  void ClearSelection();
+
+  /// Physical rids of the active rows, in output order. Without a selection
+  /// this is a lazily built (and cached) identity vector.
+  const std::vector<uint32_t>& ActiveRids() const;
+
+  /// Copies one physical row out, column by column.
+  Row MaterializeRow(size_t physical_rid) const;
+
+  /// Appends all active rows to `out` in output order.
+  void AppendTo(std::vector<Row>* out) const;
+
+ private:
+  std::vector<std::vector<Value>> cols_;
+  size_t num_rows_ = 0;
+  bool has_sel_ = false;
+  std::vector<uint32_t> sel_;
+  mutable std::vector<uint32_t> identity_;  ///< cache backing ActiveRids()
+};
+
+/// Target rows per batch (default 1024; initial value overridable via the
+/// XMLRDB_BATCH_SIZE environment variable). Clamped to [1, 65536].
+int DefaultBatchSize();
+void SetDefaultBatchSize(int n);
+
+/// Which executor drains plans. kBatch is the default; the row path is kept
+/// for differential testing (XMLRDB_EXEC_MODE=row selects it at startup).
+enum class ExecMode { kRow, kBatch };
+
+ExecMode DefaultExecMode();
+void SetDefaultExecMode(ExecMode mode);
+
+/// RAII mode switch for tests.
+class ScopedExecMode {
+ public:
+  explicit ScopedExecMode(ExecMode mode) : prev_(DefaultExecMode()) {
+    SetDefaultExecMode(mode);
+  }
+  ~ScopedExecMode() { SetDefaultExecMode(prev_); }
+  ScopedExecMode(const ScopedExecMode&) = delete;
+  ScopedExecMode& operator=(const ScopedExecMode&) = delete;
+
+ private:
+  ExecMode prev_;
+};
+
+}  // namespace xmlrdb::rdb
+
+#endif  // XMLRDB_RDB_BATCH_H_

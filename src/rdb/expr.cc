@@ -1,8 +1,10 @@
 #include "rdb/expr.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/str_util.h"
+#include "rdb/batch.h"
 
 namespace xmlrdb::rdb {
 
@@ -25,12 +27,57 @@ const char* BinOpName(BinOp op) {
   return "?";
 }
 
+namespace {
+
+/// Predicate coercion for non-NULL values (shared by EvalBool, FilterBatch
+/// and the AND/OR logic): bool as-is, int != 0, anything else a TypeError.
+Status CoerceBool(const Value& v, bool* out) {
+  if (v.type() == DataType::kBool) {
+    *out = v.AsBool();
+    return Status::OK();
+  }
+  if (v.type() == DataType::kInt) {
+    *out = v.AsInt() != 0;
+    return Status::OK();
+  }
+  return Status::TypeError("predicate evaluated to non-boolean " + v.ToString());
+}
+
+}  // namespace
+
 Result<bool> Expr::EvalBool(const Row& row) const {
   ASSIGN_OR_RETURN(Value v, Eval(row));
   if (v.is_null()) return false;
-  if (v.type() == DataType::kBool) return v.AsBool();
-  if (v.type() == DataType::kInt) return v.AsInt() != 0;
-  return Status::TypeError("predicate evaluated to non-boolean " + v.ToString());
+  bool b = false;
+  RETURN_IF_ERROR(CoerceBool(v, &b));
+  return b;
+}
+
+Status Expr::EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                       std::vector<Value>* out) const {
+  // Row-compat shim: operators and expression kinds that have no vectorized
+  // form fall back to per-row evaluation over materialized rows.
+  out->clear();
+  out->reserve(rids.size());
+  for (uint32_t rid : rids) {
+    Row scratch = batch.MaterializeRow(rid);
+    ASSIGN_OR_RETURN(Value v, Eval(scratch));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status Expr::FilterBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                         std::vector<uint32_t>* sel_out) const {
+  std::vector<Value> vals;
+  RETURN_IF_ERROR(EvalBatch(batch, rids, &vals));
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (vals[i].is_null()) continue;  // NULL = no match, like EvalBool
+    bool b = false;
+    RETURN_IF_ERROR(CoerceBool(vals[i], &b));
+    if (b) sel_out->push_back(rids[i]);
+  }
+  return Status::OK();
 }
 
 Status ColumnExpr::Bind(const Schema& schema) {
@@ -45,6 +92,36 @@ Result<Value> ColumnExpr::Eval(const Row& row) const {
     return Status::Internal("column index out of range for '" + name_ + "'");
   }
   return row[index_];
+}
+
+Status ColumnExpr::EvalBatch(const Batch& batch,
+                             const std::vector<uint32_t>& rids,
+                             std::vector<Value>* out) const {
+  if (!bound_) return Status::Internal("unbound column '" + name_ + "'");
+  if (index_ >= batch.num_columns()) {
+    return Status::Internal("column index out of range for '" + name_ + "'");
+  }
+  const std::vector<Value>& col = batch.column(index_);
+  out->clear();
+  out->reserve(rids.size());
+  for (uint32_t rid : rids) out->push_back(col[rid]);
+  return Status::OK();
+}
+
+Status LiteralExpr::EvalBatch(const Batch&, const std::vector<uint32_t>& rids,
+                              std::vector<Value>* out) const {
+  out->assign(rids.size(), value_);
+  return Status::OK();
+}
+
+Status ParamExpr::EvalBatch(const Batch&, const std::vector<uint32_t>& rids,
+                            std::vector<Value>* out) const {
+  if (block_ == nullptr || index_ >= block_->size()) {
+    return Status::Internal("parameter " + std::to_string(index_ + 1) +
+                            " not bound");
+  }
+  out->assign(rids.size(), (*block_)[index_]);
+  return Status::OK();
 }
 
 std::string LiteralExpr::ToString() const {
@@ -122,44 +199,128 @@ Result<Value> EvalArithmetic(BinOp op, const Value& l, const Value& r) {
   return Status::Internal("unhandled arithmetic op");
 }
 
+/// SQL comparison with NULL propagation. Numeric-vs-string comparisons
+/// attempt a numeric parse of the string so predicates like value > 100 work
+/// against string-typed value columns (common in edge/binary shredded
+/// tables); unparsable strings never match.
+Result<Value> EvalComparison(BinOp op, Value l, Value r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if ((l.type() == DataType::kString) != (r.type() == DataType::kString)) {
+    const Value& sv = l.type() == DataType::kString ? l : r;
+    auto parsed = ParseDouble(sv.AsString());
+    if (!parsed.ok()) return Value(false);
+    Value num(parsed.value());
+    if (l.type() == DataType::kString) l = num; else r = num;
+  }
+  int c = l.Compare(r);
+  switch (op) {
+    case BinOp::kEq: return Value(c == 0);
+    case BinOp::kNe: return Value(c != 0);
+    case BinOp::kLt: return Value(c < 0);
+    case BinOp::kLe: return Value(c <= 0);
+    case BinOp::kGt: return Value(c > 0);
+    case BinOp::kGe: return Value(c >= 0);
+    default: break;
+  }
+  return Status::Internal("unhandled comparison op");
+}
+
+/// Tri-state predicate operand: unset = NULL.
+Result<std::optional<bool>> TriBool(const Value& v) {
+  if (v.is_null()) return std::optional<bool>();
+  bool b = false;
+  RETURN_IF_ERROR(CoerceBool(v, &b));
+  return std::optional<bool>(b);
+}
+
+/// Kleene AND/OR over tri-state operands (both already evaluated).
+Value CombineLogic(BinOp op, std::optional<bool> l, std::optional<bool> r) {
+  if (op == BinOp::kAnd) {
+    if (l == false || r == false) return Value(false);
+    if (!l.has_value() || !r.has_value()) return Value::Null();
+    return Value(true);
+  }
+  if (l == true || r == true) return Value(true);
+  if (!l.has_value() || !r.has_value()) return Value::Null();
+  return Value(false);
+}
+
 }  // namespace
 
 Result<Value> BinaryExpr::Eval(const Row& row) const {
   if (op_ == BinOp::kAnd || op_ == BinOp::kOr) {
-    // Short-circuit.
-    ASSIGN_OR_RETURN(bool l, left_->EvalBool(row));
-    if (op_ == BinOp::kAnd && !l) return Value(false);
-    if (op_ == BinOp::kOr && l) return Value(true);
-    ASSIGN_OR_RETURN(bool r, right_->EvalBool(row));
-    return Value(r);
+    // Three-valued logic with short-circuit: FALSE absorbs AND, TRUE absorbs
+    // OR (the right side is not evaluated, preserving error semantics); NULL
+    // propagates otherwise.
+    ASSIGN_OR_RETURN(Value lv, left_->Eval(row));
+    ASSIGN_OR_RETURN(std::optional<bool> l, TriBool(lv));
+    if (op_ == BinOp::kAnd && l == false) return Value(false);
+    if (op_ == BinOp::kOr && l == true) return Value(true);
+    ASSIGN_OR_RETURN(Value rv, right_->Eval(row));
+    ASSIGN_OR_RETURN(std::optional<bool> r, TriBool(rv));
+    return CombineLogic(op_, l, r);
   }
   ASSIGN_OR_RETURN(Value l, left_->Eval(row));
   ASSIGN_OR_RETURN(Value r, right_->Eval(row));
   if (IsComparison(op_)) {
-    if (l.is_null() || r.is_null()) return Value(false);
-    // Numeric-vs-string comparisons attempt a numeric parse of the string so
-    // predicates like value > 100 work against string-typed value columns
-    // (common in edge/binary shredded tables).
-    if ((l.type() == DataType::kString) !=
-        (r.type() == DataType::kString)) {
-      const Value& sv = l.type() == DataType::kString ? l : r;
-      auto parsed = ParseDouble(sv.AsString());
-      if (!parsed.ok()) return Value(false);
-      Value num(parsed.value());
-      if (l.type() == DataType::kString) l = num; else r = num;
-    }
-    int c = l.Compare(r);
-    switch (op_) {
-      case BinOp::kEq: return Value(c == 0);
-      case BinOp::kNe: return Value(c != 0);
-      case BinOp::kLt: return Value(c < 0);
-      case BinOp::kLe: return Value(c <= 0);
-      case BinOp::kGt: return Value(c > 0);
-      case BinOp::kGe: return Value(c >= 0);
-      default: break;
-    }
+    return EvalComparison(op_, std::move(l), std::move(r));
   }
   return EvalArithmetic(op_, l, r);
+}
+
+Status BinaryExpr::EvalBatch(const Batch& batch,
+                             const std::vector<uint32_t>& rids,
+                             std::vector<Value>* out) const {
+  if (op_ == BinOp::kAnd || op_ == BinOp::kOr) {
+    // Vectorized short-circuit: evaluate the left side for every row, then
+    // the right side only over the rows the left did not decide — the same
+    // rows the row-at-a-time path would evaluate it on.
+    std::vector<Value> lv;
+    RETURN_IF_ERROR(left_->EvalBatch(batch, rids, &lv));
+    out->assign(rids.size(), Value::Null());
+    std::vector<uint32_t> pending_rids;
+    std::vector<size_t> pending_pos;
+    std::vector<std::optional<bool>> pending_l;
+    for (size_t i = 0; i < rids.size(); ++i) {
+      ASSIGN_OR_RETURN(std::optional<bool> l, TriBool(lv[i]));
+      if (op_ == BinOp::kAnd && l == false) {
+        (*out)[i] = Value(false);
+      } else if (op_ == BinOp::kOr && l == true) {
+        (*out)[i] = Value(true);
+      } else {
+        pending_rids.push_back(rids[i]);
+        pending_pos.push_back(i);
+        pending_l.push_back(l);
+      }
+    }
+    if (!pending_rids.empty()) {
+      std::vector<Value> rv;
+      RETURN_IF_ERROR(right_->EvalBatch(batch, pending_rids, &rv));
+      for (size_t j = 0; j < pending_rids.size(); ++j) {
+        ASSIGN_OR_RETURN(std::optional<bool> r, TriBool(rv[j]));
+        (*out)[pending_pos[j]] = CombineLogic(op_, pending_l[j], r);
+      }
+    }
+    return Status::OK();
+  }
+  std::vector<Value> lv, rv;
+  RETURN_IF_ERROR(left_->EvalBatch(batch, rids, &lv));
+  RETURN_IF_ERROR(right_->EvalBatch(batch, rids, &rv));
+  out->clear();
+  out->reserve(rids.size());
+  if (IsComparison(op_)) {
+    for (size_t i = 0; i < rids.size(); ++i) {
+      ASSIGN_OR_RETURN(Value v,
+                       EvalComparison(op_, std::move(lv[i]), std::move(rv[i])));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < rids.size(); ++i) {
+    ASSIGN_OR_RETURN(Value v, EvalArithmetic(op_, lv[i], rv[i]));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
 }
 
 std::string BinaryExpr::ToString() const {
@@ -168,13 +329,49 @@ std::string BinaryExpr::ToString() const {
 }
 
 Result<Value> NotExpr::Eval(const Row& row) const {
-  ASSIGN_OR_RETURN(bool v, child_->EvalBool(row));
-  return Value(!v);
+  // NOT NULL is NULL: collapsing NULL to false here would make
+  // NOT (x LIKE p) true for NULL x.
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  if (v.is_null()) return Value::Null();
+  bool b = false;
+  RETURN_IF_ERROR(CoerceBool(v, &b));
+  return Value(!b);
+}
+
+Status NotExpr::EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                          std::vector<Value>* out) const {
+  std::vector<Value> vals;
+  RETURN_IF_ERROR(child_->EvalBatch(batch, rids, &vals));
+  out->clear();
+  out->reserve(rids.size());
+  for (const Value& v : vals) {
+    if (v.is_null()) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    bool b = false;
+    RETURN_IF_ERROR(CoerceBool(v, &b));
+    out->push_back(Value(!b));
+  }
+  return Status::OK();
 }
 
 Result<Value> IsNullExpr::Eval(const Row& row) const {
   ASSIGN_OR_RETURN(Value v, child_->Eval(row));
   return Value(negated_ ? !v.is_null() : v.is_null());
+}
+
+Status IsNullExpr::EvalBatch(const Batch& batch,
+                             const std::vector<uint32_t>& rids,
+                             std::vector<Value>* out) const {
+  std::vector<Value> vals;
+  RETURN_IF_ERROR(child_->EvalBatch(batch, rids, &vals));
+  out->clear();
+  out->reserve(rids.size());
+  for (const Value& v : vals) {
+    out->push_back(Value(negated_ ? !v.is_null() : v.is_null()));
+  }
+  return Status::OK();
 }
 
 bool LikeExpr::Match(const std::string& text, const std::string& pattern) {
@@ -199,27 +396,73 @@ bool LikeExpr::Match(const std::string& text, const std::string& pattern) {
   return p == pattern.size();
 }
 
-Result<Value> LikeExpr::Eval(const Row& row) const {
-  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
-  if (v.is_null()) return Value(false);
+namespace {
+
+/// Shared LIKE semantics: NULL input yields NULL (SQL), so NOT (x LIKE p)
+/// is NULL — not true — for NULL x.
+Result<Value> LikeOne(const Value& v, const std::string& pattern) {
+  if (v.is_null()) return Value::Null();
   if (v.type() != DataType::kString) {
     return Status::TypeError("LIKE applied to " +
                              std::string(DataTypeName(v.type())));
   }
-  return Value(Match(v.AsString(), pattern_));
+  return Value(LikeExpr::Match(v.AsString(), pattern));
+}
+
+}  // namespace
+
+Result<Value> LikeExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  return LikeOne(v, pattern_);
+}
+
+Status LikeExpr::EvalBatch(const Batch& batch,
+                           const std::vector<uint32_t>& rids,
+                           std::vector<Value>* out) const {
+  std::vector<Value> vals;
+  RETURN_IF_ERROR(child_->EvalBatch(batch, rids, &vals));
+  out->clear();
+  out->reserve(rids.size());
+  for (const Value& v : vals) {
+    ASSIGN_OR_RETURN(Value m, LikeOne(v, pattern_));
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
 }
 
 std::string LikeExpr::ToString() const {
   return child_->ToString() + " LIKE " + SqlQuote(pattern_);
 }
 
-Result<Value> InListExpr::Eval(const Row& row) const {
-  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
-  if (v.is_null()) return Value(false);
-  for (const Value& cand : values_) {
-    if (v.Compare(cand) == 0) return Value(true);
+namespace {
+
+/// Shared IN semantics: NULL input yields NULL; NULL list entries never
+/// match (SQL equality), they don't make the result NULL — the planner only
+/// builds literal lists, which are non-NULL in practice.
+Value InListOne(const Value& v, const std::vector<Value>& values) {
+  if (v.is_null()) return Value::Null();
+  for (const Value& cand : values) {
+    if (!cand.is_null() && v.Compare(cand) == 0) return Value(true);
   }
   return Value(false);
+}
+
+}  // namespace
+
+Result<Value> InListExpr::Eval(const Row& row) const {
+  ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  return InListOne(v, values_);
+}
+
+Status InListExpr::EvalBatch(const Batch& batch,
+                             const std::vector<uint32_t>& rids,
+                             std::vector<Value>* out) const {
+  std::vector<Value> vals;
+  RETURN_IF_ERROR(child_->EvalBatch(batch, rids, &vals));
+  out->clear();
+  out->reserve(rids.size());
+  for (const Value& v : vals) out->push_back(InListOne(v, values_));
+  return Status::OK();
 }
 
 std::string InListExpr::ToString() const {

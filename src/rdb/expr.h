@@ -1,9 +1,13 @@
-// Scalar expressions evaluated against rows.
+// Scalar expressions evaluated against rows or column batches.
 //
 // Expressions are built by the SQL parser (or programmatically by the XPath
 // translators), bound once against an input schema (resolving column names to
-// positions), and then evaluated per row. Comparison with NULL yields false
-// (two-valued logic), matching what the shredding translators need.
+// positions), and then evaluated per row (Eval) or over a column batch
+// (EvalBatch, used by the vectorized executor; both paths produce identical
+// values). Predicates follow SQL three-valued logic internally — comparisons,
+// LIKE, IN and NOT propagate NULL, AND/OR short-circuit with NULL absorption
+// — and collapse to two-valued logic only at the EvalBool boundary, where
+// NULL means "no match".
 
 #ifndef XMLRDB_RDB_EXPR_H_
 #define XMLRDB_RDB_EXPR_H_
@@ -17,6 +21,8 @@
 #include "rdb/value.h"
 
 namespace xmlrdb::rdb {
+
+class Batch;
 
 enum class BinOp {
   kEq, kNe, kLt, kLe, kGt, kGe,            // comparisons
@@ -40,6 +46,15 @@ class Expr {
 
   virtual Result<Value> Eval(const Row& row) const = 0;
 
+  /// Vectorized evaluation: computes this expression for each physical row
+  /// index in `rids` of `batch`, writing exactly rids.size() values into
+  /// *out (cleared first). Column/literal/comparison/LIKE nodes override
+  /// this with tight per-column loops; the base implementation is a
+  /// row-compat shim that materializes each row and calls Eval.
+  virtual Status EvalBatch(const Batch& batch,
+                           const std::vector<uint32_t>& rids,
+                           std::vector<Value>* out) const;
+
   virtual std::unique_ptr<Expr> Clone() const = 0;
 
   virtual std::string ToString() const = 0;
@@ -47,8 +62,14 @@ class Expr {
   /// Appends the names of all referenced columns.
   virtual void CollectColumns(std::vector<std::string>* out) const = 0;
 
-  /// Convenience: evaluate and coerce to a predicate outcome.
+  /// Convenience: evaluate and coerce to a predicate outcome (NULL = false).
   Result<bool> EvalBool(const Row& row) const;
+
+  /// Batch predicate evaluation: appends to *sel_out the rids (in order)
+  /// where this expression is true. NULL and false drop the row; non-boolean
+  /// results are a TypeError, mirroring EvalBool.
+  Status FilterBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                     std::vector<uint32_t>* sel_out) const;
 
  protected:
   explicit Expr(Kind kind) : kind_(kind) {}
@@ -69,6 +90,8 @@ class ColumnExpr : public Expr {
 
   Status Bind(const Schema& schema) override;
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
   std::string ToString() const override { return name_; }
   void CollectColumns(std::vector<std::string>* out) const override {
@@ -89,6 +112,8 @@ class LiteralExpr : public Expr {
 
   Status Bind(const Schema&) override { return Status::OK(); }
   Result<Value> Eval(const Row&) const override { return value_; }
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value_); }
   std::string ToString() const override;
   void CollectColumns(std::vector<std::string>*) const override {}
@@ -110,6 +135,8 @@ class ParamExpr : public Expr {
 
   Status Bind(const Schema&) override { return Status::OK(); }
   Result<Value> Eval(const Row&) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<ParamExpr>(index_, block_);
   }
@@ -137,6 +164,8 @@ class BinaryExpr : public Expr {
 
   Status Bind(const Schema& schema) override;
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
   }
@@ -161,6 +190,8 @@ class NotExpr : public Expr {
 
   Status Bind(const Schema& schema) override { return child_->Bind(schema); }
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<NotExpr>(child_->Clone());
   }
@@ -186,6 +217,8 @@ class IsNullExpr : public Expr {
 
   Status Bind(const Schema& schema) override { return child_->Bind(schema); }
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<IsNullExpr>(child_->Clone(), negated_);
   }
@@ -214,6 +247,8 @@ class LikeExpr : public Expr {
 
   Status Bind(const Schema& schema) override { return child_->Bind(schema); }
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<LikeExpr>(child_->Clone(), pattern_);
   }
@@ -243,6 +278,8 @@ class InListExpr : public Expr {
 
   Status Bind(const Schema& schema) override { return child_->Bind(schema); }
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& rids,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override {
     return std::make_unique<InListExpr>(child_->Clone(), values_);
   }

@@ -66,16 +66,19 @@ void ExplainRec(const PlanNode& n, int depth, bool analyze, std::string* out) {
   out->append(n.Describe());
   if (analyze) {
     const OperatorStats& s = n.stats();
-    char buf[128];
+    char buf[160];
     if (n.analyze_enabled()) {
       std::snprintf(buf, sizeof(buf),
-                    "  (actual rows=%lld calls=%lld time=%.3fms)",
+                    "  (actual rows=%lld batches=%lld calls=%lld time=%.3fms)",
                     static_cast<long long>(s.rows),
+                    static_cast<long long>(s.batches),
                     static_cast<long long>(s.next_calls),
                     static_cast<double>(s.open_ns + s.next_ns) / 1e6);
     } else {
-      std::snprintf(buf, sizeof(buf), "  (actual rows=%lld calls=%lld)",
+      std::snprintf(buf, sizeof(buf),
+                    "  (actual rows=%lld batches=%lld calls=%lld)",
                     static_cast<long long>(s.rows),
+                    static_cast<long long>(s.batches),
                     static_cast<long long>(s.next_calls));
     }
     out->append(buf);
@@ -107,6 +110,41 @@ Result<bool> PlanNode::Next(Row* out) {
   stats_.next_ns += NowNs() - t0;
   if (r.ok() && r.value()) ++stats_.rows;
   return r;
+}
+
+Result<bool> PlanNode::NextBatch(Batch* out) {
+  if (!analyze_) {
+    Result<bool> r = NextBatchImpl(out);
+    if (r.ok() && r.value()) {
+      ++stats_.batches;
+      stats_.rows += static_cast<int64_t>(out->ActiveCount());
+    }
+    return r;
+  }
+  int64_t t0 = NowNs();
+  Result<bool> r = NextBatchImpl(out);
+  stats_.next_ns += NowNs() - t0;
+  if (r.ok() && r.value()) {
+    ++stats_.batches;
+    stats_.rows += static_cast<int64_t>(out->ActiveCount());
+  }
+  return r;
+}
+
+Result<bool> PlanNode::NextBatchImpl(Batch* out) {
+  // Row-compat shim: pull through the operator's own row path. NextImpl is
+  // called directly (not Next) so produced rows are counted once, by the
+  // NextBatch wrapper; next_calls still tracks the pulls.
+  out->Reset(output_schema().size());
+  const size_t target = static_cast<size_t>(DefaultBatchSize());
+  Row row;
+  while (out->num_rows() < target) {
+    ++stats_.next_calls;
+    ASSIGN_OR_RETURN(bool more, NextImpl(&row));
+    if (!more) break;
+    out->AppendRowMove(std::move(row));
+  }
+  return out->num_rows() > 0;
 }
 
 void PlanNode::Close() { CloseImpl(); }
@@ -153,15 +191,28 @@ int PlanNode::CountOperators(const std::string& prefix) const {
 Result<std::vector<Row>> ExecutePlan(PlanNode* plan) {
   RETURN_IF_ERROR(plan->Open());
   std::vector<Row> out;
-  Row row;
-  while (true) {
-    auto more = plan->Next(&row);
-    if (!more.ok()) {
-      plan->Close();
-      return more.status();
+  if (DefaultExecMode() == ExecMode::kBatch) {
+    Batch batch;
+    while (true) {
+      auto more = plan->NextBatch(&batch);
+      if (!more.ok()) {
+        plan->Close();
+        return more.status();
+      }
+      if (!more.value()) break;
+      batch.AppendTo(&out);
     }
-    if (!more.value()) break;
-    out.push_back(row);
+  } else {
+    Row row;
+    while (true) {
+      auto more = plan->Next(&row);
+      if (!more.ok()) {
+        plan->Close();
+        return more.status();
+      }
+      if (!more.value()) break;
+      out.push_back(row);
+    }
   }
   plan->Close();
   return out;
@@ -174,6 +225,10 @@ void FlushPlanMetrics(const PlanNode& plan) {
   const OperatorStats& s = plan.stats();
   reg.Add("op." + op + ".rows", s.rows);
   reg.Add("op." + op + ".next_calls", s.next_calls);
+  if (s.batches > 0) {
+    reg.Add("op." + op + ".batches", s.batches);
+    reg.Add("exec.batches", s.batches);
+  }
   if (plan.analyze_enabled()) {
     reg.Add("op." + op + ".time_ns", s.open_ns + s.next_ns);
     reg.RecordLatency("op." + op + ".time_us", (s.open_ns + s.next_ns) / 1000);
@@ -207,6 +262,23 @@ Result<bool> SeqScanNode::NextImpl(Row* out) {
     }
   }
   return false;
+}
+
+Result<bool> SeqScanNode::NextBatchImpl(Batch* out) {
+  const size_t ncols = schema_.size();
+  out->Reset(ncols);
+  const size_t target = static_cast<size_t>(DefaultBatchSize());
+  const size_t slots = table_->num_slots();
+  size_t produced = 0;
+  while (next_ < slots && produced < target) {
+    RowId rid = next_++;
+    if (!table_->IsLive(rid)) continue;
+    const Row& r = table_->row(rid);
+    for (size_t c = 0; c < ncols; ++c) out->column(c).push_back(r[c]);
+    ++produced;
+  }
+  out->SetNumRows(produced);
+  return produced > 0;
 }
 
 std::string SeqScanNode::Describe() const {
@@ -282,6 +354,22 @@ Result<bool> ParallelSeqScanNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = std::move(rows_[pos_++]);
   return true;
+}
+
+Result<bool> ParallelSeqScanNode::NextBatchImpl(Batch* out) {
+  const size_t ncols = schema_.size();
+  out->Reset(ncols);
+  const size_t target = static_cast<size_t>(DefaultBatchSize());
+  size_t produced = 0;
+  while (pos_ < rows_.size() && produced < target) {
+    Row& r = rows_[pos_++];
+    for (size_t c = 0; c < ncols; ++c) {
+      out->column(c).push_back(std::move(r[c]));
+    }
+    ++produced;
+  }
+  out->SetNumRows(produced);
+  return produced > 0;
 }
 
 void ParallelSeqScanNode::CloseImpl() {
@@ -373,6 +461,22 @@ Result<bool> IndexScanNode::NextImpl(Row* out) {
   return false;
 }
 
+Result<bool> IndexScanNode::NextBatchImpl(Batch* out) {
+  const size_t ncols = schema_.size();
+  out->Reset(ncols);
+  const size_t target = static_cast<size_t>(DefaultBatchSize());
+  size_t produced = 0;
+  while (pos_ < rids_.size() && produced < target) {
+    RowId rid = rids_[pos_++];
+    if (!table_->IsLive(rid)) continue;
+    const Row& r = table_->row(rid);
+    for (size_t c = 0; c < ncols; ++c) out->column(c).push_back(r[c]);
+    ++produced;
+  }
+  out->SetNumRows(produced);
+  return produced > 0;
+}
+
 void IndexScanNode::CloseImpl() { rids_.clear(); }
 
 std::string IndexScanNode::Describe() const {
@@ -426,6 +530,18 @@ Result<bool> FilterNode::NextImpl(Row* out) {
   }
 }
 
+Result<bool> FilterNode::NextBatchImpl(Batch* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    std::vector<uint32_t> sel;
+    RETURN_IF_ERROR(predicate_->FilterBatch(*out, out->ActiveRids(), &sel));
+    if (sel.empty()) continue;  // fully filtered; pull the next batch
+    out->SetSelection(std::move(sel));
+    return true;
+  }
+}
+
 std::string FilterNode::Describe() const {
   return "Filter(" + predicate_->ToString() + ")";
 }
@@ -473,6 +589,18 @@ Result<bool> ProjectNode::NextImpl(Row* out) {
     ASSIGN_OR_RETURN(Value v, e->Eval(in));
     out->push_back(std::move(v));
   }
+  return true;
+}
+
+Result<bool> ProjectNode::NextBatchImpl(Batch* out) {
+  ASSIGN_OR_RETURN(bool more, child_->NextBatch(&input_));
+  if (!more) return false;
+  const std::vector<uint32_t>& rids = input_.ActiveRids();
+  out->Reset(exprs_.size());
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    RETURN_IF_ERROR(exprs_[c]->EvalBatch(input_, rids, &out->column(c)));
+  }
+  out->SetNumRows(rids.size());
   return true;
 }
 
@@ -560,23 +688,48 @@ Status HashJoinNode::OpenImpl() {
   if (residual_ != nullptr) RETURN_IF_ERROR(residual_->Bind(schema_));
   RETURN_IF_ERROR(right_->Open());
   build_.clear();
-  Row r;
-  while (true) {
-    ASSIGN_OR_RETURN(bool more, right_->Next(&r));
-    if (!more) break;
-    Row key;
-    key.reserve(right_keys_.size());
-    bool has_null = false;
-    for (auto& k : right_keys_) {
-      ASSIGN_OR_RETURN(Value v, k->Eval(r));
-      has_null = has_null || v.is_null();
-      key.push_back(std::move(v));
+  // SQL equality never matches NULL, so NULL-keyed rows can never join:
+  // keep them out of the build table entirely.
+  if (DefaultExecMode() == ExecMode::kBatch) {
+    Batch b;
+    std::vector<std::vector<Value>> keycols(right_keys_.size());
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, right_->NextBatch(&b));
+      if (!more) break;
+      const std::vector<uint32_t>& rids = b.ActiveRids();
+      for (size_t k = 0; k < right_keys_.size(); ++k) {
+        RETURN_IF_ERROR(right_keys_[k]->EvalBatch(b, rids, &keycols[k]));
+      }
+      for (size_t i = 0; i < rids.size(); ++i) {
+        Row key;
+        key.reserve(right_keys_.size());
+        bool has_null = false;
+        for (size_t k = 0; k < right_keys_.size(); ++k) {
+          has_null = has_null || keycols[k][i].is_null();
+          key.push_back(std::move(keycols[k][i]));
+        }
+        if (has_null) continue;
+        size_t h = HashRow(key);
+        build_.emplace(h, BuildEntry{std::move(key), b.MaterializeRow(rids[i])});
+      }
     }
-    // SQL equality never matches NULL, so NULL-keyed rows can never join:
-    // keep them out of the build table entirely.
-    if (has_null) continue;
-    size_t h = HashRow(key);
-    build_.emplace(h, BuildEntry{std::move(key), r});
+  } else {
+    Row r;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, right_->Next(&r));
+      if (!more) break;
+      Row key;
+      key.reserve(right_keys_.size());
+      bool has_null = false;
+      for (auto& k : right_keys_) {
+        ASSIGN_OR_RETURN(Value v, k->Eval(r));
+        has_null = has_null || v.is_null();
+        key.push_back(std::move(v));
+      }
+      if (has_null) continue;
+      size_t h = HashRow(key);
+      build_.emplace(h, BuildEntry{std::move(key), r});
+    }
   }
   right_->Close();
   RETURN_IF_ERROR(left_->Open());
@@ -621,6 +774,54 @@ Result<bool> HashJoinNode::NextImpl(Row* out) {
   }
 }
 
+Result<bool> HashJoinNode::NextBatchImpl(Batch* out) {
+  const size_t lcols = left_->output_schema().size();
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, left_->NextBatch(&probe_batch_));
+    if (!more) return false;
+    const std::vector<uint32_t>& rids = probe_batch_.ActiveRids();
+    // Batched hash-key computation over the whole probe input, then a tight
+    // per-row probe loop emitting concatenated rows column-wise.
+    std::vector<std::vector<Value>> keycols(left_keys_.size());
+    for (size_t k = 0; k < left_keys_.size(); ++k) {
+      RETURN_IF_ERROR(left_keys_[k]->EvalBatch(probe_batch_, rids, &keycols[k]));
+    }
+    out->Reset(schema_.size());
+    size_t produced = 0;
+    Row key;
+    for (size_t i = 0; i < rids.size(); ++i) {
+      key.clear();
+      bool has_null = false;
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        has_null = has_null || keycols[k][i].is_null();
+        key.push_back(std::move(keycols[k][i]));
+      }
+      if (has_null) continue;  // NULL keys never join
+      auto [lo, hi] = build_.equal_range(HashRow(key));
+      for (auto it = lo; it != hi; ++it) {
+        if (CompareRows(it->second.key, key) != 0) continue;
+        for (size_t c = 0; c < lcols; ++c) {
+          out->column(c).push_back(probe_batch_.At(c, rids[i]));
+        }
+        const Row& r = it->second.row;
+        for (size_t c = 0; c < r.size(); ++c) {
+          out->column(lcols + c).push_back(r[c]);
+        }
+        ++produced;
+      }
+    }
+    out->SetNumRows(produced);
+    if (produced == 0) continue;
+    if (residual_ != nullptr) {
+      std::vector<uint32_t> sel;
+      RETURN_IF_ERROR(residual_->FilterBatch(*out, out->ActiveRids(), &sel));
+      if (sel.empty()) continue;
+      out->SetSelection(std::move(sel));
+    }
+    return true;
+  }
+}
+
 void HashJoinNode::CloseImpl() {
   left_->Close();
   build_.clear();
@@ -646,11 +847,20 @@ Status SortNode::OpenImpl() {
   for (auto& k : keys_) RETURN_IF_ERROR(k.expr->Bind(child_->output_schema()));
   RETURN_IF_ERROR(child_->Open());
   rows_.clear();
-  Row r;
-  while (true) {
-    ASSIGN_OR_RETURN(bool more, child_->Next(&r));
-    if (!more) break;
-    rows_.push_back(r);
+  if (DefaultExecMode() == ExecMode::kBatch) {
+    Batch b;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child_->NextBatch(&b));
+      if (!more) break;
+      b.AppendTo(&rows_);
+    }
+  } else {
+    Row r;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child_->Next(&r));
+      if (!more) break;
+      rows_.push_back(r);
+    }
   }
   child_->Close();
   // Precompute sort keys per row to avoid re-evaluating in the comparator
@@ -781,39 +991,29 @@ Status AggregateNode::OpenImpl() {
   RETURN_IF_ERROR(child_->Open());
 
   std::unordered_map<size_t, std::vector<AggState>> groups;
-  Row r;
   bool any_input = false;
-  while (true) {
-    ASSIGN_OR_RETURN(bool more, child_->Next(&r));
-    if (!more) break;
-    any_input = true;
-    Row gkey;
-    gkey.reserve(group_by_.size());
-    for (auto& g : group_by_) {
-      ASSIGN_OR_RETURN(Value v, g->Eval(r));
-      gkey.push_back(std::move(v));
-    }
+
+  auto find_state = [&](Row gkey) -> AggState* {
     size_t h = HashRow(gkey);
-    AggState* state = nullptr;
     for (auto& cand : groups[h]) {
-      if (CompareRows(cand.group, gkey) == 0) {
-        state = &cand;
-        break;
-      }
+      if (CompareRows(cand.group, gkey) == 0) return &cand;
     }
-    if (state == nullptr) {
-      AggState fresh(aggs_.size());
-      fresh.group = gkey;
-      groups[h].push_back(std::move(fresh));
-      state = &groups[h].back();
-    }
+    AggState fresh(aggs_.size());
+    fresh.group = std::move(gkey);
+    groups[h].push_back(std::move(fresh));
+    return &groups[h].back();
+  };
+
+  // Folds one input row into `state`; args[i] is aggs_[i]'s evaluated
+  // argument (ignored for COUNT(*), consumed by move).
+  auto accumulate = [&](AggState* state, std::vector<Value>& args) -> Status {
     for (size_t i = 0; i < aggs_.size(); ++i) {
       const AggSpec& a = aggs_[i];
       if (a.func == AggFunc::kCountStar) {
         state->counts[i] += 1;
         continue;
       }
-      ASSIGN_OR_RETURN(Value v, a.arg->Eval(r));
+      Value& v = args[i];
       if (v.is_null()) continue;
       state->counts[i] += 1;
       switch (a.func) {
@@ -836,17 +1036,73 @@ Status AggregateNode::OpenImpl() {
         }
         case AggFunc::kMin:
           if (state->mins[i].is_null() || v.Compare(state->mins[i]) < 0) {
-            state->mins[i] = v;
+            state->mins[i] = std::move(v);
           }
           break;
         case AggFunc::kMax:
           if (state->maxs[i].is_null() || v.Compare(state->maxs[i]) > 0) {
-            state->maxs[i] = v;
+            state->maxs[i] = std::move(v);
           }
           break;
         default:
           break;
       }
+    }
+    return Status::OK();
+  };
+
+  if (DefaultExecMode() == ExecMode::kBatch) {
+    Batch b;
+    std::vector<std::vector<Value>> gcols(group_by_.size());
+    std::vector<std::vector<Value>> acols(aggs_.size());
+    std::vector<Value> args(aggs_.size());
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child_->NextBatch(&b));
+      if (!more) break;
+      any_input = true;
+      const std::vector<uint32_t>& rids = b.ActiveRids();
+      for (size_t g = 0; g < group_by_.size(); ++g) {
+        RETURN_IF_ERROR(group_by_[g]->EvalBatch(b, rids, &gcols[g]));
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (aggs_[i].arg != nullptr) {
+          RETURN_IF_ERROR(aggs_[i].arg->EvalBatch(b, rids, &acols[i]));
+        }
+      }
+      for (size_t row = 0; row < rids.size(); ++row) {
+        Row gkey;
+        gkey.reserve(group_by_.size());
+        for (size_t g = 0; g < group_by_.size(); ++g) {
+          gkey.push_back(std::move(gcols[g][row]));
+        }
+        for (size_t i = 0; i < aggs_.size(); ++i) {
+          args[i] = aggs_[i].arg != nullptr ? std::move(acols[i][row])
+                                            : Value::Null();
+        }
+        RETURN_IF_ERROR(accumulate(find_state(std::move(gkey)), args));
+      }
+    }
+  } else {
+    Row r;
+    std::vector<Value> args(aggs_.size());
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, child_->Next(&r));
+      if (!more) break;
+      any_input = true;
+      Row gkey;
+      gkey.reserve(group_by_.size());
+      for (auto& g : group_by_) {
+        ASSIGN_OR_RETURN(Value v, g->Eval(r));
+        gkey.push_back(std::move(v));
+      }
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (aggs_[i].arg != nullptr) {
+          ASSIGN_OR_RETURN(args[i], aggs_[i].arg->Eval(r));
+        } else {
+          args[i] = Value::Null();
+        }
+      }
+      RETURN_IF_ERROR(accumulate(find_state(std::move(gkey)), args));
     }
   }
   child_->Close();
@@ -953,6 +1209,33 @@ Result<bool> DistinctNode::NextImpl(Row* out) {
   }
 }
 
+Result<bool> DistinctNode::NextBatchImpl(Batch* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    std::vector<uint32_t> sel;
+    for (uint32_t rid : out->ActiveRids()) {
+      Row row = out->MaterializeRow(rid);
+      size_t h = HashRow(row);
+      auto [lo, hi] = seen_rows_.equal_range(h);
+      bool dup = false;
+      for (auto it = lo; it != hi; ++it) {
+        if (CompareRows(it->second, row) == 0) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        seen_rows_.emplace(h, std::move(row));
+        sel.push_back(rid);
+      }
+    }
+    if (sel.empty()) continue;  // all duplicates; pull the next batch
+    out->SetSelection(std::move(sel));
+    return true;
+  }
+}
+
 void DistinctNode::CloseImpl() {
   child_->Close();
   seen_rows_.clear();
@@ -982,6 +1265,32 @@ Result<bool> LimitNode::NextImpl(Row* out) {
   return true;
 }
 
+Result<bool> LimitNode::NextBatchImpl(Batch* out) {
+  while (true) {
+    if (limit_ >= 0 && emitted_ >= limit_) return false;
+    ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    const std::vector<uint32_t>& rids = out->ActiveRids();
+    size_t begin = 0;
+    if (skipped_ < offset_) {
+      begin = std::min(rids.size(), static_cast<size_t>(offset_ - skipped_));
+      skipped_ += static_cast<int64_t>(begin);
+    }
+    size_t avail = rids.size() - begin;
+    if (avail == 0) continue;  // batch consumed entirely by OFFSET
+    size_t take = avail;
+    if (limit_ >= 0) {
+      take = std::min(avail, static_cast<size_t>(limit_ - emitted_));
+    }
+    emitted_ += static_cast<int64_t>(take);
+    if (begin == 0 && take == rids.size()) return true;  // whole batch passes
+    std::vector<uint32_t> sel(rids.begin() + static_cast<ptrdiff_t>(begin),
+                              rids.begin() + static_cast<ptrdiff_t>(begin + take));
+    out->SetSelection(std::move(sel));
+    return true;
+  }
+}
+
 std::string LimitNode::Describe() const {
   std::string out = "Limit(" + std::to_string(limit_);
   if (offset_ > 0) out += " OFFSET " + std::to_string(offset_);
@@ -1002,6 +1311,15 @@ Result<bool> ValuesNode::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
+}
+
+Result<bool> ValuesNode::NextBatchImpl(Batch* out) {
+  out->Reset(schema_.size());
+  const size_t target = static_cast<size_t>(DefaultBatchSize());
+  while (pos_ < rows_.size() && out->num_rows() < target) {
+    out->AppendRow(rows_[pos_++]);
+  }
+  return out->num_rows() > 0;
 }
 
 std::string ValuesNode::Describe() const {

@@ -1,14 +1,23 @@
-// Physical query plans: the iterator (Volcano) execution model.
+// Physical query plans: iterator (Volcano) and vectorized execution.
 //
-// Every operator exposes Open / Next / Close plus its output schema. Plans
-// are single-use: Open once, drain with Next, Close. The planner (planner.h)
-// builds these from SQL; the XPath translators may also build them directly.
+// Every operator exposes Open / Next / NextBatch / Close plus its output
+// schema. Plans are single-use: Open once, drain with Next (row-at-a-time)
+// or NextBatch (column-oriented batches of ~DefaultBatchSize() rows), Close.
+// The planner (planner.h) builds these from SQL; the XPath translators may
+// also build them directly.
 //
-// Open/Next/Close are non-virtual wrappers on PlanNode that collect
-// per-operator runtime statistics (rows produced, Next() calls, and — when
-// EnableAnalyze() has been called — open/next wall time); operators implement
-// the protected OpenImpl/NextImpl/CloseImpl hooks. EXPLAIN ANALYZE renders
-// the collected stats via ExplainAnalyze().
+// The batch path is the default executor (ExecutePlan consults
+// DefaultExecMode()): scans emit column batches directly, Filter evaluates
+// its predicate over a selection vector in a tight loop, and HashJoin
+// computes hash keys column-wise. Operators that have not been ported run
+// through a row-compat shim — the default NextBatchImpl fills a batch by
+// calling NextImpl — so both paths always produce byte-identical results.
+//
+// Open/Next/NextBatch/Close are non-virtual wrappers on PlanNode that
+// collect per-operator runtime statistics (rows and batches produced, call
+// counts, and — when EnableAnalyze() has been called — wall time); operators
+// implement the protected OpenImpl/NextImpl/NextBatchImpl/CloseImpl hooks.
+// EXPLAIN ANALYZE renders the collected stats via ExplainAnalyze().
 
 #ifndef XMLRDB_RDB_PLAN_H_
 #define XMLRDB_RDB_PLAN_H_
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "rdb/batch.h"
 #include "rdb/expr.h"
 #include "rdb/schema.h"
 #include "rdb/table.h"
@@ -37,10 +47,11 @@ namespace xmlrdb::rdb {
 /// populated after EnableAnalyze().
 struct OperatorStats {
   int64_t open_calls = 0;
-  int64_t next_calls = 0;
-  int64_t rows = 0;      ///< rows produced (Next() returning true)
-  int64_t open_ns = 0;   ///< wall time inside Open(), children inclusive
-  int64_t next_ns = 0;   ///< wall time inside Next(), children inclusive
+  int64_t next_calls = 0;  ///< row-path Next() calls (shim calls included)
+  int64_t batches = 0;     ///< batches produced (NextBatch() returning true)
+  int64_t rows = 0;        ///< rows produced through either path
+  int64_t open_ns = 0;     ///< wall time inside Open(), children inclusive
+  int64_t next_ns = 0;     ///< wall time inside Next*/shim, children inclusive
 };
 
 class PlanNode {
@@ -52,6 +63,9 @@ class PlanNode {
   Status Open();
   /// Produces the next row into *out; returns false when exhausted.
   Result<bool> Next(Row* out);
+  /// Produces the next batch into *out (at least one active row); returns
+  /// false when exhausted. Do not interleave with Next() on the same plan.
+  Result<bool> NextBatch(Batch* out);
   void Close();
 
   /// One-line operator description (EXPLAIN uses this).
@@ -84,6 +98,9 @@ class PlanNode {
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Row* out) = 0;
+  /// Row-compat shim by default: fills *out with up to DefaultBatchSize()
+  /// rows pulled through NextImpl. Vectorized operators override this.
+  virtual Result<bool> NextBatchImpl(Batch* out);
   virtual void CloseImpl() = 0;
 
  private:
@@ -93,7 +110,9 @@ class PlanNode {
 
 using PlanPtr = std::unique_ptr<PlanNode>;
 
-/// Drains a plan into a row vector (Open/Next/Close).
+/// Drains a plan into a row vector (Open .. Close). Uses the vectorized
+/// NextBatch path when DefaultExecMode() is kBatch (the default), the
+/// row-at-a-time Next path otherwise; results are byte-identical.
 Result<std::vector<Row>> ExecutePlan(PlanNode* plan);
 
 /// Publishes a finished plan's per-operator stats into the global
@@ -114,6 +133,7 @@ class SeqScanNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override {}
 
  private:
@@ -140,6 +160,7 @@ class ParallelSeqScanNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override;
 
  private:
@@ -173,6 +194,7 @@ class IndexScanNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override;
 
  private:
@@ -198,6 +220,7 @@ class FilterNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
@@ -218,12 +241,14 @@ class ProjectNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
   PlanPtr child_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  Batch input_;  ///< batch pulled from the child, projected into *out
 };
 
 /// Nested-loop join with an arbitrary predicate (may be null = cross join).
@@ -271,6 +296,7 @@ class HashJoinNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override;
 
  private:
@@ -287,6 +313,7 @@ class HashJoinNode : public PlanNode {
   Row probe_row_;
   std::vector<const Row*> matches_;
   size_t match_pos_ = 0;
+  Batch probe_batch_;  ///< batch-path probe input
 };
 
 struct SortKey {
@@ -359,6 +386,7 @@ class DistinctNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override;
 
  private:
@@ -377,6 +405,7 @@ class LimitNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override { child_->Close(); }
 
  private:
@@ -396,6 +425,7 @@ class ValuesNode : public PlanNode {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(Batch* out) override;
   void CloseImpl() override {}
 
  private:

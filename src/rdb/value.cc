@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "common/str_util.h"
@@ -48,6 +49,43 @@ double Value::AsDouble() const {
   return std::get<double>(rep_);
 }
 
+namespace {
+
+// 2^63 as a double; exactly representable. Doubles at or above it (resp.
+// below -2^63) are outside int64 range.
+constexpr double kInt64Bound = 9223372036854775808.0;
+
+/// Total order on doubles: -inf < ... < +inf < NaN. Ordering NaN after every
+/// other double (instead of "equal to everything") keeps Compare a strict
+/// weak ordering, which std::sort and the b-tree comparator require.
+int CompareDoubles(double a, double b) {
+  bool an = std::isnan(a), bn = std::isnan(b);
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? 1 : -1;
+  }
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Exact int64-vs-double comparison. Widening the int via AsDouble() loses
+/// precision above 2^53 (e.g. 2^63-1 == 2^63.0 under the lossy scheme);
+/// instead compare against the double's integer part and fraction.
+int CompareIntWithDouble(int64_t i, double d) {
+  if (std::isnan(d)) return -1;  // numbers order before NaN
+  if (d >= kInt64Bound) return -1;
+  if (d < -kInt64Bound) return 1;
+  int64_t t = static_cast<int64_t>(d);  // trunc toward zero; in range
+  if (i != t) return i < t ? -1 : 1;
+  // Equal integer parts: the fraction decides. Above 2^53 doubles are
+  // integral, so both terms below are exact in every regime.
+  double frac = d - static_cast<double>(t);
+  if (frac > 0) return -1;
+  if (frac < 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
 int Value::Compare(const Value& other) const {
   bool an = is_null(), bn = other.is_null();
   if (an || bn) {
@@ -62,8 +100,9 @@ int Value::Compare(const Value& other) const {
       int64_t x = AsInt(), y = other.AsInt();
       return x < y ? -1 : (x > y ? 1 : 0);
     }
-    double x = AsDouble(), y = other.AsDouble();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    if (ta == DataType::kInt) return CompareIntWithDouble(AsInt(), other.AsDouble());
+    if (tb == DataType::kInt) return -CompareIntWithDouble(other.AsInt(), AsDouble());
+    return CompareDoubles(AsDouble(), other.AsDouble());
   }
   if (ta != tb) return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
   switch (ta) {
@@ -84,10 +123,12 @@ size_t Value::Hash() const {
     case DataType::kInt: return std::hash<int64_t>{}(AsInt());
     case DataType::kDouble: {
       // Hash ints and int-valued doubles identically so mixed-type equi-joins
-      // work through the hash join.
+      // work through the hash join. The range guard must come first: casting
+      // an out-of-int64-range (or NaN) double is undefined behavior.
       double d = AsDouble();
-      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
-          std::abs(d) < 9.2e18) {
+      if (std::isnan(d)) return 0x7ff8dead;  // all NaNs compare equal
+      if (std::abs(d) < 9.2e18 &&
+          d == static_cast<double>(static_cast<int64_t>(d))) {
         return std::hash<int64_t>{}(static_cast<int64_t>(d));
       }
       return std::hash<double>{}(d);
@@ -103,8 +144,15 @@ std::string Value::ToString() const {
     case DataType::kNull: return "NULL";
     case DataType::kInt: return std::to_string(AsInt());
     case DataType::kDouble: {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      // Shortest round-trip formatting: try increasing precision until the
+      // printed form parses back to the same double, so 0.1 prints as "0.1"
+      // but no value silently loses precision the way %g (6 digits) did.
+      double d = AsDouble();
+      char buf[40];
+      for (int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d) break;  // NaN falls through
+      }
       return buf;
     }
     case DataType::kString: return AsString();
@@ -119,7 +167,16 @@ Result<Value> Value::CastTo(DataType target) const {
   switch (target) {
     case DataType::kInt:
       switch (type()) {
-        case DataType::kDouble: return Value(static_cast<int64_t>(AsDouble()));
+        case DataType::kDouble: {
+          // Truncating casts of NaN or out-of-range doubles are undefined
+          // behavior; reject them instead.
+          double d = AsDouble();
+          if (std::isnan(d) || d >= kInt64Bound || d < -kInt64Bound) {
+            return Status::TypeError("DOUBLE value " + ToString() +
+                                     " out of INTEGER range");
+          }
+          return Value(static_cast<int64_t>(d));
+        }
         case DataType::kString: {
           ASSIGN_OR_RETURN(int64_t v, ParseInt64(AsString()));
           return Value(v);

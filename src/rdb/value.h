@@ -47,8 +47,10 @@ class Value {
   bool AsBool() const { return std::get<bool>(rep_); }
 
   /// Total order used by sort/index: NULL < everything; numerics by value
-  /// (int/double comparable); strings lexicographic; bool false<true.
-  /// Distinct non-numeric type pairs order by type id (stable, arbitrary).
+  /// (int/double compared exactly, even above 2^53; NaN orders after every
+  /// other number so the order stays strict-weak); strings lexicographic;
+  /// bool false<true. Distinct non-numeric type pairs order by type id
+  /// (stable, arbitrary).
   int Compare(const Value& other) const;
 
   bool operator==(const Value& o) const { return Compare(o) == 0; }

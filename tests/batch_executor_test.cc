@@ -1,0 +1,323 @@
+// Differential tests for the vectorized executor: the batch path must be
+// byte-identical to the row path on every workload, and the batched
+// expression kernels (EvalBatch / FilterBatch) must agree with per-row Eval
+// on randomly generated predicates and data.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdb/batch.h"
+#include "rdb/plan.h"
+#include "shred/evaluator.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::rdb {
+namespace {
+
+using shred::DocId;
+using shred::Mapping;
+
+// ---------------------------------------------------------------------------
+// Whole-query differential: Q1-Q12 over every mapping, batch vs row.
+
+std::vector<std::string> RunQuery(Mapping* mapping, Database* db, DocId doc,
+                                  const std::string& xpath) {
+  auto path = xpath::ParseXPath(xpath);
+  EXPECT_TRUE(path.ok()) << path.status();
+  auto values = shred::EvalPathStrings(path.value(), mapping, db, doc);
+  EXPECT_TRUE(values.ok()) << mapping->name() << ": " << values.status();
+  std::vector<std::string> out =
+      values.ok() ? values.value() : std::vector<std::string>{};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class BatchExecutorTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BatchExecutorTest, AuctionQueriesMatchRowPath) {
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.05;
+  auto doc = workload::GenerateXMark(cfg);
+  Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+
+  for (const auto& q : workload::AuctionQueries()) {
+    std::vector<std::string> batch_result, row_result;
+    {
+      ScopedExecMode mode(ExecMode::kBatch);
+      batch_result =
+          RunQuery(mapping.value().get(), &db, stored.value(), q.xpath);
+    }
+    {
+      ScopedExecMode mode(ExecMode::kRow);
+      row_result =
+          RunQuery(mapping.value().get(), &db, stored.value(), q.xpath);
+    }
+    EXPECT_EQ(batch_result, row_result)
+        << "mapping=" << GetParam() << " query=" << q.id;
+  }
+}
+
+TEST_P(BatchExecutorTest, SmallBatchSizesMatchRowPath) {
+  // Tiny batch sizes maximise batch-boundary traffic (Limit/OFFSET spanning
+  // batches, filters emptying whole batches, join probes split mid-key).
+  auto mapping = shred::CreateMapping(GetParam());
+  ASSERT_TRUE(mapping.ok());
+  workload::XMarkConfig cfg;
+  cfg.scale = 0.02;
+  auto doc = workload::GenerateXMark(cfg);
+  Database db;
+  ASSERT_TRUE(mapping.value()->Initialize(&db).ok());
+  auto stored = mapping.value()->Store(*doc, &db);
+  ASSERT_TRUE(stored.ok()) << stored.status();
+
+  std::vector<std::string> row_results;
+  {
+    ScopedExecMode mode(ExecMode::kRow);
+    for (const auto& q : workload::AuctionQueries()) {
+      auto r = RunQuery(mapping.value().get(), &db, stored.value(), q.xpath);
+      for (auto& s : r) row_results.push_back(std::move(s));
+    }
+  }
+  const int saved = DefaultBatchSize();
+  for (int bs : {1, 3, 7}) {
+    SetDefaultBatchSize(bs);
+    ScopedExecMode mode(ExecMode::kBatch);
+    std::vector<std::string> batch_results;
+    for (const auto& q : workload::AuctionQueries()) {
+      auto r = RunQuery(mapping.value().get(), &db, stored.value(), q.xpath);
+      for (auto& s : r) batch_results.push_back(std::move(s));
+    }
+    EXPECT_EQ(batch_results, row_results)
+        << "mapping=" << GetParam() << " batch_size=" << bs;
+  }
+  SetDefaultBatchSize(saved);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, BatchExecutorTest,
+                         ::testing::ValuesIn(shred::GenericMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Expression-kernel fuzz: EvalBatch must agree with per-row Eval.
+
+Schema FuzzSchema() {
+  return Schema({{"i", DataType::kInt, true, "t"},
+                 {"d", DataType::kDouble, true, "t"},
+                 {"s", DataType::kString, true, "t"},
+                 {"b", DataType::kBool, true, "t"}});
+}
+
+Value RandomValue(Rng& rng, DataType t) {
+  if (rng.Bernoulli(0.15)) return Value::Null();
+  switch (t) {
+    case DataType::kInt:
+      return Value(rng.Uniform(-50, 50));
+    case DataType::kDouble:
+      if (rng.Bernoulli(0.05)) {
+        return Value(std::numeric_limits<double>::quiet_NaN());
+      }
+      return Value(static_cast<double>(rng.Uniform(-500, 500)) / 10.0);
+    case DataType::kString:
+      return Value(rng.Word(0, 4));
+    case DataType::kBool:
+      return Value(rng.Bernoulli(0.5));
+    default:
+      return Value::Null();
+  }
+}
+
+ExprPtr RandomPredicate(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.3)) {
+    // Leaf: comparison, LIKE, IS NULL, or IN.
+    switch (rng.Uniform(0, 3)) {
+      case 0: {
+        static const BinOp kCmps[] = {BinOp::kEq, BinOp::kNe, BinOp::kLt,
+                                      BinOp::kLe, BinOp::kGt, BinOp::kGe};
+        BinOp op = kCmps[rng.Uniform(0, 5)];
+        static const char* kCols[] = {"i", "d", "s"};
+        const char* col = kCols[rng.Uniform(0, 2)];
+        Value lit = col[0] == 's' ? Value(rng.Word(0, 4))
+                                  : Value(rng.Uniform(-50, 50));
+        return Bin(op, Col(col), Lit(std::move(lit)));
+      }
+      case 1:
+        return std::make_unique<LikeExpr>(
+            Col("s"), rng.Bernoulli(0.5) ? "%a%" : std::string(1, 'a') + "_%");
+      case 2:
+        return std::make_unique<IsNullExpr>(
+            Col(rng.Bernoulli(0.5) ? "i" : "d"), rng.Bernoulli(0.5));
+      default: {
+        std::vector<Value> items;
+        for (int64_t i = rng.Uniform(1, 3); i > 0; --i) {
+          items.push_back(Value(rng.Uniform(-50, 50)));
+        }
+        return std::make_unique<InListExpr>(Col("i"), std::move(items));
+      }
+    }
+  }
+  switch (rng.Uniform(0, 2)) {
+    case 0:
+      return Bin(BinOp::kAnd, RandomPredicate(rng, depth - 1),
+                 RandomPredicate(rng, depth - 1));
+    case 1:
+      return Bin(BinOp::kOr, RandomPredicate(rng, depth - 1),
+                 RandomPredicate(rng, depth - 1));
+    default:
+      return std::make_unique<NotExpr>(RandomPredicate(rng, depth - 1));
+  }
+}
+
+TEST(BatchExprFuzzTest, EvalBatchAgreesWithRowEval) {
+  Schema schema = FuzzSchema();
+  Rng rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    ExprPtr pred = RandomPredicate(rng, 3);
+    ASSERT_TRUE(pred->Bind(schema).ok()) << pred->ToString();
+
+    Batch batch;
+    batch.Reset(schema.size());
+    size_t n = static_cast<size_t>(rng.Uniform(1, 64));
+    std::vector<Row> rows;
+    for (size_t r = 0; r < n; ++r) {
+      Row row;
+      for (size_t c = 0; c < schema.size(); ++c) {
+        row.push_back(RandomValue(rng, schema.column(c).type));
+      }
+      batch.AppendRow(row);
+      rows.push_back(std::move(row));
+    }
+    // Random selection vector half the time.
+    std::vector<uint32_t> rids;
+    if (rng.Bernoulli(0.5)) {
+      for (uint32_t r = 0; r < n; ++r) {
+        if (rng.Bernoulli(0.6)) rids.push_back(r);
+      }
+      batch.SetSelection(rids);
+    } else {
+      rids = batch.ActiveRids();
+    }
+
+    std::vector<Value> batched;
+    Status st = pred->EvalBatch(batch, rids, &batched);
+    ASSERT_TRUE(st.ok()) << pred->ToString() << ": " << st;
+    ASSERT_EQ(batched.size(), rids.size());
+    std::vector<uint32_t> sel;
+    ASSERT_TRUE(pred->FilterBatch(batch, rids, &sel).ok());
+
+    std::vector<uint32_t> expect_sel;
+    for (size_t i = 0; i < rids.size(); ++i) {
+      auto row_val = pred->Eval(rows[rids[i]]);
+      ASSERT_TRUE(row_val.ok()) << pred->ToString() << ": " << row_val.status();
+      EXPECT_EQ(batched[i].Compare(row_val.value()), 0)
+          << "round=" << round << " expr=" << pred->ToString() << " rid="
+          << rids[i] << " batch=" << batched[i].ToString() << " row="
+          << row_val.value().ToString();
+      auto pass = pred->EvalBool(rows[rids[i]]);
+      ASSERT_TRUE(pass.ok());
+      if (pass.value()) expect_sel.push_back(rids[i]);
+    }
+    EXPECT_EQ(sel, expect_sel) << "round=" << round
+                               << " expr=" << pred->ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator-level regressions exercised through both executor paths.
+
+Schema NumSchema() {
+  return Schema({{"x", DataType::kDouble, true, ""}});
+}
+
+PlanPtr DoubleValues(std::vector<double> xs) {
+  std::vector<Row> rows;
+  for (double x : xs) rows.push_back({Value(x)});
+  return std::make_unique<ValuesNode>(NumSchema(), std::move(rows));
+}
+
+std::vector<Row> MustExecute(PlanNode* plan) {
+  auto r = ExecutePlan(plan);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : std::vector<Row>{};
+}
+
+TEST(BatchOperatorTest, SortWithNansIsStableAndNanLast) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (ExecMode m : {ExecMode::kRow, ExecMode::kBatch}) {
+    ScopedExecMode mode(m);
+    std::vector<SortKey> keys;
+    keys.push_back({Col("x"), /*ascending=*/true});
+    auto sort = std::make_unique<SortNode>(
+        DoubleValues({3.0, nan, -1.0, nan, 2.0}), std::move(keys));
+    auto rows = MustExecute(sort.get());
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), -1.0);
+    EXPECT_DOUBLE_EQ(rows[1][0].AsDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(rows[2][0].AsDouble(), 3.0);
+    EXPECT_TRUE(std::isnan(rows[3][0].AsDouble()));
+    EXPECT_TRUE(std::isnan(rows[4][0].AsDouble()));
+  }
+}
+
+TEST(BatchOperatorTest, DistinctCollapsesNans) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (ExecMode m : {ExecMode::kRow, ExecMode::kBatch}) {
+    ScopedExecMode mode(m);
+    auto distinct = std::make_unique<DistinctNode>(
+        DoubleValues({nan, 1.0, nan, 1.0, nan}));
+    auto rows = MustExecute(distinct.get());
+    ASSERT_EQ(rows.size(), 2u);
+  }
+}
+
+TEST(BatchOperatorTest, LimitOffsetAcrossBatchBoundaries) {
+  const int saved = DefaultBatchSize();
+  SetDefaultBatchSize(2);  // force OFFSET/LIMIT to straddle batches
+  std::vector<double> xs;
+  for (int i = 0; i < 11; ++i) xs.push_back(i);
+  for (ExecMode m : {ExecMode::kRow, ExecMode::kBatch}) {
+    ScopedExecMode mode(m);
+    auto limit =
+        std::make_unique<LimitNode>(DoubleValues(xs), /*limit=*/5, /*offset=*/3);
+    auto rows = MustExecute(limit.get());
+    ASSERT_EQ(rows.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(rows[static_cast<size_t>(i)][0].AsDouble(), 3.0 + i);
+    }
+  }
+  SetDefaultBatchSize(saved);
+}
+
+TEST(BatchOperatorTest, NullLikeIsNullNotFalse) {
+  // NOT (NULL LIKE '%') must not become true: LIKE over NULL yields NULL,
+  // and NOT propagates it, so the row is filtered out under both paths.
+  Schema s({{"s", DataType::kString, true, ""}});
+  std::vector<Row> rows = {{Value("abc")}, {Value::Null()}, {Value("zzz")}};
+  for (ExecMode m : {ExecMode::kRow, ExecMode::kBatch}) {
+    ScopedExecMode mode(m);
+    auto filter = std::make_unique<FilterNode>(
+        std::make_unique<ValuesNode>(s, rows),
+        std::make_unique<NotExpr>(
+            std::make_unique<LikeExpr>(Col("s"), "a%")));
+    auto got = MustExecute(filter.get());
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0][0].AsString(), "zzz");
+  }
+}
+
+}  // namespace
+}  // namespace xmlrdb::rdb

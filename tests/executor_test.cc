@@ -386,6 +386,7 @@ TEST(ExecutorTest, GroupedAggregateOverEmptyInputYieldsNoRows) {
 }
 
 TEST(ExecutorTest, OperatorStatsCountRowsAndCalls) {
+  ScopedExecMode row_mode(ExecMode::kRow);
   auto filter = std::make_unique<FilterNode>(
       Values(MakeRows({{1, "x"}, {2, "y"}, {3, "z"}})),
       Bin(BinOp::kGe, Col("a"), Lit(int64_t{2})));
@@ -393,12 +394,29 @@ TEST(ExecutorTest, OperatorStatsCountRowsAndCalls) {
   EXPECT_EQ(filter->stats().rows, 2);
   EXPECT_EQ(filter->stats().open_calls, 1);
   EXPECT_EQ(filter->stats().next_calls, 3);  // 2 rows + exhaustion
+  EXPECT_EQ(filter->stats().batches, 0);     // row path never builds batches
   const PlanNode* values = filter->Children()[0];
   EXPECT_EQ(values->stats().rows, 3);
   EXPECT_EQ(values->stats().next_calls, 4);
   // Timers stay zero without EnableAnalyze().
   EXPECT_EQ(filter->stats().open_ns, 0);
   EXPECT_EQ(filter->stats().next_ns, 0);
+}
+
+TEST(ExecutorTest, OperatorStatsCountBatches) {
+  ScopedExecMode batch_mode(ExecMode::kBatch);
+  auto filter = std::make_unique<FilterNode>(
+      Values(MakeRows({{1, "x"}, {2, "y"}, {3, "z"}})),
+      Bin(BinOp::kGe, Col("a"), Lit(int64_t{2})));
+  auto rows = ExecutePlan(filter.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(filter->stats().rows, 2);
+  EXPECT_EQ(filter->stats().batches, 1);
+  EXPECT_EQ(filter->stats().next_calls, 0);  // fully vectorized: no row pulls
+  const PlanNode* values = filter->Children()[0];
+  EXPECT_EQ(values->stats().rows, 3);
+  EXPECT_EQ(values->stats().batches, 1);
 }
 
 }  // namespace

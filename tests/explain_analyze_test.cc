@@ -58,6 +58,9 @@ TEST_F(ExplainAnalyzeTest, AnnotatesEveryOperatorWithRowsAndTime) {
   }
   EXPECT_EQ(annotated, lines);
   EXPECT_NE(text.find("time="), std::string::npos);
+  // Batch-mode execution (the default) reports nonzero batch counts.
+  EXPECT_NE(text.find("batches="), std::string::npos);
+  EXPECT_EQ(text.find("batches=0"), std::string::npos);
   // The query produced 3 rows (a in {2,3,4}).
   EXPECT_EQ(res.value().affected, 3);
 }

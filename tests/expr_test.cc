@@ -69,11 +69,24 @@ TEST_F(ExprTest, StringNumberComparisonParsesString) {
   EXPECT_FALSE(Eval(Eq(Col("s"), Lit(int64_t{10})), r2).AsBool());
 }
 
-TEST_F(ExprTest, NullComparisonsAreFalse) {
+TEST_F(ExprTest, NullComparisonsAreNullAndFilterAsFalse) {
+  // Comparisons against NULL yield NULL (three-valued logic)...
   Row r{Value::Null(), Value::Null(), Value::Null(), Value::Null()};
-  EXPECT_FALSE(Eval(Eq(Col("i"), Lit(int64_t{1})), r).AsBool());
-  EXPECT_FALSE(Eval(Bin(BinOp::kNe, Col("i"), Lit(int64_t{1})), r).AsBool());
-  EXPECT_FALSE(Eval(Bin(BinOp::kLt, Col("i"), Lit(int64_t{1})), r).AsBool());
+  EXPECT_TRUE(Eval(Eq(Col("i"), Lit(int64_t{1})), r).is_null());
+  EXPECT_TRUE(Eval(Bin(BinOp::kNe, Col("i"), Lit(int64_t{1})), r).is_null());
+  EXPECT_TRUE(Eval(Bin(BinOp::kLt, Col("i"), Lit(int64_t{1})), r).is_null());
+  // ...which the predicate boundary (EvalBool) collapses to false.
+  ExprPtr e = Eq(Col("i"), Lit(int64_t{1}));
+  ASSERT_TRUE(e->Bind(schema_).ok());
+  auto pass = e->EvalBool(r);
+  ASSERT_TRUE(pass.ok()) << pass.status();
+  EXPECT_FALSE(pass.value());
+  // NOT propagates NULL instead of turning it into true.
+  ExprPtr ne = std::make_unique<NotExpr>(Eq(Col("i"), Lit(int64_t{1})));
+  ASSERT_TRUE(ne->Bind(schema_).ok());
+  auto nv = ne->Eval(r);
+  ASSERT_TRUE(nv.ok()) << nv.status();
+  EXPECT_TRUE(nv.value().is_null());
 }
 
 TEST_F(ExprTest, LogicShortCircuits) {

@@ -1,5 +1,11 @@
 #include "rdb/value.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace xmlrdb::rdb {
@@ -35,6 +41,56 @@ TEST(ValueTest, StringOrdering) {
   EXPECT_EQ(Value("x").Compare(Value("x")), 0);
 }
 
+TEST(ValueTest, NanOrdersAfterAllDoublesAndEqualsItself) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN sorts after every non-NaN double, including +inf...
+  EXPECT_GT(Value(nan).Compare(Value(inf)), 0);
+  EXPECT_GT(Value(nan).Compare(Value(0.0)), 0);
+  EXPECT_GT(Value(nan).Compare(Value(-inf)), 0);
+  EXPECT_LT(Value(inf).Compare(Value(nan)), 0);
+  // ...and after every integer.
+  EXPECT_GT(Value(nan).Compare(Value(std::numeric_limits<int64_t>::max())), 0);
+  EXPECT_LT(Value(int64_t{0}).Compare(Value(nan)), 0);
+  // NaN compares equal to NaN so sort/distinct/group-by treat it as one key.
+  EXPECT_EQ(Value(nan).Compare(Value(nan)), 0);
+  EXPECT_EQ(Value(nan).Hash(), Value(nan).Hash());
+}
+
+TEST(ValueTest, NanKeepsSortStrictWeakOrdering) {
+  // Before the NaN fix, comparing through NaN was not a strict weak ordering
+  // and std::sort on such data was UB. Sort a mix and check NaNs land last.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Value> vs = {Value(3.0), Value(nan),  Value(-1.5), Value(nan),
+                           Value(0.0), Value(1e18), Value(nan),  Value(2.5)};
+  std::sort(vs.begin(), vs.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  for (size_t i = 0; i < 5; ++i) EXPECT_FALSE(std::isnan(vs[i].AsDouble())) << i;
+  for (size_t i = 5; i < 8; ++i) EXPECT_TRUE(std::isnan(vs[i].AsDouble())) << i;
+  EXPECT_DOUBLE_EQ(vs[0].AsDouble(), -1.5);
+  EXPECT_DOUBLE_EQ(vs[4].AsDouble(), 1e18);
+}
+
+TEST(ValueTest, LargeIntDoubleComparisonIsExact) {
+  // 2^53 + 1 is not representable as a double; the old cast-to-double
+  // comparison reported equality with 2^53.
+  const int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_GT(Value(big).Compare(Value(9007199254740992.0)), 0);  // 2^53
+  EXPECT_LT(Value(9007199254740992.0).Compare(Value(big)), 0);
+  // INT64_MAX is below 2^63 (the nearest double), not equal to it.
+  const int64_t imax = std::numeric_limits<int64_t>::max();
+  EXPECT_LT(Value(imax).Compare(Value(9223372036854775808.0)), 0);
+  EXPECT_GT(Value(9223372036854775808.0).Compare(Value(imax)), 0);
+  // INT64_MIN == -2^63 exactly.
+  const int64_t imin = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(Value(imin).Compare(Value(-9223372036854775808.0)), 0);
+  // Fractional doubles order strictly between neighbouring integers.
+  EXPECT_LT(Value(int64_t{4}).Compare(Value(4.5)), 0);
+  EXPECT_GT(Value(int64_t{5}).Compare(Value(4.5)), 0);
+  EXPECT_LT(Value(int64_t{-5}).Compare(Value(-4.5)), 0);
+  EXPECT_GT(Value(int64_t{-4}).Compare(Value(-4.5)), 0);
+}
+
 TEST(ValueTest, IntAndIntValuedDoubleHashEqually) {
   // Required so mixed-type equi-joins work in the hash join.
   EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
@@ -46,6 +102,32 @@ TEST(ValueTest, ToString) {
   EXPECT_EQ(Value("txt").ToString(), "txt");
   EXPECT_EQ(Value(true).ToString(), "true");
   EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, ToStringRoundTripsDoubles) {
+  // %.6g used to collapse distinct doubles to the same text. ToString now
+  // emits the shortest string that strtod parses back to the same bits.
+  for (double d : {0.1, 1.0 / 3.0, 1e-7, 123456.789012345, 2.5e300,
+                   9007199254740993.0, -0.0001}) {
+    std::string s = Value(d).ToString();
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << s;
+  }
+}
+
+TEST(ValueTest, DoubleToIntCastOverflowIsErrorNotUB) {
+  // static_cast of an out-of-range double to int64 is UB; CastTo must refuse.
+  EXPECT_FALSE(Value(1e19).CastTo(DataType::kInt).ok());
+  EXPECT_FALSE(Value(-1e19).CastTo(DataType::kInt).ok());
+  EXPECT_FALSE(Value(std::numeric_limits<double>::infinity())
+                   .CastTo(DataType::kInt).ok());
+  EXPECT_FALSE(Value(std::numeric_limits<double>::quiet_NaN())
+                   .CastTo(DataType::kInt).ok());
+  // 2^63 itself is the first unrepresentable value; just below is fine.
+  EXPECT_FALSE(Value(9223372036854775808.0).CastTo(DataType::kInt).ok());
+  EXPECT_EQ(Value(9223372036854774784.0).CastTo(DataType::kInt).value().AsInt(),
+            int64_t{9223372036854774784});
+  EXPECT_EQ(Value(-9223372036854775808.0).CastTo(DataType::kInt).value().AsInt(),
+            std::numeric_limits<int64_t>::min());
 }
 
 TEST(ValueTest, Casts) {
