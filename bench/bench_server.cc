@@ -13,8 +13,14 @@
 //                           (busy_rejected counter) instead of queueing.
 //
 // p50/p95/p99 latency percentiles and the server's plan-cache hit counters
-// land in the benchmark JSON next to the throughput numbers.
+// land in the benchmark JSON next to the throughput numbers. The RPC-mode
+// and mixed-workload benchmarks additionally negotiate protocol v2 tracing,
+// so every response carries the server-measured queue-wait and execution
+// micros; the JSON then breaks each round trip into queue / exec / wire
+// percentiles (wire = total minus the server-side phases).
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +92,51 @@ net::Client ConnectOrSkip(benchmark::State& state) {
   return c;
 }
 
+/// Upgrades `c` to protocol v2 with per-request tracing so every response
+/// carries the server's queue-wait and execution micros.
+bool EnableTracingOrSkip(benchmark::State& state, net::Client& c) {
+  Status st = c.Hello();
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return false;
+  }
+  c.set_tracing(true);
+  return true;
+}
+
+/// Accumulates the per-request breakdown: the server-reported phases plus
+/// the wire remainder (client round trip minus time spent inside the
+/// server). Call Record after every traced response.
+struct WireBreakdown {
+  Histogram queue;
+  Histogram exec;
+  Histogram wire;
+
+  void Record(const net::ServerTiming& t, int64_t total_us) {
+    if (!t.valid) return;
+    const int64_t server_us =
+        static_cast<int64_t>(t.queue_us) + static_cast<int64_t>(t.exec_us);
+    queue.Record(static_cast<int64_t>(t.queue_us));
+    exec.Record(static_cast<int64_t>(t.exec_us));
+    wire.Record(std::max<int64_t>(0, total_us - server_us));
+  }
+
+  /// Publishes queue_wait/execute/wire p50/p95/p99 as benchmark counters.
+  void Report(benchmark::State& state) const {
+    auto put = [&state](const std::string& prefix,
+                        const HistogramSnapshot& s) {
+      if (s.count == 0) return;
+      const auto flags = benchmark::Counter::kAvgThreads;
+      state.counters[prefix + "_p50_us"] = benchmark::Counter(s.p50(), flags);
+      state.counters[prefix + "_p95_us"] = benchmark::Counter(s.p95(), flags);
+      state.counters[prefix + "_p99_us"] = benchmark::Counter(s.p99(), flags);
+    };
+    put("queue_wait", queue.Snapshot());
+    put("execute", exec.Snapshot());
+    put("wire", wire.Snapshot());
+  }
+};
+
 void ReportPlanCacheCounters(benchmark::State& state) {
   if (state.thread_index() != 0) return;
   ServerFixture* f = Fixture();
@@ -107,20 +158,25 @@ void BM_ServerQuery(benchmark::State& state, const std::string& mapping,
   }
   net::Client c = ConnectOrSkip(state);
   if (!c.connected()) return;
+  if (!EnableTracingOrSkip(state, c)) return;
   Histogram latencies;
+  WireBreakdown breakdown;
   for (auto _ : state) {
     Stopwatch timer;
     auto r = c.XPath(1, mapping, query.xpath);
-    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
+    const int64_t total_us = static_cast<int64_t>(timer.ElapsedMicros());
+    latencies.Record(total_us);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
     }
+    breakdown.Record(c.last_server_timing(), total_us);
     benchmark::DoNotOptimize(r.value());
   }
   state.SetItemsProcessed(state.iterations());
   ReportLatencyPercentiles(state, latencies.Snapshot(),
                            /*average_across_threads=*/true);
+  breakdown.Report(state);
   ReportPlanCacheCounters(state);
 }
 
@@ -132,6 +188,7 @@ void BM_ServerMixed(benchmark::State& state, const std::string& mapping) {
   }
   net::Client c = ConnectOrSkip(state);
   if (!c.connected()) return;
+  if (!EnableTracingOrSkip(state, c)) return;
   auto ins = c.Prepare("INSERT INTO scratch VALUES (?, ?)");
   auto del = c.Prepare("DELETE FROM scratch WHERE tid = ?");
   if (!ins.ok() || !del.ok()) {
@@ -140,6 +197,7 @@ void BM_ServerMixed(benchmark::State& state, const std::string& mapping) {
   }
   const int64_t tid = state.thread_index();
   Histogram latencies;
+  WireBreakdown breakdown;
   int64_t i = 0;
   for (auto _ : state) {
     Stopwatch timer;
@@ -151,6 +209,7 @@ void BM_ServerMixed(benchmark::State& state, const std::string& mapping) {
         state.SkipWithError("write failed");
         return;
       }
+      latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
     } else {
       auto r = c.XPath(1, mapping, "//item/name");
       if (!r.ok()) {
@@ -158,12 +217,15 @@ void BM_ServerMixed(benchmark::State& state, const std::string& mapping) {
         return;
       }
       benchmark::DoNotOptimize(r.value());
+      const int64_t total_us = static_cast<int64_t>(timer.ElapsedMicros());
+      latencies.Record(total_us);
+      breakdown.Record(c.last_server_timing(), total_us);
     }
-    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
   }
   state.SetItemsProcessed(state.iterations());
   ReportLatencyPercentiles(state, latencies.Snapshot(),
                            /*average_across_threads=*/true);
+  breakdown.Report(state);
   ReportPlanCacheCounters(state);
 }
 

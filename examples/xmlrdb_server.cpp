@@ -1,6 +1,7 @@
 // xmlrdb_server — the standalone TCP server binary.
 //
 //   $ ./build/examples/xmlrdb_server [--port N] [--scale S] [--workers W]
+//                                    [--admin-port N] [--log-json]
 //
 // Stores the XMark auction document under every mapping, then serves the
 // wire protocol (src/net/protocol.h): SQL over QUERY/PREPARE/EXEC_PREPARED,
@@ -8,25 +9,45 @@
 // xmlrdb_statements / xmlrdb_metrics virtual tables for live introspection.
 // Runs until stdin closes or SIGINT.
 //
-//   $ ./build/examples/xmlrdb_server --smoke
+// --admin-port starts the read-only HTTP observability plane
+// (net/http_admin.h) on a second port: /metrics, /healthz, /readyz,
+// /statements, /sessions, /resources, /tracez. It comes up *before* the
+// stores are built so /readyz honestly answers 503 while the XMark load is
+// still running. --log-json switches the lifecycle messages (startup,
+// stores loaded, shutdown) to one-line JSON objects with microsecond
+// timestamps, so smoke harnesses can parse the log instead of scraping
+// free-form text.
+//
+//   $ ./build/examples/xmlrdb_server --smoke [--admin-port 0]
 //
 // Self-drive mode for CI: starts the server on an ephemeral port, runs an
 // in-process client mix (SQL + prepared statements + Q1–Q12 on every
-// mapping + pipelined burst + a protocol-violation connection), stops the
-// server cleanly, and prints one JSON object with the serving stats. Exits
-// nonzero if anything misbehaves — including a zero plan-cache hit count.
+// mapping + pipelined burst + a protocol-violation connection), probes the
+// admin endpoints when --admin-port is given, stops the server cleanly, and
+// prints one JSON object with the serving stats. Exits nonzero if anything
+// misbehaves — including a zero plan-cache hit count.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "net/client.h"
+#include "net/http_admin.h"
 #include "net/server.h"
+#include "rdb/wal.h"
 #include "shred/evaluator.h"
 #include "shred/inline_mapping.h"
 #include "shred/registry.h"
@@ -38,6 +59,29 @@
 using namespace xmlrdb;
 
 namespace {
+
+bool g_log_json = false;
+
+/// One structured lifecycle line when --log-json is set. Values must
+/// already be rendered as JSON (use json::Quote for strings); keys are
+/// emitted in call order after the timestamp and event name:
+///   {"ts_us":171234,"event":"startup","port":8019,...}
+void LogEvent(
+    const char* event,
+    std::initializer_list<std::pair<const char*, std::string>> fields) {
+  if (!g_log_json) return;
+  std::string line = "{\"ts_us\":" + std::to_string(trace::NowMicros()) +
+                     ",\"event\":" + json::Quote(event);
+  for (const auto& [key, value] : fields) {
+    line += ',';
+    line += json::Quote(key);
+    line += ':';
+    line += value;
+  }
+  line += "}\n";
+  std::fputs(line.c_str(), stdout);
+  std::fflush(stdout);
+}
 
 struct Store {
   std::unique_ptr<shred::Mapping> mapping;
@@ -95,9 +139,12 @@ net::XPathHandler MakeHandler(std::map<std::string, Store>* stores) {
 }
 
 /// CI self-drive: exercise every request type against a live socket, then
-/// verify the counters. Returns 0 on success.
+/// verify the counters. With a live admin plane, also GETs the observability
+/// endpoints and fails on any non-200 or an empty /metrics. Returns 0 on
+/// success.
 int RunSmoke(rdb::Database* db, net::Server* server,
-             std::map<std::string, Store>* stores) {
+             std::map<std::string, Store>* stores,
+             net::HttpAdminServer* admin) {
   const uint16_t port = server->port();
   net::Client c;
   if (!c.Connect("127.0.0.1", port).ok()) {
@@ -172,6 +219,41 @@ int RunSmoke(rdb::Database* db, net::Server* server,
     std::fprintf(stderr, "smoke: xmlrdb_sessions empty\n");
     return 1;
   }
+  // Traced round trip: the server must echo our request id and its timing.
+  if (!c.Hello().ok() || c.negotiated_version() < 2) {
+    std::fprintf(stderr, "smoke: protocol v2 negotiation failed\n");
+    return 1;
+  }
+  c.set_tracing(true);
+  c.set_next_request_id(424242);
+  auto traced = c.Query("SELECT COUNT(*) FROM xmlrdb_statements");
+  if (!traced.ok() || !c.last_server_timing().valid ||
+      c.last_server_timing().request_id != 424242) {
+    std::fprintf(stderr, "smoke: traced request did not echo timing\n");
+    return 1;
+  }
+  // Admin plane, while traffic counters are still warm.
+  bool admin_ok = true;
+  int64_t metrics_bytes = 0;
+  if (admin != nullptr) {
+    for (const char* target :
+         {"/healthz", "/readyz", "/metrics", "/statements", "/sessions",
+          "/resources"}) {
+      auto r = net::HttpGet("127.0.0.1", admin->port(), target);
+      if (!r.ok() || r.value().status != 200 || r.value().body.empty()) {
+        std::fprintf(stderr, "smoke: admin GET %s failed\n", target);
+        admin_ok = false;
+        continue;
+      }
+      if (std::strcmp(target, "/metrics") == 0) {
+        metrics_bytes = static_cast<int64_t>(r.value().body.size());
+        if (r.value().body.find("xmlrdb_") == std::string::npos) {
+          std::fprintf(stderr, "smoke: /metrics has no xmlrdb_ families\n");
+          admin_ok = false;
+        }
+      }
+    }
+  }
   c.Close();
 
   auto pc = db->plan_cache().stats();
@@ -180,17 +262,20 @@ int RunSmoke(rdb::Database* db, net::Server* server,
   // the open/close counters balance in the snapshot below.
   auto stats = server->stats();
   const bool ok = stats.requests > 0 && stats.protocol_errors > 0 &&
-                  pc.hits > 0;
+                  pc.hits > 0 && admin_ok;
   std::printf(
       "{\"smoke\": %s, \"sessions_opened\": %lld, \"sessions_closed\": %lld, "
       "\"requests\": %lld, \"busy_rejected\": %lld, \"protocol_errors\": "
-      "%lld, \"plancache_hits\": %lld, \"plancache_misses\": %lld}\n",
+      "%lld, \"plancache_hits\": %lld, \"plancache_misses\": %lld, "
+      "\"admin_probed\": %s, \"admin_ok\": %s, \"metrics_bytes\": %lld}\n",
       ok ? "true" : "false", static_cast<long long>(stats.sessions_opened),
       static_cast<long long>(stats.sessions_closed),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.busy_rejected),
       static_cast<long long>(stats.protocol_errors),
-      static_cast<long long>(pc.hits), static_cast<long long>(pc.misses));
+      static_cast<long long>(pc.hits), static_cast<long long>(pc.misses),
+      admin != nullptr ? "true" : "false", admin_ok ? "true" : "false",
+      static_cast<long long>(metrics_bytes));
   return ok ? 0 : 1;
 }
 
@@ -201,6 +286,7 @@ int main(int argc, char** argv) {
   double scale = 0.1;
   size_t workers = 4;
   bool smoke = false;
+  int admin_port = -1;  // -1 = admin plane disabled
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -211,18 +297,17 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--log-json") == 0) {
+      g_log_json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--scale S] [--workers W] [--smoke]\n",
+                   "usage: %s [--port N] [--scale S] [--workers W] "
+                   "[--admin-port N] [--log-json] [--smoke]\n",
                    argv[0]);
       return 2;
     }
-  }
-
-  std::map<std::string, Store>* stores = BuildStores(scale);
-  if (stores == nullptr) {
-    std::fprintf(stderr, "failed to build the stored mappings\n");
-    return 1;
   }
 
   rdb::Database db;
@@ -230,32 +315,102 @@ int main(int argc, char** argv) {
   cfg.port = port;
   cfg.workers = workers;
   net::Server server(&db, cfg);
+
+  // The admin plane comes up before the stores are built: /healthz answers
+  // immediately, /readyz stays 503 until the load finishes (and thereafter
+  // reflects the WAL's sticky health if one is ever attached).
+  std::atomic<bool> ready{false};
+  net::HttpAdminServer admin;
+  if (admin_port >= 0) {
+    MetricsRegistry::Global().set_enabled(true);
+    net::RegisterAdminEndpoints(
+        &admin, &db, [&server] { return server.SnapshotSessions(); },
+        [&ready, &db]() -> Status {
+          if (!ready.load(std::memory_order_acquire)) {
+            return Status::IoError("startup: stores still loading");
+          }
+          if (db.wal() != nullptr) return db.wal()->health();
+          return Status::OK();
+        });
+    net::HttpAdminConfig admin_cfg;
+    admin_cfg.port = static_cast<uint16_t>(admin_port);
+    Status admin_st = admin.Start(admin_cfg);
+    if (!admin_st.ok()) {
+      std::fprintf(stderr, "admin start: %s\n", admin_st.ToString().c_str());
+      return 1;
+    }
+    LogEvent("admin_listening",
+             {{"port", std::to_string(admin.port())}});
+  }
+
+  const int64_t load_start_us = trace::NowMicros();
+  std::map<std::string, Store>* stores = BuildStores(scale);
+  if (stores == nullptr) {
+    LogEvent("startup_failed",
+             {{"error", json::Quote("failed to build the stored mappings")}});
+    std::fprintf(stderr, "failed to build the stored mappings\n");
+    return 1;
+  }
+  LogEvent("stores_loaded",
+           {{"duration_us",
+             std::to_string(trace::NowMicros() - load_start_us)},
+            {"mappings", std::to_string(stores->size())},
+            {"scale", std::to_string(scale)}});
+
   server.set_xpath_handler(MakeHandler(stores));
   Status st = server.Start();
   if (!st.ok()) {
+    LogEvent("startup_failed", {{"error", json::Quote(st.ToString())}});
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
+  ready.store(true, std::memory_order_release);
+  LogEvent("startup",
+           {{"port", std::to_string(server.port())},
+            {"admin_port",
+             admin.running() ? std::to_string(admin.port()) : "null"},
+            {"workers", std::to_string(workers)},
+            {"pid", std::to_string(static_cast<long>(getpid()))}});
 
-  if (smoke) return RunSmoke(&db, &server, stores);
+  if (smoke) {
+    return RunSmoke(&db, &server, stores,
+                    admin.running() ? &admin : nullptr);
+  }
 
-  std::printf("xmlrdb_server listening on %s:%u (%zu workers)\n",
-              cfg.bind_address.c_str(), server.port(), cfg.workers);
-  std::printf("mappings served over XPATH: ");
-  for (const auto& [name, s] : *stores) std::printf("%s ", name.c_str());
-  std::printf("\npress Ctrl-D to stop\n");
+  if (!g_log_json) {
+    std::printf("xmlrdb_server listening on %s:%u (%zu workers)\n",
+                cfg.bind_address.c_str(), server.port(), cfg.workers);
+    if (admin.running()) {
+      std::printf("admin endpoints on http://127.0.0.1:%u "
+                  "(/metrics /healthz /readyz /statements /sessions "
+                  "/resources /tracez)\n",
+                  admin.port());
+    }
+    std::printf("mappings served over XPATH: ");
+    for (const auto& [name, s] : *stores) std::printf("%s ", name.c_str());
+    std::printf("\npress Ctrl-D to stop\n");
+  }
   // Serve until stdin closes (Ctrl-D, or the harness killing the pipe).
   signal(SIGPIPE, SIG_IGN);
   char buf[256];
   while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
   }
   server.Stop();
+  admin.Stop();
   auto stats = server.stats();
-  std::printf("served %lld requests over %lld sessions (%lld busy, %lld "
-              "protocol errors)\n",
-              static_cast<long long>(stats.requests),
-              static_cast<long long>(stats.sessions_opened),
-              static_cast<long long>(stats.busy_rejected),
-              static_cast<long long>(stats.protocol_errors));
+  LogEvent("shutdown",
+           {{"requests", std::to_string(stats.requests)},
+            {"sessions_opened", std::to_string(stats.sessions_opened)},
+            {"sessions_closed", std::to_string(stats.sessions_closed)},
+            {"busy_rejected", std::to_string(stats.busy_rejected)},
+            {"protocol_errors", std::to_string(stats.protocol_errors)}});
+  if (!g_log_json) {
+    std::printf("served %lld requests over %lld sessions (%lld busy, %lld "
+                "protocol errors)\n",
+                static_cast<long long>(stats.requests),
+                static_cast<long long>(stats.sessions_opened),
+                static_cast<long long>(stats.busy_rejected),
+                static_cast<long long>(stats.protocol_errors));
+  }
   return 0;
 }

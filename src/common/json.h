@@ -1,0 +1,59 @@
+// Minimal JSON string escaping, shared by every producer of JSON output in
+// the engine (trace export, the HTTP admin endpoints, structured server
+// logs). Escaping is the only JSON primitive the engine needs — documents
+// are assembled by hand at each call site, which keeps the output format
+// visible where it is produced.
+
+#ifndef XMLRDB_COMMON_JSON_H_
+#define XMLRDB_COMMON_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace xmlrdb::json {
+
+/// Appends `s` to *out with JSON string escaping (no surrounding quotes).
+inline void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// `s` as a quoted JSON string literal.
+inline std::string Quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  AppendEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace xmlrdb::json
+
+#endif  // XMLRDB_COMMON_JSON_H_

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/resource_tracker.h"
+
 namespace xmlrdb {
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -80,28 +82,49 @@ std::string PrometheusName(const std::string& name) {
 }  // namespace
 
 std::string MetricsRegistry::RenderPrometheus() const {
+  // Prometheus text exposition format 0.0.4. Registry counters are
+  // monotonic, so they export as `# TYPE ... counter` with the conventional
+  // `_total` suffix; histograms export cumulative `_bucket{le="..."}` lines
+  // (our log2 buckets hold integers, so the inclusive `le` of bucket i is
+  // its exclusive upper bound minus one) plus `_sum`/`_count`; resource
+  // gauges are instantaneous levels and export as `# TYPE ... gauge`.
   std::string out;
-  char buf[160];
+  char buf[192];
   for (const auto& [name, value] : Snapshot()) {
-    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n",
-                  PrometheusName(name).c_str(), value);
+    std::string p = PrometheusName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s_total counter\n%s_total %" PRId64 "\n",
+                  p.c_str(), p.c_str(), value);
+    out.append(buf);
+  }
+  for (const auto& [name, value] : ResourceTracker::Global().Snapshot()) {
+    std::string p = PrometheusName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  p.c_str(), p.c_str(), value);
     out.append(buf);
   }
   for (const auto& [name, snap] : HistogramSnapshots()) {
     std::string p = PrometheusName(name);
-    for (double q : {0.5, 0.95, 0.99}) {
-      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%.2f\"} %.1f\n", p.c_str(),
-                    q, snap.Percentile(q * 100.0));
+    std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", p.c_str());
+    out.append(buf);
+    int last_nonempty = -1;
+    for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (snap.buckets[i] != 0) last_nonempty = i;
+    }
+    int64_t cumulative = 0;
+    for (int i = 0; i <= last_nonempty; ++i) {
+      cumulative += snap.buckets[i];
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%" PRId64 "\"} %" PRId64 "\n",
+                    p.c_str(), Histogram::BucketUpperBound(i) - 1, cumulative);
       out.append(buf);
     }
-    std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", p.c_str(),
-                  snap.count);
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                  p.c_str(), snap.count);
     out.append(buf);
     std::snprintf(buf, sizeof(buf), "%s_sum %" PRId64 "\n", p.c_str(),
                   snap.sum);
     out.append(buf);
-    std::snprintf(buf, sizeof(buf), "%s_max %" PRId64 "\n", p.c_str(),
-                  snap.max);
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", p.c_str(),
+                  snap.count);
     out.append(buf);
   }
   return out;

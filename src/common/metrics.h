@@ -78,9 +78,11 @@ class MetricsRegistry {
   /// and capture depth untouched).
   void Reset();
 
-  /// Prometheus text exposition: counters as gauges, histograms as
-  /// quantile/count/sum/max series. Metric names have '.' mapped to '_' and
-  /// an "xmlrdb_" prefix.
+  /// Prometheus text exposition (format 0.0.4): registry counters as
+  /// `# TYPE ... counter` with a `_total` suffix, ResourceTracker gauges as
+  /// `# TYPE ... gauge`, histograms as `# TYPE ... histogram` with
+  /// cumulative `_bucket{le="..."}` lines plus `_sum`/`_count`. Metric names
+  /// have '.' mapped to '_' and an "xmlrdb_" prefix.
   std::string RenderPrometheus() const;
 
   /// Counters that changed between `before` and `after`, as after - before.

@@ -1,0 +1,38 @@
+#include "common/resource_tracker.h"
+
+namespace xmlrdb {
+
+ResourceTracker& ResourceTracker::Global() {
+  static ResourceTracker* tracker = new ResourceTracker();
+  return *tracker;
+}
+
+ResourceGauge& ResourceTracker::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<ResourceGauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+int64_t ResourceTracker::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::map<std::string, int64_t> ResourceTracker::Snapshot() const {
+  std::map<std::string, int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+void ResourceTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+}
+
+}  // namespace xmlrdb

@@ -1,0 +1,75 @@
+// Engine-wide resource accounting: named byte/occupancy gauges behind one
+// process-global tracker.
+//
+// Unlike MetricsRegistry counters (off by default, enabled per capture so
+// instrumented hot paths cost nothing), resource gauges are ALWAYS on: the
+// question "how much memory is the plan cache / WAL / table heap using right
+// now" must be answerable from a cold /metrics scrape without anyone having
+// turned anything on first. A gauge update is one relaxed atomic add, cheap
+// enough for every insert/delete/append in the engine.
+//
+// Gauges are registered by name on first use and live for the process
+// lifetime, so subsystems cache the returned reference and Add() lock-free.
+// Owners that die (a dropped Table, an evicted plan-cache entry, a closed
+// connection) subtract what they added, so a gauge is the live total across
+// every instance in the process — the same process-global scope the metrics
+// registry uses.
+//
+// Exposed through RenderPrometheus() (as `# TYPE ... gauge`), the
+// xmlrdb_resources virtual table, and the admin plane's /resources endpoint.
+
+#ifndef XMLRDB_COMMON_RESOURCE_TRACKER_H_
+#define XMLRDB_COMMON_RESOURCE_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xmlrdb {
+
+/// One live total (bytes, entries, ...). Writers Add() deltas; a reading
+/// scrape sees the instantaneous sum.
+class ResourceGauge {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class ResourceTracker {
+ public:
+  /// The process-wide tracker every subsystem reports into.
+  static ResourceTracker& Global();
+
+  /// The gauge registered under `name`, created on first use. The returned
+  /// reference stays valid for the process lifetime, so callers cache it and
+  /// update lock-free.
+  ResourceGauge& GetGauge(std::string_view name);
+
+  /// Current value of `name` (0 if never written).
+  int64_t Get(const std::string& name) const;
+
+  /// Copy of every gauge, by name.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  /// Zeroes every gauge (tests only — live owners keep their references and
+  /// their deltas would skew a zeroed gauge).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ResourceGauge>, std::less<>> gauges_;
+};
+
+}  // namespace xmlrdb
+
+#endif  // XMLRDB_COMMON_RESOURCE_TRACKER_H_

@@ -52,11 +52,13 @@ void ThreadPool::Submit(std::function<void()> fn) {
     fn();
     return;
   }
-  // Capture the submitter's innermost span so spans opened by the task nest
-  // under it even though the task runs on a worker thread.
+  // Capture the submitter's innermost span (and wire request id) so spans
+  // opened by the task nest under it even though the task runs on a worker
+  // thread.
   uint64_t parent_span = trace::CurrentSpanId();
-  auto task = [parent_span, fn = std::move(fn)] {
-    ScopedTraceContext ctx(parent_span);
+  uint64_t request_id = trace::CurrentRequestId();
+  auto task = [parent_span, request_id, fn = std::move(fn)] {
+    ScopedTraceContext ctx(parent_span, request_id);
     fn();
   };
   {

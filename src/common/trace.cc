@@ -3,11 +3,20 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/json.h"
+#include "common/resource_tracker.h"
+
 namespace xmlrdb {
 
 namespace {
 
 thread_local uint64_t t_current_span = 0;
+thread_local uint64_t t_current_request = 0;
+
+ResourceGauge& EventsGauge() {
+  static ResourceGauge& g = ResourceTracker::Global().GetGauge("trace.events");
+  return g;
+}
 
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<int64_t> g_next_thread_id{1};
@@ -24,31 +33,13 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
-void AppendJsonEscaped(std::string_view s, std::string* out) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out->append("\\\""); break;
-      case '\\': out->append("\\\\"); break;
-      case '\n': out->append("\\n"); break;
-      case '\r': out->append("\\r"); break;
-      case '\t': out->append("\\t"); break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-}
-
 }  // namespace
 
 namespace trace {
 
 uint64_t CurrentSpanId() { return t_current_span; }
+
+uint64_t CurrentRequestId() { return t_current_request; }
 
 int64_t CurrentThreadId() { return ThreadIdSlow(); }
 
@@ -73,6 +64,7 @@ void TraceCollector::Record(TraceEvent event) {
     return;
   }
   events_.push_back(std::move(event));
+  EventsGauge().Add(1);
 }
 
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
@@ -87,6 +79,7 @@ size_t TraceCollector::size() const {
 
 void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  EventsGauge().Add(-static_cast<int64_t>(events_.size()));
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
@@ -104,18 +97,24 @@ std::string TraceCollector::RenderChromeJson() const {
     const TraceEvent& e = events[i];
     if (i > 0) out.push_back(',');
     out.append("{\"name\":\"");
-    AppendJsonEscaped(e.name, &out);
+    json::AppendEscaped(&out, e.name);
     out.append("\",\"cat\":\"");
-    AppendJsonEscaped(e.category, &out);
+    json::AppendEscaped(&out, e.category);
     std::snprintf(buf, sizeof(buf),
                   "\",\"ph\":\"X\",\"pid\":1,\"tid\":%lld,\"ts\":%lld,"
-                  "\"dur\":%lld,\"args\":{\"span\":%llu,\"parent\":%llu}}",
+                  "\"dur\":%lld,\"args\":{\"span\":%llu,\"parent\":%llu",
                   static_cast<long long>(e.tid),
                   static_cast<long long>(e.start_us),
                   static_cast<long long>(e.dur_us),
                   static_cast<unsigned long long>(e.id),
                   static_cast<unsigned long long>(e.parent_id));
     out.append(buf);
+    if (e.request_id != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"request_id\":%llu",
+                    static_cast<unsigned long long>(e.request_id));
+      out.append(buf);
+    }
+    out.append("}}");
   }
   out.append("],\"displayTimeUnit\":\"ms\"}");
   return out;
@@ -140,17 +139,30 @@ ScopedSpan::~ScopedSpan() {
   event.category = std::move(category_);
   event.id = id_;
   event.parent_id = parent_;
+  event.request_id = t_current_request;
   event.tid = trace::CurrentThreadId();
   event.start_us = start_us_;
   event.dur_us = trace::NowMicros() - start_us_;
   TraceCollector::Global().Record(std::move(event));
 }
 
-ScopedTraceContext::ScopedTraceContext(uint64_t parent_span_id)
-    : saved_(t_current_span) {
-  t_current_span = parent_span_id;
+ScopedRequestId::ScopedRequestId(uint64_t request_id)
+    : saved_(t_current_request) {
+  t_current_request = request_id;
 }
 
-ScopedTraceContext::~ScopedTraceContext() { t_current_span = saved_; }
+ScopedRequestId::~ScopedRequestId() { t_current_request = saved_; }
+
+ScopedTraceContext::ScopedTraceContext(uint64_t parent_span_id,
+                                       uint64_t request_id)
+    : saved_(t_current_span), saved_request_(t_current_request) {
+  t_current_span = parent_span_id;
+  t_current_request = request_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_current_span = saved_;
+  t_current_request = saved_request_;
+}
 
 }  // namespace xmlrdb

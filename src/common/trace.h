@@ -28,10 +28,11 @@ namespace xmlrdb {
 struct TraceEvent {
   std::string name;
   std::string category;
-  uint64_t id = 0;         ///< unique span id (> 0)
-  uint64_t parent_id = 0;  ///< 0 = top-level span
-  int64_t tid = 0;         ///< stable small integer per thread
-  int64_t start_us = 0;    ///< microseconds since process trace epoch
+  uint64_t id = 0;          ///< unique span id (> 0)
+  uint64_t parent_id = 0;   ///< 0 = top-level span
+  uint64_t request_id = 0;  ///< client-supplied wire request id (0 = none)
+  int64_t tid = 0;          ///< stable small integer per thread
+  int64_t start_us = 0;     ///< microseconds since process trace epoch
   int64_t dur_us = 0;
 };
 
@@ -73,6 +74,12 @@ namespace trace {
 /// The calling thread's innermost open span id (0 if none).
 uint64_t CurrentSpanId();
 
+/// The wire request id attached to the calling thread (0 if none). Installed
+/// by ScopedRequestId when the server dispatches a traced frame; every span
+/// and statement-log entry produced inside the scope carries it, so a client
+/// can match its own request id against server-side telemetry.
+uint64_t CurrentRequestId();
+
 /// Stable small integer identifying the calling thread in trace output.
 int64_t CurrentThreadId();
 
@@ -104,11 +111,27 @@ class ScopedSpan {
   std::string category_;
 };
 
-/// Installs `parent_span_id` as the calling thread's current span for the
-/// scope — the cross-thread handoff used by ThreadPool workers.
+/// Installs `request_id` as the calling thread's current wire request id for
+/// the scope. Unlike ScopedSpan this is always active — the request id must
+/// reach the statement log even when tracing is off.
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(uint64_t request_id);
+  ~ScopedRequestId();
+
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// Installs `parent_span_id` as the calling thread's current span — and
+/// `request_id` as its current request id — for the scope: the cross-thread
+/// handoff used by ThreadPool workers.
 class ScopedTraceContext {
  public:
-  explicit ScopedTraceContext(uint64_t parent_span_id);
+  explicit ScopedTraceContext(uint64_t parent_span_id, uint64_t request_id = 0);
   ~ScopedTraceContext();
 
   ScopedTraceContext(const ScopedTraceContext&) = delete;
@@ -116,6 +139,7 @@ class ScopedTraceContext {
 
  private:
   uint64_t saved_;
+  uint64_t saved_request_;
 };
 
 }  // namespace xmlrdb

@@ -57,7 +57,30 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   next_seq_ = 1;
+  negotiated_version_ = 1;
+  tracing_ = false;
+  last_timing_ = ServerTiming{};
   decoder_ = FrameDecoder(kDefaultMaxFrameBytes);
+  return Status::OK();
+}
+
+Status Client::Hello() {
+  ASSIGN_OR_RETURN(Frame resp,
+                   RoundTrip(MsgType::kHello, EncodeHello(kProtocolVersion)));
+  if (resp.type == MsgType::kError) return DecodeError(resp.payload);
+  if (resp.type != MsgType::kHelloOk) {
+    return Status::ParseError(std::string("unexpected response frame ") +
+                              MsgTypeName(resp.type));
+  }
+  uint32_t version = 0;
+  RETURN_IF_ERROR(DecodeHello(resp.payload, &version));
+  if (version > kProtocolVersion) {
+    return Status::ParseError("server negotiated version " +
+                              std::to_string(version) +
+                              " above ours " +
+                              std::to_string(kProtocolVersion));
+  }
+  negotiated_version_ = version;
   return Status::OK();
 }
 
@@ -86,7 +109,21 @@ Result<uint32_t> Client::SendFrame(MsgType type, std::string payload) {
   Frame frame;
   frame.type = type;
   frame.seq = next_seq_++;
-  frame.payload = std::move(payload);
+  if (tracing_) {
+    if (negotiated_version_ < 2) {
+      return Status::InvalidArgument(
+          "tracing requires protocol v2 — call Hello() first");
+    }
+    last_request_id_ = next_request_id_++;
+    std::string traced;
+    traced.reserve(kTracedRequestPrefixBytes + payload.size());
+    AppendTracedRequestPrefix(&traced, last_request_id_);
+    traced += payload;
+    frame.payload = std::move(traced);
+    frame.traced = true;
+  } else {
+    frame.payload = std::move(payload);
+  }
   RETURN_IF_ERROR(SendRaw(EncodeFrame(frame)));
   return frame.seq;
 }
@@ -96,7 +133,17 @@ Result<Frame> Client::ReadResponse() {
   Frame frame;
   for (;;) {
     FrameDecoder::PollResult res = decoder_.Poll(&frame);
-    if (res == FrameDecoder::PollResult::kFrame) return frame;
+    if (res == FrameDecoder::PollResult::kFrame) {
+      if (frame.traced) {
+        // Capture the server's timing echo and hand callers the base
+        // payload so response handling is mode-agnostic.
+        std::string_view rest;
+        RETURN_IF_ERROR(
+            StripTracedResponsePrefix(frame.payload, &last_timing_, &rest));
+        frame.payload.erase(0, kTracedResponsePrefixBytes);
+      }
+      return frame;
+    }
     if (res == FrameDecoder::PollResult::kError) return decoder_.error();
     char buf[64 * 1024];
     ssize_t n = recv(fd_, buf, sizeof(buf), 0);

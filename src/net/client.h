@@ -11,6 +11,13 @@
 //
 // The client assigns sequence numbers automatically (1, 2, ...). SendRaw()
 // bypasses all framing for hostile-input tests.
+//
+// Tracing (protocol v2): after Hello() negotiates version >= 2,
+// set_tracing(true) makes every request carry a client-chosen request id;
+// the server echoes it back together with its measured admission-queue wait
+// and execution time, available from last_server_timing() after each
+// response. ReadResponse() strips the timing prefix, so payload handling is
+// identical in both modes.
 
 #ifndef XMLRDB_NET_CLIENT_H_
 #define XMLRDB_NET_CLIENT_H_
@@ -44,6 +51,24 @@ class Client {
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  // -- protocol negotiation / tracing --
+  /// Negotiates the protocol version (min of ours and the server's). Call
+  /// once after Connect(); without it the connection behaves as version 1.
+  Status Hello();
+  uint32_t negotiated_version() const { return negotiated_version_; }
+  /// Attach a trace prefix (request id) to every subsequent request. The
+  /// server must speak v2: with tracing on and no v2 negotiation, Send*
+  /// fail with InvalidArgument rather than emit frames the peer would
+  /// reject.
+  void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
+  /// Request id stamped into the next traced request (auto-increments).
+  void set_next_request_id(uint64_t id) { next_request_id_ = id; }
+  uint64_t last_request_id() const { return last_request_id_; }
+  /// Server-measured timing from the most recent traced response;
+  /// .valid is false until one has been seen.
+  const ServerTiming& last_server_timing() const { return last_timing_; }
 
   // -- one-shot RPCs --
   Result<rdb::QueryResult> Query(std::string_view sql);
@@ -87,6 +112,11 @@ class Client {
 
   int fd_ = -1;
   uint32_t next_seq_ = 1;
+  uint32_t negotiated_version_ = 1;
+  bool tracing_ = false;
+  uint64_t next_request_id_ = 1;
+  uint64_t last_request_id_ = 0;
+  ServerTiming last_timing_;
   FrameDecoder decoder_{kDefaultMaxFrameBytes};
 };
 

@@ -1,0 +1,624 @@
+#include "net/http_admin.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/resource_tracker.h"
+#include "common/trace.h"
+
+namespace xmlrdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+// -- parser ----------------------------------------------------------------
+
+void HttpRequestParser::Feed(std::string_view data) {
+  if (!error_.ok()) return;
+  buffer_.append(data);
+}
+
+HttpRequestParser::PollResult HttpRequestParser::Poll(HttpRequest* out) {
+  if (!error_.ok()) return PollResult::kError;
+  size_t pos = buffer_.find("\r\n\r\n", consumed_);
+  if (pos == std::string::npos) {
+    if (buffer_.size() - consumed_ > max_request_bytes_) {
+      oversized_ = true;
+      error_ = Status::InvalidArgument("request head exceeds " +
+                                       std::to_string(max_request_bytes_) +
+                                       " bytes");
+      return PollResult::kError;
+    }
+    // Drop the consumed prefix so a long-lived connection cannot grow the
+    // buffer without bound across many requests.
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    return PollResult::kNeedMore;
+  }
+  if (pos + 4 - consumed_ > max_request_bytes_) {
+    oversized_ = true;
+    error_ = Status::InvalidArgument("request head exceeds " +
+                                     std::to_string(max_request_bytes_) +
+                                     " bytes");
+    return PollResult::kError;
+  }
+  std::string_view head =
+      std::string_view(buffer_).substr(consumed_, pos - consumed_);
+  consumed_ = pos + 4;
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    error_ = Status::ParseError("malformed HTTP request line");
+    return PollResult::kError;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || target[0] != '/') {
+    error_ = Status::ParseError("malformed HTTP request line");
+    return PollResult::kError;
+  }
+  bool http10 = version == "HTTP/1.0";
+  if (!http10 && version != "HTTP/1.1") {
+    error_ = Status::ParseError("unsupported HTTP version");
+    return PollResult::kError;
+  }
+
+  out->method = std::string(method);
+  out->target = std::string(target);
+  out->keep_alive = !http10;
+
+  // Headers: only Connection matters; any request body is rejected — this
+  // plane is read-only.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    size_t eol = rest.find("\r\n");
+    std::string_view hline =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 2);
+    if (hline.empty()) continue;
+    size_t colon = hline.find(':');
+    if (colon == std::string_view::npos) {
+      error_ = Status::ParseError("malformed HTTP header line");
+      return PollResult::kError;
+    }
+    std::string name = AsciiLower(Trim(hline.substr(0, colon)));
+    std::string value = AsciiLower(Trim(hline.substr(colon + 1)));
+    if (name == "connection") {
+      if (value == "close") out->keep_alive = false;
+      if (value == "keep-alive") out->keep_alive = true;
+    } else if (name == "transfer-encoding") {
+      error_ = Status::InvalidArgument("request bodies are not accepted");
+      return PollResult::kError;
+    } else if (name == "content-length") {
+      if (value != "0") {
+        error_ = Status::InvalidArgument("request bodies are not accepted");
+        return PollResult::kError;
+      }
+    }
+  }
+  return PollResult::kRequest;
+}
+
+// -- response --------------------------------------------------------------
+
+std::string RenderHttpResponse(const HttpResponse& resp, bool keep_alive) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "HTTP/1.1 %d %s\r\n", resp.status,
+                StatusReason(resp.status));
+  out.append(buf);
+  out.append("Content-Type: ").append(resp.content_type).append("\r\n");
+  std::snprintf(buf, sizeof(buf), "Content-Length: %zu\r\n",
+                resp.body.size());
+  out.append(buf);
+  if (resp.status == 405) out.append("Allow: GET\r\n");
+  out.append(keep_alive ? "Connection: keep-alive\r\n"
+                        : "Connection: close\r\n");
+  out.append("\r\n");
+  out.append(resp.body);
+  return out;
+}
+
+// -- server ----------------------------------------------------------------
+
+struct HttpAdminServer::Impl {
+  explicit Impl(HttpAdminServer* srv) : server(srv) {}
+
+  HttpAdminServer* server;
+  int listen_fd = -1;
+  int wake_r = -1, wake_w = -1;
+  std::thread io_thread;
+  std::atomic<bool> stopping{false};
+
+  struct Conn {
+    explicit Conn(int fd_in, size_t max_bytes)
+        : fd(fd_in), parser(max_bytes) {}
+    int fd;
+    HttpRequestParser parser;
+    std::string outbuf;
+    size_t out_off = 0;
+    bool close_after_flush = false;
+  };
+
+  HttpResponse Dispatch(const HttpRequest& req) {
+    MetricsRegistry::Global().Add("admin.requests", 1);
+    if (req.method != "GET") {
+      return HttpResponse{405, "text/plain; charset=utf-8",
+                          "only GET is supported on the admin plane\n"};
+    }
+    std::string path = req.target.substr(0, req.target.find('?'));
+    auto it = server->handlers_.find(path);
+    if (it == server->handlers_.end()) {
+      return HttpResponse{404, "text/plain; charset=utf-8",
+                          "no such endpoint: " + path + "\n"};
+    }
+    return it->second();
+  }
+
+  /// Runs the parser over whatever is buffered, appending one response per
+  /// complete request (pipelining). Returns false when the connection must
+  /// close after its output drains.
+  bool PumpRequests(Conn* conn) {
+    HttpRequest req;
+    for (;;) {
+      HttpRequestParser::PollResult res = conn->parser.Poll(&req);
+      if (res == HttpRequestParser::PollResult::kNeedMore) return true;
+      if (res == HttpRequestParser::PollResult::kError) {
+        MetricsRegistry::Global().Add("admin.parse_errors", 1);
+        HttpResponse err{conn->parser.oversized() ? 431 : 400,
+                         "text/plain; charset=utf-8",
+                         conn->parser.error().message() + "\n"};
+        conn->outbuf.append(RenderHttpResponse(err, false));
+        return false;
+      }
+      HttpResponse resp = Dispatch(req);
+      conn->outbuf.append(RenderHttpResponse(resp, req.keep_alive));
+      if (!req.keep_alive) return false;
+    }
+  }
+
+  /// Non-blocking drain. Returns false on a dead socket.
+  bool FlushOutput(Conn* conn) {
+    while (conn->out_off < conn->outbuf.size()) {
+      ssize_t n = send(conn->fd, conn->outbuf.data() + conn->out_off,
+                       conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;
+      } else {
+        return false;
+      }
+    }
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    return true;
+  }
+
+  void IoLoop() {
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    std::vector<pollfd> fds;
+    std::vector<int> dead;
+    while (!stopping.load(std::memory_order_acquire)) {
+      fds.clear();
+      fds.push_back({wake_r, POLLIN, 0});
+      fds.push_back({listen_fd, POLLIN, 0});
+      for (auto& [fd, conn] : conns) {
+        short events = POLLIN;
+        if (conn->out_off < conn->outbuf.size()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+      }
+      int rc = poll(fds.data(), fds.size(), 500);
+      if (rc < 0 && errno != EINTR) break;
+      if (fds[0].revents & POLLIN) {
+        char tmp[256];
+        while (read(wake_r, tmp, sizeof(tmp)) > 0) {
+        }
+      }
+      if (fds[1].revents & POLLIN) {
+        for (;;) {
+          int fd = accept(listen_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          if (!SetNonBlocking(fd)) {
+            close(fd);
+            continue;
+          }
+          int one = 1;
+          setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          conns.emplace(fd, std::make_unique<Conn>(
+                                fd, server->config_.max_request_bytes));
+        }
+      }
+      dead.clear();
+      for (size_t i = 2; i < fds.size(); ++i) {
+        const pollfd& p = fds[i];
+        auto it = conns.find(p.fd);
+        if (it == conns.end()) continue;
+        Conn* conn = it->second.get();
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          dead.push_back(p.fd);
+          continue;
+        }
+        if (p.revents & POLLIN) {
+          char buf[16 * 1024];
+          bool eof = false;
+          for (;;) {
+            ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+              conn->parser.Feed(std::string_view(buf, n));
+              if (static_cast<size_t>(n) < sizeof(buf)) break;
+            } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+              break;
+            } else {
+              eof = true;
+              break;
+            }
+          }
+          if (!conn->close_after_flush && !PumpRequests(conn)) {
+            conn->close_after_flush = true;
+          }
+          if (eof && conn->out_off == conn->outbuf.size()) {
+            dead.push_back(p.fd);
+            continue;
+          }
+        }
+        if (!FlushOutput(conn)) {
+          dead.push_back(p.fd);
+          continue;
+        }
+        if (conn->close_after_flush &&
+            conn->out_off == conn->outbuf.size()) {
+          dead.push_back(p.fd);
+        }
+      }
+      for (int fd : dead) {
+        auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        close(fd);
+        conns.erase(it);
+      }
+    }
+    for (auto& [fd, conn] : conns) close(fd);
+  }
+};
+
+HttpAdminServer::HttpAdminServer() : impl_(std::make_unique<Impl>(this)) {}
+
+HttpAdminServer::~HttpAdminServer() { Stop(); }
+
+void HttpAdminServer::Handle(std::string path,
+                             std::function<HttpResponse()> handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpAdminServer::Start(const HttpAdminConfig& config) {
+  if (running_) return Status::InvalidArgument("admin server already running");
+  config_ = config;
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   config_.bind_address + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    close(fd);
+    return st;
+  }
+  if (listen(fd, config_.listen_backlog) != 0) {
+    Status st = Errno("listen");
+    close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status st = Errno("getsockname");
+    close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(fd)) {
+    Status st = Errno("fcntl");
+    close(fd);
+    return st;
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    Status st = Errno("pipe");
+    close(fd);
+    return st;
+  }
+  SetNonBlocking(pipe_fds[0]);
+  SetNonBlocking(pipe_fds[1]);
+
+  impl_->listen_fd = fd;
+  impl_->wake_r = pipe_fds[0];
+  impl_->wake_w = pipe_fds[1];
+  impl_->stopping.store(false, std::memory_order_release);
+  impl_->io_thread = std::thread([impl = impl_.get()] { impl->IoLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void HttpAdminServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  impl_->stopping.store(true, std::memory_order_release);
+  char b = 1;
+  ssize_t n = write(impl_->wake_w, &b, 1);
+  (void)n;
+  if (impl_->io_thread.joinable()) impl_->io_thread.join();
+  close(impl_->listen_fd);
+  close(impl_->wake_r);
+  close(impl_->wake_w);
+  impl_->listen_fd = impl_->wake_r = impl_->wake_w = -1;
+}
+
+// -- standard endpoints ----------------------------------------------------
+
+namespace {
+
+void AppendField(std::string* out, const char* name, int64_t value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, name, value);
+  out->append(buf);
+}
+
+void AppendField(std::string* out, const char* name, const std::string& value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+  out->append(json::Quote(value));
+}
+
+void AppendField(std::string* out, const char* name, bool value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append(value ? "\":true" : "\":false");
+}
+
+std::string StatementsJson(const rdb::Database* db) {
+  std::string out = "[";
+  bool first_entry = true;
+  for (const rdb::StatementLogEntry& e : db->statement_log().Entries()) {
+    if (!first_entry) out.push_back(',');
+    first_entry = false;
+    out.push_back('{');
+    bool first = true;
+    AppendField(&out, "seq", e.seq, &first);
+    AppendField(&out, "sql", e.sql, &first);
+    AppendField(&out, "kind", e.kind, &first);
+    AppendField(&out, "duration_us", e.duration_us, &first);
+    AppendField(&out, "lock_wait_us", e.lock_wait_us, &first);
+    AppendField(&out, "rows", e.rows, &first);
+    AppendField(&out, "slow", e.slow, &first);
+    AppendField(&out, "cache_hit", e.cache_hit, &first);
+    AppendField(&out, "request_id", e.request_id, &first);
+    if (!e.plan.empty()) AppendField(&out, "plan", e.plan, &first);
+    out.push_back('}');
+  }
+  out.append("]\n");
+  return out;
+}
+
+std::string SessionsJson(const std::vector<rdb::SessionInfo>& sessions) {
+  std::string out = "[";
+  bool first_entry = true;
+  for (const rdb::SessionInfo& s : sessions) {
+    if (!first_entry) out.push_back(',');
+    first_entry = false;
+    out.push_back('{');
+    bool first = true;
+    AppendField(&out, "id", s.id, &first);
+    AppendField(&out, "peer", s.peer, &first);
+    AppendField(&out, "state", s.state, &first);
+    AppendField(&out, "age_us", s.age_us, &first);
+    AppendField(&out, "statements", s.statements, &first);
+    AppendField(&out, "pending", s.pending, &first);
+    AppendField(&out, "busy_rejected", s.busy_rejected, &first);
+    AppendField(&out, "prepared_statements", s.prepared_statements, &first);
+    out.push_back('}');
+  }
+  out.append("]\n");
+  return out;
+}
+
+std::string ResourcesJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : ResourceTracker::Global().Snapshot()) {
+    AppendField(&out, name.c_str(), value, &first);
+  }
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace
+
+void RegisterAdminEndpoints(
+    HttpAdminServer* admin, rdb::Database* db,
+    std::function<std::vector<rdb::SessionInfo>()> sessions,
+    std::function<Status()> readiness) {
+  admin->Handle("/metrics", [] {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        MetricsRegistry::Global().RenderPrometheus()};
+  });
+  admin->Handle("/healthz", [] {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  admin->Handle("/readyz", [readiness = std::move(readiness)] {
+    Status st = readiness ? readiness() : Status::OK();
+    if (st.ok()) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    }
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        st.ToString() + "\n"};
+  });
+  admin->Handle("/statements", [db] {
+    return HttpResponse{200, "application/json", StatementsJson(db)};
+  });
+  admin->Handle("/sessions", [sessions = std::move(sessions)] {
+    return HttpResponse{
+        200, "application/json",
+        SessionsJson(sessions ? sessions()
+                              : std::vector<rdb::SessionInfo>{})};
+  });
+  admin->Handle("/resources", [] {
+    return HttpResponse{200, "application/json", ResourcesJson()};
+  });
+  admin->Handle("/tracez", [] {
+    return HttpResponse{200, "application/json",
+                        TraceCollector::Global().RenderChromeJson()};
+  });
+}
+
+// -- test helper -----------------------------------------------------------
+
+Result<HttpGetResult> HttpGet(const std::string& host, uint16_t port,
+                              const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    close(fd);
+    return st;
+  }
+  std::string req = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("send");
+      close(fd);
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0) {
+      Status st = Errno("recv");
+      close(fd);
+      return st;
+    } else {
+      break;
+    }
+  }
+  close(fd);
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::ParseError("not an HTTP response");
+  }
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::ParseError("malformed HTTP status line");
+  }
+  HttpGetResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  size_t body = raw.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status::ParseError("missing HTTP header terminator");
+  }
+  result.body = raw.substr(body + 4);
+  return result;
+}
+
+}  // namespace xmlrdb::net

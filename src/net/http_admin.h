@@ -1,0 +1,147 @@
+// HTTP admin plane: a read-only observability endpoint on its own port,
+// separate from the wire-protocol data port.
+//
+// Endpoints (all GET; anything else is 405):
+//   /metrics     Prometheus text exposition (format 0.0.4): engine counters,
+//                resource gauges, latency histograms with cumulative buckets
+//   /healthz     liveness — 200 "ok" while the process serves requests
+//   /readyz      readiness — 200 once recovery finished and the WAL is
+//                healthy, 503 with the reason otherwise
+//   /statements  recent-statement ring (slow-query log) as JSON
+//   /sessions    live wire-protocol sessions as JSON
+//   /resources   engine resource gauges as JSON
+//   /tracez      buffered trace spans as Chrome trace-event JSON (bounded
+//                by the collector's capacity)
+//
+// Threading and ownership: one IO thread owns every admin socket and runs
+// poll(); handlers execute inline on that thread. Every handler is a
+// snapshot renderer over thread-safe state (MetricsRegistry,
+// ResourceTracker, StatementLog, TraceCollector, the server's session
+// registry), so the admin plane never takes engine locks out of order and
+// never blocks a statement — the worst a slow scrape can do is delay the
+// next scrape. Handlers are registered before Start() and are immutable
+// while the server runs, so the handler table needs no locking.
+//
+// The parser treats the peer as hostile: bounded request size (431 once the
+// head exceeds the cap), only well-formed HTTP/1.0-or-1.1 request lines,
+// request bodies rejected (400) — this plane is read-only. Pipelined
+// requests on one connection are answered in order.
+
+#ifndef XMLRDB_NET_HTTP_ADMIN_H_
+#define XMLRDB_NET_HTTP_ADMIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::net {
+
+/// One parsed request head. The admin plane never reads bodies.
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercase as sent
+  std::string target;  ///< request target incl. any query string
+  bool keep_alive = true;
+};
+
+/// Incremental HTTP/1.x request-head parser (the fuzz seam: it sees raw
+/// attacker bytes before anything else does). Feed() appends received
+/// bytes; Poll() extracts complete request heads, supporting pipelining.
+/// After an error the parser is poisoned — every further Poll() fails.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(size_t max_request_bytes = 8192)
+      : max_request_bytes_(max_request_bytes) {}
+
+  void Feed(std::string_view data);
+
+  enum class PollResult { kRequest, kNeedMore, kError };
+  PollResult Poll(HttpRequest* out);
+
+  /// Non-OK once poisoned. The message distinguishes oversized heads
+  /// (mapped to 431 by the server) from malformed ones (400).
+  const Status& error() const { return error_; }
+  /// True when the poisoning error was an oversized request head.
+  bool oversized() const { return oversized_; }
+
+ private:
+  size_t max_request_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+  bool oversized_ = false;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes `resp` as an HTTP/1.1 response with Content-Length.
+std::string RenderHttpResponse(const HttpResponse& resp, bool keep_alive);
+
+struct HttpAdminConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  size_t max_request_bytes = 8192;
+  int listen_backlog = 16;
+};
+
+class HttpAdminServer {
+ public:
+  HttpAdminServer();
+  ~HttpAdminServer();
+
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  /// Registers a GET handler for exact path `path` (query string stripped
+  /// before matching). Must be called before Start().
+  void Handle(std::string path, std::function<HttpResponse()> handler);
+
+  Status Start(const HttpAdminConfig& config);
+  void Stop();
+  bool running() const { return running_; }
+  /// The bound port (after Start() with port 0 resolves the ephemeral one).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::map<std::string, std::function<HttpResponse()>> handlers_;
+  HttpAdminConfig config_;
+  bool running_ = false;
+  uint16_t port_ = 0;
+
+  friend struct Impl;
+};
+
+/// Wires the standard endpoint set against an engine. `sessions` (optional)
+/// feeds /sessions — the wire server's SnapshotSessions; `readiness`
+/// (optional) gates /readyz — OK means ready, anything else is served as
+/// 503 with the status message. Without providers those endpoints degrade
+/// gracefully (empty session list, always-ready).
+void RegisterAdminEndpoints(
+    HttpAdminServer* admin, rdb::Database* db,
+    std::function<std::vector<rdb::SessionInfo>()> sessions = nullptr,
+    std::function<Status()> readiness = nullptr);
+
+/// Blocking one-shot GET for tests and smoke drivers: connects, requests
+/// `target`, returns status + body. Not a general HTTP client.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+Result<HttpGetResult> HttpGet(const std::string& host, uint16_t port,
+                              const std::string& target);
+
+}  // namespace xmlrdb::net
+
+#endif  // XMLRDB_NET_HTTP_ADMIN_H_

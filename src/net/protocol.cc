@@ -64,28 +64,32 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kCloseStmt: return "CLOSE_STMT";
     case MsgType::kPing: return "PING";
     case MsgType::kXPath: return "XPATH";
+    case MsgType::kHello: return "HELLO";
     case MsgType::kOkResult: return "OK";
     case MsgType::kError: return "ERROR";
     case MsgType::kBusy: return "BUSY";
     case MsgType::kPong: return "PONG";
     case MsgType::kPrepared: return "PREPARED";
+    case MsgType::kHelloOk: return "HELLO_OK";
   }
   return "UNKNOWN";
 }
 
 bool IsRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kQuery) &&
-         t <= static_cast<uint8_t>(MsgType::kXPath);
+         t <= static_cast<uint8_t>(MsgType::kHello);
 }
 
 bool IsResponseType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kOkResult) &&
-         t <= static_cast<uint8_t>(MsgType::kPrepared);
+         t <= static_cast<uint8_t>(MsgType::kHelloOk);
 }
 
 void AppendFrame(std::string* out, const Frame& frame) {
   AppendU32(out, static_cast<uint32_t>(frame.payload.size()));
-  AppendU8(out, static_cast<uint8_t>(frame.type));
+  uint8_t type = static_cast<uint8_t>(frame.type);
+  if (frame.traced) type |= kTracedFlag;
+  AppendU8(out, type);
   AppendU32(out, frame.seq);
   out->append(frame.payload);
 }
@@ -116,7 +120,9 @@ FrameDecoder::PollResult FrameDecoder::Poll(Frame* out) {
   if (avail < kFrameHeaderBytes) return PollResult::kNeedMore;
   const char* p = buffer_.data() + consumed_;
   const uint32_t len = LoadU32(p);
-  const uint8_t type = static_cast<uint8_t>(p[4]);
+  const uint8_t raw_type = static_cast<uint8_t>(p[4]);
+  const uint8_t type = BaseType(raw_type);
+  const bool traced = (raw_type & kTracedFlag) != 0;
   // Header checks happen before the payload is required, so a hostile
   // length or type is rejected without buffering len bytes first.
   if (len > max_frame_bytes_) {
@@ -126,12 +132,13 @@ FrameDecoder::PollResult FrameDecoder::Poll(Frame* out) {
     return PollResult::kError;
   }
   if (!IsRequestType(type) && !IsResponseType(type)) {
-    error_ = Status::InvalidArgument("unknown frame type " +
-                                     std::to_string(static_cast<int>(type)));
+    error_ = Status::InvalidArgument(
+        "unknown frame type " + std::to_string(static_cast<int>(raw_type)));
     return PollResult::kError;
   }
   if (avail < kFrameHeaderBytes + len) return PollResult::kNeedMore;
   out->type = static_cast<MsgType>(type);
+  out->traced = traced;
   out->seq = LoadU32(p + 5);
   out->payload.assign(p + kFrameHeaderBytes, len);
   consumed_ += kFrameHeaderBytes + len;
@@ -417,6 +424,51 @@ std::string EncodeXPathRequest(int64_t doc, const std::string& mapping,
   out.append(mapping);
   out.append(xpath);
   return out;
+}
+
+std::string EncodeHello(uint32_t version) {
+  std::string out;
+  AppendU32(&out, version);
+  return out;
+}
+
+Status DecodeHello(std::string_view payload, uint32_t* version) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(*version, r.ReadU32());
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes after HELLO");
+  if (*version == 0) return Status::InvalidArgument("protocol version 0");
+  return Status::OK();
+}
+
+void AppendTracedRequestPrefix(std::string* out, uint64_t request_id) {
+  AppendU64(out, request_id);
+}
+
+Status StripTracedRequestPrefix(std::string_view payload, uint64_t* request_id,
+                                std::string_view* rest) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(int64_t id, r.ReadI64());
+  *request_id = static_cast<uint64_t>(id);
+  *rest = r.Rest();
+  return Status::OK();
+}
+
+void AppendTracedResponsePrefix(std::string* out, const ServerTiming& timing) {
+  AppendU64(out, timing.request_id);
+  AppendU32(out, timing.queue_us);
+  AppendU32(out, timing.exec_us);
+}
+
+Status StripTracedResponsePrefix(std::string_view payload, ServerTiming* timing,
+                                 std::string_view* rest) {
+  WireReader r(payload);
+  ASSIGN_OR_RETURN(int64_t id, r.ReadI64());
+  ASSIGN_OR_RETURN(timing->queue_us, r.ReadU32());
+  ASSIGN_OR_RETURN(timing->exec_us, r.ReadU32());
+  timing->request_id = static_cast<uint64_t>(id);
+  timing->valid = true;
+  *rest = r.Rest();
+  return Status::OK();
 }
 
 Status DecodeXPathRequest(std::string_view payload, int64_t* doc,

@@ -17,6 +17,7 @@
 //   kXPath         payload = i64 docid, u8 mapping_name_len, mapping name,
 //                  XPath text (non-empty); response = one-column ("value")
 //                  result set of the matching nodes' string-values
+//   kHello         payload = u32 protocol version; response kHelloOk
 //
 // Response types (server -> client):
 //   kOkResult      payload = i64 affected, u32 ncols, ncols x {string name,
@@ -26,6 +27,20 @@
 //                  control; the connection stays usable
 //   kPong          payload empty
 //   kPrepared      payload = u32 stmt_id, u32 param_count
+//   kHelloOk       payload = u32 negotiated version
+//                  (min(client, server); the server never initiates)
+//
+// Traced frames (protocol version >= 2): a frame whose type byte has
+// kTracedFlag (0x40) OR-ed in carries a trace prefix ahead of the normal
+// payload. Requests prefix a u64 request_id chosen by the client; responses
+// prefix u64 request_id + u32 queue_us + u32 exec_us — the server-measured
+// admission-queue wait and statement execution time, echoed back so the
+// client can decompose its observed round-trip into queue / execute / wire.
+// The flag changes framing only: header validation, seq handling and the
+// base payload are identical, so version-1 clients (which never send the
+// flag) are unaffected. Versioning rule: a header field may only ever be
+// ADDED behind a new version + flag bit; the 9-byte base header and the
+// meaning of existing bits are frozen.
 //
 // Values are tagged: u8 {0 null, 1 int, 2 double, 3 string, 4 bool}
 // followed by the representation (i64, IEEE-754 u64 bits, u32 len + bytes,
@@ -59,25 +74,56 @@ enum class MsgType : uint8_t {
   kCloseStmt = 4,
   kPing = 5,
   kXPath = 6,
+  kHello = 7,
   // Responses.
   kOkResult = 0x80,
   kError = 0x81,
   kBusy = 0x82,
   kPong = 0x83,
   kPrepared = 0x84,
+  kHelloOk = 0x85,
 };
 
+/// Highest protocol version this build speaks. v1: the original frame set.
+/// v2: kHello/kHelloOk negotiation plus kTracedFlag trace prefixes.
+constexpr uint32_t kProtocolVersion = 2;
+
+/// OR-ed into the type byte of a frame carrying a trace prefix (v2+).
+constexpr uint8_t kTracedFlag = 0x40;
+
+/// `t` with the traced flag stripped — the base message type.
+constexpr uint8_t BaseType(uint8_t t) {
+  return static_cast<uint8_t>(t & ~kTracedFlag);
+}
+
 const char* MsgTypeName(MsgType t);
+/// Classify a *base* type byte (strip kTracedFlag first).
 bool IsRequestType(uint8_t t);
 bool IsResponseType(uint8_t t);
 
 constexpr size_t kFrameHeaderBytes = 9;
 constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;  // 16 MiB
 
+/// Byte size of the trace prefix carried by traced frames.
+constexpr size_t kTracedRequestPrefixBytes = 8;        // u64 request_id
+constexpr size_t kTracedResponsePrefixBytes = 8 + 4 + 4;
+
+/// Server-measured timing echoed in a traced response.
+struct ServerTiming {
+  uint64_t request_id = 0;
+  uint32_t queue_us = 0;  ///< admission-queue wait before execution began
+  uint32_t exec_us = 0;   ///< statement execution time
+  bool valid = false;     ///< a traced response has been seen
+};
+
 struct Frame {
   MsgType type = MsgType::kPing;
   uint32_t seq = 0;
   std::string payload;
+  /// On decode: the frame carried kTracedFlag (stripped from `type`; the
+  /// trace prefix is still at the head of `payload`). On encode: OR the
+  /// flag into the wire type byte — `payload` must already carry the prefix.
+  bool traced = false;
 };
 
 /// Serializes header + payload. The payload must fit in u32.
@@ -174,6 +220,19 @@ std::string EncodeXPathRequest(int64_t doc, const std::string& mapping,
                                std::string_view xpath);
 Status DecodeXPathRequest(std::string_view payload, int64_t* doc,
                           std::string* mapping, std::string* xpath);
+
+/// kHello request / kHelloOk response payload (u32 version).
+std::string EncodeHello(uint32_t version);
+Status DecodeHello(std::string_view payload, uint32_t* version);
+
+/// Trace prefixes for kTracedFlag frames. The Strip* helpers consume the
+/// prefix from the head of `payload` and return the remainder view.
+void AppendTracedRequestPrefix(std::string* out, uint64_t request_id);
+Status StripTracedRequestPrefix(std::string_view payload, uint64_t* request_id,
+                                std::string_view* rest);
+void AppendTracedResponsePrefix(std::string* out, const ServerTiming& timing);
+Status StripTracedResponsePrefix(std::string_view payload, ServerTiming* timing,
+                                 std::string_view* rest);
 
 }  // namespace xmlrdb::net
 

@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -17,8 +19,10 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/resource_tracker.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "net/session.h"
 
 namespace xmlrdb::net {
@@ -27,6 +31,12 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+ResourceGauge& SessionOutBytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("net.session_out_bytes");
+  return g;
 }
 
 bool SetNonBlocking(int fd) {
@@ -42,11 +52,25 @@ std::string PeerName(const sockaddr_in& addr) {
 
 }  // namespace
 
+/// One admitted request: the frame (trace prefix already stripped), its wire
+/// trace identity, and the admission timestamp the queue-wait echo is
+/// measured from.
+struct PendingReq {
+  Frame frame;
+  uint64_t request_id = 0;  ///< client-supplied (traced frames only)
+  bool traced = false;      ///< response must carry the timing prefix
+  int64_t admit_us = 0;     ///< trace::NowMicros() at admission
+};
+
 // One connection: socket state owned by the IO thread, dispatch state
 // guarded by the server's dispatch mutex, output buffer guarded by out_mu.
 struct Conn {
   Conn(int fd_in, int64_t id, std::string peer, uint32_t max_frame)
       : fd(fd_in), session(id, std::move(peer)), decoder(max_frame) {}
+  ~Conn() {
+    // Whatever never reached the socket leaves the gauge with the buffer.
+    SessionOutBytesGauge().Add(-static_cast<int64_t>(outbuf.size() - out_off));
+  }
 
   // -- IO thread only --
   int fd;
@@ -58,7 +82,7 @@ struct Conn {
 
   // -- dispatch state; transitions happen under Server::Impl::dsp_mu, but
   // the snapshot provider and workers read the flags lock-free --
-  std::deque<Frame> pending;  ///< admitted, waiting for this session's turn
+  std::deque<PendingReq> pending;  ///< admitted, awaiting this session's turn
   std::atomic<bool> active{false};     ///< a worker is executing right now
   std::atomic<bool> in_ready{false};   ///< queued in the ready list
   std::atomic<bool> peer_gone{false};  ///< socket closed; drop responses
@@ -113,10 +137,25 @@ struct Server::Impl {
   void QueueResponse(const std::shared_ptr<Conn>& conn, Frame frame) {
     {
       std::lock_guard<std::mutex> lock(conn->out_mu);
+      size_t before = conn->outbuf.size();
       AppendFrame(&conn->outbuf, frame);
+      SessionOutBytesGauge().Add(
+          static_cast<int64_t>(conn->outbuf.size() - before));
       conn->has_output.store(true, std::memory_order_release);
     }
     WakeIo();
+  }
+
+  /// Response to a traced request: the timing prefix goes ahead of the base
+  /// payload and the frame carries kTracedFlag on the wire.
+  static Frame TracedResponse(Frame resp, const ServerTiming& timing) {
+    std::string payload;
+    payload.reserve(kTracedResponsePrefixBytes + resp.payload.size());
+    AppendTracedResponsePrefix(&payload, timing);
+    payload += resp.payload;
+    resp.payload = std::move(payload);
+    resp.traced = true;
+    return resp;
   }
 
   void QueueError(const std::shared_ptr<Conn>& conn, uint32_t seq,
@@ -145,20 +184,29 @@ struct Server::Impl {
   }
 
   /// Admission decision for one decoded request frame (IO thread).
-  void Admit(const std::shared_ptr<Conn>& conn, Frame frame) {
+  void Admit(const std::shared_ptr<Conn>& conn, PendingReq req) {
     std::unique_lock<std::mutex> lock(dsp_mu);
     if (stopping.load(std::memory_order_acquire)) return;
     if (conn->pending.size() >= server->config_.session_queue_cap) {
       conn->session.RecordBusy();
       busy_rejected.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add("net.busy", 1);
-      uint32_t seq = frame.seq;
+      uint32_t seq = req.frame.seq;
+      bool traced = req.traced;
+      uint64_t request_id = req.request_id;
       lock.unlock();
-      QueueResponse(conn, Frame{MsgType::kBusy, seq, {}});
+      Frame busy{MsgType::kBusy, seq, {}};
+      if (traced) {
+        // Shed before any queueing or execution: both times are zero.
+        busy = TracedResponse(std::move(busy),
+                              ServerTiming{request_id, 0, 0, true});
+      }
+      QueueResponse(conn, std::move(busy));
       return;
     }
     requests.fetch_add(1, std::memory_order_relaxed);
-    conn->pending.push_back(std::move(frame));
+    req.admit_us = trace::NowMicros();
+    conn->pending.push_back(std::move(req));
     conn->pending_count.store(static_cast<int64_t>(conn->pending.size()),
                               std::memory_order_relaxed);
     if (conn->active || conn->in_ready) return;
@@ -174,7 +222,7 @@ struct Server::Impl {
   /// yielding its slot whenever other sessions are waiting.
   void RunSession(const std::shared_ptr<Conn>& conn) {
     for (;;) {
-      Frame frame;
+      PendingReq req;
       {
         std::unique_lock<std::mutex> lock(dsp_mu);
         if (stopping.load(std::memory_order_acquire)) {
@@ -191,13 +239,30 @@ struct Server::Impl {
           if (finished) Unregister(conn);
           return;
         }
-        frame = std::move(conn->pending.front());
+        req = std::move(conn->pending.front());
         conn->pending.pop_front();
         conn->pending_count.store(static_cast<int64_t>(conn->pending.size()),
                                   std::memory_order_relaxed);
       }
 
-      Frame response = ExecuteFrame(conn, frame);
+      // Queue wait: admission (IO thread) to the start of execution here.
+      const int64_t queue_us =
+          std::max<int64_t>(0, trace::NowMicros() - req.admit_us);
+      int64_t exec_us = 0;
+      Frame response = ExecuteFrame(conn, req, &exec_us);
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      reg.RecordLatency("net.queue_us", queue_us);
+      reg.RecordLatency("net.exec_us", exec_us);
+      if (req.traced) {
+        ServerTiming timing;
+        timing.request_id = req.request_id;
+        timing.queue_us = static_cast<uint32_t>(
+            std::min<int64_t>(queue_us, UINT32_MAX));
+        timing.exec_us =
+            static_cast<uint32_t>(std::min<int64_t>(exec_us, UINT32_MAX));
+        timing.valid = true;
+        response = TracedResponse(std::move(response), timing);
+      }
       if (!conn->peer_gone) QueueResponse(conn, std::move(response));
 
       // Fairness: with sessions waiting for a slot, finish this statement's
@@ -217,7 +282,12 @@ struct Server::Impl {
   }
 
   /// Executes one request and builds its response frame (worker thread).
-  Frame ExecuteFrame(const std::shared_ptr<Conn>& conn, const Frame& req) {
+  /// The wire request id is installed as the thread's current request id so
+  /// it reaches trace spans and the statement log recorded underneath.
+  Frame ExecuteFrame(const std::shared_ptr<Conn>& conn, const PendingReq& ctx,
+                     int64_t* exec_us) {
+    ScopedRequestId rid(ctx.request_id);
+    const Frame& req = ctx.frame;
     Stopwatch timer;
     conn->session.RecordStatement();
     Frame resp;
@@ -315,10 +385,10 @@ struct Server::Impl {
       resp.type = MsgType::kError;
       resp.payload = EncodeError(error);
     }
+    *exec_us = static_cast<int64_t>(timer.ElapsedMicros());
     MetricsRegistry& reg = MetricsRegistry::Global();
     reg.Add("net.requests", 1);
-    reg.RecordLatency("net.request_us",
-                      static_cast<int64_t>(timer.ElapsedMicros()));
+    reg.RecordLatency("net.request_us", *exec_us);
     return resp;
   }
 
@@ -360,8 +430,8 @@ struct Server::Impl {
     if (finish_now) Unregister(conn);
   }
 
-  /// Handles one decoded frame on the IO thread: sequencing, fast-path
-  /// PING, payload sanity, then admission.
+  /// Handles one decoded frame on the IO thread: sequencing, trace-prefix
+  /// stripping, fast-path HELLO/PING, payload sanity, then admission.
   void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
     Status seq_check = conn->session.CheckSeq(frame.seq);
     if (!seq_check.ok()) {
@@ -374,8 +444,40 @@ struct Server::Impl {
                             "response-type frame sent by client"));
       return;
     }
+    uint64_t request_id = 0;
+    if (frame.traced) {
+      std::string_view rest;
+      Status strip =
+          StripTracedRequestPrefix(frame.payload, &request_id, &rest);
+      if (!strip.ok()) {
+        ProtocolViolation(conn, frame.seq, strip);
+        return;
+      }
+      frame.payload.erase(0, kTracedRequestPrefixBytes);
+    }
+    if (frame.type == MsgType::kHello) {
+      uint32_t client_version = 0;
+      Status st = DecodeHello(frame.payload, &client_version);
+      if (!st.ok()) {
+        ProtocolViolation(conn, frame.seq, st);
+        return;
+      }
+      Frame ok{MsgType::kHelloOk, frame.seq,
+               EncodeHello(std::min(client_version, kProtocolVersion))};
+      if (frame.traced) {
+        ok = TracedResponse(std::move(ok),
+                            ServerTiming{request_id, 0, 0, true});
+      }
+      QueueResponse(conn, std::move(ok));
+      return;
+    }
     if (frame.type == MsgType::kPing) {
-      QueueResponse(conn, Frame{MsgType::kPong, frame.seq, {}});
+      Frame pong{MsgType::kPong, frame.seq, {}};
+      if (frame.traced) {
+        pong = TracedResponse(std::move(pong),
+                              ServerTiming{request_id, 0, 0, true});
+      }
+      QueueResponse(conn, std::move(pong));
       return;
     }
     if (frame.payload.empty() && frame.type != MsgType::kCloseStmt) {
@@ -385,7 +487,8 @@ struct Server::Impl {
                                   MsgTypeName(frame.type) + " frame"));
       return;
     }
-    Admit(conn, std::move(frame));
+    bool traced = frame.traced;
+    Admit(conn, PendingReq{std::move(frame), request_id, traced, 0});
   }
 
   void ProtocolViolation(const std::shared_ptr<Conn>& conn, uint32_t seq,
@@ -406,6 +509,7 @@ struct Server::Impl {
                        conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_off += static_cast<size_t>(n);
+        SessionOutBytesGauge().Add(-static_cast<int64_t>(n));
       } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         break;
       } else {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/metrics.h"
+#include "common/resource_tracker.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "rdb/sql_parser.h"
@@ -13,18 +14,37 @@
 
 namespace xmlrdb::rdb {
 
+namespace {
+
+ResourceGauge& StatementLogGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("statementlog.entries");
+  return g;
+}
+
+}  // namespace
+
 Database::Database() = default;
 Database::~Database() = default;
 
 // ---------------------------------------------------------------------------
 // Statement log.
 
+StatementLog::~StatementLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatementLogGauge().Add(-static_cast<int64_t>(entries_.size()));
+}
+
 void StatementLog::Append(StatementLogEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) return;
   entry.seq = next_seq_++;
   entries_.push_back(std::move(entry));
-  while (entries_.size() > capacity_) entries_.pop_front();
+  StatementLogGauge().Add(1);
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+    StatementLogGauge().Add(-1);
+  }
 }
 
 std::vector<StatementLogEntry> StatementLog::Entries() const {
@@ -40,7 +60,10 @@ size_t StatementLog::capacity() const {
 void StatementLog::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
-  while (entries_.size() > capacity_) entries_.pop_front();
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+    StatementLogGauge().Add(-1);
+  }
 }
 
 int64_t StatementLog::total_appended() const {
@@ -50,6 +73,7 @@ int64_t StatementLog::total_appended() const {
 
 void StatementLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  StatementLogGauge().Add(-static_cast<int64_t>(entries_.size()));
   entries_.clear();
 }
 
@@ -238,7 +262,8 @@ Status Database::LockTableExclusive(const std::string& name, Table** table,
 
 bool Database::IsVirtualTableName(const std::string& name) {
   return name == "xmlrdb_metrics" || name == "xmlrdb_statements" ||
-         name == "xmlrdb_tables" || name == "xmlrdb_sessions";
+         name == "xmlrdb_tables" || name == "xmlrdb_sessions" ||
+         name == "xmlrdb_resources";
 }
 
 namespace {
@@ -285,13 +310,20 @@ std::unique_ptr<Table> Database::MaterializeVirtualTable(
                      MakeColumn("rows", DataType::kInt),
                      MakeColumn("slow", DataType::kInt),
                      MakeColumn("cache_hit", DataType::kInt),
+                     MakeColumn("request_id", DataType::kInt),
                      MakeColumn("plan", DataType::kString)});
     for (const StatementLogEntry& e : statement_log_.Entries()) {
       rows.push_back({Value(e.seq), Value(e.kind), Value(e.sql),
                       Value(e.duration_us), Value(e.lock_wait_us),
                       Value(e.rows), Value(static_cast<int64_t>(e.slow ? 1 : 0)),
                       Value(static_cast<int64_t>(e.cache_hit ? 1 : 0)),
-                      Value(e.plan)});
+                      Value(e.request_id), Value(e.plan)});
+    }
+  } else if (name == "xmlrdb_resources") {
+    schema = Schema({MakeColumn("name", DataType::kString),
+                     MakeColumn("value", DataType::kInt)});
+    for (const auto& [gauge, value] : ResourceTracker::Global().Snapshot()) {
+      rows.push_back({Value(gauge), Value(value)});
     }
   } else if (name == "xmlrdb_tables") {
     schema = Schema({MakeColumn("name", DataType::kString),
@@ -417,6 +449,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
       entry.rows = result.value().affected;
     }
     entry.slow = slow;
+    entry.request_id = static_cast<int64_t>(trace::CurrentRequestId());
     if (slow) entry.plan = std::move(exec.analyzed_plan);
     statement_log_.Append(std::move(entry));
   }
@@ -539,6 +572,7 @@ Result<QueryResult> Database::ExecutePrepared(PlanCacheEntry* entry,
     }
     log_entry.slow = slow;
     log_entry.cache_hit = cache_hit;
+    log_entry.request_id = static_cast<int64_t>(trace::CurrentRequestId());
     if (slow) log_entry.plan = std::move(exec.analyzed_plan);
     statement_log_.Append(std::move(log_entry));
   }

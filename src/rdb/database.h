@@ -66,6 +66,7 @@ struct StatementLogEntry {
   int64_t rows = 0;          ///< rows returned / affected; -1 on error
   bool slow = false;         ///< duration >= the configured threshold
   bool cache_hit = false;    ///< executed a cached plan (prepared path only)
+  int64_t request_id = 0;  ///< client-supplied wire request id (0 = none)
   std::string plan;  ///< captured EXPLAIN ANALYZE tree (slow SELECTs only)
 };
 
@@ -73,6 +74,7 @@ struct StatementLogEntry {
 class StatementLog {
  public:
   explicit StatementLog(size_t capacity = 256) : capacity_(capacity) {}
+  ~StatementLog();
 
   /// Appends one entry (assigning its seq), evicting the oldest at capacity.
   /// No-op when the capacity is 0.
@@ -219,7 +221,8 @@ class Database {
   }
 
   /// True for the reserved virtual-table names ("xmlrdb_metrics",
-  /// "xmlrdb_statements", "xmlrdb_tables", "xmlrdb_sessions").
+  /// "xmlrdb_statements", "xmlrdb_tables", "xmlrdb_sessions",
+  /// "xmlrdb_resources").
   static bool IsVirtualTableName(const std::string& name);
 
   /// Hook for the network server: while set, SELECTs over xmlrdb_sessions

@@ -1,6 +1,31 @@
 #include "rdb/plan_cache.h"
 
+#include "common/resource_tracker.h"
+
 namespace xmlrdb::rdb {
+
+namespace {
+
+ResourceGauge& BytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("plancache.bytes");
+  return g;
+}
+
+ResourceGauge& EntriesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("plancache.entries");
+  return g;
+}
+
+}  // namespace
+
+PlanCache::~PlanCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BytesGauge().Add(-tracked_bytes_);
+  EntriesGauge().Add(-static_cast<int64_t>(lru_.size()));
+  tracked_bytes_ = 0;
+}
 
 std::shared_ptr<PlanCacheEntry> PlanCache::Lookup(const std::string& sql) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,6 +49,9 @@ std::shared_ptr<PlanCacheEntry> PlanCache::Insert(
     lru_.splice(lru_.begin(), lru_, it->second);
     return *it->second;
   }
+  tracked_bytes_ += EntryCostBytes(*entry);
+  BytesGauge().Add(EntryCostBytes(*entry));
+  EntriesGauge().Add(1);
   lru_.push_front(entry);
   index_[entry->sql] = lru_.begin();
   EvictToCapacityLocked();
@@ -32,6 +60,9 @@ std::shared_ptr<PlanCacheEntry> PlanCache::Insert(
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  BytesGauge().Add(-tracked_bytes_);
+  EntriesGauge().Add(-static_cast<int64_t>(lru_.size()));
+  tracked_bytes_ = 0;
   lru_.clear();
   index_.clear();
 }
@@ -54,6 +85,11 @@ void PlanCache::set_capacity(size_t capacity) {
 
 void PlanCache::EvictToCapacityLocked() {
   while (lru_.size() > capacity_) {
+    int64_t cost = EntryCostBytes(*lru_.back());
+    tracked_bytes_ -= cost;
+    BytesGauge().Add(-cost);
+    EntriesGauge().Add(-1);
+    evicted_bytes_.fetch_add(cost, std::memory_order_relaxed);
     index_.erase(lru_.back()->sql);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +102,7 @@ PlanCacheStats PlanCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

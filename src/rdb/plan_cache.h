@@ -47,6 +47,7 @@ struct PlanCacheStats {
   int64_t misses = 0;
   int64_t invalidations = 0;  ///< cached plans discarded after DDL
   int64_t evictions = 0;      ///< entries dropped by the LRU policy
+  int64_t evicted_bytes = 0;  ///< cumulative approximate cost of evictions
 };
 
 /// Thread-safe LRU map from SQL text to PlanCacheEntry. Evicted entries stay
@@ -55,6 +56,7 @@ struct PlanCacheStats {
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+  ~PlanCache();
 
   /// Returns the entry for `sql` (touching it most-recently-used), or null.
   /// Counts a hit or a miss.
@@ -82,6 +84,14 @@ class PlanCache {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Approximate heap cost of one cached entry (entry struct + SQL text
+  /// stored twice: in the entry and as the index key, plus node overhead).
+  /// Drives the plancache.bytes resource gauge and evicted_bytes stat.
+  static int64_t EntryCostBytes(const PlanCacheEntry& entry) {
+    return static_cast<int64_t>(sizeof(PlanCacheEntry) +
+                                entry.sql.size() * 2 + 128);
+  }
+
  private:
   void EvictToCapacityLocked();
 
@@ -97,6 +107,8 @@ class PlanCache {
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> invalidations_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> evicted_bytes_{0};
+  int64_t tracked_bytes_ = 0;  ///< under mu_; this cache's gauge contribution
 };
 
 }  // namespace xmlrdb::rdb

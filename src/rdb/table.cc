@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <mutex>
 
+#include "common/resource_tracker.h"
+
 namespace xmlrdb::rdb {
+
+namespace {
+
+ResourceGauge& RowBytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("tables.row_bytes");
+  return g;
+}
+
+ResourceGauge& IndexBytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("tables.index_bytes");
+  return g;
+}
+
+int64_t RowFootprint(const Row& row) {
+  int64_t bytes = 0;
+  for (const Value& v : row) bytes += static_cast<int64_t>(v.FootprintBytes());
+  return bytes;
+}
+
+// Matches the per-entry cost FootprintBytesUnlocked charges: key columns + rid.
+int64_t IndexEntryBytes(const Index& idx) {
+  return static_cast<int64_t>((idx.key_columns().size() + 1) * sizeof(Value));
+}
+
+}  // namespace
 
 Index::Index(std::string name, const Table* table, std::vector<size_t> key_columns)
     : name_(std::move(name)), table_(table), key_columns_(std::move(key_columns)) {}
@@ -47,6 +76,11 @@ bool Index::MatchesPrefix(const std::vector<size_t>& cols) const {
   return std::equal(cols.begin(), cols.end(), key_columns_.begin());
 }
 
+Table::~Table() {
+  RowBytesGauge().Add(-tracked_row_bytes_);
+  IndexBytesGauge().Add(-tracked_index_bytes_);
+}
+
 Result<RowId> Table::Insert(Row row) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   return InsertUnlocked(std::move(row));
@@ -59,7 +93,14 @@ Result<RowId> Table::InsertUnlocked(Row row) {
   rows_.push_back(std::move(row));
   deleted_.push_back(false);
   ++live_rows_;
-  for (auto& idx : indexes_) idx->Add(rows_.back(), rid);
+  int64_t delta = RowFootprint(rows_.back());
+  tracked_row_bytes_ += delta;
+  RowBytesGauge().Add(delta);
+  for (auto& idx : indexes_) {
+    idx->Add(rows_.back(), rid);
+    tracked_index_bytes_ += IndexEntryBytes(*idx);
+    IndexBytesGauge().Add(IndexEntryBytes(*idx));
+  }
   return rid;
 }
 
@@ -81,7 +122,14 @@ Status Table::DeleteUnlocked(RowId rid) {
     return Status::NotFound("row " + std::to_string(rid) + " is not live");
   }
   if (sink_ != nullptr) RETURN_IF_ERROR(sink_->OnDelete(*this, rows_[rid]));
-  for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
+  for (auto& idx : indexes_) {
+    idx->Remove(rows_[rid], rid);
+    tracked_index_bytes_ -= IndexEntryBytes(*idx);
+    IndexBytesGauge().Add(-IndexEntryBytes(*idx));
+  }
+  int64_t delta = RowFootprint(rows_[rid]);
+  tracked_row_bytes_ -= delta;
+  RowBytesGauge().Add(-delta);
   deleted_[rid] = true;
   --live_rows_;
   return Status::OK();
@@ -101,6 +149,9 @@ Status Table::UpdateUnlocked(RowId rid, Row row) {
     RETURN_IF_ERROR(sink_->OnUpdate(*this, rows_[rid], row));
   }
   for (auto& idx : indexes_) idx->Remove(rows_[rid], rid);
+  int64_t delta = RowFootprint(row) - RowFootprint(rows_[rid]);
+  tracked_row_bytes_ += delta;
+  RowBytesGauge().Add(delta);
   rows_[rid] = std::move(row);
   for (auto& idx : indexes_) idx->Add(rows_[rid], rid);
   return Status::OK();
@@ -114,6 +165,10 @@ void Table::Truncate() {
   for (auto& idx : indexes_) {
     idx = std::make_unique<Index>(idx->name(), this, idx->key_columns());
   }
+  RowBytesGauge().Add(-tracked_row_bytes_);
+  IndexBytesGauge().Add(-tracked_index_bytes_);
+  tracked_row_bytes_ = 0;
+  tracked_index_bytes_ = 0;
 }
 
 Status Table::CreateIndex(const std::string& name,
@@ -140,6 +195,10 @@ Status Table::CreateIndexUnlocked(const std::string& name,
   for (RowId rid = 0; rid < rows_.size(); ++rid) {
     if (!deleted_[rid]) idx->Add(rows_[rid], rid);
   }
+  int64_t delta =
+      static_cast<int64_t>(idx->num_entries()) * IndexEntryBytes(*idx);
+  tracked_index_bytes_ += delta;
+  IndexBytesGauge().Add(delta);
   indexes_.push_back(std::move(idx));
   return Status::OK();
 }

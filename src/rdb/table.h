@@ -91,6 +91,7 @@ class Table {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+  ~Table();
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -168,6 +169,13 @@ class Table {
   size_t live_rows_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
   TableMutationSink* sink_ = nullptr;
+  // This table's contribution to the process-wide tables.row_bytes /
+  // tables.index_bytes resource gauges, maintained incrementally under mu_
+  // so the gauges never require an O(rows) walk. The destructor gives the
+  // contribution back — scratch tables and virtual-table snapshots churn
+  // constantly and must net to zero.
+  int64_t tracked_row_bytes_ = 0;
+  int64_t tracked_index_bytes_ = 0;
 };
 
 }  // namespace xmlrdb::rdb

@@ -5,11 +5,24 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/resource_tracker.h"
 #include "rdb/database.h"
 
 namespace xmlrdb::rdb {
 
 namespace {
+
+ResourceGauge& LiveBytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("wal.live_bytes");
+  return g;
+}
+
+ResourceGauge& UnsyncedBytesGauge() {
+  static ResourceGauge& g =
+      ResourceTracker::Global().GetGauge("wal.unsynced_bytes");
+  return g;
+}
 
 constexpr char kWalMagic[8] = {'X', 'R', 'D', 'B', 'W', 'A', 'L', '1'};
 constexpr uint32_t kWalVersion = 1;
@@ -371,6 +384,17 @@ Wal::Wal(Env* env, std::string path, std::unique_ptr<WritableFile> file,
       file_(std::move(file)),
       next_lsn_(next_lsn) {}
 
+Wal::~Wal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LiveBytesGauge().Add(-static_cast<int64_t>(live_bytes_));
+  UnsyncedBytesGauge().Add(-static_cast<int64_t>(unsynced_bytes_));
+}
+
+Status Wal::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
 Status Wal::Append(WalRecord rec, bool commit_point) {
   std::lock_guard<std::mutex> lock(mu_);
   RETURN_IF_ERROR(health_);
@@ -393,6 +417,9 @@ Status Wal::Append(WalRecord rec, bool commit_point) {
   }
   next_lsn_.store(rec.lsn + 1, std::memory_order_release);
   unsynced_bytes_ += frame.size();
+  live_bytes_ += frame.size();
+  LiveBytesGauge().Add(static_cast<int64_t>(frame.size()));
+  UnsyncedBytesGauge().Add(static_cast<int64_t>(frame.size()));
 
   auto& metrics = MetricsRegistry::Global();
   metrics.Add("wal.appends", 1);
@@ -418,6 +445,7 @@ Status Wal::SyncLocked() {
   if (unsynced_bytes_ == 0) return Status::OK();
   RETURN_IF_ERROR(file_->Sync());
   RETURN_IF_ERROR(env_->CrashPoint("wal.after_sync"));
+  UnsyncedBytesGauge().Add(-static_cast<int64_t>(unsynced_bytes_));
   unsynced_bytes_ = 0;
   MetricsRegistry::Global().Add("wal.fsyncs", 1);
   return Status::OK();
@@ -514,6 +542,9 @@ void Wal::SwapFile(std::unique_ptr<WritableFile> file, std::string path) {
   file_->Close();
   file_ = std::move(file);
   path_ = std::move(path);
+  LiveBytesGauge().Add(-static_cast<int64_t>(live_bytes_));
+  UnsyncedBytesGauge().Add(-static_cast<int64_t>(unsynced_bytes_));
+  live_bytes_ = 0;
   unsynced_bytes_ = 0;
   health_ = Status::OK();
 }

@@ -115,6 +115,7 @@ class Wal : public TableMutationSink {
   /// an existing log after recovery validated it).
   Wal(Env* env, std::string path, std::unique_ptr<WritableFile> file,
       WalOptions options, Lsn next_lsn);
+  ~Wal() override;
 
   // -- TableMutationSink --
   Status OnInsert(const Table& table, const Row& row) override;
@@ -147,6 +148,10 @@ class Wal : public TableMutationSink {
   const std::string& path() const { return path_; }
   const WalOptions& options() const { return options_; }
 
+  /// The sticky health status: OK until the first append/sync I/O error
+  /// poisons the log (see file comment). Drives the admin /readyz endpoint.
+  Status health() const;
+
   /// Atomically redirects appends to a new log file (checkpointing). The
   /// caller has quiesced writers; `file` was returned by CreateLogFile.
   void SwapFile(std::unique_ptr<WritableFile> file, std::string path);
@@ -160,9 +165,12 @@ class Wal : public TableMutationSink {
   Env* env_;
   std::string path_;
   WalOptions options_;
-  std::mutex mu_;  ///< guards file_, unsynced_bytes_, health_
+  mutable std::mutex mu_;  ///< guards file_, *_bytes_, health_
   std::unique_ptr<WritableFile> file_;
-  size_t unsynced_bytes_ = 0;
+  size_t unsynced_bytes_ = 0;  ///< appended but not yet fsynced (backlog)
+  size_t live_bytes_ = 0;      ///< frame bytes in the current log file, i.e.
+                               ///< bytes a recovery would replay since the
+                               ///< last checkpoint (SwapFile resets it)
   Status health_;  ///< first I/O error, sticky
   std::atomic<Lsn> next_lsn_;
   std::atomic<uint64_t> next_txn_{1};

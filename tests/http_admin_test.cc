@@ -1,0 +1,345 @@
+// Tests for the HTTP admin plane (net/http_admin.h): the request parser
+// against hostile input (torn, pipelined, oversized, malformed), the
+// endpoint surface over a live server, and scraping under concurrent load.
+
+#include "net/http_admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/resource_tracker.h"
+#include "rdb/database.h"
+
+namespace xmlrdb::net {
+namespace {
+
+using PollResult = HttpRequestParser::PollResult;
+
+// -- parser ----------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  parser.Feed("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Poll(&req), PollResult::kRequest);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/metrics");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(parser.Poll(&req), PollResult::kNeedMore);
+}
+
+TEST(HttpParserTest, TornDeliveryByteByByte) {
+  HttpRequestParser parser;
+  std::string raw = "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpRequest req;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    parser.Feed(std::string_view(&raw[i], 1));
+    if (i + 1 < raw.size()) {
+      ASSERT_EQ(parser.Poll(&req), PollResult::kNeedMore) << "at byte " << i;
+    }
+  }
+  ASSERT_EQ(parser.Poll(&req), PollResult::kRequest);
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_FALSE(req.keep_alive);
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutInOrder) {
+  HttpRequestParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n"
+      "GET /c HTTP/1.1\r\n\r\n");
+  HttpRequest req;
+  for (const char* want : {"/a", "/b", "/c"}) {
+    ASSERT_EQ(parser.Poll(&req), PollResult::kRequest);
+    EXPECT_EQ(req.target, want);
+  }
+  EXPECT_EQ(parser.Poll(&req), PollResult::kNeedMore);
+}
+
+TEST(HttpParserTest, OversizedHeadPoisons) {
+  HttpRequestParser parser(128);
+  std::string raw = "GET /x HTTP/1.1\r\nX-Pad: ";
+  raw.append(512, 'a');
+  parser.Feed(raw);
+  HttpRequest req;
+  EXPECT_EQ(parser.Poll(&req), PollResult::kError);
+  EXPECT_TRUE(parser.oversized());
+  EXPECT_FALSE(parser.error().ok());
+  // Poisoned: even a now-complete request never parses.
+  parser.Feed("\r\n\r\n");
+  EXPECT_EQ(parser.Poll(&req), PollResult::kError);
+}
+
+TEST(HttpParserTest, OversizedCompleteHeadPoisons) {
+  HttpRequestParser parser(64);
+  std::string raw = "GET /x HTTP/1.1\r\nX-Pad: ";
+  raw.append(100, 'b');
+  raw.append("\r\n\r\n");
+  parser.Feed(raw);
+  HttpRequest req;
+  EXPECT_EQ(parser.Poll(&req), PollResult::kError);
+  EXPECT_TRUE(parser.oversized());
+}
+
+TEST(HttpParserTest, MalformedRequestLines) {
+  for (const char* raw :
+       {"GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "GET /x HTTP/2.0\r\n\r\n",
+        "GET  /x HTTP/1.1\r\n\r\n", "GET x HTTP/1.1\r\n\r\n",
+        " GET /x HTTP/1.1\r\n\r\n"}) {
+    HttpRequestParser parser;
+    parser.Feed(raw);
+    HttpRequest req;
+    EXPECT_EQ(parser.Poll(&req), PollResult::kError) << raw;
+    EXPECT_FALSE(parser.oversized()) << raw;
+  }
+}
+
+TEST(HttpParserTest, HeaderWithoutColonPoisons) {
+  HttpRequestParser parser;
+  parser.Feed("GET /x HTTP/1.1\r\nnot a header\r\n\r\n");
+  HttpRequest req;
+  EXPECT_EQ(parser.Poll(&req), PollResult::kError);
+}
+
+TEST(HttpParserTest, RequestBodiesAreRejected) {
+  HttpRequestParser with_len;
+  with_len.Feed("GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  HttpRequest req;
+  EXPECT_EQ(with_len.Poll(&req), PollResult::kError);
+
+  HttpRequestParser chunked;
+  chunked.Feed("GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(chunked.Poll(&req), PollResult::kError);
+
+  // An explicit zero length is just a GET.
+  HttpRequestParser zero;
+  zero.Feed("GET /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(zero.Poll(&req), PollResult::kRequest);
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpRequestParser parser;
+  parser.Feed("GET /x HTTP/1.0\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Poll(&req), PollResult::kRequest);
+  EXPECT_FALSE(req.keep_alive);
+
+  HttpRequestParser keep;
+  keep.Feed("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_EQ(keep.Poll(&req), PollResult::kRequest);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+// -- server ----------------------------------------------------------------
+
+class HttpAdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().set_enabled(true);
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+    RegisterAdminEndpoints(&admin_, &db_);
+    HttpAdminConfig config;
+    config.port = 0;
+    config.max_request_bytes = 1024;
+    ASSERT_TRUE(admin_.Start(config).ok());
+  }
+  void TearDown() override {
+    admin_.Stop();
+    MetricsRegistry::Global().set_enabled(false);
+    MetricsRegistry::Global().Reset();
+  }
+
+  rdb::Database db_;
+  HttpAdminServer admin_;
+};
+
+TEST_F(HttpAdminServerTest, HealthzAndReadyz) {
+  auto health = HttpGet("127.0.0.1", admin_.port(), "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().status, 200);
+  EXPECT_EQ(health.value().body, "ok\n");
+
+  auto ready = HttpGet("127.0.0.1", admin_.port(), "/readyz");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready.value().status, 200);
+}
+
+TEST_F(HttpAdminServerTest, ReadyzServes503WhileNotReady) {
+  HttpAdminServer gated;
+  rdb::Database db;
+  RegisterAdminEndpoints(&gated, &db, nullptr, [] {
+    return Status::IoError("recovery in progress");
+  });
+  ASSERT_TRUE(gated.Start(HttpAdminConfig{}).ok());
+  auto r = HttpGet("127.0.0.1", gated.port(), "/readyz");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 503);
+  EXPECT_NE(r.value().body.find("recovery in progress"), std::string::npos);
+  gated.Stop();
+}
+
+TEST_F(HttpAdminServerTest, MetricsServesPrometheusTextWithGauges) {
+  ResourceTracker::Global().GetGauge("test.admin_gauge").Set(9);
+  auto r = HttpGet("127.0.0.1", admin_.port(), "/metrics");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_FALSE(r.value().body.empty());
+  EXPECT_NE(r.value().body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(r.value().body.find("xmlrdb_test_admin_gauge 9"),
+            std::string::npos)
+      << r.value().body;
+  // Engine gauges from the live database ride along.
+  EXPECT_NE(r.value().body.find("xmlrdb_tables_row_bytes"),
+            std::string::npos);
+  ResourceTracker::Global().GetGauge("test.admin_gauge").Set(0);
+}
+
+TEST_F(HttpAdminServerTest, StatementsServesTheRingAsJson) {
+  auto r = HttpGet("127.0.0.1", admin_.port(), "/statements");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().body.front(), '[');
+  EXPECT_NE(r.value().body.find("\"sql\":\"INSERT INTO t VALUES (1)\""),
+            std::string::npos)
+      << r.value().body;
+  EXPECT_NE(r.value().body.find("\"request_id\":"), std::string::npos);
+}
+
+TEST_F(HttpAdminServerTest, SessionsAndResourcesAndTracez) {
+  auto sessions = HttpGet("127.0.0.1", admin_.port(), "/sessions");
+  ASSERT_TRUE(sessions.ok());
+  EXPECT_EQ(sessions.value().status, 200);
+  EXPECT_EQ(sessions.value().body, "[]\n");  // no wire server attached
+
+  auto resources = HttpGet("127.0.0.1", admin_.port(), "/resources");
+  ASSERT_TRUE(resources.ok());
+  EXPECT_EQ(resources.value().status, 200);
+  EXPECT_NE(resources.value().body.find("\"tables.row_bytes\":"),
+            std::string::npos)
+      << resources.value().body;
+
+  auto tracez = HttpGet("127.0.0.1", admin_.port(), "/tracez");
+  ASSERT_TRUE(tracez.ok());
+  EXPECT_EQ(tracez.value().status, 200);
+  EXPECT_NE(tracez.value().body.find("traceEvents"), std::string::npos);
+}
+
+TEST_F(HttpAdminServerTest, UnknownPathIs404) {
+  auto r = HttpGet("127.0.0.1", admin_.port(), "/nope");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 404);
+}
+
+TEST_F(HttpAdminServerTest, NonGetIs405) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(admin_.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string req = "POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  close(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 405"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("Allow: GET"), std::string::npos) << raw;
+}
+
+TEST_F(HttpAdminServerTest, OversizedRequestIs431) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(admin_.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string req = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  req.append(4096, 'x');  // head cap is 1024 in this fixture
+  ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  close(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 431"), std::string::npos) << raw;
+}
+
+TEST_F(HttpAdminServerTest, PipelinedRequestsAnsweredInOrder) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(admin_.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string req =
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[8192];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  close(fd);
+  size_t first = raw.find("HTTP/1.1 200");
+  size_t second = raw.find("HTTP/1.1 404");
+  size_t third = raw.rfind("HTTP/1.1 200");
+  ASSERT_NE(first, std::string::npos) << raw;
+  ASSERT_NE(second, std::string::npos) << raw;
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+}
+
+TEST_F(HttpAdminServerTest, ConcurrentScrapesUnderQueryLoad) {
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      ASSERT_TRUE(
+          db_.Execute("INSERT INTO t VALUES (" + std::to_string(i++) + ")")
+              .ok());
+    }
+  });
+  constexpr int kScrapers = 4;
+  constexpr int kScrapesEach = 25;
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok_scrapes{0};
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        auto r = HttpGet("127.0.0.1", admin_.port(),
+                         i % 2 == 0 ? "/metrics" : "/statements");
+        if (r.ok() && r.value().status == 200 && !r.value().body.empty()) {
+          ok_scrapes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(ok_scrapes.load(), kScrapers * kScrapesEach);
+}
+
+}  // namespace
+}  // namespace xmlrdb::net

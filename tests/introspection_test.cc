@@ -161,7 +161,7 @@ TEST(IntrospectionTest, XmlrdbStatementsReflectsTheLog) {
   EXPECT_EQ(ColumnNames(full.value().schema),
             (std::vector<std::string>{"seq", "kind", "sql", "duration_us",
                                       "lock_wait_us", "rows", "slow",
-                                      "cache_hit", "plan"}));
+                                      "cache_hit", "request_id", "plan"}));
   // The snapshot is taken at statement-lock time, before the running
   // statement itself is logged: CREATE + INSERT + the first SELECT.
   EXPECT_EQ(full.value().rows.size(), 3u);

@@ -2,11 +2,18 @@
 
 #include "common/metrics.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/resource_tracker.h"
 
 namespace xmlrdb {
 namespace {
@@ -178,20 +185,130 @@ TEST_F(MetricsTest, ResetZeroesHistograms) {
   EXPECT_EQ(reg.GetHistogram("lat").max(), 0);
 }
 
-TEST_F(MetricsTest, RenderPrometheusExposesCountersAndQuantiles) {
+// -- Prometheus exposition -------------------------------------------------
+
+namespace {
+
+/// Minimal parse of the text exposition format: every line must be either
+/// `# TYPE <name> <kind>` or `<name>[{labels}] <integer>`, and every sample
+/// must belong to a preceding TYPE declaration (histogram samples to their
+/// base name's declaration, counters to the `_total` name).
+struct Exposition {
+  std::map<std::string, std::string> types;              // name -> kind
+  std::vector<std::pair<std::string, int64_t>> samples;  // full line name
+};
+
+Exposition ParseExposition(const std::string& text) {
+  Exposition out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t eol = text.find('\n', start);
+    EXPECT_NE(eol, std::string::npos) << "unterminated last line";
+    std::string line = text.substr(start, eol - start);
+    start = eol + 1;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        ADD_FAILURE() << "malformed TYPE line: " << line;
+        continue;
+      }
+      std::string kind = rest.substr(sp + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      out.types[rest.substr(0, sp)] = kind;
+      continue;
+    }
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      ADD_FAILURE() << "malformed sample line: " << line;
+      continue;
+    }
+    std::string name = line.substr(0, sp);
+    std::string value = line.substr(sp + 1);
+    if (value != "+Inf") {
+      errno = 0;
+      char* end = nullptr;
+      int64_t v = std::strtoll(value.c_str(), &end, 10);
+      EXPECT_TRUE(errno == 0 && end != nullptr && *end == '\0')
+          << "non-integer sample value: " << line;
+      out.samples.emplace_back(name, v);
+    }
+    // The sample's metric family must have been declared.
+    std::string base = name.substr(0, name.find('{'));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t n = std::strlen(suffix);
+      if (base.size() > n && base.compare(base.size() - n, n, suffix) == 0) {
+        std::string stripped = base.substr(0, base.size() - n);
+        if (out.types.count(stripped)) base = stripped;
+        break;
+      }
+    }
+    EXPECT_TRUE(out.types.count(base)) << "undeclared sample: " << line;
+  }
+  return out;
+}
+
+int64_t SampleValue(const Exposition& exp, const std::string& name) {
+  for (const auto& [n, v] : exp.samples) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "missing sample " << name;
+  return -1;
+}
+
+}  // namespace
+
+TEST_F(MetricsTest, RenderPrometheusParsesAsValidExposition) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   reg.set_enabled(true);
   reg.Add("sql.statements", 7);
+  reg.RecordLatency("sql.select.latency_us", 3);
   reg.RecordLatency("sql.select.latency_us", 100);
+
   std::string text = reg.RenderPrometheus();
-  EXPECT_NE(text.find("xmlrdb_sql_statements 7"), std::string::npos) << text;
-  EXPECT_NE(text.find("xmlrdb_sql_select_latency_us_count 1"),
+  Exposition exp = ParseExposition(text);
+
+  // Counter: `_total` suffix and a counter TYPE line.
+  EXPECT_EQ(exp.types["xmlrdb_sql_statements_total"], "counter") << text;
+  EXPECT_EQ(SampleValue(exp, "xmlrdb_sql_statements_total"), 7) << text;
+
+  // Histogram: declared, with cumulative buckets ending in +Inf == count.
+  EXPECT_EQ(exp.types["xmlrdb_sql_select_latency_us"], "histogram") << text;
+  EXPECT_EQ(SampleValue(exp, "xmlrdb_sql_select_latency_us_sum"), 103)
+      << text;
+  EXPECT_EQ(SampleValue(exp, "xmlrdb_sql_select_latency_us_count"), 2)
+      << text;
+  int64_t prev_cumulative = 0;
+  int64_t prev_le = -1;
+  int buckets = 0;
+  for (const auto& [name, value] : exp.samples) {
+    if (name.rfind("xmlrdb_sql_select_latency_us_bucket{le=\"", 0) != 0) {
+      continue;
+    }
+    ++buckets;
+    std::string le = name.substr(name.find('"') + 1);
+    le = le.substr(0, le.find('"'));
+    if (le != "+Inf") {
+      int64_t le_v = std::strtoll(le.c_str(), nullptr, 10);
+      EXPECT_GT(le_v, prev_le) << "le bounds must increase: " << name;
+      prev_le = le_v;
+    }
+    EXPECT_GE(value, prev_cumulative)
+        << "buckets must be cumulative: " << name;
+    prev_cumulative = value;
+  }
+  EXPECT_GT(buckets, 1) << text;
+  EXPECT_NE(text.find("xmlrdb_sql_select_latency_us_bucket{le=\"+Inf\"} 2"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
-  EXPECT_NE(text.find("xmlrdb_sql_select_latency_us_max 100"),
-            std::string::npos)
-      << text;
+
+  // Resource gauges ride along even though they live outside the registry.
+  ResourceTracker::Global().GetGauge("test.prom_gauge").Set(42);
+  exp = ParseExposition(reg.RenderPrometheus());
+  EXPECT_EQ(exp.types["xmlrdb_test_prom_gauge"], "gauge");
+  EXPECT_EQ(SampleValue(exp, "xmlrdb_test_prom_gauge"), 42);
+  ResourceTracker::Global().GetGauge("test.prom_gauge").Set(0);
 }
 
 }  // namespace

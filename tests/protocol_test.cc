@@ -269,11 +269,96 @@ TEST(ProtocolTest, XPathRequestRoundTrip) {
 TEST(ProtocolTest, TypePredicates) {
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kQuery)));
   EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kXPath)));
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(MsgType::kHello)));
   EXPECT_FALSE(IsRequestType(0));
   EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(MsgType::kOkResult)));
   EXPECT_TRUE(IsResponseType(static_cast<uint8_t>(MsgType::kBusy)));
+  EXPECT_TRUE(IsResponseType(static_cast<uint8_t>(MsgType::kHelloOk)));
   EXPECT_FALSE(IsResponseType(static_cast<uint8_t>(MsgType::kPing)));
   EXPECT_STREQ(MsgTypeName(MsgType::kExecPrepared), "EXEC_PREPARED");
+  EXPECT_STREQ(MsgTypeName(MsgType::kHello), "HELLO");
+}
+
+// -- protocol v2: hello + traced frames ------------------------------------
+
+TEST(ProtocolTest, HelloRoundTripAndHostileDecode) {
+  uint32_t version = 0;
+  ASSERT_TRUE(DecodeHello(EncodeHello(2), &version).ok());
+  EXPECT_EQ(version, 2u);
+  EXPECT_FALSE(DecodeHello("", &version).ok());
+  EXPECT_FALSE(DecodeHello("\x01\x02", &version).ok());            // short
+  EXPECT_FALSE(DecodeHello(EncodeHello(2) + "x", &version).ok());  // long
+  EXPECT_FALSE(DecodeHello(EncodeHello(0), &version).ok());  // version 0
+}
+
+TEST(ProtocolTest, TracedFlagSurvivesEncodeDecode) {
+  Frame frame;
+  frame.type = MsgType::kQuery;
+  frame.seq = 9;
+  AppendTracedRequestPrefix(&frame.payload, 0xDEADBEEFCAFEF00Dull);
+  frame.payload += "SELECT 1";
+  frame.traced = true;
+
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(frame));
+  Frame out;
+  ASSERT_EQ(decoder.Poll(&out), FrameDecoder::PollResult::kFrame);
+  EXPECT_EQ(out.type, MsgType::kQuery);
+  EXPECT_TRUE(out.traced);
+
+  uint64_t request_id = 0;
+  std::string_view rest;
+  ASSERT_TRUE(StripTracedRequestPrefix(out.payload, &request_id, &rest).ok());
+  EXPECT_EQ(request_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(rest, "SELECT 1");
+}
+
+TEST(ProtocolTest, UntracedFramesStayUntraced) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(Frame{MsgType::kPing, 1, {}}));
+  Frame out;
+  ASSERT_EQ(decoder.Poll(&out), FrameDecoder::PollResult::kFrame);
+  EXPECT_FALSE(out.traced);
+}
+
+TEST(ProtocolTest, TracedResponsePrefixRoundTrip) {
+  ServerTiming in;
+  in.request_id = 42;
+  in.queue_us = 17;
+  in.exec_us = 230;
+  std::string payload;
+  AppendTracedResponsePrefix(&payload, in);
+  payload += "body";
+
+  ServerTiming out;
+  std::string_view rest;
+  ASSERT_TRUE(StripTracedResponsePrefix(payload, &out, &rest).ok());
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.queue_us, 17u);
+  EXPECT_EQ(out.exec_us, 230u);
+  EXPECT_EQ(rest, "body");
+}
+
+TEST(ProtocolTest, TracedPrefixStripRejectsShortPayloads) {
+  uint64_t request_id = 0;
+  ServerTiming timing;
+  std::string_view rest;
+  EXPECT_FALSE(StripTracedRequestPrefix("short", &request_id, &rest).ok());
+  EXPECT_FALSE(StripTracedResponsePrefix("0123456789", &timing, &rest).ok());
+}
+
+TEST(ProtocolTest, DecoderRejectsTracedUnknownBaseType) {
+  // kTracedFlag OR-ed into a type that is not a valid message: still hostile.
+  std::string raw;
+  Frame frame;
+  frame.type = static_cast<MsgType>(0x3F);  // not a message type
+  frame.traced = true;
+  raw = EncodeFrame(frame);
+  FrameDecoder decoder;
+  decoder.Feed(raw);
+  Frame out;
+  EXPECT_EQ(decoder.Poll(&out), FrameDecoder::PollResult::kError);
 }
 
 }  // namespace

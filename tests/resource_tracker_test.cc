@@ -1,0 +1,138 @@
+// Tests for the always-on resource gauge layer (common/resource_tracker.h)
+// and its wiring into the engine: table bytes, plan-cache bytes, statement
+// log occupancy all return to their baseline when their owners die.
+
+#include "common/resource_tracker.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "rdb/database.h"
+#include "rdb/plan_cache.h"
+
+namespace xmlrdb {
+namespace {
+
+TEST(ResourceTrackerTest, GaugesAddSetAndSnapshot) {
+  ResourceTracker& tracker = ResourceTracker::Global();
+  ResourceGauge& g = tracker.GetGauge("test.gauge_a");
+  g.Set(0);
+  g.Add(5);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(tracker.Get("test.gauge_a"), 3);
+  auto snap = tracker.Snapshot();
+  EXPECT_EQ(snap["test.gauge_a"], 3);
+  g.Set(0);
+}
+
+TEST(ResourceTrackerTest, GaugeReferencesAreStable) {
+  ResourceTracker& tracker = ResourceTracker::Global();
+  ResourceGauge& g1 = tracker.GetGauge("test.stable");
+  ResourceGauge& g2 = tracker.GetGauge("test.stable");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ResourceTrackerTest, AlwaysOnEvenWhenMetricsDisabled) {
+  MetricsRegistry::Global().set_enabled(false);
+  ResourceGauge& g = ResourceTracker::Global().GetGauge("test.always_on");
+  g.Set(0);
+  g.Add(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(0);
+}
+
+TEST(ResourceTrackerTest, ConcurrentAddsLoseNothing) {
+  ResourceGauge& g = ResourceTracker::Global().GetGauge("test.concurrent");
+  g.Set(0);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), kThreads * kPerThread);
+  g.Set(0);
+}
+
+// -- engine wiring ---------------------------------------------------------
+
+TEST(ResourceTrackerTest, TableBytesRiseWithRowsAndFallOnDrop) {
+  ResourceTracker& tracker = ResourceTracker::Global();
+  int64_t row_base = tracker.Get("tables.row_bytes");
+  int64_t idx_base = tracker.Get("tables.index_bytes");
+  {
+    rdb::Database db;
+    ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                             ", 'some row payload')")
+                      .ok());
+    }
+    EXPECT_GT(tracker.Get("tables.row_bytes"), row_base);
+    ASSERT_TRUE(db.Execute("CREATE INDEX idx_a ON t (a)").ok());
+    EXPECT_GT(tracker.Get("tables.index_bytes"), idx_base);
+
+    int64_t before_delete = tracker.Get("tables.row_bytes");
+    ASSERT_TRUE(db.Execute("DELETE FROM t WHERE a < 50").ok());
+    EXPECT_LT(tracker.Get("tables.row_bytes"), before_delete);
+  }
+  // Database death returns both gauges to their baseline.
+  EXPECT_EQ(tracker.Get("tables.row_bytes"), row_base);
+  EXPECT_EQ(tracker.Get("tables.index_bytes"), idx_base);
+}
+
+TEST(ResourceTrackerTest, PlanCacheBytesTrackEntriesAndEvictions) {
+  ResourceTracker& tracker = ResourceTracker::Global();
+  int64_t bytes_base = tracker.Get("plancache.bytes");
+  int64_t entries_base = tracker.Get("plancache.entries");
+  {
+    rdb::Database db;
+    ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+    auto stmt = db.Prepare("SELECT a FROM t WHERE a = ?");
+    ASSERT_TRUE(stmt.ok());
+    ASSERT_TRUE(stmt.value().Execute({rdb::Value(int64_t{1})}).ok());
+    EXPECT_GT(tracker.Get("plancache.bytes"), bytes_base);
+    EXPECT_GT(tracker.Get("plancache.entries"), entries_base);
+  }
+  EXPECT_EQ(tracker.Get("plancache.bytes"), bytes_base);
+  EXPECT_EQ(tracker.Get("plancache.entries"), entries_base);
+}
+
+TEST(ResourceTrackerTest, StatementLogOccupancyTracksRing) {
+  ResourceTracker& tracker = ResourceTracker::Global();
+  int64_t base = tracker.Get("statementlog.entries");
+  {
+    rdb::Database db;
+    ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+    EXPECT_EQ(tracker.Get("statementlog.entries"), base + 2);
+    db.statement_log().Clear();
+    EXPECT_EQ(tracker.Get("statementlog.entries"), base);
+    ASSERT_TRUE(db.Execute("SELECT a FROM t").ok());
+    EXPECT_EQ(tracker.Get("statementlog.entries"), base + 1);
+  }
+  EXPECT_EQ(tracker.Get("statementlog.entries"), base);
+}
+
+TEST(ResourceTrackerTest, XmlrdbResourcesVirtualTableServesGauges) {
+  rdb::Database db;
+  ResourceTracker::Global().GetGauge("test.vtable").Set(123);
+  auto r = db.Execute(
+      "SELECT value FROM xmlrdb_resources WHERE name = 'test.vtable'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().rows.size(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 123);
+  ResourceTracker::Global().GetGauge("test.vtable").Set(0);
+}
+
+}  // namespace
+}  // namespace xmlrdb

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -317,6 +318,78 @@ TEST_F(ServerE2ETest, StatsCountTraffic) {
   auto after = server_->stats();
   EXPECT_GT(after.sessions_opened, before.sessions_opened);
   EXPECT_GT(after.requests, before.requests);
+}
+
+// -- protocol v2: hello negotiation + wire tracing -------------------------
+
+TEST_F(ServerE2ETest, HelloNegotiatesVersion2) {
+  Client c = Connect();
+  EXPECT_EQ(c.negotiated_version(), 1u);
+  ASSERT_TRUE(c.Hello().ok());
+  EXPECT_EQ(c.negotiated_version(), 2u);
+  // The connection keeps working normally after negotiation.
+  EXPECT_TRUE(c.Ping().ok());
+}
+
+TEST_F(ServerE2ETest, TracingWithoutHelloIsRejectedClientSide) {
+  Client c = Connect();
+  c.set_tracing(true);
+  auto r = c.Query("SELECT COUNT(*) FROM xmlrdb_tables");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Hello"), std::string::npos);
+}
+
+TEST_F(ServerE2ETest, TracedQueriesEchoServerTiming) {
+  Client c = Connect();
+  ASSERT_TRUE(c.Hello().ok());
+  c.set_tracing(true);
+  EXPECT_FALSE(c.last_server_timing().valid);
+
+  auto r = c.Query("SELECT COUNT(*) FROM xmlrdb_tables");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ServerTiming& timing = c.last_server_timing();
+  EXPECT_TRUE(timing.valid);
+  EXPECT_EQ(timing.request_id, c.last_request_id());
+  EXPECT_GE(timing.exec_us, 0u);
+
+  // The fast-path PING echo carries the request id too.
+  ASSERT_TRUE(c.Ping().ok());
+  EXPECT_EQ(c.last_server_timing().request_id, c.last_request_id());
+
+  // Tracing off again: plain frames, timing no longer updates.
+  c.set_tracing(false);
+  uint64_t last = c.last_server_timing().request_id;
+  ASSERT_TRUE(c.Query("SELECT COUNT(*) FROM xmlrdb_tables").ok());
+  EXPECT_EQ(c.last_server_timing().request_id, last);
+}
+
+TEST_F(ServerE2ETest, RequestIdRoundTripsIntoStatementLogAndTrace) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.set_enabled(true);
+
+  Client c = Connect();
+  ASSERT_TRUE(c.Hello().ok());
+  c.set_tracing(true);
+  c.set_next_request_id(777001);
+  ASSERT_TRUE(c.Query("SELECT COUNT(*) FROM xmlrdb_tables").ok());
+  EXPECT_EQ(c.last_request_id(), 777001u);
+  collector.set_enabled(false);
+
+  // The wire request id reached the statement log of the serving database...
+  bool in_log = false;
+  for (const auto& e : server_db_->statement_log().Entries()) {
+    if (e.request_id == 777001) in_log = true;
+  }
+  EXPECT_TRUE(in_log);
+
+  // ...and every span recorded under the statement carries it.
+  bool in_trace = false;
+  for (const auto& event : collector.Snapshot()) {
+    if (event.request_id == 777001) in_trace = true;
+  }
+  EXPECT_TRUE(in_trace);
+  collector.Clear();
 }
 
 // -- dedicated small servers for admission-control behaviour ---------------
