@@ -1,10 +1,16 @@
 // Experiment C1 — concurrent query serving. QPS as a function of client
 // thread count for the Q1–Q12 auction workload over the edge and interval
-// mappings (pure reads scale with the reader-writer locks), plus a mixed
-// 90/10 read/write workload showing the cost of exclusive DML locks in the
-// statement mix. items_per_second in the benchmark JSON is the aggregate QPS.
+// mappings (pure reads scale lock-free under MVCC snapshots), a mixed 90/10
+// read/write workload, reads racing one dedicated writer (read latency with
+// a concurrent writer vs read-only), and Q1–Q12 under concurrent DML.
+// items_per_second in the benchmark JSON is the aggregate QPS; read
+// benchmarks also export the stmt.lock_wait_us histogram percentiles so the
+// JSON records how long readers waited on statement locks (~0 under MVCC).
 
+#include <atomic>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +22,71 @@ namespace xmlrdb::bench {
 namespace {
 
 constexpr double kScale = 0.1;
+
+/// Single-row scratch INSERT/DELETE against the mapping's main table, keyed
+/// by a doc id no real document uses.
+std::pair<std::string, std::string> ScratchDml(const std::string& mapping_name,
+                                               int64_t scratch_doc) {
+  if (mapping_name == "edge") {
+    return {"INSERT INTO edge VALUES (" + std::to_string(scratch_doc) +
+                ", 0, 1, 'elem', 'tmp', 1, NULL)",
+            "DELETE FROM edge WHERE docid = " + std::to_string(scratch_doc)};
+  }
+  return {"INSERT INTO iv_nodes VALUES (" + std::to_string(scratch_doc) +
+              ", 1, 1, 1, 'elem', 'tmp', NULL)",
+          "DELETE FROM iv_nodes WHERE docid = " + std::to_string(scratch_doc)};
+}
+
+/// Publishes the statement lock-wait histograms into the bench JSON. Thread
+/// 0 zeroes them before the timed loop (the registry is process-global) and
+/// snapshots after, so the counters cover this benchmark's window.
+void ResetLockWaitHistograms() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram("stmt.lock_wait_us").Clear();
+  reg.GetHistogram("stmt.select.lock_wait_us").Clear();
+}
+
+void ReportLockWaitHistograms(benchmark::State& state) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const HistogramSnapshot all = reg.GetHistogram("stmt.lock_wait_us").Snapshot();
+  if (all.count > 0) {
+    state.counters["lock_wait_p50_us"] = all.p50();
+    state.counters["lock_wait_p95_us"] = all.p95();
+    state.counters["lock_wait_p99_us"] = all.p99();
+  }
+  const HistogramSnapshot sel =
+      reg.GetHistogram("stmt.select.lock_wait_us").Snapshot();
+  if (sel.count > 0) {
+    state.counters["select_lock_wait_p95_us"] = sel.p95();
+  }
+}
+
+/// One writer thread churning single-statement DML until stopped; readers
+/// measure their own latency while it runs.
+class BackgroundWriter {
+ public:
+  BackgroundWriter(rdb::Database* db, const std::string& mapping_name) {
+    auto [insert_sql, delete_sql] = ScratchDml(mapping_name, 2000000);
+    thread_ = std::thread([db, insert_sql, delete_sql, this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        if (!db->Execute(insert_sql).ok() || !db->Execute(delete_sql).ok()) {
+          return;
+        }
+        writes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  ~BackgroundWriter() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> writes_{0};
+  std::thread thread_;
+};
 
 void BM_ConcurrentQuery(benchmark::State& state,
                         const std::string& mapping_name,
@@ -65,7 +136,9 @@ void BM_ConcurrentQuery(benchmark::State& state,
 
 /// 90% point queries, 10% single-statement writes against the mapping's main
 /// table. Each thread writes under its own scratch docid so DELETEs do not
-/// interfere across threads.
+/// interfere across threads. Thread 0 additionally captures the statement
+/// lock-wait histograms across the timed loop — under MVCC the read share
+/// of the mix never waits on table locks, so select_lock_wait_p95_us ~ 0.
 void BM_MixedReadWrite(benchmark::State& state,
                        const std::string& mapping_name) {
   StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
@@ -79,17 +152,11 @@ void BM_MixedReadWrite(benchmark::State& state,
     return;
   }
   int64_t scratch_doc = 1000000 + state.thread_index();
-  std::string insert_sql, delete_sql;
-  if (mapping_name == "edge") {
-    insert_sql = "INSERT INTO edge VALUES (" + std::to_string(scratch_doc) +
-                 ", 0, 1, 'elem', 'tmp', 1, NULL)";
-    delete_sql =
-        "DELETE FROM edge WHERE docid = " + std::to_string(scratch_doc);
-  } else {
-    insert_sql = "INSERT INTO iv_nodes VALUES (" +
-                 std::to_string(scratch_doc) + ", 1, 1, 1, 'elem', 'tmp', NULL)";
-    delete_sql =
-        "DELETE FROM iv_nodes WHERE docid = " + std::to_string(scratch_doc);
+  auto [insert_sql, delete_sql] = ScratchDml(mapping_name, scratch_doc);
+  std::optional<ScopedMetricsCapture> capture;
+  if (state.thread_index() == 0) {
+    ResetLockWaitHistograms();
+    capture.emplace();  // enables the registry so lock waits are recorded
   }
   Histogram latencies;
   int64_t i = 0;
@@ -116,6 +183,55 @@ void BM_MixedReadWrite(benchmark::State& state,
   state.SetItemsProcessed(state.iterations());
   ReportLatencyPercentiles(state, latencies.Snapshot(),
                            /*average_across_threads=*/true);
+  if (state.thread_index() == 0) ReportLockWaitHistograms(state);
+}
+
+/// Read latency with one dedicated concurrent writer: every benchmark
+/// thread evaluates the query while a background thread churns DML against
+/// the same table. Compare p95 against the writer-free run of the same
+/// query to measure how much a writer costs readers (MVCC target: < 2x).
+void BM_QueryWithWriter(benchmark::State& state,
+                        const std::string& mapping_name,
+                        const workload::BenchQuery& query) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+  if (sa == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto path = xpath::ParseXPath(query.xpath);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  static std::optional<BackgroundWriter> writer;
+  static std::optional<ScopedMetricsCapture> capture;
+  if (state.thread_index() == 0) {
+    ResetLockWaitHistograms();
+    capture.emplace();
+    writer.emplace(sa->db.get(), mapping_name);
+  }
+  Histogram latencies;
+  for (auto _ : state) {
+    Stopwatch iter_timer;
+    auto nodes = shred::EvalPath(path.value(), sa->mapping.get(),
+                                 sa->db.get(), sa->doc_id);
+    latencies.Record(static_cast<int64_t>(iter_timer.ElapsedMicros()));
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(nodes.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportLatencyPercentiles(state, latencies.Snapshot(),
+                           /*average_across_threads=*/true);
+  if (state.thread_index() == 0) {
+    const int64_t writes = writer->writes();
+    writer.reset();  // stops and joins the writer thread
+    state.counters["writer_roundtrips"] = static_cast<double>(writes);
+    ReportLockWaitHistograms(state);
+    capture.reset();
+  }
 }
 
 void RegisterAll() {
@@ -131,12 +247,41 @@ void RegisterAll() {
           ->Threads(4)
           ->UseRealTime()
           ->Unit(benchmark::kMillisecond);
+      // Same queries with one dedicated writer churning the base table:
+      // Q1-Q12 under concurrent DML.
+      benchmark::RegisterBenchmark(
+          ("C1/" + query.id + "_dml/" + name).c_str(),
+          [name, query](benchmark::State& s) {
+            BM_QueryWithWriter(s, name, query);
+          })
+          ->Threads(4)
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
     }
     benchmark::RegisterBenchmark(
         ("C1/mixed_90_10/" + name).c_str(),
         [name](benchmark::State& s) { BM_MixedReadWrite(s, name); })
         ->Threads(1)
         ->Threads(2)
+        ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+    // Read-only vs reads-with-one-writer on the 90/10 read query: the two
+    // p95s quantify what a concurrent writer costs snapshot readers.
+    const workload::BenchQuery read_query{"item_name", "//item/name", ""};
+    benchmark::RegisterBenchmark(
+        ("C1/reads_only/" + name).c_str(),
+        [name, read_query](benchmark::State& s) {
+          BM_ConcurrentQuery(s, name, read_query);
+        })
+        ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("C1/reads_with_writer/" + name).c_str(),
+        [name, read_query](benchmark::State& s) {
+          BM_QueryWithWriter(s, name, read_query);
+        })
         ->Threads(4)
         ->UseRealTime()
         ->Unit(benchmark::kMillisecond);

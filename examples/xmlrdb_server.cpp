@@ -357,6 +357,11 @@ int main(int argc, char** argv) {
             {"mappings", std::to_string(stores->size())},
             {"scale", std::to_string(scale)}});
 
+  // Background MVCC version GC on the wire-facing database (the one that
+  // takes DML): reclaims row versions the oldest live snapshot can no
+  // longer see. Stopped by the Database destructor on shutdown.
+  db.StartVersionGc(/*interval_ms=*/1000);
+
   server.set_xpath_handler(MakeHandler(stores));
   Status st = server.Start();
   if (!st.ok()) {

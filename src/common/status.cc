@@ -14,6 +14,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kConstraintError: return "ConstraintError";
     case StatusCode::kIoError: return "IoError";
+    case StatusCode::kTxnError: return "TxnError";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -28,6 +28,8 @@ enum class StatusCode {
   kUnsupported,      ///< feature intentionally outside the implemented subset
   kConstraintError,  ///< schema constraint violated during DML
   kIoError,          ///< storage I/O failure (real or fault-injected)
+  kTxnError,         ///< transaction/snapshot conflict (e.g. schema changed
+                     ///< under an open read snapshot); retryable
   kInternal,         ///< invariant breakage inside the engine
 };
 
@@ -72,6 +74,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status TxnError(std::string msg) {
+    return Status(StatusCode::kTxnError, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,7 +1,9 @@
 #include "rdb/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -22,10 +24,40 @@ ResourceGauge& StatementLogGauge() {
   return g;
 }
 
+bool SnapshotReadsFromEnv() {
+  const char* v = std::getenv("XMLRDB_MVCC");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "off" || s == "OFF" || s == "0" || s == "false");
+}
+
+/// The innermost owning ReadSnapshot pin on this thread.
+thread_local const ReadSnapshot* tls_pinned_snapshot = nullptr;
+
 }  // namespace
 
-Database::Database() = default;
-Database::~Database() = default;
+Database::Database() { snapshot_reads_ = SnapshotReadsFromEnv(); }
+
+Database::~Database() { StopVersionGc(); }
+
+// ---------------------------------------------------------------------------
+// ReadSnapshot: a thread-pinned multi-statement snapshot.
+
+ReadSnapshot::ReadSnapshot(const Database* db) {
+  if (db == nullptr || !db->snapshot_reads_enabled()) return;
+  if (tls_pinned_snapshot != nullptr) return;  // nested: the outer pin wins
+  snap_.emplace();
+  lsn_ = snap_->lsn();
+  base_version_ = db->base_schema_version();
+  db_ = db;
+  tls_pinned_snapshot = this;
+}
+
+ReadSnapshot::~ReadSnapshot() {
+  if (db_ != nullptr) tls_pinned_snapshot = nullptr;
+}
+
+const ReadSnapshot* ReadSnapshot::Current() { return tls_pinned_snapshot; }
 
 // ---------------------------------------------------------------------------
 // Statement log.
@@ -114,14 +146,20 @@ Result<Table*> Database::CreateTableLocked(const std::string& name,
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "'");
   }
-  const bool durable = wal_ != nullptr && !IsTransientTableName(name);
+  const bool transient = IsTransientTableName(name);
+  const bool durable = wal_ != nullptr && !transient;
   // WAL before catalog: a table the log never heard of must not exist.
   if (durable) RETURN_IF_ERROR(wal_->LogCreateTable(name, schema));
-  auto table = std::make_unique<Table>(name, std::move(schema));
+  auto table = std::make_shared<Table>(name, std::move(schema));
   Table* out = table.get();
+  // Transient scratch tables are thread-private: versioning them would only
+  // add stamp/commit traffic to the XPath translator's hot loop.
+  out->set_mvcc(!transient);
+  out->set_self(table);
   if (durable) out->set_mutation_sink(wal_.get());
   tables_[name] = std::move(table);
   BumpSchemaVersion();
+  if (!transient) BumpBaseSchemaVersion();
   return out;
 }
 
@@ -132,14 +170,17 @@ Status Database::DropTable(const std::string& name) {
   if (wal_ != nullptr && !IsTransientTableName(name)) {
     RETURN_IF_ERROR(wal_->LogDropTable(name));
   }
-  // Drain in-flight statements: any statement using the table acquired its
-  // lock while holding the catalog lock we now own exclusively, so once we
-  // can take the table lock no reader or writer remains and none can return.
+  // Drain in-flight DML: a mutator acquired the table lock while holding the
+  // catalog lock we now own exclusively, so once we can take the table lock
+  // no writer remains and none can start. Snapshot readers take no table
+  // lock — they keep the Table object alive through their catalog pins and
+  // finish their scans against it after the erase.
   { std::unique_lock<std::shared_mutex> drain(it->second->mutex()); }
   tables_.erase(it);
   // Any cached plan may hold a pointer into the erased table; bumping the
   // version forces those plans to rebuild before their next execution.
   BumpSchemaVersion();
+  if (!IsTransientTableName(name)) BumpBaseSchemaVersion();
   return Status::OK();
 }
 
@@ -192,29 +233,114 @@ size_t Database::FootprintBytes() const {
 }
 
 // ---------------------------------------------------------------------------
-// Statement-scope locking.
+// Version garbage collection.
+
+TableGcStats Database::CollectVersionGarbage() {
+  std::vector<std::shared_ptr<Table>> targets;
+  {
+    std::shared_lock<std::shared_mutex> catalog(mu_);
+    for (const auto& [name, t] : tables_) {
+      // Non-MVCC (scratch) tables carry no version garbage: updates are
+      // in-place and Truncate frees their slots wholesale.
+      if (t->mvcc_enabled()) targets.push_back(t);
+    }
+  }
+  MvccEngine& engine = MvccEngine::Global();
+  TableGcStats total;
+  for (const auto& t : targets) {
+    // Re-read the bounds per table: snapshots released while earlier tables
+    // were collected let later tables trim further.
+    TableGcStats s =
+        t->CollectGarbage(engine.GcBound(), engine.ReclaimFloor());
+    total.versions_freed += s.versions_freed;
+    total.versions_reclaimed += s.versions_reclaimed;
+    total.index_entries_removed += s.index_entries_removed;
+    total.bytes_unlinked += s.bytes_unlinked;
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.enabled() && total.versions_freed > 0) {
+    reg.Add("mvcc.gc_versions_freed",
+            static_cast<int64_t>(total.versions_freed));
+  }
+  return total;
+}
+
+void Database::StartVersionGc(int64_t interval_ms) {
+  std::lock_guard<std::mutex> lock(gc_mu_);
+  if (gc_thread_.joinable()) return;
+  gc_stop_ = false;
+  gc_thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(gc_mu_);
+    while (!gc_stop_) {
+      if (gc_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                          [this] { return gc_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      CollectVersionGarbage();
+      lock.lock();
+    }
+  });
+}
+
+void Database::StopVersionGc() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_stop_ = true;
+    worker = std::move(gc_thread_);
+  }
+  gc_cv_.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+// ---------------------------------------------------------------------------
+// Statement-scope table resolution: snapshot pinning (MVCC) or shared locks
+// (legacy mode).
 
 struct Database::ReadLockSet {
   /// Distinct referenced tables, resolved under the catalog lock.
   std::map<std::string, const Table*> tables;
+  /// Keep-alives for the catalog tables: a concurrent DROP TABLE erases the
+  /// catalog entry but the objects (and their version chains) outlive the
+  /// statement.
+  std::vector<std::shared_ptr<const Table>> pins;
   /// Materialized virtual-table snapshots, alive for statement scope. They
   /// are statement-private, so they are never locked — and they must be
   /// declared before `locks` so every lock releases before any table dies.
   std::vector<std::unique_ptr<Table>> owned;
   /// Shared locks on the catalog tables in map (= ascending name) order.
+  /// Empty in snapshot mode.
   std::vector<std::shared_lock<std::shared_mutex>> locks;
+  /// Snapshot mode only: the statement's own snapshot registration (absent
+  /// when reusing the thread's pinned ReadSnapshot), the read view, and its
+  /// installation for the statement's plan nodes to capture.
+  std::optional<MvccSnapshot> snapshot;
+  MvccReadView view;
+  std::optional<ScopedReadView> scoped;
+  bool snapshot_mode = false;
+  bool pinned = false;  ///< view.snapshot came from a ReadSnapshot pin
+  /// base_schema_version observed after snapshot acquisition. If it moves
+  /// before the plan is built, a freshly created index may lack entries for
+  /// rows this snapshot can still see — the caller re-acquires and replans
+  /// (or fails with kTxnError under a multi-statement pin).
+  int64_t base_at_acquire = 0;
 };
 
 Status Database::LockTablesShared(const std::vector<TableRef>& from,
-                                  ReadLockSet* out,
-                                  int64_t* lock_wait_us) const {
+                                  ReadLockSet* out, int64_t* lock_wait_us,
+                                  bool force_locks) const {
   Stopwatch wait;
   std::shared_lock<std::shared_mutex> catalog(mu_);
   std::set<const Table*> ephemeral;
   for (const TableRef& ref : from) {
     if (out->tables.count(ref.table) > 0) continue;
-    const Table* t = FindTableLocked(ref.table);
-    if (t == nullptr && IsVirtualTableName(ref.table)) {
+    const Table* t = nullptr;
+    auto it = tables_.find(ref.table);
+    if (it != tables_.end()) {
+      t = it->second.get();
+      out->pins.push_back(it->second);
+    } else if (IsVirtualTableName(ref.table)) {
       std::unique_ptr<Table> snapshot = MaterializeVirtualTable(ref.table);
       t = snapshot.get();
       ephemeral.insert(t);
@@ -223,12 +349,37 @@ Status Database::LockTablesShared(const std::vector<TableRef>& from,
     if (t == nullptr) return Status::NotFound("table '" + ref.table + "'");
     out->tables.emplace(ref.table, t);
   }
-  out->locks.reserve(out->tables.size());
-  for (const auto& [name, t] : out->tables) {
-    // Virtual-table snapshots are statement-private: no lock needed (or
-    // wanted — their mutexes die with the statement).
-    if (ephemeral.count(t) > 0) continue;
-    out->locks.emplace_back(t->mutex());
+  if (snapshot_reads_ && !force_locks) {
+    // MVCC read path: no table locks. Reuse the thread's pinned snapshot if
+    // one is open (multi-statement consistency), else register a fresh one
+    // at the current visible LSN. An open transaction's own provisional
+    // stamps stay visible to its statements (read-your-own-writes).
+    out->snapshot_mode = true;
+    const ReadSnapshot* pin = ReadSnapshot::Current();
+    if (pin != nullptr && pin->db_ == this) {
+      if (pin->base_version_ != base_schema_version()) {
+        return Status::TxnError(
+            "schema changed under the open read snapshot (base-table DDL "
+            "committed after the snapshot was acquired); re-acquire the "
+            "snapshot and retry");
+      }
+      out->pinned = true;
+      out->view.snapshot = pin->lsn();
+    } else {
+      out->snapshot.emplace();
+      out->view.snapshot = out->snapshot->lsn();
+    }
+    out->base_at_acquire = base_schema_version();
+    out->view.own_txn = MvccTransaction::CurrentTxnId();
+    out->scoped.emplace(out->view);
+  } else {
+    out->locks.reserve(out->tables.size());
+    for (const auto& [name, t] : out->tables) {
+      // Virtual-table snapshots are statement-private: no lock needed (or
+      // wanted — their mutexes die with the statement).
+      if (ephemeral.count(t) > 0) continue;
+      out->locks.emplace_back(t->mutex());
+    }
   }
   if (lock_wait_us != nullptr) {
     *lock_wait_us += static_cast<int64_t>(wait.ElapsedMicros());
@@ -236,7 +387,24 @@ Status Database::LockTablesShared(const std::vector<TableRef>& from,
   return Status::OK();
 }
 
+/// Post-planning snapshot check (see ReadLockSet::base_at_acquire). Sets
+/// *retry when the statement should re-resolve and replan.
+Status Database::RevalidateSnapshot(const ReadLockSet& locks,
+                                    bool* retry) const {
+  *retry = false;
+  if (!locks.snapshot_mode) return Status::OK();
+  if (base_schema_version() == locks.base_at_acquire) return Status::OK();
+  if (locks.pinned) {
+    return Status::TxnError(
+        "schema changed under the open read snapshot while planning; "
+        "re-acquire the snapshot and retry");
+  }
+  *retry = true;
+  return Status::OK();
+}
+
 Status Database::LockTableExclusive(const std::string& name, Table** table,
+                                    std::shared_ptr<Table>* pin,
                                     std::unique_lock<std::shared_mutex>* lock,
                                     int64_t* lock_wait_us) {
   if (IsVirtualTableName(name)) {
@@ -245,10 +413,11 @@ Status Database::LockTableExclusive(const std::string& name, Table** table,
   }
   Stopwatch wait;
   std::shared_lock<std::shared_mutex> catalog(mu_);
-  Table* t = FindTableLocked(name);
-  if (t == nullptr) return Status::NotFound("table '" + name + "'");
-  *table = t;
-  *lock = std::unique_lock<std::shared_mutex>(t->mutex());
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  *table = it->second.get();
+  *pin = it->second;
+  *lock = std::unique_lock<std::shared_mutex>((*table)->mutex());
   if (lock_wait_us != nullptr) {
     *lock_wait_us += static_cast<int64_t>(wait.ElapsedMicros());
   }
@@ -371,7 +540,9 @@ std::unique_ptr<Table> Database::MaterializeVirtualTable(
   // The snapshot is private until the statement's lock set publishes it to
   // the planner, so fill it without touching its mutex: acquiring it here
   // would thread the ephemeral table into the lock-order graph for nothing.
+  // It is also statement-private state, not shared data — no versioning.
   auto table = std::make_unique<Table>(name, std::move(schema));
+  table->set_mvcc(false);
   for (Row& r : rows) {
     auto inserted = table->InsertUnlocked(std::move(r));
     (void)inserted;
@@ -430,6 +601,11 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   const int64_t duration_us = static_cast<int64_t>(timer.ElapsedMicros());
   if (reg.enabled()) {
     reg.RecordLatency(std::string("sql.") + kind + ".latency_us", duration_us);
+    // Always record (zeros included): the lock-wait distribution is the
+    // point — under MVCC a read-heavy mix should show a p95 of ~0.
+    reg.RecordLatency("stmt.lock_wait_us", exec.lock_wait_us);
+    reg.RecordLatency(std::string("stmt.") + kind + ".lock_wait_us",
+                      exec.lock_wait_us);
     if (exec.lock_wait_us > 0) reg.Add("sql.lock_wait_us", exec.lock_wait_us);
   }
   const int64_t threshold = slow_query_threshold_us();
@@ -552,6 +728,9 @@ Result<QueryResult> Database::ExecutePrepared(PlanCacheEntry* entry,
   const int64_t duration_us = static_cast<int64_t>(timer.ElapsedMicros());
   if (reg.enabled()) {
     reg.RecordLatency("sql." + entry->kind + ".latency_us", duration_us);
+    reg.RecordLatency("stmt.lock_wait_us", exec.lock_wait_us);
+    reg.RecordLatency("stmt." + entry->kind + ".lock_wait_us",
+                      exec.lock_wait_us);
     if (exec.lock_wait_us > 0) reg.Add("sql.lock_wait_us", exec.lock_wait_us);
   }
   const int64_t threshold = slow_query_threshold_us();
@@ -583,46 +762,63 @@ Result<QueryResult> Database::RunSelectPrepared(PlanCacheEntry* entry,
                                                 StatementExec* exec,
                                                 bool* cache_hit) {
   const SelectStmt& stmt = std::get<SelectStmt>(entry->parsed.stmt);
-  ReadLockSet locks;
-  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
-                                   exec != nullptr ? &exec->lock_wait_us
-                                                   : nullptr));
-  // Validate the cached plan while holding the table locks: DDL on any
-  // referenced table needs that table exclusively (DROP additionally drains
-  // under the exclusive catalog lock), so version equality here proves every
-  // Table/Index pointer baked into the plan is still alive and current.
-  const int64_t version = schema_version_.load(std::memory_order_acquire);
-  if (entry->plan == nullptr || entry->planned_version != version) {
-    if (entry->plan != nullptr) {
-      plan_cache_.RecordInvalidation();
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      if (reg.enabled()) reg.Add("plancache.invalidations", 1);
-      entry->plan.reset();
+  for (int attempt = 0;; ++attempt) {
+    *cache_hit = false;
+    ReadLockSet locks;
+    RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr,
+                                     /*force_locks=*/attempt >= 2));
+    // Validate the cached plan against the catalog generation: version
+    // equality proves no DDL ran since planning, so every Table/Index
+    // pointer baked into the plan names a table this statement has pinned
+    // (and the pins keep the objects alive past any later DROP).
+    const int64_t version = schema_version_.load(std::memory_order_acquire);
+    if (entry->plan == nullptr || entry->planned_version != version) {
+      if (entry->plan != nullptr) {
+        plan_cache_.RecordInvalidation();
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        if (reg.enabled()) reg.Add("plancache.invalidations", 1);
+        entry->plan.reset();
+      }
+      ASSIGN_OR_RETURN(entry->plan, PlanWithLocks(stmt, locks));
+      entry->planned_version = version;
+    } else {
+      *cache_hit = true;
+      // Reuse: the per-statement consumers (FlushPlanMetrics, slow-query
+      // EXPLAIN ANALYZE) expect stats for this execution only.
+      entry->plan->ResetStats();
     }
-    ASSIGN_OR_RETURN(entry->plan, PlanWithLocks(stmt, locks));
-    entry->planned_version = version;
-  } else {
-    *cache_hit = true;
-    // Reuse: the per-statement consumers (FlushPlanMetrics, slow-query
-    // EXPLAIN ANALYZE) expect stats for this execution only.
-    entry->plan->ResetStats();
+    bool retry = false;
+    Status revalidate = RevalidateSnapshot(locks, &retry);
+    if (!revalidate.ok()) {
+      // Stale multi-statement snapshot: the cached plan now disagrees with
+      // the pinned state. Drop it so the retry (under a fresh snapshot)
+      // replans instead of reusing a pointer into the changed catalog.
+      entry->plan.reset();
+      return revalidate;
+    }
+    if (retry) {
+      entry->plan.reset();
+      continue;
+    }
+    const bool capture_plan = slow_query_threshold_us() >= 0;
+    if (capture_plan) entry->plan->EnableAnalyze();
+    QueryResult out;
+    out.schema = entry->plan->output_schema();
+    auto rows_or = ExecutePlan(entry->plan.get());
+    if (!rows_or.ok()) {
+      // Don't trust a plan whose execution failed midway; rebuild next time.
+      entry->plan.reset();
+      return rows_or.status();
+    }
+    out.rows = std::move(rows_or.value());
+    FlushPlanMetrics(*entry->plan);
+    if (capture_plan && exec != nullptr) {
+      exec->analyzed_plan = entry->plan->ExplainAnalyze();
+    }
+    return out;
   }
-  const bool capture_plan = slow_query_threshold_us() >= 0;
-  if (capture_plan) entry->plan->EnableAnalyze();
-  QueryResult out;
-  out.schema = entry->plan->output_schema();
-  auto rows_or = ExecutePlan(entry->plan.get());
-  if (!rows_or.ok()) {
-    // Don't trust a plan whose execution failed midway; rebuild next time.
-    entry->plan.reset();
-    return rows_or.status();
-  }
-  out.rows = std::move(rows_or.value());
-  FlushPlanMetrics(*entry->plan);
-  if (capture_plan && exec != nullptr) {
-    exec->analyzed_plan = entry->plan->ExplainAnalyze();
-  }
-  return out;
 }
 
 Result<std::string> Database::ExplainPrepared(PlanCacheEntry* entry) {
@@ -679,43 +875,58 @@ Result<PlanPtr> Database::PlanSql(std::string_view select_sql) const {
 
 Result<QueryResult> Database::RunSelect(const SelectStmt& stmt,
                                         StatementExec* exec) {
-  ReadLockSet locks;
-  RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
-                                   exec != nullptr ? &exec->lock_wait_us
-                                                   : nullptr));
-  ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(stmt, locks));
-  // Slow-query tracking: pay for per-operator timing up front so an offender
-  // can log the plan tree it actually ran with.
-  const bool capture_plan = slow_query_threshold_us() >= 0;
-  if (capture_plan) plan->EnableAnalyze();
-  QueryResult out;
-  out.schema = plan->output_schema();
-  ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
-  FlushPlanMetrics(*plan);
-  if (capture_plan && exec != nullptr) {
-    exec->analyzed_plan = plan->ExplainAnalyze();
+  // Attempt loop: a base-DDL commit racing the statement's fresh snapshot
+  // forces a re-acquire + replan; the final attempt falls back to shared
+  // table locks, which exclude DDL outright and always terminate.
+  for (int attempt = 0;; ++attempt) {
+    ReadLockSet locks;
+    RETURN_IF_ERROR(LockTablesShared(stmt.from, &locks,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr,
+                                     /*force_locks=*/attempt >= 2));
+    ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(stmt, locks));
+    bool retry = false;
+    RETURN_IF_ERROR(RevalidateSnapshot(locks, &retry));
+    if (retry) continue;
+    // Slow-query tracking: pay for per-operator timing up front so an
+    // offender can log the plan tree it actually ran with.
+    const bool capture_plan = slow_query_threshold_us() >= 0;
+    if (capture_plan) plan->EnableAnalyze();
+    QueryResult out;
+    out.schema = plan->output_schema();
+    ASSIGN_OR_RETURN(out.rows, ExecutePlan(plan.get()));
+    FlushPlanMetrics(*plan);
+    if (capture_plan && exec != nullptr) {
+      exec->analyzed_plan = plan->ExplainAnalyze();
+    }
+    return out;
   }
-  return out;
 }
 
 Result<QueryResult> Database::RunExplain(const ExplainStmt& stmt,
                                          StatementExec* exec) {
-  ReadLockSet locks;
-  RETURN_IF_ERROR(LockTablesShared(stmt.select->from, &locks,
-                                   exec != nullptr ? &exec->lock_wait_us
-                                                   : nullptr));
-  ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(*stmt.select, locks));
-  QueryResult out;
-  if (stmt.analyze) {
-    plan->EnableAnalyze();
-    ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan.get()));
-    FlushPlanMetrics(*plan);
-    out.affected = static_cast<int64_t>(rows.size());
-    out.plan_text = plan->ExplainAnalyze();
-  } else {
-    out.plan_text = plan->Explain();
+  for (int attempt = 0;; ++attempt) {
+    ReadLockSet locks;
+    RETURN_IF_ERROR(LockTablesShared(stmt.select->from, &locks,
+                                     exec != nullptr ? &exec->lock_wait_us
+                                                     : nullptr,
+                                     /*force_locks=*/attempt >= 2));
+    ASSIGN_OR_RETURN(PlanPtr plan, PlanWithLocks(*stmt.select, locks));
+    bool retry = false;
+    RETURN_IF_ERROR(RevalidateSnapshot(locks, &retry));
+    if (retry) continue;
+    QueryResult out;
+    if (stmt.analyze) {
+      plan->EnableAnalyze();
+      ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(plan.get()));
+      FlushPlanMetrics(*plan);
+      out.affected = static_cast<int64_t>(rows.size());
+      out.plan_text = plan->ExplainAnalyze();
+    } else {
+      out.plan_text = plan->Explain();
+    }
+    return out;
   }
-  return out;
 }
 
 Result<QueryResult> Database::RunCreateTable(const CreateTableStmt& stmt) {
@@ -728,14 +939,18 @@ Result<QueryResult> Database::RunCreateTable(const CreateTableStmt& stmt) {
 Result<QueryResult> Database::RunCreateIndex(const CreateIndexStmt& stmt,
                                              StatementExec* exec) {
   Table* t = nullptr;
+  std::shared_ptr<Table> pin;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &pin, &lock,
                                      exec != nullptr ? &exec->lock_wait_us
                                                      : nullptr));
   RETURN_IF_ERROR(t->CreateIndexUnlocked(stmt.index, stmt.columns));
   // Cached plans were costed without this index; invalidate so the next
-  // prepared execution can switch its access path.
+  // prepared execution can switch its access path. The base bump also keeps
+  // pre-DDL snapshots off the index — its backfill only covered the rows
+  // live right now.
   BumpSchemaVersion();
+  if (!IsTransientTableName(stmt.table)) BumpBaseSchemaVersion();
   return QueryResult{};
 }
 
@@ -751,10 +966,14 @@ Result<QueryResult> Database::RunDropTable(const DropTableStmt& stmt) {
 Result<QueryResult> Database::RunInsert(const InsertStmt& stmt,
                                         StatementExec* exec) {
   Table* t = nullptr;
+  std::shared_ptr<Table> pin;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &pin, &lock,
                                      exec != nullptr ? &exec->lock_wait_us
                                                      : nullptr));
+  // One MVCC visibility unit: snapshots see the whole statement's rows at a
+  // single commit LSN or none of them (a no-op inside an outer transaction).
+  MvccTransaction txn;
   QueryResult out;
   Row empty;
   for (const auto& exprs : stmt.rows) {
@@ -779,10 +998,12 @@ Result<QueryResult> Database::RunInsert(const InsertStmt& stmt,
 Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt,
                                         StatementExec* exec) {
   Table* t = nullptr;
+  std::shared_ptr<Table> pin;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &pin, &lock,
                                      exec != nullptr ? &exec->lock_wait_us
                                                      : nullptr));
+  MvccTransaction txn;
   ExprPtr pred;
   if (stmt.where != nullptr) {
     pred = stmt.where->Clone();
@@ -806,10 +1027,12 @@ Result<QueryResult> Database::RunDelete(const DeleteStmt& stmt,
 Result<QueryResult> Database::RunUpdate(const UpdateStmt& stmt,
                                         StatementExec* exec) {
   Table* t = nullptr;
+  std::shared_ptr<Table> pin;
   std::unique_lock<std::shared_mutex> lock;
-  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &lock,
+  RETURN_IF_ERROR(LockTableExclusive(stmt.table, &t, &pin, &lock,
                                      exec != nullptr ? &exec->lock_wait_us
                                                      : nullptr));
+  MvccTransaction txn;
   Schema bound_schema = t->schema().WithQualifier(t->name());
   ExprPtr pred;
   if (stmt.where != nullptr) {

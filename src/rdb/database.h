@@ -4,19 +4,30 @@
 // can also be planned without execution (Plan / Explain) — the plan-shape
 // experiment (T6) uses that.
 //
-// Concurrency model (statement-level two-phase locking):
+// Concurrency model (MVCC snapshot reads over writer locks):
 //   * The catalog map is guarded by a reader-writer mutex. Every statement
-//     takes it shared just long enough to resolve its tables; CREATE TABLE /
-//     DROP TABLE take it exclusively.
-//   * SELECT and EXPLAIN then hold a shared lock on every referenced table
-//     for the duration of the statement (in ascending name order), so many
-//     queries scan the same tables concurrently.
-//   * INSERT / DELETE / UPDATE / CREATE INDEX hold an exclusive lock on
-//     their single target table for the duration of the statement, which
-//     makes each DML statement atomic with respect to readers.
-//   * DROP TABLE drains in-flight statements on the victim (acquire+release
-//     its exclusive lock under the exclusive catalog lock) before erasing
-//     it, so no scan ever dereferences a freed table.
+//     takes it shared just long enough to resolve (and pin) its tables;
+//     CREATE TABLE / DROP TABLE take it exclusively.
+//   * SELECT and EXPLAIN take NO table locks. Each read-only statement
+//     acquires a snapshot LSN from the MVCC engine (rdb/mvcc.h) and scans
+//     the row versions visible at that LSN, so readers never wait on
+//     writers and writers never wait on readers. A multi-statement scope
+//     can pin one snapshot across statements with rdb::ReadSnapshot; if
+//     base-table DDL lands while such a snapshot is open, its statements
+//     fail with kTxnError (re-acquire and retry).
+//   * INSERT / DELETE / UPDATE / CREATE INDEX still hold an exclusive lock
+//     on their single target table for the duration of the statement, so
+//     DML conflicts only with DML; the statement's row versions become
+//     visible to snapshots atomically at one commit LSN.
+//   * DROP TABLE drains in-flight DML on the victim (acquire+release its
+//     exclusive lock under the exclusive catalog lock) before erasing it;
+//     in-flight readers keep the table alive through their catalog pins
+//     (the catalog holds tables by shared_ptr).
+//   * Version garbage: old row versions unreachable by every live snapshot
+//     are reclaimed by CollectVersionGarbage() — run at checkpoint time and
+//     optionally by a background thread (StartVersionGc).
+//   * Setting XMLRDB_MVCC=off in the environment restores the previous
+//     model (statement-scope shared table locks, latest-state reads).
 // The public catalog methods (CreateTable, FindTable, ...) lock internally
 // and are safe to call concurrently with Execute.
 //
@@ -33,17 +44,21 @@
 #define XMLRDB_RDB_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "rdb/mvcc.h"
 #include "rdb/plan.h"
 #include "rdb/plan_cache.h"
 #include "rdb/planner.h"
@@ -154,6 +169,36 @@ class PreparedStatement {
   std::shared_ptr<PlanCacheEntry> entry_;
 };
 
+/// Pins one MVCC snapshot LSN across every statement executed on this
+/// thread for the scope's lifetime, so a multi-statement read-only sequence
+/// (an XPath evaluation issuing many SELECTs) observes one consistent state
+/// regardless of concurrent DML. Nested scopes are no-ops — the outermost
+/// pin wins. If non-transient DDL commits while the pin is open, later
+/// statements under it fail with kTxnError rather than mix schema epochs;
+/// callers re-acquire the snapshot and retry. Inert when the database runs
+/// in legacy lock mode (XMLRDB_MVCC=off).
+class ReadSnapshot {
+ public:
+  explicit ReadSnapshot(const Database* db);
+  ~ReadSnapshot();
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// True when this scope owns the pin (outermost, snapshot reads on).
+  bool owner() const { return db_ != nullptr; }
+  Lsn lsn() const { return lsn_; }
+
+ private:
+  friend class Database;
+  /// The innermost owning pin on this thread, or nullptr.
+  static const ReadSnapshot* Current();
+
+  const Database* db_ = nullptr;
+  Lsn lsn_ = 0;
+  int64_t base_version_ = 0;  ///< base_schema_version at acquisition
+  std::optional<MvccSnapshot> snap_;
+};
+
 class Database {
  public:
   Database();
@@ -196,6 +241,31 @@ class Database {
   int64_t schema_version() const {
     return schema_version_.load(std::memory_order_acquire);
   }
+
+  /// Like schema_version(), but bumped only by DDL on non-transient tables —
+  /// the scratch-table churn of XPath translation moves schema_version
+  /// constantly without invalidating anything a pinned snapshot can see.
+  /// ReadSnapshot records this at acquisition; statements under the pin fail
+  /// with kTxnError when it has moved.
+  int64_t base_schema_version() const {
+    return base_schema_version_.load(std::memory_order_acquire);
+  }
+
+  /// True when read-only statements run on MVCC snapshots without table
+  /// locks (the default; XMLRDB_MVCC=off selects legacy shared locks).
+  bool snapshot_reads_enabled() const { return snapshot_reads_; }
+
+  // -- version garbage collection --
+  /// One collection pass over every MVCC catalog table: unlinks row
+  /// versions no live or future snapshot can reach and frees what no
+  /// active reader may still hold (see Table::CollectGarbage). Called at
+  /// checkpoint time; safe to call from any thread at any time.
+  TableGcStats CollectVersionGarbage();
+
+  /// Starts/stops a background thread running CollectVersionGarbage every
+  /// `interval_ms`. Idempotent; the destructor stops it.
+  void StartVersionGc(int64_t interval_ms);
+  void StopVersionGc();
 
   /// Planner knobs (parallel scan fan-out, thresholds). Set before serving
   /// traffic: the options are read without synchronization while planning.
@@ -281,16 +351,25 @@ class Database {
     std::string analyzed_plan;
   };
 
-  /// Resolves `from` under the catalog lock, then locks every distinct table
-  /// shared (ascending name order). Virtual xmlrdb_* names materialize a
-  /// snapshot table owned by `out`. The catalog lock is released on return;
+  /// Resolves `from` under the catalog lock and pins every distinct table.
+  /// In snapshot mode it then acquires (or reuses the thread's pinned) MVCC
+  /// snapshot and installs the statement's read view — no table locks; in
+  /// legacy mode (or with `force_locks`) it locks every table shared in
+  /// ascending name order. Virtual xmlrdb_* names materialize a snapshot
+  /// table owned by `out`. The catalog lock is released on return;
   /// lock-wait time is added to *lock_wait_us when non-null.
   Status LockTablesShared(const std::vector<TableRef>& from, ReadLockSet* out,
-                          int64_t* lock_wait_us = nullptr) const;
-  /// Resolves `name` and locks that table exclusively for statement scope.
+                          int64_t* lock_wait_us = nullptr,
+                          bool force_locks = false) const;
+  /// Resolves `name` and locks that table exclusively for statement scope;
+  /// `pin` keeps it alive past a concurrent DROP.
   Status LockTableExclusive(const std::string& name, Table** table,
+                            std::shared_ptr<Table>* pin,
                             std::unique_lock<std::shared_mutex>* lock,
                             int64_t* lock_wait_us = nullptr);
+  /// Post-planning check that no base-table DDL raced the statement's
+  /// snapshot; sets *retry to re-resolve + replan (kTxnError under a pin).
+  Status RevalidateSnapshot(const ReadLockSet& locks, bool* retry) const;
 
   /// Builds the named virtual table from live engine state.
   std::unique_ptr<Table> MaterializeVirtualTable(const std::string& name) const;
@@ -314,6 +393,15 @@ class Database {
   void BumpSchemaVersion() {
     schema_version_.fetch_add(1, std::memory_order_acq_rel);
   }
+  void BumpBaseSchemaVersion() {
+    base_schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  friend class ReadSnapshot;
+
+  /// Checkpoint body (durability.cc); Checkpoint() wraps it and follows up
+  /// with a version-GC pass once every quiesce lock is released.
+  Status CheckpointImpl();
 
   Result<QueryResult> Dispatch(const Statement& stmt, StatementExec* exec);
   Result<QueryResult> RunSelect(const SelectStmt& stmt, StatementExec* exec);
@@ -327,18 +415,30 @@ class Database {
   Result<QueryResult> RunUpdate(const UpdateStmt& stmt, StatementExec* exec);
 
   mutable std::shared_mutex mu_;  ///< guards tables_ (the catalog)
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  /// Tables are held by shared_ptr so lock-free snapshot readers can pin
+  /// one across DROP TABLE: the object (and its version chains) stays
+  /// alive until the last in-flight statement drops its pin.
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  bool snapshot_reads_ = true;  ///< set from XMLRDB_MVCC in the constructor
   PlannerOptions planner_options_;
   StatementLog statement_log_;
   std::atomic<int64_t> slow_query_threshold_us_{-1};
   std::atomic<int64_t> schema_version_{0};
+  std::atomic<int64_t> base_schema_version_{0};
   PlanCache plan_cache_;
   mutable std::mutex session_provider_mu_;
   std::function<std::vector<SessionInfo>()> session_provider_;
 
+  // Background version GC (StartVersionGc / StopVersionGc).
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;
+  std::thread gc_thread_;
+
   // Durability state (set once by AttachDurability, before traffic).
   // Lock order: checkpoint_mu_ -> mu_ (shared) -> table locks (name order)
-  // -> the Wal's internal mutex, which is a leaf.
+  // -> the Wal's internal mutex, which is a leaf. The MVCC engine's commit
+  // and snapshot mutexes are leaves below every lock above.
   Env* env_ = nullptr;
   std::string durable_dir_;
   std::unique_ptr<Wal> wal_;

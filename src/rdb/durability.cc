@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "rdb/mvcc.h"
 #include "rdb/persist.h"
 
 namespace xmlrdb::rdb {
@@ -74,7 +75,14 @@ Result<RowId> FindRowByValue(Table* t, const Row& row) {
                          "' has no row matching " + RowToString(row));
 }
 
-Status ReplayRecord(Database* db, const WalRecord& rec) {
+/// Applies one record, stamping the row versions it creates or deletes with
+/// `stamp_lsn` as already-committed (ScopedApplyLsn): autocommit records use
+/// their own LSN, records of a committed transaction the commit record's —
+/// so version visibility order after recovery matches the commit order the
+/// log established, and crash-replay restores the stamps readers saw before
+/// the crash.
+Status ReplayRecord(Database* db, const WalRecord& rec, Lsn stamp_lsn) {
+  ScopedApplyLsn apply(stamp_lsn);
   switch (rec.type) {
     case WalRecordType::kCommit:
       return Status::OK();
@@ -130,12 +138,12 @@ Status ReplayLog(Database* db, const std::vector<WalRecord>& records,
       auto it = pending.find(rec.txn);
       if (it == pending.end()) continue;  // empty transaction
       for (const WalRecord* r : it->second) {
-        RETURN_IF_ERROR(ReplayRecord(db, *r));
+        RETURN_IF_ERROR(ReplayRecord(db, *r, rec.lsn));
         ++stats->records_replayed;
       }
       pending.erase(it);
     } else if (rec.txn == 0) {
-      RETURN_IF_ERROR(ReplayRecord(db, rec));
+      RETURN_IF_ERROR(ReplayRecord(db, rec, rec.lsn));
       ++stats->records_replayed;
     } else if (committed.count(rec.txn) > 0) {
       pending[rec.txn].push_back(&rec);
@@ -251,6 +259,15 @@ Result<std::unique_ptr<Database>> OpenDurableDatabase(
 // durable-layout knowledge).
 
 Status Database::Checkpoint() {
+  RETURN_IF_ERROR(CheckpointImpl());
+  // Checkpoint time doubles as a version-GC point: the log was just
+  // truncated, so trim version chains down to the oldest live snapshot too.
+  // Runs after every quiesce lock is released (GC takes tables exclusive).
+  CollectVersionGarbage();
+  return Status::OK();
+}
+
+Status Database::CheckpointImpl() {
   std::lock_guard<std::mutex> serialize(checkpoint_mu_);
   if (wal_ == nullptr) {
     return Status::InvalidArgument("no durability attached to this database");

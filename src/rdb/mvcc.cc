@@ -1,0 +1,150 @@
+#include "rdb/mvcc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlrdb::rdb {
+
+namespace {
+
+thread_local MvccTransaction* tls_txn = nullptr;
+thread_local uint64_t tls_txn_id = 0;
+thread_local const MvccReadView* tls_view = nullptr;
+thread_local Lsn tls_apply_lsn = 0;
+
+}  // namespace
+
+MvccEngine& MvccEngine::Global() {
+  static MvccEngine* engine = new MvccEngine();
+  return *engine;
+}
+
+void MvccEngine::EnsureNextAbove(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (next_ <= lsn) next_ = lsn + 1;
+}
+
+void MvccEngine::AdvanceVisibleTo(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (next_ <= lsn) next_ = lsn + 1;
+  if (visible_.load(std::memory_order_relaxed) < lsn) {
+    visible_.store(lsn, std::memory_order_release);
+  }
+}
+
+Lsn MvccEngine::CommitStamps(
+    const std::vector<std::atomic<uint64_t>*>& stamps) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  Lsn lsn = next_++;
+  for (std::atomic<uint64_t>* s : stamps) {
+    s->store(lsn, std::memory_order_release);
+  }
+  // Publish only after every stamp is final: a reader that acquires a
+  // snapshot >= lsn is then guaranteed to see the committed stamps.
+  visible_.store(lsn, std::memory_order_release);
+  return lsn;
+}
+
+Lsn MvccEngine::AcquireSnapshot() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  Lsn s = visible_.load(std::memory_order_acquire);
+  ++active_[s];
+  return s;
+}
+
+void MvccEngine::ReleaseSnapshot(Lsn snapshot) {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  auto it = active_.find(snapshot);
+  assert(it != active_.end());
+  if (it != active_.end() && --it->second == 0) active_.erase(it);
+}
+
+Lsn MvccEngine::GcBound() const {
+  Lsn v = visible_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (active_.empty()) return v;
+  return std::min(v, active_.begin()->first);
+}
+
+Lsn MvccEngine::ReclaimFloor() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return active_.empty() ? kLsnMax : active_.begin()->first;
+}
+
+size_t MvccEngine::ActiveSnapshots() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  size_t n = 0;
+  for (const auto& [lsn, count] : active_) n += count;
+  return n;
+}
+
+MvccTransaction::MvccTransaction() {
+  if (tls_txn != nullptr) return;  // nested: outer scope owns the commit
+  owner_ = true;
+  txn_id_ = MvccEngine::Global().AllocateTxnId();
+  tls_txn = this;
+  tls_txn_id = txn_id_;
+}
+
+MvccTransaction::~MvccTransaction() {
+  if (!owner_) return;
+  if (!committed_) Commit();
+  tls_txn = nullptr;
+  tls_txn_id = 0;
+}
+
+Lsn MvccTransaction::Commit() {
+  if (!owner_ || committed_) return 0;
+  committed_ = true;
+  if (stamps_.empty()) return 0;
+  Lsn lsn = MvccEngine::Global().CommitStamps(stamps_);
+  stamps_.clear();
+  pins_.clear();
+  return lsn;
+}
+
+uint64_t MvccTransaction::CurrentTxnId() { return tls_txn_id; }
+
+void MvccTransaction::RecordStamp(std::atomic<uint64_t>* stamp) {
+  assert(tls_txn != nullptr);
+  tls_txn->stamps_.push_back(stamp);
+}
+
+void MvccTransaction::Pin(std::shared_ptr<const void> keep_alive) {
+  assert(tls_txn != nullptr);
+  if (keep_alive == nullptr) return;
+  auto& pins = tls_txn->pins_;
+  if (!pins.empty() && pins.back() == keep_alive) return;  // common case
+  for (const auto& p : pins) {
+    if (p == keep_alive) return;
+  }
+  pins.push_back(std::move(keep_alive));
+}
+
+ScopedReadView::ScopedReadView(MvccReadView view)
+    : view_(view), prev_(tls_view) {
+  tls_view = &view_;
+}
+
+ScopedReadView::~ScopedReadView() { tls_view = prev_; }
+
+const MvccReadView* CurrentReadView() { return tls_view; }
+
+MvccReadView EffectiveReadView() {
+  if (tls_view != nullptr) return *tls_view;
+  MvccReadView latest;
+  latest.read_latest = true;
+  latest.own_txn = tls_txn_id;
+  return latest;
+}
+
+ScopedApplyLsn::ScopedApplyLsn(Lsn lsn) : prev_(tls_apply_lsn) {
+  tls_apply_lsn = lsn;
+  MvccEngine::Global().AdvanceVisibleTo(lsn);
+}
+
+ScopedApplyLsn::~ScopedApplyLsn() { tls_apply_lsn = prev_; }
+
+Lsn ScopedApplyLsn::Current() { return tls_apply_lsn; }
+
+}  // namespace xmlrdb::rdb

@@ -250,14 +250,15 @@ SeqScanNode::SeqScanNode(const Table* table, std::string alias)
 Status SeqScanNode::OpenImpl() {
   MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
   next_ = 0;
+  view_ = EffectiveReadView();
   return Status::OK();
 }
 
 Result<bool> SeqScanNode::NextImpl(Row* out) {
   while (next_ < table_->num_slots()) {
     RowId rid = next_++;
-    if (table_->IsLive(rid)) {
-      *out = table_->row(rid);
+    if (const Row* r = table_->VisibleRow(rid, view_)) {
+      *out = *r;
       return true;
     }
   }
@@ -272,9 +273,9 @@ Result<bool> SeqScanNode::NextBatchImpl(Batch* out) {
   size_t produced = 0;
   while (next_ < slots && produced < target) {
     RowId rid = next_++;
-    if (!table_->IsLive(rid)) continue;
-    const Row& r = table_->row(rid);
-    for (size_t c = 0; c < ncols; ++c) out->column(c).push_back(r[c]);
+    const Row* r = table_->VisibleRow(rid, view_);
+    if (r == nullptr) continue;
+    for (size_t c = 0; c < ncols; ++c) out->column(c).push_back((*r)[c]);
     ++produced;
   }
   out->SetNumRows(produced);
@@ -301,6 +302,9 @@ Status ParallelSeqScanNode::OpenImpl() {
   MetricsRegistry::Global().Add("table." + table_->name() + ".scans", 1);
   rows_.clear();
   pos_ = 0;
+  // Pool workers carry no thread-local read view, so capture the statement's
+  // view here and read through the copy inside the morsel lambda.
+  view_ = EffectiveReadView();
   size_t slots = table_->num_slots();
   if (slots == 0) return Status::OK();
   // More morsels than workers so an unlucky partition (all tombstones vs all
@@ -327,8 +331,9 @@ Status ParallelSeqScanNode::OpenImpl() {
     }
     std::vector<Row>& out = buffers[m];
     for (RowId rid = begin; rid < end; ++rid) {
-      if (!table_->IsLive(rid)) continue;
-      const Row& r = table_->row(rid);
+      const Row* vr = table_->VisibleRow(rid, view_);
+      if (vr == nullptr) continue;
+      const Row& r = *vr;
       if (pred != nullptr) {
         Result<bool> pass = pred->EvalBool(r);
         if (!pass.ok()) {
@@ -445,12 +450,49 @@ Status IndexScanNode::OpenImpl() {
       upper_.push_back(std::move(v));
     }
   }
-  rids_ = index_->LookupRange(lower_, lower_inclusive_, upper_, upper_inclusive_);
+  view_ = EffectiveReadView();
+  snapshot_scan_ = !view_.read_latest && table_->mvcc_enabled();
+  if (snapshot_scan_) {
+    // Raw entries, re-verified per row in Next: indexes are maintained
+    // lazily under MVCC, so an entry may point at a row whose visible
+    // version no longer (or does not yet) carry the entry's key.
+    entries_ = table_->IndexEntriesInRange(index_, lower_, lower_inclusive_,
+                                           upper_, upper_inclusive_);
+  } else {
+    rids_ =
+        index_->LookupRange(lower_, lower_inclusive_, upper_, upper_inclusive_);
+  }
   pos_ = 0;
   return Status::OK();
 }
 
+/// Snapshot path: resolves the entry at `pos` to the row version visible to
+/// `view`, or nullptr when the entry is invisible to this scan. The visible
+/// version's key columns must equal the entry key — that rejects entries
+/// from other versions of the row and dedups rows reachable through both an
+/// old and a new key (each row is emitted only for its visible key).
+const Row* IndexScanNode::VisibleEntryRow(const Row& entry) const {
+  const RowId rid = static_cast<RowId>(entry.back().AsInt());
+  const Row* r = table_->VisibleRow(rid, view_);
+  if (r == nullptr) return nullptr;
+  const auto& keys = index_->key_columns();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if ((*r)[keys[i]].Compare(entry[i]) != 0) return nullptr;
+  }
+  return r;
+}
+
 Result<bool> IndexScanNode::NextImpl(Row* out) {
+  if (snapshot_scan_) {
+    while (pos_ < entries_.size()) {
+      const Row* r = VisibleEntryRow(entries_[pos_++]);
+      if (r != nullptr) {
+        *out = *r;
+        return true;
+      }
+    }
+    return false;
+  }
   while (pos_ < rids_.size()) {
     RowId rid = rids_[pos_++];
     if (table_->IsLive(rid)) {
@@ -466,6 +508,16 @@ Result<bool> IndexScanNode::NextBatchImpl(Batch* out) {
   out->Reset(ncols);
   const size_t target = static_cast<size_t>(DefaultBatchSize());
   size_t produced = 0;
+  if (snapshot_scan_) {
+    while (pos_ < entries_.size() && produced < target) {
+      const Row* r = VisibleEntryRow(entries_[pos_++]);
+      if (r == nullptr) continue;
+      for (size_t c = 0; c < ncols; ++c) out->column(c).push_back((*r)[c]);
+      ++produced;
+    }
+    out->SetNumRows(produced);
+    return produced > 0;
+  }
   while (pos_ < rids_.size() && produced < target) {
     RowId rid = rids_[pos_++];
     if (!table_->IsLive(rid)) continue;
@@ -477,7 +529,10 @@ Result<bool> IndexScanNode::NextBatchImpl(Batch* out) {
   return produced > 0;
 }
 
-void IndexScanNode::CloseImpl() { rids_.clear(); }
+void IndexScanNode::CloseImpl() {
+  rids_.clear();
+  entries_.clear();
+}
 
 std::string IndexScanNode::Describe() const {
   std::string out = "IndexScan(" + table_->name() + "." + index_->name();

@@ -122,7 +122,9 @@ void FlushPlanMetrics(const PlanNode& plan);
 
 // ---------------------------------------------------------------------------
 
-/// Full scan of a base table (skips tombstones).
+/// Full scan of a base table. Emits the row versions visible to the read
+/// view captured at Open() (newest live rows when no view is installed —
+/// legacy lock mode and direct executor use).
 class SeqScanNode : public PlanNode {
  public:
   SeqScanNode(const Table* table, std::string alias);
@@ -141,14 +143,16 @@ class SeqScanNode : public PlanNode {
   std::string alias_;
   Schema schema_;
   RowId next_ = 0;
+  MvccReadView view_;  ///< captured at Open
 };
 
 /// Morsel-parallel full table scan. Open() splits the slot range into
 /// contiguous morsels dispatched across a thread pool; each worker clones and
 /// binds the (optional) pushed-down predicate, then filters its morsel into a
 /// private buffer. The buffers are concatenated in morsel order, so the
-/// output is byte-identical to SeqScan + Filter. Requires the caller to hold
-/// the table's shared lock across Open..Close, like every scan.
+/// output is byte-identical to SeqScan + Filter. The statement's read view
+/// is captured at Open() and copied into every worker — pool threads carry
+/// no thread-local view of their own.
 class ParallelSeqScanNode : public PlanNode {
  public:
   ParallelSeqScanNode(const Table* table, std::string alias, ExprPtr predicate,
@@ -172,6 +176,7 @@ class ParallelSeqScanNode : public PlanNode {
   ThreadPool* pool_;  ///< null means ThreadPool::Shared()
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  MvccReadView view_;  ///< captured at Open, copied into the workers
 };
 
 /// Range scan through a secondary index. Bounds are prefix rows over the
@@ -205,8 +210,16 @@ class IndexScanNode : public PlanNode {
   Row lower_, upper_;
   std::vector<ExprPtr> lower_exprs_, upper_exprs_;  ///< empty = fixed bounds
   bool lower_inclusive_, upper_inclusive_;
+  /// Latest-state path: current row ids from the index (legacy lock mode).
   std::vector<RowId> rids_;
+  /// Snapshot path: raw index entries (key columns + rid); lazily maintained
+  /// entries are re-verified against the visible version's key, which both
+  /// rejects stale entries and dedups rows reachable via old + new keys.
+  const Row* VisibleEntryRow(const Row& entry) const;
+  std::vector<Row> entries_;
+  bool snapshot_scan_ = false;
   size_t pos_ = 0;
+  MvccReadView view_;  ///< captured at Open
 };
 
 class FilterNode : public PlanNode {

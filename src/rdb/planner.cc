@@ -185,7 +185,9 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
   bool best_lower_inc = true, best_upper_inc = true;
   bool best_has_param = false;
 
-  for (const auto& index : table->indexes()) {
+  // Latched copy: planning runs without table locks under MVCC, so a
+  // concurrent CREATE INDEX must not invalidate this iteration.
+  for (const Index* index : table->IndexList()) {
     Row lower, upper;
     std::vector<ExprPtr> lower_exprs, upper_exprs;
     bool lower_inc = true, upper_inc = true;
@@ -250,7 +252,7 @@ PlanPtr BuildScan(const Table* table, const std::string& alias,
     }
     if (matched > best_score) {
       best_score = matched;
-      best_index = index.get();
+      best_index = index;
       best_used = used;
       best_lower = lower;
       best_upper = upper;

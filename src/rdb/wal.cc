@@ -416,6 +416,9 @@ Status Wal::Append(WalRecord rec, bool commit_point) {
     return s;
   }
   next_lsn_.store(rec.lsn + 1, std::memory_order_release);
+  // Commit LSNs must stay above every record LSN so MVCC stamps of a
+  // transaction always exceed the LSNs of its WAL records.
+  MvccEngine::Global().EnsureNextAbove(rec.lsn);
   unsynced_bytes_ += frame.size();
   live_bytes_ += frame.size();
   LiveBytesGauge().Add(static_cast<int64_t>(frame.size()));
@@ -562,10 +565,16 @@ WalTransaction::~WalTransaction() {
 }
 
 Status WalTransaction::Commit() {
-  if (wal_ == nullptr || txn_ == 0) return Status::OK();
-  const uint64_t txn = txn_;
-  txn_ = 0;
-  return wal_->Commit(txn);
+  // Durability first, visibility second: the WAL commit record is appended
+  // (and synced per policy) before snapshot readers can observe the scope.
+  Status s = Status::OK();
+  if (wal_ != nullptr && txn_ != 0) {
+    const uint64_t txn = txn_;
+    txn_ = 0;
+    s = wal_->Commit(txn);
+  }
+  mvcc_.Commit();
+  return s;
 }
 
 }  // namespace xmlrdb::rdb

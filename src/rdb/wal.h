@@ -43,14 +43,13 @@
 
 #include "common/status.h"
 #include "rdb/env.h"
+#include "rdb/mvcc.h"  // Lsn — the WAL and the MVCC engine share an LSN space
 #include "rdb/schema.h"
 #include "rdb/table.h"
 
 namespace xmlrdb::rdb {
 
 class Database;
-
-using Lsn = uint64_t;
 
 enum class WalRecordType : uint8_t {
   kCommit = 1,       ///< transaction `txn` is durable
@@ -178,10 +177,17 @@ class Wal : public TableMutationSink {
 
 /// RAII scope that groups every durable-table mutation issued on this thread
 /// into one WAL transaction — recovery applies it entirely or not at all.
-/// No-op when the database has no WAL, and when a transaction is already
-/// active on this thread (the outer scope owns the commit). Holds the
-/// database's transaction gate shared for its lifetime so a checkpoint never
-/// snapshots mid-transaction (see Database::txn_gate).
+/// The WAL part is a no-op when the database has no WAL, and when a
+/// transaction is already active on this thread (the outer scope owns the
+/// commit). Holds the database's transaction gate shared for its lifetime so
+/// a checkpoint never snapshots mid-transaction (see Database::txn_gate).
+///
+/// Also scopes an MvccTransaction (WAL or not): snapshot readers see the
+/// whole scope's mutations at one commit LSN or not at all. Commit() writes
+/// the WAL commit record first, then publishes MVCC visibility; if the scope
+/// is abandoned the in-memory partial state is finalized as visible (it is
+/// *recovery* that rolls uncommitted WAL transactions back, matching the
+/// engine's long-standing in-memory semantics).
 class WalTransaction {
  public:
   explicit WalTransaction(Database* db);
@@ -196,6 +202,7 @@ class WalTransaction {
   Wal* wal_ = nullptr;
   uint64_t txn_ = 0;
   std::shared_lock<std::shared_mutex> gate_;
+  MvccTransaction mvcc_;
 };
 
 }  // namespace xmlrdb::rdb

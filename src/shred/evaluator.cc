@@ -244,11 +244,26 @@ Result<NodeSet> EvalPath(const xpath::PathExpr& path, Mapping* mapping,
   MetricsRegistry& reg = MetricsRegistry::Global();
   Stopwatch timer;
   Result<NodeSet> result = [&]() -> Result<NodeSet> {
-    if (stats == nullptr) return EvalPathImpl(path, mapping, db, doc);
-    ScopedMetricsCapture capture;
-    auto inner = EvalPathImpl(path, mapping, db, doc);
-    *stats = StatsFromDelta(capture.Delta());
-    return inner;
+    // One pinned snapshot covers every SQL statement of the evaluation, so
+    // the whole multi-statement path sees a single consistent database state
+    // even while writers commit concurrently. A non-transient DDL committed
+    // mid-path invalidates the pin (TxnError); retry on a fresh snapshot —
+    // DDL on mapping tables is rare, so a few attempts suffice.
+    constexpr int kMaxAttempts = 5;
+    for (int attempt = 0;; ++attempt) {
+      rdb::ReadSnapshot snapshot(db);
+      Result<NodeSet> inner = [&]() -> Result<NodeSet> {
+        if (stats == nullptr) return EvalPathImpl(path, mapping, db, doc);
+        ScopedMetricsCapture capture;
+        auto r = EvalPathImpl(path, mapping, db, doc);
+        *stats = StatsFromDelta(capture.Delta());
+        return r;
+      }();
+      if (inner.ok() || inner.status().code() != StatusCode::kTxnError ||
+          attempt + 1 >= kMaxAttempts) {
+        return inner;
+      }
+    }
   }();
   if (reg.enabled()) {
     reg.RecordLatency("mapping." + mapping->name() + ".query_us",

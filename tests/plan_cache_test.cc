@@ -243,5 +243,41 @@ TEST_F(PlanCacheTest, ParameterizedIndexBoundsMatchLiteralResults) {
   EXPECT_TRUE(typed.value().rows.empty());
 }
 
+TEST_F(PlanCacheTest, ReplanUnderStaleSnapshotIsAClearTxnError) {
+  auto stmt = db_.Prepare("SELECT id FROM t WHERE grp = ?");
+  ASSERT_TRUE(stmt.ok());
+  ReadSnapshot snap(&db_);
+  ASSERT_TRUE(stmt.value().Execute({Value(static_cast<int64_t>(1))}).ok());
+  // DDL invalidates the cached plan *and* commits after the snapshot was
+  // pinned. Re-execution must not silently replan against the new catalog
+  // under the old snapshot — it fails with a transaction error that names
+  // the schema change, so the caller knows to re-acquire and retry.
+  ASSERT_TRUE(db_.Execute("CREATE INDEX t_grp ON t (grp)").ok());
+  auto res = stmt.value().Execute({Value(static_cast<int64_t>(1))});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kTxnError) << res.status();
+  EXPECT_NE(res.status().message().find("schema changed"), std::string::npos)
+      << res.status();
+}
+
+TEST_F(PlanCacheTest, PreparedStatementRecoversAfterSnapshotReacquire) {
+  auto stmt = db_.Prepare("SELECT id FROM t WHERE grp = ?");
+  ASSERT_TRUE(stmt.ok());
+  {
+    ReadSnapshot snap(&db_);
+    ASSERT_TRUE(stmt.value().Execute({Value(static_cast<int64_t>(2))}).ok());
+    ASSERT_TRUE(db_.Execute("CREATE INDEX t_grp2 ON t (grp)").ok());
+    ASSERT_FALSE(stmt.value().Execute({Value(static_cast<int64_t>(2))}).ok());
+  }
+  // Fresh snapshot: the statement replans against the current catalog and
+  // works again (now through the new index).
+  auto res = stmt.value().Execute({Value(static_cast<int64_t>(2))});
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res.value().rows.size(), 10u);
+  auto plan = stmt.value().ExplainPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value().find("IndexScan"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xmlrdb::rdb
