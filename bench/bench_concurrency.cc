@@ -140,8 +140,8 @@ void BM_ConcurrentQuery(benchmark::State& state,
 /// lock-wait histograms across the timed loop — under MVCC the read share
 /// of the mix never waits on table locks, so select_lock_wait_p95_us ~ 0.
 void BM_MixedReadWrite(benchmark::State& state,
-                       const std::string& mapping_name) {
-  StoredAuction* sa = GetStoredAuction(mapping_name, kScale);
+                       const std::string& mapping_name, bool durable = false) {
+  StoredAuction* sa = GetStoredAuction(mapping_name, kScale, durable);
   if (sa == nullptr) {
     state.SkipWithError("setup failed");
     return;
@@ -264,6 +264,17 @@ void RegisterAll() {
         ->Threads(1)
         ->Threads(2)
         ->Threads(4)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+    // Same mix against a WAL-backed store (its directory lives under the
+    // per-process StoreDirPrefix(), so parallel ctest runs never collide):
+    // the delta vs mixed_90_10 is the durability tax on the write share.
+    benchmark::RegisterBenchmark(
+        ("C1/mixed_90_10_durable/" + name).c_str(),
+        [name](benchmark::State& s) {
+          BM_MixedReadWrite(s, name, /*durable=*/true);
+        })
+        ->Threads(2)
         ->UseRealTime()
         ->Unit(benchmark::kMillisecond);
     // Read-only vs reads-with-one-writer on the 90/10 read query: the two

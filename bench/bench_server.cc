@@ -12,6 +12,16 @@
 //   * S1/busy_shed        — a deliberately tiny server; measures shedding
 //                           (busy_rejected counter) instead of queueing.
 //
+// Experiment SH1 — sharded serving sweep. The same auction corpus served by
+// a ShardRouter at 1/2/4/8 shards (durable stores under StoreDirPrefix(),
+// one WAL directory per shard):
+//
+//   * SH1/routed/<mapping>/shards:N — single-document queries round-robined
+//     over the corpus; each lands on exactly one shard. Per-shard
+//     shard<i>_p50/p95/p99_us counters expose skew across the ring.
+//   * SH1/fanout/<mapping>/shards:N — one query scatter-gathered across all
+//     shards and merged in document order; measures the fan-out barrier.
+//
 // p50/p95/p99 latency percentiles and the server's plan-cache hit counters
 // land in the benchmark JSON next to the throughput numbers. The RPC-mode
 // and mixed-workload benchmarks additionally negotiate protocol v2 tracing,
@@ -21,8 +31,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -31,6 +44,7 @@
 #include "common/stopwatch.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "shard/shard_router.h"
 #include "xpath/xpath_ast.h"
 
 namespace xmlrdb::bench {
@@ -359,6 +373,153 @@ void BM_ServerBusyShed(benchmark::State& state) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------------
+// SH1 — sharded serving sweep.
+
+/// XMark scale for the sharded corpus: small enough that the 8-shard
+/// configuration (16 stored documents) builds in seconds.
+constexpr double kShardScale = 0.05;
+
+/// A durable N-shard router serving the auction corpus, memoized per
+/// (mapping, shards) so every benchmark in the sweep reuses the stores. XMark
+/// copies are stored until every shard owns at least two documents (capped),
+/// so the per-shard latency counters cover the whole ring. Directories live
+/// under the per-process StoreDirPrefix() and are wiped on first build.
+struct ShardFixture {
+  std::unique_ptr<shard::ShardRouter> router;
+  std::vector<shred::DocId> ids;
+};
+
+ShardFixture* GetShardFixture(const std::string& mapping, int shards) {
+  static std::mutex mu;
+  static std::map<std::pair<std::string, int>, std::unique_ptr<ShardFixture>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(mapping, shards);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  shard::ShardRouterOptions opts;
+  opts.shards = shards;
+  opts.env = rdb::Env::Default();
+  opts.dir_prefix =
+      StoreDirPrefix() + "/sh1_" + mapping + "_" + std::to_string(shards);
+  if (!opts.env->RemoveDirRecursive(opts.dir_prefix).ok()) return nullptr;
+  auto router = shard::ShardRouter::Create(
+      [mapping]() -> Result<std::unique_ptr<shred::Mapping>> {
+        auto m = MakeMapping(mapping);
+        if (m == nullptr) {
+          return Status::InvalidArgument("unknown mapping '" + mapping + "'");
+        }
+        return m;
+      },
+      opts);
+  if (!router.ok()) return nullptr;
+
+  auto fixture = std::make_unique<ShardFixture>();
+  fixture->router = std::move(router).value();
+  workload::XMarkConfig cfg;
+  cfg.scale = kShardScale;
+  auto doc = workload::GenerateXMark(cfg);
+  std::vector<int> docs_per_shard(shards, 0);
+  const int cap = 16 * shards;
+  while (static_cast<int>(fixture->ids.size()) < cap) {
+    auto id = fixture->router->Store(*doc);
+    if (!id.ok()) return nullptr;
+    fixture->ids.push_back(id.value());
+    const int owner = fixture->router->OwnerOf(id.value());
+    if (owner >= 0 && owner < shards) ++docs_per_shard[owner];
+    if (*std::min_element(docs_per_shard.begin(), docs_per_shard.end()) >= 2) {
+      break;
+    }
+  }
+  auto [pos, inserted] = cache.emplace(key, std::move(fixture));
+  (void)inserted;
+  return pos->second.get();
+}
+
+/// Single-document queries round-robined over the corpus: each iteration
+/// routes to exactly one shard. Client-side latencies are recorded both in
+/// aggregate and per owning shard, so the JSON carries shard<i>_p50/p95/p99
+/// — skew between shards is ring imbalance, not engine noise.
+void BM_ShardRouted(benchmark::State& state, const std::string& mapping,
+                    int shards) {
+  ShardFixture* f = GetShardFixture(mapping, shards);
+  if (f == nullptr) {
+    state.SkipWithError("shard fixture failed");
+    return;
+  }
+  auto path = xpath::ParseXPath("//item/name");
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  Histogram latencies;
+  std::vector<Histogram> per_shard(f->router->num_shards());
+  size_t i = 0;
+  for (auto _ : state) {
+    const shred::DocId doc = f->ids[i++ % f->ids.size()];
+    Stopwatch timer;
+    auto r = f->router->EvalPathStrings(path.value(), doc);
+    const int64_t us = static_cast<int64_t>(timer.ElapsedMicros());
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value());
+    latencies.Record(us);
+    const int owner = f->router->OwnerOf(doc);
+    if (owner >= 0 && owner < static_cast<int>(per_shard.size())) {
+      per_shard[owner].Record(us);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["docs"] = static_cast<double>(f->ids.size());
+  ReportLatencyPercentiles(state, latencies.Snapshot());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const HistogramSnapshot snap = per_shard[s].Snapshot();
+    if (snap.count == 0) continue;
+    const std::string prefix = "shard" + std::to_string(s);
+    state.counters[prefix + "_p50_us"] = snap.p50();
+    state.counters[prefix + "_p95_us"] = snap.p95();
+    state.counters[prefix + "_p99_us"] = snap.p99();
+  }
+}
+
+/// One query scatter-gathered across every shard and merged in document
+/// order: the fan-out barrier is the measured unit, so latency tracks the
+/// slowest shard plus the merge.
+void BM_ShardFanout(benchmark::State& state, const std::string& mapping,
+                    int shards) {
+  ShardFixture* f = GetShardFixture(mapping, shards);
+  if (f == nullptr) {
+    state.SkipWithError("shard fixture failed");
+    return;
+  }
+  auto path = xpath::ParseXPath("//item/name");
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  Histogram latencies;
+  for (auto _ : state) {
+    Stopwatch timer;
+    auto r = f->router->EvalPathStringsAll(path.value());
+    latencies.Record(static_cast<int64_t>(timer.ElapsedMicros()));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value());
+  }
+  // Every iteration touches the whole corpus: items/s == documents/s.
+  state.SetItemsProcessed(state.iterations() * f->ids.size());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["docs"] = static_cast<double>(f->ids.size());
+  ReportLatencyPercentiles(state, latencies.Snapshot());
+}
+
 void RegisterAll() {
   for (const std::string name : {"edge", "interval"}) {
     for (const auto& query : workload::AuctionQueries()) {
@@ -392,6 +553,21 @@ void RegisterAll() {
   benchmark::RegisterBenchmark("S1/busy_shed", BM_ServerBusyShed)
       ->UseRealTime()
       ->Unit(benchmark::kMillisecond);
+  // SH1: the shard sweep. Edge only — the sweep measures routing and
+  // fan-out overhead, which is mapping-independent; C1/S1 already cover
+  // per-mapping engine latency.
+  for (int shards : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("SH1/routed/edge/shards:" + std::to_string(shards)).c_str(),
+        [shards](benchmark::State& s) { BM_ShardRouted(s, "edge", shards); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("SH1/fanout/edge/shards:" + std::to_string(shards)).c_str(),
+        [shards](benchmark::State& s) { BM_ShardFanout(s, "edge", shards); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 }  // namespace

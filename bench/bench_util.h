@@ -9,13 +9,18 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include <unistd.h>
 
 #include <benchmark/benchmark.h>
 
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "rdb/durability.h"
+#include "rdb/env.h"
 #include "shred/evaluator.h"
 #include "shred/inline_mapping.h"
 #include "shred/registry.h"
@@ -39,6 +44,21 @@ inline std::unique_ptr<shred::Mapping> MakeMapping(const std::string& name) {
   }
   auto m = shred::CreateMapping(name);
   return m.ok() ? std::move(m).value() : nullptr;
+}
+
+/// Root directory for every durable store a benchmark creates (WAL
+/// directories, checkpoints, per-shard directories). Unique per process, so
+/// `ctest -j` running several benches in the same build directory never
+/// lands two engines on the same WAL directory; set XMLRDB_STORE_DIR for a
+/// stable location instead.
+inline std::string StoreDirPrefix() {
+  if (const char* dir = std::getenv("XMLRDB_STORE_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return dir;
+  }
+  static const std::string kUnique =
+      "bench_stores_" + std::to_string(static_cast<long>(getpid())) + ".tmp";
+  return kUnique;
 }
 
 /// One stored auction document at a given scale, kept alive for reuse across
@@ -123,22 +143,36 @@ inline void WriteTraceJsonIfRequested() {
   out << collector.RenderChromeJson();
 }
 
-/// Builds (and memoizes per (mapping, scale)) a stored auction document.
-/// Thread-safe: multi-threaded benchmarks hit the cache from every worker.
+/// Builds (and memoizes per (mapping, scale, durable)) a stored auction
+/// document. Thread-safe: multi-threaded benchmarks hit the cache from every
+/// worker. `durable` backs the store with a WAL directory under
+/// StoreDirPrefix(), wiped on first build so reruns start cold.
 inline StoredAuction* GetStoredAuction(const std::string& mapping_name,
-                                       double scale) {
+                                       double scale, bool durable = false) {
   static std::mutex mu;
-  static std::map<std::pair<std::string, int>, std::unique_ptr<StoredAuction>>
+  static std::map<std::tuple<std::string, int, bool>,
+                  std::unique_ptr<StoredAuction>>
       cache;
   std::lock_guard<std::mutex> lock(mu);
-  auto key = std::make_pair(mapping_name, static_cast<int>(scale * 1000));
+  const int scale_key = static_cast<int>(scale * 1000);
+  auto key = std::make_tuple(mapping_name, scale_key, durable);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second.get();
 
   auto stored = std::make_unique<StoredAuction>();
   stored->mapping = MakeMapping(mapping_name);
   if (stored->mapping == nullptr) return nullptr;
-  stored->db = std::make_unique<rdb::Database>();
+  if (durable) {
+    rdb::Env* env = rdb::Env::Default();
+    const std::string dir = StoreDirPrefix() + "/auction_" + mapping_name +
+                            "_" + std::to_string(scale_key);
+    if (!env->RemoveDirRecursive(dir).ok()) return nullptr;
+    auto db = rdb::OpenDurableDatabase(env, dir);
+    if (!db.ok()) return nullptr;
+    stored->db = std::move(db).value();
+  } else {
+    stored->db = std::make_unique<rdb::Database>();
+  }
   workload::XMarkConfig cfg;
   cfg.scale = scale;
   stored->doc = workload::GenerateXMark(cfg);

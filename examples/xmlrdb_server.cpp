@@ -1,13 +1,20 @@
 // xmlrdb_server — the standalone TCP server binary.
 //
 //   $ ./build/examples/xmlrdb_server [--port N] [--scale S] [--workers W]
-//                                    [--admin-port N] [--log-json]
+//                                    [--shards N] [--admin-port N]
+//                                    [--log-json]
 //
-// Stores the XMark auction document under every mapping, then serves the
+// Stores XMark auction documents under every mapping, then serves the
 // wire protocol (src/net/protocol.h): SQL over QUERY/PREPARE/EXEC_PREPARED,
-// XPath over XPATH (docid 1, any mapping name), plus the xmlrdb_sessions /
-// xmlrdb_statements / xmlrdb_metrics virtual tables for live introspection.
-// Runs until stdin closes or SIGINT.
+// XPath over XPATH (docid > 0 routes to that document's shard; docid <= 0
+// fans out over every stored document and merges in document order), plus
+// the xmlrdb_sessions / xmlrdb_statements / xmlrdb_metrics / xmlrdb_shards
+// virtual tables for live introspection. Runs until stdin closes or SIGINT.
+//
+// --shards N puts every mapping behind a shard::ShardRouter of N
+// independent engine shards (consistent-hash placement; enough documents
+// are stored that every shard owns at least one). The default of 1 keeps
+// the classic single-engine layout — just expressed as a one-shard router.
 //
 // --admin-port starts the read-only HTTP observability plane
 // (net/http_admin.h) on a second port: /metrics, /healthz, /readyz,
@@ -35,6 +42,7 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +56,8 @@
 #include "net/http_admin.h"
 #include "net/server.h"
 #include "rdb/wal.h"
+#include "shard/hash_ring.h"
+#include "shard/shard_router.h"
 #include "shred/evaluator.h"
 #include "shred/inline_mapping.h"
 #include "shred/registry.h"
@@ -84,42 +94,76 @@ void LogEvent(
 }
 
 struct Store {
-  std::unique_ptr<shred::Mapping> mapping;
-  std::unique_ptr<rdb::Database> db;
-  shred::DocId id = 0;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::vector<shred::DocId> ids;
 };
 
-std::map<std::string, Store>* BuildStores(double scale) {
+/// Smallest document count whose router-assigned docids (1..k) put at
+/// least `min_per_shard` documents on every shard of an N-shard ring. The
+/// smoke run wants two per shard: the second store re-prepares the same
+/// INSERT, so every shard's plan cache records a hit even for the blob
+/// mapping (which caches parsed DOMs and issues almost no query SQL).
+int DocsForShardCoverage(int shards, int min_per_shard) {
+  if (shards <= 1) return min_per_shard;
+  shard::HashRing ring;
+  for (int i = 0; i < shards; ++i) ring.AddShard(i);
+  std::map<int, int> per_shard;
+  int covered = 0;
+  int k = 0;
+  while (covered < shards && k < 64 * shards * min_per_shard) {
+    ++k;
+    if (++per_shard[ring.OwnerOf(k)] == min_per_shard) ++covered;
+  }
+  return k;
+}
+
+std::map<std::string, Store>* BuildStores(double scale, int shards,
+                                          int min_docs_per_shard) {
   workload::XMarkConfig cfg;
   cfg.scale = scale;
   auto doc = workload::GenerateXMark(cfg);
+  const int ndocs = DocsForShardCoverage(shards, min_docs_per_shard);
   auto* stores = new std::map<std::string, Store>();
   auto add = [&](const std::string& name,
-                 std::unique_ptr<shred::Mapping> m) -> bool {
-    Store s;
-    s.mapping = std::move(m);
-    s.db = std::make_unique<rdb::Database>();
-    if (!s.mapping->Initialize(s.db.get()).ok()) return false;
-    auto id = s.mapping->Store(*doc, s.db.get());
-    if (!id.ok()) {
-      std::fprintf(stderr, "store %s: %s\n", name.c_str(),
-                   id.status().ToString().c_str());
+                 shard::MappingFactory factory) -> bool {
+    shard::ShardRouterOptions opts;
+    opts.shards = shards;
+    opts.start_version_gc = true;
+    auto router = shard::ShardRouter::Create(std::move(factory), opts);
+    if (!router.ok()) {
+      std::fprintf(stderr, "router %s: %s\n", name.c_str(),
+                   router.status().ToString().c_str());
       return false;
     }
-    s.id = id.value();
+    Store s;
+    s.router = std::move(router).value();
+    for (int i = 0; i < ndocs; ++i) {
+      auto id = s.router->Store(*doc);
+      if (!id.ok()) {
+        std::fprintf(stderr, "store %s: %s\n", name.c_str(),
+                     id.status().ToString().c_str());
+        return false;
+      }
+      s.ids.push_back(id.value());
+    }
     (*stores)[name] = std::move(s);
     return true;
   };
   for (const std::string& name : shred::GenericMappingNames()) {
-    auto m = shred::CreateMapping(name);
-    if (!m.ok() || !add(name, std::move(m).value())) return nullptr;
+    if (!add(name, [name] { return shred::CreateMapping(name); })) {
+      return nullptr;
+    }
   }
   auto dtd = xml::ParseDtd(workload::XMarkDtd());
   if (!dtd.ok()) return nullptr;
-  auto inline_m = shred::InlineMapping::Create(*dtd.value(), "site");
-  if (!inline_m.ok() || !add("inline", std::move(inline_m).value())) {
-    return nullptr;
-  }
+  std::shared_ptr<const xml::Dtd> shared_dtd = std::move(dtd).value();
+  auto inline_factory =
+      [shared_dtd]() -> Result<std::unique_ptr<shred::Mapping>> {
+    ASSIGN_OR_RETURN(std::unique_ptr<shred::InlineMapping> m,
+                     shred::InlineMapping::Create(*shared_dtd, "site"));
+    return std::unique_ptr<shred::Mapping>(std::move(m));
+  };
+  if (!add("inline", inline_factory)) return nullptr;
   return stores;
 }
 
@@ -131,10 +175,19 @@ net::XPathHandler MakeHandler(std::map<std::string, Store>* stores) {
     if (it == stores->end()) {
       return Status::InvalidArgument("unknown mapping '" + mapping + "'");
     }
-    (void)doc;
     ASSIGN_OR_RETURN(xpath::PathExpr path, xpath::ParseXPath(xpath));
-    return shred::EvalPathStrings(path, it->second.mapping.get(),
-                                  it->second.db.get(), it->second.id);
+    shard::ShardRouter* router = it->second.router.get();
+    if (doc <= 0) {
+      // Fan-out: every stored document, merged in ascending-docid order.
+      ASSIGN_OR_RETURN(std::vector<shard::DocStrings> per_doc,
+                       router->EvalPathStringsAll(path));
+      std::vector<std::string> flat;
+      for (auto& d : per_doc) {
+        for (auto& v : d.values) flat.push_back(std::move(v));
+      }
+      return flat;
+    }
+    return router->EvalPathStrings(path, doc);
   };
 }
 
@@ -144,7 +197,7 @@ net::XPathHandler MakeHandler(std::map<std::string, Store>* stores) {
 /// success.
 int RunSmoke(rdb::Database* db, net::Server* server,
              std::map<std::string, Store>* stores,
-             net::HttpAdminServer* admin) {
+             net::HttpAdminServer* admin, int shards) {
   const uint16_t port = server->port();
   net::Client c;
   if (!c.Connect("127.0.0.1", port).ok()) {
@@ -165,20 +218,37 @@ int RunSmoke(rdb::Database* db, net::Server* server,
     if (!c.CloseStmt(h.value().stmt_id).ok()) return 1;
   }
   // Q1–Q12 on every mapping through the socket; results must agree with
-  // the embedded evaluator.
+  // the embedded router. Each query runs twice: once routed to document 1,
+  // once fanned out over every document (docid 0) against the router's own
+  // scatter-gather — so every shard serves real traffic.
   for (const auto& [name, s] : *stores) {
     for (const auto& q : workload::AuctionQueries()) {
-      auto wire = c.XPath(s.id, name, q.xpath);
+      auto wire = c.XPath(s.ids.front(), name, q.xpath);
       if (!wire.ok()) {
         std::fprintf(stderr, "smoke: %s/%s: %s\n", name.c_str(),
                      q.id.c_str(), wire.status().ToString().c_str());
         return 1;
       }
       auto path = xpath::ParseXPath(q.xpath);
-      auto local = shred::EvalPathStrings(path.value(), s.mapping.get(),
-                                          s.db.get(), s.id);
+      auto local = s.router->EvalPathStrings(path.value(), s.ids.front());
       if (!local.ok() || local.value() != wire.value()) {
         std::fprintf(stderr, "smoke: %s/%s: wire/embedded mismatch\n",
+                     name.c_str(), q.id.c_str());
+        return 1;
+      }
+      auto wire_all = c.XPath(0, name, q.xpath);
+      auto local_all = s.router->EvalPathStringsAll(path.value());
+      if (!wire_all.ok() || !local_all.ok()) {
+        std::fprintf(stderr, "smoke: %s/%s: fan-out failed\n", name.c_str(),
+                     q.id.c_str());
+        return 1;
+      }
+      std::vector<std::string> flat;
+      for (auto& d : local_all.value()) {
+        for (auto& v : d.values) flat.push_back(std::move(v));
+      }
+      if (flat != wire_all.value()) {
+        std::fprintf(stderr, "smoke: %s/%s: fan-out wire mismatch\n",
                      name.c_str(), q.id.c_str());
         return 1;
       }
@@ -219,6 +289,20 @@ int RunSmoke(rdb::Database* db, net::Server* server,
     std::fprintf(stderr, "smoke: xmlrdb_sessions empty\n");
     return 1;
   }
+  // One xmlrdb_shards row per (mapping, shard).
+  auto shard_rows = c.Query("SELECT COUNT(*) FROM xmlrdb_shards");
+  const int64_t expected_shard_rows =
+      static_cast<int64_t>(stores->size()) * shards;
+  if (!shard_rows.ok() ||
+      shard_rows.value().rows[0][0].AsInt() != expected_shard_rows) {
+    std::fprintf(stderr, "smoke: xmlrdb_shards has %lld rows, want %lld\n",
+                 shard_rows.ok()
+                     ? static_cast<long long>(
+                           shard_rows.value().rows[0][0].AsInt())
+                     : -1LL,
+                 static_cast<long long>(expected_shard_rows));
+    return 1;
+  }
   // Traced round trip: the server must echo our request id and its timing.
   if (!c.Hello().ok() || c.negotiated_version() < 2) {
     std::fprintf(stderr, "smoke: protocol v2 negotiation failed\n");
@@ -256,18 +340,45 @@ int RunSmoke(rdb::Database* db, net::Server* server,
   }
   c.Close();
 
+  // Every shard of every mapping must have owned documents and served the
+  // Q1–Q12 traffic through its own plan cache — a shard with zero hits
+  // means routing silently bypassed it.
+  int64_t shard_hits_min = -1;
+  int64_t shard_docs_min = -1;
+  for (const auto& [name, s] : *stores) {
+    for (const rdb::ShardInfo& info : s.router->SnapshotShards()) {
+      if (shard_hits_min < 0 || info.plancache_hits < shard_hits_min) {
+        shard_hits_min = info.plancache_hits;
+      }
+      if (shard_docs_min < 0 || info.docs < shard_docs_min) {
+        shard_docs_min = info.docs;
+      }
+      if (info.plancache_hits <= 0 || info.docs <= 0) {
+        std::fprintf(stderr,
+                     "smoke: %s shard %lld idle (docs=%lld, "
+                     "plancache_hits=%lld)\n",
+                     name.c_str(), static_cast<long long>(info.shard),
+                     static_cast<long long>(info.docs),
+                     static_cast<long long>(info.plancache_hits));
+      }
+    }
+  }
+
   auto pc = db->plan_cache().stats();
   server->Stop();
   // Stop() tears down every remaining connection, so a clean shutdown means
   // the open/close counters balance in the snapshot below.
   auto stats = server->stats();
   const bool ok = stats.requests > 0 && stats.protocol_errors > 0 &&
-                  pc.hits > 0 && admin_ok;
+                  pc.hits > 0 && admin_ok && shard_hits_min > 0 &&
+                  shard_docs_min > 0;
   std::printf(
       "{\"smoke\": %s, \"sessions_opened\": %lld, \"sessions_closed\": %lld, "
       "\"requests\": %lld, \"busy_rejected\": %lld, \"protocol_errors\": "
       "%lld, \"plancache_hits\": %lld, \"plancache_misses\": %lld, "
-      "\"admin_probed\": %s, \"admin_ok\": %s, \"metrics_bytes\": %lld}\n",
+      "\"admin_probed\": %s, \"admin_ok\": %s, \"metrics_bytes\": %lld, "
+      "\"shards\": %d, \"per_shard_docs_min\": %lld, "
+      "\"per_shard_plancache_hits_min\": %lld}\n",
       ok ? "true" : "false", static_cast<long long>(stats.sessions_opened),
       static_cast<long long>(stats.sessions_closed),
       static_cast<long long>(stats.requests),
@@ -275,7 +386,9 @@ int RunSmoke(rdb::Database* db, net::Server* server,
       static_cast<long long>(stats.protocol_errors),
       static_cast<long long>(pc.hits), static_cast<long long>(pc.misses),
       admin != nullptr ? "true" : "false", admin_ok ? "true" : "false",
-      static_cast<long long>(metrics_bytes));
+      static_cast<long long>(metrics_bytes), shards,
+      static_cast<long long>(shard_docs_min),
+      static_cast<long long>(shard_hits_min));
   return ok ? 0 : 1;
 }
 
@@ -285,6 +398,7 @@ int main(int argc, char** argv) {
   uint16_t port = 8019;
   double scale = 0.1;
   size_t workers = 4;
+  int shards = 1;
   bool smoke = false;
   int admin_port = -1;  // -1 = admin plane disabled
   for (int i = 1; i < argc; ++i) {
@@ -297,6 +411,12 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
       admin_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--log-json") == 0) {
@@ -304,7 +424,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--scale S] [--workers W] "
-                   "[--admin-port N] [--log-json] [--smoke]\n",
+                   "[--shards N] [--admin-port N] [--log-json] [--smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -344,7 +464,8 @@ int main(int argc, char** argv) {
   }
 
   const int64_t load_start_us = trace::NowMicros();
-  std::map<std::string, Store>* stores = BuildStores(scale);
+  std::map<std::string, Store>* stores =
+      BuildStores(scale, shards, /*min_docs_per_shard=*/smoke ? 2 : 1);
   if (stores == nullptr) {
     LogEvent("startup_failed",
              {{"error", json::Quote("failed to build the stored mappings")}});
@@ -355,12 +476,26 @@ int main(int argc, char** argv) {
            {{"duration_us",
              std::to_string(trace::NowMicros() - load_start_us)},
             {"mappings", std::to_string(stores->size())},
+            {"shards", std::to_string(shards)},
             {"scale", std::to_string(scale)}});
 
   // Background MVCC version GC on the wire-facing database (the one that
   // takes DML): reclaims row versions the oldest live snapshot can no
-  // longer see. Stopped by the Database destructor on shutdown.
+  // longer see. Stopped by the Database destructor on shutdown. (Each
+  // shard's database runs its own GC, started by the router.)
   db.StartVersionGc(/*interval_ms=*/1000);
+
+  // SELECT * FROM xmlrdb_shards surfaces every mapping's router, one row
+  // per (mapping, shard).
+  db.set_shard_snapshot_provider([stores] {
+    std::vector<rdb::ShardInfo> all;
+    for (const auto& [name, s] : *stores) {
+      for (rdb::ShardInfo& info : s.router->SnapshotShards()) {
+        all.push_back(std::move(info));
+      }
+    }
+    return all;
+  });
 
   server.set_xpath_handler(MakeHandler(stores));
   Status st = server.Start();
@@ -379,12 +514,14 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     return RunSmoke(&db, &server, stores,
-                    admin.running() ? &admin : nullptr);
+                    admin.running() ? &admin : nullptr, shards);
   }
 
   if (!g_log_json) {
-    std::printf("xmlrdb_server listening on %s:%u (%zu workers)\n",
-                cfg.bind_address.c_str(), server.port(), cfg.workers);
+    std::printf("xmlrdb_server listening on %s:%u (%zu workers, %d shard%s "
+                "per mapping)\n",
+                cfg.bind_address.c_str(), server.port(), cfg.workers, shards,
+                shards == 1 ? "" : "s");
     if (admin.running()) {
       std::printf("admin endpoints on http://127.0.0.1:%u "
                   "(/metrics /healthz /readyz /statements /sessions "

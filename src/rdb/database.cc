@@ -432,7 +432,7 @@ Status Database::LockTableExclusive(const std::string& name, Table** table,
 bool Database::IsVirtualTableName(const std::string& name) {
   return name == "xmlrdb_metrics" || name == "xmlrdb_statements" ||
          name == "xmlrdb_tables" || name == "xmlrdb_sessions" ||
-         name == "xmlrdb_resources";
+         name == "xmlrdb_resources" || name == "xmlrdb_shards";
 }
 
 namespace {
@@ -534,6 +534,31 @@ std::unique_ptr<Table> Database::MaterializeVirtualTable(
                         Value(s.age_us), Value(s.statements),
                         Value(s.pending), Value(s.busy_rejected),
                         Value(s.prepared_statements)});
+      }
+    }
+  } else if (name == "xmlrdb_shards") {
+    schema = Schema({MakeColumn("shard", DataType::kInt),
+                     MakeColumn("scope", DataType::kString),
+                     MakeColumn("docs", DataType::kInt),
+                     MakeColumn("requests", DataType::kInt),
+                     MakeColumn("errors", DataType::kInt),
+                     MakeColumn("plancache_hits", DataType::kInt),
+                     MakeColumn("plancache_misses", DataType::kInt),
+                     MakeColumn("footprint_bytes", DataType::kInt),
+                     MakeColumn("version_bytes", DataType::kInt),
+                     MakeColumn("dir", DataType::kString)});
+    std::function<std::vector<ShardInfo>()> provider;
+    {
+      std::lock_guard<std::mutex> lock(session_provider_mu_);
+      provider = shard_provider_;
+    }
+    if (provider) {
+      for (const ShardInfo& s : provider()) {
+        rows.push_back({Value(s.shard), Value(s.scope), Value(s.docs),
+                        Value(s.requests), Value(s.errors),
+                        Value(s.plancache_hits), Value(s.plancache_misses),
+                        Value(s.footprint_bytes), Value(s.version_bytes),
+                        Value(s.dir)});
       }
     }
   }

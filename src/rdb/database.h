@@ -127,6 +127,23 @@ struct SessionInfo {
   int64_t prepared_statements = 0;
 };
 
+/// One engine shard, as reported by a shard snapshot provider
+/// (shard::ShardRouter) and exposed through the xmlrdb_shards virtual
+/// table. `scope` distinguishes routers sharing one control database (the
+/// server registers one router per mapping).
+struct ShardInfo {
+  int64_t shard = 0;
+  std::string scope;    ///< e.g. the mapping name this router serves
+  int64_t docs = 0;     ///< documents currently owned by this shard
+  int64_t requests = 0; ///< statements/evaluations routed here
+  int64_t errors = 0;
+  int64_t plancache_hits = 0;
+  int64_t plancache_misses = 0;
+  int64_t footprint_bytes = 0;
+  int64_t version_bytes = 0;  ///< MVCC row-version bytes awaiting GC
+  std::string dir;            ///< durable directory ("" = in-memory)
+};
+
 /// Result of Execute(): rows for queries, affected count for DML/DDL.
 struct QueryResult {
   Schema schema;
@@ -292,7 +309,7 @@ class Database {
 
   /// True for the reserved virtual-table names ("xmlrdb_metrics",
   /// "xmlrdb_statements", "xmlrdb_tables", "xmlrdb_sessions",
-  /// "xmlrdb_resources").
+  /// "xmlrdb_resources", "xmlrdb_shards").
   static bool IsVirtualTableName(const std::string& name);
 
   /// Hook for the network server: while set, SELECTs over xmlrdb_sessions
@@ -303,6 +320,15 @@ class Database {
       std::function<std::vector<SessionInfo>()> provider) {
     std::lock_guard<std::mutex> lock(session_provider_mu_);
     session_provider_ = std::move(provider);
+  }
+
+  /// Hook for the shard router(s): while set, SELECTs over xmlrdb_shards
+  /// materialize the provider's snapshot. Works like the session provider;
+  /// multiple routers are aggregated by the host before registering.
+  void set_shard_snapshot_provider(
+      std::function<std::vector<ShardInfo>()> provider) {
+    std::lock_guard<std::mutex> lock(session_provider_mu_);
+    shard_provider_ = std::move(provider);
   }
 
   // -- durability --
@@ -428,6 +454,7 @@ class Database {
   PlanCache plan_cache_;
   mutable std::mutex session_provider_mu_;
   std::function<std::vector<SessionInfo>()> session_provider_;
+  std::function<std::vector<ShardInfo>()> shard_provider_;
 
   // Background version GC (StartVersionGc / StopVersionGc).
   std::mutex gc_mu_;

@@ -280,6 +280,13 @@ class Table {
   /// Takes mutex() shared.
   size_t FootprintBytes() const;
 
+  /// Bytes currently held by MVCC row versions (the table's contribution
+  /// to the mvcc.version_bytes gauge). Takes mutex() shared.
+  int64_t version_bytes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tracked_version_bytes_;
+  }
+
   /// Installs (or clears, with nullptr) the mutation observer. Set while no
   /// mutator is running — Database attaches the WAL before serving traffic.
   void set_mutation_sink(TableMutationSink* sink) { sink_ = sink; }

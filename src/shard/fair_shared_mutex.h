@@ -1,0 +1,83 @@
+// Write-preferring reader/writer mutex for the shard routing table.
+//
+// std::shared_mutex makes no fairness promise, and the glibc rwlock behind
+// it prefers readers: with a steady stream of shared acquisitions (every
+// routed query holds the routing lock shared for its whole evaluation), an
+// exclusive acquisition — AddShard's per-document owner flips — can starve
+// forever on a busy router. This mutex blocks NEW readers the moment a
+// writer is waiting, so the write proceeds after the in-flight readers
+// drain; readers then resume. Writer critical sections in the router are a
+// few map operations, so reader stalls are microseconds.
+//
+// Satisfies the interface std::shared_lock / std::unique_lock need.
+
+#ifndef XMLRDB_SHARD_FAIR_SHARED_MUTEX_H_
+#define XMLRDB_SHARD_FAIR_SHARED_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace xmlrdb::shard {
+
+class FairSharedMutex {
+ public:
+  FairSharedMutex() = default;
+  FairSharedMutex(const FairSharedMutex&) = delete;
+  FairSharedMutex& operator=(const FairSharedMutex&) = delete;
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    readers_cv_.wait(
+        lock, [this] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_active_ || writers_waiting_ > 0) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--readers_ == 0 && writers_waiting_ > 0) writer_cv_.notify_one();
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [this] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_active_ || readers_ > 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    writer_active_ = false;
+    if (writers_waiting_ > 0) {
+      writer_cv_.notify_one();
+    } else {
+      readers_cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writer_cv_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace xmlrdb::shard
+
+#endif  // XMLRDB_SHARD_FAIR_SHARED_MUTEX_H_

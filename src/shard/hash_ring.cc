@@ -1,0 +1,51 @@
+#include "shard/hash_ring.h"
+
+namespace xmlrdb::shard {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Ring position of `replica` of `shard_id`. The shard stream is seeded
+/// through an extra Mix64 round to domain-separate point keys from docid
+/// hashes: OwnerOf hashes docids as Mix64(docid) and docids are small
+/// integers, so if point inputs were also small integers (shard 0's first
+/// replicas), every low docid would hash exactly onto a shard-0 point and
+/// lower_bound would glue the whole low-docid range to one shard.
+uint64_t PointFor(int shard_id, int replica) {
+  const uint64_t seed = Mix64(static_cast<uint64_t>(shard_id) + 1);
+  return Mix64(seed + static_cast<uint64_t>(replica));
+}
+
+}  // namespace
+
+void HashRing::AddShard(int shard_id) {
+  if (!shards_.insert(shard_id).second) return;
+  for (int r = 0; r < virtual_nodes_; ++r) {
+    // On the (astronomically unlikely) collision the earlier occupant
+    // keeps the point: placement stays deterministic either way.
+    ring_.emplace(PointFor(shard_id, r), shard_id);
+  }
+}
+
+void HashRing::RemoveShard(int shard_id) {
+  if (shards_.erase(shard_id) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == shard_id ? ring_.erase(it) : std::next(it);
+  }
+}
+
+int HashRing::OwnerOf(int64_t docid) const {
+  if (ring_.empty()) return -1;
+  const uint64_t h = Mix64(static_cast<uint64_t>(docid));
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->second;
+}
+
+}  // namespace xmlrdb::shard

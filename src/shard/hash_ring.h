@@ -1,0 +1,61 @@
+// Consistent-hash ring with virtual nodes: the shard-placement function.
+//
+// Each shard contributes `virtual_nodes` points on a 64-bit ring; a docid
+// is owned by the shard whose point is the clockwise successor of the
+// docid's hash. Adding one shard to an N-shard ring therefore reassigns
+// only ~1/(N+1) of the keys — and every reassigned key moves TO the new
+// shard, never between two old ones (an old shard's points do not move).
+// That bounded-movement property is what makes online rebalancing cheap;
+// ShardRouter::AddShard relies on it and shard_rebalance_test asserts it.
+//
+// The ring is a plain value type with no locking: ShardRouter guards its
+// ring with the routing lock that also guards the docid ownership table.
+
+#ifndef XMLRDB_SHARD_HASH_RING_H_
+#define XMLRDB_SHARD_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace xmlrdb::shard {
+
+/// 64-bit finalizer-style mixer (splitmix64): turns sequential docids and
+/// (shard, replica) pairs into uniformly spread ring positions.
+uint64_t Mix64(uint64_t x);
+
+class HashRing {
+ public:
+  /// `virtual_nodes` points per shard. More points -> smoother key spread
+  /// and tighter movement bounds, at O(shards * points) ring size.
+  explicit HashRing(int virtual_nodes = 64) : virtual_nodes_(virtual_nodes) {}
+
+  /// Adds `shard_id`'s virtual nodes to the ring. Duplicate adds are no-ops.
+  void AddShard(int shard_id);
+
+  /// Removes `shard_id`'s virtual nodes. Unknown ids are no-ops.
+  void RemoveShard(int shard_id);
+
+  /// The shard owning `docid`: the first ring point at or after
+  /// Mix64(docid), wrapping at the top. Undefined (-1) on an empty ring.
+  int OwnerOf(int64_t docid) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_points() const { return ring_.size(); }
+  bool Contains(int shard_id) const { return shards_.contains(shard_id); }
+  std::vector<int> ShardIds() const {
+    return std::vector<int>(shards_.begin(), shards_.end());
+  }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  int virtual_nodes_;
+  std::map<uint64_t, int> ring_;  ///< ring position -> shard id
+  std::set<int> shards_;
+};
+
+}  // namespace xmlrdb::shard
+
+#endif  // XMLRDB_SHARD_HASH_RING_H_

@@ -1,0 +1,432 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/resource_tracker.h"
+#include "common/trace.h"
+#include "rdb/durability.h"
+#include "shred/shred_util.h"
+
+namespace xmlrdb::shard {
+
+namespace {
+
+std::string ShardMetricName(int shard_id, const char* suffix) {
+  return "net.shard." + std::to_string(shard_id) + "." + suffix;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Create(
+    MappingFactory factory, ShardRouterOptions options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shard router needs at least one shard");
+  }
+  if (options.virtual_nodes < 1) {
+    return Status::InvalidArgument("virtual_nodes must be positive");
+  }
+  if (!options.shard_envs.empty() &&
+      options.shard_envs.size() < static_cast<size_t>(options.shards)) {
+    return Status::InvalidArgument(
+        "shard_envs must cover every initial shard");
+  }
+  if ((options.env != nullptr || !options.shard_envs.empty()) &&
+      options.dir_prefix.empty()) {
+    return Status::InvalidArgument("durable shards need a dir_prefix");
+  }
+  std::unique_ptr<ShardRouter> router(new ShardRouter());
+  router->factory_ = std::move(factory);
+  router->options_ = std::move(options);
+  router->ring_ = HashRing(router->options_.virtual_nodes);
+  DocId max_doc = 0;
+  for (int i = 0; i < router->options_.shards; ++i) {
+    ASSIGN_OR_RETURN(std::unique_ptr<Shard> shard, router->MakeShard(i));
+    // A reopened durable shard re-owns whatever its tables already hold;
+    // the ring only places documents stored from now on.
+    ASSIGN_OR_RETURN(std::vector<DocId> docs,
+                     shard->mapping->ListDocIds(shard->db.get()));
+    for (DocId d : docs) {
+      router->owners_[d] = i;
+      max_doc = std::max(max_doc, d);
+    }
+    router->ring_.AddShard(i);
+    router->shards_.push_back(std::move(shard));
+  }
+  router->next_docid_.store(max_doc, std::memory_order_relaxed);
+  return router;
+}
+
+ShardRouter::~ShardRouter() {
+  // Stop every GC thread before any shard database dies (the GC walks its
+  // database's catalog), then let the vector destroy shards back to front;
+  // each Database destructor flushes and detaches its own WAL.
+  for (auto& shard : shards_) {
+    if (shard->db != nullptr) shard->db->StopVersionGc();
+  }
+}
+
+rdb::Env* ShardRouter::EnvFor(int shard_id) const {
+  if (static_cast<size_t>(shard_id) < options_.shard_envs.size()) {
+    return options_.shard_envs[shard_id];
+  }
+  return options_.env;
+}
+
+Result<std::unique_ptr<ShardRouter::Shard>> ShardRouter::MakeShard(
+    int shard_id) {
+  auto shard = std::make_unique<Shard>();
+  shard->id = shard_id;
+  ASSIGN_OR_RETURN(shard->mapping, factory_());
+  rdb::Env* env = EnvFor(shard_id);
+  if (env != nullptr) {
+    shard->dir = options_.dir_prefix + "/shard_" + std::to_string(shard_id);
+    rdb::RecoveryStats recovery;
+    ASSIGN_OR_RETURN(shard->db, rdb::OpenDurableDatabase(env, shard->dir, {},
+                                                         &recovery));
+    // Recovery rebuilt the mapping's tables from snapshot + WAL; only a
+    // brand-new shard directory needs the schema created.
+    if (recovery.cold_start) {
+      RETURN_IF_ERROR(shard->mapping->Initialize(shard->db.get()));
+    }
+  } else {
+    shard->db = std::make_unique<rdb::Database>();
+    RETURN_IF_ERROR(shard->mapping->Initialize(shard->db.get()));
+  }
+  if (options_.start_version_gc) {
+    shard->db->StartVersionGc(options_.version_gc_interval_ms);
+  }
+  return shard;
+}
+
+int ShardRouter::num_shards() const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+std::string ShardRouter::mapping_name() const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  return shards_.empty() ? "" : shards_[0]->mapping->name();
+}
+
+std::vector<DocId> ShardRouter::DocIds() const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  std::vector<DocId> ids;
+  ids.reserve(owners_.size());
+  for (const auto& [doc, owner] : owners_) ids.push_back(doc);
+  return ids;
+}
+
+int ShardRouter::OwnerOf(DocId doc) const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  auto it = owners_.find(doc);
+  return it == owners_.end() ? -1 : it->second;
+}
+
+Result<ShardRouter::Shard*> ShardRouter::OwnerShardLocked(DocId doc) const {
+  auto it = owners_.find(doc);
+  if (it == owners_.end()) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " is not stored on any shard");
+  }
+  return shards_[it->second].get();
+}
+
+void ShardRouter::RecordShardRequest(Shard* shard, bool ok,
+                                     int64_t micros) const {
+  shard->requests.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) shard->errors.fetch_add(1, std::memory_order_relaxed);
+  auto& metrics = MetricsRegistry::Global();
+  metrics.Add(ShardMetricName(shard->id, "requests"), 1);
+  if (!ok) metrics.Add(ShardMetricName(shard->id, "errors"), 1);
+  metrics.RecordLatency(ShardMetricName(shard->id, "exec_us"), micros);
+}
+
+Result<DocId> ShardRouter::Store(const xml::Document& doc) {
+  const DocId id = next_docid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard* shard = nullptr;
+  {
+    std::shared_lock<FairSharedMutex> lock(route_mu_);
+    shard = shards_[ring_.OwnerOf(id)].get();
+  }
+  const int64_t start = trace::NowMicros();
+  Status st;
+  {
+    std::lock_guard<std::mutex> store_lock(shard->store_mu);
+    st = shard->mapping->StoreAt(doc, id, shard->db.get());
+  }
+  RecordShardRequest(shard, st.ok(), trace::NowMicros() - start);
+  RETURN_IF_ERROR(st);
+  {
+    // The document becomes routable only now, fully stored. If AddShard
+    // moved the ring underneath us the document simply stays where it
+    // landed — owners_, not the ring, is authoritative for lookups.
+    std::unique_lock<FairSharedMutex> lock(route_mu_);
+    owners_[id] = shard->id;
+  }
+  return id;
+}
+
+Status ShardRouter::Remove(DocId doc) {
+  Shard* shard = nullptr;
+  {
+    std::unique_lock<FairSharedMutex> lock(route_mu_);
+    auto it = owners_.find(doc);
+    if (it == owners_.end()) {
+      return Status::NotFound("document " + std::to_string(doc) +
+                              " is not stored on any shard");
+    }
+    shard = shards_[it->second].get();
+    owners_.erase(it);
+  }
+  Status st;
+  {
+    std::lock_guard<std::mutex> store_lock(shard->store_mu);
+    st = shard->mapping->Remove(doc, shard->db.get());
+  }
+  if (!st.ok()) {
+    // The rows are in an unknown state but the WAL transaction rolled the
+    // visible ones back; make the document routable again.
+    std::unique_lock<FairSharedMutex> lock(route_mu_);
+    owners_[doc] = shard->id;
+  }
+  return st;
+}
+
+Result<shred::NodeSet> ShardRouter::EvalPath(const xpath::PathExpr& path,
+                                             DocId doc,
+                                             shred::EvalStats* stats) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  ASSIGN_OR_RETURN(Shard * shard, OwnerShardLocked(doc));
+  const int64_t start = trace::NowMicros();
+  auto result =
+      shred::EvalPath(path, shard->mapping.get(), shard->db.get(), doc, stats);
+  RecordShardRequest(shard, result.ok(), trace::NowMicros() - start);
+  return result;
+}
+
+Result<std::vector<std::string>> ShardRouter::EvalPathStrings(
+    const xpath::PathExpr& path, DocId doc) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  ASSIGN_OR_RETURN(Shard * shard, OwnerShardLocked(doc));
+  const int64_t start = trace::NowMicros();
+  auto result =
+      shred::EvalPathStrings(path, shard->mapping.get(), shard->db.get(), doc);
+  RecordShardRequest(shard, result.ok(), trace::NowMicros() - start);
+  return result;
+}
+
+Status ShardRouter::InsertSubtree(DocId doc, const rdb::Value& parent,
+                                  const xml::Node& subtree) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  ASSIGN_OR_RETURN(Shard * shard, OwnerShardLocked(doc));
+  std::lock_guard<std::mutex> store_lock(shard->store_mu);
+  return shard->mapping->InsertSubtree(shard->db.get(), doc, parent, subtree);
+}
+
+Status ShardRouter::DeleteSubtree(DocId doc, const rdb::Value& node) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  ASSIGN_OR_RETURN(Shard * shard, OwnerShardLocked(doc));
+  std::lock_guard<std::mutex> store_lock(shard->store_mu);
+  return shard->mapping->DeleteSubtree(shard->db.get(), doc, node);
+}
+
+Result<std::unique_ptr<xml::Document>> ShardRouter::Reconstruct(DocId doc) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  ASSIGN_OR_RETURN(Shard * shard, OwnerShardLocked(doc));
+  return shard->mapping->Reconstruct(shard->db.get(), doc);
+}
+
+Result<std::vector<DocStrings>> ShardRouter::EvalPathStringsAll(
+    const xpath::PathExpr& path) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  std::vector<std::pair<DocId, Shard*>> targets;
+  targets.reserve(owners_.size());
+  for (const auto& [doc, owner] : owners_) {
+    targets.emplace_back(doc, shards_[owner].get());
+  }
+  std::vector<Result<std::vector<std::string>>> partials(
+      targets.size(),
+      Result<std::vector<std::string>>(std::vector<std::string>{}));
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Shared();
+  pool->ParallelFor(targets.size(), [&](size_t i) {
+    auto [doc, shard] = targets[i];
+    const int64_t start = trace::NowMicros();
+    partials[i] = shred::EvalPathStrings(path, shard->mapping.get(),
+                                         shard->db.get(), doc);
+    RecordShardRequest(shard, partials[i].ok(), trace::NowMicros() - start);
+  });
+  // owners_ is docid-ordered, so gathering in target order IS document
+  // order across the corpus.
+  std::vector<DocStrings> merged;
+  merged.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    RETURN_IF_ERROR(partials[i].status());
+    merged.push_back({targets[i].first, std::move(partials[i]).value()});
+  }
+  return merged;
+}
+
+Result<rdb::QueryResult> ShardRouter::ExecuteAll(
+    const std::string& sql, std::vector<rdb::Value> params) {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  std::vector<Result<rdb::QueryResult>> partials(
+      shards_.size(), Result<rdb::QueryResult>(rdb::QueryResult{}));
+  ThreadPool* pool =
+      options_.pool != nullptr ? options_.pool : &ThreadPool::Shared();
+  pool->ParallelFor(shards_.size(), [&](size_t i) {
+    Shard* shard = shards_[i].get();
+    const int64_t start = trace::NowMicros();
+    partials[i] = shred::ExecPrepared(shard->db.get(), sql, params);
+    RecordShardRequest(shard, partials[i].ok(), trace::NowMicros() - start);
+  });
+  rdb::QueryResult merged;
+  for (auto& partial : partials) RETURN_IF_ERROR(partial.status());
+  merged.schema = partials.empty() ? rdb::Schema()
+                                   : partials[0].value().schema;
+  for (auto& partial : partials) {
+    merged.affected += partial.value().affected;
+    for (auto& row : partial.value().rows) {
+      merged.rows.push_back(std::move(row));
+    }
+  }
+  // Shards hold disjoint docid sets, so a stable sort on the docid column
+  // alone restores global document order while preserving each shard's
+  // row order within one document.
+  std::optional<size_t> docid_col = merged.schema.TryIndexOf("docid");
+  if (docid_col.has_value()) {
+    std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                     [col = *docid_col](const rdb::Row& a, const rdb::Row& b) {
+                       return a[col].Compare(b[col]) < 0;
+                     });
+  }
+  return merged;
+}
+
+Status ShardRouter::AddShard() {
+  // Build the new shard's full stack before touching routing state: a
+  // failed open must leave the router exactly as it was.
+  int new_id;
+  {
+    std::shared_lock<FairSharedMutex> lock(route_mu_);
+    new_id = static_cast<int>(shards_.size());
+  }
+  if (!options_.shard_envs.empty() &&
+      static_cast<size_t>(new_id) >= options_.shard_envs.size() &&
+      options_.env == nullptr) {
+    return Status::InvalidArgument(
+        "no env provided for shard " + std::to_string(new_id));
+  }
+  ASSIGN_OR_RETURN(std::unique_ptr<Shard> shard, MakeShard(new_id));
+  Shard* target = shard.get();
+
+  // Publish the shard and compute the migration set: exactly the documents
+  // whose ring owner became the new shard (the consistent-hash guarantee —
+  // nothing moves between pre-existing shards).
+  std::vector<DocId> to_move;
+  {
+    std::unique_lock<FairSharedMutex> lock(route_mu_);
+    shards_.push_back(std::move(shard));
+    ring_.AddShard(new_id);
+    for (const auto& [doc, owner] : owners_) {
+      if (owner != new_id && ring_.OwnerOf(doc) == new_id) {
+        to_move.push_back(doc);
+      }
+    }
+  }
+
+  // Migrate one document at a time, releasing the routing lock between
+  // steps so queries keep flowing. Until the owner flip a query sees the
+  // old copy; after it, the new one — never zero or two copies.
+  for (DocId doc : to_move) {
+    Shard* source = nullptr;
+    std::unique_ptr<xml::Document> tree;
+    {
+      std::shared_lock<FairSharedMutex> lock(route_mu_);
+      auto it = owners_.find(doc);
+      if (it == owners_.end() || it->second == new_id) continue;  // raced away
+      source = shards_[it->second].get();
+      ASSIGN_OR_RETURN(tree, source->mapping->Reconstruct(source->db.get(),
+                                                          doc));
+    }
+    {
+      std::lock_guard<std::mutex> store_lock(target->store_mu);
+      RETURN_IF_ERROR(target->mapping->StoreAt(*tree, doc, target->db.get()));
+    }
+    bool flipped = false;
+    {
+      std::unique_lock<FairSharedMutex> lock(route_mu_);
+      auto it = owners_.find(doc);
+      if (it != owners_.end() && shards_[it->second].get() == source) {
+        it->second = new_id;
+        flipped = true;
+      }
+    }
+    if (!flipped) {
+      // The document was removed while we copied it; drop the new copy.
+      std::lock_guard<std::mutex> store_lock(target->store_mu);
+      RETURN_IF_ERROR(target->mapping->Remove(doc, target->db.get()));
+      continue;
+    }
+    std::lock_guard<std::mutex> store_lock(source->store_mu);
+    RETURN_IF_ERROR(source->mapping->Remove(doc, source->db.get()));
+  }
+  return Status::OK();
+}
+
+Status ShardRouter::Checkpoint() {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  for (auto& shard : shards_) {
+    if (shard->dir.empty()) continue;
+    RETURN_IF_ERROR(shard->db->Checkpoint());
+  }
+  return Status::OK();
+}
+
+std::vector<rdb::ShardInfo> ShardRouter::SnapshotShards() const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  std::vector<rdb::ShardInfo> infos;
+  infos.reserve(shards_.size());
+  std::vector<int64_t> docs(shards_.size(), 0);
+  for (const auto& [doc, owner] : owners_) ++docs[owner];
+  for (const auto& shard : shards_) {
+    rdb::ShardInfo info;
+    info.shard = shard->id;
+    info.scope = shard->mapping->name();
+    info.docs = docs[shard->id];
+    info.requests = shard->requests.load(std::memory_order_relaxed);
+    info.errors = shard->errors.load(std::memory_order_relaxed);
+    auto pc = shard->db->plan_cache().stats();
+    info.plancache_hits = pc.hits;
+    info.plancache_misses = pc.misses;
+    info.footprint_bytes = static_cast<int64_t>(shard->db->FootprintBytes());
+    int64_t version_bytes = 0;
+    for (const std::string& table : shard->db->TableNames()) {
+      const rdb::Table* t = shard->db->FindTable(table);
+      if (t != nullptr) version_bytes += t->version_bytes();
+    }
+    info.version_bytes = version_bytes;
+    ResourceTracker::Global()
+        .GetGauge("mvcc.shard." + std::to_string(shard->id) +
+                  ".version_bytes")
+        .Set(version_bytes);
+    info.dir = shard->dir;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+rdb::Database* ShardRouter::shard_db(int shard) const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  return shards_[shard]->db.get();
+}
+
+shred::Mapping* ShardRouter::shard_mapping(int shard) const {
+  std::shared_lock<FairSharedMutex> lock(route_mu_);
+  return shards_[shard]->mapping.get();
+}
+
+}  // namespace xmlrdb::shard

@@ -1,0 +1,201 @@
+// ShardRouter: N independent engine shards behind one routing facade.
+//
+// Each shard owns a full single-engine stack — its own rdb::Database (and,
+// when durable, its own WAL directory and checkpoints), its own Mapping
+// instance over that database, and its own background version GC. Shards
+// share nothing: no table, lock, WAL, or plan cache is visible across the
+// shard boundary, so a stalled or crashed shard cannot corrupt its peers.
+//
+// Placement. New documents get ids from one global counter and are placed by
+// a consistent-hash ring (hash_ring.h, `virtual_nodes` points per shard).
+// The ring decides placement only for NEW documents and for rebalance
+// targets; the authoritative docid -> shard map is `owners_`, rebuilt from
+// each shard's own tables (Mapping::ListDocIds) when a durable router
+// reopens. AddShard() therefore moves only the documents whose ring owner
+// became the new shard — ~1/(N+1) of the corpus — and never shuffles
+// documents between pre-existing shards.
+//
+// Concurrency. `route_mu_` protects the ring, the owner map, and the shard
+// vector. Queries hold it SHARED for their whole evaluation, so a document
+// can never be migrated out from under a running query. Mutations that only
+// touch one entry (Store's owner insert, AddShard's per-document owner flip)
+// take it exclusive briefly. AddShard migrates one document at a time —
+// reconstruct from the old shard, store on the new one, flip the owner, then
+// delete the old copy — releasing the lock between documents, so concurrent
+// queries always see exactly one copy of every document: the old copy until
+// the flip, the new one after.
+//
+// Shutdown order (the destructor): stop every shard's version GC first, then
+// destroy shards back to front. Each shard's Database destructor flushes and
+// detaches its WAL; since shards share nothing, the order across shards is
+// otherwise free, but GC must stop before any database dies because the GC
+// thread walks that database's catalog.
+
+#ifndef XMLRDB_SHARD_SHARD_ROUTER_H_
+#define XMLRDB_SHARD_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "rdb/database.h"
+#include "rdb/env.h"
+#include "shard/fair_shared_mutex.h"
+#include "shard/hash_ring.h"
+#include "shred/evaluator.h"
+#include "shred/mapping.h"
+#include "xml/node.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb::shard {
+
+using shred::DocId;
+
+/// Builds one shard's private Mapping instance. Called once per shard (and
+/// once more per AddShard); every returned mapping must shred identically —
+/// the router migrates documents between shards by reconstruct + re-store.
+using MappingFactory =
+    std::function<Result<std::unique_ptr<shred::Mapping>>()>;
+
+struct ShardRouterOptions {
+  int shards = 1;
+  /// Ring points per shard; more points = smoother rebalance (hash_ring.h).
+  int virtual_nodes = 64;
+  /// Scatter-gather pool for fan-out queries. Null = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Non-null makes every shard durable under `dir_prefix`/shard_<i>.
+  rdb::Env* env = nullptr;
+  /// Per-shard envs (fault-injection tests crash ONE shard's WAL). When
+  /// non-empty, must hold at least `shards` entries; entry i overrides `env`
+  /// for shard i. Extra entries serve future AddShard() calls.
+  std::vector<rdb::Env*> shard_envs;
+  std::string dir_prefix;
+  /// Run each shard's background MVCC version GC.
+  bool start_version_gc = false;
+  int64_t version_gc_interval_ms = 1000;
+};
+
+/// One document's slice of a fan-out query result.
+struct DocStrings {
+  DocId doc = 0;
+  std::vector<std::string> values;
+};
+
+class ShardRouter {
+ public:
+  /// Builds (or, when durable directories already exist, reopens) the
+  /// shards. A durable reopen must pass the same shard count the directory
+  /// tree was written with; ownership is rebuilt from each shard's tables.
+  static Result<std::unique_ptr<ShardRouter>> Create(
+      MappingFactory factory, ShardRouterOptions options = {});
+
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  int num_shards() const;
+  std::string mapping_name() const;
+  /// Every stored document id, ascending.
+  std::vector<DocId> DocIds() const;
+  /// The shard `doc` currently lives on (-1 when not stored).
+  int OwnerOf(DocId doc) const;
+
+  // -- Single-document operations: route to exactly one shard. --
+
+  /// Assigns the next global docid, places it by the ring, and shreds the
+  /// document on its owning shard.
+  Result<DocId> Store(const xml::Document& doc);
+  Status Remove(DocId doc);
+  Result<shred::NodeSet> EvalPath(const xpath::PathExpr& path, DocId doc,
+                                  shred::EvalStats* stats = nullptr);
+  Result<std::vector<std::string>> EvalPathStrings(const xpath::PathExpr& path,
+                                                   DocId doc);
+  Status InsertSubtree(DocId doc, const rdb::Value& parent,
+                       const xml::Node& subtree);
+  Status DeleteSubtree(DocId doc, const rdb::Value& node);
+  Result<std::unique_ptr<xml::Document>> Reconstruct(DocId doc);
+
+  // -- Fan-out operations: scatter across shards, gather, merge. --
+
+  /// Evaluates `path` against EVERY stored document (scatter-gathered on the
+  /// pool) and returns per-document string values merged in ascending-docid
+  /// order — document order across the whole corpus.
+  Result<std::vector<DocStrings>> EvalPathStringsAll(
+      const xpath::PathExpr& path);
+
+  /// Runs one SELECT on every shard through the prepared-statement layer
+  /// (each shard's plan cache compiles it once) and merges the partial
+  /// results: when every shard's result has a `docid` column, rows merge in
+  /// ascending docid (document order, per-shard row order preserved within a
+  /// document); otherwise partials concatenate in shard order.
+  Result<rdb::QueryResult> ExecuteAll(const std::string& sql,
+                                      std::vector<rdb::Value> params = {});
+
+  // -- Topology and maintenance. --
+
+  /// Adds one shard and migrates the documents the ring reassigns to it
+  /// (~1/(N+1) of the corpus, never between old shards). Migration is
+  /// per-document and lock-interleaved: concurrent queries keep running and
+  /// always see exactly one copy of every document.
+  Status AddShard();
+
+  /// Checkpoints every durable shard (no-op for in-memory shards).
+  Status Checkpoint();
+
+  /// Per-shard stats for the xmlrdb_shards virtual table and the admin
+  /// plane; also refreshes the mvcc.shard.<i>.version_bytes gauges.
+  std::vector<rdb::ShardInfo> SnapshotShards() const;
+
+  // -- Test/introspection access to one shard's private stack. --
+  rdb::Database* shard_db(int shard) const;
+  shred::Mapping* shard_mapping(int shard) const;
+
+ private:
+  struct Shard {
+    int id = 0;
+    std::string dir;  ///< durable directory ("" = in-memory)
+    std::unique_ptr<shred::Mapping> mapping;
+    std::unique_ptr<rdb::Database> db;
+    /// Serializes shreds/removes on this shard: not every mapping supports
+    /// concurrent StoreWithId (binary runs per-store DDL).
+    std::mutex store_mu;
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> errors{0};
+  };
+
+  ShardRouter() = default;
+
+  rdb::Env* EnvFor(int shard_id) const;
+  Result<std::unique_ptr<Shard>> MakeShard(int shard_id);
+  /// Looks up `doc`'s shard under route_mu_ (caller holds it, any mode).
+  Result<Shard*> OwnerShardLocked(DocId doc) const;
+  /// Counts one routed request against shard `id` and records the
+  /// net.shard.<id>.{requests,errors} counters + exec_us histogram.
+  void RecordShardRequest(Shard* shard, bool ok, int64_t micros) const;
+
+  MappingFactory factory_;
+  ShardRouterOptions options_;
+
+  /// Ring + owner map + shard vector; see the concurrency note above.
+  /// Write-preferring: AddShard's owner flips must not starve behind a
+  /// steady stream of shared-holding queries (fair_shared_mutex.h).
+  mutable FairSharedMutex route_mu_;
+  HashRing ring_{64};
+  std::map<DocId, int> owners_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> next_docid_{0};
+};
+
+}  // namespace xmlrdb::shard
+
+#endif  // XMLRDB_SHARD_SHARD_ROUTER_H_

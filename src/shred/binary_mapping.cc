@@ -131,10 +131,18 @@ Status BinaryMapping::ShredInto(const xml::Node& n, DocId doc, int64_t parent,
   return Status::OK();
 }
 
-Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> BinaryMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "bin_docs", "docid");
+}
+
+Result<std::vector<DocId>> BinaryMapping::ListDocIds(rdb::Database* db) const {
+  return DistinctDocIds(db, "bin_docs");
+}
+
+Status BinaryMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                  rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "bin_docs", "docid"));
   int64_t counter = 1;
   int64_t root_id = counter++;
   ASSIGN_OR_RETURN(std::string tbl, TableFor(db, root->name(), "elem"));
@@ -143,10 +151,16 @@ Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
                    t->Insert({Value(docid), Value(static_cast<int64_t>(0)),
                               Value(static_cast<int64_t>(1)), Value(root_id)}));
   RETURN_IF_ERROR(ShredInto(*root, docid, root_id, &counter, db));
-  RETURN_IF_ERROR(ExecPrepared(db, "INSERT INTO bin_docs VALUES (?, ?, ?, ?)",
-                               {Value(docid), Value(root_id),
-                                Value(root->name()), Value(counter - 1)})
-                      .status());
+  return ExecPrepared(db, "INSERT INTO bin_docs VALUES (?, ?, ?, ?)",
+                      {Value(docid), Value(root_id), Value(root->name()),
+                       Value(counter - 1)})
+      .status();
+}
+
+Result<DocId> BinaryMapping::StoreImpl(const xml::Document& doc,
+                                       rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 

@@ -27,6 +27,13 @@ class BinaryMapping : public Mapping {
 
   Status Initialize(rdb::Database* db) override;
   Result<DocId> StoreImpl(const xml::Document& doc, rdb::Database* db) override;
+  // Caller-assigned ids for the shard router. Stores still run one at a
+  // time (SupportsParallelStore stays false: shredding may CREATE new
+  // partition tables).
+  Result<DocId> NextDocId(rdb::Database* db) const override;
+  Status StoreWithId(const xml::Document& doc, DocId docid,
+                     rdb::Database* db) override;
+  Result<std::vector<DocId>> ListDocIds(rdb::Database* db) const override;
   Status RemoveImpl(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;

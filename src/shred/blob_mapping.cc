@@ -26,6 +26,10 @@ Result<DocId> BlobMapping::NextDocId(rdb::Database* db) const {
   return NextIdFromMax(db, "blob_docs", "docid");
 }
 
+Result<std::vector<DocId>> BlobMapping::ListDocIds(rdb::Database* db) const {
+  return DistinctDocIds(db, "blob_docs");
+}
+
 Status BlobMapping::StoreWithId(const xml::Document& doc, DocId docid,
                                 rdb::Database* db) {
   if (doc.root() == nullptr) {

@@ -127,6 +127,10 @@ Result<DocId> DeweyMapping::NextDocId(rdb::Database* db) const {
   return NextIdFromMax(db, "dw_nodes", "docid");
 }
 
+Result<std::vector<DocId>> DeweyMapping::ListDocIds(rdb::Database* db) const {
+  return DistinctDocIds(db, "dw_nodes");
+}
+
 Status DeweyMapping::StoreWithId(const xml::Document& doc, DocId docid,
                                  rdb::Database* db) {
   const xml::Node* root = doc.root();

@@ -48,6 +48,7 @@ class DeweyMapping : public Mapping {
   Result<DocId> NextDocId(rdb::Database* db) const override;
   Status StoreWithId(const xml::Document& doc, DocId docid,
                      rdb::Database* db) override;
+  Result<std::vector<DocId>> ListDocIds(rdb::Database* db) const override;
   Status RemoveImpl(DocId doc, rdb::Database* db) override;
 
   Result<rdb::Value> RootElement(rdb::Database* db, DocId doc) const override;

@@ -82,6 +82,10 @@ Result<DocId> EdgeMapping::NextDocId(rdb::Database* db) const {
   return NextIdFromMax(db, "edge", "docid");
 }
 
+Result<std::vector<DocId>> EdgeMapping::ListDocIds(rdb::Database* db) const {
+  return DistinctDocIds(db, "edge");
+}
+
 Status EdgeMapping::StoreWithId(const xml::Document& doc, DocId docid,
                                 rdb::Database* db) {
   const xml::Node* root = doc.root();

@@ -312,7 +312,16 @@ Status InlineMapping::StoreElement(const xml::Node& el, DocId doc,
   return Status::OK();
 }
 
-Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* db) {
+Result<DocId> InlineMapping::NextDocId(rdb::Database* db) const {
+  return NextIdFromMax(db, "inl_docs", "docid");
+}
+
+Result<std::vector<DocId>> InlineMapping::ListDocIds(rdb::Database* db) const {
+  return DistinctDocIds(db, "inl_docs");
+}
+
+Status InlineMapping::StoreWithId(const xml::Document& doc, DocId docid,
+                                  rdb::Database* db) {
   const xml::Node* root = doc.root();
   if (root == nullptr) return Status::InvalidArgument("document has no root");
   if (root->name() != root_name_) {
@@ -320,13 +329,18 @@ Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc, rdb::Database* 
                                    "' does not match DTD root '" + root_name_ +
                                    "'");
   }
-  ASSIGN_OR_RETURN(int64_t docid, NextIdFromMax(db, "inl_docs", "docid"));
   int64_t counter = 1;
   RETURN_IF_ERROR(StoreElement(*root, docid, &counter, nullptr, "", 0, "", 1, 1,
                                db));
-  RETURN_IF_ERROR(ExecPrepared(db, "INSERT INTO inl_docs VALUES (?, ?, 1)",
-                               {Value(docid), Value(counter - 1)})
-                      .status());
+  return ExecPrepared(db, "INSERT INTO inl_docs VALUES (?, ?, 1)",
+                      {Value(docid), Value(counter - 1)})
+      .status();
+}
+
+Result<DocId> InlineMapping::StoreImpl(const xml::Document& doc,
+                                       rdb::Database* db) {
+  ASSIGN_OR_RETURN(DocId docid, NextDocId(db));
+  RETURN_IF_ERROR(StoreWithId(doc, docid, db));
   return docid;
 }
 

@@ -83,6 +83,11 @@ Result<DocId> IntervalMapping::NextDocId(rdb::Database* db) const {
   return NextIdFromMax(db, "iv_nodes", "docid");
 }
 
+Result<std::vector<DocId>> IntervalMapping::ListDocIds(
+    rdb::Database* db) const {
+  return DistinctDocIds(db, "iv_nodes");
+}
+
 Status IntervalMapping::StoreWithId(const xml::Document& doc, DocId docid,
                                     rdb::Database* db) {
   const xml::Node* root = doc.root();

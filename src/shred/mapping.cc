@@ -74,6 +74,26 @@ Status Mapping::StoreWithId(const xml::Document&, DocId, rdb::Database*) {
   return Status::Unsupported("parallel store for mapping '" + name() + "'");
 }
 
+Status Mapping::StoreAt(const xml::Document& doc, DocId docid,
+                        rdb::Database* db) {
+  ScopedSpan span("shred." + name(), "shred");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Stopwatch timer;
+  rdb::WalTransaction txn(db);
+  Status st = StoreWithId(doc, docid, db);
+  if (st.ok()) st = txn.Commit();
+  if (reg.enabled()) {
+    reg.RecordLatency("mapping." + name() + ".store_us",
+                      static_cast<int64_t>(timer.ElapsedMicros()));
+  }
+  return st;
+}
+
+Result<std::vector<DocId>> Mapping::ListDocIds(rdb::Database*) const {
+  return Status::Unsupported("document enumeration for mapping '" + name() +
+                             "'");
+}
+
 Result<std::unique_ptr<xml::Document>> Mapping::Reconstruct(rdb::Database* db,
                                                             DocId doc) const {
   ScopedSpan span("reconstruct." + name(), "shred");

@@ -83,12 +83,25 @@ class Mapping {
   /// (fixed table set, no per-store DDL).
   virtual bool SupportsParallelStore() const { return false; }
 
-  /// First unused document id. Parallel-store mappings only.
+  /// First unused document id. Implemented by every shipped mapping (the
+  /// shard router pre-assigns ids); the base default is kUnsupported.
   virtual Result<DocId> NextDocId(rdb::Database* db) const;
 
-  /// Shreds `doc` under a caller-assigned id. Parallel-store mappings only.
+  /// Shreds `doc` under a caller-assigned id. Implemented by every shipped
+  /// mapping; only SupportsParallelStore() mappings may be called
+  /// concurrently.
   virtual Status StoreWithId(const xml::Document& doc, DocId docid,
                              rdb::Database* db);
+
+  /// Like Store, but under a caller-assigned document id (the shard router
+  /// assigns ids globally, then places the document on its owning shard).
+  /// Non-virtual wrapper: same WAL transaction + span/timer as Store.
+  Status StoreAt(const xml::Document& doc, DocId docid, rdb::Database* db);
+
+  /// The ids of every document stored in `db`, ascending. A durable shard
+  /// rebuilds its slice of the router's ownership table from this after
+  /// recovery.
+  virtual Result<std::vector<DocId>> ListDocIds(rdb::Database* db) const;
 
   /// Removes every row belonging to `doc`. Non-virtual wrapper: groups the
   /// row deletes into one WAL transaction on a durable database, so a crash

@@ -69,6 +69,18 @@ Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
   return r.rows[0][0].AsInt() + 1;
 }
 
+Result<std::vector<DocId>> DistinctDocIds(rdb::Database* db,
+                                          const std::string& table) {
+  ASSIGN_OR_RETURN(
+      rdb::QueryResult r,
+      ExecPrepared(db, "SELECT DISTINCT docid FROM " + table +
+                           " ORDER BY docid"));
+  std::vector<DocId> out;
+  out.reserve(r.rows.size());
+  for (const rdb::Row& row : r.rows) out.push_back(row[0].AsInt());
+  return out;
+}
+
 Result<rdb::QueryResult> ExecPrepared(rdb::Database* db, const std::string& sql,
                                       std::vector<rdb::Value> params) {
   ASSIGN_OR_RETURN(rdb::PreparedStatement stmt, db->Prepare(sql));

@@ -33,6 +33,11 @@ Status LoadFrontierTable(rdb::Database* db, const std::string& name,
 Result<int64_t> NextIdFromMax(rdb::Database* db, const std::string& table,
                               const std::string& col);
 
+/// The distinct docids present in `table`, ascending. Backs the mappings'
+/// ListDocIds (each names its own bookkeeping or node table).
+Result<std::vector<DocId>> DistinctDocIds(rdb::Database* db,
+                                          const std::string& table);
+
 /// Runs `sql` through the database's prepared-statement path, binding
 /// `params` to its `?` placeholders. The parse and (for SELECTs) the
 /// compiled plan are cached by SQL text, so a mapping that executes the

@@ -1,0 +1,264 @@
+// Sharded-serving differential tests: a ShardRouter at 1, 2, and 4 shards
+// must answer exactly like a single engine holding the same corpus — for
+// every mapping, every Q1–Q12 auction query, byte-identical result vectors
+// (same values, same order), and fan-out results merged in document order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/shard_router.h"
+#include "shred/evaluator.h"
+#include "shred/inline_mapping.h"
+#include "shred/registry.h"
+#include "workload/queries.h"
+#include "workload/xmark.h"
+#include "xml/dtd.h"
+#include "xpath/xpath_ast.h"
+
+namespace xmlrdb {
+namespace {
+
+using shred::DocId;
+using shred::Mapping;
+
+/// All six mappings: the five generic ones plus the DTD-driven inline
+/// mapping, built against the XMark DTD.
+std::vector<std::string> ShardMappingNames() {
+  std::vector<std::string> names = shred::GenericMappingNames();
+  names.push_back("inline");
+  return names;
+}
+
+std::unique_ptr<Mapping> MustMapping(const std::string& name) {
+  if (name == "inline") {
+    auto dtd = xml::ParseDtd(workload::XMarkDtd());
+    EXPECT_TRUE(dtd.ok()) << dtd.status();
+    if (!dtd.ok()) return nullptr;
+    auto m = shred::InlineMapping::Create(*dtd.value(), "site");
+    EXPECT_TRUE(m.ok()) << m.status();
+    return m.ok() ? std::move(m).value() : nullptr;
+  }
+  auto m = shred::CreateMapping(name);
+  EXPECT_TRUE(m.ok()) << m.status();
+  return m.ok() ? std::move(m).value() : nullptr;
+}
+
+shard::MappingFactory FactoryFor(const std::string& name) {
+  return [name]() -> Result<std::unique_ptr<Mapping>> {
+    auto m = MustMapping(name);
+    if (m == nullptr) {
+      return Status::Internal("mapping construction failed: " + name);
+    }
+    return m;
+  };
+}
+
+/// The corpus: XMark documents at distinct scales, so every document gives
+/// distinct answers and ordering mistakes cannot cancel out.
+const std::vector<std::unique_ptr<xml::Document>>& Corpus() {
+  static const auto* corpus = [] {
+    auto* docs = new std::vector<std::unique_ptr<xml::Document>>();
+    for (double scale : {0.01, 0.02, 0.03, 0.015}) {
+      workload::XMarkConfig cfg;
+      cfg.scale = scale;
+      docs->push_back(workload::GenerateXMark(cfg));
+    }
+    return docs;
+  }();
+  return *corpus;
+}
+
+std::vector<std::string> SingleEngineStrings(Mapping* mapping,
+                                             rdb::Database* db, DocId doc,
+                                             const std::string& xpath) {
+  auto path = xpath::ParseXPath(xpath);
+  EXPECT_TRUE(path.ok()) << path.status();
+  auto values = shred::EvalPathStrings(path.value(), mapping, db, doc);
+  EXPECT_TRUE(values.ok()) << mapping->name() << ": " << values.status();
+  return values.ok() ? values.value() : std::vector<std::string>{};
+}
+
+/// One single-engine store of the corpus: the oracle the router is diffed
+/// against.
+struct SingleEngine {
+  std::unique_ptr<Mapping> mapping;
+  rdb::Database db;
+  std::vector<DocId> ids;  ///< ids[i] holds Corpus()[i]
+};
+
+std::unique_ptr<SingleEngine> BuildSingleEngine(const std::string& name) {
+  auto engine = std::make_unique<SingleEngine>();
+  engine->mapping = MustMapping(name);
+  if (engine->mapping == nullptr) return nullptr;
+  EXPECT_TRUE(engine->mapping->Initialize(&engine->db).ok());
+  for (const auto& doc : Corpus()) {
+    auto id = engine->mapping->Store(*doc, &engine->db);
+    EXPECT_TRUE(id.ok()) << id.status();
+    if (!id.ok()) return nullptr;
+    engine->ids.push_back(id.value());
+  }
+  return engine;
+}
+
+class ShardDifferentialTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardDifferentialTest, RoutedQueriesMatchSingleEngine) {
+  const std::string name = GetParam();
+  auto engine = BuildSingleEngine(name);
+  ASSERT_NE(engine, nullptr);
+
+  for (int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    shard::ShardRouterOptions opts;
+    opts.shards = shards;
+    auto router = shard::ShardRouter::Create(FactoryFor(name), opts);
+    ASSERT_TRUE(router.ok()) << router.status();
+    std::vector<DocId> routed_ids;
+    for (const auto& doc : Corpus()) {
+      auto id = router.value()->Store(*doc);
+      ASSERT_TRUE(id.ok()) << id.status();
+      routed_ids.push_back(id.value());
+    }
+
+    for (const auto& q : workload::AuctionQueries()) {
+      auto path = xpath::ParseXPath(q.xpath);
+      ASSERT_TRUE(path.ok()) << path.status();
+      for (size_t i = 0; i < routed_ids.size(); ++i) {
+        auto routed = router.value()->EvalPathStrings(path.value(),
+                                                      routed_ids[i]);
+        ASSERT_TRUE(routed.ok()) << q.id << ": " << routed.status();
+        // Exact vector equality: values AND their document order.
+        EXPECT_EQ(routed.value(),
+                  SingleEngineStrings(engine->mapping.get(), &engine->db,
+                                      engine->ids[i], q.xpath))
+            << "query=" << q.id << " (" << q.xpath << ") doc#" << i;
+      }
+    }
+  }
+}
+
+TEST_P(ShardDifferentialTest, FanOutMergesInDocumentOrder) {
+  const std::string name = GetParam();
+  auto engine = BuildSingleEngine(name);
+  ASSERT_NE(engine, nullptr);
+
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    shard::ShardRouterOptions opts;
+    opts.shards = shards;
+    auto router = shard::ShardRouter::Create(FactoryFor(name), opts);
+    ASSERT_TRUE(router.ok()) << router.status();
+    std::vector<DocId> routed_ids;
+    for (const auto& doc : Corpus()) {
+      auto id = router.value()->Store(*doc);
+      ASSERT_TRUE(id.ok()) << id.status();
+      routed_ids.push_back(id.value());
+    }
+
+    for (const std::string& xpath :
+         {std::string("//item/name"), std::string("//person/@id"),
+          std::string("/site/regions//item/location")}) {
+      auto path = xpath::ParseXPath(xpath);
+      ASSERT_TRUE(path.ok()) << path.status();
+      auto merged = router.value()->EvalPathStringsAll(path.value());
+      ASSERT_TRUE(merged.ok()) << merged.status();
+      ASSERT_EQ(merged.value().size(), routed_ids.size());
+      for (size_t i = 0; i < merged.value().size(); ++i) {
+        // Ascending docid across the corpus = document order (routed ids
+        // are assigned in store order).
+        EXPECT_EQ(merged.value()[i].doc, routed_ids[i]);
+        EXPECT_EQ(merged.value()[i].values,
+                  SingleEngineStrings(engine->mapping.get(), &engine->db,
+                                      engine->ids[i], xpath))
+            << "xpath=" << xpath << " doc#" << i;
+      }
+    }
+  }
+}
+
+TEST_P(ShardDifferentialTest, SingleDocumentOpsRouteToExactlyOneShard) {
+  const std::string name = GetParam();
+  shard::ShardRouterOptions opts;
+  opts.shards = 4;
+  auto router = shard::ShardRouter::Create(FactoryFor(name), opts);
+  ASSERT_TRUE(router.ok()) << router.status();
+  auto id = router.value()->Store(*Corpus()[0]);
+  ASSERT_TRUE(id.ok()) << id.status();
+  const int owner = router.value()->OwnerOf(id.value());
+  ASSERT_GE(owner, 0);
+
+  auto before = router.value()->SnapshotShards();
+  auto path = xpath::ParseXPath("//item/name");
+  ASSERT_TRUE(path.ok());
+  constexpr int kQueries = 5;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(
+        router.value()->EvalPathStrings(path.value(), id.value()).ok());
+  }
+  auto after = router.value()->SnapshotShards();
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t s = 0; s < after.size(); ++s) {
+    const int64_t delta = after[s].requests - before[s].requests;
+    EXPECT_EQ(delta, after[s].shard == owner ? kQueries : 0)
+        << "shard " << after[s].shard;
+    EXPECT_EQ(after[s].errors, 0) << "shard " << after[s].shard;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, ShardDifferentialTest,
+                         ::testing::ValuesIn(ShardMappingNames()),
+                         [](const auto& info) { return info.param; });
+
+// SELECT fan-out through the prepared-statement layer: the merged relation
+// must be row-identical to the single engine's, and rows must come back in
+// global document order when the statement projects a docid column.
+TEST(ShardExecuteAllTest, MergedSelectMatchesSingleEngine) {
+  auto engine = BuildSingleEngine("edge");
+  ASSERT_NE(engine, nullptr);
+  shard::ShardRouterOptions opts;
+  opts.shards = 4;
+  auto router = shard::ShardRouter::Create(FactoryFor("edge"), opts);
+  ASSERT_TRUE(router.ok()) << router.status();
+  for (const auto& doc : Corpus()) {
+    ASSERT_TRUE(router.value()->Store(*doc).ok());
+  }
+
+  const std::string sql =
+      "SELECT docid, source, ordinal, name FROM edge WHERE kind = 'elem'";
+  auto single = engine->db.Execute(sql);
+  ASSERT_TRUE(single.ok()) << single.status();
+  auto merged = router.value()->ExecuteAll(sql);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+
+  ASSERT_EQ(merged.value().rows.size(), single.value().rows.size());
+  for (size_t r = 0; r < merged.value().rows.size(); ++r) {
+    const auto& a = merged.value().rows[r];
+    const auto& b = single.value().rows[r];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].Compare(b[c]), 0) << "row " << r << " col " << c;
+    }
+  }
+
+  // Without a docid column the partials concatenate: one COUNT row per
+  // shard, summing to the single-engine total.
+  const std::string count_sql = "SELECT COUNT(*) FROM edge";
+  auto single_count = engine->db.Execute(count_sql);
+  ASSERT_TRUE(single_count.ok());
+  auto merged_count = router.value()->ExecuteAll(count_sql);
+  ASSERT_TRUE(merged_count.ok());
+  ASSERT_EQ(merged_count.value().rows.size(), 4u);
+  int64_t total = 0;
+  for (const auto& row : merged_count.value().rows) {
+    total += row[0].AsInt();
+  }
+  ASSERT_EQ(single_count.value().rows.size(), 1u);
+  EXPECT_EQ(total, single_count.value().rows[0][0].AsInt());
+}
+
+}  // namespace
+}  // namespace xmlrdb
